@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"godisc/internal/bench"
+)
+
+func TestRunExperimentSubsetWithJSON(t *testing.T) {
+	cfg := bench.DefaultConfig()
+	cfg.Requests = 10
+	cfg.Models = []string{"mlp"}
+	jsonOut := filepath.Join(t.TempDir(), "r.json")
+	if err := run("e1", cfg, jsonOut, ""); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(jsonOut); err != nil || st.Size() == 0 {
+		t.Fatal("json artifact missing")
+	}
+}
+
+func TestRunReplayTrace(t *testing.T) {
+	cfg := bench.DefaultConfig()
+	cfg.Requests = 10
+	cfg.Models = []string{"mlp"}
+	tracePath := filepath.Join(t.TempDir(), "t.trace")
+	if err := os.WriteFile(tracePath, []byte("# t\n1,1\n2,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("replay", cfg, "", tracePath); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("e99", bench.DefaultConfig(), "", ""); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}

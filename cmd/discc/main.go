@@ -1,0 +1,142 @@
+// Command discc is the compiler driver: it builds a model from the zoo,
+// runs the optimization pipeline, and dumps the IR at each stage — the raw
+// graph, the optimized graph, the fusion plan, and the generated kernels
+// with their specialization variants.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"godisc/internal/codegen"
+	"godisc/internal/fusion"
+	"godisc/internal/graph"
+	"godisc/internal/models"
+	"godisc/internal/opt"
+)
+
+func main() {
+	var (
+		model    = flag.String("model", "bert", "model to compile (see -list)")
+		list     = flag.Bool("list", false, "list available models")
+		dump     = flag.String("dump", "all", "stage to dump: graph|opt|plan|kernels|all")
+		noStitch = flag.Bool("no-stitch", false, "disable kStitch fusion")
+		noFusion = flag.Bool("no-fusion", false, "disable all fusion")
+		out      = flag.String("o", "", "write the optimized graph in text form to this file")
+		in       = flag.String("in", "", "compile a serialized .disc graph instead of a zoo model")
+		src      = flag.Bool("src", false, "with -dump kernels: print each variant's kernel IR")
+		dot      = flag.String("dot", "", "write the optimized graph as Graphviz DOT to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, m := range models.Registry() {
+			fmt.Printf("%-9s %s\n", m.Name, m.Description)
+		}
+		return
+	}
+	if err := run(*model, *in, *out, *dot, *dump, *noStitch, *noFusion, *src); err != nil {
+		fmt.Fprintln(os.Stderr, "discc:", err)
+		os.Exit(1)
+	}
+}
+
+// indent prefixes every line of s.
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n")
+}
+
+func run(model, in, out, dot, dump string, noStitch, noFusion, src bool) error {
+	var g *graph.Graph
+	if in != "" {
+		src, err := os.ReadFile(in)
+		if err != nil {
+			return err
+		}
+		g, err = graph.ParseText(string(src))
+		if err != nil {
+			return err
+		}
+	} else {
+		m, err := models.ByName(model)
+		if err != nil {
+			return err
+		}
+		g = m.Build()
+	}
+	want := func(stage string) bool { return dump == stage || dump == "all" }
+
+	if want("graph") {
+		fmt.Printf("== raw graph (%d nodes) ==\n%s\n", len(g.Toposort()), g)
+	}
+	n, err := opt.Default().Run(g)
+	if err != nil {
+		return err
+	}
+	if want("opt") {
+		fmt.Printf("== optimized graph (%d rewrites, %d nodes) ==\n%s\n", n, len(g.Toposort()), g)
+	}
+	if out != "" {
+		if err := os.WriteFile(out, []byte(graph.WriteText(g)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote optimized graph to %s\n", out)
+	}
+
+	fcfg := fusion.DefaultConfig()
+	if noStitch {
+		fcfg.EnableStitch = false
+	}
+	if noFusion {
+		fcfg = fusion.Config{}
+	}
+	plan, err := fusion.NewPlanner(fcfg).Plan(g)
+	if err != nil {
+		return err
+	}
+	if dot != "" {
+		if err := os.WriteFile(dot, []byte(fusion.WriteDot(g, plan)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote DOT graph (fusion clusters) to %s\n", dot)
+	}
+	if want("plan") {
+		stats := plan.Stats()
+		fmt.Printf("== fusion plan (%d kernels, largest group %d ops) ==\n%s\n",
+			stats.Kernels, stats.LargestGroup, plan)
+	}
+	if want("kernels") {
+		fmt.Println("== generated kernels ==")
+		for _, grp := range plan.Groups {
+			switch grp.Kind {
+			case fusion.KLibrary:
+				fmt.Printf("group %d: library call (BLAS matmul)\n", grp.ID)
+				continue
+			}
+			k, err := codegen.Lower(g.Ctx, grp, codegen.DefaultOptions())
+			if err != nil {
+				return fmt.Errorf("lowering group %d: %w", grp.ID, err)
+			}
+			fmt.Printf("group %d (%s): kernel %s, %d ops, %d passes, %d scratch rows\n",
+				grp.ID, grp.Kind, k.Name, len(grp.Nodes), k.Passes, k.ScratchRows)
+			for _, v := range k.Variants {
+				guard := "always"
+				if v.Guard != nil {
+					guard = "guarded"
+				}
+				fmt.Printf("  variant %-10s (%s)  memEff=%.2f compEff=%.2f\n",
+					v.Name, guard, v.MemEfficiency, v.ComputeEfficiency)
+				if src {
+					fmt.Println(indent(v.Code.Source(), "    "))
+				}
+			}
+		}
+	}
+	return nil
+}

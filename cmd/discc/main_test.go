@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunAllStages(t *testing.T) {
+	// Serialize, reload, and dump every stage for a small model.
+	dir := t.TempDir()
+	out := filepath.Join(dir, "m.disc")
+	dot := filepath.Join(dir, "m.dot")
+	if err := run("mlp", "", out, dot, "all", false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{out, dot} {
+		if st, err := os.Stat(f); err != nil || st.Size() == 0 {
+			t.Fatalf("artifact %s missing", f)
+		}
+	}
+	// Reload the artifact and compile it with fusion variations.
+	if err := run("", out, "", "", "plan", true, false, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", out, "", "", "kernels", false, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownModel(t *testing.T) {
+	if err := run("nope", "", "", "", "plan", false, false, false); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}

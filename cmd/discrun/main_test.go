@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"godisc/internal/graph"
+	"godisc/internal/models"
+)
+
+func TestRunVerifiesModels(t *testing.T) {
+	for _, m := range []string{"mlp", "gpt2"} {
+		if err := run(m, "T4", 2, "4,9", true); err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	if err := run("nope", "A10", 2, "4", true); err == nil {
+		t.Fatal("unknown model must error")
+	}
+	if err := run("mlp", "H100", 2, "4", true); err == nil {
+		t.Fatal("unknown device must error")
+	}
+	if err := run("mlp", "A10", 2, "x", true); err == nil {
+		t.Fatal("bad seq list must error")
+	}
+}
+
+func TestRunArtifact(t *testing.T) {
+	// Serialize a zoo model and run it back through the artifact path.
+	dir := t.TempDir()
+	path := dir + "/m.disc"
+	m, err := models.ByName("dlrm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(graph.WriteText(m.Build())), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runArtifact(path, "", "A10"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runArtifact(path, "dZZZ=4", "A10"); err == nil {
+		t.Fatal("unknown binding must error")
+	}
+}

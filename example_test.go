@@ -1,0 +1,77 @@
+package godisc_test
+
+import (
+	"fmt"
+	"log"
+
+	"godisc"
+)
+
+// Example compiles a tiny model once and serves two different batch sizes
+// with the same executable.
+func Example() {
+	g := godisc.NewGraph("demo")
+	batch := g.Ctx.NewDim("B")
+	x := g.Parameter("x", godisc.F32, godisc.Shape{batch, g.Ctx.StaticDim(4)})
+	w := g.Constant(godisc.FromF32([]float32{
+		1, 0, 0, 0,
+		0, 1, 0, 0,
+		0, 0, 1, 0,
+		0, 0, 0, 1,
+	}, 4, 4))
+	g.SetOutputs(g.Relu(g.MatMul(x, w)))
+
+	eng, err := godisc.Compile(g, godisc.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, b := range []int{1, 3} {
+		in := godisc.FromF32(make([]float32, b*4), b, 4)
+		res, err := eng.Run([]*godisc.Tensor{in})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("batch %d -> %v\n", b, res.Outputs[0].Shape())
+	}
+	// Output:
+	// batch 1 -> [1 4]
+	// batch 3 -> [3 4]
+}
+
+// ExampleEngine_Signature shows the symbolic compilation-cache key: one
+// entry serves every concrete shape.
+func ExampleEngine_Signature() {
+	g := godisc.NewGraph("sig")
+	b := g.Ctx.NewDim("B")
+	s := g.Ctx.NewDim("S")
+	x := g.Parameter("x", godisc.F32, godisc.Shape{b, s, g.Ctx.StaticDim(64)})
+	g.SetOutputs(g.Softmax(x))
+	eng, err := godisc.Compile(g, godisc.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(eng.Signature())
+	// Output:
+	// [d0,d1,64]
+}
+
+// ExampleWriteGraph round-trips a graph through the text format.
+func ExampleWriteGraph() {
+	g := godisc.NewGraph("artifact")
+	b := g.Ctx.NewDim("B")
+	x := g.Parameter("x", godisc.F32, godisc.Shape{b})
+	g.SetOutputs(g.Relu(x))
+
+	src := godisc.WriteGraph(g)
+	back, err := godisc.ParseGraph(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := godisc.Evaluate(back, []*godisc.Tensor{godisc.FromF32([]float32{-1, 2}, 2)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out[0].F32())
+	// Output:
+	// [0 2]
+}

@@ -1,0 +1,69 @@
+// shape_analysis demonstrates the cross-level symbolic shape machinery:
+// how dimension symbols propagate through operators, what the shape
+// constraint context proves (equality, product equality from reshape,
+// divisibility, ranges), and how those facts decide fusion legality and
+// compile-time variant pruning.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"godisc"
+)
+
+func main() {
+	g := godisc.NewGraph("analysis")
+	ctx := g.Ctx
+
+	// Two dynamic dims with declared facts: S in [1, 512], H divisible by 4.
+	b := ctx.NewDim("B")
+	s := ctx.NewDim("S")
+	ctx.DeclareRange(s, 1, 512)
+	h := ctx.NewDim("H")
+	ctx.DeclareDivisible(h, 4)
+
+	x := g.Parameter("x", godisc.F32, godisc.Shape{b, s, h})
+	fmt.Printf("x            : %s\n", ctx.String(x.Shape))
+
+	// Elementwise ops reuse the same symbols — that is the propagation.
+	y := g.Exp(x)
+	fmt.Printf("exp(x)       : %s (same symbols: %v)\n",
+		ctx.String(y.Shape), ctx.ShapeEqual(x.Shape, y.Shape))
+
+	// Reshape records a product fact: [B,S,H] and [B*S,H] provably hold
+	// the same elements, so a fused loop may run straight through it.
+	m := g.MergeDims(y, 0, 2)
+	fmt.Printf("reshape      : %s (product-equal to x: %v)\n",
+		ctx.String(m.Shape), ctx.ProductEqual(m.Shape, x.Shape))
+
+	// Broadcasting a bias unifies nothing but is provably loop-compatible.
+	bias := g.Parameter("bias", godisc.F32, godisc.Shape{h})
+	z := g.Add(m, bias)
+	fmt.Printf("add bias     : %s\n", ctx.String(z.Shape))
+
+	// Declared facts visible to codegen:
+	lo, hi := ctx.Range(s)
+	fmt.Printf("\nfacts: S in [%d, %d]  (stitch budget provable: %v)\n", lo, hi, hi <= 4096)
+	fmt.Printf("       H divisible by %d (vectorized variant provable)\n", ctx.Divisor(h))
+
+	g.SetOutputs(g.Relu(z))
+	eng, err := godisc.Compile(g, godisc.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncompiled plan (%d kernels):\n%s", eng.Kernels(), eng.PlanSummary())
+	fmt.Printf("cache signature: %s\n", eng.Signature())
+
+	// One executable, many shapes — including shapes sharing B and S.
+	for _, shape := range [][]int{{2, 7, 8}, {1, 512, 64}} {
+		in := godisc.RandN(9, 1, shape...)
+		bv := godisc.RandN(10, 1, shape[2])
+		res, err := eng.Run([]*godisc.Tensor{in, bv})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("run %v -> %v in %d launch(es)\n",
+			shape, res.Outputs[0].Shape(), res.Profile.Launches)
+	}
+}

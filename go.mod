@@ -1,0 +1,3 @@
+module godisc
+
+go 1.22

@@ -1,0 +1,231 @@
+// Package godisc is a Go reproduction of BladeDISC (Zheng et al., SIGMOD
+// 2023): an end-to-end compiler for dynamic tensor shape machine learning
+// workloads. Models are built as graphs with *symbolic* shapes; Compile
+// lowers them once through the full pipeline — decomposition, algebraic
+// optimization, dynamic-shape fusion (kLoop/kInput/kStitch), and
+// compile-time + runtime combined code generation — and the resulting
+// Engine serves arbitrary concrete input shapes without recompilation,
+// executing real numerics over an analytic GPU device model.
+//
+// Quickstart:
+//
+//	g := godisc.NewGraph("mlp")
+//	batch := g.Ctx.NewDim("B")
+//	x := g.Parameter("x", godisc.F32, godisc.Shape{batch, g.Ctx.StaticDim(64)})
+//	w := g.Constant(weights)
+//	g.SetOutputs(g.Relu(g.MatMul(x, w)))
+//
+//	eng, err := godisc.Compile(g, godisc.Options{Device: godisc.A10()})
+//	res, err := eng.Run([]*godisc.Tensor{input}) // any batch size
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// paper-reproduction record.
+package godisc
+
+import (
+	"fmt"
+
+	"godisc/internal/baselines"
+	"godisc/internal/codegen"
+	"godisc/internal/device"
+	"godisc/internal/exec"
+	"godisc/internal/fusion"
+	"godisc/internal/graph"
+	"godisc/internal/models"
+	"godisc/internal/opt"
+	"godisc/internal/ral"
+	"godisc/internal/symshape"
+	"godisc/internal/tensor"
+)
+
+// Core type surface, aliased from the implementation packages so user code
+// needs only this package.
+type (
+	// Graph is a tensor computation with symbolic shapes; build it with
+	// the methods on Graph (Parameter, MatMul, Softmax, ...).
+	Graph = graph.Graph
+	// Node is one operation in a Graph.
+	Node = graph.Node
+	// Tensor is a dense host tensor used for inputs and outputs.
+	Tensor = tensor.Tensor
+	// Shape is a list of symbolic dimensions.
+	Shape = symshape.Shape
+	// DimID identifies a symbolic dimension within a graph's context.
+	DimID = symshape.DimID
+	// ShapeContext owns dimension symbols and shape facts.
+	ShapeContext = symshape.Context
+	// Device is an analytic GPU model.
+	Device = device.Model
+	// Profile is the simulated execution profile of a run.
+	Profile = ral.Profiler
+	// Result bundles outputs and the profile of one Engine.Run.
+	Result = exec.Result
+	// Model is a ready-made benchmark workload (see Models).
+	Model = models.Model
+	// Strategy is an execution strategy (BladeDISC or a baseline).
+	Strategy = baselines.Strategy
+	// DType is a tensor element type.
+	DType = tensor.DType
+)
+
+// Element types.
+const (
+	F32  = tensor.F32
+	I32  = tensor.I32
+	Bool = tensor.Bool
+)
+
+// NewGraph returns an empty graph with a fresh shape context.
+func NewGraph(name string) *Graph { return graph.New(name) }
+
+// A10 returns the NVIDIA A10 device model.
+func A10() *Device { return device.A10() }
+
+// T4 returns the NVIDIA T4 device model.
+func T4() *Device { return device.T4() }
+
+// Models returns the built-in benchmark model zoo.
+func Models() []*Model { return models.Registry() }
+
+// ModelByName looks a benchmark model up by name.
+func ModelByName(name string) (*Model, error) { return models.ByName(name) }
+
+// NewBaselineSuite builds BladeDISC plus the seven baseline strategies of
+// the paper over the given model builder.
+func NewBaselineSuite(build func() *Graph, dev *Device) (map[string]Strategy, error) {
+	return baselines.NewSuite(build, dev)
+}
+
+// Options configures Compile.
+type Options struct {
+	// Device selects the GPU model (default A10).
+	Device *Device
+	// DisableStitch turns off kStitch fusion (ablation).
+	DisableStitch bool
+	// DisableHorizontal turns off horizontal fusion of independent
+	// same-domain kernels (ablation).
+	DisableHorizontal bool
+	// DisableFusion turns off all fusion (one kernel per op).
+	DisableFusion bool
+	// DisableSpecialization turns off multi-variant codegen (vectorized /
+	// row-schedule / speculative kernel variants).
+	DisableSpecialization bool
+	// Verbose receives one line per optimization pass when non-nil.
+	Verbose func(format string, args ...any)
+}
+
+// Engine is a compiled, shape-generic executable: one compilation serves
+// every concrete input shape consistent with the graph's symbolic shapes.
+type Engine struct {
+	exe  *exec.Executable
+	plan *fusion.Plan
+}
+
+// Compile runs the full BladeDISC pipeline on g: composite-op
+// decomposition and graph optimization, dynamic-shape fusion planning, and
+// shape-generic code generation with specialization variants. The graph is
+// mutated (optimized) in place and owned by the engine afterwards.
+func Compile(g *Graph, o Options) (*Engine, error) {
+	dev := o.Device
+	if dev == nil {
+		dev = device.A10()
+	}
+	pipeline := opt.Default()
+	pipeline.Trace = o.Verbose
+	if _, err := pipeline.Run(g); err != nil {
+		return nil, fmt.Errorf("godisc: optimizing: %w", err)
+	}
+	fcfg := fusion.DefaultConfig()
+	if o.DisableStitch {
+		fcfg.EnableStitch = false
+	}
+	if o.DisableHorizontal {
+		fcfg.EnableHorizontal = false
+	}
+	if o.DisableFusion {
+		fcfg = fusion.Config{}
+	}
+	plan, err := fusion.NewPlanner(fcfg).Plan(g)
+	if err != nil {
+		return nil, fmt.Errorf("godisc: fusion planning: %w", err)
+	}
+	eo := exec.DefaultOptions()
+	if o.DisableSpecialization {
+		eo.Codegen = codegen.Options{}
+	}
+	exe, err := exec.Compile(g, plan, dev, eo)
+	if err != nil {
+		return nil, fmt.Errorf("godisc: code generation: %w", err)
+	}
+	return &Engine{exe: exe, plan: plan}, nil
+}
+
+// Run executes the engine on concrete inputs. Input dtypes must match the
+// graph parameters; concrete shapes may be anything consistent with the
+// symbolic parameter shapes (same symbols must bind the same value).
+func (e *Engine) Run(inputs []*Tensor) (*Result, error) {
+	return e.exe.Run(inputs)
+}
+
+// Simulate charges the cost model for a run at the given concrete input
+// shapes without executing kernels.
+func (e *Engine) Simulate(shapes [][]int) (*Profile, error) {
+	return e.exe.Simulate(shapes)
+}
+
+// Kernels returns the number of kernels (fusion groups) in the compiled
+// plan.
+func (e *Engine) Kernels() int { return len(e.plan.Groups) }
+
+// PlanSummary renders the fusion plan for inspection.
+func (e *Engine) PlanSummary() string { return e.plan.String() }
+
+// Signature returns the symbolic compilation-cache signature of the
+// engine's parameter shapes — the key under which one compilation serves
+// all concrete shapes.
+func (e *Engine) Signature() string {
+	g := e.exe.Graph
+	shapes := make([]Shape, len(g.Params))
+	for i, p := range g.Params {
+		shapes[i] = p.Shape
+	}
+	return g.Ctx.Signature(shapes)
+}
+
+// Evaluate interprets a graph with the reference semantics (no compilation,
+// no device model) — the ground truth compiled engines are tested against.
+func Evaluate(g *Graph, inputs []*Tensor) ([]*Tensor, error) {
+	return graph.Evaluate(g, inputs)
+}
+
+// WriteGraph serializes a graph (dimension declarations, nodes, constant
+// payloads) in the textual interchange format.
+func WriteGraph(g *Graph) string { return graph.WriteText(g) }
+
+// ParseGraph reconstructs a graph from the WriteGraph format. The result
+// is verified before being returned.
+func ParseGraph(src string) (*Graph, error) { return graph.ParseText(src) }
+
+// Tensor constructors, re-exported for convenience.
+
+// NewTensor allocates a zero tensor.
+func NewTensor(dt DType, shape ...int) *Tensor { return tensor.New(dt, shape...) }
+
+// FromF32 wraps float32 data into a tensor.
+func FromF32(data []float32, shape ...int) *Tensor { return tensor.FromF32(data, shape...) }
+
+// FromI32 wraps int32 data into a tensor.
+func FromI32(data []int32, shape ...int) *Tensor { return tensor.FromI32(data, shape...) }
+
+// Scalar returns a rank-0 f32 tensor.
+func Scalar(v float32) *Tensor { return tensor.Scalar(v) }
+
+// RandN returns a tensor of scaled normal values from a deterministic
+// generator.
+func RandN(seed uint64, scale float32, shape ...int) *Tensor {
+	return tensor.RandN(tensor.NewRNG(seed), scale, shape...)
+}
+
+// AllClose reports whether two tensors agree within tolerances, returning a
+// descriptive error on mismatch.
+func AllClose(a, b *Tensor, rtol, atol float64) error { return tensor.AllClose(a, b, rtol, atol) }

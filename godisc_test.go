@@ -1,0 +1,174 @@
+package godisc
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildPublicMLP builds a small model purely through the public API.
+func buildPublicMLP() *Graph {
+	g := NewGraph("mlp")
+	b := g.Ctx.NewDim("B")
+	x := g.Parameter("x", F32, Shape{b, g.Ctx.StaticDim(8)})
+	w := g.Constant(RandN(1, 0.3, 8, 4))
+	bias := g.Constant(RandN(2, 0.3, 4))
+	g.SetOutputs(g.Relu(g.Add(g.MatMul(x, w), bias)))
+	return g
+}
+
+func TestPublicCompileAndRun(t *testing.T) {
+	eng, err := Compile(buildPublicMLP(), Options{Device: A10()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := buildPublicMLP()
+	for _, batch := range []int{1, 7, 32} {
+		in := RandN(uint64(batch), 1, batch, 8)
+		res, err := eng.Run([]*Tensor{in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Evaluate(ref, []*Tensor{in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := AllClose(res.Outputs[0], want[0], 1e-5, 1e-6); err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if res.Profile.Launches == 0 {
+			t.Fatal("no launches recorded")
+		}
+	}
+}
+
+func TestPublicOptionsAblation(t *testing.T) {
+	full, err := Compile(buildPublicMLP(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unfused, err := Compile(buildPublicMLP(), Options{DisableFusion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Kernels() >= unfused.Kernels() {
+		t.Fatalf("fusion must reduce kernels: %d vs %d", full.Kernels(), unfused.Kernels())
+	}
+}
+
+func TestPublicSignatureAndSummary(t *testing.T) {
+	eng, err := Compile(buildPublicMLP(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig := eng.Signature(); sig != "[d0,8]" {
+		t.Fatalf("signature %q", sig)
+	}
+	if !strings.Contains(eng.PlanSummary(), "group") {
+		t.Fatal("plan summary empty")
+	}
+}
+
+func TestPublicSimulate(t *testing.T) {
+	eng, err := Compile(buildPublicMLP(), Options{Device: T4()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := eng.Simulate([][]int{{128, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SimulatedNs <= 0 {
+		t.Fatal("no simulated time")
+	}
+}
+
+func TestPublicModelZoo(t *testing.T) {
+	if len(Models()) != 7 {
+		t.Fatalf("zoo size %d", len(Models()))
+	}
+	m, err := ModelByName("bert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := Compile(m.Build(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Kernels() == 0 {
+		t.Fatal("empty plan")
+	}
+}
+
+func TestPublicBaselineSuite(t *testing.T) {
+	suite, err := NewBaselineSuite(buildPublicMLP, A10())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 8 {
+		t.Fatalf("suite size %d", len(suite))
+	}
+	in := RandN(3, 1, 4, 8)
+	for name, s := range suite {
+		if _, prof, err := s.Invoke([]*Tensor{in}); err != nil || prof.SimulatedNs <= 0 {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestPublicVerboseTrace(t *testing.T) {
+	g := NewGraph("t")
+	b := g.Ctx.NewDim("B")
+	x := g.Parameter("x", F32, Shape{b})
+	g.SetOutputs(g.Softmax(g.Add(x, Scalar0(g))))
+	var lines []string
+	_, err := Compile(g, Options{Verbose: func(f string, a ...any) {
+		lines = append(lines, f)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("verbose trace empty")
+	}
+}
+
+// Scalar0 adds a zero constant through the graph (exercises simplify).
+func Scalar0(g *Graph) *Node { return g.ConstScalar(0) }
+
+func TestCompileRejectsInvalidGraphs(t *testing.T) {
+	// No outputs.
+	g := NewGraph("empty")
+	b := g.Ctx.NewDim("B")
+	g.Parameter("x", F32, Shape{b})
+	if _, err := Compile(g, Options{}); err == nil {
+		t.Fatal("graph without outputs must fail to compile")
+	}
+}
+
+func TestCompileAllAblationKnobs(t *testing.T) {
+	opts := []Options{
+		{DisableStitch: true},
+		{DisableHorizontal: true},
+		{DisableFusion: true},
+		{DisableSpecialization: true},
+		{DisableStitch: true, DisableSpecialization: true},
+	}
+	in := RandN(1, 0.5, 3, 8)
+	ref, err := Evaluate(buildPublicMLP(), []*Tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range opts {
+		eng, err := Compile(buildPublicMLP(), o)
+		if err != nil {
+			t.Fatalf("opts %d: %v", i, err)
+		}
+		res, err := eng.Run([]*Tensor{in})
+		if err != nil {
+			t.Fatalf("opts %d: %v", i, err)
+		}
+		if err := AllClose(res.Outputs[0], ref[0], 1e-5, 1e-6); err != nil {
+			t.Fatalf("opts %d: %v", i, err)
+		}
+	}
+}

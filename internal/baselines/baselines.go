@@ -1,0 +1,57 @@
+// Package baselines implements the seven comparator execution strategies
+// of the paper's evaluation — PyTorch, TorchScript, ONNX Runtime, XLA, TVM,
+// Torch Inductor (dynamic) and TensorRT — plus BladeDISC itself, all over
+// the same graph IR and the same analytic device model. Each strategy
+// reproduces the published *mechanism* that governs its behaviour under
+// shape dynamism:
+//
+//   - PyTorch: op-by-op dispatch, one kernel per op, large host overhead.
+//   - TorchScript: the same kernel library with script-mode dispatch and
+//     elementwise chain fusion.
+//   - ONNX Runtime: pattern-fused kernel library (composite softmax /
+//     layernorm kernels), low dispatch overhead, dynamic shapes natively.
+//   - XLA: whole-graph static compilation — good fused kernels, but the
+//     compilation cache is keyed by concrete shapes, so every new shape
+//     recompiles.
+//   - TVM: per-shape tuned kernels — fastest steady state on a seen shape,
+//     most expensive per new shape (tuning).
+//   - Torch Inductor (dynamic shape mode): symbolic compilation with guard
+//     checks per call, weaker fusion, recompiles when a guard class flips.
+//   - TensorRT: bucketed engines with padding — inputs round up to the
+//     bucket's shape and the padded work is paid for.
+//
+// Absolute constants are stated in each strategy's Params and can be swept;
+// all end-to-end claims in EXPERIMENTS.md are about relative shape, which
+// these mechanisms determine.
+package baselines
+
+import (
+	"godisc/internal/ral"
+	"godisc/internal/tensor"
+)
+
+// Strategy processes inference requests and reports the simulated cost of
+// each.
+type Strategy interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Invoke runs one request. Outputs carry real numerics for strategies
+	// that execute (all of them do here); Profile carries the simulated
+	// cost of this invocation, including any compile stall it triggered.
+	Invoke(inputs []*tensor.Tensor) ([]*tensor.Tensor, *ral.Profiler, error)
+	// Simulate charges the cost of one request given only its input
+	// shapes, without computing values. Cache/compile behaviour is
+	// identical to Invoke. Trace replays use this path.
+	Simulate(shapes [][]int) (*ral.Profiler, error)
+}
+
+// scaleDeviceTime multiplies the device portion (kernel/library time) of a
+// profile by f, leaving host and compile charges untouched. Used to model
+// baseline kernel-quality differences relative to the shared lowering.
+func scaleDeviceTime(p *ral.Profiler, f float64) {
+	dev := p.SimulatedNs - p.HostNs - p.CompileNs
+	p.SimulatedNs = dev*f + p.HostNs + p.CompileNs
+	for k := range p.PerKernel {
+		p.PerKernel[k] *= f
+	}
+}

@@ -1,0 +1,247 @@
+package baselines
+
+import (
+	"testing"
+
+	"godisc/internal/device"
+	"godisc/internal/graph"
+	"godisc/internal/ral"
+	"godisc/internal/symshape"
+	"godisc/internal/tensor"
+)
+
+// buildToy returns a fresh small transformer-flavoured graph: matmul +
+// bias + gelu + softmax over a dynamic [B, S] input.
+func buildToy() *graph.Graph {
+	g := graph.New("toy")
+	b := g.Ctx.NewDim("B")
+	s := g.Ctx.NewDim("S")
+	g.Ctx.DeclareRange(s, 1, 512)
+	h := g.Ctx.StaticDim(16)
+	x := g.Parameter("x", tensor.F32, symshape.Shape{b, s, h})
+	r := tensor.NewRNG(21)
+	w := g.Constant(tensor.RandN(r, 0.2, 16, 16))
+	bias := g.Constant(tensor.RandN(r, 0.2, 16))
+	y := g.Gelu(g.Add(g.MatMul(x, w), bias))
+	g.SetOutputs(g.Softmax(y))
+	return g
+}
+
+func toyInput(r *tensor.RNG, b, s int) *tensor.Tensor {
+	return tensor.RandN(r, 1, b, s, 16)
+}
+
+func TestSuiteAllStrategiesAgreeNumerically(t *testing.T) {
+	dev := device.A10()
+	suite, err := NewSuite(buildToy, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 8 {
+		t.Fatalf("suite has %d strategies, want 8", len(suite))
+	}
+	r := tensor.NewRNG(22)
+	in := toyInput(r, 2, 7)
+	ref, err := graph.Evaluate(buildToy(), []*tensor.Tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range suite {
+		outs, prof, err := s.Invoke([]*tensor.Tensor{in})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if prof.SimulatedNs <= 0 {
+			t.Fatalf("%s: non-positive simulated time", name)
+		}
+		for i := range ref {
+			if err := tensor.AllClose(outs[i], ref[i], 1e-4, 1e-5); err != nil {
+				t.Fatalf("%s output %d: %v", name, i, err)
+			}
+		}
+	}
+}
+
+// steadyState runs the strategy once to warm the cache, then invokes again
+// and returns the second profile.
+func steadyState(t *testing.T, s Strategy, in *tensor.Tensor) *ral.Profiler {
+	t.Helper()
+	if _, _, err := s.Invoke([]*tensor.Tensor{in}); err != nil {
+		t.Fatal(err)
+	}
+	_, prof, err := s.Invoke([]*tensor.Tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof
+}
+
+func TestBladeDISCBeatsEagerSteadyState(t *testing.T) {
+	dev := device.A10()
+	r := tensor.NewRNG(23)
+	in := toyInput(r, 4, 33)
+	disc, err := NewCompiled(buildToy(), dev, BladeDISCParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager, err := NewInterpreter(buildToy(), dev, PyTorchParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := steadyState(t, disc, in)
+	ep := steadyState(t, eager, in)
+	if dp.SimulatedNs >= ep.SimulatedNs {
+		t.Fatalf("BladeDISC (%.0fns) must beat eager (%.0fns) at steady state",
+			dp.SimulatedNs, ep.SimulatedNs)
+	}
+	if dp.Launches >= ep.Launches {
+		t.Fatalf("BladeDISC launches %d must be below eager %d", dp.Launches, ep.Launches)
+	}
+}
+
+func TestSymbolicCacheNeverRecompiles(t *testing.T) {
+	disc, err := NewCompiled(buildToy(), device.A10(), BladeDISCParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tensor.NewRNG(24)
+	for _, shape := range [][2]int{{1, 5}, {2, 100}, {3, 7}, {8, 256}} {
+		if _, _, err := disc.Invoke([]*tensor.Tensor{toyInput(r, shape[0], shape[1])}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, misses, entries := disc.CacheStats()
+	if misses != 1 || entries != 1 {
+		t.Fatalf("symbolic cache: misses=%d entries=%d, want 1/1", misses, entries)
+	}
+}
+
+func TestConcreteCacheRecompilesPerShape(t *testing.T) {
+	xla, err := NewCompiled(buildToy(), device.A10(), XLAParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tensor.NewRNG(25)
+	shapes := [][2]int{{1, 5}, {2, 100}, {3, 7}, {1, 5}} // one repeat
+	for _, shape := range shapes {
+		if _, _, err := xla.Invoke([]*tensor.Tensor{toyInput(r, shape[0], shape[1])}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses, entries := xla.CacheStats()
+	if misses != 3 || entries != 3 || hits != 1 {
+		t.Fatalf("concrete cache: hits=%d misses=%d entries=%d, want 1/3/3", hits, misses, entries)
+	}
+}
+
+func TestClassCacheRecompilesPerClass(t *testing.T) {
+	ind, err := NewCompiled(buildToy(), device.A10(), InductorParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tensor.NewRNG(26)
+	// 5 and 7 share the power-of-two class 8; 100 is class 128.
+	for _, shape := range [][2]int{{1, 5}, {1, 7}, {1, 100}} {
+		if _, _, err := ind.Invoke([]*tensor.Tensor{toyInput(r, shape[0], shape[1])}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, misses, _ := ind.CacheStats()
+	if misses != 2 {
+		t.Fatalf("class cache misses=%d, want 2", misses)
+	}
+}
+
+func TestBucketPaddingCost(t *testing.T) {
+	trt, err := NewCompiled(buildToy(), device.A10(), TensorRTParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tensor.NewRNG(27)
+	// Sequence 65 pads to 128: nearly half the padded work is waste. The
+	// profile must charge the padded bytes, i.e. more than a same-shape
+	// BladeDISC run.
+	in := toyInput(r, 2, 65)
+	disc, err := NewCompiled(buildToy(), device.A10(), BladeDISCParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := steadyState(t, trt, in)
+	dp := steadyState(t, disc, in)
+	if tp.BytesMoved <= dp.BytesMoved {
+		t.Fatalf("padded bytes %.0f must exceed exact bytes %.0f", tp.BytesMoved, dp.BytesMoved)
+	}
+	// Same bucket -> no new engine build.
+	if _, _, err := trt.Invoke([]*tensor.Tensor{toyInput(r, 2, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	_, misses, _ := trt.CacheStats()
+	if misses != 1 {
+		t.Fatalf("bucket cache misses=%d, want 1 (65 and 100 share bucket 128)", misses)
+	}
+}
+
+func TestInductorGuardOverheadPerCall(t *testing.T) {
+	ind, err := NewCompiled(buildToy(), device.A10(), InductorParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tensor.NewRNG(28)
+	in := toyInput(r, 1, 8)
+	prof := steadyState(t, ind, in)
+	if prof.HostNs < InductorParams().GuardNsPerCall {
+		t.Fatalf("guard overhead missing: host=%.0f", prof.HostNs)
+	}
+}
+
+func TestSizeClassAndBucket(t *testing.T) {
+	cases := []struct{ in, class, bucket int }{
+		{1, 1, 32}, {5, 8, 32}, {16, 16, 32}, {17, 32, 32}, {100, 128, 128},
+	}
+	for _, c := range cases {
+		if got := sizeClass(c.in); got != c.class {
+			t.Errorf("sizeClass(%d) = %d, want %d", c.in, got, c.class)
+		}
+		if got := bucketShape([]int{c.in}, []bool{true})[0]; got != c.bucket {
+			t.Errorf("bucket(%d) = %d, want %d", c.in, got, c.bucket)
+		}
+	}
+	// Static dims never pad.
+	if got := bucketShape([]int{33}, []bool{false})[0]; got != 33 {
+		t.Errorf("static dim padded to %d", got)
+	}
+}
+
+func TestShapeDiversityHurtsStaticNotDynamic(t *testing.T) {
+	// The paper's central end-to-end effect: on a shape-diverse trace, the
+	// concrete-keyed compiler pays a compile stall per new shape while the
+	// symbolic-keyed compiler pays one total.
+	dev := device.A10()
+	disc, err := NewCompiled(buildToy(), dev, BladeDISCParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xla, err := NewCompiled(buildToy(), dev, XLAParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tensor.NewRNG(29)
+	var discTotal, xlaTotal float64
+	for s := 4; s < 40; s += 3 { // 12 distinct sequence lengths
+		in := toyInput(r, 2, s)
+		_, dp, err := disc.Invoke([]*tensor.Tensor{in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, xp, err := xla.Invoke([]*tensor.Tensor{in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		discTotal += dp.SimulatedNs
+		xlaTotal += xp.SimulatedNs
+	}
+	if discTotal >= xlaTotal {
+		t.Fatalf("on a diverse trace BladeDISC (%.3gms) must beat XLA (%.3gms)",
+			discTotal/1e6, xlaTotal/1e6)
+	}
+}

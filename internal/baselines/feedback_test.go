@@ -1,0 +1,111 @@
+package baselines
+
+import (
+	"strings"
+	"testing"
+
+	"godisc/internal/device"
+	"godisc/internal/graph"
+	"godisc/internal/tensor"
+)
+
+func TestAdaptiveSpeculationRespecializes(t *testing.T) {
+	disc, err := NewCompiled(buildToy(), device.A10(), BladeDISCParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serve a workload dominated by seq=96 with occasional outliers.
+	shapes := func(s int) [][]int { return [][]int{{4, s, 16}} }
+	for i := 0; i < SpeculationWarmup+1; i++ {
+		s := 96
+		if i%5 == 4 {
+			s = 33
+		}
+		if _, err := disc.Simulate(shapes(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After warmup the hot shape must dispatch to a speculative variant
+	// mentioning the dominant sequence length.
+	prof, err := disc.Simulate(shapes(96))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := false
+	for name := range prof.VariantHits {
+		if strings.HasPrefix(name, "spec") && strings.Contains(name, "96") {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatalf("hot shape did not take a speculative variant: %v", prof.VariantHits)
+	}
+	// Outlier shapes still run correctly (fallback variants) with real
+	// numerics.
+	r := tensor.NewRNG(51)
+	in := tensor.RandN(r, 1, 2, 33, 16)
+	outs, _, err := disc.Invoke([]*tensor.Tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := graph.Evaluate(buildToy(), []*tensor.Tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tensor.AllClose(outs[0], want[0], 1e-4, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveSpeculationSkipsDiverseTraffic(t *testing.T) {
+	disc, err := NewCompiled(buildToy(), device.A10(), BladeDISCParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No dominant value on any axis: batch and length both churn.
+	for i := 0; i < SpeculationWarmup+4; i++ {
+		if _, err := disc.Simulate([][]int{{1 + i%7, 5 + i, 16}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prof, err := disc.Simulate([][]int{{2, 7, 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range prof.VariantHits {
+		if len(name) > 4 && name[:4] == "spec" {
+			t.Fatalf("diverse traffic must not speculate: %v", prof.VariantHits)
+		}
+	}
+}
+
+func TestFeedbackDominance(t *testing.T) {
+	f := newFeedback()
+	g := buildToy()
+	// 3 observations of 64, 1 of 32 on the seq dim.
+	for _, s := range []int{64, 64, 32, 64} {
+		f.observe(g, [][]int{{2, s, 16}})
+	}
+	dom := f.dominantValues()
+	found := false
+	for _, v := range dom {
+		if v == 64 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("64 must dominate: %v", dom)
+	}
+	// 2-2 split on the sequence dim (batch varied too): neither value
+	// may dominate.
+	f2 := newFeedback()
+	batches := []int{1, 2, 3, 4}
+	for i, s := range []int{64, 32, 64, 32} {
+		f2.observe(g, [][]int{{batches[i], s, 16}})
+	}
+	for _, v := range f2.dominantValues() {
+		if v == 64 || v == 32 {
+			t.Fatalf("tied seq values must not dominate: %v", f2.dominantValues())
+		}
+	}
+}

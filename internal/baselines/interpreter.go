@@ -1,0 +1,226 @@
+package baselines
+
+import (
+	"fmt"
+
+	"godisc/internal/device"
+	"godisc/internal/fusion"
+	"godisc/internal/graph"
+	"godisc/internal/ral"
+	"godisc/internal/symshape"
+	"godisc/internal/tensor"
+)
+
+// InterpParams configures an interpreter-family strategy (the eager
+// frameworks: PyTorch, TorchScript, ONNX Runtime).
+type InterpParams struct {
+	Name string
+	// HostNsPerOp is dispatcher overhead charged per graph op (the Python
+	// / framework dispatch path).
+	HostNsPerOp float64
+	// HostNsPerLaunch is charged per kernel launch on top of the device's
+	// launch overhead.
+	HostNsPerLaunch float64
+	// FuseElementwise enables elementwise chain fusion (TorchScript NNC,
+	// ORT's fused elementwise ops).
+	FuseElementwise bool
+	// KernelTimeScale scales device time to model kernel library quality
+	// (1.0 = the shared lowering's quality).
+	KernelTimeScale float64
+}
+
+// PyTorchParams models eager PyTorch.
+func PyTorchParams() InterpParams {
+	return InterpParams{Name: "PyTorch", HostNsPerOp: 10100, HostNsPerLaunch: 0,
+		FuseElementwise: false, KernelTimeScale: 1.0}
+}
+
+// TorchScriptParams models TorchScript with the NNC fuser.
+func TorchScriptParams() InterpParams {
+	return InterpParams{Name: "TorchScript", HostNsPerOp: 8200, HostNsPerLaunch: 800,
+		FuseElementwise: true, KernelTimeScale: 1.0}
+}
+
+// ONNXRuntimeParams models ONNX Runtime with its fused kernel library.
+func ONNXRuntimeParams() InterpParams {
+	return InterpParams{Name: "ONNXRuntime", HostNsPerOp: 1100, HostNsPerLaunch: 1600,
+		FuseElementwise: true, KernelTimeScale: 1.01}
+}
+
+// Interpreter executes the *undecomposed* graph op by op with a kernel
+// library: composite ops (softmax, layernorm) are single library kernels,
+// and optionally single-use elementwise chains fuse. Numerics come from the
+// reference evaluator; costs from the device model.
+type Interpreter struct {
+	params InterpParams
+	g      *graph.Graph
+	dev    *device.Model
+	plan   *fusion.Plan
+	nOps   int
+}
+
+// NewInterpreter plans the launch structure once (it is shape independent).
+// The graph must be the raw, undecomposed model graph.
+func NewInterpreter(g *graph.Graph, dev *device.Model, p InterpParams) (*Interpreter, error) {
+	cfg := fusion.Config{}
+	if p.FuseElementwise {
+		cfg.EnableLoop = true
+	}
+	plan, err := fusion.NewPlanner(cfg).Plan(g)
+	if err != nil {
+		return nil, err
+	}
+	nOps := 0
+	for _, n := range g.Toposort() {
+		if !n.IsLeaf() {
+			nOps++
+		}
+	}
+	return &Interpreter{params: p, g: g, dev: dev, plan: plan, nOps: nOps}, nil
+}
+
+// Name implements Strategy.
+func (it *Interpreter) Name() string { return it.params.Name }
+
+// Invoke implements Strategy.
+func (it *Interpreter) Invoke(inputs []*tensor.Tensor) ([]*tensor.Tensor, *ral.Profiler, error) {
+	outs, err := graph.Evaluate(it.g, inputs)
+	if err != nil {
+		return nil, nil, err
+	}
+	prof, err := it.cost(inputs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return outs, prof, nil
+}
+
+// cost charges the launch structure for the given concrete input shapes.
+func (it *Interpreter) cost(inputs []*tensor.Tensor) (*ral.Profiler, error) {
+	shapes := make([][]int, len(inputs))
+	for i, in := range inputs {
+		shapes[i] = in.Shape()
+	}
+	return it.Simulate(shapes)
+}
+
+// Simulate implements Strategy.
+func (it *Interpreter) Simulate(shapes [][]int) (*ral.Profiler, error) {
+	bind := symshape.NewBinding(it.g.Ctx)
+	for i, p := range it.g.Params {
+		if err := bind.Bind(p.Shape, shapes[i]); err != nil {
+			return nil, fmt.Errorf("baselines: parameter %d: %w", i, err)
+		}
+	}
+	prof := ral.NewProfiler()
+	prof.Host(it.params.HostNsPerOp * float64(it.nOps))
+	dims := func(n *graph.Node) ([]int, error) {
+		return bind.Eval(n.Shape)
+	}
+	for _, grp := range it.plan.Groups {
+		if err := it.chargeGroup(grp, dims, prof); err != nil {
+			return nil, err
+		}
+	}
+	scaleDeviceTime(prof, it.params.KernelTimeScale)
+	return prof, nil
+}
+
+// chargeGroup charges one kernel launch for a plan group.
+func (it *Interpreter) chargeGroup(grp *fusion.Group, dims func(*graph.Node) ([]int, error), prof *ral.Profiler) error {
+	numel := func(n *graph.Node) (int, error) {
+		s, err := dims(n)
+		if err != nil {
+			return 0, err
+		}
+		return tensor.Numel(s), nil
+	}
+	// Reshape-only groups are views: free.
+	if len(grp.Nodes) == 1 && grp.Nodes[0].Kind == graph.OpReshape {
+		return nil
+	}
+	var bytes, flops float64
+	for _, in := range grp.Inputs {
+		n, err := numel(in)
+		if err != nil {
+			return err
+		}
+		bytes += float64(4 * n)
+	}
+	for _, out := range grp.Outputs {
+		n, err := numel(out)
+		if err != nil {
+			return err
+		}
+		bytes += float64(4 * n)
+	}
+	memEff, cmpEff := 0.8, 0.5
+	name := "elementwise"
+	head := grp.Nodes[len(grp.Nodes)-1]
+	switch head.Kind {
+	case graph.OpMatMul:
+		oN, err := numel(head)
+		if err != nil {
+			return err
+		}
+		aShape, err := dims(head.Inputs[0])
+		if err != nil {
+			return err
+		}
+		// flops = 2*M*N*K*batch = 2 * out elements * K.
+		f := 2 * float64(oN) * float64(aShape[len(aShape)-1])
+		prof.Host(it.params.HostNsPerLaunch)
+		prof.Library("matmul", bytes, f, it.dev.MatmulTimeNs(bytes, f))
+		return nil
+	case graph.OpConv1D:
+		oN, err := numel(head)
+		if err != nil {
+			return err
+		}
+		wShape, err := dims(head.Inputs[1])
+		if err != nil {
+			return err
+		}
+		f := 2 * float64(oN) * float64(wShape[0]) * float64(wShape[1])
+		prof.Host(it.params.HostNsPerLaunch)
+		prof.Library("conv1d", bytes, f, it.dev.MatmulTimeNs(bytes, f))
+		return nil
+	case graph.OpSoftmax:
+		name = "softmax"
+		memEff, cmpEff = 0.85, 0.5
+		oN, _ := numel(head)
+		bytes *= 1.25 // internal two-pass traffic of the library kernel
+		flops = 12 * float64(oN)
+	case graph.OpLayerNorm:
+		name = "layernorm"
+		memEff, cmpEff = 0.85, 0.5
+		oN, _ := numel(head)
+		bytes *= 1.25
+		flops = 10 * float64(oN)
+	case graph.OpReduce:
+		name = "reduce"
+		memEff = 0.7
+		iN, _ := numel(head.Inputs[0])
+		flops = float64(iN)
+	case graph.OpTranspose:
+		name = "transpose"
+		memEff = 0.55
+	case graph.OpConcat, graph.OpSlice, graph.OpGather, graph.OpPad:
+		name = "data"
+		memEff = 0.7
+	default:
+		// Elementwise (possibly fused chain): flops over the domain.
+		for _, n := range grp.Nodes {
+			oN, err := numel(n)
+			if err != nil {
+				return err
+			}
+			flops += float64(n.Kind.FlopsPerElement()) * float64(oN)
+		}
+	}
+	prof.Host(it.params.HostNsPerLaunch)
+	prof.Launch(name, "", bytes, flops, it.dev.KernelTimeNs(device.KernelCost{
+		Bytes: bytes, Flops: flops, MemEfficiency: memEff, ComputeEfficiency: cmpEff,
+	}))
+	return nil
+}

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"godisc/internal/exec"
+	"godisc/internal/fusion"
+	"godisc/internal/opt"
+	"godisc/internal/tensor"
+	"godisc/internal/workload"
+)
+
+// MemoryRow reports the device-memory behaviour of one model (experiment
+// E10): peak pooled bytes with and without compile-time buffer liveness
+// planning, and allocator behaviour across a trace.
+type MemoryRow struct {
+	Model string
+	// PeakPlannedBytes / PeakUnplannedBytes: peak pool residency over the
+	// trace, with buffers freed at last use vs at run end.
+	PeakPlannedBytes, PeakUnplannedBytes int64
+	// Allocs and Reuses: pool behaviour on the planned run (steady-state
+	// inference should reuse, not allocate).
+	Allocs, Reuses int
+}
+
+// MemoryFootprint measures peak device-memory residency per model
+// (experiment E10): the RAL's size-class pool plus compile-time liveness
+// planning keep intermediates shared, which is what lets dynamic-shape
+// serving run without allocator thrash.
+func MemoryFootprint(cfg Config) ([]MemoryRow, error) {
+	dev, err := cfg.device()
+	if err != nil {
+		return nil, err
+	}
+	suite, err := cfg.modelSet()
+	if err != nil {
+		return nil, err
+	}
+	var rows []MemoryRow
+	for _, m := range suite {
+		row := MemoryRow{Model: m.Name}
+		for _, planned := range []bool{true, false} {
+			g := m.Build()
+			if _, err := opt.Default().Run(g); err != nil {
+				return nil, err
+			}
+			plan, err := fusion.NewPlanner(fusion.DefaultConfig()).Plan(g)
+			if err != nil {
+				return nil, err
+			}
+			o := exec.DefaultOptions()
+			o.DisableLivenessPlanning = !planned
+			exe, err := exec.Compile(g, plan, dev, o)
+			if err != nil {
+				return nil, err
+			}
+			// A short real-execution trace (Run, not Simulate: pool
+			// behaviour is the subject).
+			tr := cfg.traceFor(m)
+			points := tr.Points
+			if len(points) > 12 {
+				points = points[:12]
+			}
+			r := tensor.NewRNG(cfg.Seed)
+			for _, p := range points {
+				pt := workload.Point{Batch: minInt(p.Batch, 4), Seq: minInt(p.Seq, 32)}
+				if _, err := exe.Run(m.GenInputs(r, pt.Batch, pt.Seq)); err != nil {
+					return nil, err
+				}
+			}
+			st := exe.Pool.Stats()
+			if planned {
+				row.PeakPlannedBytes = st.PeakElems * 4
+				row.Allocs = st.Allocs
+				row.Reuses = st.Reuses
+			} else {
+				row.PeakUnplannedBytes = st.PeakElems * 4
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintMemoryFootprint renders the E10 table.
+func PrintMemoryFootprint(w io.Writer, cfg Config, rows []MemoryRow) {
+	fmt.Fprintf(w, "Device memory residency on %s (E10): liveness planning vs none\n\n", cfg.Device)
+	fmt.Fprintf(w, "%-9s %14s %14s %9s %8s %8s\n",
+		"model", "planned KB", "unplanned KB", "saving", "allocs", "reuses")
+	printRule(w, 8, 9)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-9s %14.1f %14.1f %8.2fx %8d %8d\n",
+			r.Model, float64(r.PeakPlannedBytes)/1024, float64(r.PeakUnplannedBytes)/1024,
+			float64(r.PeakUnplannedBytes)/maxF(float64(r.PeakPlannedBytes), 1),
+			r.Allocs, r.Reuses)
+	}
+	fmt.Fprintf(w, "\n(steady-state inference should reuse pooled buffers, not allocate)\n")
+}

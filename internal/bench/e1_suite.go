@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"godisc/internal/graph"
+)
+
+// ModelRow is one line of the model-suite table (E1).
+type ModelRow struct {
+	Name        string
+	Description string
+	Dynamism    string
+	Ops         int
+	ParamBytes  int
+	MaxSeq      int
+}
+
+// ModelSuite builds the model inventory table (experiment E1): the
+// workloads, their dynamism axes, and their static sizes.
+func ModelSuite(cfg Config) ([]ModelRow, error) {
+	suite, err := cfg.modelSet()
+	if err != nil {
+		return nil, err
+	}
+	var rows []ModelRow
+	for _, m := range suite {
+		g := m.Build()
+		ops := 0
+		paramBytes := 0
+		for _, n := range g.Toposort() {
+			switch n.Kind {
+			case graph.OpParameter:
+			case graph.OpConstant:
+				paramBytes += n.Lit.Bytes()
+			default:
+				ops++
+			}
+		}
+		rows = append(rows, ModelRow{
+			Name:        m.Name,
+			Description: m.Description,
+			Dynamism:    m.Dynamism,
+			Ops:         ops,
+			ParamBytes:  paramBytes,
+			MaxSeq:      m.MaxSeq,
+		})
+	}
+	return rows, nil
+}
+
+// PrintModelSuite renders the E1 table.
+func PrintModelSuite(w io.Writer, rows []ModelRow) {
+	fmt.Fprintf(w, "Model suite (E1)\n\n")
+	fmt.Fprintf(w, "%-9s %-22s %6s %10s %7s  %s\n", "model", "dynamism", "ops", "weights", "maxSeq", "description")
+	printRule(w, 10, 10)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-9s %-22s %6d %9.1fK %7d  %s\n",
+			r.Name, r.Dynamism, r.Ops, float64(r.ParamBytes)/1024, r.MaxSeq, r.Description)
+	}
+}

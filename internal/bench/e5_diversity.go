@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"godisc/internal/baselines"
+	"godisc/internal/models"
+	"godisc/internal/workload"
+)
+
+// DiversityPoint is one x-axis point of the shape-diversity sweep (E5).
+type DiversityPoint struct {
+	DistinctShapes int
+	// NsPerRequest[strategy], including amortized compile stalls — this is
+	// the cold-trace view where recompilation is the story.
+	NsPerRequest map[string]float64
+	// CompileNs[strategy] is the total compile stall over the trace.
+	CompileNs map[string]float64
+}
+
+// diversityStrategies are the compilers whose cache mechanism the sweep
+// contrasts.
+func diversityStrategies() []baselines.CompiledParams {
+	return []baselines.CompiledParams{
+		baselines.BladeDISCParams(),
+		baselines.XLAParams(),
+		baselines.TVMParams(),
+		baselines.InductorParams(),
+		baselines.TensorRTParams(),
+	}
+}
+
+// ShapeDiversity sweeps the number of distinct shapes in the trace
+// (experiment E5): symbolic compilation pays one compile total; concrete
+// keying pays one per distinct shape; buckets and guard classes sit in
+// between. Times include compile stalls (cold trace), since the cliff is
+// the phenomenon.
+func ShapeDiversity(cfg Config, model string, distinct []int) ([]DiversityPoint, error) {
+	dev, err := cfg.device()
+	if err != nil {
+		return nil, err
+	}
+	m, err := models.ByName(model)
+	if err != nil {
+		return nil, err
+	}
+	var out []DiversityPoint
+	for _, n := range distinct {
+		pt := DiversityPoint{
+			DistinctShapes: n,
+			NsPerRequest:   map[string]float64{},
+			CompileNs:      map[string]float64{},
+		}
+		tr := workload.WithDistinctSeqs(workload.Spec{
+			Requests: cfg.Requests, MaxBatch: cfg.MaxBatch, MaxSeq: minInt(m.MaxSeq, 128), Seed: cfg.Seed,
+		}, n)
+		for _, params := range diversityStrategies() {
+			s, err := baselines.NewCompiled(m.Build(), dev, params)
+			if err != nil {
+				return nil, err
+			}
+			prof, err := Replay(s, m, tr)
+			if err != nil {
+				return nil, err
+			}
+			pt.NsPerRequest[params.Name] = prof.SimulatedNs / float64(len(tr.Points))
+			pt.CompileNs[params.Name] = prof.CompileNs
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// PrintShapeDiversity renders the E5 figure.
+func PrintShapeDiversity(w io.Writer, cfg Config, model string, pts []DiversityPoint) {
+	fmt.Fprintf(w, "Shape-diversity sweep on %s, model %s (E5): ms/request incl. compile stalls\n\n",
+		cfg.Device, model)
+	if len(pts) == 0 {
+		return
+	}
+	names := sortedKeys(pts[0].NsPerRequest)
+	fmt.Fprintf(w, "%10s", "#shapes")
+	for _, n := range names {
+		fmt.Fprintf(w, "%15s", n)
+	}
+	fmt.Fprintln(w)
+	printRule(w, len(names)+1, 13)
+	for _, pt := range pts {
+		fmt.Fprintf(w, "%10d", pt.DistinctShapes)
+		for _, n := range names {
+			fmt.Fprintf(w, "%15.2f", pt.NsPerRequest[n]/1e6)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"godisc/internal/device"
+	"godisc/internal/exec"
+	"godisc/internal/fusion"
+	"godisc/internal/models"
+	"godisc/internal/opt"
+	"godisc/internal/symshape"
+	"godisc/internal/workload"
+)
+
+// ConstraintRow is one oracle configuration of the constraint-granularity
+// ablation (E7): which symbolic-shape fact classes the fusion planner may
+// use, and the resulting kernel counts and steady-state time.
+type ConstraintRow struct {
+	Oracle string
+	// Kernels[model] in the plan under this oracle.
+	Kernels map[string]int
+	// FusedOps[model]: ops inside multi-op groups.
+	FusedOps map[string]int
+	// NsPerRequest[model] steady-state.
+	NsPerRequest map[string]float64
+}
+
+// constraintOracles lists the fact-class ladder.
+func constraintOracles() []struct {
+	name  string
+	feats symshape.Features
+} {
+	return []struct {
+		name  string
+		feats symshape.Features
+	}{
+		{"static-only", symshape.FeatStaticOnly},
+		{"+equality", symshape.FeatEqualityOnly},
+		{"+product", symshape.FeatStatic | symshape.FeatEquality | symshape.FeatProduct},
+		{"+arith (full)", symshape.FeatAll},
+	}
+}
+
+// ConstraintAblation runs the shape-constraint granularity ablation (E7):
+// the same graphs are planned under progressively stronger shape oracles.
+// Codegen always runs with the full oracle (the ablation isolates *fusion
+// decisions*), so weaker rows compile to more, smaller kernels.
+func ConstraintAblation(cfg Config) ([]ConstraintRow, error) {
+	dev, err := cfg.device()
+	if err != nil {
+		return nil, err
+	}
+	suite, err := cfg.modelSet()
+	if err != nil {
+		return nil, err
+	}
+	var rows []ConstraintRow
+	for _, oracle := range constraintOracles() {
+		row := ConstraintRow{
+			Oracle:       oracle.name,
+			Kernels:      map[string]int{},
+			FusedOps:     map[string]int{},
+			NsPerRequest: map[string]float64{},
+		}
+		for _, m := range suite {
+			ns, kernels, fusedOps, err := runUnderOracle(cfg, dev, m, oracle.feats)
+			if err != nil {
+				return nil, fmt.Errorf("bench: oracle %q on %s: %w", oracle.name, m.Name, err)
+			}
+			row.Kernels[m.Name] = kernels
+			row.FusedOps[m.Name] = fusedOps
+			row.NsPerRequest[m.Name] = ns
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runUnderOracle optimizes and compiles one model with fusion planned under
+// the given feature set, then measures steady state on the standard trace.
+func runUnderOracle(cfg Config, dev *device.Model, m *models.Model, feats symshape.Features) (float64, int, int, error) {
+	g := m.Build()
+	if _, err := opt.Default().Run(g); err != nil {
+		return 0, 0, 0, err
+	}
+	// Plan with the weakened oracle, then restore full facts for codegen
+	// and runtime shape evaluation.
+	g.Ctx.SetFeatures(feats)
+	plan, err := fusion.NewPlanner(fusion.DefaultConfig()).Plan(g)
+	g.Ctx.SetFeatures(symshape.FeatAll)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	stats := plan.Stats()
+	exe, err := exec.Compile(g, plan, dev, exec.DefaultOptions())
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	tr := cfg.traceFor(m)
+	memo := map[workload.Point][][]int{}
+	var total float64
+	for _, p := range tr.Points {
+		prof, err := exe.Simulate(shapesAt(m, p, memo))
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		total += prof.SimulatedNs
+	}
+	return total / float64(len(tr.Points)), stats.Kernels, stats.FusedOps, nil
+}
+
+// PrintConstraintAblation renders the E7 figure.
+func PrintConstraintAblation(w io.Writer, cfg Config, rows []ConstraintRow) {
+	fmt.Fprintf(w, "Shape-constraint granularity ablation on %s (E7)\n", cfg.Device)
+	fmt.Fprintf(w, "(fusion planned under each oracle; kernels per plan and steady-state µs/request)\n\n")
+	if len(rows) == 0 {
+		return
+	}
+	modelsOrder := sortedKeys(rows[0].Kernels)
+	fmt.Fprintf(w, "%-15s", "oracle")
+	for _, m := range modelsOrder {
+		fmt.Fprintf(w, "%12s %9s", m+" krn", "µs/req")
+	}
+	fmt.Fprintln(w)
+	printRule(w, 2+2*len(modelsOrder), 11)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-15s", r.Oracle)
+		for _, m := range modelsOrder {
+			fmt.Fprintf(w, "%12d %9.1f", r.Kernels[m], r.NsPerRequest[m]/1e3)
+		}
+		fmt.Fprintln(w)
+	}
+}

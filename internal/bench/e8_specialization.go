@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"godisc/internal/codegen"
+	"godisc/internal/device"
+	"godisc/internal/exec"
+	"godisc/internal/fusion"
+	"godisc/internal/graph"
+	"godisc/internal/opt"
+	"godisc/internal/symshape"
+	"godisc/internal/tensor"
+)
+
+// SpecializationRow is one microbenchmark point of the variant-dispatch
+// experiment (E8): a kernel shape point, which variant the dispatcher
+// picked, and the simulated time with specialization on vs off.
+type SpecializationRow struct {
+	Kernel  string
+	Shape   string
+	Variant string
+	// NsOn/NsOff: simulated kernel time with variants enabled/disabled.
+	NsOn, NsOff float64
+}
+
+// Specialization runs the compile-time+runtime codegen microbenchmarks
+// (E8): an elementwise kernel swept over sizes (vec4 vs scalar dispatch)
+// and a row-reduction kernel swept over row lengths (rowblock vs rowwarp).
+func Specialization(cfg Config) ([]SpecializationRow, error) {
+	dev, err := cfg.device()
+	if err != nil {
+		return nil, err
+	}
+	var rows []SpecializationRow
+
+	// Elementwise chain over a flat dynamic size.
+	elemRows, err := specializationSweep(dev, "elementwise",
+		func(g *graph.Graph) {
+			n := g.Ctx.NewDim("N")
+			x := g.Parameter("x", tensor.F32, symshape.Shape{n})
+			g.SetOutputs(g.Relu(g.Add(g.Exp(x), g.ConstScalar(1))))
+		},
+		[][]int{{1 << 16}, {1<<16 + 1}, {1 << 20}, {1<<20 + 3}},
+	)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, elemRows...)
+
+	// Row reduction (softmax) over dynamic rows x row length.
+	redRows, err := specializationSweep(dev, "softmax-row",
+		func(g *graph.Graph) {
+			b := g.Ctx.NewDim("B")
+			l := g.Ctx.NewDim("L")
+			g.Ctx.DeclareRange(l, 1, 2048)
+			x := g.Parameter("x", tensor.F32, symshape.Shape{b, l})
+			g.SetOutputs(g.Softmax(x))
+		},
+		[][]int{{4096, 32}, {1024, 64}, {512, 256}, {128, 1024}},
+	)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, redRows...)
+
+	// Shape speculation: row reduction with a declared likely row length.
+	// The hot shape takes the constant-bound speculative kernel; others
+	// fall back to the generic schedules.
+	specRows, err := specializationSweep(dev, "softmax-spec",
+		func(g *graph.Graph) {
+			b := g.Ctx.NewDim("B")
+			l := g.Ctx.NewDim("L")
+			g.Ctx.DeclareRange(l, 1, 2048)
+			g.Ctx.DeclareLikely(l, 128)
+			x := g.Parameter("x", tensor.F32, symshape.Shape{b, l})
+			g.SetOutputs(g.Softmax(x))
+		},
+		[][]int{{512, 128}, {512, 120}, {512, 256}},
+	)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, specRows...)
+	return rows, nil
+}
+
+// specializationSweep compiles one small graph twice (specialization
+// on/off) and simulates it at each shape point.
+func specializationSweep(dev *device.Model, name string, build func(*graph.Graph), shapes [][]int) ([]SpecializationRow, error) {
+	compileWith := func(cg codegen.Options) (*exec.Executable, error) {
+		g := graph.New(name)
+		build(g)
+		if _, err := opt.Default().Run(g); err != nil {
+			return nil, err
+		}
+		plan, err := fusion.NewPlanner(fusion.DefaultConfig()).Plan(g)
+		if err != nil {
+			return nil, err
+		}
+		o := exec.DefaultOptions()
+		o.Codegen = cg
+		return exec.Compile(g, plan, dev, o)
+	}
+	on, err := compileWith(codegen.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	off, err := compileWith(codegen.Options{})
+	if err != nil {
+		return nil, err
+	}
+	var rows []SpecializationRow
+	for _, s := range shapes {
+		pOn, err := on.Simulate([][]int{s})
+		if err != nil {
+			return nil, err
+		}
+		pOff, err := off.Simulate([][]int{s})
+		if err != nil {
+			return nil, err
+		}
+		variant := strings.Join(sortedKeys(pOn.VariantHits), "+")
+		rows = append(rows, SpecializationRow{
+			Kernel:  name,
+			Shape:   fmt.Sprintf("%v", s),
+			Variant: variant,
+			NsOn:    pOn.SimulatedNs,
+			NsOff:   pOff.SimulatedNs,
+		})
+	}
+	return rows, nil
+}
+
+// PrintSpecialization renders the E8 table.
+func PrintSpecialization(w io.Writer, rows []SpecializationRow) {
+	fmt.Fprintf(w, "Codegen specialization microbenchmarks (E8): runtime variant dispatch\n\n")
+	fmt.Fprintf(w, "%-14s %-14s %-10s %12s %12s %8s\n",
+		"kernel", "shape", "variant", "on µs", "off µs", "gain")
+	printRule(w, 8, 9)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %-14s %-10s %12.2f %12.2f %7.2fx\n",
+			r.Kernel, r.Shape, r.Variant, r.NsOn/1e3, r.NsOff/1e3, r.NsOff/r.NsOn)
+	}
+}

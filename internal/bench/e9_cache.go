@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"godisc/internal/baselines"
+	"godisc/internal/models"
+	"godisc/internal/workload"
+)
+
+// CacheRow is one (trace, strategy) cell of the compilation-cache
+// experiment (E9).
+type CacheRow struct {
+	Trace    string
+	Strategy string
+	// Compiles is the number of compile stalls over the trace.
+	Compiles int
+	// CompileMs is their total duration.
+	CompileMs float64
+	// TotalMs is the whole trace's simulated time including stalls.
+	TotalMs float64
+	// SteadyUsPerReq is the second-pass per-request time.
+	SteadyUsPerReq float64
+}
+
+// CompileCache contrasts cache keying mechanisms across trace kinds
+// (experiment E9): a fixed-shape trace, the Zipf serving trace, and an
+// adversarial churn trace where every request is a new shape.
+func CompileCache(cfg Config, model string) ([]CacheRow, error) {
+	dev, err := cfg.device()
+	if err != nil {
+		return nil, err
+	}
+	m, err := models.ByName(model)
+	if err != nil {
+		return nil, err
+	}
+	maxSeq := minInt(m.MaxSeq, 128)
+	spec := workload.Spec{Requests: cfg.Requests, MaxBatch: cfg.MaxBatch, MaxSeq: maxSeq, Seed: cfg.Seed}
+	traces := []*workload.Trace{
+		workload.Fixed(spec, 8, maxSeq/2),
+		workload.Zipf(spec),
+		workload.Churn(spec),
+	}
+	strategies := []baselines.CompiledParams{
+		baselines.BladeDISCParams(),
+		baselines.XLAParams(),
+		baselines.TVMParams(),
+		baselines.InductorParams(),
+		baselines.TensorRTParams(),
+	}
+	var rows []CacheRow
+	for _, tr := range traces {
+		for _, params := range strategies {
+			s, err := baselines.NewCompiled(m.Build(), dev, params)
+			if err != nil {
+				return nil, err
+			}
+			cold, err := Replay(s, m, tr)
+			if err != nil {
+				return nil, err
+			}
+			warm, err := Replay(s, m, tr)
+			if err != nil {
+				return nil, err
+			}
+			_, misses, _ := s.CacheStats()
+			rows = append(rows, CacheRow{
+				Trace:          tr.Name,
+				Strategy:       params.Name,
+				Compiles:       misses,
+				CompileMs:      cold.CompileNs / 1e6,
+				TotalMs:        cold.SimulatedNs / 1e6,
+				SteadyUsPerReq: warm.SimulatedNs / float64(len(tr.Points)) / 1e3,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrintCompileCache renders the E9 table.
+func PrintCompileCache(w io.Writer, cfg Config, model string, rows []CacheRow) {
+	fmt.Fprintf(w, "Compilation-cache behaviour on %s, model %s (E9)\n", cfg.Device, model)
+	fmt.Fprintf(w, "(%d requests per trace; symbolic keying compiles once, concrete keying per shape)\n\n", cfg.Requests)
+	fmt.Fprintf(w, "%-14s %-14s %9s %12s %12s %14s\n",
+		"trace", "strategy", "compiles", "compile ms", "total ms", "steady µs/req")
+	printRule(w, 9, 9)
+	last := ""
+	for _, r := range rows {
+		traceCol := r.Trace
+		if traceCol == last {
+			traceCol = ""
+		} else {
+			last = traceCol
+		}
+		fmt.Fprintf(w, "%-14s %-14s %9d %12.0f %12.0f %14.1f\n",
+			traceCol, r.Strategy, r.Compiles, r.CompileMs, r.TotalMs, r.SteadyUsPerReq)
+	}
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"godisc/internal/baselines"
+	"godisc/internal/models"
+	"godisc/internal/workload"
+)
+
+// ReplayRow is one strategy's aggregate over a user-supplied trace.
+type ReplayRow struct {
+	Strategy       string
+	TotalMs        float64
+	SteadyUsPerReq float64
+	Compiles       int
+	Launches       int
+}
+
+// ReplayTrace replays a recorded shape trace (e.g. loaded from a trace
+// file) through the full strategy suite on one model — the tool for
+// evaluating a user's own production shape distribution.
+func ReplayTrace(cfg Config, model string, tr *workload.Trace) ([]ReplayRow, error) {
+	dev, err := cfg.device()
+	if err != nil {
+		return nil, err
+	}
+	m, err := models.ByName(model)
+	if err != nil {
+		return nil, err
+	}
+	suite, err := baselines.NewSuite(m.Build, dev)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ReplayRow
+	order := append([]string{"BladeDISC"}, BaselineOrder...)
+	for _, name := range order {
+		s := suite[name]
+		cold, err := Replay(s, m, tr)
+		if err != nil {
+			return nil, err
+		}
+		warm, err := Replay(s, m, tr)
+		if err != nil {
+			return nil, err
+		}
+		row := ReplayRow{
+			Strategy:       name,
+			TotalMs:        cold.SimulatedNs / 1e6,
+			SteadyUsPerReq: warm.SimulatedNs / float64(len(tr.Points)) / 1e3,
+			Launches:       warm.Launches / len(tr.Points),
+		}
+		if c, ok := s.(*baselines.Compiled); ok {
+			_, misses, _ := c.CacheStats()
+			row.Compiles = misses
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintReplayTrace renders the replay table.
+func PrintReplayTrace(w io.Writer, cfg Config, model string, tr *workload.Trace, rows []ReplayRow) {
+	fmt.Fprintf(w, "Trace replay on %s, model %s: %s\n\n", cfg.Device, model, tr)
+	fmt.Fprintf(w, "%-14s %12s %16s %10s %10s\n",
+		"strategy", "cold ms", "steady µs/req", "compiles", "launches")
+	printRule(w, 8, 9)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %12.0f %16.1f %10d %10d\n",
+			r.Strategy, r.TotalMs, r.SteadyUsPerReq, r.Compiles, r.Launches)
+	}
+}

@@ -1,0 +1,175 @@
+package codegen
+
+import (
+	"testing"
+
+	"godisc/internal/fusion"
+	"godisc/internal/graph"
+	"godisc/internal/opt"
+	"godisc/internal/symshape"
+	"godisc/internal/tensor"
+)
+
+// planOne optimizes, plans and returns the single fused group of g.
+func planOne(t *testing.T, g *graph.Graph, cfg fusion.Config) *fusion.Group {
+	t.Helper()
+	if _, err := opt.Default().Run(g); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fusion.NewPlanner(cfg).Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Groups) != 1 {
+		t.Fatalf("expected 1 group, got:\n%s", plan.String())
+	}
+	return plan.Groups[0]
+}
+
+func TestVectorizationPrunedByDivisibilityFact(t *testing.T) {
+	// With a declared divisibility on the only dynamic dim, the guard is
+	// provable at compile time and the scalar fallback disappears.
+	g := graph.New("t")
+	d := g.Ctx.NewDim("N")
+	g.Ctx.DeclareDivisible(d, 4)
+	x := g.Parameter("x", tensor.F32, symshape.Shape{d})
+	g.SetOutputs(g.Relu(g.Exp(x)))
+	grp := planOne(t, g, fusion.DefaultConfig())
+	k, err := Lower(g.Ctx, grp, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k.Variants) != 1 || k.Variants[0].Name != "vec4" || k.Variants[0].Guard != nil {
+		t.Fatalf("expected single unguarded vec4 variant, got %d variants (first %q)",
+			len(k.Variants), k.Variants[0].Name)
+	}
+}
+
+func TestVectorizationRuntimeGuardWithoutFact(t *testing.T) {
+	g := graph.New("t")
+	d := g.Ctx.NewDim("N")
+	x := g.Parameter("x", tensor.F32, symshape.Shape{d})
+	g.SetOutputs(g.Relu(g.Exp(x)))
+	grp := planOne(t, g, fusion.DefaultConfig())
+	k, err := Lower(g.Ctx, grp, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k.Variants) != 2 {
+		t.Fatalf("expected vec4+scalar variants, got %d", len(k.Variants))
+	}
+	if k.Variants[0].Guard == nil {
+		t.Fatal("vec4 must be guarded when divisibility is unproven")
+	}
+	if v := k.Select(RunInfo{DomainNumel: 16}); v.Name != "vec4" {
+		t.Fatalf("Select(16) = %s", v.Name)
+	}
+	if v := k.Select(RunInfo{DomainNumel: 15}); v.Name != "scalar" {
+		t.Fatalf("Select(15) = %s", v.Name)
+	}
+}
+
+func TestVectorizationDisabled(t *testing.T) {
+	g := graph.New("t")
+	d := g.Ctx.NewDim("N")
+	x := g.Parameter("x", tensor.F32, symshape.Shape{d})
+	g.SetOutputs(g.Relu(g.Exp(x)))
+	grp := planOne(t, g, fusion.DefaultConfig())
+	k, err := Lower(g.Ctx, grp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k.Variants) != 1 || k.Variants[0].Name != "scalar" {
+		t.Fatalf("vectorization off must emit scalar only, got %q", k.Variants[0].Name)
+	}
+}
+
+func TestRowVariantsPrunedByRangeFacts(t *testing.T) {
+	build := func(lo, hi int64) *Kernel {
+		g := graph.New("t")
+		b := g.Ctx.NewDim("B")
+		l := g.Ctx.NewDim("L")
+		if lo > 0 {
+			g.Ctx.DeclareRange(l, lo, hi)
+		}
+		x := g.Parameter("x", tensor.F32, symshape.Shape{b, l})
+		g.SetOutputs(g.Sum(g.Exp(x), []int{-1}, false))
+		grp := planOne(t, g, fusion.Config{EnableLoop: true, EnableInput: true})
+		k, err := Lower(g.Ctx, grp, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	// Unbounded: both schedules with runtime dispatch.
+	if k := build(0, 0); len(k.Variants) != 2 {
+		t.Fatalf("unbounded rows: %d variants", len(k.Variants))
+	}
+	// Provably long rows: only rowblock.
+	if k := build(256, 4096); len(k.Variants) != 1 || k.Variants[0].Name != "rowblock" {
+		t.Fatalf("long rows must prune to rowblock, got %q", k.Variants[0].Name)
+	}
+	// Provably short rows: only rowwarp.
+	if k := build(1, 64); len(k.Variants) != 1 || k.Variants[0].Name != "rowwarp" {
+		t.Fatalf("short rows must prune to rowwarp, got %q", k.Variants[0].Name)
+	}
+}
+
+func TestStitchKernelScratchAccounting(t *testing.T) {
+	// Decomposed softmax: x-max staged across passes (used by exp in the
+	// sum pass and by the final div pass through exp's scratch).
+	g := graph.New("t")
+	b := g.Ctx.NewDim("B")
+	l := g.Ctx.NewDim("L")
+	g.Ctx.DeclareRange(l, 1, 1024)
+	x := g.Parameter("x", tensor.F32, symshape.Shape{b, l})
+	g.SetOutputs(g.Softmax(x))
+	grp := planOne(t, g, fusion.DefaultConfig())
+	k, err := Lower(g.Ctx, grp, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Passes < 2 {
+		t.Fatalf("stitched softmax needs >=2 passes, got %d", k.Passes)
+	}
+	if k.ScratchRows == 0 {
+		t.Fatal("stitched softmax must stage at least one row")
+	}
+}
+
+func TestLowerRejectsLibraryGroups(t *testing.T) {
+	g := graph.New("t")
+	b := g.Ctx.NewDim("B")
+	x := g.Parameter("x", tensor.F32, symshape.Shape{b, g.Ctx.StaticDim(4)})
+	w := g.Constant(tensor.RandN(tensor.NewRNG(1), 1, 4, 4))
+	g.SetOutputs(g.MatMul(x, w))
+	if _, err := opt.Default().Run(g); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fusion.NewPlanner(fusion.DefaultConfig()).Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, grp := range plan.Groups {
+		if grp.Kind == fusion.KLibrary {
+			if _, err := Lower(g.Ctx, grp, DefaultOptions()); err == nil {
+				t.Fatal("lowering a library group must error")
+			}
+		}
+	}
+}
+
+func TestKernelDimsAreDeduplicated(t *testing.T) {
+	g := graph.New("t")
+	b := g.Ctx.NewDim("B")
+	x := g.Parameter("x", tensor.F32, symshape.Shape{b, b}) // same symbol twice
+	g.SetOutputs(g.Exp(x))
+	grp := planOne(t, g, fusion.DefaultConfig())
+	k, err := Lower(g.Ctx, grp, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k.Dims) != 1 {
+		t.Fatalf("dims %v, want a single deduplicated symbol", k.Dims)
+	}
+}

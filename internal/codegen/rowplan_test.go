@@ -1,0 +1,108 @@
+package codegen
+
+import (
+	"testing"
+
+	"godisc/internal/fusion"
+	"godisc/internal/graph"
+	"godisc/internal/opt"
+	"godisc/internal/symshape"
+	"godisc/internal/tensor"
+)
+
+// rowKernelFor optimizes g, plans it into one stitched group, and lowers
+// it, returning the kernel.
+func rowKernelFor(t *testing.T, g *graph.Graph) *Kernel {
+	t.Helper()
+	grp := planOne(t, g, fusion.DefaultConfig())
+	k, err := Lower(g.Ctx, grp, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestRowPlanSoftmaxPassStructure(t *testing.T) {
+	// softmax = max pass, exp+sum pass, div pass: 3 sweeps; x-max staged.
+	g := graph.New("t")
+	b := g.Ctx.NewDim("B")
+	l := g.Ctx.NewDim("L")
+	g.Ctx.DeclareRange(l, 1, 512)
+	x := g.Parameter("x", tensor.F32, symshape.Shape{b, l})
+	g.SetOutputs(g.Softmax(x))
+	k := rowKernelFor(t, g)
+	if k.Passes != 3 {
+		t.Fatalf("softmax passes = %d, want 3", k.Passes)
+	}
+	if k.ScratchRows < 1 || k.ScratchRows > 2 {
+		t.Fatalf("softmax scratch rows = %d", k.ScratchRows)
+	}
+}
+
+func TestRowPlanLayerNormPassStructure(t *testing.T) {
+	// layernorm = mean pass, var pass, normalize pass.
+	g := graph.New("t")
+	b := g.Ctx.NewDim("B")
+	l := g.Ctx.StaticDim(16)
+	x := g.Parameter("x", tensor.F32, symshape.Shape{b, l})
+	gamma := g.Constant(tensor.RandUniform(tensor.NewRNG(1), 0.9, 1.1, 16))
+	beta := g.Constant(tensor.RandN(tensor.NewRNG(2), 0.1, 16))
+	g.SetOutputs(g.LayerNorm(x, gamma, beta, 1e-5))
+	k := rowKernelFor(t, g)
+	if k.Passes != 3 {
+		t.Fatalf("layernorm passes = %d, want 3", k.Passes)
+	}
+}
+
+func TestRowPlanSingleReduceOnePass(t *testing.T) {
+	// A plain fused reduce has one sweep and no scratch.
+	g := graph.New("t")
+	b := g.Ctx.NewDim("B")
+	l := g.Ctx.NewDim("L")
+	x := g.Parameter("x", tensor.F32, symshape.Shape{b, l})
+	g.SetOutputs(g.Sum(g.Exp(x), []int{-1}, false))
+	grp := planOne(t, g, fusion.Config{EnableLoop: true, EnableInput: true})
+	k, err := Lower(g.Ctx, grp, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Passes != 1 {
+		t.Fatalf("kInput passes = %d, want 1", k.Passes)
+	}
+	if k.ScratchRows != 0 {
+		t.Fatalf("kInput scratch rows = %d, want 0", k.ScratchRows)
+	}
+}
+
+func TestRowPlanStackedNormalizations(t *testing.T) {
+	// softmax(layernorm(x)): a deep stitched skeleton; the pass scheduler
+	// must produce a monotone pass assignment and lowering must succeed.
+	g := graph.New("t")
+	b := g.Ctx.NewDim("B")
+	l := g.Ctx.StaticDim(32)
+	x := g.Parameter("x", tensor.F32, symshape.Shape{b, l})
+	gamma := g.Constant(tensor.RandUniform(tensor.NewRNG(3), 0.9, 1.1, 32))
+	beta := g.Constant(tensor.RandN(tensor.NewRNG(4), 0.1, 32))
+	g.SetOutputs(g.Softmax(g.LayerNorm(x, gamma, beta, 1e-5)))
+	if _, err := opt.Default().Run(g); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fusion.NewPlanner(fusion.DefaultConfig()).Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Groups) != 1 {
+		t.Fatalf("stacked normalizations should stitch into one kernel:\n%s", plan.String())
+	}
+	k, err := Lower(g.Ctx, plan.Groups[0], DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 reduces (mean, var, max, sum) across >= 4 passes.
+	if plan.Groups[0].Reduces != 4 {
+		t.Fatalf("reduces = %d, want 4", plan.Groups[0].Reduces)
+	}
+	if k.Passes < 4 {
+		t.Fatalf("passes = %d, want >= 4", k.Passes)
+	}
+}

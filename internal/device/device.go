@@ -1,0 +1,114 @@
+// Package device provides analytic GPU performance models. The paper's
+// evaluation hardware (NVIDIA A10 and T4) is substituted by roofline-style
+// models: a kernel costs one launch plus the maximum of its memory time
+// (bytes moved over effective bandwidth) and compute time (flops over
+// effective throughput). All comparisons in the reproduction are relative
+// — strategy A vs strategy B on the same model — so what matters is that
+// launches, traffic, padding waste and recompile stalls are charged
+// faithfully, not the absolute constants.
+package device
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is an analytic GPU.
+type Model struct {
+	// Name identifies the device in reports ("A10", "T4").
+	Name string
+	// LaunchOverheadNs is charged once per kernel launch (driver + grid
+	// scheduling).
+	LaunchOverheadNs float64
+	// BandwidthBytesPerNs is peak HBM bandwidth (bytes per nanosecond,
+	// i.e. GB/s).
+	BandwidthBytesPerNs float64
+	// PeakFlopsPerNs is peak FP32 throughput in flops per nanosecond
+	// (i.e. GFLOP/s).
+	PeakFlopsPerNs float64
+	// SharedMemPerBlock is usable shared memory per block in bytes; the
+	// fusion planner's stitch budget should not exceed it.
+	SharedMemPerBlock int64
+	// MatmulSaturationFlops controls how quickly GEMM efficiency ramps to
+	// its peak as problems grow (half-saturation point, in flops).
+	MatmulSaturationFlops float64
+	// MaxMatmulEfficiency is the large-problem GEMM efficiency.
+	MaxMatmulEfficiency float64
+}
+
+// A10 returns the NVIDIA A10 model (24 GB GDDR6, Ampere).
+func A10() *Model {
+	return &Model{
+		Name:                  "A10",
+		LaunchOverheadNs:      4000,
+		BandwidthBytesPerNs:   600,   // 600 GB/s
+		PeakFlopsPerNs:        31200, // 31.2 TFLOPS FP32
+		SharedMemPerBlock:     48 << 10,
+		MatmulSaturationFlops: 6e7,
+		MaxMatmulEfficiency:   0.62,
+	}
+}
+
+// T4 returns the NVIDIA T4 model (16 GB GDDR6, Turing).
+func T4() *Model {
+	return &Model{
+		Name:                  "T4",
+		LaunchOverheadNs:      4500,
+		BandwidthBytesPerNs:   320,  // 320 GB/s
+		PeakFlopsPerNs:        8100, // 8.1 TFLOPS FP32
+		SharedMemPerBlock:     48 << 10,
+		MatmulSaturationFlops: 2e7,
+		MaxMatmulEfficiency:   0.58,
+	}
+}
+
+// ByName returns a model by its name.
+func ByName(name string) (*Model, error) {
+	switch name {
+	case "A10", "a10":
+		return A10(), nil
+	case "T4", "t4":
+		return T4(), nil
+	}
+	return nil, fmt.Errorf("device: unknown device %q (have A10, T4)", name)
+}
+
+// KernelCost describes one kernel invocation for the cost model.
+type KernelCost struct {
+	// Bytes is global-memory traffic (reads + writes).
+	Bytes float64
+	// Flops is arithmetic work.
+	Flops float64
+	// MemEfficiency scales effective bandwidth (0..1]; schedule dependent.
+	MemEfficiency float64
+	// ComputeEfficiency scales effective flops (0..1]; schedule dependent.
+	ComputeEfficiency float64
+}
+
+// KernelTimeNs returns the simulated duration of one kernel launch.
+func (m *Model) KernelTimeNs(c KernelCost) float64 {
+	me := c.MemEfficiency
+	if me <= 0 || me > 1 {
+		me = 0.8
+	}
+	ce := c.ComputeEfficiency
+	if ce <= 0 || ce > 1 {
+		ce = 0.5
+	}
+	memT := c.Bytes / (m.BandwidthBytesPerNs * me)
+	cmpT := c.Flops / (m.PeakFlopsPerNs * ce)
+	return m.LaunchOverheadNs + math.Max(memT, cmpT)
+}
+
+// MatmulTimeNs returns the simulated duration of a GEMM library call of
+// the given logical size; efficiency ramps with problem size, modelling
+// GPU underutilization on small/skinny problems.
+func (m *Model) MatmulTimeNs(bytes, flops float64) float64 {
+	eff := m.MaxMatmulEfficiency * flops / (flops + m.MatmulSaturationFlops)
+	if eff < 0.02 {
+		eff = 0.02
+	}
+	memT := bytes / (m.BandwidthBytesPerNs * 0.85)
+	cmpT := flops / (m.PeakFlopsPerNs * eff)
+	return m.LaunchOverheadNs + math.Max(memT, cmpT)
+}

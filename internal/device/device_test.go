@@ -1,0 +1,72 @@
+package device
+
+import "testing"
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"A10", "T4", "a10", "t4"} {
+		m, err := ByName(name)
+		if err != nil || m == nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("H100"); err == nil {
+		t.Fatal("unknown device must error")
+	}
+}
+
+func TestKernelTimeMonotonicInBytes(t *testing.T) {
+	m := A10()
+	small := m.KernelTimeNs(KernelCost{Bytes: 1 << 10, Flops: 1, MemEfficiency: 0.8, ComputeEfficiency: 0.5})
+	big := m.KernelTimeNs(KernelCost{Bytes: 1 << 24, Flops: 1, MemEfficiency: 0.8, ComputeEfficiency: 0.5})
+	if big <= small {
+		t.Fatalf("time must grow with bytes: %v vs %v", small, big)
+	}
+}
+
+func TestLaunchOverheadDominatesTinyKernels(t *testing.T) {
+	m := A10()
+	tiny := m.KernelTimeNs(KernelCost{Bytes: 64, Flops: 16})
+	if tiny < m.LaunchOverheadNs || tiny > m.LaunchOverheadNs*1.01 {
+		t.Fatalf("tiny kernel should be ~launch overhead, got %v", tiny)
+	}
+}
+
+func TestFusionWinsOnLaunches(t *testing.T) {
+	// Three small elementwise kernels vs one fused: fused must be faster
+	// because launches dominate — the core motivation for fusion.
+	m := T4()
+	c := KernelCost{Bytes: 64 << 10, Flops: 16 << 10, MemEfficiency: 0.8, ComputeEfficiency: 0.5}
+	three := 3 * m.KernelTimeNs(c)
+	fused := m.KernelTimeNs(KernelCost{Bytes: c.Bytes * 1.4, Flops: c.Flops * 3,
+		MemEfficiency: 0.8, ComputeEfficiency: 0.5})
+	if fused >= three {
+		t.Fatalf("fused %v must beat three launches %v", fused, three)
+	}
+}
+
+func TestMatmulEfficiencyRamp(t *testing.T) {
+	m := A10()
+	// Per-flop cost must be lower for large GEMMs than tiny ones.
+	tiny := m.MatmulTimeNs(1<<12, 1<<14) / (1 << 14)
+	huge := m.MatmulTimeNs(1<<24, 1<<30) / (1 << 30)
+	if huge >= tiny {
+		t.Fatalf("per-flop cost must fall with size: tiny %v, huge %v", tiny, huge)
+	}
+}
+
+func TestA10FasterThanT4(t *testing.T) {
+	c := KernelCost{Bytes: 1 << 24, Flops: 1 << 24, MemEfficiency: 0.8, ComputeEfficiency: 0.5}
+	if A10().KernelTimeNs(c) >= T4().KernelTimeNs(c) {
+		t.Fatal("A10 must be faster than T4 on identical work")
+	}
+}
+
+func TestEfficiencyDefaults(t *testing.T) {
+	m := A10()
+	// Zero/invalid efficiencies fall back to sane defaults rather than
+	// dividing by zero.
+	v := m.KernelTimeNs(KernelCost{Bytes: 1 << 20, Flops: 1 << 20})
+	if v <= 0 || v != v { // NaN check
+		t.Fatalf("bad default time %v", v)
+	}
+}

@@ -1,0 +1,241 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"godisc/internal/device"
+	"godisc/internal/fusion"
+	"godisc/internal/graph"
+	"godisc/internal/opt"
+	"godisc/internal/symshape"
+	"godisc/internal/tensor"
+)
+
+// Differential testing: random valid graphs, compiled through the full
+// pipeline and compared against the reference interpreter at several
+// dynamic shapes. This is the broad-spectrum correctness net over fusion,
+// codegen, variant dispatch, and the runtime.
+
+// graphGen builds random graphs over a [B, S, H] value pool using a
+// numerically tame op set (values squashed regularly so exp never
+// overflows).
+type graphGen struct {
+	r *tensor.RNG
+	g *graph.Graph
+	// pool holds f32 values of shape [B,S,H].
+	pool []*graph.Node
+	// reducedPool holds values of shape [B,S,1] or [B,S].
+	reducedPool []*graph.Node
+	h           int
+}
+
+func newGraphGen(seed uint64, h int) *graphGen {
+	gg := &graphGen{r: tensor.NewRNG(seed), h: h}
+	g := graph.New(fmt.Sprintf("fuzz%d", seed))
+	b := g.Ctx.NewDim("B")
+	s := g.Ctx.NewDim("S")
+	g.Ctx.DeclareRange(s, 1, 512)
+	x := g.Parameter("x", tensor.F32, symshape.Shape{b, s, g.Ctx.StaticDim(int64(h))})
+	y := g.Parameter("y", tensor.F32, symshape.Shape{b, s, g.Ctx.StaticDim(int64(h))})
+	gg.g = g
+	gg.pool = []*graph.Node{x, y}
+	return gg
+}
+
+func (gg *graphGen) pick() *graph.Node { return gg.pool[gg.r.Intn(len(gg.pool))] }
+
+// squash keeps magnitudes tame.
+func (gg *graphGen) squash(n *graph.Node) *graph.Node {
+	switch gg.r.Intn(3) {
+	case 0:
+		return gg.g.Tanh(n)
+	case 1:
+		return gg.g.Sigmoid(n)
+	default:
+		return gg.g.Mul(n, gg.g.ConstScalar(0.5))
+	}
+}
+
+// step adds one random op to the pool.
+func (gg *graphGen) step() {
+	g := gg.g
+	switch gg.r.Intn(10) {
+	case 0, 1: // unary
+		ops := []func(*graph.Node) *graph.Node{g.Relu, g.Gelu, g.Tanh, g.Abs, g.Neg, g.Sigmoid}
+		gg.pool = append(gg.pool, ops[gg.r.Intn(len(ops))](gg.pick()))
+	case 2, 3: // binary same-shape
+		a, b := gg.pick(), gg.pick()
+		ops := []func(a, b *graph.Node) *graph.Node{g.Add, g.Sub, g.Mul, g.Maximum, g.Minimum}
+		gg.pool = append(gg.pool, gg.squash(ops[gg.r.Intn(len(ops))](a, b)))
+	case 4: // bias broadcast
+		bias := g.Constant(tensor.RandN(gg.r, 0.3, gg.h))
+		gg.pool = append(gg.pool, g.Add(gg.pick(), bias))
+	case 5: // softmax over last axis
+		gg.pool = append(gg.pool, g.Softmax(gg.pick()))
+	case 6: // layernorm
+		gamma := g.Constant(tensor.RandUniform(gg.r, 0.9, 1.1, gg.h))
+		beta := g.Constant(tensor.RandN(gg.r, 0.1, gg.h))
+		gg.pool = append(gg.pool, g.LayerNorm(gg.pick(), gamma, beta, 1e-5))
+	case 7: // matmul with constant weight [H,H]
+		w := g.Constant(tensor.RandN(gg.r, 0.2, gg.h, gg.h))
+		gg.pool = append(gg.pool, gg.squash(g.MatMul(gg.pick(), w)))
+	case 8: // row reduction -> reduced pool
+		kinds := []tensor.ReduceKind{tensor.ReduceSum, tensor.ReduceMax, tensor.ReduceMean}
+		red := g.ReduceOp(gg.pick(), kinds[gg.r.Intn(len(kinds))], []int{-1}, true)
+		gg.reducedPool = append(gg.reducedPool, red)
+	case 9: // combine a reduced value back in (broadcast over H)
+		if len(gg.reducedPool) == 0 {
+			gg.pool = append(gg.pool, g.Relu(gg.pick()))
+			return
+		}
+		red := gg.reducedPool[gg.r.Intn(len(gg.reducedPool))]
+		gg.pool = append(gg.pool, gg.squash(g.Sub(gg.pick(), red)))
+	}
+}
+
+// finish selects outputs: the last value plus possibly a reduced one.
+func (gg *graphGen) finish() *graph.Graph {
+	outs := []*graph.Node{gg.pool[len(gg.pool)-1]}
+	if len(gg.reducedPool) > 0 && gg.r.Intn(2) == 0 {
+		outs = append(outs, gg.reducedPool[len(gg.reducedPool)-1])
+	}
+	gg.g.SetOutputs(outs...)
+	return gg.g
+}
+
+func buildRandom(seed uint64, steps, h int) *graph.Graph {
+	gg := newGraphGen(seed, h)
+	for i := 0; i < steps; i++ {
+		gg.step()
+	}
+	return gg.finish()
+}
+
+func TestDifferentialRandomGraphs(t *testing.T) {
+	const trials = 60
+	dev := device.A10()
+	for seed := uint64(1); seed <= trials; seed++ {
+		steps := 4 + int(seed%12)
+		h := []int{4, 8, 16}[seed%3]
+		ref := buildRandom(seed, steps, h)
+		cg := buildRandom(seed, steps, h)
+		if err := cg.Verify(); err != nil {
+			t.Fatalf("seed %d: generator produced invalid graph: %v", seed, err)
+		}
+		if _, err := opt.Default().Run(cg); err != nil {
+			t.Fatalf("seed %d: optimize: %v", seed, err)
+		}
+		plan, err := fusion.NewPlanner(fusion.DefaultConfig()).Plan(cg)
+		if err != nil {
+			t.Fatalf("seed %d: plan: %v", seed, err)
+		}
+		exe, err := Compile(cg, plan, dev, DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		r := tensor.NewRNG(seed * 7)
+		for _, shape := range [][2]int{{1, 1}, {1, 3}, {2, 17}} {
+			x := tensor.RandN(r, 0.5, shape[0], shape[1], h)
+			y := tensor.RandN(r, 0.5, shape[0], shape[1], h)
+			want, err := graph.Evaluate(ref, []*tensor.Tensor{x, y})
+			if err != nil {
+				t.Fatalf("seed %d: reference: %v", seed, err)
+			}
+			got, err := exe.Run([]*tensor.Tensor{x, y})
+			if err != nil {
+				t.Fatalf("seed %d shape %v: run: %v", seed, shape, err)
+			}
+			for i := range want {
+				if err := tensor.AllClose(got.Outputs[i], want[i], 2e-4, 2e-4); err != nil {
+					t.Fatalf("seed %d shape %v output %d: %v\nplan:\n%s",
+						seed, shape, i, err, plan)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialSerializedRandomGraphs additionally routes every random
+// graph through the text serializer before compiling — the parser and
+// writer join the differential net.
+func TestDifferentialSerializedRandomGraphs(t *testing.T) {
+	const trials = 20
+	dev := device.A10()
+	for seed := uint64(100); seed < 100+trials; seed++ {
+		ref := buildRandom(seed, 8, 8)
+		parsed, err := graph.ParseText(graph.WriteText(buildRandom(seed, 8, 8)))
+		if err != nil {
+			t.Fatalf("seed %d: round trip: %v", seed, err)
+		}
+		if _, err := opt.Default().Run(parsed); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		plan, err := fusion.NewPlanner(fusion.DefaultConfig()).Plan(parsed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		exe, err := Compile(parsed, plan, dev, DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		r := tensor.NewRNG(seed)
+		x := tensor.RandN(r, 0.5, 2, 9, 8)
+		y := tensor.RandN(r, 0.5, 2, 9, 8)
+		want, err := graph.Evaluate(ref, []*tensor.Tensor{x, y})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := exe.Run([]*tensor.Tensor{x, y})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i := range want {
+			if err := tensor.AllClose(got.Outputs[i], want[i], 2e-4, 2e-4); err != nil {
+				t.Fatalf("seed %d output %d: %v", seed, i, err)
+			}
+		}
+	}
+}
+
+// TestDifferentialFusionConfigs compiles each random graph under opposite
+// fusion configurations; any disagreement is a fusion/codegen miscompile.
+func TestDifferentialFusionConfigs(t *testing.T) {
+	const trials = 30
+	dev := device.A10()
+	for seed := uint64(200); seed < 200+trials; seed++ {
+		mk := func(cfg fusion.Config) *Executable {
+			g := buildRandom(seed, 10, 8)
+			if _, err := opt.Default().Run(g); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			plan, err := fusion.NewPlanner(cfg).Plan(g)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			exe, err := Compile(g, plan, dev, DefaultOptions())
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			return exe
+		}
+		fused := mk(fusion.DefaultConfig())
+		unfused := mk(fusion.Config{})
+		r := tensor.NewRNG(seed)
+		x := tensor.RandN(r, 0.5, 3, 13, 8)
+		y := tensor.RandN(r, 0.5, 3, 13, 8)
+		fres, err := fused.Run([]*tensor.Tensor{x, y})
+		if err != nil {
+			t.Fatalf("seed %d fused: %v", seed, err)
+		}
+		ures, err := unfused.Run([]*tensor.Tensor{x, y})
+		if err != nil {
+			t.Fatalf("seed %d unfused: %v", seed, err)
+		}
+		for i := range fres.Outputs {
+			if err := tensor.AllClose(fres.Outputs[i], ures.Outputs[i], 2e-4, 2e-4); err != nil {
+				t.Fatalf("seed %d output %d: fused and unfused disagree: %v", seed, i, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,503 @@
+// Package exec turns a fusion plan into a runnable executable: each group
+// is lowered once (shape-generically) at compile time; Run binds concrete
+// input shapes, derives every intermediate extent through the *compiled*
+// host-side shape program (see shapeprog.go), dispatches kernel variants,
+// executes the kernel IR for real numerics, and charges the analytic
+// device model for simulated time. One Executable serves arbitrary input
+// shapes — the whole point of the dynamic-shape pipeline.
+package exec
+
+import (
+	"fmt"
+
+	"godisc/internal/codegen"
+	"godisc/internal/device"
+	"godisc/internal/fusion"
+	"godisc/internal/graph"
+	"godisc/internal/ral"
+	"godisc/internal/symshape"
+	"godisc/internal/tensor"
+)
+
+// Options configures compilation.
+type Options struct {
+	// Codegen toggles specialization variants.
+	Codegen codegen.Options
+	// HostDispatchNs is charged once per kernel/library launch for the
+	// runtime's host-side work (RAL dispatch). Small for compiled
+	// runtimes; baselines use larger values to model framework overhead.
+	HostDispatchNs float64
+	// AliasViews executes single-reshape groups as zero-cost aliases
+	// rather than copy kernels (on by default via Compile).
+	AliasViews bool
+	// DisableLivenessPlanning keeps every intermediate alive until the
+	// run ends instead of returning buffers to the pool after their last
+	// use (the buffer-planning ablation; see experiment E10).
+	DisableLivenessPlanning bool
+}
+
+// DefaultOptions mirrors the BladeDISC configuration.
+func DefaultOptions() Options {
+	return Options{Codegen: codegen.DefaultOptions(), HostDispatchNs: 1500, AliasViews: true}
+}
+
+// unit is one schedulable step of the executable, with its shape metadata
+// compiled to slot references.
+type unit struct {
+	group  *fusion.Group
+	kernel *codegen.Kernel // nil for library calls and aliases
+	isLib  bool
+	alias  bool
+
+	// Compiled shape references (see shapeprog.go).
+	domainRefs    []dimRef   // kernel iteration space
+	kernelDimRefs []dimRef   // aligned with kernel.Dims
+	inShapeRefs   [][]dimRef // per group input
+	outShapeRefs  [][]dimRef // per group output
+}
+
+// Executable is a compiled graph.
+type Executable struct {
+	Graph *graph.Graph
+	Plan  *fusion.Plan
+	Dev   *device.Model
+	opts  Options
+	units []*unit
+	// prog is the compiled host-side shape computation.
+	prog *shapeProgram
+	// outRefs holds the compiled shape of every graph output.
+	outRefs [][]dimRef
+	// constBufs holds flattened constants, computed once at compile time.
+	constBufs map[*graph.Node][]float32
+	// lastUse maps each produced value to the index of the last unit
+	// consuming it (compile-time liveness planning); graph outputs map to
+	// len(units) so they survive the whole run.
+	lastUse map[*graph.Node]int
+	// freeAt[i] lists values whose pooled buffers may return to the pool
+	// right after unit i executes.
+	freeAt [][]*graph.Node
+	// Pool provides intermediate buffers across runs.
+	Pool *ral.Pool
+}
+
+// Compile lowers every group of the plan. The graph must be decomposed,
+// optimized and verified; plan must come from the fusion planner on the
+// same graph.
+func Compile(g *graph.Graph, plan *fusion.Plan, dev *device.Model, opts Options) (*Executable, error) {
+	e := &Executable{
+		Graph:     g,
+		Plan:      plan,
+		Dev:       dev,
+		opts:      opts,
+		constBufs: map[*graph.Node][]float32{},
+		Pool:      ral.NewPool(),
+	}
+	for _, n := range g.Toposort() {
+		if n.Kind == graph.OpConstant {
+			e.constBufs[n] = flatten(n.Lit)
+		}
+	}
+	for _, grp := range plan.Groups {
+		u := &unit{group: grp}
+		switch {
+		case grp.Kind == fusion.KLibrary:
+			u.isLib = true
+		case opts.AliasViews && len(grp.Nodes) == 1 && grp.Nodes[0].Kind == graph.OpReshape:
+			u.alias = true
+		default:
+			k, err := codegen.Lower(g.Ctx, grp, opts.Codegen)
+			if err != nil {
+				return nil, fmt.Errorf("exec: lowering group %d (%s): %w", grp.ID, grp.Kind, err)
+			}
+			u.kernel = k
+		}
+		e.units = append(e.units, u)
+	}
+	if err := e.compileShapes(); err != nil {
+		return nil, err
+	}
+	e.planLiveness()
+	return e, nil
+}
+
+// compileShapes builds the host shape program and every unit's compiled
+// shape references.
+func (e *Executable) compileShapes() error {
+	g := e.Graph
+	// Collect every dimension the runtime will need.
+	var needed []symshape.DimID
+	for _, u := range e.units {
+		needed = append(needed, u.group.Domain...)
+		if u.kernel != nil {
+			needed = append(needed, u.kernel.Dims...)
+		}
+		for _, in := range u.group.Inputs {
+			needed = append(needed, in.Shape...)
+		}
+		for _, out := range u.group.Outputs {
+			needed = append(needed, out.Shape...)
+		}
+	}
+	for _, o := range g.Outputs {
+		needed = append(needed, o.Shape...)
+	}
+	prog, slotOf, err := compileShapeProgram(g, needed)
+	if err != nil {
+		return err
+	}
+	e.prog = prog
+	refsFor := func(s symshape.Shape) ([]dimRef, error) {
+		out := make([]dimRef, len(s))
+		for i, d := range s {
+			if v, ok := g.Ctx.StaticValue(d); ok {
+				out[i] = dimRef{Static: v, Slot: -1}
+				continue
+			}
+			slot, ok := slotOf[g.Ctx.Root(d)]
+			if !ok {
+				return nil, fmt.Errorf("exec: dimension %s missing from shape program", g.Ctx.Name(d))
+			}
+			out[i] = dimRef{Slot: slot}
+		}
+		return out, nil
+	}
+	for _, u := range e.units {
+		if u.domainRefs, err = refsFor(u.group.Domain); err != nil {
+			return err
+		}
+		if u.kernel != nil {
+			if u.kernelDimRefs, err = refsFor(symshape.Shape(u.kernel.Dims)); err != nil {
+				return err
+			}
+		}
+		for _, in := range u.group.Inputs {
+			refs, err := refsFor(in.Shape)
+			if err != nil {
+				return err
+			}
+			u.inShapeRefs = append(u.inShapeRefs, refs)
+		}
+		for _, out := range u.group.Outputs {
+			refs, err := refsFor(out.Shape)
+			if err != nil {
+				return err
+			}
+			u.outShapeRefs = append(u.outShapeRefs, refs)
+		}
+	}
+	for _, o := range g.Outputs {
+		refs, err := refsFor(o.Shape)
+		if err != nil {
+			return err
+		}
+		e.outRefs = append(e.outRefs, refs)
+	}
+	return nil
+}
+
+// planLiveness computes, at compile time, the schedule position of each
+// value's last use. Run returns pooled buffers right after that position,
+// so values with disjoint lifetimes share device memory — the buffer
+// planning of the paper's pipeline.
+func (e *Executable) planLiveness() {
+	e.lastUse = map[*graph.Node]int{}
+	// Aliases extend the lifetime of their source: treat the alias and
+	// its source as one value by resolving through alias units.
+	resolve := map[*graph.Node]*graph.Node{}
+	canon := func(n *graph.Node) *graph.Node {
+		for {
+			src, ok := resolve[n]
+			if !ok {
+				return n
+			}
+			n = src
+		}
+	}
+	for i, u := range e.units {
+		if u.alias {
+			resolve[u.group.Nodes[0]] = u.group.Nodes[0].Inputs[0]
+		}
+		for _, in := range u.group.Inputs {
+			e.lastUse[canon(in)] = i
+		}
+	}
+	for _, o := range e.Graph.Outputs {
+		e.lastUse[canon(o)] = len(e.units)
+	}
+	e.freeAt = make([][]*graph.Node, len(e.units))
+	for n, i := range e.lastUse {
+		if i < len(e.units) {
+			e.freeAt[i] = append(e.freeAt[i], n)
+		}
+	}
+}
+
+// Result is the outcome of one Run.
+type Result struct {
+	Outputs []*tensor.Tensor
+	Profile *ral.Profiler
+}
+
+// Run executes the graph on concrete inputs.
+func (e *Executable) Run(inputs []*tensor.Tensor) (*Result, error) {
+	g := e.Graph
+	if len(inputs) != len(g.Params) {
+		return nil, fmt.Errorf("exec: %d inputs for %d parameters", len(inputs), len(g.Params))
+	}
+	shapes := make([][]int, len(inputs))
+	for i, in := range inputs {
+		shapes[i] = in.Shape()
+	}
+	// Compiled host-side shape computation.
+	vals, err := e.prog.Run(shapes)
+	if err != nil {
+		return nil, err
+	}
+	prof := ral.NewProfiler()
+	env := map[*graph.Node][]float32{}
+	// owned tracks pool-allocated buffers by producing node; scratch rows
+	// return immediately after each kernel, owned values after their last
+	// use (liveness planning) or at run end.
+	owned := map[*graph.Node][]float32{}
+	defer func() {
+		for _, b := range owned {
+			e.Pool.Put(b)
+		}
+	}()
+
+	valueOf := func(n *graph.Node) ([]float32, error) {
+		if v, ok := env[n]; ok {
+			return v, nil
+		}
+		switch n.Kind {
+		case graph.OpParameter:
+			v := flatten(inputs[n.ParamIndex])
+			env[n] = v
+			return v, nil
+		case graph.OpConstant:
+			return e.constBufs[n], nil
+		}
+		return nil, fmt.Errorf("exec: value of %%%d (%s) not yet computed", n.ID, n.Kind)
+	}
+
+	for i, u := range e.units {
+		switch {
+		case u.alias:
+			in, err := valueOf(u.group.Nodes[0].Inputs[0])
+			if err != nil {
+				return nil, err
+			}
+			env[u.group.Nodes[0]] = in
+		case u.isLib:
+			if err := e.runLibrary(u, vals, valueOf, env, owned, prof); err != nil {
+				return nil, err
+			}
+		default:
+			if err := e.runKernel(u, vals, valueOf, env, owned, prof); err != nil {
+				return nil, err
+			}
+		}
+		if !e.opts.DisableLivenessPlanning {
+			for _, dead := range e.freeAt[i] {
+				if buf, ok := owned[dead]; ok {
+					e.Pool.Put(buf)
+					delete(owned, dead)
+				}
+			}
+		}
+	}
+
+	outs := make([]*tensor.Tensor, len(g.Outputs))
+	for i, o := range g.Outputs {
+		buf, err := valueOf(o)
+		if err != nil {
+			return nil, err
+		}
+		outs[i] = unflatten(buf, evalRefs(vals, e.outRefs[i]), o.DType)
+	}
+	return &Result{Outputs: outs, Profile: prof}, nil
+}
+
+// runLibrary executes a matmul/conv through the BLAS substitute and
+// charges the library cost model.
+func (e *Executable) runLibrary(u *unit, vals []int64, valueOf func(*graph.Node) ([]float32, error),
+	env map[*graph.Node][]float32, owned map[*graph.Node][]float32, prof *ral.Profiler) error {
+
+	n := u.group.Nodes[0]
+	aBuf, err := valueOf(n.Inputs[0])
+	if err != nil {
+		return err
+	}
+	bBuf, err := valueOf(n.Inputs[1])
+	if err != nil {
+		return err
+	}
+	aShape := evalRefs(vals, u.inShapeRefs[0])
+	bShape := evalRefs(vals, u.inShapeRefs[1])
+	a := tensor.FromF32(aBuf[:tensor.Numel(aShape)], aShape...)
+	b := tensor.FromF32(bBuf[:tensor.Numel(bShape)], bShape...)
+	var out *tensor.Tensor
+	switch n.Kind {
+	case graph.OpMatMul:
+		if n.TransB {
+			// The BLAS substitute contracts against the transposed view;
+			// materialize it here (a real library reads it strided).
+			perm := make([]int, b.Rank())
+			for i := range perm {
+				perm[i] = i
+			}
+			perm[len(perm)-1], perm[len(perm)-2] = perm[len(perm)-2], perm[len(perm)-1]
+			b = tensor.Transpose(b, perm)
+		}
+		out = tensor.MatMul(a, b)
+	case graph.OpConv1D:
+		out = tensor.Conv1D(a, b)
+	default:
+		return fmt.Errorf("exec: unsupported library op %s", n.Kind)
+	}
+	buf := e.Pool.Get(out.Numel())
+	copy(buf, out.F32())
+	env[n] = buf
+	owned[n] = buf
+	name, bytes, flops := libraryCost(n.Kind, aShape, bShape, out.Shape())
+	prof.Host(e.opts.HostDispatchNs)
+	prof.Library(name, bytes, flops, e.Dev.MatmulTimeNs(bytes, flops))
+	return nil
+}
+
+// libraryCost computes the traffic and arithmetic of a library call from
+// its operand shapes. Convolutions are charged as their implicit GEMM.
+func libraryCost(kind graph.OpKind, aShape, bShape, oShape []int) (string, float64, float64) {
+	bytes := float64(4 * (tensor.Numel(aShape) + tensor.Numel(bShape) + tensor.Numel(oShape)))
+	switch kind {
+	case graph.OpConv1D:
+		// flops = 2 * outputs * K * Cin.
+		k, cin := bShape[0], bShape[1]
+		return "conv1d", bytes, 2 * float64(tensor.Numel(oShape)) * float64(k) * float64(cin)
+	default:
+		m := oShape[len(oShape)-2]
+		nn := oShape[len(oShape)-1]
+		k := aShape[len(aShape)-1]
+		batch := tensor.Numel(oShape) / (m * nn)
+		return "matmul", bytes, 2 * float64(batch) * float64(m) * float64(nn) * float64(k)
+	}
+}
+
+// runKernel executes a lowered fusion group: allocate outputs and scratch,
+// select a variant, run the kernel IR, charge the cost model.
+func (e *Executable) runKernel(u *unit, vals []int64, valueOf func(*graph.Node) ([]float32, error),
+	env map[*graph.Node][]float32, owned map[*graph.Node][]float32, prof *ral.Profiler) error {
+
+	k := u.kernel
+	grp := u.group
+
+	numel := refsNumel(vals, u.domainRefs)
+	rowLen := 0
+	if n := len(u.domainRefs); n > 0 {
+		r := u.domainRefs[n-1]
+		if r.Slot < 0 {
+			rowLen = int(r.Static)
+		} else {
+			rowLen = int(vals[r.Slot])
+		}
+	}
+	dims := evalRefs(vals, u.kernelDimRefs)
+	variant := k.Select(codegen.RunInfoOf(numel, rowLen, dims))
+
+	// Buffers: inputs, outputs, scratch.
+	bufs := make([][]float32, 0, len(grp.Inputs)+len(grp.Outputs)+k.ScratchRows)
+	var bytes float64
+	for _, in := range grp.Inputs {
+		v, err := valueOf(in)
+		if err != nil {
+			return err
+		}
+		bufs = append(bufs, v)
+		bytes += float64(4 * len(v))
+	}
+	for oi, out := range grp.Outputs {
+		buf := e.Pool.Get(refsNumel(vals, u.outShapeRefs[oi]))
+		env[out] = buf
+		owned[out] = buf
+		bufs = append(bufs, buf)
+		bytes += float64(4 * len(buf))
+	}
+	var scratches [][]float32
+	for i := 0; i < k.ScratchRows; i++ {
+		scratch := e.Pool.Get(rowLen)
+		scratches = append(scratches, scratch)
+		bufs = append(bufs, scratch)
+	}
+	defer func() {
+		for _, sc := range scratches {
+			e.Pool.Put(sc)
+		}
+	}()
+
+	if err := variant.Code.Run(bufs, dims); err != nil {
+		return err
+	}
+
+	// Cost: inputs + outputs traffic (intermediates live in registers or
+	// shared-memory scratch), with a small synchronization surcharge per
+	// extra stitched pass.
+	passPenalty := 1 + 0.08*float64(k.Passes-1)
+	cost := device.KernelCost{
+		Bytes:             bytes * passPenalty,
+		Flops:             float64(k.FlopsPerPoint) * float64(numel),
+		MemEfficiency:     variant.MemEfficiency,
+		ComputeEfficiency: variant.ComputeEfficiency,
+	}
+	prof.Host(e.opts.HostDispatchNs)
+	prof.Launch(k.Name, variant.Name, cost.Bytes, cost.Flops, e.Dev.KernelTimeNs(cost))
+	return nil
+}
+
+// flatten converts any tensor into the runtime's f32 buffer form. Integer
+// and boolean payloads are value-preserving for the magnitudes models use.
+func flatten(t *tensor.Tensor) []float32 {
+	switch t.DType() {
+	case tensor.F32:
+		return t.F32()
+	case tensor.I32:
+		out := make([]float32, t.Numel())
+		for i, v := range t.I32() {
+			out[i] = float32(v)
+		}
+		return out
+	case tensor.Bool:
+		out := make([]float32, t.Numel())
+		for i, v := range t.Bools() {
+			if v {
+				out[i] = 1
+			}
+		}
+		return out
+	}
+	panic("exec: unknown dtype")
+}
+
+// unflatten wraps a buffer back into a typed tensor, copying so results
+// outlive pooled buffers.
+func unflatten(buf []float32, shape []int, dt tensor.DType) *tensor.Tensor {
+	n := tensor.Numel(shape)
+	switch dt {
+	case tensor.F32:
+		out := make([]float32, n)
+		copy(out, buf[:n])
+		return tensor.FromF32(out, shape...)
+	case tensor.I32:
+		out := make([]int32, n)
+		for i := 0; i < n; i++ {
+			out[i] = int32(buf[i])
+		}
+		return tensor.FromI32(out, shape...)
+	case tensor.Bool:
+		out := make([]bool, n)
+		for i := 0; i < n; i++ {
+			out[i] = buf[i] != 0
+		}
+		return tensor.FromBool(out, shape...)
+	}
+	panic("exec: unknown dtype")
+}

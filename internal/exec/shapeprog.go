@@ -1,0 +1,283 @@
+package exec
+
+import (
+	"fmt"
+
+	"godisc/internal/graph"
+	"godisc/internal/symshape"
+)
+
+// Host-side shape computation, compiled. BladeDISC emits host code that
+// derives every intermediate extent from the input shapes; this file is
+// that compiler: at executable-build time the symbolic dimension graph is
+// flattened into a shapeProgram — input fills with their validation facts,
+// followed by derived-dimension steps in dependency order. At run time the
+// program evaluates into a flat slot array with no map lookups or
+// recursion; every unit's domain, kernel dims and buffer sizes read slots.
+
+// dimRef is a compiled reference to a dimension value: either a static
+// constant (Slot < 0) or a program slot.
+type dimRef struct {
+	Static int64
+	Slot   int
+}
+
+// shapeStepKind enumerates derived-dimension evaluation ops.
+type shapeStepKind uint8
+
+const (
+	stepProduct shapeStepKind = iota
+	stepSum
+	stepQuot
+	stepAffine
+)
+
+// shapeStep computes one derived slot from earlier slots/statics.
+type shapeStep struct {
+	Kind shapeStepKind
+	Slot int
+	Args []dimRef
+	// A, B parameterize quotients (denom = A) and affines (scale = A,
+	// offset = B).
+	A, B int64
+}
+
+// fillCheck binds (and validates) one input dimension.
+type fillCheck struct {
+	Param, Dim int
+	// Slot receives the value; -1 means the dim is static and only the
+	// equality check applies.
+	Slot   int
+	Static int64
+	Lo, Hi int64
+	Div    int64
+}
+
+// shapeProgram is the compiled host shape computation.
+type shapeProgram struct {
+	slots int
+	fills []fillCheck
+	steps []shapeStep
+}
+
+// shapeCompiler builds a shapeProgram over a graph's dimension context.
+type shapeCompiler struct {
+	ctx    *symshape.Context
+	slotOf map[symshape.DimID]int
+	prog   *shapeProgram
+	// building guards against (pathological) cyclic decompositions.
+	building map[symshape.DimID]bool
+	// inputRoots are roots directly filled from parameters; they never
+	// need derivation steps.
+	inputRoots map[symshape.DimID]bool
+}
+
+// compileShapeProgram builds the program for g: fills for every parameter
+// dimension, then derivation steps for every root in needed.
+func compileShapeProgram(g *graph.Graph, needed []symshape.DimID) (*shapeProgram, map[symshape.DimID]int, error) {
+	sc := &shapeCompiler{
+		ctx:        g.Ctx,
+		slotOf:     map[symshape.DimID]int{},
+		prog:       &shapeProgram{},
+		building:   map[symshape.DimID]bool{},
+		inputRoots: map[symshape.DimID]bool{},
+	}
+	// Fills first: parameter dims are value sources.
+	for pi, p := range g.Params {
+		for di, d := range p.Shape {
+			fc := fillCheck{Param: pi, Dim: di, Slot: -1, Div: 1}
+			if v, ok := sc.ctx.StaticValue(d); ok {
+				fc.Static = v
+				sc.prog.fills = append(sc.prog.fills, fc)
+				continue
+			}
+			r := sc.ctx.Root(d)
+			slot, ok := sc.slotOf[r]
+			if !ok {
+				slot = sc.newSlot(r)
+			}
+			sc.inputRoots[r] = true
+			desc := sc.ctx.Describe(r)
+			fc.Slot = slot
+			fc.Lo, fc.Hi = desc.Lo, desc.Hi
+			fc.Div = desc.Divisor
+			if fc.Div < 1 {
+				fc.Div = 1
+			}
+			sc.prog.fills = append(sc.prog.fills, fc)
+		}
+	}
+	for _, d := range needed {
+		if _, err := sc.ref(d); err != nil {
+			return nil, nil, err
+		}
+	}
+	return sc.prog, sc.slotOf, nil
+}
+
+func (sc *shapeCompiler) newSlot(r symshape.DimID) int {
+	slot := sc.prog.slots
+	sc.prog.slots++
+	sc.slotOf[r] = slot
+	return slot
+}
+
+// ref resolves d to a dimRef, emitting derivation steps as needed.
+func (sc *shapeCompiler) ref(d symshape.DimID) (dimRef, error) {
+	if v, ok := sc.ctx.StaticValue(d); ok {
+		return dimRef{Static: v, Slot: -1}, nil
+	}
+	r := sc.ctx.Root(d)
+	if slot, ok := sc.slotOf[r]; ok {
+		return dimRef{Slot: slot}, nil
+	}
+	if sc.building[r] {
+		return dimRef{}, fmt.Errorf("exec: cyclic dimension decomposition at %s", sc.ctx.Name(d))
+	}
+	sc.building[r] = true
+	defer delete(sc.building, r)
+
+	desc := sc.ctx.Describe(r)
+	var step shapeStep
+	switch desc.Kind {
+	case symshape.KindProduct:
+		step.Kind = stepProduct
+	case symshape.KindSum:
+		step.Kind = stepSum
+	case symshape.KindQuotient:
+		step.Kind = stepQuot
+		step.A = desc.Denom
+	case symshape.KindAffine:
+		step.Kind = stepAffine
+		step.A = desc.Scale
+		step.B = desc.Offset
+	default:
+		return dimRef{}, fmt.Errorf("exec: dimension %s is not derivable from the graph inputs", sc.ctx.Name(d))
+	}
+	for _, op := range desc.Operands {
+		opRef, err := sc.ref(op)
+		if err != nil {
+			return dimRef{}, err
+		}
+		step.Args = append(step.Args, opRef)
+	}
+	step.Slot = sc.newSlot(r)
+	sc.prog.steps = append(sc.prog.steps, step)
+	return dimRef{Slot: step.Slot}, nil
+}
+
+// Run evaluates the program for one invocation's input shapes.
+func (p *shapeProgram) Run(inputShapes [][]int) ([]int64, error) {
+	vals := make([]int64, p.slots)
+	set := make([]bool, p.slots)
+	for _, f := range p.fills {
+		if f.Param >= len(inputShapes) || f.Dim >= len(inputShapes[f.Param]) {
+			return nil, fmt.Errorf("exec: input %d has too few dims", f.Param)
+		}
+		v := int64(inputShapes[f.Param][f.Dim])
+		if v < 0 {
+			return nil, fmt.Errorf("exec: input %d dim %d is negative", f.Param, f.Dim)
+		}
+		if f.Slot < 0 {
+			if v != f.Static {
+				return nil, fmt.Errorf("exec: input %d dim %d must be %d, got %d", f.Param, f.Dim, f.Static, v)
+			}
+			continue
+		}
+		if set[f.Slot] {
+			if vals[f.Slot] != v {
+				return nil, fmt.Errorf("exec: input %d dim %d bound to both %d and %d (same symbolic dimension)",
+					f.Param, f.Dim, vals[f.Slot], v)
+			}
+			continue
+		}
+		if v < f.Lo || v > f.Hi {
+			return nil, fmt.Errorf("exec: input %d dim %d = %d outside declared range [%d,%d]",
+				f.Param, f.Dim, v, f.Lo, f.Hi)
+		}
+		if f.Div > 1 && v%f.Div != 0 {
+			return nil, fmt.Errorf("exec: input %d dim %d = %d violates divisibility by %d",
+				f.Param, f.Dim, v, f.Div)
+		}
+		vals[f.Slot] = v
+		set[f.Slot] = true
+	}
+	get := func(r dimRef) (int64, error) {
+		if r.Slot < 0 {
+			return r.Static, nil
+		}
+		if !set[r.Slot] {
+			return 0, fmt.Errorf("exec: unbound dimension slot %d", r.Slot)
+		}
+		return vals[r.Slot], nil
+	}
+	for _, s := range p.steps {
+		var out int64
+		switch s.Kind {
+		case stepProduct:
+			out = 1
+			for _, a := range s.Args {
+				v, err := get(a)
+				if err != nil {
+					return nil, err
+				}
+				out *= v
+			}
+		case stepSum:
+			for _, a := range s.Args {
+				v, err := get(a)
+				if err != nil {
+					return nil, err
+				}
+				out += v
+			}
+		case stepQuot:
+			v, err := get(s.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			if v%s.A != 0 {
+				return nil, fmt.Errorf("exec: %d not divisible by %d in derived dimension", v, s.A)
+			}
+			out = v / s.A
+		case stepAffine:
+			v, err := get(s.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			out = s.A*v + s.B
+			if out < 0 {
+				return nil, fmt.Errorf("exec: derived dimension %d*%d%+d is negative", s.A, v, s.B)
+			}
+		}
+		vals[s.Slot] = out
+		set[s.Slot] = true
+	}
+	return vals, nil
+}
+
+// evalRefs materializes a compiled shape.
+func evalRefs(vals []int64, refs []dimRef) []int {
+	out := make([]int, len(refs))
+	for i, r := range refs {
+		if r.Slot < 0 {
+			out[i] = int(r.Static)
+		} else {
+			out[i] = int(vals[r.Slot])
+		}
+	}
+	return out
+}
+
+// refsNumel multiplies a compiled shape's extents.
+func refsNumel(vals []int64, refs []dimRef) int {
+	n := 1
+	for _, r := range refs {
+		if r.Slot < 0 {
+			n *= int(r.Static)
+		} else {
+			n *= int(vals[r.Slot])
+		}
+	}
+	return n
+}

@@ -1,0 +1,115 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"godisc/internal/graph"
+	"godisc/internal/symshape"
+	"godisc/internal/tensor"
+)
+
+// progFor compiles a shape program for a graph needing the given dims.
+func progFor(t *testing.T, g *graph.Graph, needed []symshape.DimID) (*shapeProgram, map[symshape.DimID]int) {
+	t.Helper()
+	p, slots, err := compileShapeProgram(g, needed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, slots
+}
+
+func TestShapeProgramDerivedChain(t *testing.T) {
+	// Input [B, S]; derived: pad = 1+S+1, conv = pad-2 (== S), q = S/4,
+	// prod = B*S.
+	g := graph.New("t")
+	b := g.Ctx.NewDim("B")
+	s := g.Ctx.NewDim("S")
+	g.Ctx.DeclareDivisible(s, 4)
+	g.Parameter("x", tensor.F32, symshape.Shape{b, s})
+	pad := g.Ctx.DeclareSum("pad", []symshape.DimID{g.Ctx.StaticDim(1), s, g.Ctx.StaticDim(1)})
+	conv := g.Ctx.DeclareAffine("conv", pad, 1, -2)
+	q := g.Ctx.DeclareQuotient("q", s, 4)
+	prod := g.Ctx.DeclareProduct("bs", []symshape.DimID{b, s})
+
+	p, slots := progFor(t, g, []symshape.DimID{pad, conv, q, prod})
+	vals, err := p.Run([][]int{{3, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(d symshape.DimID, want int64) {
+		t.Helper()
+		slot, ok := slots[g.Ctx.Root(d)]
+		if !ok {
+			t.Fatalf("no slot for %s", g.Ctx.Name(d))
+		}
+		if vals[slot] != want {
+			t.Fatalf("%s = %d, want %d", g.Ctx.Name(d), vals[slot], want)
+		}
+	}
+	check(pad, 10)
+	check(conv, 8)
+	check(q, 2)
+	check(prod, 24)
+}
+
+func TestShapeProgramValidation(t *testing.T) {
+	g := graph.New("t")
+	b := g.Ctx.NewDim("B")
+	s := g.Ctx.NewDim("S")
+	g.Ctx.DeclareRange(s, 4, 64)
+	g.Ctx.DeclareDivisible(s, 4)
+	g.Parameter("x", tensor.F32, symshape.Shape{b, s})
+	g.Parameter("y", tensor.F32, symshape.Shape{b, g.Ctx.StaticDim(3)})
+	p, _ := progFor(t, g, nil)
+
+	cases := []struct {
+		name   string
+		shapes [][]int
+		substr string
+	}{
+		{"range", [][]int{{2, 128}, {2, 3}}, "range"},
+		{"divisibility", [][]int{{2, 6}, {2, 3}}, "divisibility"},
+		{"static mismatch", [][]int{{2, 8}, {2, 5}}, "must be 3"},
+		{"symbol consistency", [][]int{{2, 8}, {3, 3}}, "same symbolic"},
+		{"negative", [][]int{{2, -1}, {2, 3}}, "negative"},
+	}
+	for _, c := range cases {
+		_, err := p.Run(c.shapes)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.substr) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.substr)
+		}
+	}
+	// The valid case passes.
+	if _, err := p.Run([][]int{{2, 8}, {2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShapeProgramUnderivableDim(t *testing.T) {
+	// A dimension with no decomposition and no parameter source cannot be
+	// evaluated at run time; compilation must reject it up front.
+	g := graph.New("t")
+	b := g.Ctx.NewDim("B")
+	g.Parameter("x", tensor.F32, symshape.Shape{b})
+	orphan := g.Ctx.NewDim("orphan")
+	if _, _, err := compileShapeProgram(g, []symshape.DimID{orphan}); err == nil {
+		t.Fatal("orphan dim must fail at compile time")
+	}
+}
+
+func TestShapeProgramStaticOnlyGraph(t *testing.T) {
+	g := graph.New("t")
+	g.Parameter("x", tensor.F32, g.Ctx.StaticShape(4, 8))
+	p, _ := progFor(t, g, nil)
+	if _, err := p.Run([][]int{{4, 8}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run([][]int{{4, 9}}); err == nil {
+		t.Fatal("static mismatch must error")
+	}
+}

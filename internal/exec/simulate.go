@@ -1,0 +1,71 @@
+package exec
+
+import (
+	"fmt"
+
+	"godisc/internal/codegen"
+	"godisc/internal/device"
+	"godisc/internal/ral"
+)
+
+// Simulate charges the cost model for a run over the given concrete input
+// shapes without executing any kernel or allocating buffers. It is used by
+// baselines that execute at *different* shapes than the logical request —
+// e.g. the TensorRT-style strategy pays for bucket-padded shapes — and by
+// sweeps that only need performance, not values. It shares the compiled
+// shape program with Run.
+func (e *Executable) Simulate(inputShapes [][]int) (*ral.Profiler, error) {
+	if len(inputShapes) != len(e.Graph.Params) {
+		return nil, fmt.Errorf("exec: %d input shapes for %d parameters", len(inputShapes), len(e.Graph.Params))
+	}
+	vals, err := e.prog.Run(inputShapes)
+	if err != nil {
+		return nil, err
+	}
+	prof := ral.NewProfiler()
+	for _, u := range e.units {
+		switch {
+		case u.alias:
+			// Zero cost.
+		case u.isLib:
+			n := u.group.Nodes[0]
+			aShape := evalRefs(vals, u.inShapeRefs[0])
+			bShape := evalRefs(vals, u.inShapeRefs[1])
+			oShape := evalRefs(vals, u.outShapeRefs[0])
+			name, bytes, flops := libraryCost(n.Kind, aShape, bShape, oShape)
+			prof.Host(e.opts.HostDispatchNs)
+			prof.Library(name, bytes, flops, e.Dev.MatmulTimeNs(bytes, flops))
+		default:
+			k := u.kernel
+			numel := refsNumel(vals, u.domainRefs)
+			rowLen := 0
+			if n := len(u.domainRefs); n > 0 {
+				r := u.domainRefs[n-1]
+				if r.Slot < 0 {
+					rowLen = int(r.Static)
+				} else {
+					rowLen = int(vals[r.Slot])
+				}
+			}
+			dims := evalRefs(vals, u.kernelDimRefs)
+			variant := k.Select(codegen.RunInfoOf(numel, rowLen, dims))
+			var bytes float64
+			for _, refs := range u.inShapeRefs {
+				bytes += float64(4 * refsNumel(vals, refs))
+			}
+			for _, refs := range u.outShapeRefs {
+				bytes += float64(4 * refsNumel(vals, refs))
+			}
+			passPenalty := 1 + 0.08*float64(k.Passes-1)
+			cost := device.KernelCost{
+				Bytes:             bytes * passPenalty,
+				Flops:             float64(k.FlopsPerPoint) * float64(numel),
+				MemEfficiency:     variant.MemEfficiency,
+				ComputeEfficiency: variant.ComputeEfficiency,
+			}
+			prof.Host(e.opts.HostDispatchNs)
+			prof.Launch(k.Name, variant.Name, cost.Bytes, cost.Flops, e.Dev.KernelTimeNs(cost))
+		}
+	}
+	return prof, nil
+}

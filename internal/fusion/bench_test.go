@@ -1,0 +1,27 @@
+package fusion
+
+import (
+	"testing"
+
+	"godisc/internal/models"
+	"godisc/internal/opt"
+)
+
+// BenchmarkPlanBert measures fusion planning latency on the largest model.
+func BenchmarkPlanBert(b *testing.B) {
+	m, err := models.ByName("bert")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := m.Build()
+	if _, err := opt.Default().Run(g); err != nil {
+		b.Fatal(err)
+	}
+	planner := NewPlanner(DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := planner.Plan(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package fusion
+
+import (
+	"godisc/internal/graph"
+	"godisc/internal/symshape"
+)
+
+// This file holds the shape-relationship oracle queries the planner uses.
+// All of them consult the symshape context and therefore respect its
+// feature gating — weakening the features (experiment E7) weakens fusion.
+
+// isFusableElementwise reports whether n can live inside a fused loop:
+// pointwise ops, plus reshape, which inside a contiguous row-major loop is
+// a pure reindexing (flat indices coincide when the element counts are
+// provably equal).
+func isFusableElementwise(n *graph.Node) bool {
+	if n.Kind.IsElementwise() {
+		return true
+	}
+	return n.Kind == graph.OpReshape
+}
+
+// isRowReduce reports whether n is a reduction over exactly the last axis —
+// the shape BladeDISC's kInput/kStitch schedules target.
+func isRowReduce(n *graph.Node) bool {
+	if n.Kind != graph.OpReduce {
+		return false
+	}
+	in := n.Inputs[0]
+	return len(n.Reduce.Axes) == 1 && n.Reduce.Axes[0] == in.Rank()-1
+}
+
+// opaqueKind returns the standalone kernel kind for non-fusable ops.
+func opaqueKind(n *graph.Node) Kind {
+	switch n.Kind {
+	case graph.OpMatMul, graph.OpConv1D:
+		return KLibrary
+	case graph.OpTranspose, graph.OpConcat, graph.OpSlice, graph.OpGather, graph.OpPad:
+		return KData
+	default:
+		return KSingle
+	}
+}
+
+// loopCompatible reports whether a value of shape s can be computed inside
+// a kernel iterating over domain: identical shapes, an implicit broadcast
+// (trailing-aligned dims each provably equal or statically 1), or a
+// contiguous reindexing (provably equal element counts — the reshape case,
+// which needs product facts).
+func loopCompatible(ctx *symshape.Context, s, domain symshape.Shape) bool {
+	if ctx.ShapeEqual(s, domain) {
+		return true
+	}
+	if broadcastsInto(ctx, s, domain) {
+		return true
+	}
+	return ctx.ProductEqual(s, domain)
+}
+
+// broadcastsInto reports whether shape s broadcasts into domain: rank(s) <=
+// rank(domain) and each trailing-aligned dim of s is provably equal to the
+// domain dim or statically 1.
+func broadcastsInto(ctx *symshape.Context, s, domain symshape.Shape) bool {
+	if len(s) > len(domain) {
+		return false
+	}
+	off := len(domain) - len(s)
+	for i, d := range s {
+		if isOne(ctx, d) {
+			continue
+		}
+		if !ctx.Equal(d, domain[off+i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func isOne(ctx *symshape.Context, d symshape.DimID) bool {
+	v, ok := ctx.StaticValue(d)
+	return ok && v == 1
+}
+
+// rowSignature describes the row structure of a shape relative to a row
+// space [rows..., L]: reduced forms ([rows...] or [rows...,1]) and the full
+// form are all row-compatible.
+type rowSignature struct {
+	rowsKey string // NumelKey of the leading dims
+	lastDim symshape.DimID
+}
+
+// rowSig computes the row structure of the pre-reduction shape s.
+func rowSig(ctx *symshape.Context, s symshape.Shape) rowSignature {
+	if len(s) == 0 {
+		return rowSignature{rowsKey: "1", lastDim: symshape.Invalid}
+	}
+	return rowSignature{
+		rowsKey: ctx.NumelKey(s[:len(s)-1]),
+		lastDim: ctx.Root(s[len(s)-1]),
+	}
+}
+
+// rowCompatible reports whether a node of shape s fits the row space
+// (rows, L): either the full row shape, the reduced shape (keepdims or
+// not), a broadcast-scalar, or anything that broadcasts into the full row
+// shape.
+func rowCompatible(ctx *symshape.Context, s symshape.Shape, sig rowSignature, full symshape.Shape) bool {
+	// Full row shape (possibly via reshape with equal element count).
+	if ctx.ShapeEqual(s, full) {
+		return true
+	}
+	// Reduced: [rows...] or [rows..., 1].
+	if len(s) > 0 {
+		if isOne(ctx, s[len(s)-1]) && ctx.NumelKey(s[:len(s)-1]) == sig.rowsKey {
+			return true
+		}
+	}
+	if ctx.NumelKey(s) == sig.rowsKey {
+		return true
+	}
+	// Broadcast into the full shape (bias vectors, scalars).
+	return broadcastsInto(ctx, s, full)
+}

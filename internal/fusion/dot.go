@@ -1,0 +1,48 @@
+package fusion
+
+import (
+	"fmt"
+	"strings"
+
+	"godisc/internal/graph"
+)
+
+// groupPalette cycles fill colors for fusion-group clusters.
+var groupPalette = []string{
+	"lightsalmon", "palegreen", "lightskyblue", "plum", "khaki",
+	"lightpink", "paleturquoise", "wheat",
+}
+
+// WriteDot renders the graph with fusion groups as Graphviz clusters —
+// the visualization `discc -dot` emits once a plan exists. Leaves float
+// outside the clusters; each multi-op group gets a labeled, colored box.
+func WriteDot(g *graph.Graph, p *Plan) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=TB;\n  node [fontsize=10,shape=box];\n", g.Name)
+	for _, n := range g.Toposort() {
+		if !n.IsLeaf() {
+			continue
+		}
+		label := fmt.Sprintf("%%%d %s", n.ID, n.Kind)
+		if n.Kind == graph.OpParameter {
+			label = fmt.Sprintf("%%%d param %q", n.ID, n.Name)
+		}
+		fmt.Fprintf(&sb, "  n%d [label=%q,shape=ellipse,style=filled,fillcolor=lightblue];\n", n.ID, label)
+	}
+	for _, grp := range p.Groups {
+		color := groupPalette[grp.ID%len(groupPalette)]
+		fmt.Fprintf(&sb, "  subgraph cluster_g%d {\n    label=\"group %d (%s)\";\n    style=filled;\n    color=%s;\n",
+			grp.ID, grp.ID, grp.Kind, color)
+		for _, n := range grp.Nodes {
+			fmt.Fprintf(&sb, "    n%d [label=\"%%%d %s\"];\n", n.ID, n.ID, n.Kind)
+		}
+		sb.WriteString("  }\n")
+	}
+	for _, n := range g.Toposort() {
+		for _, in := range n.Inputs {
+			fmt.Fprintf(&sb, "  n%d -> n%d;\n", in.ID, n.ID)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,171 @@
+// Package fusion implements BladeDISC's dynamic-shape operator fusion. The
+// planner never looks at concrete shape values: every legality and
+// profitability decision is a query against the symbolic shape context —
+// symbol equality for same-loop fusion (kLoop), row structure for
+// reduction-rooted fusion (kInput), and product/range facts for stitching
+// several reduction skeletons into one kernel (kStitch). That is the
+// paper's central claim: fusion needs tensor shape *relationships* between
+// adjacent operators, not shape values.
+package fusion
+
+import (
+	"fmt"
+	"strings"
+
+	"godisc/internal/graph"
+	"godisc/internal/symshape"
+)
+
+// Kind classifies a fusion group, mirroring BladeDISC's fusion kinds.
+type Kind uint8
+
+const (
+	// KSingle is an unfused op that still becomes one kernel (elementwise
+	// or reduce that found no partner).
+	KSingle Kind = iota
+	// KLoop is a fused elementwise loop (possibly with fused reshapes and
+	// implicit broadcasts).
+	KLoop
+	// KInput is a reduction with its elementwise producers fused into the
+	// reduction's input loop.
+	KInput
+	// KStitch holds several row-reduction skeletons plus elementwise code
+	// stitched through per-row shared-memory staging.
+	KStitch
+	// KLibrary is a library call (matmul) — never fused, matching
+	// BladeDISC's use of vendor BLAS kernels.
+	KLibrary
+	// KData is a data-movement kernel (transpose, concat, slice, gather).
+	KData
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KSingle:
+		return "kSingle"
+	case KLoop:
+		return "kLoop"
+	case KInput:
+		return "kInput"
+	case KStitch:
+		return "kStitch"
+	case KLibrary:
+		return "kLibrary"
+	case KData:
+		return "kData"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Group is a set of graph nodes compiled into one kernel.
+type Group struct {
+	ID   int
+	Kind Kind
+	// Nodes in topological order.
+	Nodes []*graph.Node
+	// Domain is the symbolic iteration space of the kernel (the loop
+	// shape). For KInput/KStitch it is the pre-reduction row space.
+	Domain symshape.Shape
+	// Inputs are external values read by the group (dedup'd, ordered).
+	Inputs []*graph.Node
+	// Outputs are group values consumed outside the group or returned from
+	// the graph (dedup'd, ordered).
+	Outputs []*graph.Node
+	// Reduces counts reduction skeletons inside the group.
+	Reduces int
+}
+
+// Contains reports whether n belongs to the group.
+func (g *Group) Contains(n *graph.Node) bool {
+	for _, m := range g.Nodes {
+		if m == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Plan is a complete fusion plan: a partition of the non-leaf nodes of a
+// graph into kernel groups, in executable (topological) order.
+type Plan struct {
+	Groups []*Group
+	ByNode map[*graph.Node]*Group
+}
+
+// Stats summarizes a plan for the fusion-statistics experiment (E6).
+type Stats struct {
+	Kernels      int
+	FusedOps     int // ops living in multi-op groups
+	TotalOps     int
+	ByKind       map[Kind]int
+	LargestGroup int
+}
+
+// Stats computes summary statistics.
+func (p *Plan) Stats() Stats {
+	s := Stats{ByKind: map[Kind]int{}}
+	for _, g := range p.Groups {
+		s.Kernels++
+		s.ByKind[g.Kind]++
+		s.TotalOps += len(g.Nodes)
+		if len(g.Nodes) > 1 {
+			s.FusedOps += len(g.Nodes)
+		}
+		if len(g.Nodes) > s.LargestGroup {
+			s.LargestGroup = len(g.Nodes)
+		}
+	}
+	return s
+}
+
+// String renders the plan for debugging and golden tests.
+func (p *Plan) String() string {
+	var sb strings.Builder
+	for _, g := range p.Groups {
+		ids := make([]string, len(g.Nodes))
+		for i, n := range g.Nodes {
+			ids[i] = fmt.Sprintf("%%%d:%s", n.ID, n.Kind)
+		}
+		fmt.Fprintf(&sb, "group %d %s {%s}\n", g.ID, g.Kind, strings.Join(ids, " "))
+	}
+	return sb.String()
+}
+
+// Config controls the planner; each fusion kind can be disabled for the
+// ablation experiments.
+type Config struct {
+	EnableLoop   bool
+	EnableInput  bool
+	EnableStitch bool
+	// EnableHorizontal merges *independent* elementwise groups with
+	// provably identical domains into one kernel (BladeDISC's horizontal
+	// fusion: parallel branches like the q/k/v bias+activation tails
+	// launch once instead of three times).
+	EnableHorizontal bool
+	// MaxGroupOps caps group size (0 = 96).
+	MaxGroupOps int
+	// StitchRowBytesLimit is the per-row staging budget in bytes that a
+	// stitched kernel may use (0 = 48 KiB, one SM's shared memory). A
+	// stitch is only legal when the symbolic range facts *prove* rows fit.
+	StitchRowBytesLimit int64
+}
+
+// DefaultConfig enables everything (the BladeDISC configuration).
+func DefaultConfig() Config {
+	return Config{EnableLoop: true, EnableInput: true, EnableStitch: true, EnableHorizontal: true}
+}
+
+func (c *Config) maxOps() int {
+	if c.MaxGroupOps <= 0 {
+		return 96
+	}
+	return c.MaxGroupOps
+}
+
+func (c *Config) stitchLimit() int64 {
+	if c.StitchRowBytesLimit <= 0 {
+		return 48 << 10
+	}
+	return c.StitchRowBytesLimit
+}

@@ -1,0 +1,413 @@
+package fusion
+
+import (
+	"strings"
+	"testing"
+
+	"godisc/internal/graph"
+	"godisc/internal/opt"
+	"godisc/internal/symshape"
+	"godisc/internal/tensor"
+)
+
+// elemChainGraph: y = relu(exp(x) + x) with dynamic [B, S, 8].
+func elemChainGraph() *graph.Graph {
+	g := graph.New("chain")
+	b := g.Ctx.NewDim("B")
+	s := g.Ctx.NewDim("S")
+	x := g.Parameter("x", tensor.F32, symshape.Shape{b, s, g.Ctx.StaticDim(8)})
+	g.SetOutputs(g.Relu(g.Add(g.Exp(x), x)))
+	return g
+}
+
+// softmaxGraph: decomposed softmax over dynamic rows.
+func softmaxGraph(t *testing.T, declareRange bool) *graph.Graph {
+	t.Helper()
+	g := graph.New("softmax")
+	b := g.Ctx.NewDim("B")
+	s := g.Ctx.NewDim("L")
+	if declareRange {
+		g.Ctx.DeclareRange(s, 1, 1024)
+	}
+	x := g.Parameter("x", tensor.F32, symshape.Shape{b, s})
+	g.SetOutputs(g.Softmax(x))
+	if _, err := opt.Default().Run(g); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func mustPlan(t *testing.T, g *graph.Graph, cfg Config) *Plan {
+	t.Helper()
+	p, err := NewPlanner(cfg).Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNoFusionConfig(t *testing.T) {
+	g := elemChainGraph()
+	p := mustPlan(t, g, Config{})
+	// Every non-leaf node its own group.
+	nonLeaf := 0
+	for _, n := range g.Toposort() {
+		if !n.IsLeaf() {
+			nonLeaf++
+		}
+	}
+	if len(p.Groups) != nonLeaf {
+		t.Fatalf("expected %d singleton groups, got %d", nonLeaf, len(p.Groups))
+	}
+}
+
+func TestKLoopFusesElementwiseChain(t *testing.T) {
+	g := elemChainGraph()
+	p := mustPlan(t, g, Config{EnableLoop: true})
+	if len(p.Groups) != 1 {
+		t.Fatalf("chain should fuse into one kLoop group, got:\n%s", p.String())
+	}
+	if p.Groups[0].Kind != KLoop {
+		t.Fatalf("kind %s", p.Groups[0].Kind)
+	}
+	if len(p.Groups[0].Nodes) != 3 {
+		t.Fatalf("group size %d", len(p.Groups[0].Nodes))
+	}
+}
+
+func TestKLoopFusesBroadcastBias(t *testing.T) {
+	g := graph.New("bias")
+	b := g.Ctx.NewDim("B")
+	h := g.Ctx.StaticDim(16)
+	x := g.Parameter("x", tensor.F32, symshape.Shape{b, h})
+	bias := g.Parameter("bias", tensor.F32, symshape.Shape{h})
+	g.SetOutputs(g.Relu(g.Add(x, bias)))
+	p := mustPlan(t, g, Config{EnableLoop: true})
+	if len(p.Groups) != 1 || p.Groups[0].Kind != KLoop {
+		t.Fatalf("bias-add chain should be one kLoop:\n%s", p.String())
+	}
+}
+
+func TestKLoopFusesThroughReshape(t *testing.T) {
+	// exp -> reshape -> relu: with product facts this is one contiguous
+	// loop; without them, the reshape breaks fusion.
+	build := func() *graph.Graph {
+		g := graph.New("reshape")
+		b := g.Ctx.NewDim("B")
+		s := g.Ctx.NewDim("S")
+		x := g.Parameter("x", tensor.F32, symshape.Shape{b, s, g.Ctx.StaticDim(4)})
+		y := g.Relu(g.MergeDims(g.Exp(x), 0, 2))
+		g.SetOutputs(y)
+		return g
+	}
+	g := build()
+	p := mustPlan(t, g, Config{EnableLoop: true})
+	if len(p.Groups) != 1 {
+		t.Fatalf("reshape should fuse with product facts:\n%s", p.String())
+	}
+	// Weakened oracle: no product facts -> fusion must split.
+	g2 := build()
+	g2.Ctx.SetFeatures(symshape.FeatEqualityOnly)
+	p2 := mustPlan(t, g2, Config{EnableLoop: true})
+	if len(p2.Groups) < 2 {
+		t.Fatalf("without product facts the reshape must split groups:\n%s", p2.String())
+	}
+}
+
+func TestStaticOnlyOracleBlocksDynamicFusion(t *testing.T) {
+	g := elemChainGraph()
+	g.Ctx.SetFeatures(symshape.FeatStaticOnly)
+	p := mustPlan(t, g, Config{EnableLoop: true})
+	// With only static facts, the dynamic dims B and S cannot be proven
+	// equal between producer and consumer, so nothing fuses.
+	if len(p.Groups) != 3 {
+		t.Fatalf("static-only oracle should block all fusion, got:\n%s", p.String())
+	}
+}
+
+func TestKInputFusesReduceProducers(t *testing.T) {
+	g := graph.New("reduce")
+	b := g.Ctx.NewDim("B")
+	l := g.Ctx.NewDim("L")
+	x := g.Parameter("x", tensor.F32, symshape.Shape{b, l})
+	// sum(exp(x - 1)) over rows.
+	e := g.Exp(g.Sub(x, g.ConstScalar(1)))
+	g.SetOutputs(g.Sum(e, []int{-1}, false))
+	p := mustPlan(t, g, Config{EnableLoop: true, EnableInput: true})
+	if len(p.Groups) != 1 {
+		t.Fatalf("reduce with producers should be one kInput group:\n%s", p.String())
+	}
+	if p.Groups[0].Kind != KInput {
+		t.Fatalf("kind %s", p.Groups[0].Kind)
+	}
+	if p.Groups[0].Reduces != 1 {
+		t.Fatalf("reduces %d", p.Groups[0].Reduces)
+	}
+}
+
+func TestSoftmaxKernelCounts(t *testing.T) {
+	// Decomposed softmax has 2 reduces + 3 elementwise (max, sub, exp,
+	// sum, div). Expected kernels: no fusion 5; +loop/input it compresses;
+	// +stitch it becomes a single kernel (range declared).
+	cases := []struct {
+		name string
+		cfg  Config
+		want func(kernels int) bool
+	}{
+		{"none", Config{}, func(k int) bool { return k == 5 }},
+		{"loop+input", Config{EnableLoop: true, EnableInput: true}, func(k int) bool { return k >= 2 && k <= 4 }},
+		{"all", DefaultConfig(), func(k int) bool { return k == 1 }},
+	}
+	for _, c := range cases {
+		g := softmaxGraph(t, true)
+		p := mustPlan(t, g, c.cfg)
+		if !c.want(len(p.Groups)) {
+			t.Errorf("%s: %d kernels:\n%s", c.name, len(p.Groups), p.String())
+		}
+	}
+}
+
+func TestStitchRequiresRangeProof(t *testing.T) {
+	// Without a declared range on the row length, the planner cannot prove
+	// the row fits in shared memory, so softmax must not stitch fully.
+	g := softmaxGraph(t, false)
+	p := mustPlan(t, g, DefaultConfig())
+	if len(p.Groups) == 1 && p.Groups[0].Kind == KStitch {
+		t.Fatalf("stitch without range proof must be rejected:\n%s", p.String())
+	}
+	// With the range declared, it stitches (checked in the case above) —
+	// and with arithmetic facts masked, it must not, even if declared.
+	g2 := softmaxGraph(t, true)
+	g2.Ctx.SetFeatures(symshape.FeatStatic | symshape.FeatEquality | symshape.FeatProduct)
+	p2 := mustPlan(t, g2, DefaultConfig())
+	if len(p2.Groups) == 1 {
+		t.Fatalf("stitch without arith facts must be rejected:\n%s", p2.String())
+	}
+}
+
+func TestStitchSoftmaxSingleKernel(t *testing.T) {
+	g := softmaxGraph(t, true)
+	p := mustPlan(t, g, DefaultConfig())
+	if len(p.Groups) != 1 || p.Groups[0].Kind != KStitch {
+		t.Fatalf("softmax should stitch into one kernel:\n%s", p.String())
+	}
+	if p.Groups[0].Reduces != 2 {
+		t.Fatalf("stitched softmax should hold 2 reduces, got %d", p.Groups[0].Reduces)
+	}
+}
+
+func TestMatMulStaysLibrary(t *testing.T) {
+	g := graph.New("mm")
+	b := g.Ctx.NewDim("B")
+	x := g.Parameter("x", tensor.F32, symshape.Shape{b, g.Ctx.StaticDim(8)})
+	w := g.Constant(tensor.RandN(tensor.NewRNG(1), 1, 8, 8))
+	y := g.Relu(g.MatMul(x, w))
+	g.SetOutputs(y)
+	p := mustPlan(t, g, DefaultConfig())
+	var mmGroup *Group
+	for _, grp := range p.Groups {
+		for _, n := range grp.Nodes {
+			if n.Kind == graph.OpMatMul {
+				mmGroup = grp
+			}
+		}
+	}
+	if mmGroup == nil || mmGroup.Kind != KLibrary || len(mmGroup.Nodes) != 1 {
+		t.Fatalf("matmul must remain a standalone library call:\n%s", p.String())
+	}
+}
+
+func TestPlanTopologicalOrder(t *testing.T) {
+	g := softmaxGraph(t, true)
+	p := mustPlan(t, g, Config{EnableLoop: true, EnableInput: true})
+	seen := map[*graph.Node]bool{}
+	for _, grp := range p.Groups {
+		for _, n := range grp.Nodes {
+			seen[n] = true
+		}
+		for _, in := range grp.Inputs {
+			if !in.IsLeaf() && !seen[in] {
+				t.Fatalf("group %d input %%%d not yet produced", grp.ID, in.ID)
+			}
+		}
+	}
+}
+
+func TestGroupInputsOutputs(t *testing.T) {
+	g := elemChainGraph()
+	p := mustPlan(t, g, DefaultConfig())
+	grp := p.Groups[0]
+	if len(grp.Inputs) != 1 || grp.Inputs[0].Kind != graph.OpParameter {
+		t.Fatalf("inputs %v", grp.Inputs)
+	}
+	if len(grp.Outputs) != 1 || grp.Outputs[0] != g.Outputs[0] {
+		t.Fatalf("outputs mismatch")
+	}
+}
+
+func TestMultiOutputEscapingValueMaterialized(t *testing.T) {
+	// x -> exp -> (output1); exp -> relu -> output2. Vertical fusion must
+	// not swallow exp (it escapes), but horizontal fusion may still run
+	// both in one launch — with exp materialized as a group output.
+	g := graph.New("t")
+	b := g.Ctx.NewDim("B")
+	x := g.Parameter("x", tensor.F32, symshape.Shape{b})
+	e := g.Exp(x)
+	r := g.Relu(e)
+	g.SetOutputs(e, r)
+
+	// Without horizontal fusion: two kernels.
+	vertical := mustPlan(t, g, Config{EnableLoop: true, EnableInput: true, EnableStitch: true})
+	if len(vertical.Groups) != 2 {
+		t.Fatalf("escaping value must block vertical fusion:\n%s", vertical.String())
+	}
+	// With horizontal fusion: one launch, both values stored.
+	p := mustPlan(t, g, DefaultConfig())
+	if len(p.Groups) != 1 {
+		t.Fatalf("horizontal fusion should combine the launches:\n%s", p.String())
+	}
+	outs := p.Groups[0].Outputs
+	if len(outs) != 2 {
+		t.Fatalf("both escaping values must be group outputs, got %d", len(outs))
+	}
+}
+
+func TestHorizontalFusesIndependentBranches(t *testing.T) {
+	// Three independent bias+relu tails over the same domain (the q/k/v
+	// pattern) collapse into one kernel.
+	g := graph.New("t")
+	b := g.Ctx.NewDim("B")
+	h := g.Ctx.StaticDim(8)
+	x := g.Parameter("x", tensor.F32, symshape.Shape{b, h})
+	y := g.Parameter("y", tensor.F32, symshape.Shape{b, h})
+	z := g.Parameter("z", tensor.F32, symshape.Shape{b, h})
+	rr := tensor.NewRNG(1)
+	mk := func(in *graph.Node) *graph.Node {
+		return g.Relu(g.Add(in, g.Constant(tensor.RandN(rr, 0.1, 8))))
+	}
+	g.SetOutputs(mk(x), mk(y), mk(z))
+	noH := mustPlan(t, g, Config{EnableLoop: true, EnableInput: true, EnableStitch: true})
+	withH := mustPlan(t, g, DefaultConfig())
+	if len(noH.Groups) != 3 {
+		t.Fatalf("expected 3 vertical groups:\n%s", noH.String())
+	}
+	if len(withH.Groups) != 1 {
+		t.Fatalf("horizontal fusion should yield 1 kernel:\n%s", withH.String())
+	}
+}
+
+func TestHorizontalRespectsDependencePaths(t *testing.T) {
+	// a -> matmul -> c: a and c have equal domains but merging them would
+	// wrap the library call in a cycle; the planner must refuse.
+	g := graph.New("t")
+	b := g.Ctx.NewDim("B")
+	h := g.Ctx.StaticDim(8)
+	x := g.Parameter("x", tensor.F32, symshape.Shape{b, h})
+	a := g.Exp(x)
+	w := g.Constant(tensor.RandN(tensor.NewRNG(2), 0.1, 8, 8))
+	c := g.Relu(g.MatMul(a, w))
+	g.SetOutputs(c)
+	p := mustPlan(t, g, DefaultConfig())
+	for _, grp := range p.Groups {
+		hasA, hasC := false, false
+		for _, n := range grp.Nodes {
+			if n == a {
+				hasA = true
+			}
+			if n == c {
+				hasC = true
+			}
+		}
+		if hasA && hasC {
+			t.Fatalf("groups separated by a library call must not merge:\n%s", p.String())
+		}
+	}
+}
+
+func TestDiamondFusesWithoutCycle(t *testing.T) {
+	// x -> a -> c; x -> b -> c: all elementwise, same shape. The whole
+	// diamond can be one group; at minimum planning must not produce a
+	// cyclic group graph.
+	g := graph.New("diamond")
+	bdim := g.Ctx.NewDim("B")
+	x := g.Parameter("x", tensor.F32, symshape.Shape{bdim})
+	a := g.Exp(x)
+	b := g.Tanh(x)
+	c := g.Add(a, b)
+	g.SetOutputs(c)
+	p := mustPlan(t, g, DefaultConfig())
+	if len(p.Groups) > 3 {
+		t.Fatalf("diamond produced %d groups", len(p.Groups))
+	}
+	// Sanity: plan covers all three ops exactly once.
+	count := 0
+	for _, grp := range p.Groups {
+		count += len(grp.Nodes)
+	}
+	if count != 3 {
+		t.Fatalf("plan covers %d ops, want 3", count)
+	}
+}
+
+func TestStatsSummary(t *testing.T) {
+	g := softmaxGraph(t, true)
+	p := mustPlan(t, g, DefaultConfig())
+	s := p.Stats()
+	if s.Kernels != 1 || s.TotalOps != 5 || s.LargestGroup != 5 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestBertLayerKernelReduction(t *testing.T) {
+	// A transformer-ish block: matmul -> bias -> gelu -> layernorm.
+	// With full fusion the elementwise+norm tail should collapse to very
+	// few kernels around the library matmuls.
+	g := graph.New("block")
+	b := g.Ctx.NewDim("B")
+	s := g.Ctx.NewDim("S")
+	g.Ctx.DeclareRange(s, 1, 512)
+	h := g.Ctx.StaticDim(32)
+	x := g.Parameter("x", tensor.F32, symshape.Shape{b, s, h})
+	r := tensor.NewRNG(3)
+	w := g.Constant(tensor.RandN(r, 0.1, 32, 32))
+	bias := g.Constant(tensor.RandN(r, 0.1, 32))
+	gamma := g.Constant(tensor.RandN(r, 0.1, 32))
+	beta := g.Constant(tensor.RandN(r, 0.1, 32))
+	h1 := g.Gelu(g.Add(g.MatMul(x, w), bias))
+	out := g.LayerNorm(g.Add(h1, x), gamma, beta, 1e-5)
+	g.SetOutputs(out)
+	if _, err := opt.Default().Run(g); err != nil {
+		t.Fatal(err)
+	}
+	unfused := mustPlan(t, g, Config{})
+	fused := mustPlan(t, g, DefaultConfig())
+	if len(fused.Groups) >= len(unfused.Groups) {
+		t.Fatalf("fusion did not reduce kernels: %d -> %d", len(unfused.Groups), len(fused.Groups))
+	}
+	// matmul + one or two fused tails is the ideal; allow a little slack
+	// but require a large reduction.
+	if len(fused.Groups) > 4 {
+		t.Fatalf("expected <=4 kernels, got %d:\n%s", len(fused.Groups), fused.String())
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	// Planning the same graph twice yields identical group structure.
+	g := softmaxGraph(t, true)
+	p1 := mustPlan(t, g, DefaultConfig())
+	p2 := mustPlan(t, g, DefaultConfig())
+	if p1.String() != p2.String() {
+		t.Fatalf("plans differ:\n%s\nvs\n%s", p1.String(), p2.String())
+	}
+}
+
+func TestWriteDotClusters(t *testing.T) {
+	g := softmaxGraph(t, true)
+	p := mustPlan(t, g, DefaultConfig())
+	dot := WriteDot(g, p)
+	for _, want := range []string{"digraph", "cluster_g0", "kStitch", "->", "param"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("dot missing %q:\n%s", want, dot)
+		}
+	}
+}

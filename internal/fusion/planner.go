@@ -1,0 +1,571 @@
+package fusion
+
+import (
+	"fmt"
+	"sort"
+
+	"godisc/internal/graph"
+	"godisc/internal/symshape"
+)
+
+// Planner computes fusion plans. Create with NewPlanner; zero value is not
+// usable.
+type Planner struct {
+	cfg Config
+}
+
+// NewPlanner returns a planner with the given configuration.
+func NewPlanner(cfg Config) *Planner { return &Planner{cfg: cfg} }
+
+// Plan partitions the reachable non-leaf nodes of g into kernel groups.
+// The graph must already be decomposed (no composite ops) and verified.
+func (p *Planner) Plan(g *graph.Graph) (*Plan, error) {
+	b := newBuilder(g, p.cfg)
+	if p.cfg.EnableLoop {
+		b.fuseLoops()
+	}
+	if p.cfg.EnableInput {
+		b.fuseInputs()
+	}
+	if p.cfg.EnableStitch {
+		b.fuseStitches()
+	}
+	if p.cfg.EnableHorizontal {
+		b.fuseHorizontal()
+	}
+	return b.finish()
+}
+
+// gmeta is the mutable per-group state kept on union-find roots.
+type gmeta struct {
+	kind    Kind
+	nodes   []*graph.Node
+	domain  symshape.Shape
+	reduces int
+	fusable bool
+}
+
+type builder struct {
+	g     *graph.Graph
+	cfg   Config
+	order []*graph.Node
+	pos   map[*graph.Node]int
+	users map[*graph.Node][]*graph.Node
+	// isOut marks graph output nodes.
+	isOut map[*graph.Node]bool
+	// Union-find over nodes; meta lives on roots. Leaves (parameters,
+	// constants) never appear.
+	parent map[*graph.Node]*graph.Node
+	meta   map[*graph.Node]*gmeta
+}
+
+func newBuilder(g *graph.Graph, cfg Config) *builder {
+	b := &builder{
+		g:      g,
+		cfg:    cfg,
+		order:  g.Toposort(),
+		pos:    map[*graph.Node]int{},
+		users:  g.Users(),
+		isOut:  map[*graph.Node]bool{},
+		parent: map[*graph.Node]*graph.Node{},
+		meta:   map[*graph.Node]*gmeta{},
+	}
+	for i, n := range b.order {
+		b.pos[n] = i
+	}
+	for _, o := range g.Outputs {
+		b.isOut[o] = true
+	}
+	for _, n := range b.order {
+		if n.IsLeaf() {
+			continue
+		}
+		b.parent[n] = n
+		m := &gmeta{nodes: []*graph.Node{n}}
+		switch {
+		case isRowReduce(n):
+			m.kind = KSingle
+			m.fusable = true
+			m.reduces = 1
+			m.domain = n.Inputs[0].Shape
+		case isFusableElementwise(n):
+			m.kind = KSingle
+			m.fusable = true
+			m.domain = n.Shape
+		default:
+			m.kind = opaqueKind(n)
+			m.domain = n.Shape
+		}
+		b.meta[n] = m
+	}
+	return b
+}
+
+func (b *builder) find(n *graph.Node) *graph.Node {
+	for b.parent[n] != n {
+		b.parent[n] = b.parent[b.parent[n]]
+		n = b.parent[n]
+	}
+	return n
+}
+
+// groupOf returns nil for leaves.
+func (b *builder) groupOf(n *graph.Node) *gmeta {
+	if n.IsLeaf() {
+		return nil
+	}
+	return b.meta[b.find(n)]
+}
+
+// succs returns the set of group roots directly consuming values of the
+// group rooted at r.
+func (b *builder) succs(r *graph.Node) map[*graph.Node]bool {
+	out := map[*graph.Node]bool{}
+	for _, n := range b.meta[r].nodes {
+		for _, u := range b.users[n] {
+			if u.IsLeaf() {
+				continue
+			}
+			ur := b.find(u)
+			if ur != r {
+				out[ur] = true
+			}
+		}
+	}
+	return out
+}
+
+// wouldCycle reports whether merging producer group pr into consumer group
+// cr would create a cycle: true iff cr is reachable from pr through any
+// path other than the direct edge.
+func (b *builder) wouldCycle(pr, cr *graph.Node) bool {
+	seen := map[*graph.Node]bool{pr: true}
+	var stack []*graph.Node
+	for s := range b.succs(pr) {
+		if s == cr {
+			continue // the direct edge collapses on merge
+		}
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == cr {
+			return true
+		}
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		for s := range b.succs(cur) {
+			stack = append(stack, s)
+		}
+	}
+	return false
+}
+
+// merge absorbs group pr into cr; cr's meta is updated with the union. The
+// caller has already validated legality. kind is the merged kind.
+func (b *builder) merge(pr, cr *graph.Node, kind Kind, domain symshape.Shape) {
+	pm, cm := b.meta[pr], b.meta[cr]
+	cm.nodes = append(cm.nodes, pm.nodes...)
+	cm.reduces += pm.reduces
+	cm.kind = kind
+	cm.domain = domain
+	b.parent[pr] = cr
+	delete(b.meta, pr)
+}
+
+// allUsersInGroup reports whether every user of every node in group pr is
+// inside pr or cr, and none of pr's nodes is a graph output. (Group outputs
+// escaping elsewhere would force materialization, defeating the fusion.)
+func (b *builder) allUsersInGroup(pr, cr *graph.Node) bool {
+	for _, n := range b.meta[pr].nodes {
+		if b.isOut[n] {
+			return false
+		}
+		for _, u := range b.users[n] {
+			if u.IsLeaf() {
+				continue
+			}
+			ur := b.find(u)
+			if ur != pr && ur != cr {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// nodesCompatible checks that every node of group pr is loop-compatible
+// with domain.
+func (b *builder) nodesCompatible(pr *graph.Node, domain symshape.Shape) bool {
+	for _, n := range b.meta[pr].nodes {
+		shape := n.Shape
+		if isRowReduce(n) {
+			shape = n.Inputs[0].Shape
+		}
+		if !loopCompatible(b.g.Ctx, shape, domain) {
+			return false
+		}
+	}
+	return true
+}
+
+// fuseLoops implements kLoop fusion: producer elementwise groups merge into
+// their (single) consumer elementwise group when the consumer's loop domain
+// covers them.
+func (b *builder) fuseLoops() {
+	for changed := true; changed; {
+		changed = false
+		for i := len(b.order) - 1; i >= 0; i-- {
+			n := b.order[i]
+			pm := b.groupOf(n)
+			if pm == nil || !pm.fusable || pm.reduces > 0 {
+				continue
+			}
+			pr := b.find(n)
+			cr, ok := b.soleConsumerGroup(pr)
+			if !ok {
+				continue
+			}
+			cm := b.meta[cr]
+			if !cm.fusable || cm.reduces > 0 {
+				continue
+			}
+			if len(pm.nodes)+len(cm.nodes) > b.cfg.maxOps() {
+				continue
+			}
+			if !b.allUsersInGroup(pr, cr) {
+				continue
+			}
+			if !b.nodesCompatible(pr, cm.domain) {
+				continue
+			}
+			if b.wouldCycle(pr, cr) {
+				continue
+			}
+			b.merge(pr, cr, KLoop, cm.domain)
+			changed = true
+		}
+	}
+}
+
+// soleConsumerGroup returns the unique consumer group of pr, if exactly one
+// exists.
+func (b *builder) soleConsumerGroup(pr *graph.Node) (*graph.Node, bool) {
+	var cr *graph.Node
+	for s := range b.succs(pr) {
+		if cr != nil && s != cr {
+			return nil, false
+		}
+		cr = s
+	}
+	if cr == nil {
+		return nil, false
+	}
+	return cr, true
+}
+
+// fuseInputs implements kInput fusion: elementwise producer groups merge
+// into the row-reduction group they feed when the reduction's input loop
+// covers them.
+func (b *builder) fuseInputs() {
+	for changed := true; changed; {
+		changed = false
+		for i := len(b.order) - 1; i >= 0; i-- {
+			n := b.order[i]
+			pm := b.groupOf(n)
+			if pm == nil || !pm.fusable || pm.reduces > 0 {
+				continue
+			}
+			pr := b.find(n)
+			cr, ok := b.soleConsumerGroup(pr)
+			if !ok {
+				continue
+			}
+			cm := b.meta[cr]
+			if !cm.fusable || cm.reduces != 1 || cm.kind == KStitch {
+				continue
+			}
+			if len(pm.nodes)+len(cm.nodes) > b.cfg.maxOps() {
+				continue
+			}
+			if !b.allUsersInGroup(pr, cr) {
+				continue
+			}
+			if !b.nodesCompatible(pr, cm.domain) {
+				continue
+			}
+			if b.wouldCycle(pr, cr) {
+				continue
+			}
+			b.merge(pr, cr, KInput, cm.domain)
+			changed = true
+		}
+	}
+}
+
+// fuseHorizontal merges independent elementwise groups whose domains hold
+// provably the same number of points. No dataflow edge connects the merged
+// groups; the combined kernel simply runs both bodies in one launch. Only
+// pure elementwise groups participate (reduction groups have row structure
+// that horizontal partners would have to share; stitching covers that).
+func (b *builder) fuseHorizontal() {
+	// Bucket elementwise group roots by their domain's element-count key.
+	for changed := true; changed; {
+		changed = false
+		buckets := map[string][]*graph.Node{}
+		for _, n := range b.order {
+			m := b.groupOf(n)
+			if m == nil || !m.fusable || m.reduces > 0 {
+				continue
+			}
+			r := b.find(n)
+			key := b.g.Ctx.NumelKey(m.domain)
+			found := false
+			for _, seen := range buckets[key] {
+				if seen == r {
+					found = true
+					break
+				}
+			}
+			if !found {
+				buckets[key] = append(buckets[key], r)
+			}
+		}
+		for _, roots := range buckets {
+			for i := 0; i < len(roots) && !changed; i++ {
+				for j := i + 1; j < len(roots); j++ {
+					pr, cr := roots[i], roots[j]
+					if b.find(pr) != pr || b.find(cr) != cr {
+						continue
+					}
+					pm, cm := b.meta[pr], b.meta[cr]
+					if len(pm.nodes)+len(cm.nodes) > b.cfg.maxOps() {
+						continue
+					}
+					// Every node of both groups must be computable over a
+					// shared domain; use cr's domain (equal element count).
+					if !b.nodesCompatible(pr, cm.domain) || !b.nodesCompatible(cr, cm.domain) {
+						continue
+					}
+					// Independence: neither group may reach the other.
+					if b.wouldCycle(pr, cr) || b.wouldCycle(cr, pr) {
+						continue
+					}
+					b.merge(pr, cr, KLoop, cm.domain)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// stitchSig computes the row signature of a group, or ok=false if the group
+// has no row structure usable for stitching.
+func (b *builder) stitchSig(m *gmeta) (rowSignature, bool) {
+	if !m.fusable {
+		return rowSignature{}, false
+	}
+	if len(m.domain) == 0 {
+		return rowSignature{}, false
+	}
+	ctx := b.g.Ctx
+	sig := rowSig(ctx, m.domain)
+	if isOne(ctx, m.domain[len(m.domain)-1]) {
+		// Degenerate row of length 1: no stitch value.
+		return rowSignature{}, false
+	}
+	return sig, true
+}
+
+// stitchBudgetOK proves (from range facts) that per-row staging for the
+// merged group fits the shared-memory budget.
+func (b *builder) stitchBudgetOK(m1, m2 *gmeta, last symshape.DimID) bool {
+	ctx := b.g.Ctx
+	_, hi := ctx.Range(last)
+	buffers := int64(2 + m1.reduces + m2.reduces)
+	const elemSize = 4
+	need := buffers * hi * elemSize
+	return hi < (1<<39) && need <= b.cfg.stitchLimit()
+}
+
+// fuseStitches implements kStitch: groups sharing the same row space merge
+// into one kernel that stages rows in shared memory, as long as the range
+// facts prove the staging fits.
+func (b *builder) fuseStitches() {
+	ctx := b.g.Ctx
+	for changed := true; changed; {
+		changed = false
+		for i := len(b.order) - 1; i >= 0; i-- {
+			n := b.order[i]
+			pm := b.groupOf(n)
+			if pm == nil {
+				continue
+			}
+			pr := b.find(n)
+			sig1, ok := b.stitchSig(pm)
+			if !ok {
+				continue
+			}
+			for cr := range b.succs(pr) {
+				cm := b.meta[cr]
+				sig2, ok := b.stitchSig(cm)
+				if !ok {
+					continue
+				}
+				if sig1.rowsKey != sig2.rowsKey || !ctx.Equal(sig1.lastDim, sig2.lastDim) {
+					continue
+				}
+				if len(pm.nodes)+len(cm.nodes) > b.cfg.maxOps() {
+					continue
+				}
+				if !b.stitchBudgetOK(pm, cm, sig2.lastDim) {
+					continue
+				}
+				// All nodes of both groups must be row-compatible with the
+				// full row shape (the consumer's domain, which has the full
+				// last dim).
+				full := cm.domain
+				if !b.rowNodesCompatible(pr, sig2, full) || !b.rowNodesCompatible(cr, sig2, full) {
+					continue
+				}
+				if b.wouldCycle(pr, cr) {
+					continue
+				}
+				b.merge(pr, cr, KStitch, full)
+				changed = true
+				break
+			}
+		}
+	}
+}
+
+// rowNodesCompatible checks every node of the group against the row space.
+func (b *builder) rowNodesCompatible(r *graph.Node, sig rowSignature, full symshape.Shape) bool {
+	ctx := b.g.Ctx
+	for _, n := range b.meta[r].nodes {
+		shape := n.Shape
+		if isRowReduce(n) {
+			shape = n.Inputs[0].Shape
+		}
+		if !rowCompatible(ctx, shape, sig, full) {
+			return false
+		}
+	}
+	return true
+}
+
+// finish assembles the final Plan: groups in topological order with node
+// lists sorted by schedule position, and input/output sets computed.
+func (b *builder) finish() (*Plan, error) {
+	// Collect roots.
+	roots := map[*graph.Node]*gmeta{}
+	for _, n := range b.order {
+		if n.IsLeaf() {
+			continue
+		}
+		roots[b.find(n)] = b.meta[b.find(n)]
+	}
+	// Topological order of groups via Kahn over the group DAG.
+	indeg := map[*graph.Node]int{}
+	succOf := map[*graph.Node]map[*graph.Node]bool{}
+	for r := range roots {
+		succOf[r] = b.succs(r)
+	}
+	for r := range roots {
+		if _, ok := indeg[r]; !ok {
+			indeg[r] = 0
+		}
+		for s := range succOf[r] {
+			indeg[s]++
+		}
+	}
+	var ready []*graph.Node
+	for r, d := range indeg {
+		if d == 0 {
+			ready = append(ready, r)
+		}
+	}
+	// Deterministic order: by schedule position of the group's first node.
+	sortRoots := func(rs []*graph.Node) {
+		sort.Slice(rs, func(i, j int) bool { return b.pos[rs[i]] < b.pos[rs[j]] })
+	}
+	sortRoots(ready)
+	plan := &Plan{ByNode: map[*graph.Node]*Group{}}
+	done := 0
+	for len(ready) > 0 {
+		r := ready[0]
+		ready = ready[1:]
+		m := roots[r]
+		grp := b.buildGroup(len(plan.Groups), m)
+		plan.Groups = append(plan.Groups, grp)
+		for _, n := range grp.Nodes {
+			plan.ByNode[n] = grp
+		}
+		done++
+		var newly []*graph.Node
+		for s := range succOf[r] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				newly = append(newly, s)
+			}
+		}
+		sortRoots(newly)
+		ready = append(ready, newly...)
+		sortRoots(ready)
+	}
+	if done != len(roots) {
+		return nil, fmt.Errorf("fusion: group graph has a cycle (%d of %d scheduled)", done, len(roots))
+	}
+	return plan, nil
+}
+
+// buildGroup materializes a Group from its meta: nodes sorted, kind
+// finalized, inputs/outputs computed.
+func (b *builder) buildGroup(id int, m *gmeta) *Group {
+	nodes := append([]*graph.Node(nil), m.nodes...)
+	sort.Slice(nodes, func(i, j int) bool { return b.pos[nodes[i]] < b.pos[nodes[j]] })
+	kind := m.kind
+	if len(nodes) == 1 && (kind == KLoop || kind == KInput || kind == KStitch) {
+		kind = KSingle
+	}
+	inGroup := map[*graph.Node]bool{}
+	for _, n := range nodes {
+		inGroup[n] = true
+	}
+	var inputs, outputs []*graph.Node
+	seenIn := map[*graph.Node]bool{}
+	for _, n := range nodes {
+		for _, in := range n.Inputs {
+			if inGroup[in] || seenIn[in] {
+				continue
+			}
+			seenIn[in] = true
+			inputs = append(inputs, in)
+		}
+	}
+	for _, n := range nodes {
+		escapes := b.isOut[n]
+		for _, u := range b.users[n] {
+			if !inGroup[u] {
+				escapes = true
+				break
+			}
+		}
+		if escapes {
+			outputs = append(outputs, n)
+		}
+	}
+	return &Group{
+		ID:      id,
+		Kind:    kind,
+		Nodes:   nodes,
+		Domain:  m.domain,
+		Inputs:  inputs,
+		Outputs: outputs,
+		Reduces: m.reduces,
+	}
+}

@@ -1,0 +1,51 @@
+package graph
+
+import (
+	"testing"
+
+	"godisc/internal/symshape"
+	"godisc/internal/tensor"
+)
+
+func benchGraph() *Graph {
+	g := New("bench")
+	b := g.Ctx.NewDim("B")
+	s := g.Ctx.NewDim("S")
+	x := g.Parameter("x", tensor.F32, symshape.Shape{b, s, g.Ctx.StaticDim(32)})
+	h := x
+	for i := 0; i < 40; i++ {
+		h = g.Relu(g.Add(g.Exp(h), x))
+	}
+	g.SetOutputs(h)
+	return g
+}
+
+func BenchmarkToposort(b *testing.B) {
+	g := benchGraph()
+	for i := 0; i < b.N; i++ {
+		g.Toposort()
+	}
+}
+
+func BenchmarkSerializeRoundTrip(b *testing.B) {
+	g := benchGraph()
+	src := WriteText(g)
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseText(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluate(b *testing.B) {
+	g := benchGraph()
+	r := tensor.NewRNG(1)
+	in := tensor.RandN(r, 1, 4, 32, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(g, []*tensor.Tensor{in}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,529 @@
+package graph
+
+import (
+	"fmt"
+
+	"godisc/internal/symshape"
+	"godisc/internal/tensor"
+)
+
+// This file is the builder API. Every constructor runs symbolic shape
+// inference: output dimensions reuse the input dimension *symbols* wherever
+// the op semantics guarantee equality, so equality facts propagate through
+// the graph for free, and reshape/concat register product/sum facts in the
+// shared context. This is the "shape information propagation" on which the
+// dynamic-shape fusion decisions rely.
+
+// Parameter declares graph input #len(Params) with the given dtype and
+// symbolic shape.
+func (g *Graph) Parameter(name string, dt tensor.DType, shape symshape.Shape) *Node {
+	n := g.add(&Node{
+		Kind:       OpParameter,
+		Shape:      shape.Clone(),
+		DType:      dt,
+		Name:       name,
+		ParamIndex: len(g.Params),
+	})
+	g.Params = append(g.Params, n)
+	return n
+}
+
+// Constant embeds a literal tensor. Its shape is fully static.
+func (g *Graph) Constant(t *tensor.Tensor) *Node {
+	dims := make([]int64, t.Rank())
+	for i, d := range t.Shape() {
+		dims[i] = int64(d)
+	}
+	return g.add(&Node{
+		Kind:  OpConstant,
+		Shape: g.Ctx.StaticShape(dims...),
+		DType: t.DType(),
+		Lit:   t,
+	})
+}
+
+// ConstScalar embeds an f32 scalar.
+func (g *Graph) ConstScalar(v float32) *Node { return g.Constant(tensor.Scalar(v)) }
+
+// unary builds an elementwise unary node.
+func (g *Graph) unary(k OpKind, x *Node) *Node {
+	if x.DType != tensor.F32 {
+		panic(fmt.Sprintf("graph: %s requires f32 input, got %s", k, x.DType))
+	}
+	return g.add(&Node{Kind: k, Inputs: []*Node{x}, Shape: x.Shape.Clone(), DType: tensor.F32})
+}
+
+// Neg returns -x.
+func (g *Graph) Neg(x *Node) *Node { return g.unary(OpNeg, x) }
+
+// Abs returns |x|.
+func (g *Graph) Abs(x *Node) *Node { return g.unary(OpAbs, x) }
+
+// Exp returns e^x.
+func (g *Graph) Exp(x *Node) *Node { return g.unary(OpExp, x) }
+
+// Log returns ln(x).
+func (g *Graph) Log(x *Node) *Node { return g.unary(OpLog, x) }
+
+// Sqrt returns x^0.5.
+func (g *Graph) Sqrt(x *Node) *Node { return g.unary(OpSqrt, x) }
+
+// Rsqrt returns x^-0.5.
+func (g *Graph) Rsqrt(x *Node) *Node { return g.unary(OpRsqrt, x) }
+
+// Tanh returns tanh(x).
+func (g *Graph) Tanh(x *Node) *Node { return g.unary(OpTanh, x) }
+
+// Erf returns erf(x).
+func (g *Graph) Erf(x *Node) *Node { return g.unary(OpErf, x) }
+
+// Sigmoid returns 1/(1+e^-x).
+func (g *Graph) Sigmoid(x *Node) *Node { return g.unary(OpSigmoid, x) }
+
+// Relu returns max(x, 0).
+func (g *Graph) Relu(x *Node) *Node { return g.unary(OpRelu, x) }
+
+// Gelu returns the erf-form GELU.
+func (g *Graph) Gelu(x *Node) *Node { return g.unary(OpGelu, x) }
+
+// broadcastShapes computes the symbolic broadcast of two shapes. Per-dim
+// rule (aligned from the trailing axis): static 1 broadcasts; otherwise the
+// two symbols are unified — the frontend asserts dims that meet in a binary
+// op without an explicit size-1 are equal at run time, exactly the
+// shape-constraint injection a real frontend performs.
+func (g *Graph) broadcastShapes(a, b symshape.Shape) symshape.Shape {
+	ra, rb := len(a), len(b)
+	r := ra
+	if rb > r {
+		r = rb
+	}
+	out := make(symshape.Shape, r)
+	for i := 0; i < r; i++ {
+		var da, db symshape.DimID = symshape.Invalid, symshape.Invalid
+		if i >= r-ra {
+			da = a[i-(r-ra)]
+		}
+		if i >= r-rb {
+			db = b[i-(r-rb)]
+		}
+		switch {
+		case da == symshape.Invalid:
+			out[i] = db
+		case db == symshape.Invalid:
+			out[i] = da
+		case isStaticOne(g.Ctx, da):
+			out[i] = db
+		case isStaticOne(g.Ctx, db):
+			out[i] = da
+		case g.Ctx.Equal(da, db):
+			out[i] = da
+		default:
+			if err := g.Ctx.Unify(da, db); err != nil {
+				panic(fmt.Sprintf("graph: broadcast of %s and %s: %v",
+					g.Ctx.String(a), g.Ctx.String(b), err))
+			}
+			out[i] = da
+		}
+	}
+	return out
+}
+
+func isStaticOne(ctx *symshape.Context, d symshape.DimID) bool {
+	v, ok := ctx.StaticValue(d)
+	return ok && v == 1
+}
+
+// binary builds an elementwise binary node with implicit broadcasting.
+func (g *Graph) binary(k OpKind, a, b *Node) *Node {
+	if a.DType != tensor.F32 || b.DType != tensor.F32 {
+		panic(fmt.Sprintf("graph: %s requires f32 inputs, got %s,%s", k, a.DType, b.DType))
+	}
+	return g.add(&Node{
+		Kind:   k,
+		Inputs: []*Node{a, b},
+		Shape:  g.broadcastShapes(a.Shape, b.Shape),
+		DType:  tensor.F32,
+	})
+}
+
+// Add returns a+b.
+func (g *Graph) Add(a, b *Node) *Node { return g.binary(OpAdd, a, b) }
+
+// Sub returns a-b.
+func (g *Graph) Sub(a, b *Node) *Node { return g.binary(OpSub, a, b) }
+
+// Mul returns a*b.
+func (g *Graph) Mul(a, b *Node) *Node { return g.binary(OpMul, a, b) }
+
+// Div returns a/b.
+func (g *Graph) Div(a, b *Node) *Node { return g.binary(OpDiv, a, b) }
+
+// Pow returns a^b.
+func (g *Graph) Pow(a, b *Node) *Node { return g.binary(OpPow, a, b) }
+
+// Maximum returns max(a,b).
+func (g *Graph) Maximum(a, b *Node) *Node { return g.binary(OpMaximum, a, b) }
+
+// Minimum returns min(a,b).
+func (g *Graph) Minimum(a, b *Node) *Node { return g.binary(OpMinimum, a, b) }
+
+// Compare returns the bool tensor a <op> b; op is lt|le|gt|ge|eq|ne.
+func (g *Graph) Compare(a, b *Node, op string) *Node {
+	switch op {
+	case "lt", "le", "gt", "ge", "eq", "ne":
+	default:
+		panic("graph: bad compare op " + op)
+	}
+	n := g.binary(OpCompare, a, b)
+	n.DType = tensor.Bool
+	n.CmpOp = op
+	return n
+}
+
+// Select returns elementwise pred ? onTrue : onFalse.
+func (g *Graph) Select(pred, onTrue, onFalse *Node) *Node {
+	if pred.DType != tensor.Bool {
+		panic("graph: Select predicate must be bool")
+	}
+	s := g.broadcastShapes(pred.Shape, onTrue.Shape)
+	s = g.broadcastShapes(s, onFalse.Shape)
+	return g.add(&Node{
+		Kind:   OpSelect,
+		Inputs: []*Node{pred, onTrue, onFalse},
+		Shape:  s,
+		DType:  tensor.F32,
+	})
+}
+
+// MatMul returns the batched matrix product. Contraction dims are unified
+// (asserted equal); batch dims broadcast symbolically.
+func (g *Graph) MatMul(a, b *Node) *Node {
+	if a.Rank() < 2 || b.Rank() < 2 {
+		panic(fmt.Sprintf("graph: MatMul requires rank>=2, got %d,%d", a.Rank(), b.Rank()))
+	}
+	ka := a.Shape[a.Rank()-1]
+	kb := b.Shape[b.Rank()-2]
+	if !g.Ctx.Equal(ka, kb) {
+		if err := g.Ctx.Unify(ka, kb); err != nil {
+			panic(fmt.Sprintf("graph: MatMul contraction %s x %s: %v",
+				g.Ctx.String(a.Shape), g.Ctx.String(b.Shape), err))
+		}
+	}
+	batch := g.broadcastShapes(a.Shape[:a.Rank()-2], b.Shape[:b.Rank()-2])
+	out := append(batch, a.Shape[a.Rank()-2], b.Shape[b.Rank()-1])
+	return g.add(&Node{Kind: OpMatMul, Inputs: []*Node{a, b}, Shape: out, DType: tensor.F32})
+}
+
+// MatMulT returns a batched matrix product against the transposed view of
+// b's last two axes: a[..,M,K] x b[..,N,K]^T -> [..,M,N]. It is the form
+// BLAS executes natively (transB); the simplifier folds explicit
+// transpose-then-matmul patterns into it.
+func (g *Graph) MatMulT(a, b *Node) *Node {
+	if a.Rank() < 2 || b.Rank() < 2 {
+		panic(fmt.Sprintf("graph: MatMulT requires rank>=2, got %d,%d", a.Rank(), b.Rank()))
+	}
+	ka := a.Shape[a.Rank()-1]
+	kb := b.Shape[b.Rank()-1] // contraction is b's LAST dim under transB
+	if !g.Ctx.Equal(ka, kb) {
+		if err := g.Ctx.Unify(ka, kb); err != nil {
+			panic(fmt.Sprintf("graph: MatMulT contraction %s x %s: %v",
+				g.Ctx.String(a.Shape), g.Ctx.String(b.Shape), err))
+		}
+	}
+	batch := g.broadcastShapes(a.Shape[:a.Rank()-2], b.Shape[:b.Rank()-2])
+	out := append(batch, a.Shape[a.Rank()-2], b.Shape[b.Rank()-2])
+	n := g.add(&Node{Kind: OpMatMul, Inputs: []*Node{a, b}, Shape: out, DType: tensor.F32})
+	n.TransB = true
+	return n
+}
+
+// ReduceOp reduces x over the given axes.
+func (g *Graph) ReduceOp(x *Node, kind tensor.ReduceKind, axes []int, keepDims bool) *Node {
+	norm := make([]int, 0, len(axes))
+	for _, a := range axes {
+		if a < 0 {
+			a += x.Rank()
+		}
+		if a < 0 || a >= x.Rank() {
+			panic(fmt.Sprintf("graph: reduce axis out of range for rank %d", x.Rank()))
+		}
+		norm = append(norm, a)
+	}
+	drop := map[int]bool{}
+	for _, a := range norm {
+		drop[a] = true
+	}
+	out := make(symshape.Shape, 0, x.Rank())
+	for i, d := range x.Shape {
+		if drop[i] {
+			if keepDims {
+				out = append(out, g.Ctx.StaticDim(1))
+			}
+			continue
+		}
+		out = append(out, d)
+	}
+	sortInts(norm)
+	return g.add(&Node{
+		Kind:   OpReduce,
+		Inputs: []*Node{x},
+		Shape:  out,
+		DType:  tensor.F32,
+		Reduce: ReduceAttr{Kind: kind, Axes: norm, KeepDims: keepDims},
+	})
+}
+
+// Sum reduces with addition.
+func (g *Graph) Sum(x *Node, axes []int, keepDims bool) *Node {
+	return g.ReduceOp(x, tensor.ReduceSum, axes, keepDims)
+}
+
+// Max reduces with maximum.
+func (g *Graph) Max(x *Node, axes []int, keepDims bool) *Node {
+	return g.ReduceOp(x, tensor.ReduceMax, axes, keepDims)
+}
+
+// Mean reduces with arithmetic mean.
+func (g *Graph) Mean(x *Node, axes []int, keepDims bool) *Node {
+	return g.ReduceOp(x, tensor.ReduceMean, axes, keepDims)
+}
+
+// Softmax applies a softmax over the last axis. It is a composite op:
+// the decompose pass expands it before fusion.
+func (g *Graph) Softmax(x *Node) *Node {
+	return g.add(&Node{Kind: OpSoftmax, Inputs: []*Node{x}, Shape: x.Shape.Clone(), DType: tensor.F32})
+}
+
+// LayerNorm normalizes over the last axis with scale gamma and shift beta.
+func (g *Graph) LayerNorm(x, gamma, beta *Node, eps float32) *Node {
+	last := x.Shape[x.Rank()-1]
+	if gamma.Rank() != 1 || beta.Rank() != 1 {
+		panic("graph: LayerNorm gamma/beta must be rank 1")
+	}
+	g.Ctx.MustUnify(gamma.Shape[0], last)
+	g.Ctx.MustUnify(beta.Shape[0], last)
+	return g.add(&Node{
+		Kind:   OpLayerNorm,
+		Inputs: []*Node{x, gamma, beta},
+		Shape:  x.Shape.Clone(),
+		DType:  tensor.F32,
+		Eps:    eps,
+	})
+}
+
+// Reshape reshapes x to target, verifying the symbolic element counts are
+// provably equal. Construct target dims with the context (StaticDim,
+// existing symbols, DeclareProduct).
+func (g *Graph) Reshape(x *Node, target symshape.Shape) *Node {
+	if !g.Ctx.ProductEqual(x.Shape, target) {
+		panic(fmt.Sprintf("graph: reshape %s -> %s not provably element-preserving",
+			g.Ctx.String(x.Shape), g.Ctx.String(target)))
+	}
+	return g.add(&Node{Kind: OpReshape, Inputs: []*Node{x}, Shape: target.Clone(), DType: x.DType})
+}
+
+// MergeDims reshapes x so that dims [from, to) collapse into one derived
+// product dimension, e.g. [B,S,H] -> [B*S, H].
+func (g *Graph) MergeDims(x *Node, from, to int) *Node {
+	if from < 0 || to > x.Rank() || from >= to {
+		panic("graph: MergeDims bad range")
+	}
+	merged := g.Ctx.DeclareProduct("m", x.Shape[from:to])
+	target := make(symshape.Shape, 0, x.Rank()-(to-from)+1)
+	target = append(target, x.Shape[:from]...)
+	target = append(target, merged)
+	target = append(target, x.Shape[to:]...)
+	return g.Reshape(x, target)
+}
+
+// SplitDim reshapes x so that dim axis (which must be provably divisible by
+// inner) splits into [outer, inner]; inner must be a static value.
+func (g *Graph) SplitDim(x *Node, axis int, inner int64) *Node {
+	d := x.Shape[axis]
+	if v, ok := g.Ctx.StaticValue(d); ok {
+		if v%inner != 0 {
+			panic(fmt.Sprintf("graph: SplitDim %d %% %d != 0", v, inner))
+		}
+		target := make(symshape.Shape, 0, x.Rank()+1)
+		target = append(target, x.Shape[:axis]...)
+		target = append(target, g.Ctx.StaticDim(v/inner), g.Ctx.StaticDim(inner))
+		target = append(target, x.Shape[axis+1:]...)
+		return g.Reshape(x, target)
+	}
+	if !g.Ctx.DivisibleBy(d, inner) {
+		panic(fmt.Sprintf("graph: SplitDim dynamic dim %s not provably divisible by %d",
+			g.Ctx.Name(d), inner))
+	}
+	outer := g.Ctx.DeclareQuotient(fmt.Sprintf("%s/%d", g.Ctx.Name(d), inner), d, inner)
+	// d == outer*inner: register d as a product so reshape verification and
+	// runtime shape evaluation can see through it.
+	prod := g.Ctx.DeclareProduct(g.Ctx.Name(d)+"=o*i", symshape.Shape{outer, g.Ctx.StaticDim(inner)})
+	g.Ctx.MustUnify(d, prod)
+	target := make(symshape.Shape, 0, x.Rank()+1)
+	target = append(target, x.Shape[:axis]...)
+	target = append(target, outer, g.Ctx.StaticDim(inner))
+	target = append(target, x.Shape[axis+1:]...)
+	return g.Reshape(x, target)
+}
+
+// Transpose permutes the axes of x.
+func (g *Graph) Transpose(x *Node, perm ...int) *Node {
+	if len(perm) != x.Rank() {
+		panic("graph: Transpose perm rank mismatch")
+	}
+	out := make(symshape.Shape, len(perm))
+	seen := make([]bool, len(perm))
+	for i, p := range perm {
+		if p < 0 || p >= x.Rank() || seen[p] {
+			panic(fmt.Sprintf("graph: bad perm %v", perm))
+		}
+		seen[p] = true
+		out[i] = x.Shape[p]
+	}
+	return g.add(&Node{
+		Kind:   OpTranspose,
+		Inputs: []*Node{x},
+		Shape:  out,
+		DType:  x.DType,
+		Perm:   append([]int(nil), perm...),
+	})
+}
+
+// Concat concatenates xs along axis; the output extent on that axis is a
+// derived sum symbol (folded if all inputs are static there).
+func (g *Graph) Concat(axis int, xs ...*Node) *Node {
+	if len(xs) == 0 {
+		panic("graph: Concat of nothing")
+	}
+	r := xs[0].Rank()
+	if axis < 0 {
+		axis += r
+	}
+	terms := make([]symshape.DimID, len(xs))
+	for i, x := range xs {
+		if x.Rank() != r || x.DType != xs[0].DType {
+			panic("graph: Concat rank/dtype mismatch")
+		}
+		for d := 0; d < r; d++ {
+			if d == axis {
+				continue
+			}
+			if !g.Ctx.Equal(x.Shape[d], xs[0].Shape[d]) {
+				g.Ctx.MustUnify(x.Shape[d], xs[0].Shape[d])
+			}
+		}
+		terms[i] = x.Shape[axis]
+	}
+	out := xs[0].Shape.Clone()
+	out[axis] = g.Ctx.DeclareSum("cat", terms)
+	return g.add(&Node{Kind: OpConcat, Inputs: xs, Shape: out, DType: xs[0].DType, Axis: axis})
+}
+
+// StaticSlice extracts a static window: x[starts[i] : starts[i]+sizes[i]].
+func (g *Graph) StaticSlice(x *Node, starts, sizes []int) *Node {
+	if len(starts) != x.Rank() || len(sizes) != x.Rank() {
+		panic("graph: StaticSlice rank mismatch")
+	}
+	out := make(symshape.Shape, x.Rank())
+	for i := range sizes {
+		out[i] = g.Ctx.StaticDim(int64(sizes[i]))
+	}
+	return g.add(&Node{
+		Kind:   OpSlice,
+		Inputs: []*Node{x},
+		Shape:  out,
+		DType:  x.DType,
+		Starts: append([]int(nil), starts...),
+		Sizes:  append([]int(nil), sizes...),
+	})
+}
+
+// Gather looks rows of table (axis 0) up by i32 indices; output shape is
+// indices.Shape ++ table.Shape[1:].
+func (g *Graph) Gather(table, indices *Node) *Node {
+	if indices.DType != tensor.I32 {
+		panic("graph: Gather indices must be i32")
+	}
+	out := append(indices.Shape.Clone(), table.Shape[1:]...)
+	return g.add(&Node{Kind: OpGather, Inputs: []*Node{table, indices}, Shape: out, DType: table.DType})
+}
+
+// Pad zero-pads x by lo[i] elements before and hi[i] after axis i (static
+// padding amounts). Padded extents are derived sums, so runtime shape
+// evaluation sees through them.
+func (g *Graph) Pad(x *Node, lo, hi []int) *Node {
+	if len(lo) != x.Rank() || len(hi) != x.Rank() {
+		panic("graph: Pad rank mismatch")
+	}
+	out := make(symshape.Shape, x.Rank())
+	for i := range out {
+		if lo[i] < 0 || hi[i] < 0 {
+			panic("graph: Pad negative padding")
+		}
+		if lo[i] == 0 && hi[i] == 0 {
+			out[i] = x.Shape[i]
+			continue
+		}
+		out[i] = g.Ctx.DeclareSum("pad", []symshape.DimID{
+			g.Ctx.StaticDim(int64(lo[i])), x.Shape[i], g.Ctx.StaticDim(int64(hi[i])),
+		})
+	}
+	return g.add(&Node{
+		Kind:   OpPad,
+		Inputs: []*Node{x},
+		Shape:  out,
+		DType:  x.DType,
+		PadLo:  append([]int(nil), lo...),
+		PadHi:  append([]int(nil), hi...),
+	})
+}
+
+// Conv1D applies a stride-1 valid 1-D convolution: x [B,S,Cin] with
+// filters w [K,Cin,Cout] yields [B, S-K+1, Cout]. K, Cin and Cout must be
+// static; the output sequence extent is a derived affine dimension.
+func (g *Graph) Conv1D(x, w *Node) *Node {
+	if x.Rank() != 3 || w.Rank() != 3 {
+		panic("graph: Conv1D wants x [B,S,Cin] and w [K,Cin,Cout]")
+	}
+	k, ok := g.Ctx.StaticValue(w.Shape[0])
+	if !ok {
+		panic("graph: Conv1D kernel size must be static")
+	}
+	if !g.Ctx.Equal(x.Shape[2], w.Shape[1]) {
+		g.Ctx.MustUnify(x.Shape[2], w.Shape[1])
+	}
+	sOut := g.Ctx.DeclareAffine("convS", x.Shape[1], 1, 1-k)
+	out := symshape.Shape{x.Shape[0], sOut, w.Shape[2]}
+	return g.add(&Node{Kind: OpConv1D, Inputs: []*Node{x, w}, Shape: out, DType: tensor.F32})
+}
+
+// SameConv1D pads and convolves so the sequence length is preserved; the
+// kernel size must be odd.
+func (g *Graph) SameConv1D(x, w *Node) *Node {
+	k, ok := g.Ctx.StaticValue(w.Shape[0])
+	if !ok || k%2 == 0 {
+		panic("graph: SameConv1D needs a static odd kernel size")
+	}
+	p := int(k-1) / 2
+	padded := g.Pad(x, []int{0, p, 0}, []int{0, p, 0})
+	conv := g.Conv1D(padded, w)
+	// The affine output extent provably equals the original: assert it so
+	// downstream ops reuse the symbol.
+	g.Ctx.MustUnify(conv.Shape[1], x.Shape[1])
+	return conv
+}
+
+// Convert casts x to dtype dt (i32->f32 and bool->f32 supported).
+func (g *Graph) Convert(x *Node, dt tensor.DType) *Node {
+	n := g.add(&Node{Kind: OpConvert, Inputs: []*Node{x}, Shape: x.Shape.Clone(), DType: dt})
+	n.To = dt
+	return n
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// WriteDot renders the reachable graph in Graphviz DOT form for
+// visualization (`discc -dot | dot -Tsvg`). Node labels carry the op and
+// symbolic shape; parameters and constants are shaped distinctly.
+func WriteDot(g *Graph) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=TB;\n  node [fontsize=10];\n", sanitizeName(g.Name))
+	outputs := map[*Node]bool{}
+	for _, o := range g.Outputs {
+		outputs[o] = true
+	}
+	for _, n := range g.Toposort() {
+		label := fmt.Sprintf("%%%d %s\\n%s%s", n.ID, n.Kind, n.DType, g.Ctx.String(n.Shape))
+		attrs := "shape=box"
+		switch {
+		case n.Kind == OpParameter:
+			attrs = "shape=ellipse,style=filled,fillcolor=lightblue"
+			label = fmt.Sprintf("%%%d param %q\\n%s%s", n.ID, n.Name, n.DType, g.Ctx.String(n.Shape))
+		case n.Kind == OpConstant:
+			attrs = "shape=note,style=filled,fillcolor=lightyellow"
+		case outputs[n]:
+			attrs = "shape=box,style=filled,fillcolor=lightgreen"
+		}
+		fmt.Fprintf(&sb, "  n%d [label=\"%s\",%s];\n", n.ID, label, attrs)
+		for _, in := range n.Inputs {
+			fmt.Fprintf(&sb, "  n%d -> n%d;\n", in.ID, n.ID)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,190 @@
+package graph
+
+import (
+	"fmt"
+
+	"godisc/internal/symshape"
+	"godisc/internal/tensor"
+)
+
+// Evaluate interprets the graph with the reference tensor math. It is the
+// semantic ground truth: compiled executables are tested against it, and
+// the eager baseline reuses it op by op. Inputs must match the parameter
+// dtypes; concrete shapes may be anything consistent with the symbolic
+// parameter shapes.
+func Evaluate(g *Graph, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if len(inputs) != len(g.Params) {
+		return nil, fmt.Errorf("graph: %d inputs for %d parameters", len(inputs), len(g.Params))
+	}
+	env := make(map[*Node]*tensor.Tensor)
+	for _, n := range g.Toposort() {
+		v, err := EvalNode(g.Ctx, n, inputs, func(in *Node) *tensor.Tensor { return env[in] })
+		if err != nil {
+			return nil, fmt.Errorf("graph: node %%%d (%s): %w", n.ID, n.Kind, err)
+		}
+		env[n] = v
+	}
+	outs := make([]*tensor.Tensor, len(g.Outputs))
+	for i, o := range g.Outputs {
+		outs[i] = env[o]
+	}
+	return outs, nil
+}
+
+// EvalNode computes one node given its operand values via get. It is
+// exported (within the module) so the eager baseline can execute single ops
+// with the same semantics as whole-graph evaluation.
+func EvalNode(ctx *symshape.Context, n *Node, params []*tensor.Tensor, get func(*Node) *tensor.Tensor) (*tensor.Tensor, error) {
+	in := func(i int) *tensor.Tensor { return get(n.Inputs[i]) }
+	switch n.Kind {
+	case OpParameter:
+		return params[n.ParamIndex], nil
+	case OpConstant:
+		return n.Lit, nil
+	case OpNeg:
+		return tensor.Unary(in(0), tensor.FnNeg), nil
+	case OpAbs:
+		return tensor.Unary(in(0), tensor.FnAbs), nil
+	case OpExp:
+		return tensor.Unary(in(0), tensor.FnExp), nil
+	case OpLog:
+		return tensor.Unary(in(0), tensor.FnLog), nil
+	case OpSqrt:
+		return tensor.Unary(in(0), tensor.FnSqrt), nil
+	case OpRsqrt:
+		return tensor.Unary(in(0), tensor.FnRsqrt), nil
+	case OpTanh:
+		return tensor.Unary(in(0), tensor.FnTanh), nil
+	case OpErf:
+		return tensor.Unary(in(0), tensor.FnErf), nil
+	case OpSigmoid:
+		return tensor.Unary(in(0), tensor.FnSigmoid), nil
+	case OpRelu:
+		return tensor.Unary(in(0), tensor.FnRelu), nil
+	case OpGelu:
+		return tensor.Unary(in(0), tensor.FnGelu), nil
+	case OpAdd:
+		return tensor.Binary(in(0), in(1), tensor.FnAdd), nil
+	case OpSub:
+		return tensor.Binary(in(0), in(1), tensor.FnSub), nil
+	case OpMul:
+		return tensor.Binary(in(0), in(1), tensor.FnMul), nil
+	case OpDiv:
+		return tensor.Binary(in(0), in(1), tensor.FnDiv), nil
+	case OpPow:
+		return tensor.Binary(in(0), in(1), tensor.FnPow), nil
+	case OpMaximum:
+		return tensor.Binary(in(0), in(1), tensor.FnMax), nil
+	case OpMinimum:
+		return tensor.Binary(in(0), in(1), tensor.FnMin), nil
+	case OpCompare:
+		return tensor.Compare(in(0), in(1), n.CmpOp), nil
+	case OpSelect:
+		return tensor.Select(in(0), in(1), in(2)), nil
+	case OpMatMul:
+		b := in(1)
+		if n.TransB {
+			perm := make([]int, b.Rank())
+			for i := range perm {
+				perm[i] = i
+			}
+			perm[len(perm)-1], perm[len(perm)-2] = perm[len(perm)-2], perm[len(perm)-1]
+			b = tensor.Transpose(b, perm)
+		}
+		return tensor.MatMul(in(0), b), nil
+	case OpReduce:
+		return tensor.Reduce(in(0), n.Reduce.Kind, n.Reduce.Axes, n.Reduce.KeepDims), nil
+	case OpSoftmax:
+		return tensor.Softmax(in(0)), nil
+	case OpLayerNorm:
+		return tensor.LayerNorm(in(0), in(1), in(2), n.Eps), nil
+	case OpReshape:
+		x := in(0)
+		// Concrete target extents come from the input: symbols cannot be
+		// evaluated here, but reshape preserves element count, so the
+		// target is derived by substituting the one unknown extent.
+		return reshapeConcrete(ctx, x, n)
+	case OpTranspose:
+		return tensor.Transpose(in(0), n.Perm), nil
+	case OpConcat:
+		ts := make([]*tensor.Tensor, len(n.Inputs))
+		for i := range n.Inputs {
+			ts[i] = in(i)
+		}
+		return tensor.Concat(n.Axis, ts...), nil
+	case OpSlice:
+		return tensor.Slice(in(0), n.Starts, n.Sizes), nil
+	case OpGather:
+		return tensor.Gather(in(0), in(1)), nil
+	case OpPad:
+		return tensor.PadLoHi(in(0), n.PadLo, n.PadHi), nil
+	case OpConv1D:
+		return tensor.Conv1D(in(0), in(1)), nil
+	case OpConvert:
+		x := in(0)
+		switch {
+		case x.DType() == tensor.I32 && n.To == tensor.F32:
+			return tensor.ConvertI32ToF32(x), nil
+		case x.DType() == n.To:
+			return x, nil
+		default:
+			return nil, fmt.Errorf("unsupported convert %s -> %s", x.DType(), n.To)
+		}
+	}
+	return nil, fmt.Errorf("unsupported op %s", n.Kind)
+}
+
+// reshapeConcrete computes the concrete output shape of a reshape node by
+// evaluating static dims and inferring at most the dynamic extents from the
+// element count. The builder guarantees the symbolic product matches, but
+// here we only have one concrete tensor, so we resolve per-dim: static dims
+// keep their value; dynamic dims absorb the remaining factor proportionally.
+func reshapeConcrete(ctx *symshape.Context, x *tensor.Tensor, n *Node) (*tensor.Tensor, error) {
+	// Most reshapes in models are merges/splits where the graph context can
+	// evaluate every target dim given the input dims. Rather than thread a
+	// Binding through evaluation, resolve the common cases structurally:
+	// count static extents, then distribute the residue over dynamic dims
+	// only if exactly one is dynamic.
+	ctxShape := n.Shape
+	out := make([]int, len(ctxShape))
+	residue := x.Numel()
+	dynIdx := -1
+	for i, d := range ctxShape {
+		if v, ok := ctx.StaticValue(d); ok {
+			out[i] = int(v)
+			if v == 0 {
+				residue = 0
+				continue
+			}
+			residue /= int(v)
+			continue
+		}
+		if dynIdx >= 0 {
+			// Two dynamic dims: derive via binding against the input shape.
+			return reshapeViaBinding(ctx, x, n)
+		}
+		dynIdx = i
+	}
+	if dynIdx >= 0 {
+		out[dynIdx] = residue
+	}
+	if tensor.Numel(out) != x.Numel() {
+		return nil, fmt.Errorf("reshape %v -> %v element mismatch", x.Shape(), out)
+	}
+	return x.Reshape(out...), nil
+}
+
+// reshapeViaBinding handles reshapes with several dynamic output dims by
+// binding the input's symbolic shape to its concrete extents and evaluating
+// the target shape.
+func reshapeViaBinding(ctx *symshape.Context, x *tensor.Tensor, n *Node) (*tensor.Tensor, error) {
+	b := symshape.NewBinding(ctx)
+	if err := b.Bind(n.Inputs[0].Shape, x.Shape()); err != nil {
+		return nil, err
+	}
+	out, err := b.Eval(n.Shape)
+	if err != nil {
+		return nil, err
+	}
+	return x.Reshape(out...), nil
+}

@@ -1,0 +1,394 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"godisc/internal/symshape"
+	"godisc/internal/tensor"
+)
+
+// mlpGraph builds a tiny [B,4] -> relu(x*W+b) graph used by several tests.
+func mlpGraph(t *testing.T) (*Graph, *tensor.Tensor, *tensor.Tensor) {
+	t.Helper()
+	g := New("mlp")
+	b := g.Ctx.NewDim("B")
+	x := g.Parameter("x", tensor.F32, symshape.Shape{b, g.Ctx.StaticDim(4)})
+	r := tensor.NewRNG(5)
+	w := tensor.RandN(r, 0.5, 4, 3)
+	bias := tensor.RandN(r, 0.5, 3)
+	y := g.Relu(g.Add(g.MatMul(x, g.Constant(w)), g.Constant(bias)))
+	g.SetOutputs(y)
+	return g, w, bias
+}
+
+func TestBuilderShapePropagation(t *testing.T) {
+	g := New("t")
+	bd := g.Ctx.NewDim("B")
+	s := g.Ctx.NewDim("S")
+	h := g.Ctx.StaticDim(8)
+	x := g.Parameter("x", tensor.F32, symshape.Shape{bd, s, h})
+	y := g.Exp(x)
+	// Elementwise ops must reuse the same dim symbols.
+	for i := range x.Shape {
+		if !g.Ctx.Equal(x.Shape[i], y.Shape[i]) {
+			t.Fatalf("dim %d symbol not propagated", i)
+		}
+	}
+	z := g.Add(y, x)
+	if !g.Ctx.ShapeEqual(z.Shape, x.Shape) {
+		t.Fatal("binary op shape mismatch")
+	}
+}
+
+func TestBuilderBroadcastBias(t *testing.T) {
+	g := New("t")
+	bd := g.Ctx.NewDim("B")
+	h := g.Ctx.StaticDim(8)
+	x := g.Parameter("x", tensor.F32, symshape.Shape{bd, h})
+	bias := g.Parameter("bias", tensor.F32, symshape.Shape{h})
+	y := g.Add(x, bias)
+	if !g.Ctx.ShapeEqual(y.Shape, x.Shape) {
+		t.Fatalf("bias broadcast shape %s", g.Ctx.String(y.Shape))
+	}
+}
+
+func TestBuilderBroadcastUnifiesDynamicDims(t *testing.T) {
+	g := New("t")
+	a := g.Ctx.NewDim("A")
+	b := g.Ctx.NewDim("B")
+	x := g.Parameter("x", tensor.F32, symshape.Shape{a})
+	y := g.Parameter("y", tensor.F32, symshape.Shape{b})
+	_ = g.Add(x, y)
+	if !g.Ctx.Equal(a, b) {
+		t.Fatal("broadcast of two dynamic dims must unify them")
+	}
+}
+
+func TestMatMulShape(t *testing.T) {
+	g := New("t")
+	bd := g.Ctx.NewDim("B")
+	m := g.Ctx.NewDim("M")
+	x := g.Parameter("x", tensor.F32, symshape.Shape{bd, m, g.Ctx.StaticDim(4)})
+	w := g.Parameter("w", tensor.F32, symshape.Shape{g.Ctx.StaticDim(4), g.Ctx.StaticDim(6)})
+	y := g.MatMul(x, w)
+	want := symshape.Shape{bd, m, g.Ctx.StaticDim(6)}
+	if !g.Ctx.ShapeEqual(y.Shape, want) {
+		t.Fatalf("matmul shape %s", g.Ctx.String(y.Shape))
+	}
+}
+
+func TestMatMulUnifiesContraction(t *testing.T) {
+	g := New("t")
+	k1 := g.Ctx.NewDim("K1")
+	k2 := g.Ctx.NewDim("K2")
+	a := g.Parameter("a", tensor.F32, symshape.Shape{g.Ctx.StaticDim(2), k1})
+	b := g.Parameter("b", tensor.F32, symshape.Shape{k2, g.Ctx.StaticDim(3)})
+	_ = g.MatMul(a, b)
+	if !g.Ctx.Equal(k1, k2) {
+		t.Fatal("matmul must unify contraction dims")
+	}
+}
+
+func TestReduceShape(t *testing.T) {
+	g := New("t")
+	bd := g.Ctx.NewDim("B")
+	s := g.Ctx.NewDim("S")
+	x := g.Parameter("x", tensor.F32, symshape.Shape{bd, s, g.Ctx.StaticDim(8)})
+	r := g.Sum(x, []int{-1}, false)
+	if !g.Ctx.ShapeEqual(r.Shape, symshape.Shape{bd, s}) {
+		t.Fatalf("reduce shape %s", g.Ctx.String(r.Shape))
+	}
+	rk := g.Sum(x, []int{2}, true)
+	if rk.Rank() != 3 {
+		t.Fatalf("keepDims rank %d", rk.Rank())
+	}
+	if v, ok := g.Ctx.StaticValue(rk.Shape[2]); !ok || v != 1 {
+		t.Fatal("keepDims dim must be static 1")
+	}
+}
+
+func TestMergeAndSplitDims(t *testing.T) {
+	g := New("t")
+	bd := g.Ctx.NewDim("B")
+	s := g.Ctx.NewDim("S")
+	h := g.Ctx.StaticDim(12)
+	x := g.Parameter("x", tensor.F32, symshape.Shape{bd, s, h})
+	m := g.MergeDims(x, 0, 2)
+	if m.Rank() != 2 {
+		t.Fatalf("merged rank %d", m.Rank())
+	}
+	if !g.Ctx.ProductEqual(m.Shape, x.Shape) {
+		t.Fatal("merge must preserve symbolic element count")
+	}
+	sp := g.SplitDim(x, 2, 4)
+	if sp.Rank() != 4 {
+		t.Fatalf("split rank %d", sp.Rank())
+	}
+	if v, ok := g.Ctx.StaticValue(sp.Shape[2]); !ok || v != 3 {
+		t.Fatalf("split outer dim = %d, %v", v, ok)
+	}
+}
+
+func TestSplitDynamicDimRequiresDivisibility(t *testing.T) {
+	g := New("t")
+	d := g.Ctx.NewDim("D")
+	g.Ctx.DeclareDivisible(d, 4)
+	x := g.Parameter("x", tensor.F32, symshape.Shape{d})
+	sp := g.SplitDim(x, 0, 4)
+	if sp.Rank() != 2 {
+		t.Fatalf("rank %d", sp.Rank())
+	}
+	// Runtime evaluation must see through the product.
+	b := symshape.NewBinding(g.Ctx)
+	if err := b.Bind(x.Shape, []int{12}); err != nil {
+		t.Fatal(err)
+	}
+	got := b.MustEval(sp.Shape)
+	if got[0] != 3 || got[1] != 4 {
+		t.Fatalf("split eval %v", got)
+	}
+}
+
+func TestConcatShape(t *testing.T) {
+	g := New("t")
+	bd := g.Ctx.NewDim("B")
+	a := g.Parameter("a", tensor.F32, symshape.Shape{bd, g.Ctx.StaticDim(2)})
+	b := g.Parameter("b", tensor.F32, symshape.Shape{bd, g.Ctx.StaticDim(3)})
+	c := g.Concat(1, a, b)
+	if v, ok := g.Ctx.StaticValue(c.Shape[1]); !ok || v != 5 {
+		t.Fatalf("static concat extent %d %v", v, ok)
+	}
+	// Dynamic axis: derived sum must evaluate at runtime.
+	s1 := g.Ctx.NewDim("S1")
+	s2 := g.Ctx.NewDim("S2")
+	p := g.Parameter("p", tensor.F32, symshape.Shape{bd, s1})
+	q := g.Parameter("q", tensor.F32, symshape.Shape{bd, s2})
+	cat := g.Concat(1, p, q)
+	bind := symshape.NewBinding(g.Ctx)
+	if err := bind.Bind(p.Shape, []int{2, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bind.Bind(q.Shape, []int{2, 4}); err != nil {
+		t.Fatal(err)
+	}
+	got := bind.MustEval(cat.Shape)
+	if got[1] != 11 {
+		t.Fatalf("concat eval %v", got)
+	}
+}
+
+func TestToposortAndVerify(t *testing.T) {
+	g, _, _ := mlpGraph(t)
+	order := g.Toposort()
+	pos := map[*Node]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	for _, n := range order {
+		for _, in := range n.Inputs {
+			if pos[in] >= pos[n] {
+				t.Fatal("toposort violated")
+			}
+		}
+	}
+	if err := g.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplaceAllUsesAndSweep(t *testing.T) {
+	g := New("t")
+	bd := g.Ctx.NewDim("B")
+	x := g.Parameter("x", tensor.F32, symshape.Shape{bd})
+	a := g.Exp(x)
+	bNode := g.Log(a)
+	g.SetOutputs(bNode)
+	// Replace exp(x) with x directly.
+	g.ReplaceAllUses(a, x)
+	if bNode.Inputs[0] != x {
+		t.Fatal("use not replaced")
+	}
+	removed := g.Sweep()
+	if removed != 1 {
+		t.Fatalf("swept %d nodes, want 1", removed)
+	}
+}
+
+func TestEvaluateMLP(t *testing.T) {
+	g, w, bias := mlpGraph(t)
+	r := tensor.NewRNG(11)
+	for _, batch := range []int{1, 3, 17} {
+		x := tensor.RandN(r, 1, batch, 4)
+		got, err := Evaluate(g, []*tensor.Tensor{x})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := tensor.Unary(tensor.Binary(tensor.MatMul(x, w), bias, tensor.FnAdd), tensor.FnRelu)
+		if err := tensor.AllClose(got[0], want, 1e-5, 1e-6); err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+	}
+}
+
+func TestEvaluateSoftmaxLayerNorm(t *testing.T) {
+	g := New("t")
+	bd := g.Ctx.NewDim("B")
+	h := g.Ctx.StaticDim(8)
+	x := g.Parameter("x", tensor.F32, symshape.Shape{bd, h})
+	gamma := g.Parameter("gamma", tensor.F32, symshape.Shape{h})
+	beta := g.Parameter("beta", tensor.F32, symshape.Shape{h})
+	g.SetOutputs(g.Softmax(x), g.LayerNorm(x, gamma, beta, 1e-5))
+	r := tensor.NewRNG(2)
+	xs := tensor.RandN(r, 1, 5, 8)
+	gs := tensor.RandN(r, 1, 8)
+	bs := tensor.RandN(r, 1, 8)
+	got, err := Evaluate(g, []*tensor.Tensor{xs, gs, bs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tensor.AllClose(got[0], tensor.Softmax(xs), 1e-6, 1e-7); err != nil {
+		t.Fatal(err)
+	}
+	if err := tensor.AllClose(got[1], tensor.LayerNorm(xs, gs, bs, 1e-5), 1e-6, 1e-7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluateReshapeDynamic(t *testing.T) {
+	g := New("t")
+	bd := g.Ctx.NewDim("B")
+	s := g.Ctx.NewDim("S")
+	h := g.Ctx.StaticDim(4)
+	x := g.Parameter("x", tensor.F32, symshape.Shape{bd, s, h})
+	m := g.MergeDims(x, 0, 2)
+	g.SetOutputs(m)
+	r := tensor.NewRNG(4)
+	xs := tensor.RandN(r, 1, 3, 5, 4)
+	got, err := Evaluate(g, []*tensor.Tensor{xs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.ShapeEq(got[0].Shape(), []int{15, 4}) {
+		t.Fatalf("shape %v", got[0].Shape())
+	}
+}
+
+func TestEvaluateGatherConvert(t *testing.T) {
+	g := New("t")
+	bd := g.Ctx.NewDim("B")
+	table := g.Constant(tensor.FromF32([]float32{1, 2, 3, 4, 5, 6}, 3, 2))
+	idx := g.Parameter("idx", tensor.I32, symshape.Shape{bd})
+	emb := g.Gather(table, idx)
+	g.SetOutputs(emb)
+	got, err := Evaluate(g, []*tensor.Tensor{tensor.FromI32([]int32{2, 0}, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{5, 6, 1, 2}
+	for i, v := range want {
+		if got[0].F32()[i] != v {
+			t.Fatalf("gather %v", got[0].F32())
+		}
+	}
+}
+
+func TestVerifyCatchesBadGraph(t *testing.T) {
+	g := New("t")
+	bd := g.Ctx.NewDim("B")
+	x := g.Parameter("x", tensor.F32, symshape.Shape{bd})
+	y := g.Exp(x)
+	// Corrupt: make select with non-bool predicate.
+	bad := &Node{Kind: OpSelect, Inputs: []*Node{y, y, y}, Shape: y.Shape, DType: tensor.F32}
+	g.add(bad)
+	g.SetOutputs(bad)
+	if err := g.Verify(); err == nil {
+		t.Fatal("verify must reject non-bool select predicate")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	g, _, _ := mlpGraph(t)
+	s := g.String()
+	for _, want := range []string{"graph mlp", "matmul", "relu", "return"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSignatureOfGraphParams(t *testing.T) {
+	g, _, _ := mlpGraph(t)
+	shapes := make([]symshape.Shape, len(g.Params))
+	for i, p := range g.Params {
+		shapes[i] = p.Shape
+	}
+	sig := g.Ctx.Signature(shapes)
+	if sig != "[d0,4]" {
+		t.Fatalf("signature %q", sig)
+	}
+}
+
+func TestConv1DShapeInference(t *testing.T) {
+	g := New("t")
+	b := g.Ctx.NewDim("B")
+	s := g.Ctx.NewDim("S")
+	g.Ctx.DeclareRange(s, 4, 64)
+	x := g.Parameter("x", tensor.F32, symshape.Shape{b, s, g.Ctx.StaticDim(3)})
+	w := g.Constant(tensor.RandN(tensor.NewRNG(1), 0.1, 4, 3, 5))
+	c := g.Conv1D(x, w)
+	// Output: [B, S-3, 5]; evaluate via binding.
+	bind := symshape.NewBinding(g.Ctx)
+	if err := bind.Bind(x.Shape, []int{2, 10, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got := bind.MustEval(c.Shape)
+	if got[0] != 2 || got[1] != 7 || got[2] != 5 {
+		t.Fatalf("conv shape %v", got)
+	}
+}
+
+func TestSameConv1DPreservesSeqSymbol(t *testing.T) {
+	g := New("t")
+	b := g.Ctx.NewDim("B")
+	s := g.Ctx.NewDim("S")
+	g.Ctx.DeclareRange(s, 4, 64)
+	x := g.Parameter("x", tensor.F32, symshape.Shape{b, s, g.Ctx.StaticDim(3)})
+	w := g.Constant(tensor.RandN(tensor.NewRNG(1), 0.1, 3, 3, 5))
+	c := g.SameConv1D(x, w)
+	if !g.Ctx.Equal(c.Shape[1], s) {
+		t.Fatal("same conv must preserve the sequence symbol")
+	}
+	g.SetOutputs(c)
+	// Numerics: compare against explicit pad + tensor conv.
+	r := tensor.NewRNG(2)
+	xs := tensor.RandN(r, 1, 2, 6, 3)
+	got, err := Evaluate(g, []*tensor.Tensor{xs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.Conv1D(tensor.PadLoHi(xs, []int{0, 1, 0}, []int{0, 1, 0}), w.Lit)
+	if err := tensor.AllClose(got[0], want, 1e-5, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPadShapeAndEval(t *testing.T) {
+	g := New("t")
+	b := g.Ctx.NewDim("B")
+	x := g.Parameter("x", tensor.F32, symshape.Shape{b, g.Ctx.StaticDim(3)})
+	p := g.Pad(x, []int{0, 2}, []int{0, 1})
+	if v, ok := g.Ctx.StaticValue(p.Shape[1]); !ok || v != 6 {
+		t.Fatalf("padded static dim %d %v", v, ok)
+	}
+	g.SetOutputs(p)
+	r := tensor.NewRNG(3)
+	xs := tensor.RandN(r, 1, 2, 3)
+	got, err := Evaluate(g, []*tensor.Tensor{xs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.ShapeEq(got[0].Shape(), []int{2, 6}) {
+		t.Fatalf("pad shape %v", got[0].Shape())
+	}
+}

@@ -1,0 +1,136 @@
+// Package graph defines the HLO-like tensor computation IR that the
+// compiler pipeline operates on. Nodes carry *symbolic* shapes
+// (symshape.Shape); shape inference runs at construction time inside the
+// Builder methods, propagating dimension symbols between operators — the
+// "shape information propagation" that BladeDISC's dynamic-shape fusion is
+// built on.
+package graph
+
+import "fmt"
+
+// OpKind enumerates the operators of the IR.
+type OpKind uint8
+
+const (
+	// OpInvalid is the zero value and never appears in a valid graph.
+	OpInvalid OpKind = iota
+
+	// Leaf nodes.
+	OpParameter // graph input
+	OpConstant  // embedded literal
+
+	// Elementwise unary (f32 -> f32).
+	OpNeg
+	OpAbs
+	OpExp
+	OpLog
+	OpSqrt
+	OpRsqrt
+	OpTanh
+	OpErf
+	OpSigmoid
+	OpRelu
+	OpGelu
+
+	// Elementwise binary with implicit NumPy broadcasting.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpPow
+	OpMaximum
+	OpMinimum
+
+	// Predicates and selection.
+	OpCompare // attr CmpOp; result dtype Bool
+	OpSelect  // pred(bool), onTrue, onFalse
+
+	// Contraction.
+	OpMatMul // batched [..,M,K] x [..,K,N]
+
+	// Reductions over static axes.
+	OpReduce // attr Reduce{Kind, Axes, KeepDims}
+
+	// Composite neural ops; the decompose pass expands them into
+	// primitives so fusion sees plain elementwise/reduce structure.
+	OpSoftmax   // over last axis
+	OpLayerNorm // inputs x, gamma, beta; attr Eps
+
+	// Data movement.
+	OpReshape   // symbolic product-preserving reshape
+	OpTranspose // attr Perm
+	OpConcat    // attr Axis
+	OpSlice     // attrs Starts, Sizes (static)
+	OpGather    // table, i32 indices
+	OpConvert   // dtype cast (attr To)
+	OpPad       // attrs PadLo, PadHi (static per-axis zero padding)
+
+	// Library contractions beyond matmul.
+	OpConv1D // x [B,S,Cin] ⊛ w [K,Cin,Cout], stride 1, valid
+)
+
+var opNames = map[OpKind]string{
+	OpParameter: "parameter", OpConstant: "constant",
+	OpNeg: "neg", OpAbs: "abs", OpExp: "exp", OpLog: "log", OpSqrt: "sqrt",
+	OpRsqrt: "rsqrt", OpTanh: "tanh", OpErf: "erf", OpSigmoid: "sigmoid",
+	OpRelu: "relu", OpGelu: "gelu",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpPow: "pow",
+	OpMaximum: "maximum", OpMinimum: "minimum",
+	OpCompare: "compare", OpSelect: "select",
+	OpMatMul: "matmul", OpReduce: "reduce",
+	OpSoftmax: "softmax", OpLayerNorm: "layernorm",
+	OpReshape: "reshape", OpTranspose: "transpose", OpConcat: "concat",
+	OpSlice: "slice", OpGather: "gather", OpConvert: "convert",
+	OpPad: "pad", OpConv1D: "conv1d",
+}
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	if n, ok := opNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// IsElementwiseUnary reports whether k maps one element to one element.
+func (k OpKind) IsElementwiseUnary() bool {
+	switch k {
+	case OpNeg, OpAbs, OpExp, OpLog, OpSqrt, OpRsqrt, OpTanh, OpErf,
+		OpSigmoid, OpRelu, OpGelu, OpConvert:
+		return true
+	}
+	return false
+}
+
+// IsElementwiseBinary reports whether k is a two-operand pointwise op
+// (with implicit broadcasting).
+func (k OpKind) IsElementwiseBinary() bool {
+	switch k {
+	case OpAdd, OpSub, OpMul, OpDiv, OpPow, OpMaximum, OpMinimum, OpCompare:
+		return true
+	}
+	return false
+}
+
+// IsElementwise reports whether k is pointwise over its output index space
+// (unary, binary, or select).
+func (k OpKind) IsElementwise() bool {
+	return k.IsElementwiseUnary() || k.IsElementwiseBinary() || k == OpSelect
+}
+
+// FlopsPerElement returns the approximate arithmetic cost per output
+// element charged by the device model for elementwise ops. Transcendentals
+// are charged as multiple flops, mirroring GPU SFU throughput.
+func (k OpKind) FlopsPerElement() int {
+	switch k {
+	case OpExp, OpLog, OpTanh, OpErf, OpSigmoid, OpGelu, OpPow:
+		return 8
+	case OpSqrt, OpRsqrt:
+		return 4
+	case OpParameter, OpConstant, OpReshape, OpTranspose, OpConcat,
+		OpSlice, OpGather, OpConvert, OpPad:
+		return 0
+	default:
+		return 1
+	}
+}

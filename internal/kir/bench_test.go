@@ -1,0 +1,55 @@
+package kir
+
+import "testing"
+
+// BenchmarkInterpreterThroughput measures the closure-compiled kernel VM on
+// a fused elementwise loop — the substrate's per-element cost.
+func BenchmarkInterpreterThroughput(b *testing.B) {
+	k := &Kernel{
+		Name:       "fused",
+		NumBuffers: 2,
+		DimNames:   []string{"n"},
+		Body: []Stmt{
+			SLoop{Var: "i", Extent: IDim("n"), Body: []Stmt{
+				SSet{Var: "v", Val: FUn{Fn: "exp", X: FLoad{Buf: 0, Idx: IVar("i")}}},
+				SSet{Var: "w", Val: FBin{Fn: "add", A: FLocal("v"), B: FConst(1)}},
+				SStore{Buf: 1, Idx: IVar("i"), Val: FUn{Fn: "relu", X: FLocal("w")}},
+			}},
+		},
+	}
+	cp := k.MustFinalize()
+	const n = 1 << 14
+	in := make([]float32, n)
+	out := make([]float32, n)
+	b.SetBytes(n * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cp.Run([][]float32{in, out}, []int{n}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFinalize measures closure-compilation latency.
+func BenchmarkFinalize(b *testing.B) {
+	k := &Kernel{
+		Name:       "k",
+		NumBuffers: 3,
+		DimNames:   []string{"R", "L"},
+		Body: []Stmt{
+			SLoop{Var: "r", Extent: IDim("R"), Body: []Stmt{
+				SSet{Var: "acc", Val: FConst(0)},
+				SLoop{Var: "j", Extent: IDim("L"), Body: []Stmt{
+					SSet{Var: "acc", Val: FBin{Fn: "add", A: FLocal("acc"),
+						B: FLoad{Buf: 0, Idx: Add(Mul(IVar("r"), IDim("L")), IVar("j"))}}},
+				}},
+				SStore{Buf: 1, Idx: IVar("r"), Val: FLocal("acc")},
+			}},
+		},
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Finalize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,348 @@
+package kir
+
+import (
+	"fmt"
+	"sync"
+
+	"godisc/internal/tensor"
+)
+
+// FuncTable maps scalar function names used by FUn/FBin to implementations.
+// Sharing the tensor package's functions guarantees the compiled path is
+// bit-identical to the reference interpreter.
+var (
+	unaryFuncs = map[string]tensor.UnaryFunc{
+		"neg": tensor.FnNeg, "abs": tensor.FnAbs, "exp": tensor.FnExp,
+		"log": tensor.FnLog, "sqrt": tensor.FnSqrt, "rsqrt": tensor.FnRsqrt,
+		"tanh": tensor.FnTanh, "erf": tensor.FnErf, "sigmoid": tensor.FnSigmoid,
+		"relu": tensor.FnRelu, "gelu": tensor.FnGelu, "id": func(x float32) float32 { return x },
+	}
+	binaryFuncs = map[string]tensor.BinaryFunc{
+		"add": tensor.FnAdd, "sub": tensor.FnSub, "mul": tensor.FnMul,
+		"div": tensor.FnDiv, "pow": tensor.FnPow, "max": tensor.FnMax,
+		"min": tensor.FnMin,
+	}
+)
+
+// Frame is the runtime activation record of a compiled kernel.
+type Frame struct {
+	ints   []int
+	floats []float32
+	bufs   [][]float32
+	dims   []int
+}
+
+// Compiled is a kernel after closure compilation ("machine code"). It is
+// immutable and safe for concurrent Run calls (frames are pooled per
+// kernel; every local is written before it is read, so frames need no
+// zeroing between runs).
+type Compiled struct {
+	kernel   *Kernel
+	run      func(*Frame)
+	nInts    int
+	nFloats  int
+	dimIndex map[string]int
+	frames   sync.Pool
+}
+
+type compiler struct {
+	k       *Kernel
+	intSlot map[string]int
+	fltSlot map[string]int
+	dimSlot map[string]int
+	err     error
+}
+
+func (c *compiler) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf("kir: kernel %s: %s", c.k.Name, fmt.Sprintf(format, args...))
+	}
+}
+
+func (c *compiler) intVar(name string, define bool) int {
+	if s, ok := c.intSlot[name]; ok {
+		return s
+	}
+	if !define {
+		c.fail("use of undefined int var %q", name)
+		return 0
+	}
+	s := len(c.intSlot)
+	c.intSlot[name] = s
+	return s
+}
+
+func (c *compiler) fltVar(name string, define bool) int {
+	if s, ok := c.fltSlot[name]; ok {
+		return s
+	}
+	if !define {
+		c.fail("use of undefined f32 local %q", name)
+		return 0
+	}
+	s := len(c.fltSlot)
+	c.fltSlot[name] = s
+	return s
+}
+
+func (c *compiler) checkBuf(i int) {
+	if i < 0 || i >= c.k.NumBuffers {
+		c.fail("buffer index %d out of range [0,%d)", i, c.k.NumBuffers)
+	}
+}
+
+// Finalize validates and closure-compiles the kernel. This is the
+// compile-time half of the combined codegen: after Finalize, Run only binds
+// runtime dims and buffers.
+func (k *Kernel) Finalize() (*Compiled, error) {
+	c := &compiler{
+		k:       k,
+		intSlot: map[string]int{},
+		fltSlot: map[string]int{},
+		dimSlot: map[string]int{},
+	}
+	for i, d := range k.DimNames {
+		if _, dup := c.dimSlot[d]; dup {
+			return nil, fmt.Errorf("kir: kernel %s: duplicate dim %q", k.Name, d)
+		}
+		c.dimSlot[d] = i
+	}
+	body := c.compileStmts(k.Body)
+	if c.err != nil {
+		return nil, c.err
+	}
+	return &Compiled{
+		kernel:   k,
+		run:      body,
+		nInts:    len(c.intSlot),
+		nFloats:  len(c.fltSlot),
+		dimIndex: c.dimSlot,
+	}, nil
+}
+
+// MustFinalize is Finalize that panics; for statically-known-good kernels
+// in tests.
+func (k *Kernel) MustFinalize() *Compiled {
+	cp, err := k.Finalize()
+	if err != nil {
+		panic(err)
+	}
+	return cp
+}
+
+func (c *compiler) compileStmts(ss []Stmt) func(*Frame) {
+	fns := make([]func(*Frame), len(ss))
+	for i, s := range ss {
+		fns[i] = c.compileStmt(s)
+	}
+	if len(fns) == 1 {
+		return fns[0]
+	}
+	return func(f *Frame) {
+		for _, fn := range fns {
+			fn(f)
+		}
+	}
+}
+
+func (c *compiler) compileStmt(s Stmt) func(*Frame) {
+	switch s := s.(type) {
+	case SLoop:
+		extent := c.compileInt(s.Extent)
+		slot := c.intVar(s.Var, true)
+		body := c.compileStmts(s.Body)
+		return func(f *Frame) {
+			n := extent(f)
+			for i := 0; i < n; i++ {
+				f.ints[slot] = i
+				body(f)
+			}
+		}
+	case SSet:
+		slot := c.fltVar(s.Var, true)
+		val := c.compileExpr(s.Val)
+		return func(f *Frame) { f.floats[slot] = val(f) }
+	case SSetInt:
+		slot := c.intVar(s.Var, true)
+		val := c.compileInt(s.Val)
+		return func(f *Frame) { f.ints[slot] = val(f) }
+	case SStore:
+		c.checkBuf(s.Buf)
+		buf := s.Buf
+		idx := c.compileInt(s.Idx)
+		val := c.compileExpr(s.Val)
+		return func(f *Frame) { f.bufs[buf][idx(f)] = val(f) }
+	case SStoreInt:
+		c.checkBuf(s.Buf)
+		buf := s.Buf
+		idx := c.compileInt(s.Idx)
+		val := c.compileInt(s.Val)
+		return func(f *Frame) { f.bufs[buf][idx(f)] = float32(val(f)) }
+	default:
+		c.fail("unknown statement %T", s)
+		return func(*Frame) {}
+	}
+}
+
+func (c *compiler) compileInt(e IntExpr) func(*Frame) int {
+	switch e := e.(type) {
+	case IConst:
+		v := int(e)
+		return func(*Frame) int { return v }
+	case IDim:
+		slot, ok := c.dimSlot[string(e)]
+		if !ok {
+			c.fail("unknown dim %q", string(e))
+			return func(*Frame) int { return 0 }
+		}
+		return func(f *Frame) int { return f.dims[slot] }
+	case IVar:
+		slot := c.intVar(string(e), false)
+		return func(f *Frame) int { return f.ints[slot] }
+	case ILoad:
+		c.checkBuf(e.Buf)
+		buf := e.Buf
+		idx := c.compileInt(e.Idx)
+		return func(f *Frame) int { return int(f.bufs[buf][idx(f)]) }
+	case IBin:
+		a := c.compileInt(e.A)
+		b := c.compileInt(e.B)
+		switch e.Op {
+		case IAdd:
+			return func(f *Frame) int { return a(f) + b(f) }
+		case ISub:
+			return func(f *Frame) int { return a(f) - b(f) }
+		case IMul:
+			return func(f *Frame) int { return a(f) * b(f) }
+		case IDiv:
+			return func(f *Frame) int { return a(f) / b(f) }
+		case IMod:
+			return func(f *Frame) int { return a(f) % b(f) }
+		}
+		c.fail("unknown int op %d", e.Op)
+		return func(*Frame) int { return 0 }
+	default:
+		c.fail("unknown int expr %T", e)
+		return func(*Frame) int { return 0 }
+	}
+}
+
+func (c *compiler) compileExpr(e Expr) func(*Frame) float32 {
+	switch e := e.(type) {
+	case FConst:
+		v := float32(e)
+		return func(*Frame) float32 { return v }
+	case FLoad:
+		c.checkBuf(e.Buf)
+		buf := e.Buf
+		idx := c.compileInt(e.Idx)
+		return func(f *Frame) float32 { return f.bufs[buf][idx(f)] }
+	case FLocal:
+		slot := c.fltVar(string(e), false)
+		return func(f *Frame) float32 { return f.floats[slot] }
+	case FUn:
+		fn, ok := unaryFuncs[e.Fn]
+		if !ok {
+			c.fail("unknown unary fn %q", e.Fn)
+			return func(*Frame) float32 { return 0 }
+		}
+		if cx, ok := e.X.(FConst); ok {
+			// Constant folding at closure-compile time.
+			v := fn(float32(cx))
+			return func(*Frame) float32 { return v }
+		}
+		x := c.compileExpr(e.X)
+		return func(f *Frame) float32 { return fn(x(f)) }
+	case FBin:
+		fn, ok := binaryFuncs[e.Fn]
+		if !ok {
+			c.fail("unknown binary fn %q", e.Fn)
+			return func(*Frame) float32 { return 0 }
+		}
+		if ca, okA := e.A.(FConst); okA {
+			if cb, okB := e.B.(FConst); okB {
+				v := fn(float32(ca), float32(cb))
+				return func(*Frame) float32 { return v }
+			}
+		}
+		a := c.compileExpr(e.A)
+		b := c.compileExpr(e.B)
+		return func(f *Frame) float32 { return fn(a(f), b(f)) }
+	case FCmp:
+		a := c.compileExpr(e.A)
+		b := c.compileExpr(e.B)
+		var pred func(x, y float32) bool
+		switch e.Op {
+		case "lt":
+			pred = func(x, y float32) bool { return x < y }
+		case "le":
+			pred = func(x, y float32) bool { return x <= y }
+		case "gt":
+			pred = func(x, y float32) bool { return x > y }
+		case "ge":
+			pred = func(x, y float32) bool { return x >= y }
+		case "eq":
+			pred = func(x, y float32) bool { return x == y }
+		case "ne":
+			pred = func(x, y float32) bool { return x != y }
+		default:
+			c.fail("unknown compare op %q", e.Op)
+			return func(*Frame) float32 { return 0 }
+		}
+		return func(f *Frame) float32 {
+			if pred(a(f), b(f)) {
+				return 1
+			}
+			return 0
+		}
+	case FSel:
+		p := c.compileExpr(e.P)
+		a := c.compileExpr(e.A)
+		b := c.compileExpr(e.B)
+		return func(f *Frame) float32 {
+			if p(f) != 0 {
+				return a(f)
+			}
+			return b(f)
+		}
+	case FCastInt:
+		x := c.compileInt(e.X)
+		return func(f *Frame) float32 { return float32(x(f)) }
+	default:
+		c.fail("unknown expr %T", e)
+		return func(*Frame) float32 { return 0 }
+	}
+}
+
+// Run executes the kernel against flat buffers and positional dim values
+// (aligned with Kernel.DimNames).
+func (cp *Compiled) Run(bufs [][]float32, dims []int) error {
+	if len(bufs) != cp.kernel.NumBuffers {
+		return fmt.Errorf("kir: kernel %s: got %d buffers, want %d",
+			cp.kernel.Name, len(bufs), cp.kernel.NumBuffers)
+	}
+	if len(dims) != len(cp.kernel.DimNames) {
+		return fmt.Errorf("kir: kernel %s: got %d dims, want %d",
+			cp.kernel.Name, len(dims), len(cp.kernel.DimNames))
+	}
+	f, _ := cp.frames.Get().(*Frame)
+	if f == nil {
+		f = &Frame{
+			ints:   make([]int, cp.nInts),
+			floats: make([]float32, cp.nFloats),
+		}
+	}
+	f.bufs = bufs
+	f.dims = dims
+	cp.run(f)
+	f.bufs = nil
+	f.dims = nil
+	cp.frames.Put(f)
+	return nil
+}
+
+// Name returns the kernel's name.
+func (cp *Compiled) Name() string { return cp.kernel.Name }
+
+// DimNames returns the runtime dim parameter names.
+func (cp *Compiled) DimNames() []string { return cp.kernel.DimNames }

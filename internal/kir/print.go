@@ -1,0 +1,48 @@
+package kir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the kernel program as indented pseudo-code — the
+// disassembly the compiler driver shows for generated kernels.
+//
+//	kernel row_g0(s1, s3) buffers=3 {
+//	  for r in 0..($s1 * $s3) {
+//	    acc = 0
+//	    ...
+//	  }
+//	}
+func (k *Kernel) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "kernel %s(%s) buffers=%d {\n", k.Name, strings.Join(k.DimNames, ", "), k.NumBuffers)
+	writeStmts(&sb, k.Body, 1)
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func writeStmts(sb *strings.Builder, ss []Stmt, depth int) {
+	indent := strings.Repeat("  ", depth)
+	for _, s := range ss {
+		switch s := s.(type) {
+		case SLoop:
+			fmt.Fprintf(sb, "%sfor %s in 0..%s {\n", indent, s.Var, s.Extent)
+			writeStmts(sb, s.Body, depth+1)
+			fmt.Fprintf(sb, "%s}\n", indent)
+		case SSet:
+			fmt.Fprintf(sb, "%s%s = %s\n", indent, s.Var, s.Val)
+		case SSetInt:
+			fmt.Fprintf(sb, "%s%s := %s\n", indent, s.Var, s.Val)
+		case SStore:
+			fmt.Fprintf(sb, "%sb%d[%s] = %s\n", indent, s.Buf, s.Idx, s.Val)
+		case SStoreInt:
+			fmt.Fprintf(sb, "%sb%d[%s] = f32(%s)\n", indent, s.Buf, s.Idx, s.Val)
+		default:
+			fmt.Fprintf(sb, "%s<unknown stmt %T>\n", indent, s)
+		}
+	}
+}
+
+// Source exposes the disassembly of a compiled kernel.
+func (cp *Compiled) Source() string { return cp.kernel.String() }

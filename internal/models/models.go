@@ -1,0 +1,104 @@
+// Package models builds the evaluation model zoo on the graph IR. The
+// suite mirrors the paper's workload mix — transformer encoders (BERT),
+// autoregressive decode steps (GPT-2 with a growing KV cache),
+// encoder-decoder cross attention (T5-style), a recommendation model
+// (DLRM-style) and a plain deep MLP — each with the dynamism axes that
+// motivate dynamic-shape compilation (batch size, sequence length, cache
+// length). Widths are scaled down so the interpreted kernel substrate stays
+// fast; the operator mix and shape relationships are the point.
+package models
+
+import (
+	"fmt"
+	"math"
+
+	"godisc/internal/graph"
+	"godisc/internal/tensor"
+)
+
+// Model describes one workload.
+type Model struct {
+	// Name is the registry key ("bert", "gpt2", ...).
+	Name string
+	// Description is a one-line summary for reports.
+	Description string
+	// Dynamism names the dynamic axes ("batch,seq").
+	Dynamism string
+	// MaxSeq bounds the sequence axis (declared as a range fact).
+	MaxSeq int
+	// Build returns a fresh graph (same weights every call).
+	Build func() *graph.Graph
+	// GenInputs produces inputs for a (batch, seq) point.
+	GenInputs func(r *tensor.RNG, batch, seq int) []*tensor.Tensor
+}
+
+// Registry returns the model suite in canonical order.
+func Registry() []*Model {
+	return []*Model{
+		BERT(), GPT2Decode(), Seq2Seq(), TextCNN(), ASR(), DLRM(), MLP(),
+	}
+}
+
+// ByName returns a model from the registry.
+func ByName(name string) (*Model, error) {
+	for _, m := range Registry() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("models: unknown model %q", name)
+}
+
+// weights returns a deterministic generator for a model so every Build()
+// call (and every strategy) sees identical parameters.
+func weights(seed uint64) *tensor.RNG { return tensor.NewRNG(seed) }
+
+// linear applies x·W + b with W [in,out] drawn from r.
+func linear(g *graph.Graph, r *tensor.RNG, x *graph.Node, in, out int) *graph.Node {
+	w := g.Constant(tensor.RandN(r, 0.08, in, out))
+	b := g.Constant(tensor.RandN(r, 0.02, out))
+	return g.Add(g.MatMul(x, w), b)
+}
+
+// layerNorm applies a learned layer norm over the last axis.
+func layerNorm(g *graph.Graph, r *tensor.RNG, x *graph.Node, h int) *graph.Node {
+	gamma := g.Constant(tensor.RandUniform(r, 0.9, 1.1, h))
+	beta := g.Constant(tensor.RandN(r, 0.02, h))
+	return g.LayerNorm(x, gamma, beta, 1e-5)
+}
+
+// attentionHeads reshapes [B,S,H] -> [B,nh,S,hd].
+func attentionHeads(g *graph.Graph, x *graph.Node, hd int64) *graph.Node {
+	split := g.SplitDim(x, 2, hd) // [B,S,nh,hd]
+	return g.Transpose(split, 0, 2, 1, 3)
+}
+
+// mergeHeads reshapes [B,nh,S,hd] -> [B,S,H].
+func mergeHeads(g *graph.Graph, x *graph.Node) *graph.Node {
+	t := g.Transpose(x, 0, 2, 1, 3) // [B,S,nh,hd]
+	return g.MergeDims(t, 2, 4)
+}
+
+// selfAttention is one multi-head self-attention block over [B,S,H].
+func selfAttention(g *graph.Graph, r *tensor.RNG, x *graph.Node, h, nh int) *graph.Node {
+	hd := int64(h / nh)
+	q := attentionHeads(g, linear(g, r, x, h, h), hd)
+	k := attentionHeads(g, linear(g, r, x, h, h), hd)
+	v := attentionHeads(g, linear(g, r, x, h, h), hd)
+	scale := g.ConstScalar(float32(1.0 / math.Sqrt(float64(hd))))
+	scores := g.Mul(g.MatMul(q, g.Transpose(k, 0, 1, 3, 2)), scale)
+	probs := g.Softmax(scores)
+	ctx := mergeHeads(g, g.MatMul(probs, v))
+	return linear(g, r, ctx, h, h)
+}
+
+// ffn is the position-wise feed-forward block.
+func ffn(g *graph.Graph, r *tensor.RNG, x *graph.Node, h, inner int) *graph.Node {
+	return linear(g, r, g.Gelu(linear(g, r, x, h, inner)), inner, h)
+}
+
+// encoderLayer is a post-norm transformer encoder layer.
+func encoderLayer(g *graph.Graph, r *tensor.RNG, x *graph.Node, h, nh, inner int) *graph.Node {
+	att := layerNorm(g, r, g.Add(x, selfAttention(g, r, x, h, nh)), h)
+	return layerNorm(g, r, g.Add(att, ffn(g, r, att, h, inner)), h)
+}

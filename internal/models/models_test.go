@@ -1,0 +1,200 @@
+package models
+
+import (
+	"testing"
+
+	"godisc/internal/baselines"
+	"godisc/internal/device"
+	"godisc/internal/graph"
+	"godisc/internal/tensor"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 7 {
+		t.Fatalf("registry has %d models, want 7", len(reg))
+	}
+	for _, m := range reg {
+		if m.Name == "" || m.Build == nil || m.GenInputs == nil {
+			t.Fatalf("model %+v incomplete", m)
+		}
+		if _, err := ByName(m.Name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}
+
+func TestBuildersVerifyAndAreDeterministic(t *testing.T) {
+	for _, m := range Registry() {
+		g1 := m.Build()
+		if err := g1.Verify(); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		// Identical weights across builds: evaluating two fresh builds on
+		// the same input must agree exactly.
+		r1 := tensor.NewRNG(1)
+		r2 := tensor.NewRNG(1)
+		in1 := m.GenInputs(r1, 2, 5)
+		in2 := m.GenInputs(r2, 2, 5)
+		o1, err := graph.Evaluate(g1, in1)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		o2, err := graph.Evaluate(m.Build(), in2)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		for i := range o1 {
+			if err := tensor.AllClose(o1[i], o2[i], 0, 0); err != nil {
+				t.Fatalf("%s output %d not deterministic: %v", m.Name, i, err)
+			}
+		}
+	}
+}
+
+func TestModelsEvaluateAcrossShapes(t *testing.T) {
+	shapePoints := [][2]int{{1, 3}, {2, 8}, {4, 17}}
+	for _, m := range Registry() {
+		g := m.Build()
+		r := tensor.NewRNG(7)
+		for _, bs := range shapePoints {
+			ins := m.GenInputs(r, bs[0], bs[1])
+			outs, err := graph.Evaluate(g, ins)
+			if err != nil {
+				t.Fatalf("%s at %v: %v", m.Name, bs, err)
+			}
+			for i, o := range outs {
+				for j := 0; j < o.Numel(); j++ {
+					v := o.At(j)
+					if v != v { // NaN
+						t.Fatalf("%s at %v: output %d has NaN", m.Name, bs, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestModelsCompileAndMatchReference(t *testing.T) {
+	dev := device.A10()
+	for _, m := range Registry() {
+		disc, err := baselines.NewCompiled(m.Build(), dev, baselines.BladeDISCParams())
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		ref := m.Build()
+		r := tensor.NewRNG(9)
+		for _, bs := range [][2]int{{1, 4}, {3, 11}} {
+			ins := m.GenInputs(r, bs[0], bs[1])
+			got, prof, err := disc.Invoke(ins)
+			if err != nil {
+				t.Fatalf("%s at %v: %v", m.Name, bs, err)
+			}
+			want, err := graph.Evaluate(ref, ins)
+			if err != nil {
+				t.Fatalf("%s: %v", m.Name, err)
+			}
+			for i := range want {
+				if err := tensor.AllClose(got[i], want[i], 2e-4, 1e-4); err != nil {
+					t.Fatalf("%s at %v output %d: %v", m.Name, bs, i, err)
+				}
+			}
+			if prof.Launches == 0 {
+				t.Fatalf("%s: no launches recorded", m.Name)
+			}
+		}
+	}
+}
+
+func TestBertFusionCollapsesKernels(t *testing.T) {
+	dev := device.A10()
+	m := BERT()
+	disc, err := baselines.NewCompiled(m.Build(), dev, baselines.BladeDISCParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager, err := baselines.NewInterpreter(m.Build(), dev, baselines.PyTorchParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tensor.NewRNG(11)
+	ins := m.GenInputs(r, 2, 16)
+	_, dp, err := disc.Invoke(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ep, err := eager.Invoke(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.Launches >= ep.Launches {
+		t.Fatalf("BladeDISC launches %d must undercut eager %d", dp.Launches, ep.Launches)
+	}
+	t.Logf("bert kernels: disc=%d eager=%d", dp.Launches, ep.Launches)
+}
+
+func TestModelsSerializationRoundTrip(t *testing.T) {
+	// Every zoo model must survive text serialization: the parsed graph
+	// evaluates identically on dynamic inputs.
+	for _, m := range Registry() {
+		g := m.Build()
+		src := graph.WriteText(g)
+		g2, err := graph.ParseText(src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", m.Name, err)
+		}
+		r := tensor.NewRNG(13)
+		ins := m.GenInputs(r, 2, 9)
+		want, err := graph.Evaluate(g, ins)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		got, err := graph.Evaluate(g2, ins)
+		if err != nil {
+			t.Fatalf("%s: parsed eval: %v", m.Name, err)
+		}
+		for i := range want {
+			if err := tensor.AllClose(got[i], want[i], 0, 0); err != nil {
+				t.Fatalf("%s output %d: %v", m.Name, i, err)
+			}
+		}
+	}
+}
+
+func TestModelsSerializedCompileAndRun(t *testing.T) {
+	// A round-tripped model must also compile and execute correctly —
+	// derived dims (sums for concat/pad, affine conv extents) must
+	// survive with their runtime evaluability intact.
+	for _, name := range []string{"gpt2", "textcnn"} {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, err := graph.ParseText(graph.WriteText(m.Build()))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		disc, err := baselines.NewCompiled(g2, device.A10(), baselines.BladeDISCParams())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		r := tensor.NewRNG(17)
+		ins := m.GenInputs(r, 2, 10)
+		got, _, err := disc.Invoke(ins)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want, err := graph.Evaluate(m.Build(), ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if err := tensor.AllClose(got[i], want[i], 2e-4, 1e-4); err != nil {
+				t.Fatalf("%s output %d: %v", name, i, err)
+			}
+		}
+	}
+}

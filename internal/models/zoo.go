@@ -1,0 +1,341 @@
+package models
+
+import (
+	"godisc/internal/graph"
+	"godisc/internal/symshape"
+	"godisc/internal/tensor"
+)
+
+// Suite-wide scaled-down dimensions. The operator mix and dynamism match
+// the full-size models; widths are reduced so the interpreted kernel
+// substrate evaluates quickly.
+const (
+	bertVocab  = 128
+	bertHidden = 32
+	bertHeads  = 2
+	bertFF     = 64
+	bertLayers = 2
+	bertMaxSeq = 128
+
+	gptHidden   = 32
+	gptHeads    = 2
+	gptMaxCache = 256
+
+	s2sHidden = 32
+	s2sHeads  = 2
+	s2sMaxSeq = 128
+
+	dlrmDense  = 16
+	dlrmTables = 3
+	dlrmVocab  = 64
+	dlrmEmbDim = 8
+
+	mlpWidth  = 64
+	mlpHidden = 128
+	mlpLayers = 5
+
+	cnnVocab  = 128
+	cnnEmbed  = 16
+	cnnFilter = 24
+	cnnMaxSeq = 256
+)
+
+// BERT is a scaled-down BERT encoder: token + position embeddings followed
+// by transformer encoder layers. Dynamic batch and sequence length.
+func BERT() *Model {
+	build := func() *graph.Graph {
+		g := graph.New("bert")
+		r := weights(101)
+		b := g.Ctx.NewDim("B")
+		s := g.Ctx.NewDim("S")
+		g.Ctx.DeclareRange(b, 1, 64)
+		g.Ctx.DeclareRange(s, 1, bertMaxSeq)
+		ids := g.Parameter("input_ids", tensor.I32, symshape.Shape{b, s})
+		pos := g.Parameter("position_ids", tensor.I32, symshape.Shape{b, s})
+		tokTable := g.Constant(tensor.RandN(r, 0.1, bertVocab, bertHidden))
+		posTable := g.Constant(tensor.RandN(r, 0.1, bertMaxSeq, bertHidden))
+		x := g.Add(g.Gather(tokTable, ids), g.Gather(posTable, pos))
+		x = layerNorm(g, r, x, bertHidden)
+		for i := 0; i < bertLayers; i++ {
+			x = encoderLayer(g, r, x, bertHidden, bertHeads, bertFF)
+		}
+		g.SetOutputs(x)
+		return g
+	}
+	return &Model{
+		Name:        "bert",
+		Description: "BERT-style transformer encoder (token+pos embedding, MHA, FFN, layernorm)",
+		Dynamism:    "batch,seq",
+		MaxSeq:      bertMaxSeq,
+		Build:       build,
+		GenInputs: func(r *tensor.RNG, batch, seq int) []*tensor.Tensor {
+			ids := tensor.RandIndices(r, bertVocab, batch, seq)
+			pos := tensor.New(tensor.I32, batch, seq)
+			for i := 0; i < batch; i++ {
+				for j := 0; j < seq; j++ {
+					pos.I32()[i*seq+j] = int32(j)
+				}
+			}
+			return []*tensor.Tensor{ids, pos}
+		},
+	}
+}
+
+// GPT2Decode is one autoregressive decode step with a growing KV cache:
+// a single new token attends over `seq` cached positions plus itself. The
+// cache length is the dynamic axis — the canonical dynamic-shape serving
+// workload.
+func GPT2Decode() *Model {
+	const h, nh = gptHidden, gptHeads
+	const hd = h / nh
+	build := func() *graph.Graph {
+		g := graph.New("gpt2")
+		r := weights(202)
+		b := g.Ctx.NewDim("B")
+		s := g.Ctx.NewDim("S") // cached positions
+		g.Ctx.DeclareRange(b, 1, 64)
+		g.Ctx.DeclareRange(s, 1, gptMaxCache)
+		one := g.Ctx.StaticDim(1)
+		x := g.Parameter("x", tensor.F32, symshape.Shape{b, one, g.Ctx.StaticDim(h)})
+		pastK := g.Parameter("past_k", tensor.F32,
+			symshape.Shape{b, g.Ctx.StaticDim(nh), s, g.Ctx.StaticDim(hd)})
+		pastV := g.Parameter("past_v", tensor.F32,
+			symshape.Shape{b, g.Ctx.StaticDim(nh), s, g.Ctx.StaticDim(hd)})
+
+		xn := layerNorm(g, r, x, h)
+		q := attentionHeads(g, linear(g, r, xn, h, h), hd) // [B,nh,1,hd]
+		k := attentionHeads(g, linear(g, r, xn, h, h), hd)
+		v := attentionHeads(g, linear(g, r, xn, h, h), hd)
+		fullK := g.Concat(2, pastK, k) // [B,nh,S+1,hd]
+		fullV := g.Concat(2, pastV, v)
+		scale := g.ConstScalar(0.25) // 1/sqrt(hd=16)
+		scores := g.Mul(g.MatMul(q, g.Transpose(fullK, 0, 1, 3, 2)), scale)
+		probs := g.Softmax(scores)
+		ctx := mergeHeads(g, g.MatMul(probs, fullV))
+		att := g.Add(x, linear(g, r, ctx, h, h))
+		out := g.Add(att, ffn(g, r, layerNorm(g, r, att, h), h, 4*h))
+		// Return the new hidden state and the updated cache.
+		g.SetOutputs(out, fullK, fullV)
+		return g
+	}
+	return &Model{
+		Name:        "gpt2",
+		Description: "GPT-2-style decode step with growing KV cache (concat over dynamic cache axis)",
+		Dynamism:    "batch,cache",
+		MaxSeq:      gptMaxCache,
+		Build:       build,
+		GenInputs: func(r *tensor.RNG, batch, seq int) []*tensor.Tensor {
+			return []*tensor.Tensor{
+				tensor.RandN(r, 0.5, batch, 1, h),
+				tensor.RandN(r, 0.5, batch, nh, seq, hd),
+				tensor.RandN(r, 0.5, batch, nh, seq, hd),
+			}
+		},
+	}
+}
+
+// Seq2Seq is a T5-style decoder layer step: self-attention over the
+// decoder prefix plus cross-attention over the encoder output; both
+// sequence axes are dynamic and independent.
+func Seq2Seq() *Model {
+	const h, nh = s2sHidden, s2sHeads
+	const hd = h / nh
+	build := func() *graph.Graph {
+		g := graph.New("seq2seq")
+		r := weights(303)
+		b := g.Ctx.NewDim("B")
+		sd := g.Ctx.NewDim("Sdec")
+		se := g.Ctx.NewDim("Senc")
+		g.Ctx.DeclareRange(b, 1, 64)
+		g.Ctx.DeclareRange(sd, 1, s2sMaxSeq)
+		g.Ctx.DeclareRange(se, 1, s2sMaxSeq)
+		hsym := g.Ctx.StaticDim(h)
+		dec := g.Parameter("dec", tensor.F32, symshape.Shape{b, sd, hsym})
+		enc := g.Parameter("enc", tensor.F32, symshape.Shape{b, se, hsym})
+
+		// Decoder self-attention.
+		x := layerNorm(g, r, g.Add(dec, selfAttention(g, r, dec, h, nh)), h)
+		// Cross-attention: queries from the decoder, keys/values from the
+		// encoder output.
+		q := attentionHeads(g, linear(g, r, x, h, h), hd)
+		k := attentionHeads(g, linear(g, r, enc, h, h), hd)
+		v := attentionHeads(g, linear(g, r, enc, h, h), hd)
+		scale := g.ConstScalar(0.25)
+		probs := g.Softmax(g.Mul(g.MatMul(q, g.Transpose(k, 0, 1, 3, 2)), scale))
+		cross := linear(g, r, mergeHeads(g, g.MatMul(probs, v)), h, h)
+		x = layerNorm(g, r, g.Add(x, cross), h)
+		x = layerNorm(g, r, g.Add(x, ffn(g, r, x, h, 4*h)), h)
+		g.SetOutputs(x)
+		return g
+	}
+	return &Model{
+		Name:        "seq2seq",
+		Description: "T5-style decoder layer: self-attention + cross-attention, two independent dynamic sequence axes",
+		Dynamism:    "batch,seq_dec,seq_enc",
+		MaxSeq:      s2sMaxSeq,
+		Build:       build,
+		GenInputs: func(r *tensor.RNG, batch, seq int) []*tensor.Tensor {
+			encLen := seq + seq/2 + 1
+			if encLen > s2sMaxSeq {
+				encLen = s2sMaxSeq
+			}
+			return []*tensor.Tensor{
+				tensor.RandN(r, 0.5, batch, seq, h),
+				tensor.RandN(r, 0.5, batch, encLen, h),
+			}
+		},
+	}
+}
+
+// DLRM is a recommendation model: categorical embeddings gathered per
+// request, concatenated with a dense-feature projection, fed to a top MLP.
+// Dynamic batch only — the shape dynamism of online serving.
+func DLRM() *Model {
+	build := func() *graph.Graph {
+		g := graph.New("dlrm")
+		r := weights(404)
+		b := g.Ctx.NewDim("B")
+		g.Ctx.DeclareRange(b, 1, 512)
+		dense := g.Parameter("dense", tensor.F32, symshape.Shape{b, g.Ctx.StaticDim(dlrmDense)})
+		var parts []*graph.Node
+		bottom := g.Relu(linear(g, r, dense, dlrmDense, dlrmEmbDim))
+		parts = append(parts, bottom)
+		for t := 0; t < dlrmTables; t++ {
+			ids := g.Parameter("ids", tensor.I32, symshape.Shape{b})
+			table := g.Constant(tensor.RandN(r, 0.1, dlrmVocab, dlrmEmbDim))
+			parts = append(parts, g.Gather(table, ids))
+		}
+		x := g.Concat(1, parts...) // [B, (1+tables)*embDim]
+		width := (1 + dlrmTables) * dlrmEmbDim
+		x = g.Relu(linear(g, r, x, width, 32))
+		x = g.Relu(linear(g, r, x, 32, 16))
+		g.SetOutputs(g.Sigmoid(linear(g, r, x, 16, 1)))
+		return g
+	}
+	return &Model{
+		Name:        "dlrm",
+		Description: "DLRM-style recommender: embedding gathers + dense projection + top MLP",
+		Dynamism:    "batch",
+		MaxSeq:      1,
+		Build:       build,
+		GenInputs: func(r *tensor.RNG, batch, seq int) []*tensor.Tensor {
+			ins := []*tensor.Tensor{tensor.RandN(r, 0.5, batch, dlrmDense)}
+			for t := 0; t < dlrmTables; t++ {
+				ins = append(ins, tensor.RandIndices(r, dlrmVocab, batch))
+			}
+			return ins
+		},
+	}
+}
+
+// MLP is a deep fully-connected network with dynamic batch — the simplest
+// possible dynamic workload, dominated by library calls and fused
+// activations.
+func MLP() *Model {
+	build := func() *graph.Graph {
+		g := graph.New("mlp")
+		r := weights(505)
+		b := g.Ctx.NewDim("B")
+		g.Ctx.DeclareRange(b, 1, 1024)
+		x := g.Parameter("x", tensor.F32, symshape.Shape{b, g.Ctx.StaticDim(mlpWidth)})
+		h := g.Relu(linear(g, r, x, mlpWidth, mlpHidden))
+		for i := 1; i < mlpLayers; i++ {
+			h = g.Relu(linear(g, r, h, mlpHidden, mlpHidden))
+		}
+		g.SetOutputs(linear(g, r, h, mlpHidden, 8))
+		return g
+	}
+	return &Model{
+		Name:        "mlp",
+		Description: "Deep MLP with ReLU activations, dynamic batch",
+		Dynamism:    "batch",
+		MaxSeq:      1,
+		Build:       build,
+		GenInputs: func(r *tensor.RNG, batch, seq int) []*tensor.Tensor {
+			return []*tensor.Tensor{tensor.RandN(r, 0.5, batch, mlpWidth)}
+		},
+	}
+}
+
+// TextCNN is a convolutional text classifier (CRNN-family workload in the
+// paper's suite): embedding lookup, three parallel same-padded 1-D
+// convolutions with different kernel widths, global max pooling over the
+// dynamic sequence axis, and a dense classifier head. It exercises
+// library convolutions, pad kernels, affine/sum shape arithmetic and the
+// general (non-last-axis) reduction lowering.
+func TextCNN() *Model {
+	build := func() *graph.Graph {
+		g := graph.New("textcnn")
+		r := weights(606)
+		b := g.Ctx.NewDim("B")
+		s := g.Ctx.NewDim("S")
+		g.Ctx.DeclareRange(b, 1, 64)
+		g.Ctx.DeclareRange(s, 8, cnnMaxSeq)
+		ids := g.Parameter("input_ids", tensor.I32, symshape.Shape{b, s})
+		table := g.Constant(tensor.RandN(r, 0.1, cnnVocab, cnnEmbed))
+		x := g.Gather(table, ids) // [B, S, E]
+		var pooled []*graph.Node
+		for _, k := range []int{3, 5, 7} {
+			w := g.Constant(tensor.RandN(r, 0.15, k, cnnEmbed, cnnFilter))
+			conv := g.Relu(g.SameConv1D(x, w)) // [B, S, F]
+			pooled = append(pooled, g.Max(conv, []int{1}, false))
+		}
+		feat := g.Concat(1, pooled...) // [B, 3F]
+		h := g.Relu(linear(g, r, feat, 3*cnnFilter, 32))
+		g.SetOutputs(g.Sigmoid(linear(g, r, h, 32, 4)))
+		return g
+	}
+	return &Model{
+		Name:        "textcnn",
+		Description: "TextCNN classifier: embedding, 3 parallel same-pad conv1d + global max pool, dense head",
+		Dynamism:    "batch,seq",
+		MaxSeq:      cnnMaxSeq,
+		Build:       build,
+		GenInputs: func(r *tensor.RNG, batch, seq int) []*tensor.Tensor {
+			if seq < 8 {
+				seq = 8
+			}
+			return []*tensor.Tensor{tensor.RandIndices(r, cnnVocab, batch, seq)}
+		},
+	}
+}
+
+// ASR is a conformer-lite speech model step: two same-padded convolutions
+// over acoustic features followed by a self-attention block and a
+// per-frame classifier — the paper's ASR workload family, mixing library
+// convolutions with stitched attention normalization over a dynamic frame
+// axis.
+func ASR() *Model {
+	const h = 32
+	build := func() *graph.Graph {
+		g := graph.New("asr")
+		r := weights(707)
+		b := g.Ctx.NewDim("B")
+		s := g.Ctx.NewDim("T") // acoustic frames
+		g.Ctx.DeclareRange(b, 1, 32)
+		g.Ctx.DeclareRange(s, 8, 256)
+		feats := g.Parameter("features", tensor.F32, symshape.Shape{b, s, g.Ctx.StaticDim(h)})
+		x := feats
+		for i := 0; i < 2; i++ {
+			w := g.Constant(tensor.RandN(r, 0.12, 3, h, h))
+			x = g.Relu(g.SameConv1D(x, w))
+		}
+		x = layerNorm(g, r, g.Add(x, feats), h)
+		x = encoderLayer(g, r, x, h, 2, 2*h)
+		g.SetOutputs(g.Softmax(linear(g, r, x, h, 16))) // per-frame token posteriors
+		return g
+	}
+	return &Model{
+		Name:        "asr",
+		Description: "Conformer-lite ASR step: conv frontend + attention block + per-frame softmax head",
+		Dynamism:    "batch,frames",
+		MaxSeq:      256,
+		Build:       build,
+		GenInputs: func(r *tensor.RNG, batch, seq int) []*tensor.Tensor {
+			if seq < 8 {
+				seq = 8
+			}
+			return []*tensor.Tensor{tensor.RandN(r, 0.5, batch, seq, h)}
+		},
+	}
+}

@@ -1,0 +1,70 @@
+package opt
+
+import (
+	"fmt"
+	"strings"
+
+	"godisc/internal/graph"
+)
+
+// CSE merges structurally identical nodes: same op kind, same operand
+// identities and same attributes. Constants are keyed by their contents
+// (bounded), so duplicate scalar literals from decomposition collapse too.
+type CSE struct{}
+
+// Name implements Pass.
+func (CSE) Name() string { return "cse" }
+
+// Run implements Pass.
+func (CSE) Run(g *graph.Graph) (int, error) {
+	changed := 0
+	seen := map[string]*graph.Node{}
+	for _, n := range g.Toposort() {
+		key, ok := cseKey(n)
+		if !ok {
+			continue
+		}
+		if prev, dup := seen[key]; dup {
+			g.ReplaceAllUses(n, prev)
+			changed++
+			continue
+		}
+		seen[key] = n
+	}
+	if changed > 0 {
+		g.Sweep()
+	}
+	return changed, nil
+}
+
+// cseKey renders a node's identity; ok=false means the node must not be
+// deduplicated (parameters, oversized constants).
+func cseKey(n *graph.Node) (string, bool) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d|%d", n.Kind, n.DType)
+	switch n.Kind {
+	case graph.OpParameter:
+		return "", false
+	case graph.OpConstant:
+		if n.Lit.Numel() > 64 {
+			return "", false
+		}
+		fmt.Fprintf(&sb, "|%v|", n.Lit.Shape())
+		for i := 0; i < n.Lit.Numel(); i++ {
+			fmt.Fprintf(&sb, "%g,", n.Lit.At(i))
+		}
+		return sb.String(), true
+	}
+	for _, in := range n.Inputs {
+		fmt.Fprintf(&sb, "|%d", in.ID)
+	}
+	fmt.Fprintf(&sb, "|%s|%v|%v|%v|%d|%v|%v|%g|%d|%v|%v",
+		n.CmpOp, n.Reduce, n.Perm, n.Axis, n.To, n.Starts, n.Sizes, n.Eps, len(n.Shape),
+		n.PadLo, n.PadHi)
+	fmt.Fprintf(&sb, "|%t", n.TransB)
+	// Reshapes with equal inputs can differ only by target shape.
+	if n.Kind == graph.OpReshape {
+		fmt.Fprintf(&sb, "|%v", n.Shape)
+	}
+	return sb.String(), true
+}

@@ -1,0 +1,46 @@
+package opt
+
+import (
+	"godisc/internal/graph"
+)
+
+// Decompose expands composite neural ops (softmax, layernorm) into
+// primitive elementwise/reduce nodes. Running it before fusion means the
+// fusion planner sees the real dataflow skeleton — e.g. softmax becomes the
+// classic "row reduce + elementwise" pattern that kInput fusion targets.
+type Decompose struct{}
+
+// Name implements Pass.
+func (Decompose) Name() string { return "decompose" }
+
+// Run implements Pass.
+func (Decompose) Run(g *graph.Graph) (int, error) {
+	changed := 0
+	for _, n := range g.Toposort() {
+		switch n.Kind {
+		case graph.OpSoftmax:
+			x := n.Inputs[0]
+			last := []int{x.Rank() - 1}
+			m := g.Max(x, last, true)
+			e := g.Exp(g.Sub(x, m))
+			s := g.Sum(e, last, true)
+			out := g.Div(e, s)
+			g.ReplaceAllUses(n, out)
+			changed++
+		case graph.OpLayerNorm:
+			x, gamma, beta := n.Inputs[0], n.Inputs[1], n.Inputs[2]
+			last := []int{x.Rank() - 1}
+			mean := g.Mean(x, last, true)
+			d := g.Sub(x, mean)
+			variance := g.Mean(g.Mul(d, d), last, true)
+			inv := g.Rsqrt(g.Add(variance, g.ConstScalar(n.Eps)))
+			out := g.Add(g.Mul(g.Mul(d, inv), gamma), beta)
+			g.ReplaceAllUses(n, out)
+			changed++
+		}
+	}
+	if changed > 0 {
+		g.Sweep()
+	}
+	return changed, nil
+}

@@ -1,0 +1,92 @@
+package opt
+
+import (
+	"godisc/internal/graph"
+)
+
+// DuplicateProducers clones cheap elementwise producers that feed several
+// fusable consumers, giving each consumer a private copy so the fusion
+// planner (which fuses a producer only into its sole consumer group) can
+// absorb every chain. This trades a little recomputation for eliminating a
+// materialized intermediate — the classic fusion-enabling duplication
+// BladeDISC applies to cheap ops. It must run once after the main rewrite
+// fixpoint: CSE would otherwise immediately merge the clones back.
+type DuplicateProducers struct {
+	// MaxUses caps how many consumers a producer may be cloned for
+	// (0 = 4). Beyond it, recomputation is judged too expensive.
+	MaxUses int
+}
+
+// Name implements Pass.
+func (DuplicateProducers) Name() string { return "dup-producers" }
+
+// Run implements Pass.
+func (p DuplicateProducers) Run(g *graph.Graph) (int, error) {
+	maxUses := p.MaxUses
+	if maxUses <= 0 {
+		maxUses = 4
+	}
+	isOut := map[*graph.Node]bool{}
+	for _, o := range g.Outputs {
+		isOut[o] = true
+	}
+	users := g.Users()
+	changed := 0
+	for _, n := range g.Toposort() {
+		if !duplicable(n) || isOut[n] {
+			continue
+		}
+		us := users[n]
+		if len(us) < 2 || len(us) > maxUses {
+			continue
+		}
+		fusableUsers := true
+		for _, u := range us {
+			if !consumerFusable(u) {
+				fusableUsers = false
+				break
+			}
+		}
+		if !fusableUsers {
+			continue
+		}
+		// Give every consumer after the first its own clone. A consumer
+		// using n in several operand slots keeps one clone.
+		for _, u := range us[1:] {
+			clone := g.Clone(n)
+			for i, in := range u.Inputs {
+				if in == n {
+					u.Inputs[i] = clone
+				}
+			}
+			changed++
+		}
+	}
+	return changed, nil
+}
+
+// duplicable reports whether n is cheap enough to recompute per consumer:
+// light elementwise math and reshapes. Transcendental-heavy ops stay
+// shared.
+func duplicable(n *graph.Node) bool {
+	if n.Kind == graph.OpReshape {
+		return true
+	}
+	if !n.Kind.IsElementwise() {
+		return false
+	}
+	return n.Kind.FlopsPerElement() <= 1
+}
+
+// consumerFusable reports whether u can absorb a duplicated producer:
+// elementwise ops, reshapes, and last-axis reductions.
+func consumerFusable(u *graph.Node) bool {
+	if u.Kind.IsElementwise() || u.Kind == graph.OpReshape {
+		return true
+	}
+	if u.Kind == graph.OpReduce {
+		in := u.Inputs[0]
+		return len(u.Reduce.Axes) == 1 && u.Reduce.Axes[0] == in.Rank()-1
+	}
+	return false
+}

@@ -1,0 +1,64 @@
+package opt
+
+import (
+	"fmt"
+
+	"godisc/internal/graph"
+	"godisc/internal/tensor"
+)
+
+// ConstantFold evaluates nodes whose operands are all constants, replacing
+// them by literal constants. Folding is bounded by MaxElements so enormous
+// intermediate literals are never materialized into the executable.
+type ConstantFold struct {
+	// MaxElements caps the element count of a folded result (0 = 4096).
+	MaxElements int
+}
+
+// Name implements Pass.
+func (ConstantFold) Name() string { return "constfold" }
+
+// Run implements Pass.
+func (p ConstantFold) Run(g *graph.Graph) (int, error) {
+	limit := p.MaxElements
+	if limit <= 0 {
+		limit = 4096
+	}
+	changed := 0
+	vals := map[*graph.Node]*tensor.Tensor{}
+	for _, n := range g.Toposort() {
+		if n.Kind == graph.OpConstant {
+			vals[n] = n.Lit
+			continue
+		}
+		if n.Kind == graph.OpParameter || len(n.Inputs) == 0 {
+			continue
+		}
+		all := true
+		for _, in := range n.Inputs {
+			if vals[in] == nil {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		v, err := graph.EvalNode(g.Ctx, n, nil, func(in *graph.Node) *tensor.Tensor { return vals[in] })
+		if err != nil {
+			return changed, fmt.Errorf("folding node %%%d (%s): %w", n.ID, n.Kind, err)
+		}
+		if v.Numel() > limit {
+			continue
+		}
+		c := g.Constant(v)
+		vals[c] = v
+		g.ReplaceAllUses(n, c)
+		vals[n] = nil
+		changed++
+	}
+	if changed > 0 {
+		g.Sweep()
+	}
+	return changed, nil
+}

@@ -1,0 +1,107 @@
+// Package opt contains the graph-level optimization passes of the pipeline:
+// composite-op decomposition, algebraic simplification, constant folding,
+// common-subexpression elimination and dead-code elimination. Passes are
+// pure graph rewrites over the symbolic-shape IR; none of them needs
+// concrete shape values, which is what keeps the whole pipeline
+// dynamic-shape friendly.
+package opt
+
+import (
+	"fmt"
+
+	"godisc/internal/graph"
+)
+
+// Pass is a named graph rewrite. Run reports how many rewrites it applied,
+// so the manager can iterate to a fixpoint.
+type Pass interface {
+	Name() string
+	Run(g *graph.Graph) (changed int, err error)
+}
+
+// Pipeline runs passes in order, repeating the whole list until a full
+// sweep makes no change (bounded by MaxIters to guarantee termination),
+// then runs PostPasses exactly once. Post passes host rewrites that a
+// fixpoint member would undo (producer duplication vs CSE).
+type Pipeline struct {
+	Passes     []Pass
+	PostPasses []Pass
+	MaxIters   int
+	// Trace, when non-nil, receives one line per pass application.
+	Trace func(format string, args ...any)
+}
+
+// WithoutDuplication returns the pipeline minus the fusion-enabling
+// producer duplication — for configurations that will not fuse, where
+// duplication would only add work.
+func WithoutDuplication() *Pipeline {
+	p := Default()
+	p.PostPasses = nil
+	return p
+}
+
+// Default returns the standard BladeDISC-style pipeline.
+func Default() *Pipeline {
+	return &Pipeline{
+		Passes: []Pass{
+			Decompose{},
+			Simplify{},
+			ConstantFold{MaxElements: 1 << 16},
+			CSE{},
+			DCE{},
+		},
+		PostPasses: []Pass{
+			DuplicateProducers{},
+		},
+		MaxIters: 8,
+	}
+}
+
+// Run applies the pipeline to g, returning the total number of rewrites.
+func (p *Pipeline) Run(g *graph.Graph) (int, error) {
+	iters := p.MaxIters
+	if iters <= 0 {
+		iters = 8
+	}
+	total := 0
+	for i := 0; i < iters; i++ {
+		round := 0
+		for _, pass := range p.Passes {
+			n, err := pass.Run(g)
+			if err != nil {
+				return total, fmt.Errorf("opt: pass %s: %w", pass.Name(), err)
+			}
+			if p.Trace != nil && n > 0 {
+				p.Trace("pass %s: %d rewrites", pass.Name(), n)
+			}
+			round += n
+		}
+		total += round
+		if round == 0 {
+			break
+		}
+	}
+	for _, pass := range p.PostPasses {
+		n, err := pass.Run(g)
+		if err != nil {
+			return total, fmt.Errorf("opt: pass %s: %w", pass.Name(), err)
+		}
+		if p.Trace != nil && n > 0 {
+			p.Trace("pass %s: %d rewrites", pass.Name(), n)
+		}
+		total += n
+	}
+	if err := g.Verify(); err != nil {
+		return total, fmt.Errorf("opt: pipeline broke the graph: %w", err)
+	}
+	return total, nil
+}
+
+// DCE removes nodes unreachable from the outputs.
+type DCE struct{}
+
+// Name implements Pass.
+func (DCE) Name() string { return "dce" }
+
+// Run implements Pass.
+func (DCE) Run(g *graph.Graph) (int, error) { return g.Sweep(), nil }

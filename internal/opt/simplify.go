@@ -1,0 +1,178 @@
+package opt
+
+import (
+	"math"
+
+	"godisc/internal/graph"
+	"godisc/internal/tensor"
+)
+
+// Simplify applies local algebraic identities. Rewrites never change
+// result shapes: an identity like x*1 -> x only fires when the replacement
+// provably has the same symbolic shape as the original node, so implicit
+// broadcasts are preserved.
+type Simplify struct{}
+
+// Name implements Pass.
+func (Simplify) Name() string { return "simplify" }
+
+// Run implements Pass.
+func (Simplify) Run(g *graph.Graph) (int, error) {
+	changed := 0
+	for _, n := range g.Toposort() {
+		if r := simplifyNode(g, n); r != nil && r != n {
+			g.ReplaceAllUses(n, r)
+			changed++
+		}
+	}
+	if changed > 0 {
+		g.Sweep()
+	}
+	return changed, nil
+}
+
+// simplifyNode returns a replacement for n, or nil if no identity applies.
+func simplifyNode(g *graph.Graph, n *graph.Node) *graph.Node {
+	sameShape := func(r *graph.Node) *graph.Node {
+		if r != nil && g.Ctx.ShapeEqual(r.Shape, n.Shape) && r.DType == n.DType {
+			return r
+		}
+		return nil
+	}
+	switch n.Kind {
+	case graph.OpAdd:
+		if isConstScalar(n.Inputs[1], 0) {
+			return sameShape(n.Inputs[0])
+		}
+		if isConstScalar(n.Inputs[0], 0) {
+			return sameShape(n.Inputs[1])
+		}
+	case graph.OpSub:
+		if isConstScalar(n.Inputs[1], 0) {
+			return sameShape(n.Inputs[0])
+		}
+	case graph.OpMul:
+		if isConstScalar(n.Inputs[1], 1) {
+			return sameShape(n.Inputs[0])
+		}
+		if isConstScalar(n.Inputs[0], 1) {
+			return sameShape(n.Inputs[1])
+		}
+	case graph.OpDiv:
+		if isConstScalar(n.Inputs[1], 1) {
+			return sameShape(n.Inputs[0])
+		}
+		// Strength reduction: x / c -> x * (1/c) for exactly invertible
+		// power-of-two constants (bit-identical; other constants would
+		// perturb f32 results).
+		if c, ok := constScalarValue(n.Inputs[1]); ok && c != 0 && exactReciprocal(c) {
+			return sameShape(g.Mul(n.Inputs[0], g.ConstScalar(1/c)))
+		}
+	case graph.OpPow:
+		if isConstScalar(n.Inputs[1], 1) {
+			return sameShape(n.Inputs[0])
+		}
+	case graph.OpNeg:
+		if n.Inputs[0].Kind == graph.OpNeg {
+			return sameShape(n.Inputs[0].Inputs[0])
+		}
+	case graph.OpExp:
+		if n.Inputs[0].Kind == graph.OpLog {
+			return sameShape(n.Inputs[0].Inputs[0])
+		}
+	case graph.OpLog:
+		if n.Inputs[0].Kind == graph.OpExp {
+			return sameShape(n.Inputs[0].Inputs[0])
+		}
+	case graph.OpTranspose:
+		if isIdentityPerm(n.Perm) {
+			return sameShape(n.Inputs[0])
+		}
+		if in := n.Inputs[0]; in.Kind == graph.OpTranspose {
+			// transpose(transpose(x, p1), p2) -> transpose(x, p1∘p2)
+			composed := make([]int, len(n.Perm))
+			for i, p := range n.Perm {
+				composed[i] = in.Perm[p]
+			}
+			if isIdentityPerm(composed) {
+				return sameShape(in.Inputs[0])
+			}
+			return sameShape(g.Transpose(in.Inputs[0], composed...))
+		}
+	case graph.OpReshape:
+		if g.Ctx.ShapeEqual(n.Inputs[0].Shape, n.Shape) {
+			return n.Inputs[0]
+		}
+		if in := n.Inputs[0]; in.Kind == graph.OpReshape {
+			// reshape(reshape(x)) -> reshape(x)
+			return sameShape(g.Reshape(in.Inputs[0], n.Shape))
+		}
+	case graph.OpConvert:
+		if n.Inputs[0].DType == n.To {
+			return sameShape(n.Inputs[0])
+		}
+	case graph.OpMatMul:
+		// matmul(a, transpose(x, ..swap last two..)) -> matmulT(a, x):
+		// BLAS contracts against the transposed view natively, saving the
+		// materializing transpose kernel.
+		if n.TransB {
+			break
+		}
+		if tr := n.Inputs[1]; tr.Kind == graph.OpTranspose && isLastTwoSwap(tr.Perm) {
+			return sameShape(g.MatMulT(n.Inputs[0], tr.Inputs[0]))
+		}
+	}
+	return nil
+}
+
+// isLastTwoSwap reports whether perm is identity except for swapping the
+// final two axes.
+func isLastTwoSwap(perm []int) bool {
+	r := len(perm)
+	if r < 2 {
+		return false
+	}
+	for i := 0; i < r-2; i++ {
+		if perm[i] != i {
+			return false
+		}
+	}
+	return perm[r-2] == r-1 && perm[r-1] == r-2
+}
+
+// constScalarValue returns the value of a one-element f32 constant.
+func constScalarValue(n *graph.Node) (float32, bool) {
+	if n.Kind == graph.OpConstant && n.Lit != nil &&
+		n.Lit.DType() == tensor.F32 && n.Lit.Numel() == 1 {
+		return n.Lit.F32()[0], true
+	}
+	return 0, false
+}
+
+// exactReciprocal reports whether 1/c is exactly representable so the
+// rewrite is bit-identical: c must be a (possibly negative) power of two
+// in the normal range.
+func exactReciprocal(c float32) bool {
+	bits := math.Float32bits(c)
+	mantissa := bits & 0x007fffff
+	exp := (bits >> 23) & 0xff
+	return mantissa == 0 && exp != 0 && exp != 0xff
+}
+
+// isConstScalar reports whether n is a one-element f32 constant equal to v.
+func isConstScalar(n *graph.Node, v float32) bool {
+	return n.Kind == graph.OpConstant &&
+		n.Lit != nil &&
+		n.Lit.DType() == tensor.F32 &&
+		n.Lit.Numel() == 1 &&
+		n.Lit.F32()[0] == v
+}
+
+func isIdentityPerm(perm []int) bool {
+	for i, p := range perm {
+		if i != p {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,246 @@
+// Package ral is the Runtime Abstraction Layer: the thin host runtime that
+// compiled executables run on, mirroring BladeDISC's RAL. It owns device
+// buffer management (a size-class pool with reuse), the launch profiler
+// that the simulated device model charges into, and the compilation cache.
+// Host-side shape computation is symshape.Binding, which RAL consumers use
+// to size every intermediate buffer at invocation time.
+package ral
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Pool is a size-class buffer pool for device allocations. Buffers are
+// rounded up to powers of two and reused, so steady-state inference does
+// not allocate — the BladeDISC RAL behaviour that keeps dynamic shapes from
+// thrashing the device allocator.
+type Pool struct {
+	mu      sync.Mutex
+	classes map[uint][][]float32
+
+	// Stats (read via Stats()).
+	allocs int
+	reuses int
+	inUse  int64
+	peak   int64
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool {
+	return &Pool{classes: map[uint][][]float32{}}
+}
+
+// class returns the size class (log2 of rounded capacity) for n elements.
+func class(n int) uint {
+	if n <= 1 {
+		return 0
+	}
+	return uint(bits.Len(uint(n - 1)))
+}
+
+// Get returns a buffer with len n (capacity the size class). Contents are
+// zeroed.
+func (p *Pool) Get(n int) []float32 {
+	c := class(n)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.inUse += int64(1) << c
+	if p.inUse > p.peak {
+		p.peak = p.inUse
+	}
+	free := p.classes[c]
+	if len(free) > 0 {
+		buf := free[len(free)-1]
+		p.classes[c] = free[:len(free)-1]
+		p.reuses++
+		buf = buf[:n]
+		for i := range buf {
+			buf[i] = 0
+		}
+		return buf
+	}
+	p.allocs++
+	return make([]float32, n, 1<<c)
+}
+
+// Put returns a buffer to the pool.
+func (p *Pool) Put(buf []float32) {
+	if buf == nil {
+		return
+	}
+	c := class(cap(buf))
+	if 1<<c != cap(buf) {
+		// Foreign buffer (not from Get): adopt into the class below.
+		c = uint(bits.Len(uint(cap(buf)))) - 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.inUse -= int64(1) << c
+	p.classes[c] = append(p.classes[c], buf[:cap(buf)])
+}
+
+// PoolStats is a snapshot of pool behaviour.
+type PoolStats struct {
+	Allocs    int
+	Reuses    int
+	PeakElems int64
+}
+
+// Stats returns a snapshot.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{Allocs: p.allocs, Reuses: p.reuses, PeakElems: p.peak}
+}
+
+// Profiler accumulates the simulated execution profile of a run (or many).
+type Profiler struct {
+	Launches    int
+	LibraryOps  int
+	BytesMoved  float64
+	Flops       float64
+	SimulatedNs float64
+	// HostNs charges per-op host/dispatch overheads (framework overhead in
+	// eager baselines, RAL dispatch in compiled ones).
+	HostNs float64
+	// CompileNs charges compilation/tuning stalls (static compilers).
+	CompileNs float64
+	// VariantHits counts runtime variant selections by name.
+	VariantHits map[string]int
+	// PerKernel accumulates simulated time by kernel name.
+	PerKernel map[string]float64
+}
+
+// NewProfiler returns an empty profiler.
+func NewProfiler() *Profiler {
+	return &Profiler{VariantHits: map[string]int{}, PerKernel: map[string]float64{}}
+}
+
+// Launch records one kernel launch.
+func (pr *Profiler) Launch(kernel, variant string, bytes, flops, simNs float64) {
+	pr.Launches++
+	pr.BytesMoved += bytes
+	pr.Flops += flops
+	pr.SimulatedNs += simNs
+	if variant != "" {
+		pr.VariantHits[variant]++
+	}
+	pr.PerKernel[kernel] += simNs
+}
+
+// Library records one library (BLAS) call.
+func (pr *Profiler) Library(name string, bytes, flops, simNs float64) {
+	pr.Launches++
+	pr.LibraryOps++
+	pr.BytesMoved += bytes
+	pr.Flops += flops
+	pr.SimulatedNs += simNs
+	pr.PerKernel[name] += simNs
+}
+
+// Host charges host-side overhead (dispatch, scheduling, guards).
+func (pr *Profiler) Host(ns float64) {
+	pr.HostNs += ns
+	pr.SimulatedNs += ns
+}
+
+// Compile charges a compilation stall.
+func (pr *Profiler) Compile(ns float64) {
+	pr.CompileNs += ns
+	pr.SimulatedNs += ns
+}
+
+// Add merges another profile into pr.
+func (pr *Profiler) Add(o *Profiler) {
+	pr.Launches += o.Launches
+	pr.LibraryOps += o.LibraryOps
+	pr.BytesMoved += o.BytesMoved
+	pr.Flops += o.Flops
+	pr.SimulatedNs += o.SimulatedNs
+	pr.HostNs += o.HostNs
+	pr.CompileNs += o.CompileNs
+	for k, v := range o.VariantHits {
+		pr.VariantHits[k] += v
+	}
+	for k, v := range o.PerKernel {
+		pr.PerKernel[k] += v
+	}
+}
+
+// String renders a human-readable summary.
+func (pr *Profiler) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "launches=%d (library=%d) bytes=%.3gMB flops=%.3gM sim=%.3gms host=%.3gms compile=%.3gms",
+		pr.Launches, pr.LibraryOps, pr.BytesMoved/1e6, pr.Flops/1e6,
+		pr.SimulatedNs/1e6, pr.HostNs/1e6, pr.CompileNs/1e6)
+	if len(pr.VariantHits) > 0 {
+		keys := make([]string, 0, len(pr.VariantHits))
+		for k := range pr.VariantHits {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sb.WriteString(" variants={")
+		for i, k := range keys {
+			if i > 0 {
+				sb.WriteString(" ")
+			}
+			fmt.Fprintf(&sb, "%s:%d", k, pr.VariantHits[k])
+		}
+		sb.WriteString("}")
+	}
+	return sb.String()
+}
+
+// Cache is the compilation cache. BladeDISC keys it by *symbolic
+// signature*, so one entry serves all concrete shapes; static compilers key
+// by concrete shapes, paying one compilation per distinct shape tuple
+// (experiment E9 contrasts the two).
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]any
+	hits    int
+	misses  int
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return &Cache{entries: map[string]any{}} }
+
+// GetOrCompile returns the cached value for key, or invokes compile and
+// stores the result. The boolean reports whether it was a hit.
+func (c *Cache) GetOrCompile(key string, compile func() (any, error)) (any, bool, error) {
+	c.mu.Lock()
+	if v, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+	v, err := compile()
+	if err != nil {
+		return nil, false, err
+	}
+	c.mu.Lock()
+	c.entries[key] = v
+	c.mu.Unlock()
+	return v, false, nil
+}
+
+// Contains reports whether key is cached, counting a hit if so.
+func (c *Cache) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Stats returns (hits, misses, entries).
+func (c *Cache) Stats() (hits, misses, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.entries)
+}

@@ -1,0 +1,109 @@
+package ral
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestPoolReuse(t *testing.T) {
+	p := NewPool()
+	a := p.Get(100)
+	if len(a) != 100 || cap(a) != 128 {
+		t.Fatalf("len=%d cap=%d", len(a), cap(a))
+	}
+	a[0] = 42
+	p.Put(a)
+	b := p.Get(120) // same class (128)
+	if b[0] != 0 {
+		t.Fatal("reused buffer must be zeroed")
+	}
+	st := p.Stats()
+	if st.Allocs != 1 || st.Reuses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestPoolDistinctClasses(t *testing.T) {
+	p := NewPool()
+	small := p.Get(10)
+	p.Put(small)
+	big := p.Get(1000)
+	if cap(big) == cap(small) {
+		t.Fatal("distinct classes must not share buffers")
+	}
+	st := p.Stats()
+	if st.Allocs != 2 {
+		t.Fatalf("allocs %d", st.Allocs)
+	}
+}
+
+func TestPoolPeakTracking(t *testing.T) {
+	p := NewPool()
+	a := p.Get(64)
+	b := p.Get(64)
+	p.Put(a)
+	p.Put(b)
+	if st := p.Stats(); st.PeakElems < 128 {
+		t.Fatalf("peak %d", st.PeakElems)
+	}
+}
+
+func TestProfilerAccumulation(t *testing.T) {
+	pr := NewProfiler()
+	pr.Launch("k1", "vec4", 1000, 500, 2000)
+	pr.Library("matmul", 4000, 8000, 9000)
+	pr.Host(100)
+	pr.Compile(1e6)
+	if pr.Launches != 2 || pr.LibraryOps != 1 {
+		t.Fatalf("launches=%d lib=%d", pr.Launches, pr.LibraryOps)
+	}
+	if pr.SimulatedNs != 2000+9000+100+1e6 {
+		t.Fatalf("sim=%v", pr.SimulatedNs)
+	}
+	if pr.VariantHits["vec4"] != 1 {
+		t.Fatalf("variants %v", pr.VariantHits)
+	}
+	other := NewProfiler()
+	other.Launch("k1", "vec4", 1, 1, 1)
+	pr.Add(other)
+	if pr.Launches != 3 || pr.VariantHits["vec4"] != 2 {
+		t.Fatal("Add must merge")
+	}
+	if !strings.Contains(pr.String(), "vec4:2") {
+		t.Fatalf("String: %s", pr.String())
+	}
+}
+
+func TestCacheHitsAndMisses(t *testing.T) {
+	c := NewCache()
+	calls := 0
+	compile := func() (any, error) { calls++; return calls, nil }
+	v1, hit1, err := c.GetOrCompile("a", compile)
+	if err != nil || hit1 || v1 != 1 {
+		t.Fatalf("first: %v %v %v", v1, hit1, err)
+	}
+	v2, hit2, err := c.GetOrCompile("a", compile)
+	if err != nil || !hit2 || v2 != 1 {
+		t.Fatalf("second: %v %v %v", v2, hit2, err)
+	}
+	if _, _, err := c.GetOrCompile("b", compile); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, entries := c.Stats()
+	if hits != 1 || misses != 2 || entries != 2 {
+		t.Fatalf("stats %d/%d/%d", hits, misses, entries)
+	}
+}
+
+func TestCachePropagatesErrors(t *testing.T) {
+	c := NewCache()
+	wantErr := errors.New("boom")
+	if _, _, err := c.GetOrCompile("x", func() (any, error) { return nil, wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+	// Failed compiles are not cached.
+	if _, hit, err := c.GetOrCompile("x", func() (any, error) { return 1, nil }); err != nil || hit {
+		t.Fatalf("retry: hit=%v err=%v", hit, err)
+	}
+}

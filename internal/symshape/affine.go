@@ -1,0 +1,156 @@
+package symshape
+
+// Affine support: convolution-style shape arithmetic produces dimensions of
+// the form a*d + b (e.g. a stride-1 valid convolution maps S to S - K + 1).
+// Affine dims participate in runtime shape evaluation and carry derived
+// range facts; like quotients they are atomic to the product oracle.
+
+// affine records value = Scale*val(Of) + Offset.
+type affine struct {
+	Of     DimID
+	Scale  int64
+	Offset int64
+}
+
+// DeclareAffine creates a symbol whose value is scale*of + offset. If the
+// base is static the folded static symbol is returned. The caller must
+// ensure the result is non-negative for all admissible values of the base
+// (use DeclareRange on the base first); Binding.Value checks at run time.
+func (c *Context) DeclareAffine(name string, of DimID, scale, offset int64) DimID {
+	if scale == 0 {
+		if offset < 0 {
+			panic("symshape: affine with negative constant value")
+		}
+		return c.StaticDim(offset)
+	}
+	if v, ok := c.StaticValue(of); ok {
+		r := scale*v + offset
+		if r < 0 {
+			panic("symshape: affine folds to negative value")
+		}
+		return c.StaticDim(r)
+	}
+	if scale == 1 && offset == 0 {
+		return of
+	}
+	d := c.NewDim(name)
+	if c.decompAffine == nil {
+		c.decompAffine = map[DimID]affine{}
+	}
+	c.decompAffine[d] = affine{Of: of, Scale: scale, Offset: offset}
+	lo, hi := c.Range(of)
+	alo, ahi := scale*lo+offset, scale*hi+offset
+	if scale < 0 {
+		alo, ahi = ahi, alo
+	}
+	inf := &c.info[d]
+	inf.lo = max64(alo, 0)
+	inf.hi = min64(max64(ahi, 0), unboundedHi)
+	return d
+}
+
+// affineOf returns the recorded affine decomposition of d, if any.
+func (c *Context) affineOf(d DimID) (affine, bool) {
+	if c.decompAffine == nil {
+		return affine{}, false
+	}
+	if a, ok := c.decompAffine[c.find(d)]; ok {
+		return a, true
+	}
+	a, ok := c.decompAffine[d]
+	return a, ok
+}
+
+// Likely-value speculation: production workloads concentrate on a few hot
+// shape values; BladeDISC speculatively compiles variants specialized to a
+// declared likely value and dispatches on runtime equality. The fact is
+// advisory — it never constrains Bind.
+
+// DeclareLikely records that d most often takes the value v.
+func (c *Context) DeclareLikely(d DimID, v int64) {
+	if v <= 0 {
+		panic("symshape: likely value must be positive")
+	}
+	if c.likely == nil {
+		c.likely = map[DimID]int64{}
+	}
+	c.likely[c.find(d)] = v
+}
+
+// Likely returns the (declared or derived) likely value of d, if any —
+// gated on FeatArith like the other value facts. Likely values propagate
+// through derived dimensions: a product is likely the product of its
+// factors' likely values, a sum the sum, and so on — so speculation reaches
+// fused reshape/concat/conv domains, not just raw parameter dims.
+func (c *Context) Likely(d DimID) (int64, bool) {
+	if c.features&FeatArith == 0 {
+		return 0, false
+	}
+	return c.likelyOf(d, 0)
+}
+
+func (c *Context) likelyOf(d DimID, depth int) (int64, bool) {
+	if depth > 16 {
+		return 0, false
+	}
+	if v, ok := c.StaticValue(d); ok {
+		return v, true
+	}
+	if c.likely != nil {
+		if v, ok := c.likely[c.find(d)]; ok {
+			return v, true
+		}
+		if v, ok := c.likely[d]; ok {
+			return v, true
+		}
+	}
+	r := c.find(d)
+	lookup := func(m map[DimID][]DimID) ([]DimID, bool) {
+		if m == nil {
+			return nil, false
+		}
+		if v, ok := m[r]; ok {
+			return v, true
+		}
+		v, ok := m[d]
+		return v, ok
+	}
+	if fs, ok := lookup(c.decomp); ok {
+		p := int64(1)
+		for _, f := range fs {
+			v, ok := c.likelyOf(f, depth+1)
+			if !ok {
+				return 0, false
+			}
+			p *= v
+		}
+		return p, true
+	}
+	if ts, ok := c.sumTerms(d); ok {
+		s := int64(0)
+		for _, t := range ts {
+			v, ok := c.likelyOf(t, depth+1)
+			if !ok {
+				return 0, false
+			}
+			s += v
+		}
+		return s, true
+	}
+	if q, ok := c.quotOf(d); ok {
+		if v, ok := c.likelyOf(q.Num, depth+1); ok && v%q.Denom == 0 {
+			return v / q.Denom, true
+		}
+		return 0, false
+	}
+	if a, ok := c.affineOf(d); ok {
+		if v, ok := c.likelyOf(a.Of, depth+1); ok {
+			r := a.Scale*v + a.Offset
+			if r > 0 {
+				return r, true
+			}
+		}
+		return 0, false
+	}
+	return 0, false
+}

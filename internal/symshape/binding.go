@@ -1,0 +1,197 @@
+package symshape
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Binding maps dimension symbols (by root) to concrete runtime values. It is
+// produced at invocation time from the concrete shapes of the inputs and
+// then used by the runtime's host-side shape computation to size every
+// intermediate buffer without recompiling.
+type Binding struct {
+	ctx  *Context
+	vals map[DimID]int64
+}
+
+// NewBinding returns an empty binding over ctx.
+func NewBinding(ctx *Context) *Binding {
+	return &Binding{ctx: ctx, vals: map[DimID]int64{}}
+}
+
+// Bind asserts that symbolic shape s has the concrete extents dims. It
+// verifies consistency with static values, previous bindings, divisibility
+// and range facts, returning a descriptive error on violation.
+func (b *Binding) Bind(s Shape, dims []int) error {
+	if len(s) != len(dims) {
+		return fmt.Errorf("symshape: rank mismatch: symbolic %s vs concrete %v", b.ctx.String(s), dims)
+	}
+	for i, d := range s {
+		v := int64(dims[i])
+		if v < 0 {
+			return fmt.Errorf("symshape: negative extent %d", v)
+		}
+		if sv, ok := b.ctx.StaticValue(d); ok {
+			if sv != v {
+				return fmt.Errorf("symshape: dim %s is static %d but got %d", b.ctx.Name(d), sv, v)
+			}
+			continue
+		}
+		r := b.ctx.find(d)
+		if prev, ok := b.vals[r]; ok {
+			if prev != v {
+				return fmt.Errorf("symshape: dim %s bound to both %d and %d", b.ctx.Name(d), prev, v)
+			}
+			continue
+		}
+		lo, hi := b.ctx.Range(d)
+		if v < lo || v > hi {
+			return fmt.Errorf("symshape: dim %s=%d outside declared range [%d,%d]", b.ctx.Name(d), v, lo, hi)
+		}
+		if div := b.ctx.info[r].divisor; div > 1 && v%div != 0 {
+			return fmt.Errorf("symshape: dim %s=%d violates divisibility by %d", b.ctx.Name(d), v, div)
+		}
+		b.vals[r] = v
+	}
+	return nil
+}
+
+// Value evaluates a single symbol: static value, direct binding, or the
+// product of its factors for derived symbols.
+func (b *Binding) Value(d DimID) (int64, error) {
+	if v, ok := b.ctx.StaticValue(d); ok {
+		return v, nil
+	}
+	r := b.ctx.find(d)
+	if v, ok := b.vals[r]; ok {
+		return v, nil
+	}
+	factors, ok := b.ctx.decomp[r]
+	if !ok {
+		factors, ok = b.ctx.decomp[d]
+	}
+	if ok {
+		p := int64(1)
+		for _, f := range factors {
+			fv, err := b.Value(f)
+			if err != nil {
+				return 0, err
+			}
+			p *= fv
+		}
+		return p, nil
+	}
+	if a, ok := b.ctx.affineOf(d); ok {
+		bv, err := b.Value(a.Of)
+		if err != nil {
+			return 0, err
+		}
+		r := a.Scale*bv + a.Offset
+		if r < 0 {
+			return 0, fmt.Errorf("symshape: affine dim %s evaluates to %d (base %d)", b.ctx.Name(d), r, bv)
+		}
+		return r, nil
+	}
+	if q, ok := b.ctx.quotOf(d); ok {
+		nv, err := b.Value(q.Num)
+		if err != nil {
+			return 0, err
+		}
+		if nv%q.Denom != 0 {
+			return 0, fmt.Errorf("symshape: quotient dim %s: %d not divisible by %d", b.ctx.Name(d), nv, q.Denom)
+		}
+		return nv / q.Denom, nil
+	}
+	if terms, ok := b.ctx.sumTerms(d); ok {
+		sum := int64(0)
+		for _, t := range terms {
+			tv, err := b.Value(t)
+			if err != nil {
+				return 0, err
+			}
+			sum += tv
+		}
+		return sum, nil
+	}
+	return 0, fmt.Errorf("symshape: dim %s is unbound", b.ctx.Name(d))
+}
+
+// Eval evaluates a whole symbolic shape to concrete extents.
+func (b *Binding) Eval(s Shape) ([]int, error) {
+	out := make([]int, len(s))
+	for i, d := range s {
+		v, err := b.Value(d)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = int(v)
+	}
+	return out, nil
+}
+
+// MustEval is Eval that panics; used where binding completeness is an
+// internal invariant (after successful Bind of all parameters).
+func (b *Binding) MustEval(s Shape) []int {
+	out, err := b.Eval(s)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Signature returns the canonical symbolic signature of a list of shapes:
+// static dims print as values, dynamic dims as d0, d1... numbered by first
+// appearance of their equality class. Two invocations with different
+// concrete shapes but the same signature can share one compiled executable;
+// this string is exactly BladeDISC's compilation-cache key.
+func (c *Context) Signature(shapes []Shape) string {
+	next := 0
+	names := map[DimID]string{}
+	var sb strings.Builder
+	for i, s := range shapes {
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		sb.WriteByte('[')
+		for j, d := range s {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			if v, ok := c.StaticValue(d); ok {
+				fmt.Fprintf(&sb, "%d", v)
+				continue
+			}
+			r := c.find(d)
+			name, ok := names[r]
+			if !ok {
+				name = fmt.Sprintf("d%d", next)
+				next++
+				names[r] = name
+			}
+			sb.WriteString(name)
+		}
+		sb.WriteByte(']')
+	}
+	return sb.String()
+}
+
+// ConcreteSignature renders concrete shapes as a cache key — the key a
+// static-shape compiler (XLA-style) has to use, causing one cache entry per
+// distinct shape tuple.
+func ConcreteSignature(shapes [][]int) string {
+	var sb strings.Builder
+	for i, s := range shapes {
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		sb.WriteByte('[')
+		for j, d := range s {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%d", d)
+		}
+		sb.WriteByte(']')
+	}
+	return sb.String()
+}

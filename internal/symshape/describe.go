@@ -1,0 +1,92 @@
+package symshape
+
+// DimKind classifies what defines a dimension symbol.
+type DimKind uint8
+
+const (
+	// KindDynamic is a free symbol bound at run time.
+	KindDynamic DimKind = iota
+	// KindStatic has a known value.
+	KindStatic
+	// KindProduct is the product of its operands.
+	KindProduct
+	// KindSum is the sum of its operands.
+	KindSum
+	// KindQuotient is Operands[0] / Denom.
+	KindQuotient
+	// KindAffine is Scale*Operands[0] + Offset.
+	KindAffine
+)
+
+// DimDesc is the externally visible description of a dimension symbol,
+// used by serialization and debugging tools.
+type DimDesc struct {
+	Kind     DimKind
+	Static   int64   // KindStatic
+	Operands []DimID // product factors / sum terms / quotient+affine base
+	Denom    int64   // KindQuotient
+	Scale    int64   // KindAffine
+	Offset   int64   // KindAffine
+	Divisor  int64   // declared divisibility (1 if none)
+	Lo, Hi   int64   // declared range; Hi == Unbounded when open
+	Likely   int64   // declared likely value (0 if none)
+	Name     string
+}
+
+// Unbounded is the Hi value of a range with no declared upper bound.
+const Unbounded = unboundedHi
+
+// Describe returns the description of d's equivalence class.
+func (c *Context) Describe(d DimID) DimDesc {
+	r := c.find(d)
+	inf := c.info[r]
+	desc := DimDesc{
+		Kind:    KindDynamic,
+		Divisor: inf.divisor,
+		Lo:      inf.lo,
+		Hi:      inf.hi,
+		Name:    inf.name,
+	}
+	if c.likely != nil {
+		desc.Likely = c.likely[r]
+	}
+	if inf.static >= 0 {
+		desc.Kind = KindStatic
+		desc.Static = inf.static
+		return desc
+	}
+	lookup := func(m map[DimID][]DimID) ([]DimID, bool) {
+		if m == nil {
+			return nil, false
+		}
+		if v, ok := m[r]; ok {
+			return v, true
+		}
+		v, ok := m[d]
+		return v, ok
+	}
+	if fs, ok := lookup(c.decomp); ok {
+		desc.Kind = KindProduct
+		desc.Operands = append([]DimID(nil), fs...)
+		return desc
+	}
+	if ts, ok := c.sumTerms(d); ok {
+		desc.Kind = KindSum
+		desc.Operands = append([]DimID(nil), ts...)
+		return desc
+	}
+	if q, ok := c.quotOf(d); ok {
+		desc.Kind = KindQuotient
+		desc.Operands = []DimID{q.Num}
+		desc.Denom = q.Denom
+		return desc
+	}
+	if a, ok := c.affineOf(d); ok {
+		desc.Kind = KindAffine
+		desc.Operands = []DimID{a.Of}
+		desc.Scale = a.Scale
+		desc.Offset = a.Offset
+		return desc
+	}
+	return desc
+}

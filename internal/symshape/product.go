@@ -1,0 +1,141 @@
+package symshape
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DeclareProduct creates (or reuses) a symbol whose value is the product of
+// factors. It is how shape inference models reshape/flatten outputs: the new
+// dimension is "derived" and the product fact lets later queries cancel it
+// against its factors. If all factors are static, the interned static symbol
+// is returned instead.
+func (c *Context) DeclareProduct(name string, factors []DimID) DimID {
+	allStatic := true
+	prod := int64(1)
+	for _, f := range factors {
+		v, ok := c.StaticValue(f)
+		if !ok {
+			allStatic = false
+			break
+		}
+		prod *= v
+	}
+	if allStatic {
+		return c.StaticDim(prod)
+	}
+	d := c.NewDim(name)
+	c.decomp[d] = append([]DimID(nil), factors...)
+	// Derived facts: divisibility by static factors, range as the product
+	// of factor ranges.
+	div := int64(1)
+	lo, hi := int64(1), int64(1)
+	for _, f := range factors {
+		if v, ok := c.StaticValue(f); ok && v > 0 {
+			div *= v
+		} else {
+			div *= c.info[c.find(f)].divisor
+		}
+		flo, fhi := c.Range(f)
+		lo *= flo
+		if hi > unboundedHi/max64(fhi, 1) {
+			hi = unboundedHi
+		} else {
+			hi *= fhi
+		}
+	}
+	inf := &c.info[d]
+	inf.divisor = div
+	inf.lo, inf.hi = lo, hi
+	return d
+}
+
+// expand recursively replaces derived symbols by their factors and splits
+// the result into a static coefficient and a sorted multiset of dynamic
+// roots. Cycles cannot occur because decomp only references symbols created
+// before the derived one.
+func (c *Context) expand(dims []DimID) (coeff int64, roots []DimID) {
+	coeff = 1
+	// expanding tracks derived roots currently on the walk stack; a derived
+	// dim unified into its own factor set (degenerate but constructible)
+	// must expand as atomic rather than recurse forever.
+	expanding := map[DimID]bool{}
+	var walk func(d DimID)
+	walk = func(d DimID) {
+		r := c.find(d)
+		if v, ok := c.StaticValue(r); ok {
+			coeff *= v
+			return
+		}
+		fs, ok := c.decomp[r]
+		if !ok {
+			// decomp is keyed by the id at creation time; a later Unify may
+			// have left facts on a non-root id of this class.
+			fs, ok = c.decomp[d]
+		}
+		if ok && !expanding[r] {
+			expanding[r] = true
+			for _, f := range fs {
+				walk(f)
+			}
+			delete(expanding, r)
+			return
+		}
+		roots = append(roots, r)
+	}
+	for _, d := range dims {
+		walk(d)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	return coeff, roots
+}
+
+// ProductEqual reports whether the product of extents in as provably equals
+// the product in bs. It requires FeatProduct (falling back to fully-static
+// comparison otherwise).
+func (c *Context) ProductEqual(as, bs []DimID) bool {
+	if c.features&FeatProduct == 0 {
+		pa, oka := c.staticProduct(as)
+		pb, okb := c.staticProduct(bs)
+		return oka && okb && pa == pb && c.features&FeatStatic != 0
+	}
+	ca, ra := c.expand(as)
+	cb, rb := c.expand(bs)
+	if ca != cb || len(ra) != len(rb) {
+		return false
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// staticProduct multiplies fully-static dims, reporting ok=false if any dim
+// is dynamic.
+func (c *Context) staticProduct(dims []DimID) (int64, bool) {
+	p := int64(1)
+	for _, d := range dims {
+		v, ok := c.StaticValue(d)
+		if !ok {
+			return 0, false
+		}
+		p *= v
+	}
+	return p, true
+}
+
+// NumelKey returns a canonical string identifying the symbolic element count
+// of a shape — two shapes with equal keys provably have the same number of
+// elements. Used by the fusion planner to group compatible loop nests.
+func (c *Context) NumelKey(s Shape) string {
+	coeff, roots := c.expand(s)
+	parts := make([]string, 0, len(roots)+1)
+	parts = append(parts, fmt.Sprintf("%d", coeff))
+	for _, r := range roots {
+		parts = append(parts, fmt.Sprintf("s%d", r))
+	}
+	return strings.Join(parts, "*")
+}

@@ -1,0 +1,97 @@
+package symshape
+
+// Sum support mirrors the product support in product.go: concat along an
+// axis produces a dimension that is the sum of the input extents. Sum facts
+// participate in runtime shape evaluation (Binding.Value) and in equality of
+// identically-composed sums, but — matching BladeDISC — they do not feed the
+// product-equality oracle.
+
+// DeclareSum creates (or folds) a symbol whose value is the sum of terms.
+// If all terms are static the interned static symbol is returned.
+func (c *Context) DeclareSum(name string, terms []DimID) DimID {
+	allStatic := true
+	total := int64(0)
+	for _, t := range terms {
+		v, ok := c.StaticValue(t)
+		if !ok {
+			allStatic = false
+			break
+		}
+		total += v
+	}
+	if allStatic {
+		return c.StaticDim(total)
+	}
+	d := c.NewDim(name)
+	if c.decompSum == nil {
+		c.decompSum = map[DimID][]DimID{}
+	}
+	c.decompSum[d] = append([]DimID(nil), terms...)
+	lo, hi := int64(0), int64(0)
+	for _, t := range terms {
+		tlo, thi := c.Range(t)
+		lo += tlo
+		hi += thi
+		if hi > unboundedHi {
+			hi = unboundedHi
+		}
+	}
+	inf := &c.info[d]
+	inf.lo, inf.hi = lo, hi
+	return d
+}
+
+// sumTerms returns the recorded sum decomposition of d, if any.
+func (c *Context) sumTerms(d DimID) ([]DimID, bool) {
+	if c.decompSum == nil {
+		return nil, false
+	}
+	if ts, ok := c.decompSum[c.find(d)]; ok {
+		return ts, true
+	}
+	ts, ok := c.decompSum[d]
+	return ts, ok
+}
+
+// quot records a derived quotient dimension: value = Num / Denom.
+type quot struct {
+	Num   DimID
+	Denom int64
+}
+
+// DeclareQuotient creates a symbol whose value is num/denom; the caller
+// must have established that denom divides num (SplitDim does via the
+// divisibility facts). If num is static the folded static symbol returns.
+func (c *Context) DeclareQuotient(name string, num DimID, denom int64) DimID {
+	if denom <= 0 {
+		panic("symshape: quotient denominator must be positive")
+	}
+	if v, ok := c.StaticValue(num); ok {
+		return c.StaticDim(v / denom)
+	}
+	d := c.NewDim(name)
+	if c.decompQuot == nil {
+		c.decompQuot = map[DimID]quot{}
+	}
+	c.decompQuot[d] = quot{Num: num, Denom: denom}
+	lo, hi := c.Range(num)
+	inf := &c.info[d]
+	inf.lo = max64(lo/denom, 1)
+	inf.hi = max64(hi/denom, 1)
+	if div := c.Divisor(num); div%denom == 0 && div/denom > 1 {
+		inf.divisor = div / denom
+	}
+	return d
+}
+
+// quotOf returns the recorded quotient decomposition of d, if any.
+func (c *Context) quotOf(d DimID) (quot, bool) {
+	if c.decompQuot == nil {
+		return quot{}, false
+	}
+	if q, ok := c.decompQuot[c.find(d)]; ok {
+		return q, true
+	}
+	q, ok := c.decompQuot[d]
+	return q, ok
+}

@@ -1,0 +1,471 @@
+package symshape
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStaticDimInterned(t *testing.T) {
+	c := NewContext(FeatAll)
+	a := c.StaticDim(128)
+	b := c.StaticDim(128)
+	if a != b {
+		t.Fatal("static dims must be interned")
+	}
+	if v, ok := c.StaticValue(a); !ok || v != 128 {
+		t.Fatalf("StaticValue = %d, %v", v, ok)
+	}
+}
+
+func TestEqualViaUnify(t *testing.T) {
+	c := NewContext(FeatAll)
+	a := c.NewDim("B")
+	b := c.NewDim("B'")
+	if c.Equal(a, b) {
+		t.Fatal("fresh symbols must not be equal")
+	}
+	if err := c.Unify(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Equal(a, b) {
+		t.Fatal("unified symbols must be equal")
+	}
+}
+
+func TestUnifyConflictingStatics(t *testing.T) {
+	c := NewContext(FeatAll)
+	a := c.StaticDim(2)
+	b := c.StaticDim(3)
+	if err := c.Unify(a, b); err == nil {
+		t.Fatal("expected contradiction error")
+	}
+}
+
+func TestUnifyPropagatesStatic(t *testing.T) {
+	c := NewContext(FeatAll)
+	a := c.NewDim("B")
+	s := c.StaticDim(64)
+	if err := c.Unify(a, s); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c.StaticValue(a); !ok || v != 64 {
+		t.Fatalf("static did not propagate: %d %v", v, ok)
+	}
+	if !c.DivisibleBy(a, 32) {
+		t.Fatal("static dim should be divisible by its factors")
+	}
+}
+
+func TestTransitiveUnify(t *testing.T) {
+	c := NewContext(FeatAll)
+	dims := make([]DimID, 10)
+	for i := range dims {
+		dims[i] = c.NewDim("x")
+	}
+	for i := 1; i < len(dims); i++ {
+		c.MustUnify(dims[i-1], dims[i])
+	}
+	if !c.Equal(dims[0], dims[9]) {
+		t.Fatal("equality must be transitive")
+	}
+}
+
+func TestFeatureGatingEquality(t *testing.T) {
+	c := NewContext(FeatStaticOnly)
+	a := c.NewDim("B")
+	b := c.NewDim("B'")
+	c.MustUnify(a, b)
+	if c.Equal(a, b) {
+		t.Fatal("static-only oracle must not see symbol equality")
+	}
+	c.SetFeatures(FeatAll)
+	if !c.Equal(a, b) {
+		t.Fatal("full oracle must see symbol equality")
+	}
+}
+
+func TestShapeEqual(t *testing.T) {
+	c := NewContext(FeatAll)
+	bdim := c.NewDim("B")
+	h := c.StaticDim(768)
+	s1 := Shape{bdim, h}
+	s2 := Shape{bdim, c.StaticDim(768)}
+	if !c.ShapeEqual(s1, s2) {
+		t.Fatal("shapes with same symbols must be equal")
+	}
+	if c.ShapeEqual(s1, Shape{bdim}) {
+		t.Fatal("rank mismatch must not be equal")
+	}
+	if c.ShapeEqual(s1, Shape{c.NewDim("X"), h}) {
+		t.Fatal("fresh symbol must not match")
+	}
+}
+
+func TestDivisibility(t *testing.T) {
+	c := NewContext(FeatAll)
+	d := c.NewDim("H")
+	c.DeclareDivisible(d, 4)
+	c.DeclareDivisible(d, 6)
+	if got := c.Divisor(d); got != 12 {
+		t.Fatalf("Divisor = %d, want lcm 12", got)
+	}
+	if !c.DivisibleBy(d, 4) || !c.DivisibleBy(d, 3) || c.DivisibleBy(d, 8) {
+		t.Fatal("divisibility queries wrong")
+	}
+	// Arithmetic facts are gated.
+	c.SetFeatures(FeatEqualityOnly)
+	if c.DivisibleBy(d, 4) {
+		t.Fatal("divisibility must be hidden without FeatArith")
+	}
+}
+
+func TestRanges(t *testing.T) {
+	c := NewContext(FeatAll)
+	d := c.NewDim("S")
+	c.DeclareRange(d, 1, 512)
+	c.DeclareRange(d, 8, 1<<40)
+	lo, hi := c.Range(d)
+	if lo != 8 || hi != 512 {
+		t.Fatalf("Range = [%d,%d]", lo, hi)
+	}
+}
+
+func TestUnifyMergesFacts(t *testing.T) {
+	c := NewContext(FeatAll)
+	a := c.NewDim("a")
+	b := c.NewDim("b")
+	c.DeclareDivisible(a, 4)
+	c.DeclareRange(b, 16, 256)
+	c.MustUnify(a, b)
+	if !c.DivisibleBy(b, 4) {
+		t.Fatal("divisibility must survive unify")
+	}
+	lo, hi := c.Range(a)
+	if lo != 16 || hi != 256 {
+		t.Fatalf("range must survive unify, got [%d,%d]", lo, hi)
+	}
+}
+
+func TestProductEqualReshape(t *testing.T) {
+	c := NewContext(FeatAll)
+	b := c.NewDim("B")
+	s := c.NewDim("S")
+	h := c.StaticDim(768)
+	// reshape [B,S,H] -> [BS, H]: BS is a derived product.
+	bs := c.DeclareProduct("BS", []DimID{b, s})
+	if !c.ProductEqual([]DimID{b, s, h}, []DimID{bs, h}) {
+		t.Fatal("reshape element counts must be provably equal")
+	}
+	if c.ProductEqual([]DimID{b, h}, []DimID{bs, h}) {
+		t.Fatal("missing factor must not be equal")
+	}
+	// The oracle gates product facts.
+	c.SetFeatures(FeatEqualityOnly)
+	if c.ProductEqual([]DimID{b, s, h}, []DimID{bs, h}) {
+		t.Fatal("product facts must be hidden without FeatProduct")
+	}
+}
+
+func TestDeclareProductAllStatic(t *testing.T) {
+	c := NewContext(FeatAll)
+	p := c.DeclareProduct("p", []DimID{c.StaticDim(4), c.StaticDim(8)})
+	if v, ok := c.StaticValue(p); !ok || v != 32 {
+		t.Fatalf("static product folding: %d %v", v, ok)
+	}
+}
+
+func TestProductDivisibility(t *testing.T) {
+	c := NewContext(FeatAll)
+	b := c.NewDim("B")
+	h := c.StaticDim(64)
+	p := c.DeclareProduct("BH", []DimID{b, h})
+	if !c.DivisibleBy(p, 64) {
+		t.Fatal("product inherits static factor divisibility")
+	}
+}
+
+func TestNumelKeyGroups(t *testing.T) {
+	c := NewContext(FeatAll)
+	b := c.NewDim("B")
+	s := c.NewDim("S")
+	h := c.StaticDim(256)
+	k1 := c.NumelKey(Shape{b, s, h})
+	k2 := c.NumelKey(Shape{s, b, h}) // commutative
+	if k1 != k2 {
+		t.Fatalf("NumelKey must be order independent: %q vs %q", k1, k2)
+	}
+	bs := c.DeclareProduct("BS", []DimID{b, s})
+	k3 := c.NumelKey(Shape{bs, h})
+	if k1 != k3 {
+		t.Fatalf("derived product must share key: %q vs %q", k1, k3)
+	}
+	k4 := c.NumelKey(Shape{b, h})
+	if k4 == k1 {
+		t.Fatal("different element counts must differ")
+	}
+}
+
+func TestBindingEvalAndConsistency(t *testing.T) {
+	c := NewContext(FeatAll)
+	b := c.NewDim("B")
+	s := c.NewDim("S")
+	h := c.StaticDim(16)
+	bind := NewBinding(c)
+	if err := bind.Bind(Shape{b, s, h}, []int{4, 7, 16}); err != nil {
+		t.Fatal(err)
+	}
+	// Same symbol must rebind consistently.
+	if err := bind.Bind(Shape{b, h}, []int{4, 16}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bind.Bind(Shape{b}, []int{5}); err == nil {
+		t.Fatal("conflicting binding must error")
+	}
+	bs := c.DeclareProduct("BS", []DimID{b, s})
+	got, err := bind.Eval(Shape{bs, h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 28 || got[1] != 16 {
+		t.Fatalf("Eval = %v", got)
+	}
+}
+
+func TestBindingRejectsStaticMismatch(t *testing.T) {
+	c := NewContext(FeatAll)
+	h := c.StaticDim(16)
+	bind := NewBinding(c)
+	if err := bind.Bind(Shape{h}, []int{17}); err == nil {
+		t.Fatal("static mismatch must error")
+	}
+}
+
+func TestBindingRejectsRangeAndDivViolations(t *testing.T) {
+	c := NewContext(FeatAll)
+	d := c.NewDim("S")
+	c.DeclareRange(d, 1, 128)
+	bind := NewBinding(c)
+	if err := bind.Bind(Shape{d}, []int{256}); err == nil {
+		t.Fatal("range violation must error")
+	}
+	e := c.NewDim("E")
+	c.DeclareDivisible(e, 8)
+	if err := bind.Bind(Shape{e}, []int{12}); err == nil {
+		t.Fatal("divisibility violation must error")
+	}
+	if err := bind.Bind(Shape{e}, []int{16}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBindingUnbound(t *testing.T) {
+	c := NewContext(FeatAll)
+	d := c.NewDim("S")
+	bind := NewBinding(c)
+	if _, err := bind.Value(d); err == nil {
+		t.Fatal("unbound symbol must error")
+	}
+}
+
+func TestSignatureCanonicalRenaming(t *testing.T) {
+	c := NewContext(FeatAll)
+	b := c.NewDim("B")
+	s := c.NewDim("S")
+	h := c.StaticDim(768)
+	sig := c.Signature([]Shape{{b, s, h}, {b, h}})
+	if sig != "[d0,d1,768];[d0,768]" {
+		t.Fatalf("Signature = %q", sig)
+	}
+	// A different context with different symbol ids must yield the same
+	// signature for the same structure.
+	c2 := NewContext(FeatAll)
+	_ = c2.NewDim("junk")
+	b2 := c2.NewDim("batch")
+	s2 := c2.NewDim("seq")
+	h2 := c2.StaticDim(768)
+	if got := c2.Signature([]Shape{{b2, s2, h2}, {b2, h2}}); got != sig {
+		t.Fatalf("signatures must be canonical: %q vs %q", got, sig)
+	}
+}
+
+func TestSignatureMergesUnifiedSymbols(t *testing.T) {
+	c := NewContext(FeatAll)
+	a := c.NewDim("a")
+	b := c.NewDim("b")
+	c.MustUnify(a, b)
+	sig := c.Signature([]Shape{{a}, {b}})
+	if sig != "[d0];[d0]" {
+		t.Fatalf("Signature = %q", sig)
+	}
+}
+
+func TestConcreteSignature(t *testing.T) {
+	got := ConcreteSignature([][]int{{4, 128}, {4}})
+	if got != "[4,128];[4]" {
+		t.Fatalf("ConcreteSignature = %q", got)
+	}
+}
+
+func TestDynamicShapeNames(t *testing.T) {
+	c := NewContext(FeatAll)
+	s := c.DynamicShape("x", 3)
+	if len(s) != 3 {
+		t.Fatalf("rank %d", len(s))
+	}
+	str := c.String(s)
+	if !strings.Contains(str, "x0") || !strings.Contains(str, "x2") {
+		t.Fatalf("String = %q", str)
+	}
+}
+
+// Property: Unify is commutative and idempotent w.r.t. Equal.
+func TestUnifyProperties(t *testing.T) {
+	f := func(order bool) bool {
+		c := NewContext(FeatAll)
+		a := c.NewDim("a")
+		b := c.NewDim("b")
+		if order {
+			c.MustUnify(a, b)
+		} else {
+			c.MustUnify(b, a)
+		}
+		c.MustUnify(a, b) // idempotent
+		return c.Equal(a, b) && c.Equal(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ProductEqual is reflexive for arbitrary shapes and invariant
+// under factor permutation.
+func TestProductEqualProperties(t *testing.T) {
+	f := func(nStatic uint8, seed uint8) bool {
+		c := NewContext(FeatAll)
+		dims := []DimID{
+			c.NewDim("a"), c.NewDim("b"),
+			c.StaticDim(int64(nStatic%7) + 1),
+		}
+		rev := []DimID{dims[2], dims[1], dims[0]}
+		return c.ProductEqual(dims, dims) && c.ProductEqual(dims, rev)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeclareSum(t *testing.T) {
+	c := NewContext(FeatAll)
+	a := c.NewDim("a")
+	bd := c.StaticDim(3)
+	s := c.DeclareSum("a+3", []DimID{a, bd})
+	bind := NewBinding(c)
+	if err := bind.Bind(Shape{a}, []int{5}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := bind.Value(s)
+	if err != nil || v != 8 {
+		t.Fatalf("sum value = %d, %v", v, err)
+	}
+	// All-static sums fold.
+	if p, ok := c.StaticValue(c.DeclareSum("x", []DimID{bd, c.StaticDim(4)})); !ok || p != 7 {
+		t.Fatalf("static sum = %d %v", p, ok)
+	}
+}
+
+func TestDeclareAffine(t *testing.T) {
+	c := NewContext(FeatAll)
+	s := c.NewDim("S")
+	c.DeclareRange(s, 3, 128)
+	// Valid conv with kernel 3: out = S - 2.
+	out := c.DeclareAffine("S-2", s, 1, -2)
+	bind := NewBinding(c)
+	if err := bind.Bind(Shape{s}, []int{10}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := bind.Value(out)
+	if err != nil || v != 8 {
+		t.Fatalf("affine value = %d, %v", v, err)
+	}
+	lo, hi := c.Range(out)
+	if lo != 1 || hi != 126 {
+		t.Fatalf("affine range [%d,%d]", lo, hi)
+	}
+	// Static folding.
+	if p, ok := c.StaticValue(c.DeclareAffine("x", c.StaticDim(5), 2, 1)); !ok || p != 11 {
+		t.Fatalf("static affine = %d %v", p, ok)
+	}
+	// Identity returns the base symbol.
+	if c.DeclareAffine("id", s, 1, 0) != s {
+		t.Fatal("identity affine must return the base")
+	}
+}
+
+func TestAffineNegativeValueRejected(t *testing.T) {
+	c := NewContext(FeatAll)
+	s := c.NewDim("S")
+	out := c.DeclareAffine("S-5", s, 1, -5)
+	bind := NewBinding(c)
+	if err := bind.Bind(Shape{s}, []int{3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bind.Value(out); err == nil {
+		t.Fatal("negative affine value must error at runtime")
+	}
+}
+
+func TestDeclareLikely(t *testing.T) {
+	c := NewContext(FeatAll)
+	d := c.NewDim("S")
+	if _, ok := c.Likely(d); ok {
+		t.Fatal("no likely value declared yet")
+	}
+	c.DeclareLikely(d, 128)
+	if v, ok := c.Likely(d); !ok || v != 128 {
+		t.Fatalf("Likely = %d, %v", v, ok)
+	}
+	// Advisory only: bindings at other values still succeed.
+	b := NewBinding(c)
+	if err := b.Bind(Shape{d}, []int{77}); err != nil {
+		t.Fatal(err)
+	}
+	// Gated behind arithmetic facts.
+	c.SetFeatures(FeatEqualityOnly)
+	if _, ok := c.Likely(d); ok {
+		t.Fatal("likely must be hidden without FeatArith")
+	}
+}
+
+func TestLikelyPropagatesThroughDerivedDims(t *testing.T) {
+	c := NewContext(FeatAll)
+	b := c.NewDim("B")
+	s := c.NewDim("S")
+	c.DeclareLikely(b, 8)
+	c.DeclareLikely(s, 64)
+	// Product: 8*64.
+	bs := c.DeclareProduct("BS", []DimID{b, s})
+	if v, ok := c.Likely(bs); !ok || v != 512 {
+		t.Fatalf("product likely = %d, %v", v, ok)
+	}
+	// Sum with a static term: 1+64+1.
+	pad := c.DeclareSum("pad", []DimID{c.StaticDim(1), s, c.StaticDim(1)})
+	if v, ok := c.Likely(pad); !ok || v != 66 {
+		t.Fatalf("sum likely = %d, %v", v, ok)
+	}
+	// Affine (conv): 66 - 2.
+	conv := c.DeclareAffine("conv", pad, 1, -2)
+	if v, ok := c.Likely(conv); !ok || v != 64 {
+		t.Fatalf("affine likely = %d, %v", v, ok)
+	}
+	// Quotient: 64/4.
+	q := c.DeclareQuotient("q", conv, 4)
+	if v, ok := c.Likely(q); !ok || v != 16 {
+		t.Fatalf("quot likely = %d, %v", v, ok)
+	}
+	// A dim without any source likely stays unknown.
+	x := c.NewDim("X")
+	if _, ok := c.Likely(c.DeclareProduct("XB", []DimID{x, b})); ok {
+		t.Fatal("unknown factor must block propagation")
+	}
+}

@@ -1,0 +1,49 @@
+package tensor
+
+import "testing"
+
+func BenchmarkMatMul128(b *testing.B) {
+	r := NewRNG(1)
+	x := RandN(r, 1, 128, 128)
+	y := RandN(r, 1, 128, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkSoftmaxRows(b *testing.B) {
+	r := NewRNG(2)
+	x := RandN(r, 1, 256, 256)
+	for i := 0; i < b.N; i++ {
+		Softmax(x)
+	}
+}
+
+func BenchmarkLayerNorm(b *testing.B) {
+	r := NewRNG(3)
+	x := RandN(r, 1, 256, 128)
+	gamma := RandN(r, 1, 128)
+	beta := RandN(r, 1, 128)
+	for i := 0; i < b.N; i++ {
+		LayerNorm(x, gamma, beta, 1e-5)
+	}
+}
+
+func BenchmarkBinaryBroadcast(b *testing.B) {
+	r := NewRNG(4)
+	x := RandN(r, 1, 64, 64, 16)
+	bias := RandN(r, 1, 16)
+	for i := 0; i < b.N; i++ {
+		Binary(x, bias, FnAdd)
+	}
+}
+
+func BenchmarkConv1D(b *testing.B) {
+	r := NewRNG(5)
+	x := RandN(r, 1, 4, 128, 16)
+	w := RandN(r, 1, 5, 16, 32)
+	for i := 0; i < b.N; i++ {
+		Conv1D(x, w)
+	}
+}

@@ -1,0 +1,70 @@
+package tensor
+
+import "fmt"
+
+// BroadcastShapes computes the NumPy-style broadcast of two shapes. Each
+// trailing dimension pair must be equal or one of them must be 1. It returns
+// an error rather than panicking because it is also used to validate user
+// graphs.
+func BroadcastShapes(a, b []int) ([]int, error) {
+	ra, rb := len(a), len(b)
+	r := ra
+	if rb > r {
+		r = rb
+	}
+	out := make([]int, r)
+	for i := 0; i < r; i++ {
+		da, db := 1, 1
+		if i >= r-ra {
+			da = a[i-(r-ra)]
+		}
+		if i >= r-rb {
+			db = b[i-(r-rb)]
+		}
+		switch {
+		case da == db:
+			out[i] = da
+		case da == 1:
+			out[i] = db
+		case db == 1:
+			out[i] = da
+		default:
+			return nil, fmt.Errorf("tensor: shapes %v and %v are not broadcastable", a, b)
+		}
+	}
+	return out, nil
+}
+
+// broadcastIndex maps a flat index in the output shape to a flat index in a
+// (possibly lower-rank, possibly size-1-dimension) input shape.
+type broadcastIndex struct {
+	outShape   []int
+	inStrides  []int // aligned to outShape rank; 0 where broadcast
+	outStrides []int
+}
+
+func newBroadcastIndex(outShape, inShape []int) broadcastIndex {
+	r := len(outShape)
+	ri := len(inShape)
+	inStr := Strides(inShape)
+	aligned := make([]int, r)
+	for i := 0; i < r; i++ {
+		j := i - (r - ri)
+		if j < 0 || inShape[j] == 1 {
+			aligned[i] = 0
+		} else {
+			aligned[i] = inStr[j]
+		}
+	}
+	return broadcastIndex{outShape: outShape, inStrides: aligned, outStrides: Strides(outShape)}
+}
+
+// at converts a flat output index to the flat input index.
+func (bi broadcastIndex) at(flat int) int {
+	idx := 0
+	for i := 0; i < len(bi.outShape); i++ {
+		coord := (flat / bi.outStrides[i]) % bi.outShape[i]
+		idx += coord * bi.inStrides[i]
+	}
+	return idx
+}

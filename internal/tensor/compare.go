@@ -1,0 +1,52 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// AllClose reports whether a and b agree in shape and elementwise within
+// |x-y| <= atol + rtol*|y|. It returns a descriptive error on the first
+// mismatch to make test failures actionable.
+func AllClose(a, b *Tensor, rtol, atol float64) error {
+	if a.dtype != b.dtype {
+		return fmt.Errorf("dtype mismatch: %s vs %s", a.dtype, b.dtype)
+	}
+	if !ShapeEq(a.shape, b.shape) {
+		return fmt.Errorf("shape mismatch: %v vs %v", a.shape, b.shape)
+	}
+	n := a.Numel()
+	worst := -1
+	var worstDiff float64
+	for i := 0; i < n; i++ {
+		x, y := a.At(i), b.At(i)
+		if math.IsNaN(x) != math.IsNaN(y) {
+			return fmt.Errorf("NaN mismatch at %d: %v vs %v", i, x, y)
+		}
+		diff := math.Abs(x - y)
+		tol := atol + rtol*math.Abs(y)
+		if diff > tol && diff > worstDiff {
+			worst = i
+			worstDiff = diff
+		}
+	}
+	if worst >= 0 {
+		return fmt.Errorf("max violation at index %d: %v vs %v (|diff|=%g)", worst, a.At(worst), b.At(worst), worstDiff)
+	}
+	return nil
+}
+
+// MaxAbsDiff returns the maximum elementwise |a-b|; shapes must match.
+func MaxAbsDiff(a, b *Tensor) float64 {
+	if !ShapeEq(a.shape, b.shape) {
+		panic(fmt.Sprintf("tensor: MaxAbsDiff shape mismatch %v vs %v", a.shape, b.shape))
+	}
+	var m float64
+	for i := 0; i < a.Numel(); i++ {
+		d := math.Abs(a.At(i) - b.At(i))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

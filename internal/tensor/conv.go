@@ -1,0 +1,82 @@
+package tensor
+
+import "fmt"
+
+// Conv1D computes a stride-1 valid 1-D convolution (cross-correlation, as
+// in ML frameworks): x [B, S, Cin] with filters w [K, Cin, Cout] yields
+// [B, S-K+1, Cout].
+func Conv1D(x, w *Tensor) *Tensor {
+	if x.dtype != F32 || w.dtype != F32 {
+		panic("tensor: Conv1D requires f32 operands")
+	}
+	if x.Rank() != 3 || w.Rank() != 3 {
+		panic(fmt.Sprintf("tensor: Conv1D shapes %v ⊛ %v (want [B,S,Cin] ⊛ [K,Cin,Cout])", x.shape, w.shape))
+	}
+	b, s, cin := x.shape[0], x.shape[1], x.shape[2]
+	k, wcin, cout := w.shape[0], w.shape[1], w.shape[2]
+	if cin != wcin {
+		panic(fmt.Sprintf("tensor: Conv1D channel mismatch %d vs %d", cin, wcin))
+	}
+	if s < k {
+		panic(fmt.Sprintf("tensor: Conv1D sequence %d shorter than kernel %d", s, k))
+	}
+	sOut := s - k + 1
+	out := New(F32, b, sOut, cout)
+	for bi := 0; bi < b; bi++ {
+		xb := x.f32[bi*s*cin:]
+		ob := out.f32[bi*sOut*cout:]
+		for t := 0; t < sOut; t++ {
+			orow := ob[t*cout : (t+1)*cout]
+			for tap := 0; tap < k; tap++ {
+				xrow := xb[(t+tap)*cin : (t+tap+1)*cin]
+				wtap := w.f32[tap*cin*cout:]
+				for c := 0; c < cin; c++ {
+					xv := xrow[c]
+					if xv == 0 {
+						continue
+					}
+					wrow := wtap[c*cout : (c+1)*cout]
+					for o := range orow {
+						orow[o] += xv * wrow[o]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// PadLoHi zero-pads t by lo[i] elements before and hi[i] after each axis.
+func PadLoHi(t *Tensor, lo, hi []int) *Tensor {
+	r := t.Rank()
+	if len(lo) != r || len(hi) != r {
+		panic("tensor: PadLoHi rank mismatch")
+	}
+	target := make([]int, r)
+	for i := range target {
+		if lo[i] < 0 || hi[i] < 0 {
+			panic("tensor: PadLoHi negative padding")
+		}
+		target[i] = lo[i] + t.shape[i] + hi[i]
+	}
+	out := New(t.dtype, target...)
+	inStr := Strides(t.shape)
+	outStr := Strides(target)
+	n := t.Numel()
+	for flat := 0; flat < n; flat++ {
+		oidx := 0
+		for i := 0; i < r; i++ {
+			coord := (flat/inStr[i])%t.shape[i] + lo[i]
+			oidx += coord * outStr[i]
+		}
+		switch t.dtype {
+		case F32:
+			out.f32[oidx] = t.f32[flat]
+		case I32:
+			out.i32[oidx] = t.i32[flat]
+		case Bool:
+			out.b[oidx] = t.b[flat]
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConv1DKnownValues(t *testing.T) {
+	// x: B=1, S=4, Cin=1 -> [1,2,3,4]; w: K=2, Cin=1, Cout=1 -> [1,1]
+	// valid conv: moving sums [3,5,7].
+	x := FromF32([]float32{1, 2, 3, 4}, 1, 4, 1)
+	w := FromF32([]float32{1, 1}, 2, 1, 1)
+	got := Conv1D(x, w)
+	if !ShapeEq(got.Shape(), []int{1, 3, 1}) {
+		t.Fatalf("shape %v", got.Shape())
+	}
+	want := []float32{3, 5, 7}
+	for i := range want {
+		if got.F32()[i] != want[i] {
+			t.Fatalf("got %v", got.F32())
+		}
+	}
+}
+
+func TestConv1DMultiChannel(t *testing.T) {
+	r := NewRNG(5)
+	x := RandN(r, 1, 2, 6, 3)
+	w := RandN(r, 1, 3, 3, 4)
+	got := Conv1D(x, w)
+	if !ShapeEq(got.Shape(), []int{2, 4, 4}) {
+		t.Fatalf("shape %v", got.Shape())
+	}
+	// Spot-check one output against the direct sum.
+	bi, ti, oi := 1, 2, 3
+	var want float64
+	for tap := 0; tap < 3; tap++ {
+		for c := 0; c < 3; c++ {
+			want += float64(x.F32()[(bi*6+(ti+tap))*3+c]) * float64(w.F32()[(tap*3+c)*4+oi])
+		}
+	}
+	gv := float64(got.F32()[(bi*4+ti)*4+oi])
+	if diff := gv - want; diff > 1e-4 || diff < -1e-4 {
+		t.Fatalf("got %v want %v", gv, want)
+	}
+}
+
+// Property: Conv1D is linear in its input.
+func TestConv1DLinearity(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		x1 := RandN(r, 1, 1, 5, 2)
+		x2 := RandN(r, 1, 1, 5, 2)
+		w := RandN(r, 1, 2, 2, 3)
+		lhs := Conv1D(Binary(x1, x2, FnAdd), w)
+		rhs := Binary(Conv1D(x1, w), Conv1D(x2, w), FnAdd)
+		return AllClose(lhs, rhs, 1e-4, 1e-4) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: kernel size 1 conv equals a matmul over channels.
+func TestConv1DKernel1IsMatmul(t *testing.T) {
+	r := NewRNG(9)
+	x := RandN(r, 1, 2, 7, 3)
+	w := RandN(r, 1, 1, 3, 4)
+	conv := Conv1D(x, w)
+	mm := MatMul(x, w.Reshape(3, 4))
+	if err := AllClose(conv, mm, 1e-5, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPadLoHi(t *testing.T) {
+	x := FromF32([]float32{1, 2, 3, 4}, 2, 2)
+	got := PadLoHi(x, []int{1, 0}, []int{0, 1})
+	if !ShapeEq(got.Shape(), []int{3, 3}) {
+		t.Fatalf("shape %v", got.Shape())
+	}
+	want := []float32{0, 0, 0, 1, 2, 0, 3, 4, 0}
+	for i := range want {
+		if got.F32()[i] != want[i] {
+			t.Fatalf("got %v want %v", got.F32(), want)
+		}
+	}
+}
+
+func TestPadLoHiZeroIsIdentity(t *testing.T) {
+	r := NewRNG(3)
+	x := RandN(r, 1, 2, 3)
+	got := PadLoHi(x, []int{0, 0}, []int{0, 0})
+	if err := AllClose(got, x, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSameConvPreservesLength(t *testing.T) {
+	// 'same' conv with K=3: pad lo=1, hi=1 then valid conv.
+	r := NewRNG(7)
+	x := RandN(r, 1, 1, 9, 2)
+	w := RandN(r, 1, 3, 2, 2)
+	padded := PadLoHi(x, []int{0, 1, 0}, []int{0, 1, 0})
+	out := Conv1D(padded, w)
+	if !ShapeEq(out.Shape(), []int{1, 9, 2}) {
+		t.Fatalf("same conv shape %v", out.Shape())
+	}
+}

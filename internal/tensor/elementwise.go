@@ -1,0 +1,190 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// UnaryFunc is a scalar f32 function applied pointwise.
+type UnaryFunc func(float32) float32
+
+// BinaryFunc is a scalar f32 function applied pointwise with broadcasting.
+type BinaryFunc func(float32, float32) float32
+
+// Standard scalar kernels shared with the compiled lowering so that the
+// reference and compiled paths agree bit-for-bit on f32 math.
+var (
+	FnNeg     UnaryFunc = func(x float32) float32 { return -x }
+	FnAbs     UnaryFunc = func(x float32) float32 { return float32(math.Abs(float64(x))) }
+	FnExp     UnaryFunc = func(x float32) float32 { return float32(math.Exp(float64(x))) }
+	FnLog     UnaryFunc = func(x float32) float32 { return float32(math.Log(float64(x))) }
+	FnSqrt    UnaryFunc = func(x float32) float32 { return float32(math.Sqrt(float64(x))) }
+	FnRsqrt   UnaryFunc = func(x float32) float32 { return float32(1 / math.Sqrt(float64(x))) }
+	FnTanh    UnaryFunc = func(x float32) float32 { return float32(math.Tanh(float64(x))) }
+	FnErf     UnaryFunc = func(x float32) float32 { return float32(math.Erf(float64(x))) }
+	FnSigmoid UnaryFunc = func(x float32) float32 {
+		return float32(1 / (1 + math.Exp(-float64(x))))
+	}
+	FnRelu UnaryFunc = func(x float32) float32 {
+		if x < 0 {
+			return 0
+		}
+		return x
+	}
+	// FnGelu is the erf-form GELU used by BERT.
+	FnGelu UnaryFunc = func(x float32) float32 {
+		return x * 0.5 * (1 + float32(math.Erf(float64(x)/math.Sqrt2)))
+	}
+
+	FnAdd BinaryFunc = func(a, b float32) float32 { return a + b }
+	FnSub BinaryFunc = func(a, b float32) float32 { return a - b }
+	FnMul BinaryFunc = func(a, b float32) float32 { return a * b }
+	FnDiv BinaryFunc = func(a, b float32) float32 { return a / b }
+	FnPow BinaryFunc = func(a, b float32) float32 {
+		return float32(math.Pow(float64(a), float64(b)))
+	}
+	FnMax BinaryFunc = func(a, b float32) float32 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	FnMin BinaryFunc = func(a, b float32) float32 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+)
+
+// Unary applies fn pointwise, returning a new tensor.
+func Unary(t *Tensor, fn UnaryFunc) *Tensor {
+	if t.dtype != F32 {
+		panic(fmt.Sprintf("tensor: Unary on %s tensor", t.dtype))
+	}
+	out := New(F32, t.shape...)
+	for i, v := range t.f32 {
+		out.f32[i] = fn(v)
+	}
+	return out
+}
+
+// Binary applies fn pointwise with NumPy broadcasting.
+func Binary(a, b *Tensor, fn BinaryFunc) *Tensor {
+	if a.dtype != F32 || b.dtype != F32 {
+		panic(fmt.Sprintf("tensor: Binary on %s,%s tensors", a.dtype, b.dtype))
+	}
+	outShape, err := BroadcastShapes(a.shape, b.shape)
+	if err != nil {
+		panic(err)
+	}
+	out := New(F32, outShape...)
+	if ShapeEq(a.shape, outShape) && ShapeEq(b.shape, outShape) {
+		for i := range out.f32 {
+			out.f32[i] = fn(a.f32[i], b.f32[i])
+		}
+		return out
+	}
+	bia := newBroadcastIndex(outShape, a.shape)
+	bib := newBroadcastIndex(outShape, b.shape)
+	for i := range out.f32 {
+		out.f32[i] = fn(a.f32[bia.at(i)], b.f32[bib.at(i)])
+	}
+	return out
+}
+
+// Compare applies a predicate pointwise with broadcasting, producing a bool
+// tensor. op is one of "lt", "le", "gt", "ge", "eq", "ne".
+func Compare(a, b *Tensor, op string) *Tensor {
+	outShape, err := BroadcastShapes(a.shape, b.shape)
+	if err != nil {
+		panic(err)
+	}
+	out := New(Bool, outShape...)
+	bia := newBroadcastIndex(outShape, a.shape)
+	bib := newBroadcastIndex(outShape, b.shape)
+	for i := range out.b {
+		x, y := a.At(bia.at(i)), b.At(bib.at(i))
+		switch op {
+		case "lt":
+			out.b[i] = x < y
+		case "le":
+			out.b[i] = x <= y
+		case "gt":
+			out.b[i] = x > y
+		case "ge":
+			out.b[i] = x >= y
+		case "eq":
+			out.b[i] = x == y
+		case "ne":
+			out.b[i] = x != y
+		default:
+			panic("tensor: unknown compare op " + op)
+		}
+	}
+	return out
+}
+
+// Select returns where pred is true elements of onTrue, else onFalse, with
+// broadcasting across all three operands.
+func Select(pred, onTrue, onFalse *Tensor) *Tensor {
+	if pred.dtype != Bool {
+		panic("tensor: Select predicate must be bool")
+	}
+	s, err := BroadcastShapes(pred.shape, onTrue.shape)
+	if err != nil {
+		panic(err)
+	}
+	outShape, err := BroadcastShapes(s, onFalse.shape)
+	if err != nil {
+		panic(err)
+	}
+	out := New(F32, outShape...)
+	bip := newBroadcastIndex(outShape, pred.shape)
+	bit := newBroadcastIndex(outShape, onTrue.shape)
+	bif := newBroadcastIndex(outShape, onFalse.shape)
+	for i := range out.f32 {
+		if pred.b[bip.at(i)] {
+			out.f32[i] = onTrue.f32[bit.at(i)]
+		} else {
+			out.f32[i] = onFalse.f32[bif.at(i)]
+		}
+	}
+	return out
+}
+
+// BroadcastTo materializes t broadcast to shape.
+func BroadcastTo(t *Tensor, shape []int) *Tensor {
+	if _, err := BroadcastShapes(t.shape, shape); err != nil {
+		panic(err)
+	}
+	out := New(t.dtype, shape...)
+	bi := newBroadcastIndex(shape, t.shape)
+	switch t.dtype {
+	case F32:
+		for i := range out.f32 {
+			out.f32[i] = t.f32[bi.at(i)]
+		}
+	case I32:
+		for i := range out.i32 {
+			out.i32[i] = t.i32[bi.at(i)]
+		}
+	case Bool:
+		for i := range out.b {
+			out.b[i] = t.b[bi.at(i)]
+		}
+	}
+	return out
+}
+
+// ConvertI32ToF32 converts an i32 tensor to f32.
+func ConvertI32ToF32(t *Tensor) *Tensor {
+	if t.dtype != I32 {
+		panic("tensor: ConvertI32ToF32 on non-i32")
+	}
+	out := New(F32, t.shape...)
+	for i, v := range t.i32 {
+		out.f32[i] = float32(v)
+	}
+	return out
+}

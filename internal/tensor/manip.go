@@ -1,0 +1,197 @@
+package tensor
+
+import "fmt"
+
+// Transpose permutes the axes of t according to perm, which must be a
+// permutation of [0, rank).
+func Transpose(t *Tensor, perm []int) *Tensor {
+	r := t.Rank()
+	if len(perm) != r {
+		panic(fmt.Sprintf("tensor: Transpose perm %v for rank %d", perm, r))
+	}
+	seen := make([]bool, r)
+	outShape := make([]int, r)
+	for i, p := range perm {
+		if p < 0 || p >= r || seen[p] {
+			panic(fmt.Sprintf("tensor: invalid perm %v", perm))
+		}
+		seen[p] = true
+		outShape[i] = t.shape[p]
+	}
+	out := New(t.dtype, outShape...)
+	inStr := Strides(t.shape)
+	outStr := Strides(outShape)
+	n := t.Numel()
+	for flat := 0; flat < n; flat++ {
+		iidx := 0
+		for i := 0; i < r; i++ {
+			coord := (flat / outStr[i]) % outShape[i]
+			iidx += coord * inStr[perm[i]]
+		}
+		switch t.dtype {
+		case F32:
+			out.f32[flat] = t.f32[iidx]
+		case I32:
+			out.i32[flat] = t.i32[iidx]
+		case Bool:
+			out.b[flat] = t.b[iidx]
+		}
+	}
+	return out
+}
+
+// Concat concatenates tensors along axis. All inputs must agree on dtype and
+// on every dimension except axis.
+func Concat(axis int, ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: Concat of nothing")
+	}
+	r := ts[0].Rank()
+	if axis < 0 {
+		axis += r
+	}
+	outShape := append([]int(nil), ts[0].shape...)
+	total := 0
+	for _, t := range ts {
+		if t.Rank() != r || t.dtype != ts[0].dtype {
+			panic("tensor: Concat rank/dtype mismatch")
+		}
+		for i := 0; i < r; i++ {
+			if i != axis && t.shape[i] != outShape[i] {
+				panic(fmt.Sprintf("tensor: Concat shape mismatch %v vs %v at axis %d", t.shape, outShape, i))
+			}
+		}
+		total += t.shape[axis]
+	}
+	outShape[axis] = total
+	out := New(ts[0].dtype, outShape...)
+
+	// Copy slab by slab: outer = product of dims before axis,
+	// inner = product of dims after axis.
+	outer := 1
+	for i := 0; i < axis; i++ {
+		outer *= outShape[i]
+	}
+	inner := 1
+	for i := axis + 1; i < r; i++ {
+		inner *= outShape[i]
+	}
+	outRow := total * inner
+	off := 0
+	for _, t := range ts {
+		row := t.shape[axis] * inner
+		for o := 0; o < outer; o++ {
+			dst := o*outRow + off
+			src := o * row
+			switch t.dtype {
+			case F32:
+				copy(out.f32[dst:dst+row], t.f32[src:src+row])
+			case I32:
+				copy(out.i32[dst:dst+row], t.i32[src:src+row])
+			case Bool:
+				copy(out.b[dst:dst+row], t.b[src:src+row])
+			}
+		}
+		off += row
+	}
+	return out
+}
+
+// Slice extracts t[starts[i]:starts[i]+sizes[i]] along every axis.
+func Slice(t *Tensor, starts, sizes []int) *Tensor {
+	r := t.Rank()
+	if len(starts) != r || len(sizes) != r {
+		panic("tensor: Slice starts/sizes rank mismatch")
+	}
+	for i := 0; i < r; i++ {
+		if starts[i] < 0 || sizes[i] < 0 || starts[i]+sizes[i] > t.shape[i] {
+			panic(fmt.Sprintf("tensor: Slice out of range: shape %v starts %v sizes %v", t.shape, starts, sizes))
+		}
+	}
+	out := New(t.dtype, sizes...)
+	inStr := Strides(t.shape)
+	outStr := Strides(sizes)
+	n := out.Numel()
+	for flat := 0; flat < n; flat++ {
+		iidx := 0
+		for i := 0; i < r; i++ {
+			coord := (flat/outStr[i])%sizes[i] + starts[i]
+			iidx += coord * inStr[i]
+		}
+		switch t.dtype {
+		case F32:
+			out.f32[flat] = t.f32[iidx]
+		case I32:
+			out.i32[flat] = t.i32[iidx]
+		case Bool:
+			out.b[flat] = t.b[iidx]
+		}
+	}
+	return out
+}
+
+// Gather selects rows of table (axis 0) by indices. For table shape [V, ...]
+// and indices shape S, the result has shape S ++ table.shape[1:].
+func Gather(table, indices *Tensor) *Tensor {
+	if indices.dtype != I32 {
+		panic("tensor: Gather indices must be i32")
+	}
+	rowShape := table.shape[1:]
+	rowLen := Numel(rowShape)
+	outShape := append(append([]int(nil), indices.shape...), rowShape...)
+	out := New(table.dtype, outShape...)
+	v := table.shape[0]
+	for i, ix := range indices.i32 {
+		if int(ix) < 0 || int(ix) >= v {
+			panic(fmt.Sprintf("tensor: Gather index %d out of range [0,%d)", ix, v))
+		}
+		dst, src := i*rowLen, int(ix)*rowLen
+		switch table.dtype {
+		case F32:
+			copy(out.f32[dst:dst+rowLen], table.f32[src:src+rowLen])
+		case I32:
+			copy(out.i32[dst:dst+rowLen], table.i32[src:src+rowLen])
+		case Bool:
+			copy(out.b[dst:dst+rowLen], table.b[src:src+rowLen])
+		}
+	}
+	return out
+}
+
+// Pad pads t with value to reach the given target shape (padding at the end
+// of each axis). Target dims must be >= current dims.
+func Pad(t *Tensor, target []int, value float32) *Tensor {
+	if len(target) != t.Rank() {
+		panic("tensor: Pad rank mismatch")
+	}
+	for i := range target {
+		if target[i] < t.shape[i] {
+			panic(fmt.Sprintf("tensor: Pad target %v smaller than %v", target, t.shape))
+		}
+	}
+	out := New(t.dtype, target...)
+	if t.dtype == F32 && value != 0 {
+		for i := range out.f32 {
+			out.f32[i] = value
+		}
+	}
+	inStr := Strides(t.shape)
+	outStr := Strides(target)
+	n := t.Numel()
+	for flat := 0; flat < n; flat++ {
+		oidx := 0
+		for i := 0; i < t.Rank(); i++ {
+			coord := (flat / inStr[i]) % t.shape[i]
+			oidx += coord * outStr[i]
+		}
+		switch t.dtype {
+		case F32:
+			out.f32[oidx] = t.f32[flat]
+		case I32:
+			out.i32[oidx] = t.i32[flat]
+		case Bool:
+			out.b[oidx] = t.b[flat]
+		}
+	}
+	return out
+}

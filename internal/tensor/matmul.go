@@ -1,0 +1,70 @@
+package tensor
+
+import "fmt"
+
+// MatMul computes a batched matrix product. Both operands must be f32 with
+// rank >= 2; leading (batch) dimensions broadcast NumPy-style. For shapes
+// [..., M, K] x [..., K, N] the result is [..., M, N].
+func MatMul(a, b *Tensor) *Tensor {
+	if a.dtype != F32 || b.dtype != F32 {
+		panic("tensor: MatMul requires f32 operands")
+	}
+	if a.Rank() < 2 || b.Rank() < 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires rank>=2, got %v x %v", a.shape, b.shape))
+	}
+	m, ka := a.shape[a.Rank()-2], a.shape[a.Rank()-1]
+	kb, n := b.shape[b.Rank()-2], b.shape[b.Rank()-1]
+	if ka != kb {
+		panic(fmt.Sprintf("tensor: MatMul contraction mismatch %v x %v", a.shape, b.shape))
+	}
+	batchA := a.shape[:a.Rank()-2]
+	batchB := b.shape[:b.Rank()-2]
+	batch, err := BroadcastShapes(batchA, batchB)
+	if err != nil {
+		panic(fmt.Sprintf("tensor: MatMul batch dims not broadcastable: %v x %v", a.shape, b.shape))
+	}
+	outShape := append(append([]int(nil), batch...), m, n)
+	out := New(F32, outShape...)
+
+	nb := Numel(batch)
+	bia := newBroadcastIndex(batch, batchA)
+	bib := newBroadcastIndex(batch, batchB)
+	amat, bmat := m*ka, kb*n
+	for bi := 0; bi < nb; bi++ {
+		ab := a.f32[bia.at(bi)*amat:]
+		bb := b.f32[bib.at(bi)*bmat:]
+		ob := out.f32[bi*m*n:]
+		matmul2d(ob[:m*n], ab[:m*ka], bb[:ka*n], m, ka, n)
+	}
+	return out
+}
+
+// matmul2d computes out[m,n] = a[m,k] * b[k,n] with a cache-friendly ikj
+// loop order.
+func matmul2d(out, a, b []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		orow := out[i*n : (i+1)*n]
+		for x := range orow {
+			orow[x] = 0
+		}
+		arow := a[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j := range orow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// Dot computes the matrix product of two rank-2 tensors.
+func Dot(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: Dot requires rank-2 operands")
+	}
+	return MatMul(a, b)
+}

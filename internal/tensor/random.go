@@ -1,0 +1,76 @@
+package tensor
+
+import "math"
+
+// RNG is a small deterministic generator (xorshift64*) used to fill test
+// and benchmark tensors reproducibly without importing math/rand everywhere.
+type RNG struct{ state uint64 }
+
+// NewRNG returns a generator seeded with seed (seed 0 is remapped).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next raw 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float32 returns a uniform value in [0, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) / float32(1<<24)
+}
+
+// Intn returns a uniform value in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn with n<=0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat32 returns an approximately standard-normal value
+// (Box-Muller on the uniform generator).
+func (r *RNG) NormFloat32() float32 {
+	u1 := float64(r.Float32())
+	if u1 < 1e-9 {
+		u1 = 1e-9
+	}
+	u2 := float64(r.Float32())
+	return float32(math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2))
+}
+
+// RandN fills a new f32 tensor with scaled normal values (std = scale).
+func RandN(r *RNG, scale float32, shape ...int) *Tensor {
+	t := New(F32, shape...)
+	for i := range t.f32 {
+		t.f32[i] = r.NormFloat32() * scale
+	}
+	return t
+}
+
+// RandUniform fills a new f32 tensor with uniform values in [lo, hi).
+func RandUniform(r *RNG, lo, hi float32, shape ...int) *Tensor {
+	t := New(F32, shape...)
+	for i := range t.f32 {
+		t.f32[i] = lo + (hi-lo)*r.Float32()
+	}
+	return t
+}
+
+// RandIndices fills a new i32 tensor with uniform indices in [0, n).
+func RandIndices(r *RNG, n int, shape ...int) *Tensor {
+	t := New(I32, shape...)
+	for i := range t.i32 {
+		t.i32[i] = int32(r.Intn(n))
+	}
+	return t
+}

@@ -1,0 +1,220 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ReduceKind enumerates the supported reduction operators.
+type ReduceKind uint8
+
+const (
+	// ReduceSum accumulates with addition from identity 0.
+	ReduceSum ReduceKind = iota
+	// ReduceMax accumulates with max from identity -inf.
+	ReduceMax
+	// ReduceMin accumulates with min from identity +inf.
+	ReduceMin
+	// ReduceMean is sum divided by the reduced extent.
+	ReduceMean
+)
+
+// String implements fmt.Stringer.
+func (k ReduceKind) String() string {
+	switch k {
+	case ReduceSum:
+		return "sum"
+	case ReduceMax:
+		return "max"
+	case ReduceMin:
+		return "min"
+	case ReduceMean:
+		return "mean"
+	}
+	return fmt.Sprintf("reduce(%d)", uint8(k))
+}
+
+// Identity returns the identity element of the reduction.
+func (k ReduceKind) Identity() float32 {
+	switch k {
+	case ReduceMax:
+		return float32(math.Inf(-1))
+	case ReduceMin:
+		return float32(math.Inf(1))
+	default:
+		return 0
+	}
+}
+
+// Combine folds v into acc.
+func (k ReduceKind) Combine(acc, v float32) float32 {
+	switch k {
+	case ReduceMax:
+		if v > acc {
+			return v
+		}
+		return acc
+	case ReduceMin:
+		if v < acc {
+			return v
+		}
+		return acc
+	default:
+		return acc + v
+	}
+}
+
+// ReducedShape returns shape with the given axes removed (keepDims=false) or
+// set to 1 (keepDims=true). Axes must be in range and are deduplicated.
+func ReducedShape(shape []int, axes []int, keepDims bool) []int {
+	drop := map[int]bool{}
+	for _, a := range axes {
+		if a < 0 {
+			a += len(shape)
+		}
+		if a < 0 || a >= len(shape) {
+			panic(fmt.Sprintf("tensor: reduce axis %d out of range for shape %v", a, shape))
+		}
+		drop[a] = true
+	}
+	out := make([]int, 0, len(shape))
+	for i, d := range shape {
+		if drop[i] {
+			if keepDims {
+				out = append(out, 1)
+			}
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Reduce reduces t over axes with the given kind. keepDims controls whether
+// reduced axes survive as size-1 dimensions.
+func Reduce(t *Tensor, kind ReduceKind, axes []int, keepDims bool) *Tensor {
+	if t.dtype != F32 {
+		panic("tensor: Reduce requires f32")
+	}
+	norm := make([]int, 0, len(axes))
+	for _, a := range axes {
+		if a < 0 {
+			a += t.Rank()
+		}
+		norm = append(norm, a)
+	}
+	sort.Ints(norm)
+	outShape := ReducedShape(t.shape, norm, keepDims)
+	out := New(F32, outShape...)
+	id := kind.Identity()
+	for i := range out.f32 {
+		out.f32[i] = id
+	}
+
+	drop := map[int]bool{}
+	redCount := 1
+	for _, a := range norm {
+		if !drop[a] {
+			redCount *= t.shape[a]
+		}
+		drop[a] = true
+	}
+
+	inStr := Strides(t.shape)
+	// Strides of the kept dims within the output tensor.
+	keptStr := make([]int, t.Rank())
+	{
+		outStrides := Strides(outShape)
+		oi := 0
+		for i := 0; i < t.Rank(); i++ {
+			if drop[i] {
+				if keepDims {
+					oi++
+				}
+				continue
+			}
+			keptStr[i] = outStrides[oi]
+			oi++
+		}
+	}
+	for flat, v := range t.f32 {
+		oidx := 0
+		for i := 0; i < t.Rank(); i++ {
+			if drop[i] {
+				continue
+			}
+			coord := (flat / inStr[i]) % t.shape[i]
+			oidx += coord * keptStr[i]
+		}
+		out.f32[oidx] = kind.Combine(out.f32[oidx], v)
+	}
+	if kind == ReduceMean {
+		inv := 1 / float32(redCount)
+		for i := range out.f32 {
+			out.f32[i] *= inv
+		}
+	}
+	return out
+}
+
+// Softmax computes a numerically stable softmax over the last axis.
+func Softmax(t *Tensor) *Tensor {
+	if t.dtype != F32 || t.Rank() == 0 {
+		panic("tensor: Softmax requires f32 rank>=1")
+	}
+	n := t.shape[t.Rank()-1]
+	rows := t.Numel() / n
+	out := New(F32, t.shape...)
+	for r := 0; r < rows; r++ {
+		in := t.f32[r*n : (r+1)*n]
+		o := out.f32[r*n : (r+1)*n]
+		mx := float32(math.Inf(-1))
+		for _, v := range in {
+			if v > mx {
+				mx = v
+			}
+		}
+		var sum float32
+		for i, v := range in {
+			e := float32(math.Exp(float64(v - mx)))
+			o[i] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for i := range o {
+			o[i] *= inv
+		}
+	}
+	return out
+}
+
+// LayerNorm normalizes over the last axis with learned scale and bias
+// (gamma, beta of shape [lastDim]).
+func LayerNorm(t, gamma, beta *Tensor, eps float32) *Tensor {
+	n := t.shape[t.Rank()-1]
+	if gamma.Numel() != n || beta.Numel() != n {
+		panic("tensor: LayerNorm gamma/beta must match last dim")
+	}
+	rows := t.Numel() / n
+	out := New(F32, t.shape...)
+	for r := 0; r < rows; r++ {
+		in := t.f32[r*n : (r+1)*n]
+		o := out.f32[r*n : (r+1)*n]
+		var mean float32
+		for _, v := range in {
+			mean += v
+		}
+		mean /= float32(n)
+		var varsum float32
+		for _, v := range in {
+			d := v - mean
+			varsum += d * d
+		}
+		inv := float32(1 / math.Sqrt(float64(varsum/float32(n)+eps)))
+		for i, v := range in {
+			o[i] = (v-mean)*inv*gamma.f32[i] + beta.f32[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+// Package tensor provides dense, row-major tensors and the reference
+// (host-side) math used for constant folding and for validating compiled
+// kernels. It is deliberately simple: contiguous storage, three dtypes,
+// and eager semantics. The compiled runtime never depends on this package
+// for performance, only for correctness checks.
+package tensor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DType enumerates the element types supported by the stack.
+type DType uint8
+
+const (
+	// F32 is IEEE-754 single precision, the workhorse dtype.
+	F32 DType = iota
+	// I32 is a 32-bit signed integer, used for indices and shapes.
+	I32
+	// Bool is a logical value, used for masks and predicates.
+	Bool
+)
+
+// String implements fmt.Stringer.
+func (d DType) String() string {
+	switch d {
+	case F32:
+		return "f32"
+	case I32:
+		return "i32"
+	case Bool:
+		return "bool"
+	}
+	return fmt.Sprintf("dtype(%d)", uint8(d))
+}
+
+// Size returns the size of one element in bytes, as charged by the device
+// cost model.
+func (d DType) Size() int {
+	switch d {
+	case F32, I32:
+		return 4
+	case Bool:
+		return 1
+	}
+	return 4
+}
+
+// Tensor is a dense row-major tensor. The zero value is an empty f32 scalar
+// holder and is not directly usable; construct tensors with New, Zeros,
+// FromF32 and friends.
+type Tensor struct {
+	dtype DType
+	shape []int
+	f32   []float32
+	i32   []int32
+	b     []bool
+}
+
+// Numel returns the number of elements implied by shape.
+func Numel(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+// New allocates a zero-filled tensor of the given dtype and shape.
+func New(dt DType, shape ...int) *Tensor {
+	t := &Tensor{dtype: dt, shape: append([]int(nil), shape...)}
+	n := Numel(shape)
+	switch dt {
+	case F32:
+		t.f32 = make([]float32, n)
+	case I32:
+		t.i32 = make([]int32, n)
+	case Bool:
+		t.b = make([]bool, n)
+	}
+	return t
+}
+
+// Zeros is an alias for New with dtype F32.
+func Zeros(shape ...int) *Tensor { return New(F32, shape...) }
+
+// FromF32 wraps data (not copied) into a tensor of the given shape.
+func FromF32(data []float32, shape ...int) *Tensor {
+	if len(data) != Numel(shape) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), shape))
+	}
+	return &Tensor{dtype: F32, shape: append([]int(nil), shape...), f32: data}
+}
+
+// FromI32 wraps data (not copied) into an i32 tensor of the given shape.
+func FromI32(data []int32, shape ...int) *Tensor {
+	if len(data) != Numel(shape) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), shape))
+	}
+	return &Tensor{dtype: I32, shape: append([]int(nil), shape...), i32: data}
+}
+
+// FromBool wraps data (not copied) into a bool tensor of the given shape.
+func FromBool(data []bool, shape ...int) *Tensor {
+	if len(data) != Numel(shape) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), shape))
+	}
+	return &Tensor{dtype: Bool, shape: append([]int(nil), shape...), b: data}
+}
+
+// Scalar returns a rank-0 f32 tensor holding v.
+func Scalar(v float32) *Tensor { return FromF32([]float32{v}) }
+
+// ScalarI32 returns a rank-0 i32 tensor holding v.
+func ScalarI32(v int32) *Tensor { return FromI32([]int32{v}) }
+
+// DType reports the element type.
+func (t *Tensor) DType() DType { return t.dtype }
+
+// Shape returns the dimensions. The returned slice must not be mutated.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Dim returns the extent of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Numel returns the number of elements.
+func (t *Tensor) Numel() int { return Numel(t.shape) }
+
+// Bytes returns the storage footprint in bytes.
+func (t *Tensor) Bytes() int { return t.Numel() * t.dtype.Size() }
+
+// F32 returns the backing float32 slice. It panics for non-f32 tensors.
+func (t *Tensor) F32() []float32 {
+	if t.dtype != F32 {
+		panic(fmt.Sprintf("tensor: F32() on %s tensor", t.dtype))
+	}
+	return t.f32
+}
+
+// I32 returns the backing int32 slice. It panics for non-i32 tensors.
+func (t *Tensor) I32() []int32 {
+	if t.dtype != I32 {
+		panic(fmt.Sprintf("tensor: I32() on %s tensor", t.dtype))
+	}
+	return t.i32
+}
+
+// Bools returns the backing bool slice. It panics for non-bool tensors.
+func (t *Tensor) Bools() []bool {
+	if t.dtype != Bool {
+		panic(fmt.Sprintf("tensor: Bools() on %s tensor", t.dtype))
+	}
+	return t.b
+}
+
+// At returns element i (flat index) as a float64 regardless of dtype.
+func (t *Tensor) At(i int) float64 {
+	switch t.dtype {
+	case F32:
+		return float64(t.f32[i])
+	case I32:
+		return float64(t.i32[i])
+	case Bool:
+		if t.b[i] {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.dtype, t.shape...)
+	switch t.dtype {
+	case F32:
+		copy(c.f32, t.f32)
+	case I32:
+		copy(c.i32, t.i32)
+	case Bool:
+		copy(c.b, t.b)
+	}
+	return c
+}
+
+// Reshape returns a view with a new shape sharing storage. The element
+// count must match.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	if Numel(shape) != t.Numel() {
+		panic(fmt.Sprintf("tensor: reshape %v -> %v changes element count", t.shape, shape))
+	}
+	return &Tensor{dtype: t.dtype, shape: append([]int(nil), shape...), f32: t.f32, i32: t.i32, b: t.b}
+}
+
+// ShapeEq reports whether a and b are identical shapes.
+func ShapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Strides returns row-major strides for shape.
+func Strides(shape []int) []int {
+	s := make([]int, len(shape))
+	acc := 1
+	for i := len(shape) - 1; i >= 0; i-- {
+		s[i] = acc
+		acc *= shape[i]
+	}
+	return s
+}
+
+// String renders a short description plus up to a few elements; intended
+// for debugging, not serialization.
+func (t *Tensor) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s%v[", t.dtype, t.shape)
+	n := t.Numel()
+	show := n
+	if show > 8 {
+		show = 8
+	}
+	for i := 0; i < show; i++ {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "%.4g", t.At(i))
+	}
+	if show < n {
+		fmt.Fprintf(&sb, " ... (%d total)", n)
+	}
+	sb.WriteString("]")
+	return sb.String()
+}

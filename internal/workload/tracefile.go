@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Trace files let experiments replay recorded production shape traces. The
+// format is one request per line, "batch,seq", with optional blank lines
+// and '#' comments:
+//
+//	# my serving trace
+//	1,12
+//	4,128
+
+// MarshalTrace renders a trace in the file format.
+func MarshalTrace(t *Trace) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %s\n", t.Name)
+	for _, p := range t.Points {
+		fmt.Fprintf(&sb, "%d,%d\n", p.Batch, p.Seq)
+	}
+	return sb.String()
+}
+
+// ParseTrace reads the file format. The name is taken from the first
+// comment line, if any.
+func ParseTrace(src string) (*Trace, error) {
+	tr := &Trace{Name: "trace"}
+	named := false
+	for i, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !named {
+				tr.Name = strings.TrimSpace(strings.TrimPrefix(line, "#"))
+				named = true
+			}
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("workload: line %d: want \"batch,seq\", got %q", i+1, line)
+		}
+		b, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+		s, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err1 != nil || err2 != nil || b < 1 || s < 1 {
+			return nil, fmt.Errorf("workload: line %d: bad point %q", i+1, line)
+		}
+		tr.Points = append(tr.Points, Point{Batch: b, Seq: s})
+	}
+	if len(tr.Points) == 0 {
+		return nil, fmt.Errorf("workload: trace has no points")
+	}
+	return tr, nil
+}

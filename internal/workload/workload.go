@@ -1,0 +1,186 @@
+// Package workload generates the dynamic-shape request traces the
+// evaluation replays: sequences of (batch, seq) points drawn from
+// distributions that mirror production shape dynamism — fixed (the static
+// corner case), uniform, Zipf-skewed (a few hot shapes plus a long tail),
+// bimodal (two workload populations) and adversarial churn (every request
+// a new shape). The paper's motivation is exactly this diversity; the
+// distributions make it a controlled axis.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"godisc/internal/tensor"
+)
+
+// Point is one request's shape coordinates.
+type Point struct {
+	Batch int
+	Seq   int
+}
+
+// Trace is a replayable request sequence.
+type Trace struct {
+	Name   string
+	Points []Point
+}
+
+// DistinctShapes counts unique (batch, seq) pairs.
+func (t *Trace) DistinctShapes() int {
+	seen := map[Point]bool{}
+	for _, p := range t.Points {
+		seen[p] = true
+	}
+	return len(seen)
+}
+
+// DistinctSeqs counts unique sequence lengths.
+func (t *Trace) DistinctSeqs() int {
+	seen := map[int]bool{}
+	for _, p := range t.Points {
+		seen[p.Seq] = true
+	}
+	return len(seen)
+}
+
+// String summarizes the trace.
+func (t *Trace) String() string {
+	return fmt.Sprintf("%s: %d requests, %d distinct shapes", t.Name, len(t.Points), t.DistinctShapes())
+}
+
+// Spec parameterizes trace generation.
+type Spec struct {
+	// Requests is the trace length.
+	Requests int
+	// MaxBatch and MaxSeq bound the axes (inclusive).
+	MaxBatch, MaxSeq int
+	// Seed drives the deterministic generator.
+	Seed uint64
+}
+
+// Fixed returns a trace where every request has the same shape — the
+// static-shape corner where static compilers shine.
+func Fixed(spec Spec, batch, seq int) *Trace {
+	tr := &Trace{Name: fmt.Sprintf("fixed(b=%d,s=%d)", batch, seq)}
+	for i := 0; i < spec.Requests; i++ {
+		tr.Points = append(tr.Points, Point{Batch: batch, Seq: seq})
+	}
+	return tr
+}
+
+// Uniform draws batch and seq independently and uniformly.
+func Uniform(spec Spec) *Trace {
+	r := tensor.NewRNG(spec.Seed)
+	tr := &Trace{Name: "uniform"}
+	for i := 0; i < spec.Requests; i++ {
+		tr.Points = append(tr.Points, Point{
+			Batch: 1 + r.Intn(spec.MaxBatch),
+			Seq:   1 + r.Intn(spec.MaxSeq),
+		})
+	}
+	return tr
+}
+
+// Zipf draws sequence lengths from a Zipf-like distribution over a pool of
+// candidate lengths (hot heads, long tail) — the published shape histogram
+// of production inference services. Batch sizes cycle through typical
+// serving batches.
+func Zipf(spec Spec) *Trace {
+	r := tensor.NewRNG(spec.Seed)
+	// Candidate lengths: spread over [4, MaxSeq].
+	nCand := 32
+	if spec.MaxSeq < nCand+4 {
+		nCand = spec.MaxSeq / 2
+		if nCand < 1 {
+			nCand = 1
+		}
+	}
+	cands := make([]int, nCand)
+	for i := range cands {
+		cands[i] = 4 + (spec.MaxSeq-4)*i/nCand
+		if cands[i] < 1 {
+			cands[i] = 1
+		}
+	}
+	// Zipf weights 1/rank.
+	cum := make([]float64, nCand)
+	total := 0.0
+	for i := range cands {
+		total += 1.0 / float64(i+1)
+		cum[i] = total
+	}
+	batches := serveBatches(spec.MaxBatch)
+	tr := &Trace{Name: "zipf"}
+	for i := 0; i < spec.Requests; i++ {
+		u := float64(r.Float32()) * total
+		k := sort.SearchFloat64s(cum, u)
+		if k >= nCand {
+			k = nCand - 1
+		}
+		tr.Points = append(tr.Points, Point{
+			Batch: batches[r.Intn(len(batches))],
+			Seq:   cands[k],
+		})
+	}
+	return tr
+}
+
+// Bimodal mixes short interactive requests with long batch requests.
+func Bimodal(spec Spec) *Trace {
+	r := tensor.NewRNG(spec.Seed)
+	tr := &Trace{Name: "bimodal"}
+	shortMax := spec.MaxSeq / 8
+	if shortMax < 2 {
+		shortMax = 2
+	}
+	for i := 0; i < spec.Requests; i++ {
+		p := Point{Batch: 1 + r.Intn(spec.MaxBatch)}
+		if r.Float32() < 0.7 {
+			p.Seq = 1 + r.Intn(shortMax)
+		} else {
+			p.Seq = spec.MaxSeq/2 + r.Intn(spec.MaxSeq/2)
+		}
+		tr.Points = append(tr.Points, p)
+	}
+	return tr
+}
+
+// Churn produces a different shape on every request — the adversarial case
+// for any per-shape cache.
+func Churn(spec Spec) *Trace {
+	tr := &Trace{Name: "churn"}
+	for i := 0; i < spec.Requests; i++ {
+		tr.Points = append(tr.Points, Point{
+			Batch: 1 + i%spec.MaxBatch,
+			Seq:   1 + (i*7)%spec.MaxSeq,
+		})
+	}
+	return tr
+}
+
+// WithDistinctSeqs builds a trace cycling through exactly n distinct
+// sequence lengths (for the shape-diversity sweep, E5).
+func WithDistinctSeqs(spec Spec, n int) *Trace {
+	if n < 1 {
+		n = 1
+	}
+	tr := &Trace{Name: fmt.Sprintf("distinct(%d)", n)}
+	for i := 0; i < spec.Requests; i++ {
+		seq := 4 + (i%n)*(spec.MaxSeq-4)/n
+		if seq < 1 {
+			seq = 1
+		}
+		tr.Points = append(tr.Points, Point{Batch: 4, Seq: seq})
+	}
+	return tr
+}
+
+// serveBatches returns the typical serving batch sizes up to max.
+func serveBatches(max int) []int {
+	out := []int{1}
+	for b := 2; b <= max; b *= 2 {
+		out = append(out, b)
+	}
+	return out
+}

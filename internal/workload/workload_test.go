@@ -1,0 +1,129 @@
+package workload
+
+import "testing"
+
+var spec = Spec{Requests: 200, MaxBatch: 8, MaxSeq: 128, Seed: 42}
+
+func TestFixedTraceSingleShape(t *testing.T) {
+	tr := Fixed(spec, 4, 64)
+	if len(tr.Points) != 200 || tr.DistinctShapes() != 1 {
+		t.Fatalf("%s", tr)
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	tr := Uniform(spec)
+	for _, p := range tr.Points {
+		if p.Batch < 1 || p.Batch > spec.MaxBatch || p.Seq < 1 || p.Seq > spec.MaxSeq {
+			t.Fatalf("out of bounds point %+v", p)
+		}
+	}
+	if tr.DistinctShapes() < 20 {
+		t.Fatalf("uniform trace too concentrated: %d", tr.DistinctShapes())
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	tr := Zipf(spec)
+	counts := map[int]int{}
+	for _, p := range tr.Points {
+		counts[p.Seq]++
+	}
+	// The hottest length must dominate: at least 3x the median frequency.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < len(tr.Points)/8 {
+		t.Fatalf("zipf head not hot enough: max=%d of %d", max, len(tr.Points))
+	}
+	if tr.DistinctSeqs() < 5 {
+		t.Fatalf("zipf tail missing: %d distinct", tr.DistinctSeqs())
+	}
+}
+
+func TestBimodalModes(t *testing.T) {
+	tr := Bimodal(spec)
+	short, long := 0, 0
+	for _, p := range tr.Points {
+		if p.Seq <= spec.MaxSeq/8 {
+			short++
+		}
+		if p.Seq >= spec.MaxSeq/2 {
+			long++
+		}
+	}
+	if short == 0 || long == 0 {
+		t.Fatalf("bimodal must have both modes: short=%d long=%d", short, long)
+	}
+}
+
+func TestChurnAllDistinctEarly(t *testing.T) {
+	tr := Churn(Spec{Requests: 50, MaxBatch: 64, MaxSeq: 512})
+	if tr.DistinctShapes() != 50 {
+		t.Fatalf("churn distinct=%d, want 50", tr.DistinctShapes())
+	}
+}
+
+func TestWithDistinctSeqsExact(t *testing.T) {
+	for _, n := range []int{1, 4, 16} {
+		tr := WithDistinctSeqs(spec, n)
+		if got := tr.DistinctSeqs(); got != n {
+			t.Fatalf("WithDistinctSeqs(%d) produced %d", n, got)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Zipf(spec)
+	b := Zipf(spec)
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatal("traces must be deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	tr := Zipf(Spec{Requests: 50, MaxBatch: 8, MaxSeq: 64, Seed: 5})
+	src := MarshalTrace(tr)
+	got, err := ParseTrace(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || len(got.Points) != len(tr.Points) {
+		t.Fatalf("round trip changed trace: %s vs %s", got, tr)
+	}
+	for i := range tr.Points {
+		if got.Points[i] != tr.Points[i] {
+			t.Fatalf("point %d changed", i)
+		}
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"1\n",
+		"a,b\n",
+		"0,5\n",
+		"3,-1\n",
+	}
+	for _, src := range cases {
+		if _, err := ParseTrace(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestParseTraceCommentsAndBlanks(t *testing.T) {
+	tr, err := ParseTrace("# prod-trace\n\n1,12\n# mid comment\n4, 128\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "prod-trace" || len(tr.Points) != 2 || tr.Points[1] != (Point{4, 128}) {
+		t.Fatalf("parsed %s %+v", tr.Name, tr.Points)
+	}
+}
