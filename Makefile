@@ -1,0 +1,20 @@
+# Tier-1 verify gate (see ROADMAP.md): build, vet, full tests, then the
+# race detector over the concurrent serving/execution paths.
+.PHONY: verify build vet test race bench
+
+verify: build vet test race
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/serve ./internal/exec ./internal/ral ./internal/workload .
+
+bench:
+	go test -bench=. -benchmem .

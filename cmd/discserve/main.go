@@ -1,0 +1,143 @@
+// Command discserve drives a dynamic-shape workload trace through the
+// concurrent serving runtime (godisc.Server): N workers replay requests
+// with shapes drawn from a chosen distribution against one or more zoo
+// models, exercising the signature-keyed engine cache, bounded admission
+// and per-request deadlines, then print the serving counters — the
+// paper's compilation-cache story under production-style concurrency.
+//
+//	discserve -models bert,mlp -dist zipf -requests 200 -workers 8
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"godisc"
+	"godisc/internal/device"
+	"godisc/internal/models"
+	"godisc/internal/tensor"
+	"godisc/internal/workload"
+)
+
+func main() {
+	var (
+		modelsFlag = flag.String("models", "mlp", "comma-separated zoo models to serve")
+		dist       = flag.String("dist", "zipf", fmt.Sprintf("shape distribution %v", workload.Names()))
+		requests   = flag.Int("requests", 200, "trace length")
+		workers    = flag.Int("workers", 8, "concurrent client goroutines (also the server's MaxConcurrent)")
+		queue      = flag.Int("queue", 64, "admission queue depth")
+		maxBatch   = flag.Int("maxbatch", 8, "max batch size in the trace")
+		maxSeq     = flag.Int("maxseq", 128, "max sequence length in the trace")
+		devName    = flag.String("device", "A10", "device model: A10 or T4")
+		deadline   = flag.Duration("deadline", 0, "per-request deadline (0 = none)")
+		warm       = flag.Bool("warm", false, "precompile every model before replaying")
+		seed       = flag.Uint64("seed", 42, "trace generator seed")
+	)
+	flag.Parse()
+	if err := run(*modelsFlag, *dist, *devName, *requests, *workers, *queue,
+		*maxBatch, *maxSeq, *deadline, *warm, *seed, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "discserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelList, dist, devName string, requests, workers, queue, maxBatch, maxSeq int,
+	deadline time.Duration, warm bool, seed uint64, w *os.File) error {
+
+	dev, err := device.ByName(devName)
+	if err != nil {
+		return err
+	}
+	var ms []*models.Model
+	for _, name := range strings.Split(modelList, ",") {
+		m, err := models.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		ms = append(ms, m)
+	}
+
+	srv := godisc.NewServer(
+		godisc.ServerConfig{MaxConcurrent: workers, QueueDepth: queue},
+		godisc.WithDevice(dev),
+	)
+	defer srv.Close()
+	for _, m := range ms {
+		if err := srv.Register(m.Name, m.Build); err != nil {
+			return err
+		}
+	}
+	if warm {
+		start := time.Now()
+		for _, m := range ms {
+			if err := srv.Warm(m.Name); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(w, "warmed %d engines in %v\n", len(ms), time.Since(start).Round(time.Millisecond))
+	}
+
+	tr, err := workload.ByName(dist, workload.Spec{
+		Requests: requests, MaxBatch: maxBatch, MaxSeq: maxSeq, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "replaying %s over %s on %s with %d workers (queue %d)\n",
+		tr, modelList, devName, workers, queue)
+
+	start := time.Now()
+	var rejected, canceled, failed int
+	errs := workload.Replay(tr, workers, func(i int, p workload.Point) error {
+		m := ms[i%len(ms)]
+		seq := p.Seq
+		if seq > m.MaxSeq {
+			seq = m.MaxSeq
+		}
+		inputs := m.GenInputs(tensor.NewRNG(seed+uint64(i)), p.Batch, seq)
+		ctx := context.Background()
+		if deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, deadline)
+			defer cancel()
+		}
+		_, err := srv.Infer(ctx, &godisc.InferRequest{Model: m.Name, Inputs: inputs})
+		return err
+	})
+	wall := time.Since(start)
+	var firstFailure error
+	for _, err := range errs {
+		switch {
+		case err == nil:
+		case errors.Is(err, godisc.ErrQueueFull):
+			rejected++
+		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+			canceled++
+		default:
+			failed++
+			if firstFailure == nil {
+				firstFailure = err
+			}
+		}
+	}
+	if firstFailure != nil {
+		return fmt.Errorf("%d requests failed, first: %w", failed, firstFailure)
+	}
+
+	st := srv.Stats()
+	fmt.Fprintf(w, "done in %v wall (%d rejected, %d deadline-expired)\n",
+		wall.Round(time.Millisecond), rejected, canceled)
+	fmt.Fprintf(w, "  %s\n", st)
+	fmt.Fprintf(w, "  distinct shapes served: %d; engines compiled: %d (one per symbolic signature)\n",
+		tr.DistinctShapes(), st.Engines)
+	if st.Completed > 0 {
+		fmt.Fprintf(w, "  simulated device time: total %.2fms, mean %.1fµs/request\n",
+			st.TotalSimNs/1e6, st.TotalSimNs/float64(st.Completed)/1e3)
+	}
+	return nil
+}

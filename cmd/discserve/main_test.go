@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+func TestServeZipfTraceSingleModel(t *testing.T) {
+	if err := run("mlp", "zipf", "A10", 30, 4, 16, 4, 32, 0, true, 7, devNull(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeMixedModelsUniform(t *testing.T) {
+	if err := run("mlp,textcnn", "uniform", "T4", 20, 4, 16, 4, 32, 0, false, 7, devNull(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeWithDeadline(t *testing.T) {
+	// A generous deadline: requests complete normally (the simulated
+	// device is fast); this exercises the context plumbing end to end.
+	if err := run("mlp", "churn", "A10", 10, 2, 8, 4, 16, 5*time.Second, false, 7, devNull(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeUnknownInputs(t *testing.T) {
+	if err := run("nosuchmodel", "zipf", "A10", 5, 2, 8, 4, 16, 0, false, 7, devNull(t)); err == nil {
+		t.Fatal("unknown model must error")
+	}
+	if err := run("mlp", "nosuchdist", "A10", 5, 2, 8, 4, 16, 0, false, 7, devNull(t)); err == nil {
+		t.Fatal("unknown distribution must error")
+	}
+}
+
+func devNull(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}

@@ -15,25 +15,36 @@
 //	w := g.Constant(weights)
 //	g.SetOutputs(g.Relu(g.MatMul(x, w)))
 //
-//	eng, err := godisc.Compile(g, godisc.Options{Device: godisc.A10()})
-//	res, err := eng.Run([]*godisc.Tensor{input}) // any batch size
+//	eng, err := godisc.CompileWith(g, godisc.WithDevice(godisc.A10()))
+//	res, err := eng.Run([]*godisc.Tensor{input})          // any batch size
+//	res, err = eng.RunContext(ctx, []*godisc.Tensor{input}) // with deadline
+//
+// For serving, NewServer wraps engines in a concurrent runtime with a
+// signature-keyed compilation cache, bounded admission and stats:
+//
+//	srv := godisc.NewServer(godisc.ServerConfig{MaxConcurrent: 8})
+//	srv.Register("mlp", buildGraph)
+//	resp, err := srv.Infer(ctx, &godisc.InferRequest{Model: "mlp", Inputs: inputs})
 //
 // See DESIGN.md for the architecture and EXPERIMENTS.md for the
 // paper-reproduction record.
 package godisc
 
 import (
+	"context"
 	"fmt"
 
 	"godisc/internal/baselines"
 	"godisc/internal/codegen"
 	"godisc/internal/device"
+	"godisc/internal/discerr"
 	"godisc/internal/exec"
 	"godisc/internal/fusion"
 	"godisc/internal/graph"
 	"godisc/internal/models"
 	"godisc/internal/opt"
 	"godisc/internal/ral"
+	"godisc/internal/serve"
 	"godisc/internal/symshape"
 	"godisc/internal/tensor"
 )
@@ -96,7 +107,70 @@ func NewBaselineSuite(build func() *Graph, dev *Device) (map[string]Strategy, er
 	return baselines.NewSuite(build, dev)
 }
 
-// Options configures Compile.
+// Typed sentinel errors, re-exported from internal/discerr. Every error
+// returned by Compile, Engine.Run and Server.Infer wraps one of these (or
+// a context error), so callers branch with errors.Is instead of string
+// matching.
+var (
+	// ErrShapeMismatch: concrete inputs violate the graph's symbolic
+	// parameter shapes (arity, a static dim, a repeated symbol bound to
+	// two values, or a declared range/divisibility fact).
+	ErrShapeMismatch = discerr.ErrShapeMismatch
+	// ErrQueueFull: a Server rejected the request because its bounded
+	// admission queue is at capacity.
+	ErrQueueFull = discerr.ErrQueueFull
+	// ErrCompileFailed: optimization, fusion planning or code generation
+	// failed.
+	ErrCompileFailed = discerr.ErrCompileFailed
+	// ErrServerClosed: the request arrived after Server.Close.
+	ErrServerClosed = discerr.ErrServerClosed
+)
+
+// Option is a functional compile option, accepted by CompileWith and
+// NewServer. The zero configuration (no options) is the full BladeDISC
+// pipeline on the A10 device model.
+type Option func(*compileConfig)
+
+// compileConfig is the resolved option set.
+type compileConfig struct {
+	device                *Device
+	disableStitch         bool
+	disableHorizontal     bool
+	disableFusion         bool
+	disableSpecialization bool
+	verbose               func(format string, args ...any)
+}
+
+// WithDevice selects the GPU device model (default A10).
+func WithDevice(d *Device) Option { return func(c *compileConfig) { c.device = d } }
+
+// WithoutStitch turns off kStitch fusion (ablation).
+func WithoutStitch() Option { return func(c *compileConfig) { c.disableStitch = true } }
+
+// WithoutHorizontalFusion turns off horizontal fusion of independent
+// same-domain kernels (ablation).
+func WithoutHorizontalFusion() Option {
+	return func(c *compileConfig) { c.disableHorizontal = true }
+}
+
+// WithoutFusion turns off all fusion (one kernel per op).
+func WithoutFusion() Option { return func(c *compileConfig) { c.disableFusion = true } }
+
+// WithoutSpecialization turns off multi-variant codegen (vectorized /
+// row-schedule / speculative kernel variants).
+func WithoutSpecialization() Option {
+	return func(c *compileConfig) { c.disableSpecialization = true }
+}
+
+// WithVerbose installs a trace sink receiving one line per optimization
+// pass.
+func WithVerbose(f func(format string, args ...any)) Option {
+	return func(c *compileConfig) { c.verbose = f }
+}
+
+// Options is the legacy bool-field configuration of Compile, kept so
+// existing callers do not break. New code should use CompileWith and the
+// functional options; see README for the migration table.
 type Options struct {
 	// Device selects the GPU model (default A10).
 	Device *Device
@@ -114,57 +188,103 @@ type Options struct {
 	Verbose func(format string, args ...any)
 }
 
+// options converts the legacy struct to the functional form.
+func (o Options) options() []Option {
+	var opts []Option
+	if o.Device != nil {
+		opts = append(opts, WithDevice(o.Device))
+	}
+	if o.DisableStitch {
+		opts = append(opts, WithoutStitch())
+	}
+	if o.DisableHorizontal {
+		opts = append(opts, WithoutHorizontalFusion())
+	}
+	if o.DisableFusion {
+		opts = append(opts, WithoutFusion())
+	}
+	if o.DisableSpecialization {
+		opts = append(opts, WithoutSpecialization())
+	}
+	if o.Verbose != nil {
+		opts = append(opts, WithVerbose(o.Verbose))
+	}
+	return opts
+}
+
 // Engine is a compiled, shape-generic executable: one compilation serves
 // every concrete input shape consistent with the graph's symbolic shapes.
+// Engines are safe for concurrent use: all per-run state lives in a
+// per-call run context, so any number of goroutines may Run at once.
 type Engine struct {
 	exe  *exec.Executable
 	plan *fusion.Plan
 }
 
-// Compile runs the full BladeDISC pipeline on g: composite-op
+// Compile runs the full BladeDISC pipeline on g with the legacy Options
+// struct. It is an adapter over CompileWith, kept for compatibility.
+func Compile(g *Graph, o Options) (*Engine, error) {
+	return CompileWith(g, o.options()...)
+}
+
+// CompileWith runs the full BladeDISC pipeline on g: composite-op
 // decomposition and graph optimization, dynamic-shape fusion planning, and
 // shape-generic code generation with specialization variants. The graph is
 // mutated (optimized) in place and owned by the engine afterwards.
-func Compile(g *Graph, o Options) (*Engine, error) {
-	dev := o.Device
+// Failures wrap ErrCompileFailed.
+func CompileWith(g *Graph, opts ...Option) (*Engine, error) {
+	var cfg compileConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	dev := cfg.device
 	if dev == nil {
 		dev = device.A10()
 	}
 	pipeline := opt.Default()
-	pipeline.Trace = o.Verbose
+	pipeline.Trace = cfg.verbose
 	if _, err := pipeline.Run(g); err != nil {
-		return nil, fmt.Errorf("godisc: optimizing: %w", err)
+		return nil, fmt.Errorf("godisc: optimizing: %w: %w", err, discerr.ErrCompileFailed)
 	}
 	fcfg := fusion.DefaultConfig()
-	if o.DisableStitch {
+	if cfg.disableStitch {
 		fcfg.EnableStitch = false
 	}
-	if o.DisableHorizontal {
+	if cfg.disableHorizontal {
 		fcfg.EnableHorizontal = false
 	}
-	if o.DisableFusion {
+	if cfg.disableFusion {
 		fcfg = fusion.Config{}
 	}
 	plan, err := fusion.NewPlanner(fcfg).Plan(g)
 	if err != nil {
-		return nil, fmt.Errorf("godisc: fusion planning: %w", err)
+		return nil, fmt.Errorf("godisc: fusion planning: %w: %w", err, discerr.ErrCompileFailed)
 	}
 	eo := exec.DefaultOptions()
-	if o.DisableSpecialization {
+	if cfg.disableSpecialization {
 		eo.Codegen = codegen.Options{}
 	}
 	exe, err := exec.Compile(g, plan, dev, eo)
 	if err != nil {
-		return nil, fmt.Errorf("godisc: code generation: %w", err)
+		return nil, fmt.Errorf("godisc: code generation: %w: %w", err, discerr.ErrCompileFailed)
 	}
 	return &Engine{exe: exe, plan: plan}, nil
 }
 
 // Run executes the engine on concrete inputs. Input dtypes must match the
 // graph parameters; concrete shapes may be anything consistent with the
-// symbolic parameter shapes (same symbols must bind the same value).
+// symbolic parameter shapes (same symbols must bind the same value). It is
+// RunContext with a background context.
 func (e *Engine) Run(inputs []*Tensor) (*Result, error) {
 	return e.exe.Run(inputs)
+}
+
+// RunContext executes the engine on concrete inputs under ctx:
+// cancellation or deadline expiry stops the run between kernel launches,
+// releases its pooled buffers and returns ctx.Err(). Safe for any number
+// of concurrent callers on one engine.
+func (e *Engine) RunContext(ctx context.Context, inputs []*Tensor) (*Result, error) {
+	return e.exe.RunContext(ctx, inputs)
 }
 
 // Simulate charges the cost model for a run at the given concrete input
@@ -190,6 +310,41 @@ func (e *Engine) Signature() string {
 		shapes[i] = p.Shape
 	}
 	return g.Ctx.Signature(shapes)
+}
+
+// Serving runtime, aliased from internal/serve.
+type (
+	// Server is the concurrent serving runtime: a registry of model
+	// builders behind a signature-keyed engine cache, bounded admission
+	// and serving counters. Build one with NewServer.
+	Server = serve.Server
+	// ServerConfig bounds server concurrency and queueing.
+	ServerConfig = serve.Config
+	// InferRequest is one inference call (model name + input tensors).
+	InferRequest = serve.Request
+	// InferResponse carries outputs, the run profile, and cache metadata.
+	InferResponse = serve.Response
+	// ServerStats is a point-in-time snapshot of serving counters.
+	ServerStats = serve.Stats
+)
+
+// NewServer returns a serving runtime that compiles registered models
+// on demand with the given compile options. Each model is compiled at
+// most once per symbolic shape signature — concurrent first requests are
+// singleflight-deduplicated — and the resulting engines are shared by all
+// subsequent requests of any concrete shape:
+//
+//	srv := godisc.NewServer(godisc.ServerConfig{MaxConcurrent: 8}, godisc.WithDevice(godisc.T4()))
+//	srv.Register("bert", model.Build)
+//	resp, err := srv.Infer(ctx, &godisc.InferRequest{Model: "bert", Inputs: inputs})
+func NewServer(cfg ServerConfig, opts ...Option) *Server {
+	return serve.New(cfg, func(g *graph.Graph) (serve.Engine, error) {
+		eng, err := CompileWith(g, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return eng.exe, nil
+	})
 }
 
 // Evaluate interprets a graph with the reference semantics (no compilation,

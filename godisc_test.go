@@ -1,7 +1,10 @@
 package godisc
 
 import (
+	"context"
+	"errors"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -170,5 +173,178 @@ func TestCompileAllAblationKnobs(t *testing.T) {
 		if err := AllClose(res.Outputs[0], ref[0], 1e-5, 1e-6); err != nil {
 			t.Fatalf("opts %d: %v", i, err)
 		}
+	}
+}
+
+// TestFunctionalOptionsMatchLegacyStruct: every legacy Options field has a
+// functional equivalent producing the same compiled plan.
+func TestFunctionalOptionsMatchLegacyStruct(t *testing.T) {
+	cases := []struct {
+		name   string
+		legacy Options
+		opts   []Option
+	}{
+		{"default", Options{}, nil},
+		{"device", Options{Device: T4()}, []Option{WithDevice(T4())}},
+		{"no stitch", Options{DisableStitch: true}, []Option{WithoutStitch()}},
+		{"no horizontal", Options{DisableHorizontal: true}, []Option{WithoutHorizontalFusion()}},
+		{"no fusion", Options{DisableFusion: true}, []Option{WithoutFusion()}},
+		{"no specialization", Options{DisableSpecialization: true}, []Option{WithoutSpecialization()}},
+	}
+	for _, tc := range cases {
+		a, err := Compile(buildPublicMLP(), tc.legacy)
+		if err != nil {
+			t.Fatalf("%s legacy: %v", tc.name, err)
+		}
+		b, err := CompileWith(buildPublicMLP(), tc.opts...)
+		if err != nil {
+			t.Fatalf("%s functional: %v", tc.name, err)
+		}
+		if a.Kernels() != b.Kernels() || a.PlanSummary() != b.PlanSummary() {
+			t.Fatalf("%s: legacy and functional options diverge:\n%s\nvs\n%s",
+				tc.name, a.PlanSummary(), b.PlanSummary())
+		}
+	}
+}
+
+// TestRunContextPublic: context cancellation works through the public
+// surface and surfaces as the context error.
+func TestRunContextPublic(t *testing.T) {
+	eng, err := CompileWith(buildPublicMLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := RandN(3, 1, 4, 8)
+	res, err := eng.RunContext(context.Background(), []*Tensor{in})
+	if err != nil || len(res.Outputs) != 1 {
+		t.Fatalf("RunContext: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.RunContext(ctx, []*Tensor{in}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RunContext: %v", err)
+	}
+}
+
+// TestSentinelErrorsPublic: compile and shape failures branch with
+// errors.Is on the exported sentinels.
+func TestSentinelErrorsPublic(t *testing.T) {
+	g := NewGraph("bad")
+	g.Parameter("x", F32, Shape{g.Ctx.NewDim("B")})
+	// No outputs: the pipeline rejects the graph.
+	if _, err := Compile(g, Options{}); !errors.Is(err, ErrCompileFailed) {
+		t.Fatalf("compile err = %v, want ErrCompileFailed", err)
+	}
+
+	eng, err := CompileWith(buildPublicMLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := RandN(1, 1, 4, 9) // static dim is 8
+	if _, err := eng.Run([]*Tensor{wrong}); !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("run err = %v, want ErrShapeMismatch", err)
+	}
+}
+
+// TestPublicServer drives the serving runtime end to end through the
+// public API: register, warm, concurrent Infer, stats.
+func TestPublicServer(t *testing.T) {
+	srv := NewServer(ServerConfig{MaxConcurrent: 8}, WithDevice(A10()))
+	if err := srv.Register("mlp", buildPublicMLP); err != nil {
+		t.Fatal(err)
+	}
+
+	ref := buildPublicMLP()
+	var wg sync.WaitGroup
+	errc := make(chan error, 12)
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			batch := 1 + i%5
+			in := RandN(uint64(100+batch), 1, batch, 8)
+			resp, err := srv.Infer(context.Background(), &InferRequest{Model: "mlp", Inputs: []*Tensor{in}})
+			if err != nil {
+				errc <- err
+				return
+			}
+			want, err := Evaluate(ref, []*Tensor{in})
+			if err != nil {
+				errc <- err
+				return
+			}
+			if err := AllClose(resp.Outputs[0], want[0], 1e-4, 1e-5); err != nil {
+				errc <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.Completed != 12 || st.Engines != 1 || st.CacheMisses != 1 {
+		t.Fatalf("stats: %s", st)
+	}
+	srv.Close()
+	if _, err := srv.Infer(context.Background(), &InferRequest{Model: "mlp"}); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("after close: %v", err)
+	}
+}
+
+// TestConcurrentEngineRunMatchesEvaluate runs one public Engine from 8
+// goroutines with mixed dynamic shapes, checks every result against
+// Evaluate, and asserts the shared buffer pool stays consistent (drains
+// to zero outstanding buffers, reuses across runs).
+func TestConcurrentEngineRunMatchesEvaluate(t *testing.T) {
+	eng, err := CompileWith(buildPublicMLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := buildPublicMLP()
+	batches := []int{1, 2, 5, 9, 16, 23, 32, 48}
+	inputs := make([]*Tensor, len(batches))
+	wants := make([][]*Tensor, len(batches))
+	for i, b := range batches {
+		inputs[i] = RandN(uint64(200+b), 1, b, 8)
+		want, err := Evaluate(ref, []*Tensor{inputs[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = want
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 8*6)
+	for gi := 0; gi < 8; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for it := 0; it < 6; it++ {
+				ci := (gi + it) % len(batches)
+				res, err := eng.Run([]*Tensor{inputs[ci]})
+				if err != nil {
+					errc <- err
+					return
+				}
+				if err := AllClose(res.Outputs[0], wants[ci][0], 1e-4, 1e-5); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	st := eng.exe.Pool.Stats()
+	if st.InUseElems != 0 {
+		t.Fatalf("pool has %d elems outstanding after concurrent runs", st.InUseElems)
+	}
+	if st.Reuses == 0 {
+		t.Fatal("steady-state concurrent serving must reuse pooled buffers")
 	}
 }

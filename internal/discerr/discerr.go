@@ -1,0 +1,28 @@
+// Package discerr holds the typed sentinel errors of the public godisc
+// surface. It is a leaf package so that internal packages (exec, ral,
+// serve) can wrap these sentinels with %w without importing the root
+// package; godisc re-exports them as ErrShapeMismatch etc. Servers branch
+// on errors.Is(err, discerr.ErrQueueFull) instead of string matching.
+package discerr
+
+import "errors"
+
+var (
+	// ErrShapeMismatch marks invalid concrete input shapes: wrong arity,
+	// a static dim violated, two occurrences of one symbolic dimension
+	// bound to different values, or a declared range/divisibility fact
+	// broken.
+	ErrShapeMismatch = errors.New("shape mismatch")
+
+	// ErrQueueFull marks a request rejected by serving admission control
+	// because the bounded queue is at capacity. The request was never
+	// executed; callers may retry with backoff.
+	ErrQueueFull = errors.New("queue full")
+
+	// ErrCompileFailed marks a compilation (optimization, fusion planning
+	// or code generation) failure.
+	ErrCompileFailed = errors.New("compile failed")
+
+	// ErrServerClosed marks a request submitted after Server.Close.
+	ErrServerClosed = errors.New("server closed")
+)

@@ -1,0 +1,138 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"godisc/internal/discerr"
+	"godisc/internal/fusion"
+	"godisc/internal/graph"
+	"godisc/internal/symshape"
+	"godisc/internal/tensor"
+)
+
+// buildServingModelGraph is a small transformer-ish block exercising
+// kernels, a library matmul, stitched softmax (scratch rows) and liveness
+// planning — the unit mix a serving engine dispatches concurrently.
+func buildServingModelGraph(g *graph.Graph) {
+	b := g.Ctx.NewDim("B")
+	s := g.Ctx.NewDim("S")
+	g.Ctx.DeclareRange(b, 1, 64)
+	g.Ctx.DeclareRange(s, 1, 256)
+	x := g.Parameter("x", tensor.F32, symshape.Shape{b, s, g.Ctx.StaticDim(16)})
+	w := g.Constant(tensor.RandN(tensor.NewRNG(7), 0.1, 16, 16))
+	h := g.MatMul(x, w)
+	g.SetOutputs(g.Softmax(g.Add(g.Relu(h), g.Tanh(x))))
+}
+
+// TestConcurrentRunMatchesReference drives one compiled executable from
+// many goroutines with mixed dynamic shapes and checks every result
+// against the reference interpreter; afterwards the shared pool must have
+// zero buffers outstanding (run contexts release everything they draw).
+func TestConcurrentRunMatchesReference(t *testing.T) {
+	cg, ref := buildTwice(buildServingModelGraph)
+	e := compile(t, cg, fusion.DefaultConfig())
+
+	shapes := [][]int{{1, 3}, {2, 7}, {4, 16}, {8, 33}, {3, 5}, {1, 64}, {6, 12}, {2, 40}}
+	type testCase struct {
+		in   *tensor.Tensor
+		want []*tensor.Tensor
+	}
+	r := tensor.NewRNG(11)
+	cases := make([]testCase, len(shapes))
+	for i, sh := range shapes {
+		in := tensor.RandN(r, 1, sh[0], sh[1], 16)
+		want, err := graph.Evaluate(ref, []*tensor.Tensor{in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases[i] = testCase{in: in, want: want}
+	}
+
+	const goroutines = 8
+	const itersPerGoroutine = 10
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines*itersPerGoroutine)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for it := 0; it < itersPerGoroutine; it++ {
+				tc := cases[(gi+it)%len(cases)]
+				res, err := e.RunContext(context.Background(), []*tensor.Tensor{tc.in})
+				if err != nil {
+					errc <- err
+					return
+				}
+				for oi := range tc.want {
+					if err := tensor.AllClose(res.Outputs[oi], tc.want[oi], 1e-4, 1e-5); err != nil {
+						errc <- fmt.Errorf("goroutine %d iter %d output %d: %w", gi, it, oi, err)
+						return
+					}
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	st := e.Pool.Stats()
+	if st.InUseElems != 0 {
+		t.Fatalf("pool has %d elems outstanding after all runs", st.InUseElems)
+	}
+	if st.Allocs == 0 {
+		t.Fatal("expected pooled allocations")
+	}
+	if st.Reuses == 0 {
+		t.Fatal("concurrent steady-state runs must reuse pooled buffers")
+	}
+}
+
+// TestRunContextCancellation: a cancelled context stops the run between
+// units with ctx.Err(), and the aborted run leaks nothing from the pool.
+func TestRunContextCancellation(t *testing.T) {
+	cg, _ := buildTwice(buildServingModelGraph)
+	e := compile(t, cg, fusion.DefaultConfig())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	in := tensor.RandN(tensor.NewRNG(3), 1, 2, 8, 16)
+	if _, err := e.RunContext(ctx, []*tensor.Tensor{in}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st := e.Pool.Stats(); st.InUseElems != 0 {
+		t.Fatalf("cancelled run leaked %d elems", st.InUseElems)
+	}
+	// The engine still works after a cancelled run.
+	if _, err := e.Run([]*tensor.Tensor{in}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunShapeMismatchSentinel: invalid inputs surface as
+// discerr.ErrShapeMismatch, so servers can branch with errors.Is.
+func TestRunShapeMismatchSentinel(t *testing.T) {
+	cg, _ := buildTwice(buildServingModelGraph)
+	e := compile(t, cg, fusion.DefaultConfig())
+
+	// Wrong arity.
+	if _, err := e.Run(nil); !errors.Is(err, discerr.ErrShapeMismatch) {
+		t.Fatalf("arity err = %v", err)
+	}
+	// Static dim violated (last dim must be 16).
+	bad := tensor.RandN(tensor.NewRNG(1), 1, 2, 8, 17)
+	if _, err := e.Run([]*tensor.Tensor{bad}); !errors.Is(err, discerr.ErrShapeMismatch) {
+		t.Fatalf("static dim err = %v", err)
+	}
+	// Declared range violated (S <= 256).
+	big := tensor.RandN(tensor.NewRNG(1), 1, 2, 300, 16)
+	if _, err := e.Run([]*tensor.Tensor{big}); !errors.Is(err, discerr.ErrShapeMismatch) {
+		t.Fatalf("range err = %v", err)
+	}
+}

@@ -8,10 +8,12 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"godisc/internal/codegen"
 	"godisc/internal/device"
+	"godisc/internal/discerr"
 	"godisc/internal/fusion"
 	"godisc/internal/graph"
 	"godisc/internal/ral"
@@ -238,11 +240,24 @@ type Result struct {
 	Profile *ral.Profiler
 }
 
-// Run executes the graph on concrete inputs.
+// Run executes the graph on concrete inputs. It is RunContext with a
+// background context.
 func (e *Executable) Run(inputs []*tensor.Tensor) (*Result, error) {
+	return e.RunContext(context.Background(), inputs)
+}
+
+// RunContext executes the graph on concrete inputs under ctx. All per-run
+// state lives in a fresh runCtx, so any number of goroutines may call
+// RunContext on one Executable concurrently; the shared buffer pool is
+// internally locked and everything else on the Executable is immutable
+// after Compile. Cancellation is checked between units: a cancelled
+// request stops before its next kernel launch, releases its pooled
+// buffers, and returns ctx.Err().
+func (e *Executable) RunContext(ctx context.Context, inputs []*tensor.Tensor) (*Result, error) {
 	g := e.Graph
 	if len(inputs) != len(g.Params) {
-		return nil, fmt.Errorf("exec: %d inputs for %d parameters", len(inputs), len(g.Params))
+		return nil, fmt.Errorf("exec: %d inputs for %d parameters: %w",
+			len(inputs), len(g.Params), discerr.ErrShapeMismatch)
 	}
 	shapes := make([][]int, len(inputs))
 	for i, in := range inputs {
@@ -253,87 +268,59 @@ func (e *Executable) Run(inputs []*tensor.Tensor) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	prof := ral.NewProfiler()
-	env := map[*graph.Node][]float32{}
-	// owned tracks pool-allocated buffers by producing node; scratch rows
-	// return immediately after each kernel, owned values after their last
-	// use (liveness planning) or at run end.
-	owned := map[*graph.Node][]float32{}
-	defer func() {
-		for _, b := range owned {
-			e.Pool.Put(b)
-		}
-	}()
-
-	valueOf := func(n *graph.Node) ([]float32, error) {
-		if v, ok := env[n]; ok {
-			return v, nil
-		}
-		switch n.Kind {
-		case graph.OpParameter:
-			v := flatten(inputs[n.ParamIndex])
-			env[n] = v
-			return v, nil
-		case graph.OpConstant:
-			return e.constBufs[n], nil
-		}
-		return nil, fmt.Errorf("exec: value of %%%d (%s) not yet computed", n.ID, n.Kind)
-	}
+	rc := e.newRunCtx(ctx, inputs, vals)
+	defer rc.release()
 
 	for i, u := range e.units {
+		if err := rc.cancelled(); err != nil {
+			return nil, err
+		}
 		switch {
 		case u.alias:
-			in, err := valueOf(u.group.Nodes[0].Inputs[0])
+			in, err := rc.valueOf(u.group.Nodes[0].Inputs[0])
 			if err != nil {
 				return nil, err
 			}
-			env[u.group.Nodes[0]] = in
+			rc.env[u.group.Nodes[0]] = in
 		case u.isLib:
-			if err := e.runLibrary(u, vals, valueOf, env, owned, prof); err != nil {
+			if err := e.runLibrary(rc, u); err != nil {
 				return nil, err
 			}
 		default:
-			if err := e.runKernel(u, vals, valueOf, env, owned, prof); err != nil {
+			if err := e.runKernel(rc, u); err != nil {
 				return nil, err
 			}
 		}
 		if !e.opts.DisableLivenessPlanning {
-			for _, dead := range e.freeAt[i] {
-				if buf, ok := owned[dead]; ok {
-					e.Pool.Put(buf)
-					delete(owned, dead)
-				}
-			}
+			rc.freeDead(i)
 		}
 	}
 
 	outs := make([]*tensor.Tensor, len(g.Outputs))
 	for i, o := range g.Outputs {
-		buf, err := valueOf(o)
+		buf, err := rc.valueOf(o)
 		if err != nil {
 			return nil, err
 		}
 		outs[i] = unflatten(buf, evalRefs(vals, e.outRefs[i]), o.DType)
 	}
-	return &Result{Outputs: outs, Profile: prof}, nil
+	return &Result{Outputs: outs, Profile: rc.prof}, nil
 }
 
 // runLibrary executes a matmul/conv through the BLAS substitute and
 // charges the library cost model.
-func (e *Executable) runLibrary(u *unit, vals []int64, valueOf func(*graph.Node) ([]float32, error),
-	env map[*graph.Node][]float32, owned map[*graph.Node][]float32, prof *ral.Profiler) error {
-
+func (e *Executable) runLibrary(rc *runCtx, u *unit) error {
 	n := u.group.Nodes[0]
-	aBuf, err := valueOf(n.Inputs[0])
+	aBuf, err := rc.valueOf(n.Inputs[0])
 	if err != nil {
 		return err
 	}
-	bBuf, err := valueOf(n.Inputs[1])
+	bBuf, err := rc.valueOf(n.Inputs[1])
 	if err != nil {
 		return err
 	}
-	aShape := evalRefs(vals, u.inShapeRefs[0])
-	bShape := evalRefs(vals, u.inShapeRefs[1])
+	aShape := evalRefs(rc.vals, u.inShapeRefs[0])
+	bShape := evalRefs(rc.vals, u.inShapeRefs[1])
 	a := tensor.FromF32(aBuf[:tensor.Numel(aShape)], aShape...)
 	b := tensor.FromF32(bBuf[:tensor.Numel(bShape)], bShape...)
 	var out *tensor.Tensor
@@ -355,13 +342,13 @@ func (e *Executable) runLibrary(u *unit, vals []int64, valueOf func(*graph.Node)
 	default:
 		return fmt.Errorf("exec: unsupported library op %s", n.Kind)
 	}
-	buf := e.Pool.Get(out.Numel())
+	buf := rc.sess.Get(out.Numel())
 	copy(buf, out.F32())
-	env[n] = buf
-	owned[n] = buf
+	rc.env[n] = buf
+	rc.owned[n] = buf
 	name, bytes, flops := libraryCost(n.Kind, aShape, bShape, out.Shape())
-	prof.Host(e.opts.HostDispatchNs)
-	prof.Library(name, bytes, flops, e.Dev.MatmulTimeNs(bytes, flops))
+	rc.prof.Host(e.opts.HostDispatchNs)
+	rc.prof.Library(name, bytes, flops, e.Dev.MatmulTimeNs(bytes, flops))
 	return nil
 }
 
@@ -385,11 +372,10 @@ func libraryCost(kind graph.OpKind, aShape, bShape, oShape []int) (string, float
 
 // runKernel executes a lowered fusion group: allocate outputs and scratch,
 // select a variant, run the kernel IR, charge the cost model.
-func (e *Executable) runKernel(u *unit, vals []int64, valueOf func(*graph.Node) ([]float32, error),
-	env map[*graph.Node][]float32, owned map[*graph.Node][]float32, prof *ral.Profiler) error {
-
+func (e *Executable) runKernel(rc *runCtx, u *unit) error {
 	k := u.kernel
 	grp := u.group
+	vals := rc.vals
 
 	numel := refsNumel(vals, u.domainRefs)
 	rowLen := 0
@@ -408,7 +394,7 @@ func (e *Executable) runKernel(u *unit, vals []int64, valueOf func(*graph.Node) 
 	bufs := make([][]float32, 0, len(grp.Inputs)+len(grp.Outputs)+k.ScratchRows)
 	var bytes float64
 	for _, in := range grp.Inputs {
-		v, err := valueOf(in)
+		v, err := rc.valueOf(in)
 		if err != nil {
 			return err
 		}
@@ -416,21 +402,21 @@ func (e *Executable) runKernel(u *unit, vals []int64, valueOf func(*graph.Node) 
 		bytes += float64(4 * len(v))
 	}
 	for oi, out := range grp.Outputs {
-		buf := e.Pool.Get(refsNumel(vals, u.outShapeRefs[oi]))
-		env[out] = buf
-		owned[out] = buf
+		buf := rc.sess.Get(refsNumel(vals, u.outShapeRefs[oi]))
+		rc.env[out] = buf
+		rc.owned[out] = buf
 		bufs = append(bufs, buf)
 		bytes += float64(4 * len(buf))
 	}
 	var scratches [][]float32
 	for i := 0; i < k.ScratchRows; i++ {
-		scratch := e.Pool.Get(rowLen)
+		scratch := rc.sess.Get(rowLen)
 		scratches = append(scratches, scratch)
 		bufs = append(bufs, scratch)
 	}
 	defer func() {
 		for _, sc := range scratches {
-			e.Pool.Put(sc)
+			rc.sess.Put(sc)
 		}
 	}()
 
@@ -448,8 +434,8 @@ func (e *Executable) runKernel(u *unit, vals []int64, valueOf func(*graph.Node) 
 		MemEfficiency:     variant.MemEfficiency,
 		ComputeEfficiency: variant.ComputeEfficiency,
 	}
-	prof.Host(e.opts.HostDispatchNs)
-	prof.Launch(k.Name, variant.Name, cost.Bytes, cost.Flops, e.Dev.KernelTimeNs(cost))
+	rc.prof.Host(e.opts.HostDispatchNs)
+	rc.prof.Launch(k.Name, variant.Name, cost.Bytes, cost.Flops, e.Dev.KernelTimeNs(cost))
 	return nil
 }
 

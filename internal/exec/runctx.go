@@ -1,0 +1,105 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+
+	"godisc/internal/graph"
+	"godisc/internal/ral"
+	"godisc/internal/tensor"
+)
+
+// runCtx is the mutable state of ONE invocation of an Executable. Every
+// piece of per-run state — the value environment, pooled-buffer ownership,
+// the profiler, the pool session — lives here and nowhere on the
+// Executable, so one compiled engine can serve N goroutines concurrently:
+// Run simply builds a fresh runCtx per call. The Executable itself is
+// immutable after Compile (units, shape program, constants, liveness plan),
+// and the shared Pool is internally locked.
+type runCtx struct {
+	exe    *Executable
+	ctx    context.Context
+	done   <-chan struct{}
+	inputs []*tensor.Tensor
+	// vals is the evaluated shape-program slot array for this call's
+	// concrete input shapes.
+	vals []int64
+	// env maps every materialized value to its flat buffer.
+	env map[*graph.Node][]float32
+	// owned tracks which env buffers came from the pool and are still
+	// held by this run; they return to the pool at their liveness point
+	// or at release().
+	owned map[*graph.Node][]float32
+	// sess is this run's pool session (per-run accounting over the
+	// shared pool).
+	sess *ral.Session
+	// prof receives this run's simulated profile.
+	prof *ral.Profiler
+}
+
+// newRunCtx opens the per-call state for one invocation.
+func (e *Executable) newRunCtx(ctx context.Context, inputs []*tensor.Tensor, vals []int64) *runCtx {
+	return &runCtx{
+		exe:    e,
+		ctx:    ctx,
+		done:   ctx.Done(),
+		inputs: inputs,
+		vals:   vals,
+		env:    map[*graph.Node][]float32{},
+		owned:  map[*graph.Node][]float32{},
+		sess:   e.Pool.Session(),
+		prof:   ral.NewProfiler(),
+	}
+}
+
+// cancelled reports the context error once the context is done. It is
+// checked between units, so a cancelled request stops before its next
+// kernel launch (kernels themselves are short).
+func (rc *runCtx) cancelled() error {
+	if rc.done == nil {
+		return nil
+	}
+	select {
+	case <-rc.done:
+		return rc.ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// valueOf returns the flat buffer of a computed or source value.
+func (rc *runCtx) valueOf(n *graph.Node) ([]float32, error) {
+	if v, ok := rc.env[n]; ok {
+		return v, nil
+	}
+	switch n.Kind {
+	case graph.OpParameter:
+		v := flatten(rc.inputs[n.ParamIndex])
+		rc.env[n] = v
+		return v, nil
+	case graph.OpConstant:
+		return rc.exe.constBufs[n], nil
+	}
+	return nil, fmt.Errorf("exec: value of %%%d (%s) not yet computed", n.ID, n.Kind)
+}
+
+// freeDead returns pooled buffers whose last use was unit i (compile-time
+// liveness planning).
+func (rc *runCtx) freeDead(i int) {
+	for _, dead := range rc.exe.freeAt[i] {
+		if buf, ok := rc.owned[dead]; ok {
+			rc.sess.Put(buf)
+			delete(rc.owned, dead)
+		}
+	}
+}
+
+// release returns every pooled buffer this run still holds. It runs on
+// every exit path (including cancellation and kernel errors) so one failed
+// request can never leak pool memory from under concurrent ones.
+func (rc *runCtx) release() {
+	for n, b := range rc.owned {
+		rc.sess.Put(b)
+		delete(rc.owned, n)
+	}
+}

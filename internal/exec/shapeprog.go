@@ -3,6 +3,8 @@ package exec
 import (
 	"fmt"
 
+	"godisc/internal/discerr"
+
 	"godisc/internal/graph"
 	"godisc/internal/symshape"
 )
@@ -172,32 +174,32 @@ func (p *shapeProgram) Run(inputShapes [][]int) ([]int64, error) {
 	set := make([]bool, p.slots)
 	for _, f := range p.fills {
 		if f.Param >= len(inputShapes) || f.Dim >= len(inputShapes[f.Param]) {
-			return nil, fmt.Errorf("exec: input %d has too few dims", f.Param)
+			return nil, fmt.Errorf("exec: input %d has too few dims: %w", f.Param, discerr.ErrShapeMismatch)
 		}
 		v := int64(inputShapes[f.Param][f.Dim])
 		if v < 0 {
-			return nil, fmt.Errorf("exec: input %d dim %d is negative", f.Param, f.Dim)
+			return nil, fmt.Errorf("exec: input %d dim %d is negative: %w", f.Param, f.Dim, discerr.ErrShapeMismatch)
 		}
 		if f.Slot < 0 {
 			if v != f.Static {
-				return nil, fmt.Errorf("exec: input %d dim %d must be %d, got %d", f.Param, f.Dim, f.Static, v)
+				return nil, fmt.Errorf("exec: input %d dim %d must be %d, got %d: %w", f.Param, f.Dim, f.Static, v, discerr.ErrShapeMismatch)
 			}
 			continue
 		}
 		if set[f.Slot] {
 			if vals[f.Slot] != v {
-				return nil, fmt.Errorf("exec: input %d dim %d bound to both %d and %d (same symbolic dimension)",
-					f.Param, f.Dim, vals[f.Slot], v)
+				return nil, fmt.Errorf("exec: input %d dim %d bound to both %d and %d (same symbolic dimension): %w",
+					f.Param, f.Dim, vals[f.Slot], v, discerr.ErrShapeMismatch)
 			}
 			continue
 		}
 		if v < f.Lo || v > f.Hi {
-			return nil, fmt.Errorf("exec: input %d dim %d = %d outside declared range [%d,%d]",
-				f.Param, f.Dim, v, f.Lo, f.Hi)
+			return nil, fmt.Errorf("exec: input %d dim %d = %d outside declared range [%d,%d]: %w",
+				f.Param, f.Dim, v, f.Lo, f.Hi, discerr.ErrShapeMismatch)
 		}
 		if f.Div > 1 && v%f.Div != 0 {
-			return nil, fmt.Errorf("exec: input %d dim %d = %d violates divisibility by %d",
-				f.Param, f.Dim, v, f.Div)
+			return nil, fmt.Errorf("exec: input %d dim %d = %d violates divisibility by %d: %w",
+				f.Param, f.Dim, v, f.Div, discerr.ErrShapeMismatch)
 		}
 		vals[f.Slot] = v
 		set[f.Slot] = true
@@ -237,7 +239,7 @@ func (p *shapeProgram) Run(inputShapes [][]int) ([]int64, error) {
 				return nil, err
 			}
 			if v%s.A != 0 {
-				return nil, fmt.Errorf("exec: %d not divisible by %d in derived dimension", v, s.A)
+				return nil, fmt.Errorf("exec: %d not divisible by %d in derived dimension: %w", v, s.A, discerr.ErrShapeMismatch)
 			}
 			out = v / s.A
 		case stepAffine:
@@ -247,7 +249,7 @@ func (p *shapeProgram) Run(inputShapes [][]int) ([]int64, error) {
 			}
 			out = s.A*v + s.B
 			if out < 0 {
-				return nil, fmt.Errorf("exec: derived dimension %d*%d%+d is negative", s.A, v, s.B)
+				return nil, fmt.Errorf("exec: derived dimension %d*%d%+d is negative: %w", s.A, v, s.B, discerr.ErrShapeMismatch)
 			}
 		}
 		vals[s.Slot] = out

@@ -5,6 +5,7 @@ import (
 
 	"godisc/internal/codegen"
 	"godisc/internal/device"
+	"godisc/internal/discerr"
 	"godisc/internal/ral"
 )
 
@@ -16,7 +17,8 @@ import (
 // shape program with Run.
 func (e *Executable) Simulate(inputShapes [][]int) (*ral.Profiler, error) {
 	if len(inputShapes) != len(e.Graph.Params) {
-		return nil, fmt.Errorf("exec: %d input shapes for %d parameters", len(inputShapes), len(e.Graph.Params))
+		return nil, fmt.Errorf("exec: %d input shapes for %d parameters: %w",
+			len(inputShapes), len(e.Graph.Params), discerr.ErrShapeMismatch)
 	}
 	vals, err := e.prog.Run(inputShapes)
 	if err != nil {

@@ -88,14 +88,51 @@ type PoolStats struct {
 	Allocs    int
 	Reuses    int
 	PeakElems int64
+	// InUseElems is the rounded element count currently checked out.
+	// After every run has released its buffers it must be zero.
+	InUseElems int64
 }
 
 // Stats returns a snapshot.
 func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return PoolStats{Allocs: p.allocs, Reuses: p.reuses, PeakElems: p.peak}
+	return PoolStats{Allocs: p.allocs, Reuses: p.reuses, PeakElems: p.peak, InUseElems: p.inUse}
 }
+
+// Session is a per-run view of a shared Pool: each invocation of an
+// executable opens one, routes every Get/Put through it, and thereby keeps
+// per-run bookkeeping (outstanding buffers, traffic) out of the shared
+// pool. The pool itself is safe for concurrent use; a Session belongs to
+// exactly one run and must not be shared between goroutines.
+type Session struct {
+	pool *Pool
+	gets int
+	puts int
+}
+
+// Session opens a per-run handle on the pool.
+func (p *Pool) Session() *Session { return &Session{pool: p} }
+
+// Get draws a zeroed buffer of len n from the underlying pool.
+func (s *Session) Get(n int) []float32 {
+	s.gets++
+	return s.pool.Get(n)
+}
+
+// Put returns a buffer drawn by this session to the underlying pool.
+func (s *Session) Put(buf []float32) {
+	if buf == nil {
+		return
+	}
+	s.puts++
+	s.pool.Put(buf)
+}
+
+// Outstanding reports buffers drawn but not yet returned. After a run has
+// released everything it must be zero — the invariant the concurrency
+// tests assert so that leaks in one request cannot starve the others.
+func (s *Session) Outstanding() int { return s.gets - s.puts }
 
 // Profiler accumulates the simulated execution profile of a run (or many).
 type Profiler struct {
@@ -198,19 +235,38 @@ func (pr *Profiler) String() string {
 // Cache is the compilation cache. BladeDISC keys it by *symbolic
 // signature*, so one entry serves all concrete shapes; static compilers key
 // by concrete shapes, paying one compilation per distinct shape tuple
-// (experiment E9 contrasts the two).
+// (experiment E9 contrasts the two). Concurrent misses on the same key are
+// singleflight-deduplicated: one caller compiles, the rest wait and share
+// the result — the property a serving frontend needs when a burst of first
+// requests arrives for a model that is not compiled yet.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[string]any
-	hits    int
-	misses  int
+	mu       sync.Mutex
+	entries  map[string]any
+	inflight map[string]*flightCall
+	hits     int
+	misses   int
+	shared   int
+}
+
+// flightCall is one in-progress compilation that concurrent callers of the
+// same key wait on.
+type flightCall struct {
+	done chan struct{}
+	v    any
+	err  error
 }
 
 // NewCache returns an empty cache.
-func NewCache() *Cache { return &Cache{entries: map[string]any{}} }
+func NewCache() *Cache {
+	return &Cache{entries: map[string]any{}, inflight: map[string]*flightCall{}}
+}
 
 // GetOrCompile returns the cached value for key, or invokes compile and
-// stores the result. The boolean reports whether it was a hit.
+// stores the result. The boolean reports whether it was a hit. If another
+// goroutine is already compiling the same key, the call blocks until that
+// compilation finishes and shares its outcome (reported as a hit: this
+// caller did not pay for a compilation). A failed compilation is not
+// cached; the next request retries.
 func (c *Cache) GetOrCompile(key string, compile func() (any, error)) (any, bool, error) {
 	c.mu.Lock()
 	if v, ok := c.entries[key]; ok {
@@ -218,16 +274,26 @@ func (c *Cache) GetOrCompile(key string, compile func() (any, error)) (any, bool
 		c.mu.Unlock()
 		return v, true, nil
 	}
+	if fc, ok := c.inflight[key]; ok {
+		c.shared++
+		c.mu.Unlock()
+		<-fc.done
+		return fc.v, true, fc.err
+	}
+	fc := &flightCall{done: make(chan struct{})}
+	c.inflight[key] = fc
 	c.misses++
 	c.mu.Unlock()
-	v, err := compile()
-	if err != nil {
-		return nil, false, err
-	}
+
+	fc.v, fc.err = compile()
 	c.mu.Lock()
-	c.entries[key] = v
+	if fc.err == nil {
+		c.entries[key] = fc.v
+	}
+	delete(c.inflight, key)
 	c.mu.Unlock()
-	return v, false, nil
+	close(fc.done)
+	return fc.v, false, fc.err
 }
 
 // Contains reports whether key is cached, counting a hit if so.
@@ -238,9 +304,12 @@ func (c *Cache) Contains(key string) bool {
 	return ok
 }
 
-// Stats returns (hits, misses, entries).
+// Stats returns (hits, misses, entries). A caller that waited on another
+// goroutine's in-flight compilation counts as a hit; misses count started
+// compilations, so misses == number of times the compile callback ran
+// (successful or not).
 func (c *Cache) Stats() (hits, misses, entries int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, len(c.entries)
+	return c.hits + c.shared, c.misses, len(c.entries)
 }

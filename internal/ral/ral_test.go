@@ -3,6 +3,8 @@ package ral
 import (
 	"errors"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -105,5 +107,107 @@ func TestCachePropagatesErrors(t *testing.T) {
 	// Failed compiles are not cached.
 	if _, hit, err := c.GetOrCompile("x", func() (any, error) { return 1, nil }); err != nil || hit {
 		t.Fatalf("retry: hit=%v err=%v", hit, err)
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache()
+	var calls int32
+	started := make(chan struct{})
+	release := make(chan struct{})
+	compile := func() (any, error) {
+		atomic.AddInt32(&calls, 1)
+		close(started)
+		<-release
+		return "engine", nil
+	}
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([]any, waiters)
+	hits := make([]bool, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, hit, err := c.GetOrCompile("sig", compile)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i], hits[i] = v, hit
+		}(i)
+	}
+	<-started // one compilation is in flight
+	release <- struct{}{}
+	close(release)
+	wg.Wait()
+
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Fatalf("compile ran %d times, want 1", got)
+	}
+	nHit := 0
+	for i := range results {
+		if results[i] != "engine" {
+			t.Fatalf("result[%d] = %v", i, results[i])
+		}
+		if hits[i] {
+			nHit++
+		}
+	}
+	if nHit != waiters-1 {
+		t.Fatalf("%d hits, want %d (everyone but the compiler)", nHit, waiters-1)
+	}
+	h, m, e := c.Stats()
+	if h != waiters-1 || m != 1 || e != 1 {
+		t.Fatalf("stats %d/%d/%d", h, m, e)
+	}
+}
+
+func TestCacheSingleflightErrorNotCached(t *testing.T) {
+	c := NewCache()
+	boom := errors.New("boom")
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-gate
+			_, _, errs[i] = c.GetOrCompile("k", func() (any, error) { return nil, boom })
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Fatalf("errs[%d] = %v", i, err)
+		}
+	}
+	// The failure was not cached: a later compile succeeds.
+	if v, hit, err := c.GetOrCompile("k", func() (any, error) { return 7, nil }); err != nil || hit || v != 7 {
+		t.Fatalf("retry: %v %v %v", v, hit, err)
+	}
+}
+
+func TestSessionAccounting(t *testing.T) {
+	p := NewPool()
+	s := p.Session()
+	a := s.Get(64)
+	b := s.Get(32)
+	if s.Outstanding() != 2 {
+		t.Fatalf("outstanding = %d", s.Outstanding())
+	}
+	s.Put(a)
+	s.Put(b)
+	s.Put(nil) // no-op
+	if s.Outstanding() != 0 {
+		t.Fatalf("outstanding after release = %d", s.Outstanding())
+	}
+	// Buffers went back to the shared pool: a fresh session reuses them.
+	s2 := p.Session()
+	_ = s2.Get(64)
+	if st := p.Stats(); st.Reuses == 0 {
+		t.Fatal("session buffers must return to the shared pool")
 	}
 }

@@ -1,0 +1,323 @@
+// Package serve is the concurrent serving runtime layered over the
+// shape-generic compiler: the production face of the paper's compilation
+// cache. A Server owns
+//
+//   - a registry of named model builders;
+//   - a signature-keyed engine cache — each model compiles once per
+//     *symbolic* shape signature (the paper's cache key), and the
+//     singleflight compilation cache guarantees a burst of concurrent
+//     first requests pays for exactly one compilation;
+//   - bounded admission — MaxConcurrent requests execute at once, up to
+//     QueueDepth more wait (honouring per-request deadline/cancellation),
+//     and anything beyond that is rejected immediately with
+//     discerr.ErrQueueFull instead of collapsing under load;
+//   - a stats collector exposing requests, cache behaviour, queue depth
+//     and p50/p99 simulated latency as a Stats snapshot.
+//
+// Execution itself is concurrency-safe because exec.RunContext keeps all
+// per-run mutable state in a per-call run context; the server simply
+// dispatches N goroutines into one cached engine.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"godisc/internal/discerr"
+	"godisc/internal/exec"
+	"godisc/internal/graph"
+	"godisc/internal/ral"
+	"godisc/internal/symshape"
+	"godisc/internal/tensor"
+)
+
+// Engine is the executable contract the server dispatches requests to.
+// *exec.Executable implements it; tests substitute stubs.
+type Engine interface {
+	RunContext(ctx context.Context, inputs []*tensor.Tensor) (*exec.Result, error)
+}
+
+// CompileFunc lowers a freshly built graph into an Engine. The server
+// invokes it at most once per (model, symbolic signature) — under the
+// singleflight cache — no matter how many requests race on a cold model.
+type CompileFunc func(g *graph.Graph) (Engine, error)
+
+// Config parameterizes admission control.
+type Config struct {
+	// MaxConcurrent is the number of requests executing at once
+	// (default: GOMAXPROCS).
+	MaxConcurrent int
+	// QueueDepth bounds how many admitted-but-waiting requests may queue
+	// (default 64; negative means no queueing — reject when all
+	// execution slots are busy).
+	QueueDepth int
+}
+
+// Request is one inference call.
+type Request struct {
+	// Model names a registered builder.
+	Model string
+	// Inputs are the concrete tensors; any shapes consistent with the
+	// model's symbolic parameter shapes are accepted.
+	Inputs []*tensor.Tensor
+}
+
+// Response is the outcome of one admitted, executed request.
+type Response struct {
+	Outputs []*tensor.Tensor
+	// Profile is this request's simulated execution profile.
+	Profile *ral.Profiler
+	// CacheHit reports whether the engine came from the cache (false
+	// exactly for the request that paid for the compilation).
+	CacheHit bool
+	// Signature is the symbolic cache key the request mapped to.
+	Signature string
+	// QueueNs is wall time spent waiting for an execution slot.
+	QueueNs int64
+}
+
+// Server is a concurrency-safe inference frontend over compiled engines.
+type Server struct {
+	cfg     Config
+	compile CompileFunc
+	cache   *ral.Cache
+
+	mu     sync.Mutex
+	models map[string]*modelEntry
+
+	// sem holds one token per executing request.
+	sem chan struct{}
+
+	// closeMu serializes Close against in-flight Infers: every Infer
+	// holds the read side for its duration.
+	closeMu sync.RWMutex
+	closed  bool
+
+	stats *collector
+}
+
+// modelEntry is one registered builder plus its lazily computed symbolic
+// signature.
+type modelEntry struct {
+	name    string
+	build   func() *graph.Graph
+	sigOnce sync.Once
+	sig     string
+	sigErr  error
+}
+
+// signature builds one throwaway graph to derive the symbolic signature
+// of the model's parameter shapes — the engine-cache key. Builders are
+// deterministic, so the signature is computed once and reused.
+func (m *modelEntry) signature() (string, error) {
+	m.sigOnce.Do(func() {
+		g := m.build()
+		if g == nil {
+			m.sigErr = fmt.Errorf("serve: model %q: builder returned nil graph", m.name)
+			return
+		}
+		shapes := make([]symshape.Shape, len(g.Params))
+		for i, p := range g.Params {
+			shapes[i] = p.Shape
+		}
+		m.sig = g.Ctx.Signature(shapes)
+	})
+	return m.sig, m.sigErr
+}
+
+// New returns a server that compiles engines with the given function.
+func New(cfg Config, compile CompileFunc) *Server {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case cfg.QueueDepth == 0:
+		cfg.QueueDepth = 64
+	case cfg.QueueDepth < 0:
+		cfg.QueueDepth = 0
+	}
+	return &Server{
+		cfg:     cfg,
+		compile: compile,
+		cache:   ral.NewCache(),
+		models:  map[string]*modelEntry{},
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		stats:   newCollector(),
+	}
+}
+
+// Register adds a named model builder. Builders must be deterministic
+// (same graph, same weights on every call) and are invoked lazily: once
+// to derive the signature and once per compiled engine.
+func (s *Server) Register(name string, build func() *graph.Graph) error {
+	if build == nil {
+		return fmt.Errorf("serve: model %q: nil builder", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.models[name]; dup {
+		return fmt.Errorf("serve: model %q already registered", name)
+	}
+	s.models[name] = &modelEntry{name: name, build: build}
+	return nil
+}
+
+// lookup returns the entry for a model name.
+func (s *Server) lookup(name string) (*modelEntry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.models[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown model %q", name)
+	}
+	return m, nil
+}
+
+// engine returns the cached engine for a model, compiling under the
+// signature-keyed singleflight cache on a cold key. The cache key scopes
+// the symbolic signature by model name, since two models with identical
+// signatures still differ in weights.
+func (s *Server) engine(m *modelEntry) (Engine, string, bool, error) {
+	sig, err := m.signature()
+	if err != nil {
+		return nil, "", false, err
+	}
+	key := m.name + "@" + sig
+	v, hit, err := s.cache.GetOrCompile(key, func() (any, error) {
+		eng, err := s.compile(m.build())
+		if err != nil {
+			return nil, fmt.Errorf("serve: model %q (signature %s): %v: %w",
+				m.name, sig, err, discerr.ErrCompileFailed)
+		}
+		return eng, nil
+	})
+	if err != nil {
+		return nil, sig, hit, err
+	}
+	return v.(Engine), sig, hit, nil
+}
+
+// Warm compiles a model's engine eagerly (outside admission control), so
+// the first real request finds a hot cache.
+func (s *Server) Warm(model string) error {
+	m, err := s.lookup(model)
+	if err != nil {
+		return err
+	}
+	_, _, _, err = s.engine(m)
+	return err
+}
+
+// Infer runs one request end to end: admission, engine lookup/compile,
+// execution. It is safe to call from any number of goroutines. Errors
+// wrap the discerr sentinels: ErrQueueFull (rejected by admission),
+// ErrServerClosed, ErrCompileFailed, ErrShapeMismatch (bad inputs), plus
+// ctx.Err() when the request's context expires while queued or mid-run.
+func (s *Server) Infer(ctx context.Context, req *Request) (*Response, error) {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	s.stats.request()
+	if s.closed {
+		s.stats.rejected()
+		return nil, fmt.Errorf("serve: %w", discerr.ErrServerClosed)
+	}
+	m, err := s.lookup(req.Model)
+	if err != nil {
+		s.stats.failed()
+		return nil, err
+	}
+
+	queueStart := time.Now()
+	release, err := s.admit(ctx)
+	if err != nil {
+		switch {
+		case ctx.Err() != nil:
+			s.stats.canceled()
+		default:
+			s.stats.rejected()
+		}
+		return nil, err
+	}
+	defer release()
+	queueNs := time.Since(queueStart).Nanoseconds()
+
+	eng, sig, hit, err := s.engine(m)
+	if err != nil {
+		s.stats.failed()
+		return nil, err
+	}
+	if hit {
+		s.stats.cacheHit()
+	} else {
+		s.stats.cacheMiss()
+	}
+
+	res, err := eng.RunContext(ctx, req.Inputs)
+	if err != nil {
+		if ctx.Err() != nil {
+			s.stats.canceled()
+			return nil, err
+		}
+		s.stats.failed()
+		return nil, err
+	}
+	s.stats.completed(res.Profile.SimulatedNs)
+	return &Response{
+		Outputs:   res.Outputs,
+		Profile:   res.Profile,
+		CacheHit:  hit,
+		Signature: sig,
+		QueueNs:   queueNs,
+	}, nil
+}
+
+// admit acquires an execution slot, queueing up to QueueDepth waiters.
+// It returns the release func, or ErrQueueFull / ctx.Err().
+func (s *Server) admit(ctx context.Context) (func(), error) {
+	// Fast path: a slot is free.
+	select {
+	case s.sem <- struct{}{}:
+		s.stats.running(+1)
+		return s.release, nil
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if !s.stats.tryEnqueue(s.cfg.QueueDepth) {
+		return nil, fmt.Errorf("serve: %d executing, %d queued: %w",
+			s.cfg.MaxConcurrent, s.cfg.QueueDepth, discerr.ErrQueueFull)
+	}
+	defer s.stats.dequeue()
+	select {
+	case s.sem <- struct{}{}:
+		s.stats.running(+1)
+		return s.release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// release frees one execution slot.
+func (s *Server) release() {
+	<-s.sem
+	s.stats.running(-1)
+}
+
+// Stats returns a point-in-time snapshot of serving counters.
+func (s *Server) Stats() Stats {
+	st := s.stats.snapshot()
+	_, _, st.Engines = s.cache.Stats()
+	return st
+}
+
+// Close marks the server closed and waits for in-flight requests to
+// drain. Later Infer calls fail with discerr.ErrServerClosed.
+func (s *Server) Close() {
+	s.closeMu.Lock()
+	s.closed = true
+	s.closeMu.Unlock()
+}

@@ -1,0 +1,446 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"godisc/internal/device"
+	"godisc/internal/discerr"
+	"godisc/internal/exec"
+	"godisc/internal/fusion"
+	"godisc/internal/graph"
+	"godisc/internal/opt"
+	"godisc/internal/ral"
+	"godisc/internal/symshape"
+	"godisc/internal/tensor"
+)
+
+// realCompile is the full pipeline as a CompileFunc, with an atomic
+// counter so tests can assert exactly how many compilations ran.
+func realCompile(calls *int32) CompileFunc {
+	return func(g *graph.Graph) (Engine, error) {
+		if calls != nil {
+			atomic.AddInt32(calls, 1)
+		}
+		if _, err := opt.Default().Run(g); err != nil {
+			return nil, err
+		}
+		plan, err := fusion.NewPlanner(fusion.DefaultConfig()).Plan(g)
+		if err != nil {
+			return nil, err
+		}
+		return exec.Compile(g, plan, device.A10(), exec.DefaultOptions())
+	}
+}
+
+// buildMLP is a deterministic two-layer model with a dynamic batch axis.
+func buildMLP() *graph.Graph {
+	g := graph.New("mlp")
+	r := tensor.NewRNG(42)
+	b := g.Ctx.NewDim("B")
+	g.Ctx.DeclareRange(b, 1, 128)
+	x := g.Parameter("x", tensor.F32, symshape.Shape{b, g.Ctx.StaticDim(12)})
+	w1 := g.Constant(tensor.RandN(r, 0.2, 12, 20))
+	w2 := g.Constant(tensor.RandN(r, 0.2, 20, 4))
+	g.SetOutputs(g.MatMul(g.Relu(g.MatMul(x, w1)), w2))
+	return g
+}
+
+// buildSoftmaxNet has a different symbolic signature (two dynamic axes).
+func buildSoftmaxNet() *graph.Graph {
+	g := graph.New("softmaxnet")
+	b := g.Ctx.NewDim("B")
+	s := g.Ctx.NewDim("S")
+	g.Ctx.DeclareRange(b, 1, 64)
+	g.Ctx.DeclareRange(s, 1, 512)
+	x := g.Parameter("x", tensor.F32, symshape.Shape{b, s})
+	g.SetOutputs(g.Softmax(g.Tanh(x)))
+	return g
+}
+
+// TestConcurrentInferSingleCompile sends 16 concurrent first requests with
+// mixed dynamic shapes through one model: the signature-keyed singleflight
+// cache must compile exactly once, every request must succeed, and every
+// output must match the reference interpreter.
+func TestConcurrentInferSingleCompile(t *testing.T) {
+	var compiles int32
+	s := New(Config{MaxConcurrent: 16}, realCompile(&compiles))
+	if err := s.Register("mlp", buildMLP); err != nil {
+		t.Fatal(err)
+	}
+
+	ref := buildMLP()
+	batches := []int{1, 2, 3, 5, 8, 13, 21, 34}
+	r := tensor.NewRNG(9)
+	inputs := make([]*tensor.Tensor, len(batches))
+	wants := make([][]*tensor.Tensor, len(batches))
+	for i, b := range batches {
+		inputs[i] = tensor.RandN(r, 0.7, b, 12)
+		want, err := graph.Evaluate(ref, []*tensor.Tensor{inputs[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = want
+	}
+
+	const requests = 16
+	var wg sync.WaitGroup
+	errc := make(chan error, requests)
+	hits := make([]bool, requests)
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ci := i % len(batches)
+			resp, err := s.Infer(context.Background(), &Request{Model: "mlp", Inputs: []*tensor.Tensor{inputs[ci]}})
+			if err != nil {
+				errc <- err
+				return
+			}
+			hits[i] = resp.CacheHit
+			if err := tensor.AllClose(resp.Outputs[0], wants[ci][0], 1e-4, 1e-5); err != nil {
+				errc <- fmt.Errorf("request %d: %w", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	if got := atomic.LoadInt32(&compiles); got != 1 {
+		t.Fatalf("compiled %d times under concurrent first requests, want 1", got)
+	}
+	nMiss := 0
+	for _, h := range hits {
+		if !h {
+			nMiss++
+		}
+	}
+	if nMiss != 1 {
+		t.Fatalf("%d cache misses, want exactly 1", nMiss)
+	}
+	st := s.Stats()
+	if st.Requests != requests || st.Completed != requests {
+		t.Fatalf("stats: %s", st)
+	}
+	if st.Engines != 1 || st.CacheMisses != 1 || st.CacheHits != requests-1 {
+		t.Fatalf("cache stats: %s", st)
+	}
+	if st.P50SimNs <= 0 || st.P99SimNs < st.P50SimNs {
+		t.Fatalf("latency percentiles: %s", st)
+	}
+}
+
+// TestDistinctSignaturesCompileOnceEach mixes concurrent first requests
+// for two models with different symbolic signatures: exactly one
+// compilation per signature.
+func TestDistinctSignaturesCompileOnceEach(t *testing.T) {
+	var compiles int32
+	s := New(Config{MaxConcurrent: 8}, realCompile(&compiles))
+	if err := s.Register("mlp", buildMLP); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("softmaxnet", buildSoftmaxNet); err != nil {
+		t.Fatal(err)
+	}
+
+	r := tensor.NewRNG(5)
+	mlpIn := tensor.RandN(r, 0.5, 4, 12)
+	smIn := tensor.RandN(r, 0.5, 2, 17)
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 12)
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := &Request{Model: "mlp", Inputs: []*tensor.Tensor{mlpIn}}
+			if i%2 == 1 {
+				req = &Request{Model: "softmaxnet", Inputs: []*tensor.Tensor{smIn}}
+			}
+			if _, err := s.Infer(context.Background(), req); err != nil {
+				errc <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt32(&compiles); got != 2 {
+		t.Fatalf("compiled %d times, want 2 (one per signature)", got)
+	}
+	if st := s.Stats(); st.Engines != 2 {
+		t.Fatalf("engines = %d, want 2", st.Engines)
+	}
+}
+
+// stubEngine blocks until released, so admission tests control timing.
+type stubEngine struct {
+	started chan struct{}
+	release chan struct{}
+}
+
+func (e *stubEngine) RunContext(ctx context.Context, inputs []*tensor.Tensor) (*exec.Result, error) {
+	if e.started != nil {
+		e.started <- struct{}{}
+	}
+	select {
+	case <-e.release:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return &exec.Result{Profile: ral.NewProfiler()}, nil
+}
+
+// stubServer returns a warmed server whose single model runs on stub.
+func stubServer(t *testing.T, cfg Config, stub *stubEngine) *Server {
+	t.Helper()
+	s := New(cfg, func(*graph.Graph) (Engine, error) { return stub, nil })
+	if err := s.Register("m", buildMLP); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Warm("m"); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 2000; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+// TestQueueFullRejection: with one execution slot and one queue slot, a
+// third concurrent request is rejected with ErrQueueFull; the first two
+// complete once the engine unblocks.
+func TestQueueFullRejection(t *testing.T) {
+	stub := &stubEngine{started: make(chan struct{}, 8), release: make(chan struct{})}
+	s := stubServer(t, Config{MaxConcurrent: 1, QueueDepth: 1}, stub)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.Infer(context.Background(), &Request{Model: "m"})
+		}(i)
+	}
+	<-stub.started // one request is executing
+	waitFor(t, "one queued request", func() bool { return s.Stats().QueueDepth == 1 })
+
+	_, err := s.Infer(context.Background(), &Request{Model: "m"})
+	if !errors.Is(err, discerr.ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+
+	close(stub.release)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.Completed != 2 || st.Rejected != 1 || st.QueueDepth != 0 || st.PeakQueueDepth != 1 {
+		t.Fatalf("stats: %s", st)
+	}
+}
+
+// TestQueuedRequestCancellation: a queued request whose context is
+// cancelled leaves the queue with ctx.Err().
+func TestQueuedRequestCancellation(t *testing.T) {
+	stub := &stubEngine{started: make(chan struct{}, 8), release: make(chan struct{})}
+	s := stubServer(t, Config{MaxConcurrent: 1, QueueDepth: 4}, stub)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var firstErr error
+	go func() {
+		defer wg.Done()
+		_, firstErr = s.Infer(context.Background(), &Request{Model: "m"})
+	}()
+	<-stub.started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	wg.Add(1)
+	var queuedErr error
+	go func() {
+		defer wg.Done()
+		_, queuedErr = s.Infer(ctx, &Request{Model: "m"})
+	}()
+	waitFor(t, "request to queue", func() bool { return s.Stats().QueueDepth == 1 })
+	cancel()
+	waitFor(t, "queue to drain", func() bool { return s.Stats().QueueDepth == 0 })
+
+	close(stub.release)
+	wg.Wait()
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	if !errors.Is(queuedErr, context.Canceled) {
+		t.Fatalf("queued err = %v, want context.Canceled", queuedErr)
+	}
+	if st := s.Stats(); st.Canceled != 1 {
+		t.Fatalf("stats: %s", st)
+	}
+}
+
+// TestDeadlineMidRun: a request whose deadline expires while the engine
+// is executing returns DeadlineExceeded (the engine observes ctx).
+func TestDeadlineMidRun(t *testing.T) {
+	stub := &stubEngine{release: make(chan struct{})}
+	s := stubServer(t, Config{MaxConcurrent: 2}, stub)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := s.Infer(ctx, &Request{Model: "m"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if st := s.Stats(); st.Canceled != 1 {
+		t.Fatalf("stats: %s", st)
+	}
+}
+
+// TestServerClose: Infer after Close fails with ErrServerClosed; Close
+// waits for in-flight requests.
+func TestServerClose(t *testing.T) {
+	stub := &stubEngine{started: make(chan struct{}, 8), release: make(chan struct{})}
+	s := stubServer(t, Config{MaxConcurrent: 2}, stub)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var inflightErr error
+	go func() {
+		defer wg.Done()
+		_, inflightErr = s.Infer(context.Background(), &Request{Model: "m"})
+	}()
+	<-stub.started
+
+	closed := make(chan struct{})
+	go func() {
+		s.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a request was in flight")
+	case <-time.After(30 * time.Millisecond):
+	}
+
+	close(stub.release)
+	wg.Wait()
+	<-closed
+	if inflightErr != nil {
+		t.Fatal(inflightErr)
+	}
+	if _, err := s.Infer(context.Background(), &Request{Model: "m"}); !errors.Is(err, discerr.ErrServerClosed) {
+		t.Fatalf("err = %v, want ErrServerClosed", err)
+	}
+}
+
+// TestCompileFailure: a failing compile surfaces ErrCompileFailed, is not
+// cached, and the model name / signature appear in the message.
+func TestCompileFailure(t *testing.T) {
+	fails := int32(0)
+	s := New(Config{MaxConcurrent: 2}, func(g *graph.Graph) (Engine, error) {
+		if atomic.AddInt32(&fails, 1) == 1 {
+			return nil, errors.New("lowering exploded")
+		}
+		return &stubEngine{release: closedChan()}, nil
+	})
+	if err := s.Register("m", buildMLP); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Infer(context.Background(), &Request{Model: "m"})
+	if !errors.Is(err, discerr.ErrCompileFailed) {
+		t.Fatalf("err = %v, want ErrCompileFailed", err)
+	}
+	// Failure was not cached: the next request compiles again and works.
+	if _, err := s.Infer(context.Background(), &Request{Model: "m"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func closedChan() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}
+
+// TestUnknownModelAndBadInputs: lookup failures and shape mismatches are
+// typed.
+func TestUnknownModelAndBadInputs(t *testing.T) {
+	var compiles int32
+	s := New(Config{}, realCompile(&compiles))
+	if err := s.Register("mlp", buildMLP); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Infer(context.Background(), &Request{Model: "nope"}); err == nil {
+		t.Fatal("unknown model must fail")
+	}
+	bad := tensor.RandN(tensor.NewRNG(1), 1, 3, 13) // static dim must be 12
+	_, err := s.Infer(context.Background(), &Request{Model: "mlp", Inputs: []*tensor.Tensor{bad}})
+	if !errors.Is(err, discerr.ErrShapeMismatch) {
+		t.Fatalf("err = %v, want ErrShapeMismatch", err)
+	}
+	if st := s.Stats(); st.Failed != 2 {
+		t.Fatalf("stats: %s", st)
+	}
+}
+
+// TestWarm precompiles so the first request is a cache hit.
+func TestWarm(t *testing.T) {
+	var compiles int32
+	s := New(Config{}, realCompile(&compiles))
+	if err := s.Register("mlp", buildMLP); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Warm("mlp"); err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt32(&compiles); got != 1 {
+		t.Fatalf("warm compiled %d times", got)
+	}
+	in := tensor.RandN(tensor.NewRNG(2), 0.5, 3, 12)
+	resp, err := s.Infer(context.Background(), &Request{Model: "mlp", Inputs: []*tensor.Tensor{in}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.CacheHit {
+		t.Fatal("first request after Warm must hit the cache")
+	}
+	if resp.Signature == "" {
+		t.Fatal("response must carry the symbolic signature")
+	}
+}
+
+// TestRegisterValidation rejects nil builders and duplicate names.
+func TestRegisterValidation(t *testing.T) {
+	s := New(Config{}, realCompile(nil))
+	if err := s.Register("m", nil); err == nil {
+		t.Fatal("nil builder must be rejected")
+	}
+	if err := s.Register("m", buildMLP); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("m", buildMLP); err == nil {
+		t.Fatal("duplicate registration must be rejected")
+	}
+}

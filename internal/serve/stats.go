@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// latencyWindow bounds the latency sample buffer: percentiles are computed
+// over the most recent latencyWindow completed requests.
+const latencyWindow = 8192
+
+// Stats is a point-in-time snapshot of serving counters.
+type Stats struct {
+	// Requests counts every Infer call; Completed the ones that returned
+	// outputs. Rejected were refused by admission (queue full or server
+	// closed), Canceled expired on their context, Failed hit any other
+	// error (unknown model, compile failure, shape mismatch).
+	Requests, Completed, Rejected, Canceled, Failed int64
+
+	// CacheHits/CacheMisses count engine-cache lookups by executed
+	// requests; misses equal compilations paid for. Engines is the number
+	// of distinct (model, signature) entries compiled and cached.
+	CacheHits, CacheMisses int64
+	Engines                int
+
+	// QueueDepth is the current number of requests waiting for an
+	// execution slot; PeakQueueDepth its high-water mark. InFlight and
+	// PeakInFlight track executing requests the same way.
+	QueueDepth, PeakQueueDepth int
+	InFlight, PeakInFlight     int
+
+	// P50SimNs and P99SimNs are percentiles of per-request simulated
+	// execution latency over the recent completion window; TotalSimNs
+	// accumulates all completed requests.
+	P50SimNs, P99SimNs float64
+	TotalSimNs         float64
+}
+
+// String renders the snapshot for logs and CLIs.
+func (st Stats) String() string {
+	return fmt.Sprintf(
+		"requests=%d completed=%d rejected=%d canceled=%d failed=%d | "+
+			"engines=%d cache=%d/%d hit/miss | queue=%d (peak %d) inflight=%d (peak %d) | "+
+			"p50=%.1fµs p99=%.1fµs total=%.2fms",
+		st.Requests, st.Completed, st.Rejected, st.Canceled, st.Failed,
+		st.Engines, st.CacheHits, st.CacheMisses,
+		st.QueueDepth, st.PeakQueueDepth, st.InFlight, st.PeakInFlight,
+		st.P50SimNs/1e3, st.P99SimNs/1e3, st.TotalSimNs/1e6)
+}
+
+// collector accumulates counters under one mutex. Admission queueing uses
+// it too, so "queue depth vs limit" checks are atomic with the counters
+// they publish.
+type collector struct {
+	mu sync.Mutex
+
+	nRequests, nCompleted, nRejected, nCanceled, nFailed int64
+	nHits, nMisses                                       int64
+
+	queueDepth, peakQueue  int
+	inFlight, peakInFlight int
+	totalSimNs             float64
+	samples                []float64
+	next                   int
+}
+
+func newCollector() *collector {
+	return &collector{samples: make([]float64, 0, 256)}
+}
+
+func (c *collector) request()   { c.mu.Lock(); c.nRequests++; c.mu.Unlock() }
+func (c *collector) rejected()  { c.mu.Lock(); c.nRejected++; c.mu.Unlock() }
+func (c *collector) canceled()  { c.mu.Lock(); c.nCanceled++; c.mu.Unlock() }
+func (c *collector) failed()    { c.mu.Lock(); c.nFailed++; c.mu.Unlock() }
+func (c *collector) cacheHit()  { c.mu.Lock(); c.nHits++; c.mu.Unlock() }
+func (c *collector) cacheMiss() { c.mu.Lock(); c.nMisses++; c.mu.Unlock() }
+
+// completed records one successful request and its simulated latency.
+func (c *collector) completed(simNs float64) {
+	c.mu.Lock()
+	c.nCompleted++
+	c.totalSimNs += simNs
+	if len(c.samples) < latencyWindow {
+		c.samples = append(c.samples, simNs)
+	} else {
+		c.samples[c.next] = simNs
+		c.next = (c.next + 1) % latencyWindow
+	}
+	c.mu.Unlock()
+}
+
+// running tracks executing requests (+1 on slot acquire, -1 on release).
+func (c *collector) running(delta int) {
+	c.mu.Lock()
+	c.inFlight += delta
+	if c.inFlight > c.peakInFlight {
+		c.peakInFlight = c.inFlight
+	}
+	c.mu.Unlock()
+}
+
+// tryEnqueue admits one waiter if the queue is below limit.
+func (c *collector) tryEnqueue(limit int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.queueDepth >= limit {
+		return false
+	}
+	c.queueDepth++
+	if c.queueDepth > c.peakQueue {
+		c.peakQueue = c.queueDepth
+	}
+	return true
+}
+
+func (c *collector) dequeue() {
+	c.mu.Lock()
+	c.queueDepth--
+	c.mu.Unlock()
+}
+
+// snapshot computes the exported view, including percentiles over the
+// recent latency window.
+func (c *collector) snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		Requests: c.nRequests, Completed: c.nCompleted, Rejected: c.nRejected,
+		Canceled: c.nCanceled, Failed: c.nFailed,
+		CacheHits: c.nHits, CacheMisses: c.nMisses,
+		QueueDepth: c.queueDepth, PeakQueueDepth: c.peakQueue,
+		InFlight: c.inFlight, PeakInFlight: c.peakInFlight,
+		TotalSimNs: c.totalSimNs,
+	}
+	if len(c.samples) > 0 {
+		sorted := append([]float64(nil), c.samples...)
+		sort.Float64s(sorted)
+		st.P50SimNs = percentile(sorted, 0.50)
+		st.P99SimNs = percentile(sorted, 0.99)
+	}
+	return st
+}
+
+// percentile reads the p-quantile from a sorted sample (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Replay drives every point of a trace through fn from `workers` concurrent
+// goroutines, preserving per-request outcomes: the returned slice aligns
+// with tr.Points (nil = success). Requests are claimed in trace order, so
+// replay is deterministic in coverage (though not in interleaving) — the
+// shape a serving frontend sees under concurrent load.
+func Replay(tr *Trace, workers int, fn func(i int, p Point) error) []error {
+	if workers < 1 {
+		workers = 1
+	}
+	errs := make([]error, len(tr.Points))
+	next := int64(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(tr.Points) {
+					return
+				}
+				errs[i] = fn(i, tr.Points[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return errs
+}
+
+// Names lists the distribution names ByName accepts.
+func Names() []string { return []string{"fixed", "uniform", "zipf", "bimodal", "churn"} }
+
+// ByName builds a trace from a distribution name — the flag surface CLIs
+// expose. Fixed pins every request at (MaxBatch, MaxSeq).
+func ByName(name string, spec Spec) (*Trace, error) {
+	switch name {
+	case "fixed":
+		return Fixed(spec, spec.MaxBatch, spec.MaxSeq), nil
+	case "uniform":
+		return Uniform(spec), nil
+	case "zipf":
+		return Zipf(spec), nil
+	case "bimodal":
+		return Bimodal(spec), nil
+	case "churn":
+		return Churn(spec), nil
+	}
+	return nil, fmt.Errorf("workload: unknown distribution %q (have %v)", name, Names())
+}

@@ -1,6 +1,10 @@
 package workload
 
-import "testing"
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
 
 var spec = Spec{Requests: 200, MaxBatch: 8, MaxSeq: 128, Seed: 42}
 
@@ -125,5 +129,58 @@ func TestParseTraceCommentsAndBlanks(t *testing.T) {
 	}
 	if tr.Name != "prod-trace" || len(tr.Points) != 2 || tr.Points[1] != (Point{4, 128}) {
 		t.Fatalf("parsed %s %+v", tr.Name, tr.Points)
+	}
+}
+
+func TestReplayCoversEveryPointConcurrently(t *testing.T) {
+	tr := Uniform(Spec{Requests: 100, MaxBatch: 8, MaxSeq: 64, Seed: 3})
+	var served int64
+	seen := make([]int32, len(tr.Points))
+	errs := Replay(tr, 8, func(i int, p Point) error {
+		atomic.AddInt64(&served, 1)
+		atomic.AddInt32(&seen[i], 1)
+		if p != tr.Points[i] {
+			t.Errorf("request %d got point %v, want %v", i, p, tr.Points[i])
+		}
+		if i%10 == 9 {
+			return fmt.Errorf("synthetic failure %d", i)
+		}
+		return nil
+	})
+	if served != 100 {
+		t.Fatalf("served %d of 100", served)
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("point %d served %d times", i, n)
+		}
+	}
+	nErr := 0
+	for i, err := range errs {
+		if err != nil {
+			nErr++
+			if i%10 != 9 {
+				t.Fatalf("unexpected failure index %d", i)
+			}
+		}
+	}
+	if nErr != 10 {
+		t.Fatalf("%d failures recorded, want 10", nErr)
+	}
+}
+
+func TestByName(t *testing.T) {
+	spec := Spec{Requests: 20, MaxBatch: 4, MaxSeq: 32, Seed: 1}
+	for _, name := range Names() {
+		tr, err := ByName(name, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tr.Points) != 20 {
+			t.Fatalf("%s: %d points", name, len(tr.Points))
+		}
+	}
+	if _, err := ByName("nope", spec); err == nil {
+		t.Fatal("unknown distribution must error")
 	}
 }
