@@ -1,8 +1,9 @@
 # Tier-1 verify gate (see ROADMAP.md): build, vet, full tests, then the
-# race detector over the concurrent serving/execution paths.
-.PHONY: verify build vet test race bench
+# race detector over the concurrent serving/execution paths, then a
+# randomized chaos replay with fault injection enabled.
+.PHONY: verify build vet test race bench chaos
 
-verify: build vet test race
+verify: build vet test race chaos
 
 build:
 	go build ./...
@@ -15,6 +16,16 @@ test:
 
 race:
 	go test -race ./internal/serve ./internal/exec ./internal/ral ./internal/workload .
+
+# chaos replays the serve/exec suites under -race with fault injection
+# armed at a fresh random seed. The seed is printed so a failing run
+# reproduces with: GODISC_FAULT_SEED=<seed> make chaos
+chaos:
+	@seed=$${GODISC_FAULT_SEED:-$$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')}; \
+	spec=$${GODISC_FAULTS:-"compile:transient:0.25,kernel-launch:panic:0.3,alloc:transient:0.25"}; \
+	echo "chaos: GODISC_FAULTS=$$spec GODISC_FAULT_SEED=$$seed"; \
+	GODISC_FAULTS="$$spec" GODISC_FAULT_SEED="$$seed" \
+		go test -race -count=1 ./internal/serve ./internal/exec
 
 bench:
 	go test -bench=. -benchmem .

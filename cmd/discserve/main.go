@@ -6,6 +6,13 @@
 // paper's compilation-cache story under production-style concurrency.
 //
 //	discserve -models bert,mlp -dist zipf -requests 200 -workers 8
+//
+// With -faults (or GODISC_FAULTS) a deterministic fault injector arms the
+// compile/alloc/kernel-launch probes in every compiled engine, and the
+// report adds the resilience counters: interpreter fallbacks, retries and
+// circuit-breaker activity.
+//
+//	discserve -faults "kernel-launch:panic:0.2,alloc:transient:0.2" -fault-seed 7
 package main
 
 import (
@@ -24,55 +31,83 @@ import (
 	"godisc/internal/workload"
 )
 
+// options collects everything run needs, mirroring the flags.
+type options struct {
+	Models       string        // comma-separated zoo model names
+	Dist         string        // workload distribution name
+	Device       string        // device model name
+	Requests     int           // trace length
+	Workers      int           // client goroutines == server MaxConcurrent
+	Queue        int           // admission queue depth
+	MaxBatch     int           // trace batch bound
+	MaxSeq       int           // trace sequence-length bound
+	Deadline     time.Duration // per-request deadline (0 = none)
+	Warm         bool          // precompile before replaying
+	Seed         uint64        // trace generator seed
+	Faults       string        // fault-injection spec ("" = no faults)
+	FaultSeed    uint64        // fault injector seed
+	DrainTimeout time.Duration // graceful-shutdown deadline
+}
+
 func main() {
-	var (
-		modelsFlag = flag.String("models", "mlp", "comma-separated zoo models to serve")
-		dist       = flag.String("dist", "zipf", fmt.Sprintf("shape distribution %v", workload.Names()))
-		requests   = flag.Int("requests", 200, "trace length")
-		workers    = flag.Int("workers", 8, "concurrent client goroutines (also the server's MaxConcurrent)")
-		queue      = flag.Int("queue", 64, "admission queue depth")
-		maxBatch   = flag.Int("maxbatch", 8, "max batch size in the trace")
-		maxSeq     = flag.Int("maxseq", 128, "max sequence length in the trace")
-		devName    = flag.String("device", "A10", "device model: A10 or T4")
-		deadline   = flag.Duration("deadline", 0, "per-request deadline (0 = none)")
-		warm       = flag.Bool("warm", false, "precompile every model before replaying")
-		seed       = flag.Uint64("seed", 42, "trace generator seed")
-	)
+	var o options
+	flag.StringVar(&o.Models, "models", "mlp", "comma-separated zoo models to serve")
+	flag.StringVar(&o.Dist, "dist", "zipf", fmt.Sprintf("shape distribution %v", workload.Names()))
+	flag.IntVar(&o.Requests, "requests", 200, "trace length")
+	flag.IntVar(&o.Workers, "workers", 8, "concurrent client goroutines (also the server's MaxConcurrent)")
+	flag.IntVar(&o.Queue, "queue", 64, "admission queue depth")
+	flag.IntVar(&o.MaxBatch, "maxbatch", 8, "max batch size in the trace")
+	flag.IntVar(&o.MaxSeq, "maxseq", 128, "max sequence length in the trace")
+	flag.StringVar(&o.Device, "device", "A10", "device model: A10 or T4")
+	flag.DurationVar(&o.Deadline, "deadline", 0, "per-request deadline (0 = none)")
+	flag.BoolVar(&o.Warm, "warm", false, "precompile every model before replaying")
+	flag.Uint64Var(&o.Seed, "seed", 42, "trace generator seed")
+	flag.StringVar(&o.Faults, "faults", os.Getenv("GODISC_FAULTS"),
+		"fault spec site:mode:rate[:latency][,...] (default $GODISC_FAULTS)")
+	flag.Uint64Var(&o.FaultSeed, "fault-seed", 1, "fault injector seed")
+	flag.DurationVar(&o.DrainTimeout, "drain-timeout", 5*time.Second, "graceful shutdown deadline")
 	flag.Parse()
-	if err := run(*modelsFlag, *dist, *devName, *requests, *workers, *queue,
-		*maxBatch, *maxSeq, *deadline, *warm, *seed, os.Stdout); err != nil {
+	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "discserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelList, dist, devName string, requests, workers, queue, maxBatch, maxSeq int,
-	deadline time.Duration, warm bool, seed uint64, w *os.File) error {
-
-	dev, err := device.ByName(devName)
+func run(o options, w *os.File) error {
+	dev, err := device.ByName(o.Device)
 	if err != nil {
 		return err
 	}
 	var ms []*models.Model
-	for _, name := range strings.Split(modelList, ",") {
+	for _, name := range strings.Split(o.Models, ",") {
 		m, err := models.ByName(strings.TrimSpace(name))
 		if err != nil {
 			return err
 		}
 		ms = append(ms, m)
 	}
+	inj, err := godisc.FaultsFromSpec(o.Faults, o.FaultSeed)
+	if err != nil {
+		return err
+	}
 
 	srv := godisc.NewServer(
-		godisc.ServerConfig{MaxConcurrent: workers, QueueDepth: queue},
+		godisc.ServerConfig{MaxConcurrent: o.Workers, QueueDepth: o.Queue},
 		godisc.WithDevice(dev),
+		godisc.WithFaults(inj),
 	)
-	defer srv.Close()
+	drained := false
+	defer func() {
+		if !drained {
+			srv.Close()
+		}
+	}()
 	for _, m := range ms {
 		if err := srv.Register(m.Name, m.Build); err != nil {
 			return err
 		}
 	}
-	if warm {
+	if o.Warm {
 		start := time.Now()
 		for _, m := range ms {
 			if err := srv.Warm(m.Name); err != nil {
@@ -82,28 +117,31 @@ func run(modelList, dist, devName string, requests, workers, queue, maxBatch, ma
 		fmt.Fprintf(w, "warmed %d engines in %v\n", len(ms), time.Since(start).Round(time.Millisecond))
 	}
 
-	tr, err := workload.ByName(dist, workload.Spec{
-		Requests: requests, MaxBatch: maxBatch, MaxSeq: maxSeq, Seed: seed,
+	tr, err := workload.ByName(o.Dist, workload.Spec{
+		Requests: o.Requests, MaxBatch: o.MaxBatch, MaxSeq: o.MaxSeq, Seed: o.Seed,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "replaying %s over %s on %s with %d workers (queue %d)\n",
-		tr, modelList, devName, workers, queue)
+		tr, o.Models, o.Device, o.Workers, o.Queue)
+	if inj != nil {
+		fmt.Fprintf(w, "fault injection armed: %s (seed %d)\n", o.Faults, inj.Seed())
+	}
 
 	start := time.Now()
 	var rejected, canceled, failed int
-	errs := workload.Replay(tr, workers, func(i int, p workload.Point) error {
+	errs := workload.Replay(tr, o.Workers, func(i int, p workload.Point) error {
 		m := ms[i%len(ms)]
 		seq := p.Seq
 		if seq > m.MaxSeq {
 			seq = m.MaxSeq
 		}
-		inputs := m.GenInputs(tensor.NewRNG(seed+uint64(i)), p.Batch, seq)
+		inputs := m.GenInputs(tensor.NewRNG(o.Seed+uint64(i)), p.Batch, seq)
 		ctx := context.Background()
-		if deadline > 0 {
+		if o.Deadline > 0 {
 			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, deadline)
+			ctx, cancel = context.WithTimeout(ctx, o.Deadline)
 			defer cancel()
 		}
 		_, err := srv.Infer(ctx, &godisc.InferRequest{Model: m.Name, Inputs: inputs})
@@ -129,6 +167,13 @@ func run(modelList, dist, devName string, requests, workers, queue, maxBatch, ma
 		return fmt.Errorf("%d requests failed, first: %w", failed, firstFailure)
 	}
 
+	// Graceful drain: stop admission, wait for in-flight work up to the
+	// deadline, then force-cancel stragglers.
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.DrainTimeout)
+	defer cancel()
+	drainErr := srv.Shutdown(drainCtx)
+	drained = true
+
 	st := srv.Stats()
 	fmt.Fprintf(w, "done in %v wall (%d rejected, %d deadline-expired)\n",
 		wall.Round(time.Millisecond), rejected, canceled)
@@ -138,6 +183,18 @@ func run(modelList, dist, devName string, requests, workers, queue, maxBatch, ma
 	if st.Completed > 0 {
 		fmt.Fprintf(w, "  simulated device time: total %.2fms, mean %.1fµs/request\n",
 			st.TotalSimNs/1e6, st.TotalSimNs/float64(st.Completed)/1e3)
+	}
+	if inj != nil || st.FallbackRuns > 0 {
+		fmt.Fprintf(w, "  resilience: %d fallback runs, %d retries, %d kernel panics, breaker %d opens / %d short-circuits\n",
+			st.FallbackRuns, st.Retries, st.KernelPanics, st.BreakerOpens, st.BreakerShortCircuits)
+		if inj != nil {
+			fmt.Fprintf(w, "  faults fired: %d %v\n", inj.Total(), inj.Counts())
+		}
+	}
+	if drainErr != nil {
+		fmt.Fprintf(w, "  drain: forced after %v (%v)\n", o.DrainTimeout, drainErr)
+	} else {
+		fmt.Fprintf(w, "  drain: clean\n")
 	}
 	return nil
 }

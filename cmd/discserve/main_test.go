@@ -6,14 +6,29 @@ import (
 	"time"
 )
 
+// base returns the default option set used by the tests; each test
+// overrides what it exercises.
+func base() options {
+	return options{
+		Models: "mlp", Dist: "zipf", Device: "A10",
+		Requests: 30, Workers: 4, Queue: 16,
+		MaxBatch: 4, MaxSeq: 32, Seed: 7,
+		FaultSeed: 1, DrainTimeout: 5 * time.Second,
+	}
+}
+
 func TestServeZipfTraceSingleModel(t *testing.T) {
-	if err := run("mlp", "zipf", "A10", 30, 4, 16, 4, 32, 0, true, 7, devNull(t)); err != nil {
+	o := base()
+	o.Warm = true
+	if err := run(o, devNull(t)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestServeMixedModelsUniform(t *testing.T) {
-	if err := run("mlp,textcnn", "uniform", "T4", 20, 4, 16, 4, 32, 0, false, 7, devNull(t)); err != nil {
+	o := base()
+	o.Models, o.Dist, o.Device, o.Requests = "mlp,textcnn", "uniform", "T4", 20
+	if err := run(o, devNull(t)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -21,17 +36,42 @@ func TestServeMixedModelsUniform(t *testing.T) {
 func TestServeWithDeadline(t *testing.T) {
 	// A generous deadline: requests complete normally (the simulated
 	// device is fast); this exercises the context plumbing end to end.
-	if err := run("mlp", "churn", "A10", 10, 2, 8, 4, 16, 5*time.Second, false, 7, devNull(t)); err != nil {
+	o := base()
+	o.Dist, o.Requests, o.Workers, o.Queue, o.MaxSeq = "churn", 10, 2, 8, 16
+	o.Deadline = 5 * time.Second
+	if err := run(o, devNull(t)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestServeUnknownInputs(t *testing.T) {
-	if err := run("nosuchmodel", "zipf", "A10", 5, 2, 8, 4, 16, 0, false, 7, devNull(t)); err == nil {
+	o := base()
+	o.Models = "nosuchmodel"
+	if err := run(o, devNull(t)); err == nil {
 		t.Fatal("unknown model must error")
 	}
-	if err := run("mlp", "nosuchdist", "A10", 5, 2, 8, 4, 16, 0, false, 7, devNull(t)); err == nil {
+	o = base()
+	o.Dist = "nosuchdist"
+	if err := run(o, devNull(t)); err == nil {
 		t.Fatal("unknown distribution must error")
+	}
+	o = base()
+	o.Faults = "compile:badmode:0.5"
+	if err := run(o, devNull(t)); err == nil {
+		t.Fatal("bad fault spec must error")
+	}
+}
+
+// TestServeWithFaults replays under an injected failure storm: the
+// resilience machinery (fallback, retry, breaker) must absorb every
+// fault — run returns nil because no request ultimately fails.
+func TestServeWithFaults(t *testing.T) {
+	o := base()
+	o.Requests = 60
+	o.Faults = "kernel-launch:panic:0.3,alloc:transient:0.25"
+	o.FaultSeed = 7
+	if err := run(o, devNull(t)); err != nil {
+		t.Fatal(err)
 	}
 }
 

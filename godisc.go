@@ -20,11 +20,16 @@
 //	res, err = eng.RunContext(ctx, []*godisc.Tensor{input}) // with deadline
 //
 // For serving, NewServer wraps engines in a concurrent runtime with a
-// signature-keyed compilation cache, bounded admission and stats:
+// signature-keyed compilation cache, bounded admission and stats. The
+// server is fault-tolerant: compile failures and kernel panics degrade to
+// a shape-generic interpreter fallback, transient errors are retried with
+// backoff, repeatedly failing engines are quarantined by a per-signature
+// circuit breaker, and Shutdown drains in-flight requests gracefully:
 //
 //	srv := godisc.NewServer(godisc.ServerConfig{MaxConcurrent: 8})
 //	srv.Register("mlp", buildGraph)
 //	resp, err := srv.Infer(ctx, &godisc.InferRequest{Model: "mlp", Inputs: inputs})
+//	defer srv.Shutdown(ctx)
 //
 // See DESIGN.md for the architecture and EXPERIMENTS.md for the
 // paper-reproduction record.
@@ -39,6 +44,7 @@ import (
 	"godisc/internal/device"
 	"godisc/internal/discerr"
 	"godisc/internal/exec"
+	"godisc/internal/faultinject"
 	"godisc/internal/fusion"
 	"godisc/internal/graph"
 	"godisc/internal/models"
@@ -122,8 +128,25 @@ var (
 	// ErrCompileFailed: optimization, fusion planning or code generation
 	// failed.
 	ErrCompileFailed = discerr.ErrCompileFailed
-	// ErrServerClosed: the request arrived after Server.Close.
+	// ErrServerClosed: the request arrived after Server.Close or
+	// Server.Shutdown began.
 	ErrServerClosed = discerr.ErrServerClosed
+	// ErrKernelPanic: a kernel panicked mid-run; the panic was recovered,
+	// the run's pooled buffers were released, and the request failed with
+	// this typed error (a Server transparently re-serves it through the
+	// interpreter fallback).
+	ErrKernelPanic = discerr.ErrKernelPanic
+	// ErrEngineQuarantined: a circuit breaker opened for this
+	// (model, signature) after consecutive failures; the compiled path is
+	// quarantined until the cooldown's half-open probe.
+	ErrEngineQuarantined = discerr.ErrEngineQuarantined
+	// ErrTransient: a retryable fault (injected or environmental, e.g. a
+	// failed allocation). Servers retry these with jittered exponential
+	// backoff before falling back.
+	ErrTransient = discerr.ErrTransient
+	// ErrUnsupported: an input used a dtype or feature the runtime cannot
+	// execute.
+	ErrUnsupported = discerr.ErrUnsupported
 )
 
 // Option is a functional compile option, accepted by CompileWith and
@@ -139,6 +162,7 @@ type compileConfig struct {
 	disableFusion         bool
 	disableSpecialization bool
 	verbose               func(format string, args ...any)
+	faults                *FaultInjector
 }
 
 // WithDevice selects the GPU device model (default A10).
@@ -166,6 +190,30 @@ func WithoutSpecialization() Option {
 // pass.
 func WithVerbose(f func(format string, args ...any)) Option {
 	return func(c *compileConfig) { c.verbose = f }
+}
+
+// FaultInjector is a deterministic, seedable fault injector probing the
+// compile, alloc and kernel-launch sites of every engine compiled with
+// WithFaults. Chaos tests use it to prove the resilience machinery
+// (fallback, retry, breaker) under reproducible failure storms.
+type FaultInjector = faultinject.Injector
+
+// NewFaultInjector returns an inert injector; arm sites on it with
+// Arm/ArmLatency.
+func NewFaultInjector(seed uint64) *FaultInjector { return faultinject.New(seed) }
+
+// FaultsFromSpec parses a fault spec like
+// "compile:transient:0.25,kernel-launch:panic:0.3,alloc:latency:1:2ms"
+// (the GODISC_FAULTS grammar). An empty spec returns a nil injector,
+// which is valid everywhere and never fires.
+func FaultsFromSpec(spec string, seed uint64) (*FaultInjector, error) {
+	return faultinject.FromSpec(spec, seed)
+}
+
+// WithFaults arms fault-injection probes in compiled engines. A nil
+// injector is a no-op, so the option can be passed unconditionally.
+func WithFaults(inj *FaultInjector) Option {
+	return func(c *compileConfig) { c.faults = inj }
 }
 
 // Options is the legacy bool-field configuration of Compile, kept so
@@ -264,6 +312,7 @@ func CompileWith(g *Graph, opts ...Option) (*Engine, error) {
 	if cfg.disableSpecialization {
 		eo.Codegen = codegen.Options{}
 	}
+	eo.Faults = cfg.faults
 	exe, err := exec.Compile(g, plan, dev, eo)
 	if err != nil {
 		return nil, fmt.Errorf("godisc: code generation: %w: %w", err, discerr.ErrCompileFailed)

@@ -26,3 +26,30 @@ var (
 	// ErrServerClosed marks a request submitted after Server.Close.
 	ErrServerClosed = errors.New("server closed")
 )
+
+// Resilience sentinels (see README "Error taxonomy" and DESIGN.md §8):
+// the serving layer classifies failures with errors.Is against these to
+// decide between retry, interpreter fallback, and propagation.
+var (
+	// ErrKernelPanic marks a panic recovered during engine execution
+	// (a crashing kernel, or an injected one). The engine is suspect;
+	// the serving layer records a breaker failure and serves the request
+	// through the interpreter fallback instead.
+	ErrKernelPanic = errors.New("kernel panic")
+
+	// ErrEngineQuarantined marks a request that found its engine's
+	// circuit breaker open: K consecutive failures quarantined the
+	// (model, signature) entry, and until the cooldown elapses requests
+	// are served by fallback without touching the engine.
+	ErrEngineQuarantined = errors.New("engine quarantined")
+
+	// ErrTransient marks an error expected to succeed on retry (an
+	// allocation hiccup, an injected transient fault). The serving layer
+	// retries these with jittered exponential backoff before giving up.
+	ErrTransient = errors.New("transient error")
+
+	// ErrUnsupported marks an input or operation outside the compiled
+	// pipeline's support (e.g. an unknown dtype). It degrades the one
+	// request instead of panicking the process.
+	ErrUnsupported = errors.New("unsupported")
+)

@@ -14,6 +14,7 @@ import (
 	"godisc/internal/codegen"
 	"godisc/internal/device"
 	"godisc/internal/discerr"
+	"godisc/internal/faultinject"
 	"godisc/internal/fusion"
 	"godisc/internal/graph"
 	"godisc/internal/ral"
@@ -36,6 +37,9 @@ type Options struct {
 	// run ends instead of returning buffers to the pool after their last
 	// use (the buffer-planning ablation; see experiment E10).
 	DisableLivenessPlanning bool
+	// Faults, when set, probes the compile / alloc / kernel-launch fault
+	// sites so failure paths are testable (see internal/faultinject).
+	Faults *faultinject.Injector
 }
 
 // DefaultOptions mirrors the BladeDISC configuration.
@@ -86,6 +90,9 @@ type Executable struct {
 // optimized and verified; plan must come from the fusion planner on the
 // same graph.
 func Compile(g *graph.Graph, plan *fusion.Plan, dev *device.Model, opts Options) (*Executable, error) {
+	if err := opts.Faults.Check(faultinject.SiteCompile); err != nil {
+		return nil, fmt.Errorf("exec: compiling %s: %w", g.Name, err)
+	}
 	e := &Executable{
 		Graph:     g,
 		Plan:      plan,
@@ -94,9 +101,14 @@ func Compile(g *graph.Graph, plan *fusion.Plan, dev *device.Model, opts Options)
 		constBufs: map[*graph.Node][]float32{},
 		Pool:      ral.NewPool(),
 	}
+	e.Pool.SetFaults(opts.Faults)
 	for _, n := range g.Toposort() {
 		if n.Kind == graph.OpConstant {
-			e.constBufs[n] = flatten(n.Lit)
+			buf, err := flatten(n.Lit)
+			if err != nil {
+				return nil, fmt.Errorf("exec: constant %%%d: %w", n.ID, err)
+			}
+			e.constBufs[n] = buf
 		}
 	}
 	for _, grp := range plan.Groups {
@@ -253,7 +265,18 @@ func (e *Executable) Run(inputs []*tensor.Tensor) (*Result, error) {
 // after Compile. Cancellation is checked between units: a cancelled
 // request stops before its next kernel launch, releases its pooled
 // buffers, and returns ctx.Err().
-func (e *Executable) RunContext(ctx context.Context, inputs []*tensor.Tensor) (*Result, error) {
+//
+// A panic during execution (a crashing kernel, real or injected) is
+// recovered and returned as an error wrapping discerr.ErrKernelPanic, so
+// one bad kernel degrades its request instead of the process. Pooled
+// buffers are still released on that path: the run context's deferred
+// release runs during unwinding, before the recover here.
+func (e *Executable) RunContext(ctx context.Context, inputs []*tensor.Tensor) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("exec: recovered: %v: %w", r, discerr.ErrKernelPanic)
+		}
+	}()
 	g := e.Graph
 	if len(inputs) != len(g.Params) {
 		return nil, fmt.Errorf("exec: %d inputs for %d parameters: %w",
@@ -302,7 +325,10 @@ func (e *Executable) RunContext(ctx context.Context, inputs []*tensor.Tensor) (*
 		if err != nil {
 			return nil, err
 		}
-		outs[i] = unflatten(buf, evalRefs(vals, e.outRefs[i]), o.DType)
+		outs[i], err = unflatten(buf, evalRefs(vals, e.outRefs[i]), o.DType)
+		if err != nil {
+			return nil, fmt.Errorf("exec: output %d: %w", i, err)
+		}
 	}
 	return &Result{Outputs: outs, Profile: rc.prof}, nil
 }
@@ -342,7 +368,10 @@ func (e *Executable) runLibrary(rc *runCtx, u *unit) error {
 	default:
 		return fmt.Errorf("exec: unsupported library op %s", n.Kind)
 	}
-	buf := rc.sess.Get(out.Numel())
+	buf, err := rc.sess.Get(out.Numel())
+	if err != nil {
+		return err
+	}
 	copy(buf, out.F32())
 	rc.env[n] = buf
 	rc.owned[n] = buf
@@ -402,24 +431,33 @@ func (e *Executable) runKernel(rc *runCtx, u *unit) error {
 		bytes += float64(4 * len(v))
 	}
 	for oi, out := range grp.Outputs {
-		buf := rc.sess.Get(refsNumel(vals, u.outShapeRefs[oi]))
+		buf, err := rc.sess.Get(refsNumel(vals, u.outShapeRefs[oi]))
+		if err != nil {
+			return err
+		}
 		rc.env[out] = buf
 		rc.owned[out] = buf
 		bufs = append(bufs, buf)
 		bytes += float64(4 * len(buf))
 	}
 	var scratches [][]float32
-	for i := 0; i < k.ScratchRows; i++ {
-		scratch := rc.sess.Get(rowLen)
-		scratches = append(scratches, scratch)
-		bufs = append(bufs, scratch)
-	}
 	defer func() {
 		for _, sc := range scratches {
 			rc.sess.Put(sc)
 		}
 	}()
+	for i := 0; i < k.ScratchRows; i++ {
+		scratch, err := rc.sess.Get(rowLen)
+		if err != nil {
+			return err
+		}
+		scratches = append(scratches, scratch)
+		bufs = append(bufs, scratch)
+	}
 
+	if err := e.opts.Faults.Check(faultinject.SiteKernelLaunch); err != nil {
+		return fmt.Errorf("exec: launching %s: %w", k.Name, err)
+	}
 	if err := variant.Code.Run(bufs, dims); err != nil {
 		return err
 	}
@@ -441,16 +479,18 @@ func (e *Executable) runKernel(rc *runCtx, u *unit) error {
 
 // flatten converts any tensor into the runtime's f32 buffer form. Integer
 // and boolean payloads are value-preserving for the magnitudes models use.
-func flatten(t *tensor.Tensor) []float32 {
+// An unknown dtype is an ErrUnsupported error, not a panic: it degrades
+// the one request carrying it instead of the process.
+func flatten(t *tensor.Tensor) ([]float32, error) {
 	switch t.DType() {
 	case tensor.F32:
-		return t.F32()
+		return t.F32(), nil
 	case tensor.I32:
 		out := make([]float32, t.Numel())
 		for i, v := range t.I32() {
 			out[i] = float32(v)
 		}
-		return out
+		return out, nil
 	case tensor.Bool:
 		out := make([]float32, t.Numel())
 		for i, v := range t.Bools() {
@@ -458,32 +498,32 @@ func flatten(t *tensor.Tensor) []float32 {
 				out[i] = 1
 			}
 		}
-		return out
+		return out, nil
 	}
-	panic("exec: unknown dtype")
+	return nil, fmt.Errorf("exec: dtype %v: %w", t.DType(), discerr.ErrUnsupported)
 }
 
 // unflatten wraps a buffer back into a typed tensor, copying so results
-// outlive pooled buffers.
-func unflatten(buf []float32, shape []int, dt tensor.DType) *tensor.Tensor {
+// outlive pooled buffers. Unknown dtypes error like flatten.
+func unflatten(buf []float32, shape []int, dt tensor.DType) (*tensor.Tensor, error) {
 	n := tensor.Numel(shape)
 	switch dt {
 	case tensor.F32:
 		out := make([]float32, n)
 		copy(out, buf[:n])
-		return tensor.FromF32(out, shape...)
+		return tensor.FromF32(out, shape...), nil
 	case tensor.I32:
 		out := make([]int32, n)
 		for i := 0; i < n; i++ {
 			out[i] = int32(buf[i])
 		}
-		return tensor.FromI32(out, shape...)
+		return tensor.FromI32(out, shape...), nil
 	case tensor.Bool:
 		out := make([]bool, n)
 		for i := 0; i < n; i++ {
 			out[i] = buf[i] != 0
 		}
-		return tensor.FromBool(out, shape...)
+		return tensor.FromBool(out, shape...), nil
 	}
-	panic("exec: unknown dtype")
+	return nil, fmt.Errorf("exec: dtype %v: %w", dt, discerr.ErrUnsupported)
 }

@@ -1,0 +1,149 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"godisc/internal/device"
+	"godisc/internal/discerr"
+	"godisc/internal/faultinject"
+	"godisc/internal/fusion"
+	"godisc/internal/graph"
+	"godisc/internal/opt"
+	"godisc/internal/symshape"
+	"godisc/internal/tensor"
+)
+
+// buildFaultNet is a small fused model with a dynamic batch axis, used to
+// exercise the fault sites (it lowers to at least one codegen kernel, so
+// kernel-launch and alloc probes are reached).
+func buildFaultNet(t *testing.T) (*graph.Graph, *fusion.Plan) {
+	t.Helper()
+	g := graph.New("faultnet")
+	b := g.Ctx.NewDim("B")
+	g.Ctx.DeclareRange(b, 1, 64)
+	x := g.Parameter("x", tensor.F32, symshape.Shape{b, g.Ctx.StaticDim(16)})
+	g.SetOutputs(g.Softmax(g.Tanh(x)))
+	if _, err := opt.Default().Run(g); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fusion.NewPlanner(fusion.DefaultConfig()).Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, plan
+}
+
+// TestInjectedCompileFault: an armed compile site fails Compile before
+// any lowering.
+func TestInjectedCompileFault(t *testing.T) {
+	g, plan := buildFaultNet(t)
+	opts := DefaultOptions()
+	opts.Faults = faultinject.New(1).Arm(faultinject.SiteCompile, faultinject.ModeTransient, 1)
+	if _, err := Compile(g, plan, device.A10(), opts); !errors.Is(err, discerr.ErrTransient) {
+		t.Fatalf("err = %v, want injected transient", err)
+	}
+}
+
+// TestInjectedKernelPanicRecovered: a panic at the kernel-launch site is
+// recovered into ErrKernelPanic, and the run's pooled buffers are all
+// released — a crashed request must not leak pool memory.
+func TestInjectedKernelPanicRecovered(t *testing.T) {
+	g, plan := buildFaultNet(t)
+	opts := DefaultOptions()
+	inj := faultinject.New(1)
+	opts.Faults = inj
+	exe, err := Compile(g, plan, device.A10(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.RandN(tensor.NewRNG(3), 0.5, 4, 16)
+
+	inj.Arm(faultinject.SiteKernelLaunch, faultinject.ModePanic, 1)
+	_, err = exe.Run([]*tensor.Tensor{in})
+	if !errors.Is(err, discerr.ErrKernelPanic) {
+		t.Fatalf("err = %v, want ErrKernelPanic", err)
+	}
+	if st := exe.Pool.Stats(); st.InUseElems != 0 {
+		t.Fatalf("panicked run leaked %d pool elems", st.InUseElems)
+	}
+}
+
+// TestInjectedAllocFault: a transient alloc failure surfaces as
+// ErrTransient and leaves the pool drained.
+func TestInjectedAllocFault(t *testing.T) {
+	g, plan := buildFaultNet(t)
+	opts := DefaultOptions()
+	inj := faultinject.New(1)
+	opts.Faults = inj
+	exe, err := Compile(g, plan, device.A10(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.RandN(tensor.NewRNG(3), 0.5, 4, 16)
+
+	inj.Arm(faultinject.SiteAlloc, faultinject.ModeTransient, 1)
+	_, err = exe.Run([]*tensor.Tensor{in})
+	if !errors.Is(err, discerr.ErrTransient) {
+		t.Fatalf("err = %v, want ErrTransient", err)
+	}
+	if st := exe.Pool.Stats(); st.InUseElems != 0 {
+		t.Fatalf("failed run leaked %d pool elems", st.InUseElems)
+	}
+}
+
+// TestRunRecoversAfterFaultsDisarmed: the same executable serves requests
+// normally once probes stop firing — faults are per-run, not per-engine.
+func TestRunRecoversAfterFaultsDisarmed(t *testing.T) {
+	g, plan := buildFaultNet(t)
+	opts := DefaultOptions()
+	inj := faultinject.New(1).Arm(faultinject.SiteKernelLaunch, faultinject.ModePanic, 1)
+	opts.Faults = inj
+	exe, err := Compile(g, plan, device.A10(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.RandN(tensor.NewRNG(3), 0.5, 4, 16)
+	if _, err := exe.Run([]*tensor.Tensor{in}); !errors.Is(err, discerr.ErrKernelPanic) {
+		t.Fatalf("armed: %v", err)
+	}
+
+	// Disarm: same engine, healthy runs (faults are per-run decisions).
+	exe.opts.Faults = nil
+	exe.Pool.SetFaults(nil)
+	res, err := exe.Run([]*tensor.Tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[0].Shape()[0] != 4 {
+		t.Fatalf("shape %v", res.Outputs[0].Shape())
+	}
+}
+
+// TestUnknownDtypeIsError: the flatten/unflatten paths reject an unknown
+// dtype with ErrUnsupported instead of panicking the process.
+func TestUnknownDtypeIsError(t *testing.T) {
+	bad := tensor.New(tensor.DType(97), 4, 16)
+	if _, err := flatten(bad); !errors.Is(err, discerr.ErrUnsupported) {
+		t.Fatalf("flatten: %v, want ErrUnsupported", err)
+	}
+	if _, err := unflatten(make([]float32, 4), []int{2, 2}, tensor.DType(97)); !errors.Is(err, discerr.ErrUnsupported) {
+		t.Fatalf("unflatten: %v, want ErrUnsupported", err)
+	}
+
+	// End to end: a run whose input tensor carries an unknown dtype fails
+	// that one request with a typed error.
+	g, plan := buildFaultNet(t)
+	exe, err := Compile(g, plan, device.A10(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = exe.RunContext(context.Background(), []*tensor.Tensor{bad})
+	if !errors.Is(err, discerr.ErrUnsupported) {
+		t.Fatalf("run: %v, want ErrUnsupported", err)
+	}
+	if st := exe.Pool.Stats(); st.InUseElems != 0 {
+		t.Fatalf("failed run leaked %d pool elems", st.InUseElems)
+	}
+}

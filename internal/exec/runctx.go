@@ -74,7 +74,10 @@ func (rc *runCtx) valueOf(n *graph.Node) ([]float32, error) {
 	}
 	switch n.Kind {
 	case graph.OpParameter:
-		v := flatten(rc.inputs[n.ParamIndex])
+		v, err := flatten(rc.inputs[n.ParamIndex])
+		if err != nil {
+			return nil, fmt.Errorf("exec: parameter %d: %w", n.ParamIndex, err)
+		}
 		rc.env[n] = v
 		return v, nil
 	case graph.OpConstant:

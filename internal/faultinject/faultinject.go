@@ -1,0 +1,273 @@
+// Package faultinject is a deterministic, seedable fault injector for
+// exercising the serving runtime's failure paths in CI without real
+// hardware faults. Probes are placed at named sites along the compile and
+// execute paths (compile, alloc, kernel-launch); an armed site fires with
+// a configured probability and mode — a permanent error, a transient
+// error (wrapping discerr.ErrTransient, so retry policies engage), a
+// panic (exercising kernel-panic recovery), or added latency.
+//
+// A nil *Injector is inert: every Check returns nil, so production paths
+// carry the probe unconditionally and pay one pointer test when faults
+// are off. Decisions come from a seeded PRNG under a mutex, so a given
+// (seed, call sequence) replays identically — the property `make chaos`
+// relies on when it prints its randomized seed for reproduction.
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"godisc/internal/discerr"
+)
+
+// Site names a probe location. The canonical sites below are wired into
+// the pipeline; arbitrary names are accepted so tests can add their own.
+type Site string
+
+const (
+	// SiteCompile fires inside exec.Compile, before any lowering.
+	SiteCompile Site = "compile"
+	// SiteAlloc fires in ral.Session.Get, the per-run buffer allocation.
+	SiteAlloc Site = "alloc"
+	// SiteKernelLaunch fires immediately before a kernel body executes.
+	SiteKernelLaunch Site = "kernel-launch"
+)
+
+// Mode is what an armed site does when it fires.
+type Mode int
+
+const (
+	// ModeError returns a permanent (non-retryable) error.
+	ModeError Mode = iota
+	// ModeTransient returns an error wrapping discerr.ErrTransient.
+	ModeTransient
+	// ModePanic panics, simulating a crashing kernel.
+	ModePanic
+	// ModeLatency sleeps for the rule's latency, then succeeds.
+	ModeLatency
+)
+
+// String renders the mode in the spec grammar's vocabulary.
+func (m Mode) String() string {
+	switch m {
+	case ModeError:
+		return "error"
+	case ModeTransient:
+		return "transient"
+	case ModePanic:
+		return "panic"
+	case ModeLatency:
+		return "latency"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// parseMode inverts String for the spec grammar.
+func parseMode(s string) (Mode, error) {
+	switch s {
+	case "error":
+		return ModeError, nil
+	case "transient":
+		return ModeTransient, nil
+	case "panic":
+		return ModePanic, nil
+	case "latency":
+		return ModeLatency, nil
+	}
+	return 0, fmt.Errorf("faultinject: unknown mode %q (have error|transient|panic|latency)", s)
+}
+
+// rule is one armed (mode, rate) at a site; a site may hold several.
+type rule struct {
+	mode    Mode
+	rate    float64
+	latency time.Duration
+}
+
+// Injector decides, per probe, whether to inject a fault. Safe for
+// concurrent use; a nil Injector never fires.
+type Injector struct {
+	mu     sync.Mutex
+	rng    *splitmix
+	seed   uint64
+	rules  map[Site][]rule
+	counts map[Site]int64
+}
+
+// splitmix is a tiny deterministic PRNG (SplitMix64), so decisions do not
+// depend on math/rand internals across Go versions.
+type splitmix struct{ state uint64 }
+
+func (s *splitmix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform value in [0, 1).
+func (s *splitmix) float64() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}
+
+// New returns an injector with no sites armed.
+func New(seed uint64) *Injector {
+	return &Injector{
+		rng:    &splitmix{state: seed},
+		seed:   seed,
+		rules:  map[Site][]rule{},
+		counts: map[Site]int64{},
+	}
+}
+
+// Seed returns the seed the injector was built with (for reproduction
+// logs).
+func (in *Injector) Seed() uint64 { return in.seed }
+
+// Arm adds a (mode, rate) rule at a site. Rate is the per-probe firing
+// probability, clamped to [0, 1]. Several rules may share a site; they
+// are evaluated in arming order and the first to fire wins.
+func (in *Injector) Arm(site Site, mode Mode, rate float64) *Injector {
+	return in.ArmLatency(site, mode, rate, 2*time.Millisecond)
+}
+
+// ArmLatency is Arm with an explicit latency for ModeLatency rules.
+func (in *Injector) ArmLatency(site Site, mode Mode, rate float64, latency time.Duration) *Injector {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	in.mu.Lock()
+	in.rules[site] = append(in.rules[site], rule{mode: mode, rate: rate, latency: latency})
+	in.mu.Unlock()
+	return in
+}
+
+// Check is the probe: it decides whether an armed rule at site fires. It
+// returns a permanent error (ModeError), an error wrapping
+// discerr.ErrTransient (ModeTransient), panics (ModePanic), sleeps then
+// returns nil (ModeLatency), or returns nil when nothing fires. Nil
+// receivers always return nil.
+func (in *Injector) Check(site Site) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	rules := in.rules[site]
+	if len(rules) == 0 {
+		in.mu.Unlock()
+		return nil
+	}
+	var fired *rule
+	for i := range rules {
+		if in.rng.float64() < rules[i].rate {
+			fired = &rules[i]
+			break
+		}
+	}
+	if fired == nil {
+		in.mu.Unlock()
+		return nil
+	}
+	in.counts[site]++
+	in.mu.Unlock()
+
+	switch fired.mode {
+	case ModeError:
+		return fmt.Errorf("faultinject: injected failure at %s", site)
+	case ModeTransient:
+		return fmt.Errorf("faultinject: injected transient fault at %s: %w", site, discerr.ErrTransient)
+	case ModePanic:
+		panic(fmt.Sprintf("faultinject: injected panic at %s", site))
+	case ModeLatency:
+		time.Sleep(fired.latency)
+	}
+	return nil
+}
+
+// Counts snapshots how many times each site fired.
+func (in *Injector) Counts() map[Site]int64 {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[Site]int64, len(in.counts))
+	for s, n := range in.counts {
+		out[s] = n
+	}
+	return out
+}
+
+// Total is the number of faults injected across all sites.
+func (in *Injector) Total() int64 {
+	var n int64
+	for _, c := range in.Counts() {
+		n += c
+	}
+	return n
+}
+
+// FromSpec builds an injector from the spec grammar used by the
+// GODISC_FAULTS environment variable and the discserve -faults flag:
+//
+//	site:mode:rate[:latency][,site:mode:rate[:latency]...]
+//
+// e.g. "compile:transient:0.3,kernel-launch:panic:0.2,alloc:latency:0.5:5ms".
+// An empty spec returns a nil (inert) injector.
+func FromSpec(spec string, seed uint64) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	in := New(seed)
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 && len(fields) != 4 {
+			return nil, fmt.Errorf("faultinject: bad rule %q (want site:mode:rate[:latency])", part)
+		}
+		mode, err := parseMode(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		rate, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil || rate < 0 || rate > 1 {
+			return nil, fmt.Errorf("faultinject: bad rate %q in %q (want 0..1)", fields[2], part)
+		}
+		latency := 2 * time.Millisecond
+		if len(fields) == 4 {
+			latency, err = time.ParseDuration(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: bad latency %q in %q: %v", fields[3], part, err)
+			}
+		}
+		in.ArmLatency(Site(fields[0]), mode, rate, latency)
+	}
+	return in, nil
+}
+
+// FromEnv builds an injector from GODISC_FAULTS / GODISC_FAULT_SEED, the
+// contract of `make chaos`. Unset GODISC_FAULTS yields a nil injector;
+// unset seed defaults to 1.
+func FromEnv() (*Injector, error) {
+	spec := os.Getenv("GODISC_FAULTS")
+	if spec == "" {
+		return nil, nil
+	}
+	seed := uint64(1)
+	if s := os.Getenv("GODISC_FAULT_SEED"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: bad GODISC_FAULT_SEED %q: %v", s, err)
+		}
+		seed = v
+	}
+	return FromSpec(spec, seed)
+}

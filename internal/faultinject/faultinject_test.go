@@ -1,0 +1,125 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"godisc/internal/discerr"
+)
+
+// TestNilInjectorIsInert: the production probes call Check on a nil
+// injector unconditionally; it must be a no-op.
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Check(SiteCompile); err != nil {
+		t.Fatal(err)
+	}
+	if in.Counts() != nil || in.Total() != 0 {
+		t.Fatal("nil injector must report no counts")
+	}
+}
+
+// TestDeterministicReplay: two injectors with one seed make identical
+// decisions over identical call sequences — the `make chaos` reproduction
+// contract.
+func TestDeterministicReplay(t *testing.T) {
+	mk := func() *Injector {
+		return New(99).Arm(SiteAlloc, ModeTransient, 0.5)
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 200; i++ {
+		ea, eb := a.Check(SiteAlloc), b.Check(SiteAlloc)
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("probe %d diverged: %v vs %v", i, ea, eb)
+		}
+	}
+	if a.Total() == 0 || a.Total() == 200 {
+		t.Fatalf("rate 0.5 fired %d/200 times", a.Total())
+	}
+}
+
+// TestModes: each mode produces its contracted behaviour at rate 1.
+func TestModes(t *testing.T) {
+	in := New(1).Arm(SiteCompile, ModeError, 1)
+	if err := in.Check(SiteCompile); err == nil || errors.Is(err, discerr.ErrTransient) {
+		t.Fatalf("ModeError: %v", err)
+	}
+
+	in = New(1).Arm(SiteAlloc, ModeTransient, 1)
+	if err := in.Check(SiteAlloc); !errors.Is(err, discerr.ErrTransient) {
+		t.Fatalf("ModeTransient: %v", err)
+	}
+
+	in = New(1).Arm(SiteKernelLaunch, ModePanic, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("ModePanic must panic")
+			}
+		}()
+		in.Check(SiteKernelLaunch)
+	}()
+
+	in = New(1).ArmLatency(SiteAlloc, ModeLatency, 1, 5*time.Millisecond)
+	start := time.Now()
+	if err := in.Check(SiteAlloc); err != nil {
+		t.Fatalf("ModeLatency must succeed: %v", err)
+	}
+	if time.Since(start) < 4*time.Millisecond {
+		t.Fatal("ModeLatency must sleep")
+	}
+}
+
+// TestUnarmedSiteNeverFires: probes at sites with no rules are free.
+func TestUnarmedSiteNeverFires(t *testing.T) {
+	in := New(3).Arm(SiteCompile, ModeError, 1)
+	for i := 0; i < 50; i++ {
+		if err := in.Check(SiteAlloc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := in.Counts()[SiteAlloc]; n != 0 {
+		t.Fatalf("unarmed site fired %d times", n)
+	}
+}
+
+// TestFromSpec: the GODISC_FAULTS grammar round-trips, and bad specs are
+// rejected with useful errors.
+func TestFromSpec(t *testing.T) {
+	in, err := FromSpec("compile:transient:0.25, kernel-launch:panic:0.5, alloc:latency:1:3ms", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in == nil || in.Seed() != 7 {
+		t.Fatal("spec must build a seeded injector")
+	}
+	if err := in.Check(SiteAlloc); err != nil { // latency at rate 1 still succeeds
+		t.Fatal(err)
+	}
+
+	if in, err := FromSpec("", 1); in != nil || err != nil {
+		t.Fatalf("empty spec: %v %v", in, err)
+	}
+	for _, bad := range []string{"compile", "compile:oops:0.5", "compile:error:2", "compile:error:x", "alloc:latency:1:zz"} {
+		if _, err := FromSpec(bad, 1); err == nil {
+			t.Fatalf("spec %q must be rejected", bad)
+		}
+	}
+}
+
+// TestFirstFiringRuleWins: with two rules on one site, arming order
+// breaks the tie.
+func TestFirstFiringRuleWins(t *testing.T) {
+	in := New(1).
+		Arm(SiteCompile, ModeTransient, 1).
+		Arm(SiteCompile, ModeError, 1)
+	for i := 0; i < 10; i++ {
+		if err := in.Check(SiteCompile); !errors.Is(err, discerr.ErrTransient) {
+			t.Fatalf("probe %d: %v", i, err)
+		}
+	}
+	if n := in.Counts()[SiteCompile]; n != 10 {
+		t.Fatalf("counts = %d", n)
+	}
+}

@@ -12,6 +12,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+
+	"godisc/internal/faultinject"
 )
 
 // Pool is a size-class buffer pool for device allocations. Buffers are
@@ -22,12 +25,19 @@ type Pool struct {
 	mu      sync.Mutex
 	classes map[uint][][]float32
 
+	// faults, when set, is probed at the alloc site by Session.Get so
+	// transient RAL allocation failures are testable (see faultinject).
+	faults atomic.Pointer[faultinject.Injector]
+
 	// Stats (read via Stats()).
 	allocs int
 	reuses int
 	inUse  int64
 	peak   int64
 }
+
+// SetFaults installs (or clears, with nil) the pool's fault injector.
+func (p *Pool) SetFaults(in *faultinject.Injector) { p.faults.Store(in) }
 
 // NewPool returns an empty pool.
 func NewPool() *Pool {
@@ -114,10 +124,16 @@ type Session struct {
 // Session opens a per-run handle on the pool.
 func (p *Pool) Session() *Session { return &Session{pool: p} }
 
-// Get draws a zeroed buffer of len n from the underlying pool.
-func (s *Session) Get(n int) []float32 {
+// Get draws a zeroed buffer of len n from the underlying pool. It fails
+// only when the pool's fault injector fires at the alloc site — the
+// simulated equivalent of a transient device-allocator error, which the
+// serving layer's retry policy absorbs.
+func (s *Session) Get(n int) ([]float32, error) {
+	if err := s.pool.faults.Load().Check(faultinject.SiteAlloc); err != nil {
+		return nil, fmt.Errorf("ral: alloc %d elems: %w", n, err)
+	}
 	s.gets++
-	return s.pool.Get(n)
+	return s.pool.Get(n), nil
 }
 
 // Put returns a buffer drawn by this session to the underlying pool.

@@ -6,6 +6,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"godisc/internal/discerr"
+	"godisc/internal/faultinject"
 )
 
 func TestPoolReuse(t *testing.T) {
@@ -193,8 +196,14 @@ func TestCacheSingleflightErrorNotCached(t *testing.T) {
 func TestSessionAccounting(t *testing.T) {
 	p := NewPool()
 	s := p.Session()
-	a := s.Get(64)
-	b := s.Get(32)
+	a, err := s.Get(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Get(32)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s.Outstanding() != 2 {
 		t.Fatalf("outstanding = %d", s.Outstanding())
 	}
@@ -206,8 +215,34 @@ func TestSessionAccounting(t *testing.T) {
 	}
 	// Buffers went back to the shared pool: a fresh session reuses them.
 	s2 := p.Session()
-	_ = s2.Get(64)
+	if _, err := s2.Get(64); err != nil {
+		t.Fatal(err)
+	}
 	if st := p.Stats(); st.Reuses == 0 {
 		t.Fatal("session buffers must return to the shared pool")
+	}
+}
+
+// TestSessionAllocFault: an armed alloc site makes Session.Get fail with
+// a transient error, without disturbing pool accounting.
+func TestSessionAllocFault(t *testing.T) {
+	p := NewPool()
+	p.SetFaults(faultinject.New(1).Arm(faultinject.SiteAlloc, faultinject.ModeTransient, 1))
+	s := p.Session()
+	if _, err := s.Get(64); !errors.Is(err, discerr.ErrTransient) {
+		t.Fatalf("err = %v, want ErrTransient", err)
+	}
+	if s.Outstanding() != 0 {
+		t.Fatalf("failed alloc must not count as outstanding: %d", s.Outstanding())
+	}
+	// Disarming restores normal allocation.
+	p.SetFaults(nil)
+	buf, err := s.Get(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(buf)
+	if st := p.Stats(); st.InUseElems != 0 {
+		t.Fatalf("in-use after release = %d", st.InUseElems)
 	}
 }

@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"godisc/internal/discerr"
+	"godisc/internal/exec"
+	"godisc/internal/graph"
+	"godisc/internal/ral"
+	"godisc/internal/tensor"
+)
+
+// countingEngine records how many runs actually started.
+type countingEngine struct{ runs int32 }
+
+func (e *countingEngine) RunContext(context.Context, []*tensor.Tensor) (*exec.Result, error) {
+	atomic.AddInt32(&e.runs, 1)
+	return &exec.Result{Profile: ral.NewProfiler()}, nil
+}
+
+// TestAdmitExpiredDeadline: a request whose deadline has already expired
+// when it reaches admission counts as canceled and never touches the
+// engine — even when a slot is free.
+func TestAdmitExpiredDeadline(t *testing.T) {
+	eng := &countingEngine{}
+	s := New(Config{MaxConcurrent: 2}, func(*graph.Graph) (Engine, error) { return eng, nil })
+	if err := s.Register("m", buildMLP); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Warm("m"); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := s.Infer(ctx, &Request{Model: "m"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if n := atomic.LoadInt32(&eng.runs); n != 0 {
+		t.Fatalf("expired request ran the engine %d times", n)
+	}
+	st := s.Stats()
+	if st.Canceled != 1 || st.Completed != 0 || st.InFlight != 0 {
+		t.Fatalf("stats: %s", st)
+	}
+}
+
+// TestCancelWhileQueued: a queued request whose caller gives up is
+// counted canceled, releases its queue slot, and does not run.
+func TestCancelWhileQueued(t *testing.T) {
+	stub := &stubEngine{started: make(chan struct{}, 8), release: make(chan struct{})}
+	s := stubServer(t, Config{MaxConcurrent: 1, QueueDepth: 4}, stub)
+
+	// Occupy the only slot.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := s.Infer(context.Background(), &Request{Model: "m"}); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-stub.started
+
+	// Queue several requests, then cancel them all while they wait.
+	const queued = 3
+	ctx, cancel := context.WithCancel(context.Background())
+	errs := make(chan error, queued)
+	for i := 0; i < queued; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.Infer(ctx, &Request{Model: "m"})
+			errs <- err
+		}()
+	}
+	waitFor(t, "requests to queue", func() bool { return s.Stats().QueueDepth == queued })
+	cancel()
+	waitFor(t, "queue to drain", func() bool { return s.Stats().QueueDepth == 0 })
+
+	close(stub.release)
+	wg.Wait()
+	for i := 0; i < queued; i++ {
+		if err := <-errs; !errors.Is(err, context.Canceled) {
+			t.Fatalf("queued request: %v, want Canceled", err)
+		}
+	}
+	st := s.Stats()
+	if st.Canceled != queued || st.Completed != 1 || st.QueueDepth != 0 {
+		t.Fatalf("stats: %s", st)
+	}
+}
+
+// TestNegativeQueueDepth: QueueDepth < 0 means "no queue at all" — a
+// request arriving while every slot is busy is rejected immediately.
+func TestNegativeQueueDepth(t *testing.T) {
+	stub := &stubEngine{started: make(chan struct{}, 8), release: make(chan struct{})}
+	s := stubServer(t, Config{MaxConcurrent: 1, QueueDepth: -1}, stub)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := s.Infer(context.Background(), &Request{Model: "m"}); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-stub.started
+
+	if _, err := s.Infer(context.Background(), &Request{Model: "m"}); !errors.Is(err, discerr.ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	close(stub.release)
+	wg.Wait()
+	if st := s.Stats(); st.Rejected != 1 || st.Completed != 1 || st.PeakQueueDepth != 0 {
+		t.Fatalf("stats: %s", st)
+	}
+}
+
+// TestAdmissionCountersConsistent hammers a small server with racing
+// admits, cancels, and tight deadlines, then checks the bookkeeping
+// identity Requests == Completed + Rejected + Canceled + Failed. Run
+// under -race this doubles as the data-race check for the stats path.
+func TestAdmissionCountersConsistent(t *testing.T) {
+	eng := &countingEngine{}
+	s := New(Config{MaxConcurrent: 2, QueueDepth: 2}, func(*graph.Graph) (Engine, error) { return eng, nil })
+	if err := s.Register("m", buildMLP); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Warm("m"); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
+				switch rng.Intn(3) {
+				case 1:
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(200))*time.Microsecond)
+				case 2:
+					ctx, cancel = context.WithCancel(ctx)
+					if rng.Intn(2) == 0 {
+						cancel() // already-canceled at admission
+					}
+				}
+				s.Infer(ctx, &Request{Model: "m"})
+				cancel()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	total := int64(workers * perWorker)
+	if st.Requests != total {
+		t.Fatalf("requests = %d, want %d", st.Requests, total)
+	}
+	if got := st.Completed + st.Rejected + st.Canceled + st.Failed; got != total {
+		t.Fatalf("outcome sum %d != requests %d: %s", got, total, st)
+	}
+	if st.InFlight != 0 || st.QueueDepth != 0 {
+		t.Fatalf("quiesced server has residue: %s", st)
+	}
+}

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic circuit-breaker state machine.
+type breakerState int
+
+const (
+	// breakerClosed: requests flow to the engine normally.
+	breakerClosed breakerState = iota
+	// breakerOpen: the engine is quarantined; requests are served by the
+	// interpreter fallback without touching it until the cooldown elapses.
+	breakerOpen
+	// breakerHalfOpen: the cooldown elapsed; exactly one probe request is
+	// let through. Success closes the breaker, failure reopens it.
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker quarantines one (model, signature) engine after `threshold`
+// consecutive failures. While open it short-circuits requests to the
+// fallback path; after `cooldown` it half-opens and admits a single probe.
+// This doubles as the negative cache for failed compilations: K requests
+// that fail to compile open the breaker, and nobody re-attempts the
+// compile until the TTL probe.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu          sync.Mutex
+	state       breakerState
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a request may use the engine now. In half-open
+// state only one in-flight probe is admitted at a time; everyone else is
+// short-circuited to fallback until the probe's verdict lands.
+func (b *breaker) allow(now time.Time) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success records an engine run that completed; it closes the breaker and
+// resets the failure streak.
+func (b *breaker) success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.consecutive = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// failure records an engine failure (compile error, kernel panic, or
+// transient errors after retries were exhausted). It reports whether this
+// failure transitioned the breaker to open — a failed half-open probe
+// reopens immediately, a closed breaker opens at the threshold.
+func (b *breaker) failure(now time.Time) (opened bool) {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	if b.state == breakerHalfOpen || b.consecutive >= b.threshold {
+		opened = b.state != breakerOpen
+		b.state = breakerOpen
+		b.openedAt = now
+		b.probing = false
+	}
+	return opened
+}
+
+// snapshot returns the current state for stats/debugging.
+func (b *breaker) snapshot() breakerState {
+	if b == nil {
+		return breakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

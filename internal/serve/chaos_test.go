@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"godisc/internal/device"
+	"godisc/internal/exec"
+	"godisc/internal/faultinject"
+	"godisc/internal/fusion"
+	"godisc/internal/graph"
+	"godisc/internal/opt"
+	"godisc/internal/tensor"
+	"godisc/internal/workload"
+)
+
+// chaosSpec is the default fault mix for the chaos replay. `make chaos`
+// overrides it (and the seed) via GODISC_FAULTS / GODISC_FAULT_SEED so
+// failures reproduce from the printed seed.
+const chaosSpec = "compile:transient:0.35,kernel-launch:panic:0.3,alloc:transient:0.25"
+
+func chaosInjector(t *testing.T) *faultinject.Injector {
+	t.Helper()
+	if os.Getenv("GODISC_FAULTS") != "" {
+		inj, err := faultinject.FromEnv()
+		if err != nil {
+			t.Fatalf("GODISC_FAULTS: %v", err)
+		}
+		t.Logf("chaos: env spec %q seed %d", os.Getenv("GODISC_FAULTS"), inj.Seed())
+		return inj
+	}
+	inj, err := faultinject.FromSpec(chaosSpec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inj
+}
+
+// faultyCompile is realCompile with the injector threaded into the exec
+// options, so compile/alloc/kernel-launch probes all fire in-engine.
+func faultyCompile(inj *faultinject.Injector) CompileFunc {
+	return func(g *graph.Graph) (Engine, error) {
+		if _, err := opt.Default().Run(g); err != nil {
+			return nil, err
+		}
+		plan, err := fusion.NewPlanner(fusion.DefaultConfig()).Plan(g)
+		if err != nil {
+			return nil, err
+		}
+		opts := exec.DefaultOptions()
+		opts.Faults = inj
+		return exec.Compile(g, plan, device.A10(), opts)
+	}
+}
+
+// TestChaosReplayZeroFailedRequests is the headline resilience check: a
+// concurrent replay with compile failures, kernel panics, and transient
+// alloc errors injected must complete every request — degraded requests
+// are served by the interpreter fallback, never dropped.
+func TestChaosReplayZeroFailedRequests(t *testing.T) {
+	inj := chaosInjector(t)
+	s := New(Config{
+		MaxConcurrent:    8,
+		QueueDepth:       256,
+		MaxRetries:       3,
+		RetryBackoff:     200 * time.Microsecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  2 * time.Millisecond,
+	}, faultyCompile(inj))
+	defer s.Close()
+	if err := s.Register("mlp", buildMLP); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("softmaxnet", buildSoftmaxNet); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := workload.ByName("churn", workload.Spec{Requests: 160, MaxBatch: 16, MaxSeq: 48, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(17)
+	inputs := make([]*tensor.Tensor, len(tr.Points))
+	models := make([]string, len(tr.Points))
+	for i, p := range tr.Points {
+		if i%2 == 0 {
+			models[i], inputs[i] = "mlp", tensor.RandN(rng, 0.5, p.Batch, 12)
+		} else {
+			models[i], inputs[i] = "softmaxnet", tensor.RandN(rng, 0.5, p.Batch, p.Seq)
+		}
+	}
+
+	errs := workload.Replay(tr, 8, func(i int, p workload.Point) error {
+		resp, err := s.Infer(context.Background(), &Request{
+			Model:  models[i],
+			Inputs: []*tensor.Tensor{inputs[i]},
+		})
+		if err != nil {
+			return fmt.Errorf("request %d (%s %v): %w", i, models[i], p, err)
+		}
+		if len(resp.Outputs) != 1 || resp.Outputs[0].Shape()[0] != p.Batch {
+			return fmt.Errorf("request %d: bad output", i)
+		}
+		return nil
+	})
+	failed := 0
+	for _, err := range errs {
+		if err != nil {
+			failed++
+			t.Error(err)
+		}
+	}
+	if failed > 0 {
+		t.Fatalf("%d/%d requests failed under chaos (seed %d)", failed, len(errs), inj.Seed())
+	}
+
+	st := s.Stats()
+	t.Logf("chaos: %s", st)
+	t.Logf("chaos: injector fired %d times %v (seed %d)", inj.Total(), inj.Counts(), inj.Seed())
+	if st.Requests != int64(len(tr.Points)) || st.Completed != st.Requests {
+		t.Fatalf("every request must complete: %s", st)
+	}
+	if st.Failed != 0 || st.Canceled != 0 || st.Rejected != 0 {
+		t.Fatalf("zero failed/canceled/rejected wanted: %s", st)
+	}
+	if st.FallbackRuns == 0 {
+		t.Fatal("chaos run must exercise the interpreter fallback")
+	}
+	if st.Retries == 0 {
+		t.Fatal("chaos run must exercise the retry path")
+	}
+	if st.BreakerOpens == 0 {
+		t.Fatal("chaos run must open a breaker")
+	}
+}

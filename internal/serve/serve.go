@@ -21,7 +21,9 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 	"time"
@@ -45,7 +47,7 @@ type Engine interface {
 // singleflight cache — no matter how many requests race on a cold model.
 type CompileFunc func(g *graph.Graph) (Engine, error)
 
-// Config parameterizes admission control.
+// Config parameterizes admission control and the resilience policy.
 type Config struct {
 	// MaxConcurrent is the number of requests executing at once
 	// (default: GOMAXPROCS).
@@ -54,6 +56,27 @@ type Config struct {
 	// (default 64; negative means no queueing — reject when all
 	// execution slots are busy).
 	QueueDepth int
+
+	// MaxRetries bounds re-attempts after a transient failure
+	// (discerr.ErrTransient), with jittered exponential backoff between
+	// attempts. Default 2; negative disables retries.
+	MaxRetries int
+	// RetryBackoff is the base delay before the first retry; each
+	// further retry doubles it, and each delay is jittered to [d/2, d).
+	// Default 1ms.
+	RetryBackoff time.Duration
+	// BreakerThreshold is the number of consecutive engine failures that
+	// quarantines a (model, signature) engine — requests then go straight
+	// to the interpreter fallback. Default 3; negative disables the
+	// breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before
+	// half-opening to admit one probe request. Default 10s.
+	BreakerCooldown time.Duration
+	// DisableFallback turns off the interpreter fallback: engine
+	// failures propagate to the caller instead of being served slowly.
+	// For tests and ablations.
+	DisableFallback bool
 }
 
 // Request is one inference call.
@@ -77,6 +100,13 @@ type Response struct {
 	Signature string
 	// QueueNs is wall time spent waiting for an execution slot.
 	QueueNs int64
+	// Fallback reports that the compiled engine failed (or was
+	// quarantined) and the request was served — correctly but slowly —
+	// by the reference interpreter.
+	Fallback bool
+	// Retries is how many times this request re-attempted its engine
+	// after transient failures.
+	Retries int
 }
 
 // Server is a concurrency-safe inference frontend over compiled engines.
@@ -85,16 +115,21 @@ type Server struct {
 	compile CompileFunc
 	cache   *ral.Cache
 
-	mu     sync.Mutex
-	models map[string]*modelEntry
+	mu       sync.Mutex
+	models   map[string]*modelEntry
+	breakers map[string]*breaker
+	closed   bool
+
+	// inflight counts admitted Infer calls; Shutdown waits on it.
+	inflight sync.WaitGroup
+
+	// forceCtx is cancelled by Shutdown when the drain deadline expires,
+	// which cancels every in-flight request's derived context.
+	forceCtx    context.Context
+	forceCancel context.CancelFunc
 
 	// sem holds one token per executing request.
 	sem chan struct{}
-
-	// closeMu serializes Close against in-flight Infers: every Infer
-	// holds the read side for its duration.
-	closeMu sync.RWMutex
-	closed  bool
 
 	stats *collector
 }
@@ -139,13 +174,35 @@ func New(cfg Config, compile CompileFunc) *Server {
 	case cfg.QueueDepth < 0:
 		cfg.QueueDepth = 0
 	}
+	switch {
+	case cfg.MaxRetries == 0:
+		cfg.MaxRetries = 2
+	case cfg.MaxRetries < 0:
+		cfg.MaxRetries = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = time.Millisecond
+	}
+	switch {
+	case cfg.BreakerThreshold == 0:
+		cfg.BreakerThreshold = 3
+	case cfg.BreakerThreshold < 0:
+		cfg.BreakerThreshold = 0 // disabled
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 10 * time.Second
+	}
+	forceCtx, forceCancel := context.WithCancel(context.Background())
 	return &Server{
-		cfg:     cfg,
-		compile: compile,
-		cache:   ral.NewCache(),
-		models:  map[string]*modelEntry{},
-		sem:     make(chan struct{}, cfg.MaxConcurrent),
-		stats:   newCollector(),
+		cfg:         cfg,
+		compile:     compile,
+		cache:       ral.NewCache(),
+		models:      map[string]*modelEntry{},
+		breakers:    map[string]*breaker{},
+		forceCtx:    forceCtx,
+		forceCancel: forceCancel,
+		sem:         make(chan struct{}, cfg.MaxConcurrent),
+		stats:       newCollector(),
 	}
 }
 
@@ -212,18 +269,49 @@ func (s *Server) Warm(model string) error {
 }
 
 // Infer runs one request end to end: admission, engine lookup/compile,
-// execution. It is safe to call from any number of goroutines. Errors
-// wrap the discerr sentinels: ErrQueueFull (rejected by admission),
-// ErrServerClosed, ErrCompileFailed, ErrShapeMismatch (bad inputs), plus
-// ctx.Err() when the request's context expires while queued or mid-run.
+// execution — with the resilience policy wrapped around the engine. It is
+// safe to call from any number of goroutines.
+//
+// Failure handling, in order:
+//
+//   - Transient errors (discerr.ErrTransient — e.g. a RAL allocation
+//     hiccup, injected or real) are retried up to MaxRetries times with
+//     jittered exponential backoff.
+//   - Compile failures, recovered kernel panics (discerr.ErrKernelPanic)
+//     and exhausted transient retries count against the engine's circuit
+//     breaker and — unless DisableFallback — the request is re-executed
+//     through the shape-generic reference interpreter: it succeeds,
+//     slowly, and FallbackRuns is recorded.
+//   - BreakerThreshold consecutive failures quarantine the
+//     (model, signature) engine: requests short-circuit to fallback
+//     (discerr.ErrEngineQuarantined classifies the cause) until the
+//     cooldown elapses and a half-open probe closes the breaker again.
+//   - Shape mismatches and unknown models are the caller's fault: they
+//     propagate immediately with no retry, breaker penalty, or fallback.
+//
+// Errors wrap the discerr sentinels: ErrQueueFull (rejected by
+// admission), ErrServerClosed, ErrCompileFailed, ErrShapeMismatch,
+// ErrKernelPanic, ErrTransient, ErrEngineQuarantined, plus ctx.Err() when
+// the request's context expires while queued or mid-run.
 func (s *Server) Infer(ctx context.Context, req *Request) (*Response, error) {
-	s.closeMu.RLock()
-	defer s.closeMu.RUnlock()
 	s.stats.request()
+	s.mu.Lock()
 	if s.closed {
+		s.mu.Unlock()
 		s.stats.rejected()
 		return nil, fmt.Errorf("serve: %w", discerr.ErrServerClosed)
 	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+
+	// Derive the request context so Shutdown's force-cancel reaches
+	// every in-flight request.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stop := context.AfterFunc(s.forceCtx, cancel)
+	defer stop()
+
 	m, err := s.lookup(req.Model)
 	if err != nil {
 		s.stats.failed()
@@ -244,48 +332,193 @@ func (s *Server) Infer(ctx context.Context, req *Request) (*Response, error) {
 	defer release()
 	queueNs := time.Since(queueStart).Nanoseconds()
 
-	eng, sig, hit, err := s.engine(m)
+	sig, err := m.signature()
 	if err != nil {
 		s.stats.failed()
 		return nil, err
 	}
-	if hit {
-		s.stats.cacheHit()
-	} else {
-		s.stats.cacheMiss()
+	br := s.breakerFor(m.name + "@" + sig)
+	if !br.allow(time.Now()) {
+		s.stats.breakerShorted()
+		cause := fmt.Errorf("serve: model %q (signature %s): %w", m.name, sig, discerr.ErrEngineQuarantined)
+		return s.finish(s.fallback(ctx, m, req, sig, queueNs, 0, cause))
 	}
 
-	res, err := eng.RunContext(ctx, req.Inputs)
-	if err != nil {
+	var lastErr error
+	retries := 0
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			retries++
+			s.stats.retry()
+			if err := s.backoff(ctx, attempt); err != nil {
+				s.stats.canceled()
+				return nil, err
+			}
+		}
+		eng, _, hit, err := s.engine(m)
+		if err != nil {
+			lastErr = err
+			if errors.Is(err, discerr.ErrTransient) && attempt < s.cfg.MaxRetries && ctx.Err() == nil {
+				continue
+			}
+			break
+		}
+		if hit {
+			s.stats.cacheHit()
+		} else {
+			s.stats.cacheMiss()
+		}
+
+		res, err := runEngine(ctx, eng, req.Inputs)
+		if err == nil {
+			br.success()
+			s.stats.completed(res.Profile.SimulatedNs)
+			return &Response{
+				Outputs:   res.Outputs,
+				Profile:   res.Profile,
+				CacheHit:  hit,
+				Signature: sig,
+				QueueNs:   queueNs,
+				Retries:   retries,
+			}, nil
+		}
 		if ctx.Err() != nil {
 			s.stats.canceled()
 			return nil, err
 		}
+		if errors.Is(err, discerr.ErrShapeMismatch) {
+			// The caller's inputs are invalid; the engine is fine.
+			s.stats.failed()
+			return nil, err
+		}
+		lastErr = err
+		if errors.Is(err, discerr.ErrKernelPanic) {
+			s.stats.kernelPanic()
+			break // a panicking kernel may be deterministic: don't retry
+		}
+		if errors.Is(err, discerr.ErrTransient) && attempt < s.cfg.MaxRetries {
+			continue
+		}
+		break
+	}
+
+	if br.failure(time.Now()) {
+		s.stats.breakerOpened()
+	}
+	return s.finish(s.fallback(ctx, m, req, sig, queueNs, retries, lastErr))
+}
+
+// finish translates a fallback outcome into the final stats bucket.
+func (s *Server) finish(resp *Response, err error) (*Response, error) {
+	if err == nil {
+		return resp, nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		s.stats.canceled()
+	} else {
 		s.stats.failed()
+	}
+	return nil, err
+}
+
+// runEngine invokes the engine with panic isolation: a panicking kernel
+// (or engine implementation) becomes an error wrapping
+// discerr.ErrKernelPanic instead of killing the process. exec.Executable
+// recovers its own panics too; this guards non-exec Engine
+// implementations as a second line.
+func runEngine(ctx context.Context, eng Engine, inputs []*tensor.Tensor) (res *exec.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("serve: engine panicked: %v: %w", r, discerr.ErrKernelPanic)
+		}
+	}()
+	return eng.RunContext(ctx, inputs)
+}
+
+// breakerFor returns (lazily creating) the circuit breaker for an engine
+// key, or nil when breakers are disabled.
+func (s *Server) breakerFor(key string) *breaker {
+	if s.cfg.BreakerThreshold <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.breakers[key]
+	if !ok {
+		b = newBreaker(s.cfg.BreakerThreshold, s.cfg.BreakerCooldown)
+		s.breakers[key] = b
+	}
+	return b
+}
+
+// backoff sleeps the jittered exponential delay before retry `attempt`
+// (1-based), honouring cancellation.
+func (s *Server) backoff(ctx context.Context, attempt int) error {
+	d := s.cfg.RetryBackoff << (attempt - 1)
+	if max := 250 * time.Millisecond; d > max {
+		d = max
+	}
+	// Jitter into [d/2, d) so synchronized failures don't retry in
+	// lockstep.
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// fallbackNodeNs is the per-op host overhead charged to fallback runs:
+// interpreter dispatch is framework-speed, not compiled-speed, which is
+// exactly the degradation the paper's framework fallback accepts.
+const fallbackNodeNs = 25000
+
+// fallback serves the request through the shape-generic reference
+// interpreter — the paper's framework-fallback path. The request
+// succeeds with correct outputs but pays eager per-op dispatch costs;
+// `cause` records why the compiled path was abandoned.
+func (s *Server) fallback(ctx context.Context, m *modelEntry, req *Request, sig string, queueNs int64, retries int, cause error) (*Response, error) {
+	if s.cfg.DisableFallback {
+		return nil, cause
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	s.stats.completed(res.Profile.SimulatedNs)
+	g := m.build()
+	outs, err := graph.Evaluate(g, req.Inputs)
+	if err != nil {
+		return nil, fmt.Errorf("serve: fallback for %q also failed: %v (compiled path: %w)", m.name, err, cause)
+	}
+	prof := ral.NewProfiler()
+	prof.Host(float64(len(g.Toposort())) * fallbackNodeNs)
+	s.stats.fallback(prof.SimulatedNs)
 	return &Response{
-		Outputs:   res.Outputs,
-		Profile:   res.Profile,
-		CacheHit:  hit,
+		Outputs:   outs,
+		Profile:   prof,
 		Signature: sig,
 		QueueNs:   queueNs,
+		Fallback:  true,
+		Retries:   retries,
 	}, nil
 }
 
 // admit acquires an execution slot, queueing up to QueueDepth waiters.
-// It returns the release func, or ErrQueueFull / ctx.Err().
+// It returns the release func, or ErrQueueFull / ctx.Err(). A request
+// whose context is already done is never admitted — a deadline that
+// expires exactly at admit time counts as canceled, not running.
 func (s *Server) admit(ctx context.Context) (func(), error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Fast path: a slot is free.
 	select {
 	case s.sem <- struct{}{}:
 		s.stats.running(+1)
 		return s.release, nil
 	default:
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
 	}
 	if !s.stats.tryEnqueue(s.cfg.QueueDepth) {
 		return nil, fmt.Errorf("serve: %d executing, %d queued: %w",
@@ -314,10 +547,38 @@ func (s *Server) Stats() Stats {
 	return st
 }
 
-// Close marks the server closed and waits for in-flight requests to
-// drain. Later Infer calls fail with discerr.ErrServerClosed.
-func (s *Server) Close() {
-	s.closeMu.Lock()
+// Shutdown gracefully drains the server: it stops admitting new requests
+// (late Infer calls fail with discerr.ErrServerClosed), waits for
+// in-flight requests to finish, and — if ctx expires first — force-cancels
+// them, then waits for them to unwind and release their resources. It
+// returns nil on a clean drain or ctx.Err() when the deadline forced
+// cancellation. Safe to call multiple times and from multiple goroutines.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
 	s.closed = true
-	s.closeMu.Unlock()
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Deadline expired: cancel every in-flight request's context and
+		// wait for them to unwind (cancellation is observed between
+		// kernel launches, so this is prompt) — buffers must be back in
+		// their pools before we return.
+		s.forceCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close is Shutdown with no deadline: it blocks until every in-flight
+// request has drained. Later Infer calls fail with discerr.ErrServerClosed.
+func (s *Server) Close() {
+	s.Shutdown(context.Background())
 }

@@ -355,11 +355,13 @@ func TestServerClose(t *testing.T) {
 	}
 }
 
-// TestCompileFailure: a failing compile surfaces ErrCompileFailed, is not
-// cached, and the model name / signature appear in the message.
+// TestCompileFailure: with fallback disabled, a failing compile surfaces
+// ErrCompileFailed and is not cached — the next request compiles again.
+// (With fallback enabled — the default — a compile failure is served by
+// the interpreter instead; see resilience_test.go.)
 func TestCompileFailure(t *testing.T) {
 	fails := int32(0)
-	s := New(Config{MaxConcurrent: 2}, func(g *graph.Graph) (Engine, error) {
+	s := New(Config{MaxConcurrent: 2, DisableFallback: true}, func(g *graph.Graph) (Engine, error) {
 		if atomic.AddInt32(&fails, 1) == 1 {
 			return nil, errors.New("lowering exploded")
 		}

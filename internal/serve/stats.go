@@ -24,6 +24,16 @@ type Stats struct {
 	CacheHits, CacheMisses int64
 	Engines                int
 
+	// Resilience counters. FallbackRuns are requests that completed
+	// through the interpreter fallback after their engine failed (they
+	// also count in Completed). Retries counts re-attempts after
+	// transient errors. KernelPanics counts panics recovered during
+	// engine execution. BreakerOpens counts closed/half-open → open
+	// transitions; BreakerShortCircuits counts requests that found their
+	// engine quarantined and went straight to fallback.
+	FallbackRuns, Retries, KernelPanics int64
+	BreakerOpens, BreakerShortCircuits  int64
+
 	// QueueDepth is the current number of requests waiting for an
 	// execution slot; PeakQueueDepth its high-water mark. InFlight and
 	// PeakInFlight track executing requests the same way.
@@ -39,7 +49,7 @@ type Stats struct {
 
 // String renders the snapshot for logs and CLIs.
 func (st Stats) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"requests=%d completed=%d rejected=%d canceled=%d failed=%d | "+
 			"engines=%d cache=%d/%d hit/miss | queue=%d (peak %d) inflight=%d (peak %d) | "+
 			"p50=%.1fµs p99=%.1fµs total=%.2fms",
@@ -47,6 +57,11 @@ func (st Stats) String() string {
 		st.Engines, st.CacheHits, st.CacheMisses,
 		st.QueueDepth, st.PeakQueueDepth, st.InFlight, st.PeakInFlight,
 		st.P50SimNs/1e3, st.P99SimNs/1e3, st.TotalSimNs/1e6)
+	if st.FallbackRuns+st.Retries+st.KernelPanics+st.BreakerOpens > 0 {
+		s += fmt.Sprintf(" | fallback=%d retries=%d panics=%d breaker=%d opens/%d shorted",
+			st.FallbackRuns, st.Retries, st.KernelPanics, st.BreakerOpens, st.BreakerShortCircuits)
+	}
+	return s
 }
 
 // collector accumulates counters under one mutex. Admission queueing uses
@@ -57,6 +72,8 @@ type collector struct {
 
 	nRequests, nCompleted, nRejected, nCanceled, nFailed int64
 	nHits, nMisses                                       int64
+	nFallback, nRetries, nPanics                         int64
+	nBreakerOpens, nBreakerShorted                       int64
 
 	queueDepth, peakQueue  int
 	inFlight, peakInFlight int
@@ -75,6 +92,21 @@ func (c *collector) canceled()  { c.mu.Lock(); c.nCanceled++; c.mu.Unlock() }
 func (c *collector) failed()    { c.mu.Lock(); c.nFailed++; c.mu.Unlock() }
 func (c *collector) cacheHit()  { c.mu.Lock(); c.nHits++; c.mu.Unlock() }
 func (c *collector) cacheMiss() { c.mu.Lock(); c.nMisses++; c.mu.Unlock() }
+
+func (c *collector) retry()          { c.mu.Lock(); c.nRetries++; c.mu.Unlock() }
+func (c *collector) kernelPanic()    { c.mu.Lock(); c.nPanics++; c.mu.Unlock() }
+func (c *collector) breakerOpened()  { c.mu.Lock(); c.nBreakerOpens++; c.mu.Unlock() }
+func (c *collector) breakerShorted() { c.mu.Lock(); c.nBreakerShorted++; c.mu.Unlock() }
+
+// fallback records one request completed through the interpreter fallback;
+// it contributes to Completed and the latency window like a normal
+// completion.
+func (c *collector) fallback(simNs float64) {
+	c.mu.Lock()
+	c.nFallback++
+	c.mu.Unlock()
+	c.completed(simNs)
+}
 
 // completed records one successful request and its simulated latency.
 func (c *collector) completed(simNs float64) {
@@ -129,6 +161,8 @@ func (c *collector) snapshot() Stats {
 		Requests: c.nRequests, Completed: c.nCompleted, Rejected: c.nRejected,
 		Canceled: c.nCanceled, Failed: c.nFailed,
 		CacheHits: c.nHits, CacheMisses: c.nMisses,
+		FallbackRuns: c.nFallback, Retries: c.nRetries, KernelPanics: c.nPanics,
+		BreakerOpens: c.nBreakerOpens, BreakerShortCircuits: c.nBreakerShorted,
 		QueueDepth: c.queueDepth, PeakQueueDepth: c.peakQueue,
 		InFlight: c.inFlight, PeakInFlight: c.peakInFlight,
 		TotalSimNs: c.totalSimNs,
