@@ -1,9 +1,10 @@
 # Tier-1 verify gate (see ROADMAP.md): build, vet, full tests, then the
 # race detector over the concurrent serving/execution paths, then a
-# randomized chaos replay with fault injection enabled.
-.PHONY: verify build vet test race bench chaos
+# randomized chaos replay with fault injection enabled, then an
+# informational bench comparison against the checked-in results.
+.PHONY: verify build vet test race bench bench-compare chaos
 
-verify: build vet test race chaos
+verify: build vet test race chaos bench-compare
 
 build:
 	go build ./...
@@ -27,5 +28,22 @@ chaos:
 	GODISC_FAULTS="$$spec" GODISC_FAULT_SEED="$$seed" \
 		go test -race -count=1 ./internal/serve ./internal/exec
 
+# bench runs every experiment benchmark once and checks the parsed
+# results into BENCH_PR3.json (per-experiment custom metrics, including
+# the E14 sequential-vs-parallel speedup curve). -benchtime=1x because
+# each benchmark iteration is itself a whole experiment replay.
 bench:
-	go test -bench=. -benchmem .
+	go test -run '^$$' -bench=. -benchtime=1x -benchmem . | tee bench.out
+	go run ./cmd/benchjson -in bench.out -out BENCH_PR3.json
+	@rm -f bench.out
+	@echo "wrote BENCH_PR3.json"
+
+# bench-compare prints deltas between the two most recent checked-in
+# BENCH_*.json files (or against itself when only one exists). It is
+# informational and never fails the build.
+bench-compare:
+	@files=$$(ls BENCH_*.json 2>/dev/null | sort | tail -2); \
+	set -- $$files; \
+	if [ $$# -eq 0 ]; then echo "bench-compare: no BENCH_*.json checked in (run 'make bench')"; \
+	elif [ $$# -eq 1 ]; then go run ./cmd/benchjson -compare "$$1" "$$1" || true; \
+	else go run ./cmd/benchjson -compare "$$1" "$$2" || true; fi

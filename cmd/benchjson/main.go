@@ -1,0 +1,237 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document (one object per benchmark, metric name → value), so bench
+// results can be checked in and diffed across PRs, and compares two such
+// documents printing per-metric deltas.
+//
+//	go test -run '^$' -bench=. -benchtime=1x . | benchjson -out BENCH_PR3.json
+//	benchjson -compare BENCH_PR2.json BENCH_PR3.json
+//
+// Compare is informational by design: it exits zero even when metrics
+// regress, so it can run inside `make verify` without gating it.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped
+	// ("E14ParallelScaling", not "BenchmarkE14ParallelScaling-8").
+	Name string `json:"name"`
+	// Iterations is the b.N the reported values were averaged over.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value: "ns/op", "B/op" and every custom
+	// b.ReportMetric unit ("speedup_w4", ...).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Doc is the checked-in JSON shape.
+type Doc struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		in      = flag.String("in", "", "bench output file (default stdin)")
+		out     = flag.String("out", "", "JSON output file (default stdout)")
+		compare = flag.Bool("compare", false, "compare two JSON files given as arguments and print deltas")
+	)
+	flag.Parse()
+	var err error
+	if *compare {
+		if flag.NArg() != 2 {
+			err = fmt.Errorf("-compare needs exactly two JSON files, got %d args", flag.NArg())
+		} else {
+			err = runCompare(os.Stdout, flag.Arg(0), flag.Arg(1))
+		}
+	} else {
+		err = runConvert(*in, *out)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func runConvert(in, out string) error {
+	var r io.Reader = os.Stdin
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	doc, err := Parse(r)
+	if err != nil {
+		return err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+	payload, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	payload = append(payload, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(payload)
+		return err
+	}
+	return os.WriteFile(out, payload, 0o644)
+}
+
+// Parse extracts benchmark rows from `go test -bench` output. A result
+// line is "Benchmark<Name>-P  N  value unit [value unit]..."; everything
+// else (PASS, ok, metric headers, test logs) is skipped.
+func Parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := strings.TrimPrefix(f[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				break
+			}
+			b.Metrics[f[i+1]] = v
+		}
+		if len(b.Metrics) > 0 {
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	return doc, sc.Err()
+}
+
+// runCompare prints old-vs-new deltas for every metric present in either
+// file. Wall-time metrics (ns/op, B/op, allocs/op) vary with the build
+// host; the custom experiment metrics are the stable signal.
+func runCompare(w io.Writer, oldPath, newPath string) error {
+	oldDoc, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newDoc, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := index(oldDoc)
+	newBy := index(newDoc)
+	var names []string
+	seen := map[string]bool{}
+	for _, b := range append(append([]Benchmark{}, oldDoc.Benchmarks...), newDoc.Benchmarks...) {
+		if !seen[b.Name] {
+			seen[b.Name] = true
+			names = append(names, b.Name)
+		}
+	}
+	fmt.Fprintf(w, "bench compare: %s -> %s\n", oldPath, newPath)
+	for _, name := range names {
+		ob, hasOld := oldBy[name]
+		nb, hasNew := newBy[name]
+		switch {
+		case !hasOld:
+			fmt.Fprintf(w, "  %s: new benchmark\n", name)
+			for _, unit := range sortedUnits(nb.Metrics) {
+				fmt.Fprintf(w, "    %-24s %14s\n", unit, format(nb.Metrics[unit]))
+			}
+			continue
+		case !hasNew:
+			fmt.Fprintf(w, "  %s: removed\n", name)
+			continue
+		}
+		var lines []string
+		for _, unit := range sortedUnits(ob.Metrics) {
+			ov := ob.Metrics[unit]
+			nv, ok := nb.Metrics[unit]
+			if !ok {
+				lines = append(lines, fmt.Sprintf("    %-24s %14s -> (gone)", unit, format(ov)))
+				continue
+			}
+			lines = append(lines, fmt.Sprintf("    %-24s %14s -> %-14s %s",
+				unit, format(ov), format(nv), deltaStr(ov, nv)))
+		}
+		for _, unit := range sortedUnits(nb.Metrics) {
+			if _, ok := ob.Metrics[unit]; !ok {
+				lines = append(lines, fmt.Sprintf("    %-24s %14s -> %-14s (new metric)",
+					unit, "-", format(nb.Metrics[unit])))
+			}
+		}
+		fmt.Fprintf(w, "  %s:\n%s\n", name, strings.Join(lines, "\n"))
+	}
+	return nil
+}
+
+func load(path string) (*Doc, error) {
+	payload, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Doc
+	if err := json.Unmarshal(payload, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+func index(d *Doc) map[string]Benchmark {
+	out := map[string]Benchmark{}
+	for _, b := range d.Benchmarks {
+		out[b.Name] = b
+	}
+	return out
+}
+
+func sortedUnits(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func format(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	case math.Abs(v) >= 1e6:
+		return strconv.FormatFloat(v, 'e', 3, 64)
+	default:
+		return strconv.FormatFloat(v, 'g', 6, 64)
+	}
+}
+
+func deltaStr(old, new float64) string {
+	if old == 0 {
+		return ""
+	}
+	pct := (new - old) / math.Abs(old) * 100
+	return fmt.Sprintf("(%+.1f%%)", pct)
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: godisc
+BenchmarkE1ModelSuite-8        	       1	1519046898 ns/op	456 B/op	3 allocs/op
+BenchmarkE2EndToEndA10-8       	       1	2059266914 ns/op	         4.530 mean_x_PyTorch	         1.180 mean_x_XLA
+BenchmarkE14ParallelScaling-8  	       1	5816546650 ns/op	         1.000 bit_identical	         4.000 speedup_w4
+PASS
+ok  	godisc	29.155s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("benchmarks %d", len(doc.Benchmarks))
+	}
+	if doc.Benchmarks[0].Name != "E1ModelSuite" {
+		t.Fatalf("name %q", doc.Benchmarks[0].Name)
+	}
+	e2 := doc.Benchmarks[1]
+	if e2.Metrics["mean_x_PyTorch"] != 4.53 {
+		t.Fatalf("custom metric lost: %v", e2.Metrics)
+	}
+	e14 := doc.Benchmarks[2]
+	if e14.Metrics["speedup_w4"] != 4 || e14.Metrics["bit_identical"] != 1 {
+		t.Fatalf("e14 metrics %v", e14.Metrics)
+	}
+	if e14.Metrics["ns/op"] != 5816546650 {
+		t.Fatalf("ns/op %v", e14.Metrics["ns/op"])
+	}
+}
+
+func TestConvertAndCompare(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	oldJSON := filepath.Join(dir, "old.json")
+	newJSON := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(in, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runConvert(in, oldJSON); err != nil {
+		t.Fatal(err)
+	}
+	// New run: one metric improved, one benchmark added.
+	newer := strings.Replace(sample, "4.000 speedup_w4", "4.400 speedup_w4", 1) +
+		"BenchmarkExtra-8 1 10 ns/op\n"
+	if err := os.WriteFile(in, []byte(newer), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runConvert(in, newJSON); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := runCompare(&sb, oldJSON, newJSON); err != nil {
+		t.Fatal(err)
+	}
+	rep := sb.String()
+	for _, want := range []string{"E14ParallelScaling", "speedup_w4", "(+10.0%)", "Extra: new benchmark"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("compare report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestCompareMissingFile(t *testing.T) {
+	if err := runCompare(&strings.Builder{}, "/does/not/exist.json", "/nope.json"); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

@@ -13,7 +13,7 @@ func TestRunExperimentSubsetWithJSON(t *testing.T) {
 	cfg.Requests = 10
 	cfg.Models = []string{"mlp"}
 	jsonOut := filepath.Join(t.TempDir(), "r.json")
-	if err := run("e1", cfg, jsonOut, ""); err != nil {
+	if err := run("e1", cfg, jsonOut, "", "1,2"); err != nil {
 		t.Fatal(err)
 	}
 	if st, err := os.Stat(jsonOut); err != nil || st.Size() == 0 {
@@ -29,13 +29,13 @@ func TestRunReplayTrace(t *testing.T) {
 	if err := os.WriteFile(tracePath, []byte("# t\n1,1\n2,1\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("replay", cfg, "", tracePath); err != nil {
+	if err := run("replay", cfg, "", tracePath, "1,2"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("e99", bench.DefaultConfig(), "", ""); err == nil {
+	if err := run("e99", bench.DefaultConfig(), "", "", "1,2"); err == nil {
 		t.Fatal("unknown experiment must error")
 	}
 }

@@ -13,6 +13,7 @@ import (
 
 	"godisc/internal/baselines"
 	"godisc/internal/device"
+	"godisc/internal/exec"
 	"godisc/internal/graph"
 	"godisc/internal/models"
 	"godisc/internal/symshape"
@@ -21,20 +22,22 @@ import (
 
 func main() {
 	var (
-		model  = flag.String("model", "bert", "model to run")
-		in     = flag.String("in", "", "run a serialized .disc graph instead of a zoo model")
-		binds  = flag.String("bind", "", "with -in: dynamic dim values, e.g. \"d0=4,d1=12\"")
-		dev    = flag.String("device", "A10", "device model: A10 or T4")
-		batch  = flag.Int("batch", 4, "batch size")
-		seqs   = flag.String("seqs", "8,33,128", "comma-separated sequence lengths to run")
-		verify = flag.Bool("verify", true, "check outputs against the reference interpreter")
+		model   = flag.String("model", "bert", "model to run")
+		in      = flag.String("in", "", "run a serialized .disc graph instead of a zoo model")
+		binds   = flag.String("bind", "", "with -in: dynamic dim values, e.g. \"d0=4,d1=12\"")
+		dev     = flag.String("device", "A10", "device model: A10 or T4")
+		batch   = flag.Int("batch", 4, "batch size")
+		seqs    = flag.String("seqs", "8,33,128", "comma-separated sequence lengths to run")
+		verify  = flag.Bool("verify", true, "check outputs against the reference interpreter")
+		workers = flag.Int("workers", exec.DefaultWorkers(),
+			"engine execution goroutines per run (1 = sequential; default GODISC_WORKERS or GOMAXPROCS)")
 	)
 	flag.Parse()
 	var err error
 	if *in != "" {
-		err = runArtifact(*in, *binds, *dev)
+		err = runArtifact(*in, *binds, *dev, *workers)
 	} else {
-		err = run(*model, *dev, *batch, *seqs, *verify)
+		err = run(*model, *dev, *batch, *seqs, *verify, *workers)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "discrun:", err)
@@ -45,7 +48,7 @@ func main() {
 // runArtifact loads a serialized graph, binds the user-supplied dynamic
 // dim values, synthesizes random inputs of the resulting shapes, and runs
 // the compiled executable with verification against the reference.
-func runArtifact(path, binds, devName string) error {
+func runArtifact(path, binds, devName string, workers int) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -122,7 +125,9 @@ func runArtifact(path, binds, devName string) error {
 	if err != nil {
 		return err
 	}
-	disc, err := baselines.NewCompiled(g, d, baselines.BladeDISCParams())
+	params := baselines.BladeDISCParams()
+	params.Workers = workers
+	disc, err := baselines.NewCompiled(g, d, params)
 	if err != nil {
 		return err
 	}
@@ -156,7 +161,7 @@ func keys(m map[string]symshape.DimID) []string {
 	return out
 }
 
-func run(model, devName string, batch int, seqs string, verify bool) error {
+func run(model, devName string, batch int, seqs string, verify bool, workers int) error {
 	m, err := models.ByName(model)
 	if err != nil {
 		return err
@@ -165,7 +170,9 @@ func run(model, devName string, batch int, seqs string, verify bool) error {
 	if err != nil {
 		return err
 	}
-	disc, err := baselines.NewCompiled(m.Build(), d, baselines.BladeDISCParams())
+	params := baselines.BladeDISCParams()
+	params.Workers = workers
+	disc, err := baselines.NewCompiled(m.Build(), d, params)
 	if err != nil {
 		return err
 	}

@@ -10,20 +10,20 @@ import (
 
 func TestRunVerifiesModels(t *testing.T) {
 	for _, m := range []string{"mlp", "gpt2"} {
-		if err := run(m, "T4", 2, "4,9", true); err != nil {
+		if err := run(m, "T4", 2, "4,9", true, 4); err != nil {
 			t.Fatalf("%s: %v", m, err)
 		}
 	}
 }
 
 func TestRunRejectsBadArgs(t *testing.T) {
-	if err := run("nope", "A10", 2, "4", true); err == nil {
+	if err := run("nope", "A10", 2, "4", true, 1); err == nil {
 		t.Fatal("unknown model must error")
 	}
-	if err := run("mlp", "H100", 2, "4", true); err == nil {
+	if err := run("mlp", "H100", 2, "4", true, 1); err == nil {
 		t.Fatal("unknown device must error")
 	}
-	if err := run("mlp", "A10", 2, "x", true); err == nil {
+	if err := run("mlp", "A10", 2, "x", true, 1); err == nil {
 		t.Fatal("bad seq list must error")
 	}
 }
@@ -39,10 +39,10 @@ func TestRunArtifact(t *testing.T) {
 	if err := os.WriteFile(path, []byte(graph.WriteText(m.Build())), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runArtifact(path, "", "A10"); err != nil {
+	if err := runArtifact(path, "", "A10", 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := runArtifact(path, "dZZZ=4", "A10"); err == nil {
+	if err := runArtifact(path, "dZZZ=4", "A10", 1); err == nil {
 		t.Fatal("unknown binding must error")
 	}
 }

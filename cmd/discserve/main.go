@@ -33,20 +33,21 @@ import (
 
 // options collects everything run needs, mirroring the flags.
 type options struct {
-	Models       string        // comma-separated zoo model names
-	Dist         string        // workload distribution name
-	Device       string        // device model name
-	Requests     int           // trace length
-	Workers      int           // client goroutines == server MaxConcurrent
-	Queue        int           // admission queue depth
-	MaxBatch     int           // trace batch bound
-	MaxSeq       int           // trace sequence-length bound
-	Deadline     time.Duration // per-request deadline (0 = none)
-	Warm         bool          // precompile before replaying
-	Seed         uint64        // trace generator seed
-	Faults       string        // fault-injection spec ("" = no faults)
-	FaultSeed    uint64        // fault injector seed
-	DrainTimeout time.Duration // graceful-shutdown deadline
+	Models        string        // comma-separated zoo model names
+	Dist          string        // workload distribution name
+	Device        string        // device model name
+	Requests      int           // trace length
+	Workers       int           // client goroutines == server MaxConcurrent
+	Queue         int           // admission queue depth
+	MaxBatch      int           // trace batch bound
+	MaxSeq        int           // trace sequence-length bound
+	Deadline      time.Duration // per-request deadline (0 = none)
+	Warm          bool          // precompile before replaying
+	Seed          uint64        // trace generator seed
+	Faults        string        // fault-injection spec ("" = no faults)
+	FaultSeed     uint64        // fault injector seed
+	DrainTimeout  time.Duration // graceful-shutdown deadline
+	EngineWorkers int           // per-request engine parallelism (0 = auto)
 }
 
 func main() {
@@ -66,6 +67,8 @@ func main() {
 		"fault spec site:mode:rate[:latency][,...] (default $GODISC_FAULTS)")
 	flag.Uint64Var(&o.FaultSeed, "fault-seed", 1, "fault injector seed")
 	flag.DurationVar(&o.DrainTimeout, "drain-timeout", 5*time.Second, "graceful shutdown deadline")
+	flag.IntVar(&o.EngineWorkers, "engine-workers", 0,
+		"engine execution goroutines per request, sharing one server pool (0 = GODISC_WORKERS or GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "discserve:", err)
@@ -92,7 +95,7 @@ func run(o options, w *os.File) error {
 	}
 
 	srv := godisc.NewServer(
-		godisc.ServerConfig{MaxConcurrent: o.Workers, QueueDepth: o.Queue},
+		godisc.ServerConfig{MaxConcurrent: o.Workers, QueueDepth: o.Queue, Workers: o.EngineWorkers},
 		godisc.WithDevice(dev),
 		godisc.WithFaults(inj),
 	)

@@ -163,10 +163,32 @@ type compileConfig struct {
 	disableSpecialization bool
 	verbose               func(format string, args ...any)
 	faults                *FaultInjector
+	workers               int
+	workerPool            *exec.WorkerPool
 }
 
 // WithDevice selects the GPU device model (default A10).
 func WithDevice(d *Device) Option { return func(c *compileConfig) { c.device = d } }
+
+// WithWorkers sets how many goroutines one Run may use: independent
+// kernels are scheduled concurrently over the compiled unit DAG and large
+// kernels are partitioned into ranges (see DESIGN.md §9). n == 1 forces
+// the sequential engine; n == 0 (the default) resolves to DefaultWorkers.
+// Parallel execution is bit-identical to sequential.
+func WithWorkers(n int) Option { return func(c *compileConfig) { c.workers = n } }
+
+// WorkerPool bounds the helper goroutines of engines that share it; pass
+// one pool to many engines (as NewServer does) so concurrent requests
+// multiplex a single set of helpers.
+type WorkerPool = exec.WorkerPool
+
+// NewWorkerPool returns a pool admitting n-1 helper goroutines (callers
+// always execute too). n <= 0 resolves to DefaultWorkers().
+func NewWorkerPool(n int) *WorkerPool { return exec.NewWorkerPool(n) }
+
+// DefaultWorkers is the default engine parallelism: GODISC_WORKERS if set
+// to a positive integer, else GOMAXPROCS.
+func DefaultWorkers() int { return exec.DefaultWorkers() }
 
 // WithoutStitch turns off kStitch fusion (ablation).
 func WithoutStitch() Option { return func(c *compileConfig) { c.disableStitch = true } }
@@ -234,6 +256,9 @@ type Options struct {
 	DisableSpecialization bool
 	// Verbose receives one line per optimization pass when non-nil.
 	Verbose func(format string, args ...any)
+	// Workers is the engine parallelism (see WithWorkers); 0 means
+	// DefaultWorkers, 1 forces sequential execution.
+	Workers int
 }
 
 // options converts the legacy struct to the functional form.
@@ -256,6 +281,9 @@ func (o Options) options() []Option {
 	}
 	if o.Verbose != nil {
 		opts = append(opts, WithVerbose(o.Verbose))
+	}
+	if o.Workers != 0 {
+		opts = append(opts, WithWorkers(o.Workers))
 	}
 	return opts
 }
@@ -313,6 +341,18 @@ func CompileWith(g *Graph, opts ...Option) (*Engine, error) {
 		eo.Codegen = codegen.Options{}
 	}
 	eo.Faults = cfg.faults
+	w := cfg.workers
+	if w == 0 {
+		if cfg.workerPool != nil {
+			w = cfg.workerPool.Size()
+		} else {
+			w = exec.DefaultWorkers()
+		}
+	}
+	if w > 1 {
+		eo.Workers = w
+		eo.WorkerPool = cfg.workerPool
+	}
 	exe, err := exec.Compile(g, plan, dev, eo)
 	if err != nil {
 		return nil, fmt.Errorf("godisc: code generation: %w: %w", err, discerr.ErrCompileFailed)
@@ -387,13 +427,25 @@ type (
 //	srv.Register("bert", model.Build)
 //	resp, err := srv.Infer(ctx, &godisc.InferRequest{Model: "bert", Inputs: inputs})
 func NewServer(cfg ServerConfig, opts ...Option) *Server {
-	return serve.New(cfg, func(g *graph.Graph) (serve.Engine, error) {
-		eng, err := CompileWith(g, opts...)
+	var srv *Server
+	srv = serve.New(cfg, func(g *graph.Graph) (serve.Engine, error) {
+		// All of a server's engines share its worker pool, so helper
+		// goroutines are bounded per server rather than per engine. The
+		// compile function only runs after New returns, so srv is bound.
+		copts := opts[:len(opts):len(opts)]
+		if pool := srv.WorkerPool(); pool != nil {
+			copts = append(copts, WithWorkers(pool.Size()),
+				func(c *compileConfig) { c.workerPool = pool })
+		} else {
+			copts = append(copts, WithWorkers(1))
+		}
+		eng, err := CompileWith(g, copts...)
 		if err != nil {
 			return nil, err
 		}
 		return eng.exe, nil
 	})
+	return srv
 }
 
 // Evaluate interprets a graph with the reference semantics (no compilation,

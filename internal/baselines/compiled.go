@@ -65,6 +65,11 @@ type CompiledParams struct {
 	// a warmup window, dominant dimension values are declared likely and
 	// the executable is relowered once with speculative variants.
 	AdaptiveSpeculation bool
+	// Workers is the engine's host-side execution parallelism (DAG
+	// scheduling + kernel partitioning). The zero value keeps execution
+	// sequential so strategy comparisons measure the cost model, not the
+	// host machine; discrun sets it for real-latency runs.
+	Workers int
 }
 
 // BladeDISCParams is the paper's system: full dynamic-shape fusion and
@@ -180,6 +185,7 @@ func NewCompiled(g *graph.Graph, dev *device.Model, p CompiledParams) (*Compiled
 		Codegen:        p.Codegen,
 		HostDispatchNs: p.HostNsPerLaunch,
 		AliasViews:     true,
+		Workers:        p.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("baselines: %s: %w", p.Name, err)

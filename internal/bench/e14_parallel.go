@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"godisc/internal/device"
+	"godisc/internal/exec"
+	"godisc/internal/fusion"
+	"godisc/internal/graph"
+	"godisc/internal/opt"
+	"godisc/internal/symshape"
+	"godisc/internal/tensor"
+)
+
+// ParallelRow is one worker-count point of the host-parallelism scaling
+// curve (E14). Unlike E1–E12, which compare *simulated* device time across
+// strategies, E14 measures real wall-clock time of the execution engine:
+// the DAG scheduler and kernel partitioning buy host latency, not
+// simulated device time (the analytic model already assumes a parallel
+// device).
+type ParallelRow struct {
+	Workers int
+	// Speedup is the modeled scaling: serial cost over the DAG-scheduled
+	// makespan at this worker count on the configured device
+	// (exec.SimulateSchedule). It is machine-independent — the headline
+	// curve of E14.
+	Speedup float64
+	// MakespanUs is the modeled parallel completion time per run.
+	MakespanUs float64
+	// WallNsPerRun is the measured wall-clock time of one engine run on
+	// the build host; WallSpeedup is sequential wall time over it. These
+	// converge toward Speedup as host cores become available (on a
+	// single-core CI runner they stay ~1x).
+	WallNsPerRun float64
+	WallSpeedup  float64
+	// BitIdentical reports that every output at every measured shape was
+	// bit-for-bit equal to the sequential engine's (float32 payloads
+	// compared by bits, so ±0 and NaN patterns count too).
+	BitIdentical bool
+	// Partitions is the partitioned-chunk count of one run's profile
+	// (0 for the sequential engine, which never splits kernels).
+	Partitions int
+}
+
+// buildWideParallel returns a builder for the E14 workload: `branches`
+// independent matmul+elementwise towers over one input, summed at the end.
+// The branches give the unit DAG real width (library calls never fuse), so
+// DAG scheduling has parallelism to find even before kernel partitioning.
+func buildWideParallel(branches, hidden int) func() *graph.Graph {
+	return func() *graph.Graph {
+		g := graph.New(fmt.Sprintf("wide%dx%d", branches, hidden))
+		r := tensor.NewRNG(uint64(1400 + branches))
+		b := g.Ctx.NewDim("B")
+		s := g.Ctx.NewDim("S")
+		g.Ctx.DeclareRange(b, 1, 64)
+		g.Ctx.DeclareRange(s, 1, 256)
+		h := g.Ctx.StaticDim(int64(hidden))
+		x := g.Parameter("x", tensor.F32, symshape.Shape{b, s, h})
+		var acc *graph.Node
+		for i := 0; i < branches; i++ {
+			w := g.Constant(tensor.RandN(r, 0.08, hidden, hidden))
+			bias := g.Constant(tensor.RandN(r, 0.02, hidden))
+			t := g.Gelu(g.Add(g.MatMul(x, w), bias))
+			t = g.Mul(g.Tanh(t), g.Sigmoid(t))
+			if acc == nil {
+				acc = t
+			} else {
+				acc = g.Add(acc, t)
+			}
+		}
+		g.SetOutputs(g.Softmax(acc))
+		return g
+	}
+}
+
+// e14Compile lowers the E14 model with the given engine parallelism.
+func e14Compile(build func() *graph.Graph, dev *device.Model, workers int) (*exec.Executable, error) {
+	g := build()
+	if _, err := opt.Default().Run(g); err != nil {
+		return nil, err
+	}
+	plan, err := fusion.NewPlanner(fusion.DefaultConfig()).Plan(g)
+	if err != nil {
+		return nil, err
+	}
+	o := exec.DefaultOptions()
+	o.Workers = workers
+	return exec.Compile(g, plan, dev, o)
+}
+
+// e14Shapes are the measured (batch, seq) points — large enough that
+// kernels clear the partitioning grain threshold.
+var e14Shapes = []struct{ Batch, Seq int }{{8, 128}, {16, 96}}
+
+// ParallelScaling measures the E14 scaling curve: wall-clock latency of a
+// single request against the engine worker count, with a differential
+// guarantee that every parallel output is bit-identical to the sequential
+// engine's. workerCounts should include 1 (the sequential baseline is
+// always measured regardless).
+func ParallelScaling(cfg Config, workerCounts []int) ([]ParallelRow, error) {
+	dev, err := cfg.device()
+	if err != nil {
+		return nil, err
+	}
+	const branches, hidden = 8, 96
+	build := buildWideParallel(branches, hidden)
+
+	seq, err := e14Compile(build, dev, 1)
+	if err != nil {
+		return nil, err
+	}
+	var inputs [][]*tensor.Tensor
+	var want [][]*tensor.Tensor
+	for i, p := range e14Shapes {
+		r := tensor.NewRNG(cfg.Seed + uint64(i))
+		ins := []*tensor.Tensor{tensor.RandN(r, 0.5, p.Batch, p.Seq, hidden)}
+		res, err := seq.Run(ins)
+		if err != nil {
+			return nil, err
+		}
+		inputs = append(inputs, ins)
+		want = append(want, res.Outputs)
+	}
+	seqNs, _, err := e14Measure(seq, inputs)
+	if err != nil {
+		return nil, err
+	}
+	simShapes := [][]int{{e14Shapes[0].Batch, e14Shapes[0].Seq, hidden}}
+
+	var rows []ParallelRow
+	for _, w := range workerCounts {
+		if w <= 1 {
+			sim, err := seq.SimulateSchedule(simShapes, 1)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, ParallelRow{
+				Workers: 1, WallNsPerRun: seqNs, WallSpeedup: 1, Speedup: 1,
+				MakespanUs: sim.MakespanNs / 1e3, BitIdentical: true,
+			})
+			continue
+		}
+		exe, err := e14Compile(build, dev, w)
+		if err != nil {
+			return nil, err
+		}
+		sim, err := exe.SimulateSchedule(simShapes, w)
+		if err != nil {
+			return nil, err
+		}
+		identical := true
+		for i, ins := range inputs {
+			res, err := exe.Run(ins)
+			if err != nil {
+				return nil, err
+			}
+			for oi := range res.Outputs {
+				if !bitsEqual(res.Outputs[oi].F32(), want[i][oi].F32()) {
+					identical = false
+				}
+			}
+		}
+		wallNs, parts, err := e14Measure(exe, inputs)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ParallelRow{
+			Workers:      w,
+			Speedup:      sim.Speedup(),
+			MakespanUs:   sim.MakespanNs / 1e3,
+			WallNsPerRun: wallNs,
+			WallSpeedup:  seqNs / wallNs,
+			BitIdentical: identical,
+			Partitions:   parts,
+		})
+	}
+	return rows, nil
+}
+
+// e14Measure times repeated runs over the input set and returns the
+// best-of-3 mean wall time per run (best-of filters scheduler noise)
+// plus the partition count of the last profile.
+func e14Measure(exe *exec.Executable, inputs [][]*tensor.Tensor) (float64, int, error) {
+	const rounds = 3
+	best := math.MaxFloat64
+	parts := 0
+	for r := 0; r < rounds; r++ {
+		start := time.Now()
+		for _, ins := range inputs {
+			res, err := exe.Run(ins)
+			if err != nil {
+				return 0, 0, err
+			}
+			parts = res.Profile.Partitions
+		}
+		if ns := float64(time.Since(start).Nanoseconds()) / float64(len(inputs)); ns < best {
+			best = ns
+		}
+	}
+	return best, parts, nil
+}
+
+// bitsEqual compares float32 slices by bit pattern.
+func bitsEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// PrintParallelScaling renders the E14 scaling curve.
+func PrintParallelScaling(w io.Writer, cfg Config, rows []ParallelRow) {
+	fmt.Fprintf(w, "Host-parallel execution scaling on %s (E14): wide 8-branch model,\n", cfg.Device)
+	fmt.Fprintf(w, "DAG scheduling + kernel partitioning vs engine workers\n\n")
+	fmt.Fprintf(w, "%8s %10s %14s %14s %12s %12s\n",
+		"workers", "speedup", "makespan µs", "wall µs/run", "partitions", "identical")
+	printRule(w, 6, 12)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %9.2fx %14.0f %14.0f %12d %12v\n",
+			r.Workers, r.Speedup, r.MakespanUs, r.WallNsPerRun/1e3, r.Partitions, r.BitIdentical)
+	}
+	fmt.Fprintf(w, "\n(speedup is the modeled DAG makespan ratio on the device's host —\n")
+	fmt.Fprintf(w, " machine-independent; wall µs/run is this host's measured time, which\n")
+	fmt.Fprintf(w, " approaches the modeled curve as cores become available. Outputs are\n")
+	fmt.Fprintf(w, " bit-identical to the sequential engine at every worker count.)\n")
+}

@@ -5,6 +5,11 @@
 // executes the kernel IR for real numerics, and charges the analytic
 // device model for simulated time. One Executable serves arbitrary input
 // shapes — the whole point of the dynamic-shape pipeline.
+//
+// Execution comes in two flavors sharing all state machinery: a sequential
+// walk over the units (the legacy path, and the differential baseline) and
+// a DAG-scheduled parallel engine (sched.go) that runs independent units
+// concurrently and partitions large kernels across a worker pool.
 package exec
 
 import (
@@ -40,9 +45,19 @@ type Options struct {
 	// Faults, when set, probes the compile / alloc / kernel-launch fault
 	// sites so failure paths are testable (see internal/faultinject).
 	Faults *faultinject.Injector
+	// Workers is the number of goroutines executing one run (the calling
+	// goroutine included). <= 1 keeps the legacy sequential walk — the
+	// zero value, so embedders that built Options by hand are unaffected;
+	// the public godisc API opts into DefaultWorkers().
+	Workers int
+	// WorkerPool, when non-nil, bounds helper goroutines across every
+	// engine sharing it (one pool per serving process). Nil with
+	// Workers > 1 gives the engine a private pool of Workers-1 helpers.
+	WorkerPool *WorkerPool
 }
 
-// DefaultOptions mirrors the BladeDISC configuration.
+// DefaultOptions mirrors the BladeDISC configuration. Execution stays
+// sequential; callers opt into the parallel engine via Workers.
 func DefaultOptions() Options {
 	return Options{Codegen: codegen.DefaultOptions(), HostDispatchNs: 1500, AliasViews: true}
 }
@@ -75,13 +90,19 @@ type Executable struct {
 	outRefs [][]dimRef
 	// constBufs holds flattened constants, computed once at compile time.
 	constBufs map[*graph.Node][]float32
-	// lastUse maps each produced value to the index of the last unit
-	// consuming it (compile-time liveness planning); graph outputs map to
-	// len(units) so they survive the whole run.
-	lastUse map[*graph.Node]int
-	// freeAt[i] lists values whose pooled buffers may return to the pool
-	// right after unit i executes.
-	freeAt [][]*graph.Node
+
+	// Task DAG and slot plan (see sched.go): tasks are the non-alias units
+	// with producer/consumer edges; every runtime value (unit output,
+	// referenced parameter or constant) has a slot; refs0 seeds the
+	// per-buffer reference counts that free pooled buffers correctly even
+	// when tasks complete out of order.
+	nSlots      int
+	tasks       []*task
+	refs0       []int32
+	paramRefs   []paramRef
+	constRefs   []constRef
+	outputSlots []int
+
 	// Pool provides intermediate buffers across runs.
 	Pool *ral.Pool
 }
@@ -92,6 +113,9 @@ type Executable struct {
 func Compile(g *graph.Graph, plan *fusion.Plan, dev *device.Model, opts Options) (*Executable, error) {
 	if err := opts.Faults.Check(faultinject.SiteCompile); err != nil {
 		return nil, fmt.Errorf("exec: compiling %s: %w", g.Name, err)
+	}
+	if opts.Workers > 1 && opts.WorkerPool == nil {
+		opts.WorkerPool = NewWorkerPool(opts.Workers)
 	}
 	e := &Executable{
 		Graph:     g,
@@ -130,7 +154,7 @@ func Compile(g *graph.Graph, plan *fusion.Plan, dev *device.Model, opts Options)
 	if err := e.compileShapes(); err != nil {
 		return nil, err
 	}
-	e.planLiveness()
+	e.buildSchedule()
 	return e, nil
 }
 
@@ -209,43 +233,6 @@ func (e *Executable) compileShapes() error {
 	return nil
 }
 
-// planLiveness computes, at compile time, the schedule position of each
-// value's last use. Run returns pooled buffers right after that position,
-// so values with disjoint lifetimes share device memory — the buffer
-// planning of the paper's pipeline.
-func (e *Executable) planLiveness() {
-	e.lastUse = map[*graph.Node]int{}
-	// Aliases extend the lifetime of their source: treat the alias and
-	// its source as one value by resolving through alias units.
-	resolve := map[*graph.Node]*graph.Node{}
-	canon := func(n *graph.Node) *graph.Node {
-		for {
-			src, ok := resolve[n]
-			if !ok {
-				return n
-			}
-			n = src
-		}
-	}
-	for i, u := range e.units {
-		if u.alias {
-			resolve[u.group.Nodes[0]] = u.group.Nodes[0].Inputs[0]
-		}
-		for _, in := range u.group.Inputs {
-			e.lastUse[canon(in)] = i
-		}
-	}
-	for _, o := range e.Graph.Outputs {
-		e.lastUse[canon(o)] = len(e.units)
-	}
-	e.freeAt = make([][]*graph.Node, len(e.units))
-	for n, i := range e.lastUse {
-		if i < len(e.units) {
-			e.freeAt[i] = append(e.freeAt[i], n)
-		}
-	}
-}
-
 // Result is the outcome of one Run.
 type Result struct {
 	Outputs []*tensor.Tensor
@@ -262,19 +249,22 @@ func (e *Executable) Run(inputs []*tensor.Tensor) (*Result, error) {
 // state lives in a fresh runCtx, so any number of goroutines may call
 // RunContext on one Executable concurrently; the shared buffer pool is
 // internally locked and everything else on the Executable is immutable
-// after Compile. Cancellation is checked between units: a cancelled
-// request stops before its next kernel launch, releases its pooled
-// buffers, and returns ctx.Err().
+// after Compile. With Options.Workers > 1 the run is scheduled over the
+// unit DAG by the parallel engine (sched.go), which also checks
+// cancellation at partition granularity; the sequential walk checks it
+// between units.
 //
 // A panic during execution (a crashing kernel, real or injected) is
 // recovered and returned as an error wrapping discerr.ErrKernelPanic, so
 // one bad kernel degrades its request instead of the process. Pooled
 // buffers are still released on that path: the run context's deferred
-// release runs during unwinding, before the recover here.
+// release runs during unwinding, before the recover here. Parallel worker
+// goroutines recover panics locally (sched.go) and drain the DAG before
+// the error is returned here.
 func (e *Executable) RunContext(ctx context.Context, inputs []*tensor.Tensor) (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			res, err = nil, fmt.Errorf("exec: recovered: %v: %w", r, discerr.ErrKernelPanic)
+			res, err = nil, panicErr(r)
 		}
 	}()
 	g := e.Graph
@@ -291,37 +281,27 @@ func (e *Executable) RunContext(ctx context.Context, inputs []*tensor.Tensor) (r
 	if err != nil {
 		return nil, err
 	}
-	rc := e.newRunCtx(ctx, inputs, vals)
+	rc, err := e.newRunCtx(ctx, inputs, vals)
+	if err != nil {
+		return nil, err
+	}
 	defer rc.release()
 
-	for i, u := range e.units {
-		if err := rc.cancelled(); err != nil {
+	workers, pool := e.opts.Workers, e.opts.WorkerPool
+	if workers <= 0 && pool != nil {
+		workers = pool.Size()
+	}
+	if workers > 1 && len(e.tasks) > 1 {
+		if err := e.runParallel(rc, workers, pool); err != nil {
 			return nil, err
 		}
-		switch {
-		case u.alias:
-			in, err := rc.valueOf(u.group.Nodes[0].Inputs[0])
-			if err != nil {
-				return nil, err
-			}
-			rc.env[u.group.Nodes[0]] = in
-		case u.isLib:
-			if err := e.runLibrary(rc, u); err != nil {
-				return nil, err
-			}
-		default:
-			if err := e.runKernel(rc, u); err != nil {
-				return nil, err
-			}
-		}
-		if !e.opts.DisableLivenessPlanning {
-			rc.freeDead(i)
-		}
+	} else if err := e.runSequential(rc); err != nil {
+		return nil, err
 	}
 
 	outs := make([]*tensor.Tensor, len(g.Outputs))
 	for i, o := range g.Outputs {
-		buf, err := rc.valueOf(o)
+		buf, err := rc.bufOf(e.outputSlots[i])
 		if err != nil {
 			return nil, err
 		}
@@ -333,15 +313,42 @@ func (e *Executable) RunContext(ctx context.Context, inputs []*tensor.Tensor) (r
 	return &Result{Outputs: outs, Profile: rc.prof}, nil
 }
 
+// runSequential is the legacy executor: tasks in plan order on the calling
+// goroutine, cancellation checked between units. It is the differential
+// baseline the parallel engine must match bit-for-bit.
+func (e *Executable) runSequential(rc *runCtx) error {
+	for _, t := range e.tasks {
+		if err := rc.cancelled(); err != nil {
+			return err
+		}
+		var err error
+		if t.u.isLib {
+			err = e.runLibrary(rc, t, rc.prof)
+		} else {
+			err = e.runKernelSeq(rc, t)
+		}
+		if err != nil {
+			return err
+		}
+		if !e.opts.DisableLivenessPlanning {
+			for _, sl := range t.reads {
+				rc.decRef(sl)
+			}
+		}
+	}
+	return nil
+}
+
 // runLibrary executes a matmul/conv through the BLAS substitute and
-// charges the library cost model.
-func (e *Executable) runLibrary(rc *runCtx, u *unit) error {
+// charges the library cost model into prof.
+func (e *Executable) runLibrary(rc *runCtx, t *task, prof *ral.Profiler) error {
+	u := t.u
 	n := u.group.Nodes[0]
-	aBuf, err := rc.valueOf(n.Inputs[0])
+	aBuf, err := rc.bufOf(t.inSlots[0])
 	if err != nil {
 		return err
 	}
-	bBuf, err := rc.valueOf(n.Inputs[1])
+	bBuf, err := rc.bufOf(t.inSlots[1])
 	if err != nil {
 		return err
 	}
@@ -373,11 +380,10 @@ func (e *Executable) runLibrary(rc *runCtx, u *unit) error {
 		return err
 	}
 	copy(buf, out.F32())
-	rc.env[n] = buf
-	rc.owned[n] = buf
+	rc.setOwned(t.outSlots[0], buf)
 	name, bytes, flops := libraryCost(n.Kind, aShape, bShape, out.Shape())
-	rc.prof.Host(e.opts.HostDispatchNs)
-	rc.prof.Library(name, bytes, flops, e.Dev.MatmulTimeNs(bytes, flops))
+	prof.Host(e.opts.HostDispatchNs)
+	prof.Library(name, bytes, flops, e.Dev.MatmulTimeNs(bytes, flops))
 	return nil
 }
 
@@ -399,11 +405,35 @@ func libraryCost(kind graph.OpKind, aShape, bShape, oShape []int) (string, float
 	}
 }
 
-// runKernel executes a lowered fusion group: allocate outputs and scratch,
-// select a variant, run the kernel IR, charge the cost model.
-func (e *Executable) runKernel(rc *runCtx, u *unit) error {
+// launch is a prepared kernel invocation: variant selected, dims bound,
+// input and output buffers resolved (scratch is allocated by whichever
+// executor runs it — per launch sequentially, per chunk when partitioned,
+// since scratch rows are indexed per row and must be private to each
+// concurrent range).
+type launch struct {
+	t       *task
+	k       *codegen.Kernel
+	variant *codegen.Variant
+	bufs    [][]float32 // inputs then outputs
+	dims    []int
+	numel   int
+	rowLen  int
+	bytes   float64
+	// outer is the selected variant's outer-loop extent when the kernel
+	// may be range-partitioned; 0 otherwise.
+	outer int
+	// Partial-reduce state (parallel engine only): the partials buffer and
+	// the argument vectors of the partial program.
+	partials []float32
+	pbufs    [][]float32
+	pdims    []int
+}
+
+// prepareKernel sizes the launch: evaluates dims, selects the variant,
+// resolves input buffers and allocates outputs into their slots.
+func (e *Executable) prepareKernel(rc *runCtx, t *task) (*launch, error) {
+	u := t.u
 	k := u.kernel
-	grp := u.group
 	vals := rc.vals
 
 	numel := refsNumel(vals, u.domainRefs)
@@ -419,62 +449,142 @@ func (e *Executable) runKernel(rc *runCtx, u *unit) error {
 	dims := evalRefs(vals, u.kernelDimRefs)
 	variant := k.Select(codegen.RunInfoOf(numel, rowLen, dims))
 
-	// Buffers: inputs, outputs, scratch.
-	bufs := make([][]float32, 0, len(grp.Inputs)+len(grp.Outputs)+k.ScratchRows)
+	bufs := make([][]float32, 0, len(u.group.Inputs)+len(u.group.Outputs)+k.ScratchRows)
 	var bytes float64
-	for _, in := range grp.Inputs {
-		v, err := rc.valueOf(in)
+	for _, sl := range t.inSlots {
+		v, err := rc.bufOf(sl)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		bufs = append(bufs, v)
 		bytes += float64(4 * len(v))
 	}
-	for oi, out := range grp.Outputs {
+	for oi, sl := range t.outSlots {
 		buf, err := rc.sess.Get(refsNumel(vals, u.outShapeRefs[oi]))
 		if err != nil {
-			return err
+			return nil, err
 		}
-		rc.env[out] = buf
-		rc.owned[out] = buf
+		rc.setOwned(sl, buf)
 		bufs = append(bufs, buf)
 		bytes += float64(4 * len(buf))
 	}
+	outer := 0
+	if k.ParallelOuter && variant.Code.Partitionable() {
+		outer = variant.Code.OuterExtent(dims)
+	}
+	return &launch{
+		t: t, k: k, variant: variant, bufs: bufs, dims: dims,
+		numel: numel, rowLen: rowLen, bytes: bytes, outer: outer,
+	}, nil
+}
+
+// runKernelSeq executes a prepared kernel whole on the calling goroutine,
+// preserving the legacy order of pool and fault-site probes (output
+// allocs, scratch allocs, launch check, run).
+func (e *Executable) runKernelSeq(rc *runCtx, t *task) error {
+	ln, err := e.prepareKernel(rc, t)
+	if err != nil {
+		return err
+	}
+	bufs := ln.bufs
 	var scratches [][]float32
 	defer func() {
 		for _, sc := range scratches {
 			rc.sess.Put(sc)
 		}
 	}()
-	for i := 0; i < k.ScratchRows; i++ {
-		scratch, err := rc.sess.Get(rowLen)
+	for i := 0; i < ln.k.ScratchRows; i++ {
+		scratch, err := rc.sess.Get(ln.rowLen)
 		if err != nil {
 			return err
 		}
 		scratches = append(scratches, scratch)
 		bufs = append(bufs, scratch)
 	}
-
 	if err := e.opts.Faults.Check(faultinject.SiteKernelLaunch); err != nil {
-		return fmt.Errorf("exec: launching %s: %w", k.Name, err)
+		return fmt.Errorf("exec: launching %s: %w", ln.k.Name, err)
 	}
-	if err := variant.Code.Run(bufs, dims); err != nil {
+	if err := ln.variant.Code.Run(bufs, ln.dims); err != nil {
 		return err
 	}
+	e.chargeKernel(rc.prof, ln, 1)
+	return nil
+}
 
+// runWholeKernel executes a prepared kernel whole on a parallel worker
+// (the launch fault check already ran in the scheduler).
+func (e *Executable) runWholeKernel(rc *runCtx, ln *launch) error {
+	bufs := ln.bufs
+	var scratches [][]float32
+	defer func() {
+		for _, sc := range scratches {
+			rc.sess.Put(sc)
+		}
+	}()
+	for i := 0; i < ln.k.ScratchRows; i++ {
+		scratch, err := rc.sess.Get(ln.rowLen)
+		if err != nil {
+			return err
+		}
+		scratches = append(scratches, scratch)
+		bufs = append(bufs, scratch)
+	}
+	return ln.variant.Code.Run(bufs, ln.dims)
+}
+
+// runChunk executes outer-loop range [lo, hi) of a prepared kernel, with
+// chunk-private scratch rows (scratch is indexed per row and would race if
+// shared across concurrent ranges). For partial reductions the range is
+// over partial indices of the partial program instead.
+func (e *Executable) runChunk(rc *runCtx, ln *launch, lo, hi int) error {
+	if ln.partials != nil {
+		return ln.k.Partial.Partial.RunRange(ln.pbufs, ln.pdims, lo, hi)
+	}
+	bufs := ln.bufs
+	if n := ln.k.ScratchRows; n > 0 {
+		bufs = make([][]float32, len(ln.bufs), len(ln.bufs)+n)
+		copy(bufs, ln.bufs)
+		var scratches [][]float32
+		defer func() {
+			for _, sc := range scratches {
+				rc.sess.Put(sc)
+			}
+		}()
+		for i := 0; i < n; i++ {
+			scratch, err := rc.sess.Get(ln.rowLen)
+			if err != nil {
+				return err
+			}
+			scratches = append(scratches, scratch)
+			bufs = append(bufs, scratch)
+		}
+		return ln.variant.Code.RunRange(bufs, ln.dims, lo, hi)
+	}
+	return ln.variant.Code.RunRange(bufs, ln.dims, lo, hi)
+}
+
+// chargeKernel charges a completed kernel launch into prof. Simulated
+// device time is identical whether the host ran the kernel whole or in
+// chunks — the analytic model already assumes a parallel device; chunking
+// buys host wall-clock time, which is what the E14 benchmark measures.
+// Chunked launches are counted in Profiler.Partitions.
+func (e *Executable) chargeKernel(prof *ral.Profiler, ln *launch, chunks int) {
+	k := ln.k
 	// Cost: inputs + outputs traffic (intermediates live in registers or
 	// shared-memory scratch), with a small synchronization surcharge per
 	// extra stitched pass.
 	passPenalty := 1 + 0.08*float64(k.Passes-1)
 	cost := device.KernelCost{
-		Bytes:             bytes * passPenalty,
-		Flops:             float64(k.FlopsPerPoint) * float64(numel),
-		MemEfficiency:     variant.MemEfficiency,
-		ComputeEfficiency: variant.ComputeEfficiency,
+		Bytes:             ln.bytes * passPenalty,
+		Flops:             float64(k.FlopsPerPoint) * float64(ln.numel),
+		MemEfficiency:     ln.variant.MemEfficiency,
+		ComputeEfficiency: ln.variant.ComputeEfficiency,
 	}
-	rc.prof.Host(e.opts.HostDispatchNs)
-	rc.prof.Launch(k.Name, variant.Name, cost.Bytes, cost.Flops, e.Dev.KernelTimeNs(cost))
-	return nil
+	prof.Host(e.opts.HostDispatchNs)
+	prof.Launch(k.Name, ln.variant.Name, cost.Bytes, cost.Flops, e.Dev.KernelTimeNs(cost))
+	if chunks > 1 {
+		prof.Partitions += chunks
+	}
 }
 
 // flatten converts any tensor into the runtime's f32 buffer form. Integer

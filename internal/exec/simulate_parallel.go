@@ -1,0 +1,170 @@
+package exec
+
+import (
+	"fmt"
+
+	"godisc/internal/codegen"
+	"godisc/internal/device"
+	"godisc/internal/discerr"
+)
+
+// ParallelSim is the modeled outcome of executing one run's task DAG over
+// a bounded set of host workers (see SimulateSchedule).
+type ParallelSim struct {
+	// Workers is the modeled lane count.
+	Workers int
+	// SerialNs is the sum of every unit's host+device cost — the modeled
+	// completion time of the sequential engine.
+	SerialNs float64
+	// MakespanNs is the modeled completion time under DAG list scheduling
+	// with kernel partitioning: independent units overlap, and kernels
+	// above the grain threshold split into chunks that fill idle lanes.
+	MakespanNs float64
+	// Chunks is the total number of partitioned chunks in the schedule.
+	Chunks int
+	// Tasks is the DAG width input: the number of schedulable units.
+	Tasks int
+}
+
+// Speedup is the modeled sequential-over-parallel ratio.
+func (s *ParallelSim) Speedup() float64 {
+	if s.MakespanNs <= 0 {
+		return 1
+	}
+	return s.SerialNs / s.MakespanNs
+}
+
+// SimulateSchedule models the parallel engine's schedule at the given
+// concrete input shapes without executing kernels: each task is costed
+// exactly as Simulate does (host dispatch + analytic device time), then
+// list-scheduled over `workers` lanes respecting the compiled unit DAG,
+// with partitionable kernels split into the same chunk counts the real
+// scheduler would use. The ratio SerialNs/MakespanNs is the
+// machine-independent scaling curve of E14 — wall-clock measurements of
+// the same engine converge to it as host cores become available.
+func (e *Executable) SimulateSchedule(inputShapes [][]int, workers int) (*ParallelSim, error) {
+	if len(inputShapes) != len(e.Graph.Params) {
+		return nil, fmt.Errorf("exec: %d input shapes for %d parameters: %w",
+			len(inputShapes), len(e.Graph.Params), discerr.ErrShapeMismatch)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	vals, err := e.prog.Run(inputShapes)
+	if err != nil {
+		return nil, err
+	}
+
+	sim := &ParallelSim{Workers: workers, Tasks: len(e.tasks)}
+
+	// Cost and chunk count per task, mirroring Simulate and the real
+	// scheduler's partitioning policy.
+	costs := make([]float64, len(e.tasks))
+	chunks := make([]int, len(e.tasks))
+	for i, t := range e.tasks {
+		chunks[i] = 1
+		u := t.u
+		if u.isLib {
+			n := u.group.Nodes[0]
+			aShape := evalRefs(vals, u.inShapeRefs[0])
+			bShape := evalRefs(vals, u.inShapeRefs[1])
+			oShape := evalRefs(vals, u.outShapeRefs[0])
+			_, bytes, flops := libraryCost(n.Kind, aShape, bShape, oShape)
+			costs[i] = e.opts.HostDispatchNs + e.Dev.MatmulTimeNs(bytes, flops)
+			sim.SerialNs += costs[i]
+			continue
+		}
+		k := u.kernel
+		numel := refsNumel(vals, u.domainRefs)
+		rowLen := 0
+		if n := len(u.domainRefs); n > 0 {
+			r := u.domainRefs[n-1]
+			if r.Slot < 0 {
+				rowLen = int(r.Static)
+			} else {
+				rowLen = int(vals[r.Slot])
+			}
+		}
+		dims := evalRefs(vals, u.kernelDimRefs)
+		variant := k.Select(codegen.RunInfoOf(numel, rowLen, dims))
+		var bytes float64
+		for _, refs := range u.inShapeRefs {
+			bytes += float64(4 * refsNumel(vals, refs))
+		}
+		for _, refs := range u.outShapeRefs {
+			bytes += float64(4 * refsNumel(vals, refs))
+		}
+		passPenalty := 1 + 0.08*float64(k.Passes-1)
+		cost := device.KernelCost{
+			Bytes:             bytes * passPenalty,
+			Flops:             float64(k.FlopsPerPoint) * float64(numel),
+			MemEfficiency:     variant.MemEfficiency,
+			ComputeEfficiency: variant.ComputeEfficiency,
+		}
+		costs[i] = e.opts.HostDispatchNs + e.Dev.KernelTimeNs(cost)
+		sim.SerialNs += costs[i]
+		if workers > 1 && k.ParallelOuter && variant.Code != nil && variant.Code.Partitionable() {
+			outer := variant.Code.OuterExtent(dims)
+			if k.Partial != nil {
+				if c := partialCount(numel, k.GrainPoints, workers); c > 1 {
+					chunks[i] = c
+				}
+			} else if c := chunkCount(numel, k.GrainPoints, outer, workers); c > 1 {
+				chunks[i] = c
+			}
+		}
+	}
+
+	if workers == 1 {
+		sim.MakespanNs = sim.SerialNs
+		return sim, nil
+	}
+
+	// Greedy list schedule in topological order (tasks are already stored
+	// in plan order, which is a topological order of the unit DAG): every
+	// task starts at the max of its dependencies' finish times and the
+	// earliest lane availability; a partitioned task occupies `chunks`
+	// lanes with cost/chunks each and finishes when its last chunk does.
+	lanes := make([]float64, workers)
+	finish := make([]float64, len(e.tasks))
+	ready := make([]float64, len(e.tasks))
+	for i, t := range e.tasks {
+		c := chunks[i]
+		per := costs[i] / float64(c)
+		var last float64
+		for ch := 0; ch < c; ch++ {
+			// Earliest-available lane.
+			li := 0
+			for l := 1; l < len(lanes); l++ {
+				if lanes[l] < lanes[li] {
+					li = l
+				}
+			}
+			start := lanes[li]
+			if ready[i] > start {
+				start = ready[i]
+			}
+			lanes[li] = start + per
+			if lanes[li] > last {
+				last = lanes[li]
+			}
+		}
+		finish[i] = last
+		if c > 1 {
+			sim.Chunks += c
+		}
+		// Task ids are indices into e.tasks, assigned in plan order, so
+		// every dependent has a larger index and is scheduled later.
+		for _, out := range t.outs {
+			if finish[i] > ready[out] {
+				ready[out] = finish[i]
+			}
+		}
+	}
+	for _, f := range finish {
+		if f > sim.MakespanNs {
+			sim.MakespanNs = f
+		}
+	}
+	return sim, nil
+}

@@ -43,6 +43,14 @@ type Compiled struct {
 	nFloats  int
 	dimIndex map[string]int
 	frames   sync.Pool
+
+	// Range execution (set when the kernel body is a single top-level loop
+	// whose extent depends only on dims/consts): rangeRun executes outer
+	// iterations [lo,hi) and outerExtent evaluates the loop extent from dims
+	// alone. This is what lets the parallel executor partition one kernel
+	// across workers without recompiling it.
+	rangeRun    func(f *Frame, lo, hi int)
+	outerExtent func(f *Frame) int
 }
 
 type compiler struct {
@@ -107,17 +115,56 @@ func (k *Kernel) Finalize() (*Compiled, error) {
 		}
 		c.dimSlot[d] = i
 	}
-	body := c.compileStmts(k.Body)
+	cp := &Compiled{kernel: k, dimIndex: c.dimSlot}
+	if lp, ok := singleOuterLoop(k.Body); ok {
+		// Compile the loop pieces separately so the same closures serve both
+		// full runs and range runs; the full run is just range [0, extent).
+		extent := c.compileInt(lp.Extent)
+		slot := c.intVar(lp.Var, true)
+		inner := c.compileStmts(lp.Body)
+		cp.outerExtent = extent
+		cp.rangeRun = func(f *Frame, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				f.ints[slot] = i
+				inner(f)
+			}
+		}
+		cp.run = func(f *Frame) { cp.rangeRun(f, 0, extent(f)) }
+	} else {
+		cp.run = c.compileStmts(k.Body)
+	}
 	if c.err != nil {
 		return nil, c.err
 	}
-	return &Compiled{
-		kernel:   k,
-		run:      body,
-		nInts:    len(c.intSlot),
-		nFloats:  len(c.fltSlot),
-		dimIndex: c.dimSlot,
-	}, nil
+	cp.nInts = len(c.intSlot)
+	cp.nFloats = len(c.fltSlot)
+	return cp, nil
+}
+
+// singleOuterLoop reports whether body is exactly one top-level SLoop whose
+// extent is computable from dims and constants alone (no locals, no buffer
+// loads) — the shape every partitionable kernel must have.
+func singleOuterLoop(body []Stmt) (SLoop, bool) {
+	if len(body) != 1 {
+		return SLoop{}, false
+	}
+	lp, ok := body[0].(SLoop)
+	if !ok || !dimOnly(lp.Extent) {
+		return SLoop{}, false
+	}
+	return lp, true
+}
+
+// dimOnly reports whether e uses only IConst/IDim/IBin nodes.
+func dimOnly(e IntExpr) bool {
+	switch e := e.(type) {
+	case IConst, IDim:
+		return true
+	case IBin:
+		return dimOnly(e.A) && dimOnly(e.B)
+	default:
+		return false
+	}
 }
 
 // MustFinalize is Finalize that panics; for statically-known-good kernels
@@ -218,6 +265,14 @@ func (c *compiler) compileInt(e IntExpr) func(*Frame) int {
 			return func(f *Frame) int { return a(f) / b(f) }
 		case IMod:
 			return func(f *Frame) int { return a(f) % b(f) }
+		case IMin:
+			return func(f *Frame) int {
+				x, y := a(f), b(f)
+				if x < y {
+					return x
+				}
+				return y
+			}
 		}
 		c.fail("unknown int op %d", e.Op)
 		return func(*Frame) int { return 0 }
@@ -314,9 +369,7 @@ func (c *compiler) compileExpr(e Expr) func(*Frame) float32 {
 	}
 }
 
-// Run executes the kernel against flat buffers and positional dim values
-// (aligned with Kernel.DimNames).
-func (cp *Compiled) Run(bufs [][]float32, dims []int) error {
+func (cp *Compiled) checkArgs(bufs [][]float32, dims []int) error {
 	if len(bufs) != cp.kernel.NumBuffers {
 		return fmt.Errorf("kir: kernel %s: got %d buffers, want %d",
 			cp.kernel.Name, len(bufs), cp.kernel.NumBuffers)
@@ -325,6 +378,10 @@ func (cp *Compiled) Run(bufs [][]float32, dims []int) error {
 		return fmt.Errorf("kir: kernel %s: got %d dims, want %d",
 			cp.kernel.Name, len(dims), len(cp.kernel.DimNames))
 	}
+	return nil
+}
+
+func (cp *Compiled) getFrame(bufs [][]float32, dims []int) *Frame {
 	f, _ := cp.frames.Get().(*Frame)
 	if f == nil {
 		f = &Frame{
@@ -334,10 +391,62 @@ func (cp *Compiled) Run(bufs [][]float32, dims []int) error {
 	}
 	f.bufs = bufs
 	f.dims = dims
-	cp.run(f)
+	return f
+}
+
+func (cp *Compiled) putFrame(f *Frame) {
 	f.bufs = nil
 	f.dims = nil
 	cp.frames.Put(f)
+}
+
+// Run executes the kernel against flat buffers and positional dim values
+// (aligned with Kernel.DimNames).
+func (cp *Compiled) Run(bufs [][]float32, dims []int) error {
+	if err := cp.checkArgs(bufs, dims); err != nil {
+		return err
+	}
+	f := cp.getFrame(bufs, dims)
+	cp.run(f)
+	cp.putFrame(f)
+	return nil
+}
+
+// Partitionable reports whether the kernel can be executed in outer-loop
+// ranges (single top-level loop with a dims-only extent). Concurrent
+// RunRange calls over disjoint ranges are safe as long as the ranges write
+// disjoint output elements — the lowering's responsibility, declared via
+// codegen's ParallelOuter flag.
+func (cp *Compiled) Partitionable() bool { return cp.rangeRun != nil }
+
+// OuterExtent evaluates the outer loop's extent for concrete dims. It
+// returns 0 when the kernel is not partitionable.
+func (cp *Compiled) OuterExtent(dims []int) int {
+	if cp.outerExtent == nil || len(dims) != len(cp.kernel.DimNames) {
+		return 0
+	}
+	return cp.outerExtent(&Frame{dims: dims})
+}
+
+// RunRange executes outer-loop iterations [lo, hi) only. Iterations run in
+// ascending order, exactly as a full Run would visit them, so splitting
+// [0, extent) into contiguous ranges produces bit-identical stores.
+func (cp *Compiled) RunRange(bufs [][]float32, dims []int, lo, hi int) error {
+	if cp.rangeRun == nil {
+		return fmt.Errorf("kir: kernel %s: not partitionable", cp.kernel.Name)
+	}
+	if err := cp.checkArgs(bufs, dims); err != nil {
+		return err
+	}
+	f := cp.getFrame(bufs, dims)
+	if n := cp.outerExtent(f); hi > n {
+		hi = n
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	cp.rangeRun(f, lo, hi)
+	cp.putFrame(f)
 	return nil
 }
 

@@ -40,6 +40,9 @@ const (
 	IMul
 	IDiv
 	IMod
+	// IMin yields the smaller operand — used by partitioned reduction
+	// programs to clamp the last chunk's extent.
+	IMin
 )
 
 // IBin is a binary integer operation.
@@ -72,6 +75,9 @@ func (e IVar) String() string { return string(e) }
 
 // String implements fmt.Stringer.
 func (e IBin) String() string {
+	if e.Op == IMin {
+		return fmt.Sprintf("min(%s, %s)", e.A, e.B)
+	}
 	ops := [...]string{"+", "-", "*", "/", "%"}
 	return fmt.Sprintf("(%s %s %s)", e.A, ops[e.Op], e.B)
 }
@@ -259,3 +265,16 @@ func Div(a, b IntExpr) IntExpr {
 
 // Mod returns a%b.
 func Mod(a, b IntExpr) IntExpr { return IBin{Op: IMod, A: a, B: b} }
+
+// Min returns min(a,b), folding constants.
+func Min(a, b IntExpr) IntExpr {
+	if ca, ok := a.(IConst); ok {
+		if cb, ok := b.(IConst); ok {
+			if ca < cb {
+				return ca
+			}
+			return cb
+		}
+	}
+	return IBin{Op: IMin, A: a, B: b}
+}

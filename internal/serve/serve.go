@@ -77,6 +77,15 @@ type Config struct {
 	// failures propagate to the caller instead of being served slowly.
 	// For tests and ablations.
 	DisableFallback bool
+
+	// Workers is the per-request parallelism of the execution engine:
+	// each run schedules independent kernels over the unit DAG and
+	// partitions large kernels across up to Workers goroutines (the
+	// request's own goroutine included). Default exec.DefaultWorkers()
+	// (GODISC_WORKERS or GOMAXPROCS); 1 keeps engines sequential. All
+	// engines of a server share ONE worker pool, so helper goroutines are
+	// bounded per server — not multiplied per concurrent request.
+	Workers int
 }
 
 // Request is one inference call.
@@ -114,6 +123,9 @@ type Server struct {
 	cfg     Config
 	compile CompileFunc
 	cache   *ral.Cache
+	// pool is the server-wide execution worker pool shared by every
+	// compiled engine (nil when Workers resolves to 1).
+	pool *exec.WorkerPool
 
 	mu       sync.Mutex
 	models   map[string]*modelEntry
@@ -192,11 +204,19 @@ func New(cfg Config, compile CompileFunc) *Server {
 	if cfg.BreakerCooldown <= 0 {
 		cfg.BreakerCooldown = 10 * time.Second
 	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = exec.DefaultWorkers()
+	}
+	var pool *exec.WorkerPool
+	if cfg.Workers > 1 {
+		pool = exec.NewWorkerPool(cfg.Workers)
+	}
 	forceCtx, forceCancel := context.WithCancel(context.Background())
 	return &Server{
 		cfg:         cfg,
 		compile:     compile,
 		cache:       ral.NewCache(),
+		pool:        pool,
 		models:      map[string]*modelEntry{},
 		breakers:    map[string]*breaker{},
 		forceCtx:    forceCtx,
@@ -205,6 +225,13 @@ func New(cfg Config, compile CompileFunc) *Server {
 		stats:       newCollector(),
 	}
 }
+
+// WorkerPool returns the server-wide execution worker pool that every
+// compiled engine should share, or nil when the server is configured
+// sequential (Workers: 1). Compile functions thread it into
+// exec.Options.WorkerPool so concurrent requests multiplex one bounded
+// set of helper goroutines instead of spawning Workers-1 each.
+func (s *Server) WorkerPool() *exec.WorkerPool { return s.pool }
 
 // Register adds a named model builder. Builders must be deterministic
 // (same graph, same weights on every call) and are invoked lazily: once
