@@ -1,10 +1,11 @@
 # Tier-1 verify gate (see ROADMAP.md): build, vet, full tests, then the
-# race detector over the concurrent serving/execution paths, then a
-# randomized chaos replay with fault injection enabled, then an
-# informational bench comparison against the checked-in results.
-.PHONY: verify build vet test race bench bench-compare chaos
+# race detector over the concurrent serving/execution paths, then the
+# per-package coverage floors, then a randomized chaos replay with fault
+# injection enabled, then an informational bench comparison against the
+# checked-in results.
+.PHONY: verify build vet test race cover fuzz bench bench-compare chaos
 
-verify: build vet test race chaos bench-compare
+verify: build vet test race cover chaos bench-compare
 
 build:
 	go build ./...
@@ -16,7 +17,31 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/serve ./internal/exec ./internal/ral ./internal/workload .
+	go test -race ./internal/serve ./internal/exec ./internal/ral ./internal/workload \
+		./internal/obs ./internal/opt ./internal/fusion ./internal/faultinject .
+
+# cover enforces per-package coverage floors on the serving/execution/
+# observability core. Floors sit a few points under the measured value at
+# the time they were set, so genuine regressions fail verify while small
+# refactors don't. Raise a floor when coverage grows; never lower one to
+# make a build pass.
+cover:
+	@fail=0; \
+	for entry in internal/serve:85 internal/exec:77 internal/obs:92; do \
+		pkg=$${entry%%:*}; floor=$${entry##*:}; \
+		pct=$$(go test -cover ./$$pkg | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "cover: $$pkg: no coverage reported"; fail=1; continue; fi; \
+		ok=$$(awk -v p="$$pct" -v f="$$floor" 'BEGIN{print (p+0 >= f+0) ? 1 : 0}'); \
+		if [ "$$ok" = "1" ]; then echo "cover: $$pkg $$pct% (floor $$floor%)"; \
+		else echo "cover: FAIL $$pkg $$pct% below floor $$floor%"; fail=1; fi; \
+	done; exit $$fail
+
+# fuzz runs the native fuzz targets (trace-file and fault-spec parsers)
+# for FUZZTIME each. Crashers land in testdata/fuzz/ for triage.
+FUZZTIME ?= 30s
+fuzz:
+	go test -fuzz=FuzzTraceSpec -fuzztime=$(FUZZTIME) ./internal/workload
+	go test -fuzz=FuzzFaultSpec -fuzztime=$(FUZZTIME) ./internal/faultinject
 
 # chaos replays the serve/exec suites under -race with fault injection
 # armed at a fresh random seed. The seed is printed so a failing run

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"godisc/internal/bench"
+	"godisc/internal/obs"
 	"godisc/internal/workload"
 )
 
@@ -25,6 +26,8 @@ func main() {
 		jsonOut  = flag.String("json", "", "also write machine-readable results to this file")
 		traceIn  = flag.String("trace", "", "with -exp replay: shape-trace file (lines of \"batch,seq\")")
 		workers  = flag.String("workers", "1,2,4,8", "with -exp e14: comma-separated engine worker counts")
+		traceOut = flag.String("trace-out", "",
+			"execute one traced replay and write its spans as a Chrome trace_event file")
 	)
 	flag.Parse()
 
@@ -36,13 +39,13 @@ func main() {
 		cfg.Models = strings.Split(*modelArg, ",")
 	}
 
-	if err := run(*exp, cfg, *jsonOut, *traceIn, *workers); err != nil {
+	if err := run(*exp, cfg, *jsonOut, *traceIn, *workers, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "discbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, cfg bench.Config, jsonOut, traceIn, workers string) error {
+func run(exp string, cfg bench.Config, jsonOut, traceIn, workers, traceOut string) error {
 	w := os.Stdout
 	results := map[string]any{}
 	want := func(id string) bool { return exp == "all" || strings.EqualFold(exp, id) }
@@ -224,6 +227,29 @@ func run(exp string, cfg bench.Config, jsonOut, traceIn, workers string) error {
 	}
 	if !any {
 		return fmt.Errorf("unknown experiment %q (have e1..e12, e14, replay, all)", exp)
+	}
+	if traceOut != "" {
+		model := "bert"
+		if len(cfg.Models) > 0 {
+			model = cfg.Models[0]
+		}
+		tracer := obs.NewTracer(cfg.Requests)
+		n, err := bench.TraceRun(cfg, model, tracer)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "traced %d %s requests → %s\n", n, model, traceOut)
 	}
 	if jsonOut != "" {
 		payload, err := json.MarshalIndent(results, "", "  ")

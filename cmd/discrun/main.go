@@ -16,6 +16,7 @@ import (
 	"godisc/internal/exec"
 	"godisc/internal/graph"
 	"godisc/internal/models"
+	"godisc/internal/obs"
 	"godisc/internal/symshape"
 	"godisc/internal/tensor"
 )
@@ -31,13 +32,15 @@ func main() {
 		verify  = flag.Bool("verify", true, "check outputs against the reference interpreter")
 		workers = flag.Int("workers", exec.DefaultWorkers(),
 			"engine execution goroutines per run (1 = sequential; default GODISC_WORKERS or GOMAXPROCS)")
+		traceOut = flag.String("trace-out", "",
+			"write per-run execution traces as a Chrome trace_event file (open in chrome://tracing)")
 	)
 	flag.Parse()
 	var err error
 	if *in != "" {
-		err = runArtifact(*in, *binds, *dev, *workers)
+		err = runArtifact(*in, *binds, *dev, *workers, *traceOut)
 	} else {
-		err = run(*model, *dev, *batch, *seqs, *verify, *workers)
+		err = run(*model, *dev, *batch, *seqs, *verify, *workers, *traceOut)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "discrun:", err)
@@ -48,7 +51,7 @@ func main() {
 // runArtifact loads a serialized graph, binds the user-supplied dynamic
 // dim values, synthesizes random inputs of the resulting shapes, and runs
 // the compiled executable with verification against the reference.
-func runArtifact(path, binds, devName string, workers int) error {
+func runArtifact(path, binds, devName string, workers int, traceOut string) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -127,12 +130,17 @@ func runArtifact(path, binds, devName string, workers int) error {
 	}
 	params := baselines.BladeDISCParams()
 	params.Workers = workers
+	tracer := newTracer(traceOut)
+	params.Hook = hookOrNil(tracer)
 	disc, err := baselines.NewCompiled(g, d, params)
 	if err != nil {
 		return err
 	}
 	outs, prof, err := disc.Invoke(ins)
 	if err != nil {
+		return err
+	}
+	if err := writeTrace(tracer, traceOut); err != nil {
 		return err
 	}
 	want, err := graph.Evaluate(ref, ins)
@@ -161,7 +169,7 @@ func keys(m map[string]symshape.DimID) []string {
 	return out
 }
 
-func run(model, devName string, batch int, seqs string, verify bool, workers int) error {
+func run(model, devName string, batch int, seqs string, verify bool, workers int, traceOut string) error {
 	m, err := models.ByName(model)
 	if err != nil {
 		return err
@@ -172,6 +180,8 @@ func run(model, devName string, batch int, seqs string, verify bool, workers int
 	}
 	params := baselines.BladeDISCParams()
 	params.Workers = workers
+	tracer := newTracer(traceOut)
+	params.Hook = hookOrNil(tracer)
 	disc, err := baselines.NewCompiled(m.Build(), d, params)
 	if err != nil {
 		return err
@@ -209,5 +219,45 @@ func run(model, devName string, batch int, seqs string, verify bool, workers int
 	hits, misses, entries := disc.CacheStats()
 	fmt.Printf("\ncompilation cache: %d hit(s), %d miss(es), %d entry(ies) — symbolic signature keying\n",
 		hits, misses, entries)
+	return writeTrace(tracer, traceOut)
+}
+
+// newTracer returns a tracer when tracing is requested, else nil — and a
+// nil *obs.Tracer never reaches an interface field, so the engine's
+// disabled-path branch stays a plain pointer test.
+func newTracer(traceOut string) *obs.Tracer {
+	if traceOut == "" {
+		return nil
+	}
+	return obs.NewTracer(0)
+}
+
+// hookOrNil converts the tracer to the hook interface without boxing a
+// typed nil.
+func hookOrNil(t *obs.Tracer) obs.Hook {
+	if t == nil {
+		return nil
+	}
+	return t
+}
+
+// writeTrace dumps the recorded spans as a Chrome trace_event file.
+func writeTrace(t *obs.Tracer, path string) error {
+	if t == nil || path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	total, dropped := t.Recorded()
+	fmt.Printf("traces: %d recorded (%d evicted) → %s\n", total, dropped, path)
 	return nil
 }

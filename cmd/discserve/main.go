@@ -20,6 +20,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -27,6 +30,7 @@ import (
 	"godisc"
 	"godisc/internal/device"
 	"godisc/internal/models"
+	"godisc/internal/obs"
 	"godisc/internal/tensor"
 	"godisc/internal/workload"
 )
@@ -48,6 +52,14 @@ type options struct {
 	FaultSeed     uint64        // fault injector seed
 	DrainTimeout  time.Duration // graceful-shutdown deadline
 	EngineWorkers int           // per-request engine parallelism (0 = auto)
+	HTTP          string        // observability listen address ("" = off)
+	TraceOut      string        // write Chrome trace_event file here ("" = off)
+	TraceLimit    int           // request-trace ring capacity (0 = default)
+
+	// ready, when set, is invoked after the replay finished and stats
+	// printed, while the observability listener is still serving — the
+	// hook the end-to-end scrape test uses.
+	ready func(addr string)
 }
 
 func main() {
@@ -69,6 +81,11 @@ func main() {
 	flag.DurationVar(&o.DrainTimeout, "drain-timeout", 5*time.Second, "graceful shutdown deadline")
 	flag.IntVar(&o.EngineWorkers, "engine-workers", 0,
 		"engine execution goroutines per request, sharing one server pool (0 = GODISC_WORKERS or GOMAXPROCS, 1 = sequential)")
+	flag.StringVar(&o.HTTP, "http", "",
+		"serve /metrics (Prometheus text) and /debug/trace on this address (e.g. :9090; empty = off)")
+	flag.StringVar(&o.TraceOut, "trace-out", "",
+		"write the request traces as a Chrome trace_event file (open in chrome://tracing or Perfetto)")
+	flag.IntVar(&o.TraceLimit, "trace-limit", 0, "request traces retained in the ring (0 = default 256)")
 	flag.Parse()
 	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "discserve:", err)
@@ -76,7 +93,7 @@ func main() {
 	}
 }
 
-func run(o options, w *os.File) error {
+func run(o options, w io.Writer) error {
 	dev, err := device.ByName(o.Device)
 	if err != nil {
 		return err
@@ -94,11 +111,36 @@ func run(o options, w *os.File) error {
 		return err
 	}
 
-	srv := godisc.NewServer(
-		godisc.ServerConfig{MaxConcurrent: o.Workers, QueueDepth: o.Queue, Workers: o.EngineWorkers},
+	// Observability: tracer + metrics registry when any sink (the HTTP
+	// endpoints or the trace file) wants them; otherwise nil, so the
+	// request path pays only its disabled-state nil branches.
+	var tracer *godisc.Tracer
+	var reg *godisc.Metrics
+	scfg := godisc.ServerConfig{MaxConcurrent: o.Workers, QueueDepth: o.Queue, Workers: o.EngineWorkers}
+	if o.HTTP != "" || o.TraceOut != "" {
+		tracer = godisc.NewTracer(o.TraceLimit)
+		reg = godisc.NewMetrics()
+		scfg.Observer = tracer
+		scfg.Metrics = reg
+		inj.SetMetrics(reg)
+	}
+
+	srv := godisc.NewServer(scfg,
 		godisc.WithDevice(dev),
 		godisc.WithFaults(inj),
 	)
+
+	var obsLn net.Listener
+	if o.HTTP != "" {
+		obsLn, err = net.Listen("tcp", o.HTTP)
+		if err != nil {
+			return fmt.Errorf("observability listener: %w", err)
+		}
+		obsSrv := &http.Server{Handler: obs.Mux(reg, tracer)}
+		go obsSrv.Serve(obsLn)
+		defer obsSrv.Close()
+		fmt.Fprintf(w, "observability: http://%s/metrics and /debug/trace\n", obsLn.Addr())
+	}
 	drained := false
 	defer func() {
 		if !drained {
@@ -198,6 +240,24 @@ func run(o options, w *os.File) error {
 		fmt.Fprintf(w, "  drain: forced after %v (%v)\n", o.DrainTimeout, drainErr)
 	} else {
 		fmt.Fprintf(w, "  drain: clean\n")
+	}
+	if o.TraceOut != "" {
+		f, err := os.Create(o.TraceOut)
+		if err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		total, dropped := tracer.Recorded()
+		fmt.Fprintf(w, "  traces: %d recorded (%d evicted) → %s\n", total, dropped, o.TraceOut)
+	}
+	if o.ready != nil && obsLn != nil {
+		o.ready(obsLn.Addr().String())
 	}
 	return nil
 }

@@ -48,6 +48,7 @@ import (
 	"godisc/internal/fusion"
 	"godisc/internal/graph"
 	"godisc/internal/models"
+	"godisc/internal/obs"
 	"godisc/internal/opt"
 	"godisc/internal/ral"
 	"godisc/internal/serve"
@@ -165,6 +166,8 @@ type compileConfig struct {
 	faults                *FaultInjector
 	workers               int
 	workerPool            *exec.WorkerPool
+	hook                  obs.Hook
+	metrics               *Metrics
 }
 
 // WithDevice selects the GPU device model (default A10).
@@ -236,6 +239,48 @@ func FaultsFromSpec(spec string, seed uint64) (*FaultInjector, error) {
 // injector is a no-op, so the option can be passed unconditionally.
 func WithFaults(inj *FaultInjector) Option {
 	return func(c *compileConfig) { c.faults = inj }
+}
+
+// Observability surface, aliased from internal/obs. A Tracer records
+// hierarchical wall-time spans per request/run (infer → cache-lookup →
+// compile → exec → kernel/partition → fallback/retry), exportable as
+// structured JSON (WriteJSON) or a Chrome trace_event file
+// (WriteChromeTrace) that chrome://tracing and Perfetto open directly.
+// A Metrics registry holds counters/gauges/histograms in Prometheus text
+// exposition form (WritePrometheus). Both are nil-safe: the
+// instrumentation is free (one branch, no allocation) when absent.
+type (
+	// Tracer collects finished request traces into a bounded ring.
+	Tracer = obs.Tracer
+	// Span is one timed node of a request trace.
+	Span = obs.Span
+	// Observer is the hook interface engines call to open spans;
+	// *Tracer implements it.
+	Observer = obs.Hook
+	// Metrics is a lock-sharded registry of counters, gauges and
+	// histograms.
+	Metrics = obs.Registry
+)
+
+// NewTracer returns a tracer retaining the most recent limit request
+// traces (obs.DefaultTraceLimit when limit <= 0).
+func NewTracer(limit int) *Tracer { return obs.NewTracer(limit) }
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// WithTracer threads an observer into the compiled engine: each Run opens
+// an `exec` span (under the request span, when serving) with per-unit
+// kernel/partition children. A nil hook is a no-op — engines compiled
+// without one pay a single pointer-nil branch per instrumentation point.
+func WithTracer(h Observer) Option {
+	return func(c *compileConfig) { c.hook = h }
+}
+
+// WithMetrics registers the engine's execution counters and buffer-pool
+// gauges on reg. A nil registry is a no-op.
+func WithMetrics(reg *Metrics) Option {
+	return func(c *compileConfig) { c.metrics = reg }
 }
 
 // Options is the legacy bool-field configuration of Compile, kept so
@@ -353,6 +398,8 @@ func CompileWith(g *Graph, opts ...Option) (*Engine, error) {
 		eo.Workers = w
 		eo.WorkerPool = cfg.workerPool
 	}
+	eo.Hook = cfg.hook
+	eo.Metrics = cfg.metrics
 	exe, err := exec.Compile(g, plan, dev, eo)
 	if err != nil {
 		return nil, fmt.Errorf("godisc: code generation: %w: %w", err, discerr.ErrCompileFailed)
@@ -439,12 +486,24 @@ func NewServer(cfg ServerConfig, opts ...Option) *Server {
 		} else {
 			copts = append(copts, WithWorkers(1))
 		}
+		// Engines inherit the server's observability so request spans
+		// continue into exec (via the run context) and engine/pool
+		// metrics land in the same registry /metrics serves.
+		if cfg.Observer != nil {
+			copts = append(copts, WithTracer(cfg.Observer))
+		}
+		if cfg.Metrics != nil {
+			copts = append(copts, WithMetrics(cfg.Metrics))
+		}
 		eng, err := CompileWith(g, copts...)
 		if err != nil {
 			return nil, err
 		}
 		return eng.exe, nil
 	})
+	if cfg.Metrics != nil {
+		srv.WorkerPool().Observe(cfg.Metrics)
+	}
 	return srv
 }
 

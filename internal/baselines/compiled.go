@@ -10,6 +10,7 @@ import (
 	"godisc/internal/exec"
 	"godisc/internal/fusion"
 	"godisc/internal/graph"
+	"godisc/internal/obs"
 	"godisc/internal/opt"
 	"godisc/internal/ral"
 	"godisc/internal/symshape"
@@ -70,6 +71,13 @@ type CompiledParams struct {
 	// sequential so strategy comparisons measure the cost model, not the
 	// host machine; discrun sets it for real-latency runs.
 	Workers int
+	// Hook, when set, opens an `exec` span (with per-unit kernel and
+	// partition children) on every invocation; discrun's -trace-out
+	// threads a tracer here. Nil costs one branch per run.
+	Hook obs.Hook
+	// Metrics, when set, registers the engine's execution counters and
+	// buffer-pool gauges. Nil is a no-op.
+	Metrics *obs.Registry
 }
 
 // BladeDISCParams is the paper's system: full dynamic-shape fusion and
@@ -186,6 +194,8 @@ func NewCompiled(g *graph.Graph, dev *device.Model, p CompiledParams) (*Compiled
 		HostDispatchNs: p.HostNsPerLaunch,
 		AliasViews:     true,
 		Workers:        p.Workers,
+		Hook:           p.Hook,
+		Metrics:        p.Metrics,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("baselines: %s: %w", p.Name, err)

@@ -22,6 +22,7 @@ import (
 	"godisc/internal/faultinject"
 	"godisc/internal/fusion"
 	"godisc/internal/graph"
+	"godisc/internal/obs"
 	"godisc/internal/ral"
 	"godisc/internal/symshape"
 	"godisc/internal/tensor"
@@ -54,6 +55,14 @@ type Options struct {
 	// engine sharing it (one pool per serving process). Nil with
 	// Workers > 1 gives the engine a private pool of Workers-1 helpers.
 	WorkerPool *WorkerPool
+	// Hook, when non-nil, receives execution spans: an `exec` span per
+	// run (attached to the request span carried in the context, if any)
+	// with per-unit kernel/library children and per-chunk partition
+	// children. Nil keeps the hot path at a single pointer-nil branch.
+	Hook obs.Hook
+	// Metrics, when non-nil, registers this engine's execution counters
+	// and buffer-pool gauges.
+	Metrics *obs.Registry
 }
 
 // DefaultOptions mirrors the BladeDISC configuration. Execution stays
@@ -105,6 +114,11 @@ type Executable struct {
 
 	// Pool provides intermediate buffers across runs.
 	Pool *ral.Pool
+
+	// Cached metric handles (nil when Options.Metrics is unset; every
+	// method on a nil handle no-ops, so call sites stay unguarded).
+	mTasks      *obs.Counter
+	mPartitions *obs.Counter
 }
 
 // Compile lowers every group of the plan. The graph must be decomposed,
@@ -155,6 +169,11 @@ func Compile(g *graph.Graph, plan *fusion.Plan, dev *device.Model, opts Options)
 		return nil, err
 	}
 	e.buildSchedule()
+	if reg := opts.Metrics; reg != nil {
+		e.mTasks = reg.Counter("godisc_exec_tasks_total", obs.L("graph", g.Name))
+		e.mPartitions = reg.Counter("godisc_exec_partitions_total", obs.L("graph", g.Name))
+		e.Pool.Observe(reg, obs.L("graph", g.Name))
+	}
 	return e, nil
 }
 
@@ -287,6 +306,24 @@ func (e *Executable) RunContext(ctx context.Context, inputs []*tensor.Tensor) (r
 	}
 	defer rc.release()
 
+	// Observability: one `exec` span per run, attached under the request
+	// span carried in ctx (if any). The disabled state pays exactly this
+	// one branch — no context lookup, no clock read.
+	if e.opts.Hook != nil {
+		elems := 0
+		for _, in := range inputs {
+			elems += in.Numel()
+		}
+		rc.span = obs.StartChild(e.opts.Hook, obs.SpanFromContext(ctx), "exec",
+			obs.A("graph", g.Name), obs.A("shape_bucket", obs.ShapeBucket(elems)))
+		defer func() {
+			if err != nil {
+				rc.span.SetAttr("error", err.Error())
+			}
+			rc.span.End()
+		}()
+	}
+
 	workers, pool := e.opts.Workers, e.opts.WorkerPool
 	if workers <= 0 && pool != nil {
 		workers = pool.Size()
@@ -321,12 +358,19 @@ func (e *Executable) runSequential(rc *runCtx) error {
 		if err := rc.cancelled(); err != nil {
 			return err
 		}
+		var sp *obs.Span
+		if rc.span != nil {
+			name, unit := t.spanInfo()
+			sp = rc.span.Child(name, obs.A("unit", unit))
+		}
 		var err error
 		if t.u.isLib {
 			err = e.runLibrary(rc, t, rc.prof)
 		} else {
 			err = e.runKernelSeq(rc, t)
 		}
+		sp.End()
+		e.mTasks.Inc()
 		if err != nil {
 			return err
 		}
@@ -584,7 +628,17 @@ func (e *Executable) chargeKernel(prof *ral.Profiler, ln *launch, chunks int) {
 	prof.Launch(k.Name, ln.variant.Name, cost.Bytes, cost.Flops, e.Dev.KernelTimeNs(cost))
 	if chunks > 1 {
 		prof.Partitions += chunks
+		e.mPartitions.Add(int64(chunks))
 	}
+}
+
+// spanInfo names the task's span: "library" with the op kind for library
+// calls, "kernel" with the generated kernel name otherwise.
+func (t *task) spanInfo() (name, unit string) {
+	if t.u.isLib {
+		return "library", fmt.Sprintf("%v", t.u.group.Nodes[0].Kind)
+	}
+	return "kernel", t.u.kernel.Name
 }
 
 // flatten converts any tensor into the runtime's f32 buffer form. Integer

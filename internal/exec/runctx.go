@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"godisc/internal/obs"
 	"godisc/internal/ral"
 	"godisc/internal/tensor"
 )
@@ -45,6 +46,9 @@ type runCtx struct {
 	// per-task shards and merge them through a ral.SharedProfiler instead
 	// of touching prof directly.
 	prof *ral.Profiler
+	// span is this run's `exec` trace span (nil when observability is
+	// off — the one branch executors pay per instrumentation point).
+	span *obs.Span
 }
 
 // newRunCtx opens the per-call state for one invocation: parameters are

@@ -20,6 +20,7 @@ import (
 	"godisc/internal/discerr"
 	"godisc/internal/faultinject"
 	"godisc/internal/graph"
+	"godisc/internal/obs"
 	"godisc/internal/ral"
 )
 
@@ -56,6 +57,16 @@ func NewWorkerPool(n int) *WorkerPool {
 
 // Size reports the worker count the pool was sized for.
 func (p *WorkerPool) Size() int { return cap(p.tokens) + 1 }
+
+// Observe registers the pool's utilization gauges on reg: its sizing and
+// how many helper tokens are currently borrowed by running requests.
+func (p *WorkerPool) Observe(reg *obs.Registry, labels ...obs.Label) {
+	if p == nil || reg == nil {
+		return
+	}
+	reg.GaugeFunc("godisc_worker_pool_size", func() float64 { return float64(p.Size()) }, labels...)
+	reg.GaugeFunc("godisc_worker_helpers_busy", func() float64 { return float64(len(p.tokens)) }, labels...)
+}
 
 // tryAcquire takes a helper token without blocking.
 func (p *WorkerPool) tryAcquire() bool {
@@ -199,6 +210,7 @@ type chunkState struct {
 	t       *task
 	ln      *launch
 	shard   *ral.Profiler
+	span    *obs.Span // the unit's kernel span; ended at finalize
 	chunks  int
 	pending int32
 }
@@ -344,9 +356,11 @@ func panicErr(r any) error {
 // drains.
 func (s *scheduler) execTask(t *task) {
 	handedOff := false
+	var sp *obs.Span
 	defer func() {
 		if r := recover(); r != nil {
 			s.fail(panicErr(r))
+			sp.End()
 			if !handedOff {
 				s.complete(t)
 			}
@@ -360,21 +374,28 @@ func (s *scheduler) execTask(t *task) {
 		s.complete(t)
 		return
 	}
+	if s.rc.span != nil {
+		name, unit := t.spanInfo()
+		sp = s.rc.span.Child(name, obs.A("unit", unit))
+	}
 	shard := ral.NewProfiler()
 	if t.u.isLib {
 		err := s.e.runLibrary(s.rc, t, shard)
 		handedOff = true
+		sp.End()
 		s.finishTask(t, shard, err)
 		return
 	}
 	ln, err := s.e.prepareKernel(s.rc, t)
 	if err != nil {
 		handedOff = true
+		sp.End()
 		s.finishTask(t, nil, err)
 		return
 	}
 	if err := s.e.opts.Faults.Check(faultinject.SiteKernelLaunch); err != nil {
 		handedOff = true
+		sp.End()
 		s.finishTask(t, nil, fmt.Errorf("exec: launching %s: %w", ln.k.Name, err))
 		return
 	}
@@ -384,6 +405,7 @@ func (s *scheduler) execTask(t *task) {
 			partials, err := s.rc.sess.Get(p)
 			if err != nil {
 				handedOff = true
+				sp.End()
 				s.finishTask(t, nil, err)
 				return
 			}
@@ -402,11 +424,12 @@ func (s *scheduler) execTask(t *task) {
 			s.e.chargeKernel(shard, ln, 1)
 		}
 		handedOff = true
+		sp.End()
 		s.finishTask(t, shard, err)
 		return
 	}
 	handedOff = true
-	s.launchChunks(t, ln, chunks, shard)
+	s.launchChunks(t, ln, chunks, shard, sp)
 }
 
 // partialCount picks the number of per-worker partials for a full
@@ -444,8 +467,8 @@ func splitRange(extent, n, i int) (lo, hi int) {
 	return lo, hi
 }
 
-func (s *scheduler) launchChunks(t *task, ln *launch, chunks int, shard *ral.Profiler) {
-	cs := &chunkState{t: t, ln: ln, shard: shard, chunks: chunks, pending: int32(chunks)}
+func (s *scheduler) launchChunks(t *task, ln *launch, chunks int, shard *ral.Profiler, sp *obs.Span) {
+	cs := &chunkState{t: t, ln: ln, shard: shard, span: sp, chunks: chunks, pending: int32(chunks)}
 	items := make([]workItem, chunks)
 	for i := 0; i < chunks; i++ {
 		lo, hi := splitRange(ln.outer, chunks, i)
@@ -471,9 +494,14 @@ func (s *scheduler) execChunk(it workItem) {
 	if err := s.rc.cancelled(); err != nil {
 		s.fail(err)
 	} else if !s.aborted() {
+		var csp *obs.Span
+		if cs.span != nil {
+			csp = cs.span.Child("partition", obs.A("range", fmt.Sprintf("%d:%d", it.lo, it.hi)))
+		}
 		if err := s.e.runChunk(s.rc, cs.ln, it.lo, it.hi); err != nil {
 			s.fail(err)
 		}
+		csp.End()
 	}
 	settled = true
 	if atomic.AddInt32(&cs.pending, -1) == 0 {
@@ -511,6 +539,7 @@ func (s *scheduler) finalizeChunks(cs *chunkState) {
 	} else {
 		s.fail(err)
 	}
+	cs.span.End()
 	done = true
 	s.complete(cs.t)
 }
@@ -530,6 +559,7 @@ func (s *scheduler) finishTask(t *task, shard *ral.Profiler, err error) {
 // in-degree hits zero, and wakes the coordinator. Runs for every task on
 // every path (success, failure, abort drain) exactly once.
 func (s *scheduler) complete(t *task) {
+	s.e.mTasks.Inc()
 	if !s.e.opts.DisableLivenessPlanning {
 		for _, sl := range t.reads {
 			s.rc.decRef(sl)

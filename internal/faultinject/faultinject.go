@@ -15,13 +15,16 @@ package faultinject
 
 import (
 	"fmt"
+	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"godisc/internal/discerr"
+	"godisc/internal/obs"
 )
 
 // Site names a probe location. The canonical sites below are wired into
@@ -96,6 +99,9 @@ type Injector struct {
 	seed   uint64
 	rules  map[Site][]rule
 	counts map[Site]int64
+	// reg, when set, gets a godisc_faults_total{site,mode} counter
+	// incremented per injected fault (see SetMetrics).
+	reg *obs.Registry
 }
 
 // splitmix is a tiny deterministic PRNG (SplitMix64), so decisions do not
@@ -128,6 +134,62 @@ func New(seed uint64) *Injector {
 // Seed returns the seed the injector was built with (for reproduction
 // logs).
 func (in *Injector) Seed() uint64 { return in.seed }
+
+// SetMetrics routes per-fire outcome counters
+// (godisc_faults_total{site,mode}) into reg. Nil receiver or registry is
+// a no-op.
+func (in *Injector) SetMetrics(reg *obs.Registry) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.reg = reg
+	in.mu.Unlock()
+}
+
+// RuleSpec is the introspectable form of one armed rule.
+type RuleSpec struct {
+	Site    Site
+	Mode    Mode
+	Rate    float64
+	Latency time.Duration
+}
+
+// Rules snapshots the armed rules in a stable (site-grouped, arming)
+// order — the introspection surface discserve uses to log its fault
+// configuration.
+func (in *Injector) Rules() []RuleSpec {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	sites := make([]string, 0, len(in.rules))
+	for s := range in.rules {
+		sites = append(sites, string(s))
+	}
+	sort.Strings(sites)
+	var out []RuleSpec
+	for _, s := range sites {
+		for _, r := range in.rules[Site(s)] {
+			out = append(out, RuleSpec{Site: Site(s), Mode: r.mode, Rate: r.rate, Latency: r.latency})
+		}
+	}
+	return out
+}
+
+// Spec renders the armed rules back into the FromSpec grammar.
+// FromSpec(in.Spec(), seed) reproduces the same rule set.
+func (in *Injector) Spec() string {
+	var sb strings.Builder
+	for i, r := range in.Rules() {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s:%s:%g:%s", r.Site, r.Mode, r.Rate, r.Latency)
+	}
+	return sb.String()
+}
 
 // Arm adds a (mode, rate) rule at a site. Rate is the per-probe firing
 // probability, clamped to [0, 1]. Several rules may share a site; they
@@ -177,7 +239,10 @@ func (in *Injector) Check(site Site) error {
 		return nil
 	}
 	in.counts[site]++
+	reg := in.reg
 	in.mu.Unlock()
+	reg.Counter("godisc_faults_total",
+		obs.L("site", string(site)), obs.L("mode", fired.mode.String())).Inc()
 
 	switch fired.mode {
 	case ModeError:
@@ -233,12 +298,18 @@ func FromSpec(spec string, seed uint64) (*Injector, error) {
 		if len(fields) != 3 && len(fields) != 4 {
 			return nil, fmt.Errorf("faultinject: bad rule %q (want site:mode:rate[:latency])", part)
 		}
+		site := strings.TrimSpace(fields[0])
+		if site == "" {
+			return nil, fmt.Errorf("faultinject: empty site in rule %q", part)
+		}
 		mode, err := parseMode(fields[1])
 		if err != nil {
 			return nil, err
 		}
 		rate, err := strconv.ParseFloat(fields[2], 64)
-		if err != nil || rate < 0 || rate > 1 {
+		// NaN must be rejected explicitly: it passes neither bound check
+		// yet would arm a rule that silently never fires.
+		if err != nil || math.IsNaN(rate) || rate < 0 || rate > 1 {
 			return nil, fmt.Errorf("faultinject: bad rate %q in %q (want 0..1)", fields[2], part)
 		}
 		latency := 2 * time.Millisecond
@@ -247,8 +318,11 @@ func FromSpec(spec string, seed uint64) (*Injector, error) {
 			if err != nil {
 				return nil, fmt.Errorf("faultinject: bad latency %q in %q: %v", fields[3], part, err)
 			}
+			if latency < 0 {
+				return nil, fmt.Errorf("faultinject: negative latency %q in %q", fields[3], part)
+			}
 		}
-		in.ArmLatency(Site(fields[0]), mode, rate, latency)
+		in.ArmLatency(Site(site), mode, rate, latency)
 	}
 	return in, nil
 }

@@ -1,0 +1,66 @@
+package faultinject
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// FuzzFaultSpec fuzzes the GODISC_FAULTS grammar. Properties: FromSpec
+// never panics; accepted injectors carry only sane rules (rate in [0,1]
+// and never NaN, latency non-negative, site non-empty); and the Spec()
+// rendering round-trips to the same rule set.
+func FuzzFaultSpec(f *testing.F) {
+	seeds := []string{
+		"compile:transient:0.3",
+		"kernel-launch:panic:0.2,alloc:transient:0.2",
+		"alloc:latency:0.5:5ms",
+		"compile:error:1",
+		"compile:error:0",
+		"a:b:c",
+		"compile:transient:NaN",
+		"compile:transient:-0.5",
+		":error:0.5",
+		"compile:latency:0.5:-3ms",
+		"compile:latency:0.5:abc",
+		"compile:transient:1e-9, kernel-launch:error:0.999999",
+		"compile:transient:0.3:",
+		",,,",
+		"compile:transient:+Inf",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		in, err := FromSpec(spec, 42)
+		if err != nil {
+			return
+		}
+		if in == nil {
+			// Only the empty spec yields the inert nil injector.
+			return
+		}
+		rules := in.Rules()
+		if len(rules) == 0 {
+			t.Fatalf("accepted non-empty spec %q armed no rules", spec)
+		}
+		for _, r := range rules {
+			if r.Site == "" {
+				t.Fatalf("spec %q armed a rule with an empty site", spec)
+			}
+			if math.IsNaN(r.Rate) || r.Rate < 0 || r.Rate > 1 {
+				t.Fatalf("spec %q armed rate %v outside [0,1]", spec, r.Rate)
+			}
+			if r.Latency < 0 {
+				t.Fatalf("spec %q armed negative latency %v", spec, r.Latency)
+			}
+		}
+		again, err := FromSpec(in.Spec(), 42)
+		if err != nil {
+			t.Fatalf("Spec() of accepted spec %q does not reparse: %v", spec, err)
+		}
+		if !reflect.DeepEqual(again.Rules(), rules) {
+			t.Fatalf("spec round trip changed rules:\n in: %v\nout: %v", rules, again.Rules())
+		}
+	})
+}

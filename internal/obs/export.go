@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Trace export: a structured JSON forest for programmatic consumption and
+// a Chrome trace_event file (the "JSON Array Format" with complete "X"
+// events) that chrome://tracing and Perfetto open directly. Each root
+// span becomes one track (tid); nesting renders from span containment.
+
+// WriteJSON writes the retained traces as {"traces": [SpanData...]}.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Traces []SpanData `json:"traces"`
+	}{Traces: t.Snapshot()})
+}
+
+// chromeEvent is one trace_event entry. Timestamps and durations are in
+// microseconds per the format spec; ph "X" is a complete (begin+end)
+// event.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTraceFile is the JSON Object Format wrapper.
+type chromeTraceFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the retained traces in Chrome trace_event
+// format. Every root span gets its own tid so concurrent requests render
+// as parallel tracks.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	file := chromeTraceFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for tid, root := range t.Snapshot() {
+		appendChromeEvents(&file.TraceEvents, root, tid+1)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(file)
+}
+
+// appendChromeEvents flattens one span subtree into events on track tid.
+func appendChromeEvents(events *[]chromeEvent, d SpanData, tid int) {
+	*events = append(*events, chromeEvent{
+		Name: d.Name,
+		Cat:  "godisc",
+		Ph:   "X",
+		Ts:   float64(d.Start.UnixNano()) / 1e3,
+		Dur:  float64(d.DurNs) / 1e3,
+		Pid:  1,
+		Tid:  tid,
+		Args: d.Attrs,
+	})
+	for _, c := range d.Children {
+		appendChromeEvents(events, c, tid)
+	}
+}
+
+// ShapeBucket renders the power-of-two size bucket of n elements — the
+// coarse shape attribute spans carry so traces group by workload size
+// without exploding attribute cardinality ("4096-8191" style).
+func ShapeBucket(n int) string {
+	if n <= 0 {
+		return "0"
+	}
+	lo := 1
+	for lo*2 <= n {
+		lo *= 2
+	}
+	return fmt.Sprintf("%d-%d", lo, lo*2-1)
+}

@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"net/http"
+)
+
+// Mux returns an http.ServeMux serving the standard observability
+// endpoints:
+//
+//	/metrics             Prometheus text exposition of reg
+//	/debug/trace         retained traces as structured JSON
+//	/debug/trace?format=chrome
+//	                     same traces as a Chrome trace_event file
+//
+// Either argument may be nil; the corresponding endpoint then serves an
+// empty (but well-formed) document.
+func Mux(reg *Registry, tr *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Disposition", `attachment; filename="godisc-trace.json"`)
+			_ = tr.WriteChromeTrace(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = tr.WriteJSON(w)
+	})
+	return mux
+}

@@ -1,0 +1,642 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSafety proves the observability-off state: every handle type
+// no-ops on nil without panicking, which is the contract instrumented hot
+// paths rely on.
+func TestNilSafety(t *testing.T) {
+	var sp *Span
+	sp.SetAttr("k", "v")
+	sp.End()
+	if c := sp.Child("x"); c != nil {
+		t.Fatalf("nil span Child = %v, want nil", c)
+	}
+	if sp.Name() != "" || sp.Duration() != 0 {
+		t.Fatal("nil span accessors not zero")
+	}
+	if d := sp.Data(); d.Name != "" || len(d.Children) != 0 {
+		t.Fatal("nil span Data not zero")
+	}
+
+	var tr *Tracer
+	if s := tr.StartSpan("x"); s != nil {
+		t.Fatal("nil tracer StartSpan != nil")
+	}
+	if tr.Len() != 0 {
+		t.Fatal("nil tracer Len != 0")
+	}
+	if total, drops := tr.Recorded(); total != 0 || drops != 0 {
+		t.Fatal("nil tracer Recorded != 0")
+	}
+	if tr.Snapshot() != nil {
+		t.Fatal("nil tracer Snapshot != nil")
+	}
+
+	if s := StartChild(nil, nil, "x"); s != nil {
+		t.Fatal("StartChild(nil, nil) != nil")
+	}
+
+	var reg *Registry
+	if reg.Counter("c") != nil || reg.Gauge("g") != nil || reg.Histogram("h", nil) != nil {
+		t.Fatal("nil registry returned non-nil handle")
+	}
+	reg.GaugeFunc("f", func() float64 { return 1 })
+	if err := reg.WritePrometheus(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter Value != 0")
+	}
+	var g *Gauge
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge Value != 0")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram not zero")
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	tr := NewTracer(8)
+	root := tr.StartSpan("infer", A("sig", "f32[?,4]"))
+	lookup := root.Child("cache-lookup")
+	lookup.End()
+	ex := root.Child("exec")
+	k := ex.Child("kernel", A("unit", "fusion_0"))
+	k.SetAttr("bucket", ShapeBucket(5000))
+	k.End()
+	ex.End()
+	root.End()
+	root.End() // idempotent
+
+	if total, drops := tr.Recorded(); total != 1 || drops != 0 {
+		t.Fatalf("Recorded = %d,%d want 1,0", total, drops)
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("Snapshot len = %d", len(snap))
+	}
+	d := snap[0]
+	if d.Name != "infer" || d.Attrs["sig"] != "f32[?,4]" {
+		t.Fatalf("root = %+v", d)
+	}
+	if len(d.Children) != 2 || d.Children[0].Name != "cache-lookup" || d.Children[1].Name != "exec" {
+		t.Fatalf("children = %+v", d.Children)
+	}
+	kd := d.Children[1].Children[0]
+	if kd.Name != "kernel" || kd.Attrs["unit"] != "fusion_0" || kd.Attrs["bucket"] != "4096-8191" {
+		t.Fatalf("kernel = %+v", kd)
+	}
+	if kd.DurNs < 0 || d.DurNs < kd.DurNs {
+		t.Fatalf("durations: root %d kernel %d", d.DurNs, kd.DurNs)
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.StartSpan(fmt.Sprintf("r%d", i)).End()
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d want 3", tr.Len())
+	}
+	total, drops := tr.Recorded()
+	if total != 5 || drops != 2 {
+		t.Fatalf("Recorded = %d,%d want 5,2", total, drops)
+	}
+	snap := tr.Snapshot()
+	var names []string
+	for _, d := range snap {
+		names = append(names, d.Name)
+	}
+	if got := strings.Join(names, ","); got != "r2,r3,r4" {
+		t.Fatalf("retained = %s want r2,r3,r4 (oldest first)", got)
+	}
+}
+
+func TestContextSpanPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if SpanFromContext(ctx) != nil {
+		t.Fatal("empty ctx carries a span")
+	}
+	if ContextWithSpan(ctx, nil) != ctx {
+		t.Fatal("nil span should not wrap ctx")
+	}
+	tr := NewTracer(1)
+	sp := tr.StartSpan("root")
+	ctx2 := ContextWithSpan(ctx, sp)
+	if SpanFromContext(ctx2) != sp {
+		t.Fatal("span round-trip through context failed")
+	}
+}
+
+func TestStartChildPrecedence(t *testing.T) {
+	tr := NewTracer(4)
+	root := tr.StartSpan("root")
+	// Parent wins over hook.
+	c := StartChild(tr, root, "child")
+	c.End()
+	root.End()
+	if d := tr.Snapshot()[0]; len(d.Children) != 1 || d.Children[0].Name != "child" {
+		t.Fatalf("child not attached to parent: %+v", d)
+	}
+	// Hook alone makes a new root.
+	r2 := StartChild(tr, nil, "solo")
+	r2.End()
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d want 2", tr.Len())
+	}
+}
+
+func TestRegistryBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("godisc_requests_total", L("outcome", "ok"))
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if reg.Counter("godisc_requests_total", L("outcome", "ok")) != c {
+		t.Fatal("same (name, labels) should return same handle")
+	}
+	if reg.Counter("godisc_requests_total", L("outcome", "err")) == c {
+		t.Fatal("distinct labels should return distinct handles")
+	}
+
+	g := reg.Gauge("godisc_queue_depth")
+	g.Set(3)
+	g.Add(2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %g", g.Value())
+	}
+
+	h := reg.Histogram("godisc_latency_ns", []float64{10, 100, 1000})
+	for _, v := range []float64{5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 5555 {
+		t.Fatalf("hist count=%d sum=%g", h.Count(), h.Sum())
+	}
+	// le semantics: a value equal to a bound lands in that bound's bucket.
+	h2 := reg.Histogram("godisc_le_test", []float64{10})
+	h2.Observe(10)
+	if got := h2.counts[0].Load(); got != 1 {
+		t.Fatalf("le-bound observation landed in bucket %v", h2.counts)
+	}
+
+	calls := 0
+	reg.GaugeFunc("godisc_pool_in_use", func() float64 { calls++; return 2 })
+	reg.GaugeFunc("godisc_pool_in_use", func() float64 { calls++; return 3 })
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("gauge funcs called %d times", calls)
+	}
+	if !strings.Contains(sb.String(), "godisc_pool_in_use 5\n") {
+		t.Fatalf("summed gauge func missing:\n%s", sb.String())
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("godisc_x_total")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	reg.Gauge("godisc_x_total")
+}
+
+func TestRegistryInvalidNamePanics(t *testing.T) {
+	reg := NewRegistry()
+	for _, bad := range []string{"", "2bad", "has space", "dash-name"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("name %q accepted", bad)
+				}
+			}()
+			reg.Counter(bad)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("invalid label name accepted")
+			}
+		}()
+		reg.Counter("godisc_ok", L("bad-key", "v"))
+	}()
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v", b)
+		}
+	}
+	if n := len(LatencyNsBuckets()); n != 12 {
+		t.Fatalf("LatencyNsBuckets len = %d", n)
+	}
+}
+
+func TestShapeBucket(t *testing.T) {
+	cases := map[int]string{
+		-1: "0", 0: "0", 1: "1-1", 2: "2-3", 3: "2-3",
+		4096: "4096-8191", 8191: "4096-8191", 8192: "8192-16383",
+	}
+	for n, want := range cases {
+		if got := ShapeBucket(n); got != want {
+			t.Fatalf("ShapeBucket(%d) = %s want %s", n, got, want)
+		}
+	}
+}
+
+// promParse validates exposition-format output structurally: every
+// non-comment line is `name{labels} value`, every name has exactly one
+// TYPE line appearing before its samples, histograms are cumulative.
+func promParse(t *testing.T, text string) map[string]string {
+	t.Helper()
+	types := map[string]string{}
+	samples := map[string]string{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			if _, dup := types[parts[2]]; dup {
+				t.Fatalf("duplicate TYPE for %s", parts[2])
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown type %q", parts[3])
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		series, val := line[:sp], line[sp+1:]
+		name := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("unbalanced labels in %q", line)
+			}
+			name = series[:i]
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suf)
+			if trimmed != name {
+				if _, ok := types[trimmed]; ok {
+					base = trimmed
+				}
+				break
+			}
+		}
+		if _, ok := types[base]; !ok {
+			t.Fatalf("sample %q precedes/lacks TYPE line", line)
+		}
+		if val != "+Inf" && val != "-Inf" && val != "NaN" {
+			if _, err := fmt.Sscanf(val, "%f", new(float64)); err != nil {
+				t.Fatalf("bad sample value %q in %q", val, line)
+			}
+		}
+		samples[series] = val
+	}
+	return samples
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("godisc_requests_total", L("outcome", "ok")).Add(7)
+	reg.Counter("godisc_requests_total", L("outcome", "err")).Inc()
+	reg.Gauge("godisc_inflight").Set(2.5)
+	h := reg.Histogram("godisc_latency_ns", []float64{100, 1000}, L("graph", "g1"))
+	h.Observe(50)
+	h.Observe(500)
+	h.Observe(5000)
+	reg.Counter("godisc_escape_total", L("sig", "f32[?,4]\\\"x\"\nend")).Inc()
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	samples := promParse(t, out)
+
+	if samples[`godisc_requests_total{outcome="ok"}`] != "7" {
+		t.Fatalf("counter sample missing:\n%s", out)
+	}
+	if samples[`godisc_inflight`] != "2.5" {
+		t.Fatalf("gauge sample missing:\n%s", out)
+	}
+	// Cumulative buckets: 1, 2, 3 and _count 3, _sum 5550.
+	for series, want := range map[string]string{
+		`godisc_latency_ns_bucket{graph="g1",le="100"}`:  "1",
+		`godisc_latency_ns_bucket{graph="g1",le="1000"}`: "2",
+		`godisc_latency_ns_bucket{graph="g1",le="+Inf"}`: "3",
+		`godisc_latency_ns_count{graph="g1"}`:            "3",
+		`godisc_latency_ns_sum{graph="g1"}`:              "5550",
+	} {
+		if samples[series] != want {
+			t.Fatalf("series %s = %q want %q\n%s", series, samples[series], want, out)
+		}
+	}
+	if !strings.Contains(out, `sig="f32[?,4]\\\"x\"\nend"`) {
+		t.Fatalf("label escaping wrong:\n%s", out)
+	}
+	// Determinism.
+	var sb2 strings.Builder
+	_ = reg.WritePrometheus(&sb2)
+	if sb2.String() != out {
+		t.Fatal("WritePrometheus not deterministic")
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := map[float64]string{
+		0: "0", 7: "7", -3: "-3", 2.5: "2.5",
+		math.Inf(1): "+Inf", math.Inf(-1): "-Inf", 1e3: "1000",
+	}
+	for v, want := range cases {
+		if got := formatValue(v); got != want {
+			t.Fatalf("formatValue(%g) = %s want %s", v, got, want)
+		}
+	}
+}
+
+// TestChromeTraceSchema checks the exported file is well-formed Chrome
+// trace_event JSON: traceEvents array of complete ("X") events with
+// microsecond ts/dur, pid/tid, and category set.
+func TestChromeTraceSchema(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 2; i++ {
+		root := tr.StartSpan("infer", A("sig", fmt.Sprintf("s%d", i)))
+		ex := root.Child("exec")
+		ex.Child("kernel").End()
+		ex.End()
+		root.End()
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Cat  string            `json:"cat"`
+			Ph   string            `json:"ph"`
+			Ts   *float64          `json:"ts"`
+			Dur  *float64          `json:"dur"`
+			Pid  int               `json:"pid"`
+			Tid  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", file.DisplayTimeUnit)
+	}
+	if len(file.TraceEvents) != 6 { // 2 roots × 3 spans
+		t.Fatalf("events = %d want 6", len(file.TraceEvents))
+	}
+	tids := map[int]bool{}
+	for _, ev := range file.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %q ph = %q want X", ev.Name, ev.Ph)
+		}
+		if ev.Cat != "godisc" || ev.Pid != 1 || ev.Tid < 1 {
+			t.Fatalf("event fields wrong: %+v", ev)
+		}
+		if ev.Ts == nil || ev.Dur == nil || *ev.Ts <= 0 || *ev.Dur < 0 {
+			t.Fatalf("event %q missing ts/dur", ev.Name)
+		}
+		tids[ev.Tid] = true
+	}
+	if len(tids) != 2 {
+		t.Fatalf("roots should get distinct tids, got %v", tids)
+	}
+	// Nested span timestamps stay inside the root window (µs units).
+	root, kernel := file.TraceEvents[0], file.TraceEvents[2]
+	if *kernel.Ts < *root.Ts || *kernel.Ts+*kernel.Dur > *root.Ts+*root.Dur+1 {
+		t.Fatalf("kernel [%f,%f] outside root [%f,%f]",
+			*kernel.Ts, *kernel.Ts+*kernel.Dur, *root.Ts, *root.Ts+*root.Dur)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	tr := NewTracer(2)
+	root := tr.StartSpan("infer")
+	root.Child("exec").End()
+	root.End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Traces []SpanData `json:"traces"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Traces) != 1 || doc.Traces[0].Name != "infer" || len(doc.Traces[0].Children) != 1 {
+		t.Fatalf("round-trip = %+v", doc)
+	}
+}
+
+func TestMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("godisc_requests_total").Add(3)
+	tr := NewTracer(4)
+	tr.StartSpan("infer").End()
+	mux := Mux(reg, tr)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics content-type %q", ct)
+	}
+	promParse(t, rec.Body.String())
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace", nil))
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("/debug/trace not JSON: %v", err)
+	}
+	if _, ok := doc["traces"]; !ok {
+		t.Fatal("/debug/trace missing traces key")
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace?format=chrome", nil))
+	var chrome map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &chrome); err != nil {
+		t.Fatalf("chrome trace not JSON: %v", err)
+	}
+	if _, ok := chrome["traceEvents"]; !ok {
+		t.Fatal("chrome trace missing traceEvents")
+	}
+
+	// Nil registry/tracer still serve well-formed empties.
+	empty := Mux(nil, nil)
+	rec = httptest.NewRecorder()
+	empty.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("nil /metrics status %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	empty.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace", nil))
+	if rec.Code != 200 {
+		t.Fatalf("nil /debug/trace status %d", rec.Code)
+	}
+}
+
+// TestConcurrentUse exercises the shared structures from many goroutines;
+// run under -race this is the data-race proof for span child appends,
+// tracer ring writes, and sharded registry access.
+func TestConcurrentUse(t *testing.T) {
+	tr := NewTracer(64)
+	reg := NewRegistry()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				root := tr.StartSpan("infer")
+				var cw sync.WaitGroup
+				for k := 0; k < 4; k++ {
+					cw.Add(1)
+					go func(k int) {
+						defer cw.Done()
+						c := root.Child("kernel", A("unit", fmt.Sprintf("u%d", k)))
+						c.SetAttr("bucket", ShapeBucket(k*1000))
+						c.End()
+					}(k)
+				}
+				cw.Wait()
+				root.End()
+				reg.Counter("godisc_requests_total", L("w", fmt.Sprintf("w%d", w))).Inc()
+				reg.Gauge("godisc_depth").Add(1)
+				reg.Histogram("godisc_lat", []float64{1, 10, 100}).Observe(float64(i))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { // concurrent scrapes while writers run
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = reg.WritePrometheus(io.Discard)
+			_ = tr.Snapshot()
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	wg.Wait()
+	<-done
+	total, _ := tr.Recorded()
+	if total != workers*200 {
+		t.Fatalf("recorded %d roots want %d", total, workers*200)
+	}
+	var sum int64
+	for w := 0; w < workers; w++ {
+		sum += reg.Counter("godisc_requests_total", L("w", fmt.Sprintf("w%d", w))).Value()
+	}
+	if sum != workers*200 {
+		t.Fatalf("counter sum %d want %d", sum, workers*200)
+	}
+	if h := reg.Histogram("godisc_lat", nil); h.Count() != workers*200 {
+		t.Fatalf("hist count %d", h.Count())
+	}
+}
+
+// BenchmarkSpanOff measures the disabled-instrumentation cost: the nil
+// guard StartChild + method calls on nil spans. This is the branch the
+// hot path pays when no tracer is installed — it must not allocate.
+func BenchmarkSpanOff(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := StartChild(nil, nil, "kernel")
+		sp.SetAttr("k", "v")
+		sp.End()
+	}
+}
+
+// BenchmarkSpanOn is the enabled-path cost for comparison.
+func BenchmarkSpanOn(b *testing.B) {
+	tr := NewTracer(16)
+	root := tr.StartSpan("root")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := StartChild(tr, root, "kernel")
+		sp.End()
+	}
+}
+
+// BenchmarkCounterInc is the post-registration metric fast path.
+func BenchmarkCounterInc(b *testing.B) {
+	reg := NewRegistry()
+	c := reg.Counter("godisc_bench_total")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func TestSpanOffZeroAlloc(t *testing.T) {
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := StartChild(nil, nil, "kernel")
+		sp.SetAttr("k", "v")
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span path allocates %g per op", allocs)
+	}
+}

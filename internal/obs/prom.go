@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4): one `# TYPE` line per
+// metric name followed by its series, names sorted so scrapes are
+// deterministic and diffable in tests.
+
+// escapeLabelValue applies the exposition-format label escaping rules.
+func escapeLabelValue(v string) string {
+	var sb strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// labelString renders {k="v",...} for the series' sorted labels, with
+// extra pairs (le for histogram buckets) appended last.
+func labelString(labels []Label, extra ...Label) string {
+	if len(labels)+len(extra) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	for _, l := range append(append([]Label(nil), labels...), extra...) {
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// formatValue renders a sample value the way Prometheus expects
+// (integers without exponent, +Inf spelled out).
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// WritePrometheus writes every registered series in text exposition
+// format. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	byName := r.snapshot()
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		group := byName[name]
+		sort.Slice(group, func(i, j int) bool {
+			return seriesKey(group[i].name, group[i].labels) < seriesKey(group[j].name, group[j].labels)
+		})
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, group[0].kind); err != nil {
+			return err
+		}
+		for _, s := range group {
+			if s.kind == kindHistogram {
+				if err := writeHistogram(w, s); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", name, labelString(s.labels), formatValue(s.value())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistogram emits the cumulative _bucket series plus _sum and _count.
+func writeHistogram(w io.Writer, s *series) error {
+	h := s.hist
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		le := L("le", formatValue(bound))
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.name, labelString(s.labels, le), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.name, labelString(s.labels, L("le", "+Inf")), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.name, labelString(s.labels), formatValue(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.name, labelString(s.labels), h.Count())
+	return err
+}

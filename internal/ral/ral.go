@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 
 	"godisc/internal/faultinject"
+	"godisc/internal/obs"
 )
 
 // Pool is a size-class buffer pool for device allocations. Buffers are
@@ -108,6 +109,19 @@ func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return PoolStats{Allocs: p.allocs, Reuses: p.reuses, PeakElems: p.peak, InUseElems: p.inUse}
+}
+
+// Observe registers the pool's accounting as on-scrape gauges on reg.
+// Several pools may observe the same labelled series (one pool per
+// compiled engine of a graph); the registry sums their contributions.
+func (p *Pool) Observe(reg *obs.Registry, labels ...obs.Label) {
+	if p == nil || reg == nil {
+		return
+	}
+	reg.GaugeFunc("godisc_pool_allocs_total", func() float64 { return float64(p.Stats().Allocs) }, labels...)
+	reg.GaugeFunc("godisc_pool_reuses_total", func() float64 { return float64(p.Stats().Reuses) }, labels...)
+	reg.GaugeFunc("godisc_pool_in_use_elems", func() float64 { return float64(p.Stats().InUseElems) }, labels...)
+	reg.GaugeFunc("godisc_pool_peak_elems", func() float64 { return float64(p.Stats().PeakElems) }, labels...)
 }
 
 // Session is a per-run view of a shared Pool: each invocation of an

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"godisc/internal/device"
+	"godisc/internal/exec"
+	"godisc/internal/fusion"
+	"godisc/internal/graph"
+	"godisc/internal/obs"
+	"godisc/internal/opt"
+	"godisc/internal/tensor"
+)
+
+// tracedCompile is realCompile with the observability hooks threaded into
+// the executable, the way godisc.NewServer wires engines for a server
+// with an Observer/Metrics config.
+func tracedCompile(hook obs.Hook, reg *obs.Registry) CompileFunc {
+	return func(g *graph.Graph) (Engine, error) {
+		if _, err := opt.Default().Run(g); err != nil {
+			return nil, err
+		}
+		plan, err := fusion.NewPlanner(fusion.DefaultConfig()).Plan(g)
+		if err != nil {
+			return nil, err
+		}
+		o := exec.DefaultOptions()
+		o.Hook = hook
+		o.Metrics = reg
+		return exec.Compile(g, plan, device.A10(), o)
+	}
+}
+
+// findChild returns the first direct child span with the given name.
+func findChild(sd obs.SpanData, name string) (obs.SpanData, bool) {
+	for _, c := range sd.Children {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return obs.SpanData{}, false
+}
+
+// TestInferSpanTreeEndToEnd proves the request span crosses the layer
+// boundary: serve opens infer/cache-lookup spans, the span rides the run
+// context into the compiled engine, and exec hangs its exec/kernel
+// children underneath — one connected tree per request.
+func TestInferSpanTreeEndToEnd(t *testing.T) {
+	tracer := obs.NewTracer(0)
+	reg := obs.NewRegistry()
+	s := New(Config{MaxConcurrent: 2, Observer: tracer, Metrics: reg},
+		tracedCompile(tracer, reg))
+	defer s.Close()
+	if err := s.Register("mlp", buildMLP); err != nil {
+		t.Fatal(err)
+	}
+	in, want := mlpInput(t, 3)
+	for i := 0; i < 2; i++ { // first = miss+compile, second = hit
+		resp, err := s.Infer(context.Background(), &Request{Model: "mlp", Inputs: []*tensor.Tensor{in}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tensor.AllClose(resp.Outputs[0], want[0], 1e-5, 1e-6); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	traces := tracer.Snapshot()
+	if len(traces) != 2 {
+		t.Fatalf("recorded %d traces, want 2", len(traces))
+	}
+	for i, root := range traces {
+		if root.Name != "infer" {
+			t.Fatalf("trace %d root = %q, want infer", i, root.Name)
+		}
+		if root.Attrs["model"] != "mlp" {
+			t.Errorf("trace %d: model attr = %q", i, root.Attrs["model"])
+		}
+		if root.DurNs <= 0 {
+			t.Errorf("trace %d: non-positive duration", i)
+		}
+		if _, ok := findChild(root, "admit"); !ok {
+			t.Errorf("trace %d: no admit child", i)
+		}
+		lookup, ok := findChild(root, "cache-lookup")
+		if !ok {
+			t.Fatalf("trace %d: no cache-lookup child", i)
+		}
+		if lookup.Attrs["signature"] == "" {
+			t.Errorf("trace %d: cache-lookup has no signature attr", i)
+		}
+		_, compiled := findChild(lookup, "compile")
+		if wantCompile := i == 0; compiled != wantCompile {
+			t.Errorf("trace %d: compile child present = %t, want %t", i, compiled, wantCompile)
+		}
+		ex, ok := findChild(root, "exec")
+		if !ok {
+			t.Fatalf("trace %d: no exec child — span did not cross into the engine", i)
+		}
+		kernels := 0
+		for _, c := range ex.Children {
+			if c.Name == "kernel" || c.Name == "library" {
+				kernels++
+			}
+		}
+		if kernels == 0 {
+			t.Errorf("trace %d: exec span has no kernel/library children", i)
+		}
+		// Child windows nest inside the root window.
+		for _, c := range root.Children {
+			if c.Start.Before(root.Start) {
+				t.Errorf("trace %d: child %q starts before root", i, c.Name)
+			}
+		}
+	}
+
+	// Both layers' metrics landed in the one registry.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, series := range []string{
+		"godisc_requests_total 2",
+		`godisc_cache_lookups_total{result="hit"} 1`,
+		`godisc_cache_lookups_total{result="miss"} 1`,
+		"godisc_exec_tasks_total{",
+		"godisc_pool_in_use_elems",
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("registry missing %q after instrumented serve+exec run", series)
+		}
+	}
+}

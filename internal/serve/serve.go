@@ -31,6 +31,7 @@ import (
 	"godisc/internal/discerr"
 	"godisc/internal/exec"
 	"godisc/internal/graph"
+	"godisc/internal/obs"
 	"godisc/internal/ral"
 	"godisc/internal/symshape"
 	"godisc/internal/tensor"
@@ -86,6 +87,19 @@ type Config struct {
 	// engines of a server share ONE worker pool, so helper goroutines are
 	// bounded per server — not multiplied per concurrent request.
 	Workers int
+
+	// Observer, when non-nil, receives one hierarchical span per Infer
+	// call (infer → cache-lookup/compile → exec → kernel/partition →
+	// fallback/retry). The exec-layer children only appear when the
+	// compiled engines were built with the same hook (exec.Options.Hook);
+	// the request span rides the run context so the Engine interface
+	// stays unchanged. Nil keeps the request path free of span work.
+	Observer obs.Hook
+	// Metrics, when non-nil, is the registry the serving counters,
+	// latency histograms and queue gauges register on (served by
+	// discserve at /metrics). Nil gives the server a private registry so
+	// the Stats API works regardless.
+	Metrics *obs.Registry
 }
 
 // Request is one inference call.
@@ -222,7 +236,7 @@ func New(cfg Config, compile CompileFunc) *Server {
 		forceCtx:    forceCtx,
 		forceCancel: forceCancel,
 		sem:         make(chan struct{}, cfg.MaxConcurrent),
-		stats:       newCollector(),
+		stats:       newCollector(cfg.Metrics),
 	}
 }
 
@@ -263,14 +277,20 @@ func (s *Server) lookup(name string) (*modelEntry, error) {
 // engine returns the cached engine for a model, compiling under the
 // signature-keyed singleflight cache on a cold key. The cache key scopes
 // the symbolic signature by model name, since two models with identical
-// signatures still differ in weights.
-func (s *Server) engine(m *modelEntry) (Engine, string, bool, error) {
+// signatures still differ in weights. The whole lookup runs under a
+// `cache-lookup` child of sp (nil when observability is off), with a
+// `compile` grandchild exactly when this call pays for the compilation.
+func (s *Server) engine(m *modelEntry, sp *obs.Span) (Engine, string, bool, error) {
 	sig, err := m.signature()
 	if err != nil {
 		return nil, "", false, err
 	}
+	lsp := sp.Child("cache-lookup", obs.A("signature", sig))
+	defer lsp.End()
 	key := m.name + "@" + sig
 	v, hit, err := s.cache.GetOrCompile(key, func() (any, error) {
+		csp := lsp.Child("compile", obs.A("signature", sig))
+		defer csp.End()
 		eng, err := s.compile(m.build())
 		if err != nil {
 			return nil, fmt.Errorf("serve: model %q (signature %s): %v: %w",
@@ -278,6 +298,7 @@ func (s *Server) engine(m *modelEntry) (Engine, string, bool, error) {
 		}
 		return eng, nil
 	})
+	lsp.SetAttr("hit", fmt.Sprintf("%t", hit))
 	if err != nil {
 		return nil, sig, hit, err
 	}
@@ -291,7 +312,7 @@ func (s *Server) Warm(model string) error {
 	if err != nil {
 		return err
 	}
-	_, _, _, err = s.engine(m)
+	_, _, _, err = s.engine(m, nil)
 	return err
 }
 
@@ -320,8 +341,30 @@ func (s *Server) Warm(model string) error {
 // admission), ErrServerClosed, ErrCompileFailed, ErrShapeMismatch,
 // ErrKernelPanic, ErrTransient, ErrEngineQuarantined, plus ctx.Err() when
 // the request's context expires while queued or mid-run.
-func (s *Server) Infer(ctx context.Context, req *Request) (*Response, error) {
+func (s *Server) Infer(ctx context.Context, req *Request) (resp *Response, retErr error) {
 	s.stats.request()
+	// Root span of this request's trace. When no Observer is configured
+	// sp stays nil and every span call below is one nil branch.
+	var sp *obs.Span
+	if s.cfg.Observer != nil {
+		elems := 0
+		for _, in := range req.Inputs {
+			elems += in.Numel()
+		}
+		sp = s.cfg.Observer.StartSpan("infer",
+			obs.A("model", req.Model), obs.A("shape_bucket", obs.ShapeBucket(elems)))
+		defer func() {
+			if retErr != nil {
+				sp.SetAttr("error", retErr.Error())
+			} else if resp != nil {
+				sp.SetAttr("cache_hit", fmt.Sprintf("%t", resp.CacheHit))
+				if resp.Fallback {
+					sp.SetAttr("fallback", "true")
+				}
+			}
+			sp.End()
+		}()
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -346,7 +389,9 @@ func (s *Server) Infer(ctx context.Context, req *Request) (*Response, error) {
 	}
 
 	queueStart := time.Now()
+	qsp := sp.Child("admit")
 	release, err := s.admit(ctx)
+	qsp.End()
 	if err != nil {
 		switch {
 		case ctx.Err() != nil:
@@ -368,7 +413,7 @@ func (s *Server) Infer(ctx context.Context, req *Request) (*Response, error) {
 	if !br.allow(time.Now()) {
 		s.stats.breakerShorted()
 		cause := fmt.Errorf("serve: model %q (signature %s): %w", m.name, sig, discerr.ErrEngineQuarantined)
-		return s.finish(s.fallback(ctx, m, req, sig, queueNs, 0, cause))
+		return s.finish(s.fallback(ctx, sp, m, req, sig, queueNs, 0, cause))
 	}
 
 	var lastErr error
@@ -377,12 +422,15 @@ func (s *Server) Infer(ctx context.Context, req *Request) (*Response, error) {
 		if attempt > 0 {
 			retries++
 			s.stats.retry()
-			if err := s.backoff(ctx, attempt); err != nil {
+			rsp := sp.Child("retry", obs.A("attempt", fmt.Sprintf("%d", attempt)))
+			err := s.backoff(ctx, attempt)
+			rsp.End()
+			if err != nil {
 				s.stats.canceled()
 				return nil, err
 			}
 		}
-		eng, _, hit, err := s.engine(m)
+		eng, _, hit, err := s.engine(m, sp)
 		if err != nil {
 			lastErr = err
 			if errors.Is(err, discerr.ErrTransient) && attempt < s.cfg.MaxRetries && ctx.Err() == nil {
@@ -396,10 +444,11 @@ func (s *Server) Infer(ctx context.Context, req *Request) (*Response, error) {
 			s.stats.cacheMiss()
 		}
 
-		res, err := runEngine(ctx, eng, req.Inputs)
+		res, err := runEngine(obs.ContextWithSpan(ctx, sp), eng, req.Inputs)
 		if err == nil {
 			br.success()
 			s.stats.completed(res.Profile.SimulatedNs)
+			s.stats.observeSignature(m.name, sig, res.Profile.SimulatedNs)
 			return &Response{
 				Outputs:   res.Outputs,
 				Profile:   res.Profile,
@@ -432,7 +481,7 @@ func (s *Server) Infer(ctx context.Context, req *Request) (*Response, error) {
 	if br.failure(time.Now()) {
 		s.stats.breakerOpened()
 	}
-	return s.finish(s.fallback(ctx, m, req, sig, queueNs, retries, lastErr))
+	return s.finish(s.fallback(ctx, sp, m, req, sig, queueNs, retries, lastErr))
 }
 
 // finish translates a fallback outcome into the final stats bucket.
@@ -507,13 +556,18 @@ const fallbackNodeNs = 25000
 // interpreter — the paper's framework-fallback path. The request
 // succeeds with correct outputs but pays eager per-op dispatch costs;
 // `cause` records why the compiled path was abandoned.
-func (s *Server) fallback(ctx context.Context, m *modelEntry, req *Request, sig string, queueNs int64, retries int, cause error) (*Response, error) {
+func (s *Server) fallback(ctx context.Context, sp *obs.Span, m *modelEntry, req *Request, sig string, queueNs int64, retries int, cause error) (*Response, error) {
 	if s.cfg.DisableFallback {
 		return nil, cause
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	fsp := sp.Child("fallback")
+	if fsp != nil && cause != nil {
+		fsp.SetAttr("cause", cause.Error())
+	}
+	defer fsp.End()
 	g := m.build()
 	outs, err := graph.Evaluate(g, req.Inputs)
 	if err != nil {
@@ -522,6 +576,7 @@ func (s *Server) fallback(ctx context.Context, m *modelEntry, req *Request, sig 
 	prof := ral.NewProfiler()
 	prof.Host(float64(len(g.Toposort())) * fallbackNodeNs)
 	s.stats.fallback(prof.SimulatedNs)
+	s.stats.observeSignature(m.name, sig, prof.SimulatedNs)
 	return &Response{
 		Outputs:   outs,
 		Profile:   prof,

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"godisc/internal/obs"
 )
 
 // latencyWindow bounds the latency sample buffer: percentiles are computed
@@ -64,17 +66,23 @@ func (st Stats) String() string {
 	return s
 }
 
-// collector accumulates counters under one mutex. Admission queueing uses
-// it too, so "queue depth vs limit" checks are atomic with the counters
-// they publish.
+// collector is the serving stats backend, built on an obs.Registry: every
+// counter is a registered metric series (cached handle, so increments are
+// lock-free atomics), which means the Stats snapshot and the /metrics
+// scrape are two views of the same numbers and can never disagree. The
+// mutex survives only where atomicity with admission logic requires it:
+// the queue-depth-vs-limit check, the in-flight/queue peaks, and the
+// bounded latency sample window percentiles are computed over.
 type collector struct {
-	mu sync.Mutex
+	reg *obs.Registry
 
-	nRequests, nCompleted, nRejected, nCanceled, nFailed int64
-	nHits, nMisses                                       int64
-	nFallback, nRetries, nPanics                         int64
-	nBreakerOpens, nBreakerShorted                       int64
+	cRequests, cCompleted, cRejected, cCanceled, cFailed *obs.Counter
+	cHits, cMisses                                       *obs.Counter
+	cFallback, cRetries, cPanics                         *obs.Counter
+	cBreakerOpens, cBreakerShorted                       *obs.Counter
+	hLatency                                             *obs.Histogram
 
+	mu                     sync.Mutex
 	queueDepth, peakQueue  int
 	inFlight, peakInFlight int
 	totalSimNs             float64
@@ -82,36 +90,67 @@ type collector struct {
 	next                   int
 }
 
-func newCollector() *collector {
-	return &collector{samples: make([]float64, 0, 256)}
+// newCollector builds the backend on reg; a nil reg gets a private
+// registry so the Stats API works without observability configured.
+func newCollector(reg *obs.Registry) *collector {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	c := &collector{
+		reg:             reg,
+		cRequests:       reg.Counter("godisc_requests_total"),
+		cCompleted:      reg.Counter("godisc_requests_outcome_total", obs.L("outcome", "completed")),
+		cRejected:       reg.Counter("godisc_requests_outcome_total", obs.L("outcome", "rejected")),
+		cCanceled:       reg.Counter("godisc_requests_outcome_total", obs.L("outcome", "canceled")),
+		cFailed:         reg.Counter("godisc_requests_outcome_total", obs.L("outcome", "failed")),
+		cHits:           reg.Counter("godisc_cache_lookups_total", obs.L("result", "hit")),
+		cMisses:         reg.Counter("godisc_cache_lookups_total", obs.L("result", "miss")),
+		cFallback:       reg.Counter("godisc_fallback_total"),
+		cRetries:        reg.Counter("godisc_retries_total"),
+		cPanics:         reg.Counter("godisc_kernel_panics_total"),
+		cBreakerOpens:   reg.Counter("godisc_breaker_transitions_total", obs.L("to", "open")),
+		cBreakerShorted: reg.Counter("godisc_breaker_short_circuits_total"),
+		hLatency:        reg.Histogram("godisc_latency_sim_ns", obs.LatencyNsBuckets()),
+		samples:         make([]float64, 0, 256),
+	}
+	reg.GaugeFunc("godisc_queue_depth", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(c.queueDepth)
+	})
+	reg.GaugeFunc("godisc_inflight", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(c.inFlight)
+	})
+	return c
 }
 
-func (c *collector) request()   { c.mu.Lock(); c.nRequests++; c.mu.Unlock() }
-func (c *collector) rejected()  { c.mu.Lock(); c.nRejected++; c.mu.Unlock() }
-func (c *collector) canceled()  { c.mu.Lock(); c.nCanceled++; c.mu.Unlock() }
-func (c *collector) failed()    { c.mu.Lock(); c.nFailed++; c.mu.Unlock() }
-func (c *collector) cacheHit()  { c.mu.Lock(); c.nHits++; c.mu.Unlock() }
-func (c *collector) cacheMiss() { c.mu.Lock(); c.nMisses++; c.mu.Unlock() }
+func (c *collector) request()   { c.cRequests.Inc() }
+func (c *collector) rejected()  { c.cRejected.Inc() }
+func (c *collector) canceled()  { c.cCanceled.Inc() }
+func (c *collector) failed()    { c.cFailed.Inc() }
+func (c *collector) cacheHit()  { c.cHits.Inc() }
+func (c *collector) cacheMiss() { c.cMisses.Inc() }
 
-func (c *collector) retry()          { c.mu.Lock(); c.nRetries++; c.mu.Unlock() }
-func (c *collector) kernelPanic()    { c.mu.Lock(); c.nPanics++; c.mu.Unlock() }
-func (c *collector) breakerOpened()  { c.mu.Lock(); c.nBreakerOpens++; c.mu.Unlock() }
-func (c *collector) breakerShorted() { c.mu.Lock(); c.nBreakerShorted++; c.mu.Unlock() }
+func (c *collector) retry()          { c.cRetries.Inc() }
+func (c *collector) kernelPanic()    { c.cPanics.Inc() }
+func (c *collector) breakerOpened()  { c.cBreakerOpens.Inc() }
+func (c *collector) breakerShorted() { c.cBreakerShorted.Inc() }
 
 // fallback records one request completed through the interpreter fallback;
 // it contributes to Completed and the latency window like a normal
 // completion.
 func (c *collector) fallback(simNs float64) {
-	c.mu.Lock()
-	c.nFallback++
-	c.mu.Unlock()
+	c.cFallback.Inc()
 	c.completed(simNs)
 }
 
 // completed records one successful request and its simulated latency.
 func (c *collector) completed(simNs float64) {
+	c.cCompleted.Inc()
+	c.hLatency.Observe(simNs)
 	c.mu.Lock()
-	c.nCompleted++
 	c.totalSimNs += simNs
 	if len(c.samples) < latencyWindow {
 		c.samples = append(c.samples, simNs)
@@ -120,6 +159,14 @@ func (c *collector) completed(simNs float64) {
 		c.next = (c.next + 1) % latencyWindow
 	}
 	c.mu.Unlock()
+}
+
+// observeSignature records a completion's simulated latency into the
+// per-(model, signature) histogram — the "latency by cache key" series
+// that makes shape-bucket regressions visible per compiled engine.
+func (c *collector) observeSignature(model, sig string, simNs float64) {
+	c.reg.Histogram("godisc_request_sim_ns", obs.LatencyNsBuckets(),
+		obs.L("model", model), obs.L("signature", sig)).Observe(simNs)
 }
 
 // running tracks executing requests (+1 on slot acquire, -1 on release).
@@ -152,17 +199,19 @@ func (c *collector) dequeue() {
 	c.mu.Unlock()
 }
 
-// snapshot computes the exported view, including percentiles over the
-// recent latency window.
+// snapshot computes the exported view: counters read back from their
+// registry series, percentiles over the recent latency window.
 func (c *collector) snapshot() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := Stats{
-		Requests: c.nRequests, Completed: c.nCompleted, Rejected: c.nRejected,
-		Canceled: c.nCanceled, Failed: c.nFailed,
-		CacheHits: c.nHits, CacheMisses: c.nMisses,
-		FallbackRuns: c.nFallback, Retries: c.nRetries, KernelPanics: c.nPanics,
-		BreakerOpens: c.nBreakerOpens, BreakerShortCircuits: c.nBreakerShorted,
+		Requests: c.cRequests.Value(), Completed: c.cCompleted.Value(),
+		Rejected: c.cRejected.Value(), Canceled: c.cCanceled.Value(),
+		Failed:    c.cFailed.Value(),
+		CacheHits: c.cHits.Value(), CacheMisses: c.cMisses.Value(),
+		FallbackRuns: c.cFallback.Value(), Retries: c.cRetries.Value(),
+		KernelPanics: c.cPanics.Value(),
+		BreakerOpens: c.cBreakerOpens.Value(), BreakerShortCircuits: c.cBreakerShorted.Value(),
 		QueueDepth: c.queueDepth, PeakQueueDepth: c.peakQueue,
 		InFlight: c.inFlight, PeakInFlight: c.peakInFlight,
 		TotalSimNs: c.totalSimNs,

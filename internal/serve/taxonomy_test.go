@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"godisc/internal/discerr"
+	"godisc/internal/exec"
+	"godisc/internal/graph"
+	"godisc/internal/obs"
+	"godisc/internal/tensor"
+)
+
+// sentinels is the full public error taxonomy; every Infer failure must
+// classify as exactly one of these (plus context errors).
+var sentinels = []struct {
+	name string
+	err  error
+}{
+	{"ErrShapeMismatch", discerr.ErrShapeMismatch},
+	{"ErrQueueFull", discerr.ErrQueueFull},
+	{"ErrCompileFailed", discerr.ErrCompileFailed},
+	{"ErrServerClosed", discerr.ErrServerClosed},
+	{"ErrKernelPanic", discerr.ErrKernelPanic},
+	{"ErrEngineQuarantined", discerr.ErrEngineQuarantined},
+	{"ErrTransient", discerr.ErrTransient},
+	{"ErrUnsupported", discerr.ErrUnsupported},
+}
+
+// TestErrorTaxonomyThroughServe drives each sentinel through the serving
+// layer — retry, fallback-disabled propagation, quarantine, admission —
+// with the observability hooks armed, and asserts errors.Is still
+// resolves the right sentinel (and only that one) on the far side. This
+// pins the contract that span/metric instrumentation wraps errors with
+// %w and never swallows the chain.
+func TestErrorTaxonomyThroughServe(t *testing.T) {
+	cases := []struct {
+		name string
+		want error
+		// run builds a server (already obs-instrumented via cfg) and
+		// returns the Infer error to classify.
+		run func(t *testing.T, cfg Config) error
+	}{
+		{
+			name: "ErrShapeMismatch",
+			want: discerr.ErrShapeMismatch,
+			run: func(t *testing.T, cfg Config) error {
+				// A really compiled engine: the mismatch must come out of
+				// the executable's shape program, not a stub.
+				s := New(cfg, realCompile(nil))
+				defer s.Close()
+				if err := s.Register("mlp", buildMLP); err != nil {
+					t.Fatal(err)
+				}
+				// buildMLP's parameter is [B, 12]; 13 violates the static dim.
+				bad := tensor.RandN(tensor.NewRNG(3), 0.5, 2, 13)
+				_, err := s.Infer(context.Background(), &Request{Model: "mlp", Inputs: []*tensor.Tensor{bad}})
+				return err
+			},
+		},
+		{
+			name: "ErrQueueFull",
+			want: discerr.ErrQueueFull,
+			run: func(t *testing.T, cfg Config) error {
+				cfg.MaxConcurrent = 1
+				cfg.QueueDepth = -1 // no queueing: reject when the slot is busy
+				release := make(chan struct{})
+				running := make(chan struct{})
+				s := New(cfg, func(*graph.Graph) (Engine, error) {
+					return engineFunc(func(context.Context, []*tensor.Tensor) (*exec.Result, error) {
+						close(running)
+						<-release
+						return okResult()
+					}), nil
+				})
+				defer s.Close()
+				if err := s.Register("mlp", buildMLP); err != nil {
+					t.Fatal(err)
+				}
+				in, _ := mlpInput(t, 2)
+				req := &Request{Model: "mlp", Inputs: []*tensor.Tensor{in}}
+				done := make(chan error, 1)
+				go func() {
+					_, err := s.Infer(context.Background(), req)
+					done <- err
+				}()
+				<-running
+				_, err := s.Infer(context.Background(), req)
+				close(release)
+				if ferr := <-done; ferr != nil {
+					t.Fatalf("occupying request failed: %v", ferr)
+				}
+				return err
+			},
+		},
+		{
+			name: "ErrCompileFailed",
+			want: discerr.ErrCompileFailed,
+			run: func(t *testing.T, cfg Config) error {
+				cfg.DisableFallback = true
+				s := New(cfg, func(*graph.Graph) (Engine, error) {
+					return nil, fmt.Errorf("lowering exploded: %w", discerr.ErrCompileFailed)
+				})
+				defer s.Close()
+				if err := s.Register("mlp", buildMLP); err != nil {
+					t.Fatal(err)
+				}
+				in, _ := mlpInput(t, 2)
+				_, err := s.Infer(context.Background(), &Request{Model: "mlp", Inputs: []*tensor.Tensor{in}})
+				return err
+			},
+		},
+		{
+			name: "ErrServerClosed",
+			want: discerr.ErrServerClosed,
+			run: func(t *testing.T, cfg Config) error {
+				s := New(cfg, func(*graph.Graph) (Engine, error) {
+					return engineFunc(func(context.Context, []*tensor.Tensor) (*exec.Result, error) {
+						return okResult()
+					}), nil
+				})
+				if err := s.Register("mlp", buildMLP); err != nil {
+					t.Fatal(err)
+				}
+				s.Close()
+				in, _ := mlpInput(t, 2)
+				_, err := s.Infer(context.Background(), &Request{Model: "mlp", Inputs: []*tensor.Tensor{in}})
+				return err
+			},
+		},
+		{
+			name: "ErrKernelPanic",
+			want: discerr.ErrKernelPanic,
+			run: func(t *testing.T, cfg Config) error {
+				cfg.DisableFallback = true
+				cfg.MaxRetries = -1
+				s := New(cfg, func(*graph.Graph) (Engine, error) {
+					return engineFunc(func(context.Context, []*tensor.Tensor) (*exec.Result, error) {
+						panic("kernel crashed")
+					}), nil
+				})
+				defer s.Close()
+				if err := s.Register("mlp", buildMLP); err != nil {
+					t.Fatal(err)
+				}
+				in, _ := mlpInput(t, 2)
+				_, err := s.Infer(context.Background(), &Request{Model: "mlp", Inputs: []*tensor.Tensor{in}})
+				return err
+			},
+		},
+		{
+			name: "ErrEngineQuarantined",
+			want: discerr.ErrEngineQuarantined,
+			run: func(t *testing.T, cfg Config) error {
+				cfg.DisableFallback = true
+				cfg.MaxRetries = -1
+				cfg.BreakerThreshold = 1
+				cfg.BreakerCooldown = time.Hour
+				s := New(cfg, func(*graph.Graph) (Engine, error) {
+					return engineFunc(func(context.Context, []*tensor.Tensor) (*exec.Result, error) {
+						panic("kernel crashed")
+					}), nil
+				})
+				defer s.Close()
+				if err := s.Register("mlp", buildMLP); err != nil {
+					t.Fatal(err)
+				}
+				in, _ := mlpInput(t, 2)
+				req := &Request{Model: "mlp", Inputs: []*tensor.Tensor{in}}
+				// First request trips the breaker (kernel panic)...
+				if _, err := s.Infer(context.Background(), req); !errors.Is(err, discerr.ErrKernelPanic) {
+					t.Fatalf("first request: %v, want ErrKernelPanic", err)
+				}
+				// ...second finds the engine quarantined.
+				_, err := s.Infer(context.Background(), req)
+				return err
+			},
+		},
+		{
+			name: "ErrTransient",
+			want: discerr.ErrTransient,
+			run: func(t *testing.T, cfg Config) error {
+				cfg.DisableFallback = true
+				cfg.MaxRetries = 2
+				cfg.RetryBackoff = 50 * time.Microsecond
+				s := New(cfg, func(*graph.Graph) (Engine, error) {
+					return engineFunc(func(context.Context, []*tensor.Tensor) (*exec.Result, error) {
+						return nil, fmt.Errorf("alloc hiccup: %w", discerr.ErrTransient)
+					}), nil
+				})
+				defer s.Close()
+				if err := s.Register("mlp", buildMLP); err != nil {
+					t.Fatal(err)
+				}
+				in, _ := mlpInput(t, 2)
+				_, err := s.Infer(context.Background(), &Request{Model: "mlp", Inputs: []*tensor.Tensor{in}})
+				if st := s.Stats(); st.Retries != 2 {
+					t.Fatalf("retries = %d, want 2 (instrumented retry path)", st.Retries)
+				}
+				return err
+			},
+		},
+		{
+			name: "ErrUnsupported",
+			want: discerr.ErrUnsupported,
+			run: func(t *testing.T, cfg Config) error {
+				cfg.DisableFallback = true
+				cfg.MaxRetries = -1
+				s := New(cfg, func(*graph.Graph) (Engine, error) {
+					return engineFunc(func(context.Context, []*tensor.Tensor) (*exec.Result, error) {
+						return nil, fmt.Errorf("dtype f64: %w", discerr.ErrUnsupported)
+					}), nil
+				})
+				defer s.Close()
+				if err := s.Register("mlp", buildMLP); err != nil {
+					t.Fatal(err)
+				}
+				in, _ := mlpInput(t, 2)
+				_, err := s.Infer(context.Background(), &Request{Model: "mlp", Inputs: []*tensor.Tensor{in}})
+				return err
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			// Every server runs fully instrumented: the error chain must
+			// survive the span/metric wrapping identically to the bare path.
+			tracer := obs.NewTracer(0)
+			reg := obs.NewRegistry()
+			cfg := Config{MaxConcurrent: 2, Observer: tracer, Metrics: reg}
+			err := tc.run(t, cfg)
+			if err == nil {
+				t.Fatalf("want error wrapping %v, got nil", tc.want)
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("errors.Is(%v, %v) = false", err, tc.want)
+			}
+			// The taxonomy is disjoint: no other sentinel may match.
+			for _, s := range sentinels {
+				if s.err != tc.want && errors.Is(err, s.err) {
+					t.Errorf("error %v also matches %s — taxonomy not disjoint", err, s.name)
+				}
+			}
+			if tracer.Len() == 0 {
+				t.Error("instrumented path recorded no spans")
+			}
+		})
+	}
+}

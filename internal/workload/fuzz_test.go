@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTraceSpec fuzzes the trace-file parser (the discbench -trace input
+// format). Properties: ParseTrace never panics; accepted traces contain
+// only positive points; and Marshal→Parse round-trips to the same trace.
+func FuzzTraceSpec(f *testing.F) {
+	seeds := []string{
+		"# zipf serving trace\n1,12\n4,128\n",
+		"1,1\n",
+		"  2 , 64  \n\n# late comment\n8,8\n",
+		"# only a comment\n",
+		"3,4,5\n",
+		"-1,4\n",
+		"0,0\n",
+		"a,b\n",
+		"1,999999999999999999999\n",
+		"#\n1,2\r\n",
+		strings.Repeat("2,3\n", 64),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tr, err := ParseTrace(src)
+		if err != nil {
+			return
+		}
+		if len(tr.Points) == 0 {
+			t.Fatal("accepted trace with no points")
+		}
+		for i, p := range tr.Points {
+			if p.Batch < 1 || p.Seq < 1 {
+				t.Fatalf("point %d accepted with non-positive dims: %+v", i, p)
+			}
+		}
+		again, err := ParseTrace(MarshalTrace(tr))
+		if err != nil {
+			t.Fatalf("marshal of accepted trace does not reparse: %v", err)
+		}
+		if len(again.Points) != len(tr.Points) {
+			t.Fatalf("round trip changed point count: %d != %d", len(again.Points), len(tr.Points))
+		}
+		for i := range tr.Points {
+			if again.Points[i] != tr.Points[i] {
+				t.Fatalf("round trip changed point %d: %+v != %+v", i, again.Points[i], tr.Points[i])
+			}
+		}
+	})
+}
