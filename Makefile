@@ -3,7 +3,7 @@
 # per-package coverage floors, then a randomized chaos replay with fault
 # injection enabled, then an informational bench comparison against the
 # checked-in results.
-.PHONY: verify build vet test race cover fuzz bench bench-compare chaos
+.PHONY: verify build vet test race cover fuzz bench bench-compare chaos soak
 
 verify: build vet test race cover chaos bench-compare
 
@@ -16,6 +16,8 @@ vet:
 test:
 	go test ./...
 
+# race includes a ~1s slice of the governance soak (TestSoakGovernedOverload);
+# `make soak` runs the full 30s version.
 race:
 	go test -race ./internal/serve ./internal/exec ./internal/ral ./internal/workload \
 		./internal/obs ./internal/opt ./internal/fusion ./internal/faultinject .
@@ -52,6 +54,15 @@ chaos:
 	echo "chaos: GODISC_FAULTS=$$spec GODISC_FAULT_SEED=$$seed"; \
 	GODISC_FAULTS="$$spec" GODISC_FAULT_SEED="$$seed" \
 		go test -race -count=1 ./internal/serve ./internal/exec
+
+# soak stretches the randomized governed-overload run (mixed priorities,
+# tight deadlines, fault injection, memory budget) to 30s under -race.
+# Invariants checked: the budget is never exceeded, nothing leaks, and
+# every rejection maps to exactly one documented sentinel.
+SOAKTIME ?= 30s
+soak:
+	GODISC_SOAK=$(SOAKTIME) go test -race -count=1 -v \
+		-run TestSoakGovernedOverload ./internal/serve
 
 # bench runs every experiment benchmark once and checks the parsed
 # results into BENCH_PR3.json (per-experiment custom metrics, including

@@ -52,6 +52,10 @@ type options struct {
 	FaultSeed     uint64        // fault injector seed
 	DrainTimeout  time.Duration // graceful-shutdown deadline
 	EngineWorkers int           // per-request engine parallelism (0 = auto)
+	MemBudget     int64         // pooled-memory budget in bytes (0 = off)
+	Watchdog      float64       // hung-request watchdog multiple (0 = off)
+	Quotas        string        // per-model quotas "model=n,model=n"
+	PriorityMix   string        // "I:B:E" weights for request priorities
 	HTTP          string        // observability listen address ("" = off)
 	TraceOut      string        // write Chrome trace_event file here ("" = off)
 	TraceLimit    int           // request-trace ring capacity (0 = default)
@@ -81,6 +85,14 @@ func main() {
 	flag.DurationVar(&o.DrainTimeout, "drain-timeout", 5*time.Second, "graceful shutdown deadline")
 	flag.IntVar(&o.EngineWorkers, "engine-workers", 0,
 		"engine execution goroutines per request, sharing one server pool (0 = GODISC_WORKERS or GOMAXPROCS, 1 = sequential)")
+	flag.Int64Var(&o.MemBudget, "mem-budget", 0,
+		"pooled-buffer memory budget in bytes shared by all engines (0 = ungoverned)")
+	flag.Float64Var(&o.Watchdog, "watchdog", 0,
+		"cancel runs exceeding this multiple of their signature's historical latency (0 = off)")
+	flag.StringVar(&o.Quotas, "quotas", "",
+		"per-model concurrency quotas, e.g. bert=4,mlp=2 (unlisted models unlimited)")
+	flag.StringVar(&o.PriorityMix, "priority-mix", "",
+		"interactive:batch:best-effort request weights, e.g. 1:2:1 (empty = all batch)")
 	flag.StringVar(&o.HTTP, "http", "",
 		"serve /metrics (Prometheus text) and /debug/trace on this address (e.g. :9090; empty = off)")
 	flag.StringVar(&o.TraceOut, "trace-out", "",
@@ -114,9 +126,21 @@ func run(o options, w io.Writer) error {
 	// Observability: tracer + metrics registry when any sink (the HTTP
 	// endpoints or the trace file) wants them; otherwise nil, so the
 	// request path pays only its disabled-state nil branches.
+	quotas, err := parseQuotas(o.Quotas)
+	if err != nil {
+		return err
+	}
+	mix, err := parsePriorityMix(o.PriorityMix)
+	if err != nil {
+		return err
+	}
+
 	var tracer *godisc.Tracer
 	var reg *godisc.Metrics
-	scfg := godisc.ServerConfig{MaxConcurrent: o.Workers, QueueDepth: o.Queue, Workers: o.EngineWorkers}
+	scfg := godisc.ServerConfig{
+		MaxConcurrent: o.Workers, QueueDepth: o.Queue, Workers: o.EngineWorkers,
+		MemoryBudgetBytes: o.MemBudget, WatchdogMultiple: o.Watchdog, ModelQuotas: quotas,
+	}
 	if o.HTTP != "" || o.TraceOut != "" {
 		tracer = godisc.NewTracer(o.TraceLimit)
 		reg = godisc.NewMetrics()
@@ -189,7 +213,9 @@ func run(o options, w io.Writer) error {
 			ctx, cancel = context.WithTimeout(ctx, o.Deadline)
 			defer cancel()
 		}
-		_, err := srv.Infer(ctx, &godisc.InferRequest{Model: m.Name, Inputs: inputs})
+		_, err := srv.Infer(ctx, &godisc.InferRequest{
+			Model: m.Name, Inputs: inputs, Priority: mix.pick(i),
+		})
 		return err
 	})
 	wall := time.Since(start)
@@ -197,7 +223,12 @@ func run(o options, w io.Writer) error {
 	for _, err := range errs {
 		switch {
 		case err == nil:
-		case errors.Is(err, godisc.ErrQueueFull):
+		case errors.Is(err, godisc.ErrQueueFull),
+			errors.Is(err, godisc.ErrDeadlineInfeasible),
+			errors.Is(err, godisc.ErrQuotaExceeded),
+			errors.Is(err, godisc.ErrMemoryBudget):
+			// Governance rejections are expected overload behaviour, not
+			// replay failures.
 			rejected++
 		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 			canceled++
@@ -236,6 +267,17 @@ func run(o options, w io.Writer) error {
 			fmt.Fprintf(w, "  faults fired: %d %v\n", inj.Total(), inj.Counts())
 		}
 	}
+	if st.Shed+st.QueueFullRejections+st.DeadlineInfeasible+st.QuotaRejections+
+		st.MemoryRejections+st.WatchdogCancels > 0 {
+		fmt.Fprintf(w, "  governance: %d shed, %d queue-full, %d infeasible deadlines, %d over quota, %d over memory budget, %d watchdog cancels\n",
+			st.Shed, st.QueueFullRejections, st.DeadlineInfeasible, st.QuotaRejections,
+			st.MemoryRejections, st.WatchdogCancels)
+	}
+	if st.MemBudgetBytes > 0 {
+		fmt.Fprintf(w, "  memory budget: %d bytes, high-water %d (%.0f%%), %d reservation waits\n",
+			st.MemBudgetBytes, st.MemHighWaterBytes,
+			100*float64(st.MemHighWaterBytes)/float64(st.MemBudgetBytes), st.MemWaits)
+	}
 	if drainErr != nil {
 		fmt.Fprintf(w, "  drain: forced after %v (%v)\n", o.DrainTimeout, drainErr)
 	} else {
@@ -260,4 +302,68 @@ func run(o options, w io.Writer) error {
 		o.ready(obsLn.Addr().String())
 	}
 	return nil
+}
+
+// parseQuotas reads "model=n,model=n" into ServerConfig.ModelQuotas.
+func parseQuotas(spec string) (map[string]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	quotas := map[string]int{}
+	for _, part := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("quotas: %q is not model=n", part)
+		}
+		var n int
+		if _, err := fmt.Sscanf(val, "%d", &n); err != nil || n < 1 {
+			return nil, fmt.Errorf("quotas: %q needs a positive count", part)
+		}
+		quotas[strings.TrimSpace(name)] = n
+	}
+	return quotas, nil
+}
+
+// priorityMix deals priorities deterministically by request index, in
+// proportion to the configured interactive:batch:best-effort weights.
+type priorityMix struct {
+	weights [3]int // interactive, batch, best-effort
+	total   int
+}
+
+func parsePriorityMix(spec string) (*priorityMix, error) {
+	if spec == "" {
+		return &priorityMix{}, nil
+	}
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("priority-mix: %q is not I:B:E", spec)
+	}
+	var m priorityMix
+	for i, p := range parts {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &n); err != nil || n < 0 {
+			return nil, fmt.Errorf("priority-mix: %q needs non-negative weights", spec)
+		}
+		m.weights[i] = n
+		m.total += n
+	}
+	if m.total == 0 {
+		return nil, fmt.Errorf("priority-mix: %q has zero total weight", spec)
+	}
+	return &m, nil
+}
+
+func (m *priorityMix) pick(i int) godisc.Priority {
+	if m.total == 0 {
+		return godisc.PriorityBatch
+	}
+	switch r := i % m.total; {
+	case r < m.weights[0]:
+		return godisc.PriorityInteractive
+	case r < m.weights[0]+m.weights[1]:
+		return godisc.PriorityBatch
+	default:
+		return godisc.PriorityBestEffort
+	}
 }

@@ -124,8 +124,25 @@ var (
 	// two values, or a declared range/divisibility fact).
 	ErrShapeMismatch = discerr.ErrShapeMismatch
 	// ErrQueueFull: a Server rejected the request because its bounded
-	// admission queue is at capacity.
+	// admission queue is at capacity (or the request was shed for a
+	// higher-priority arrival).
 	ErrQueueFull = discerr.ErrQueueFull
+	// ErrMemoryBudget: the run's pooled-buffer footprint could not be
+	// reserved under the configured memory budget (WithMemoryBudget /
+	// ServerConfig.MemoryBudgetBytes) before the context expired — or
+	// exceeds the budget outright.
+	ErrMemoryBudget = discerr.ErrMemoryBudget
+	// ErrDeadlineInfeasible: admission rejected the request because its
+	// remaining deadline was below the server's moving estimate of queue
+	// wait + execution time.
+	ErrDeadlineInfeasible = discerr.ErrDeadlineInfeasible
+	// ErrQuotaExceeded: the model is at its configured concurrency quota
+	// (ServerConfig.ModelQuotas).
+	ErrQuotaExceeded = discerr.ErrQuotaExceeded
+	// ErrHungRequest: the hung-request watchdog cancelled a run that
+	// exceeded WatchdogMultiple × its signature's historical latency; the
+	// server recovers it through the interpreter fallback when enabled.
+	ErrHungRequest = discerr.ErrHungRequest
 	// ErrCompileFailed: optimization, fusion planning or code generation
 	// failed.
 	ErrCompileFailed = discerr.ErrCompileFailed
@@ -168,6 +185,7 @@ type compileConfig struct {
 	workerPool            *exec.WorkerPool
 	hook                  obs.Hook
 	metrics               *Metrics
+	governor              *ral.Governor
 }
 
 // WithDevice selects the GPU device model (default A10).
@@ -281,6 +299,23 @@ func WithTracer(h Observer) Option {
 // gauges on reg. A nil registry is a no-op.
 func WithMetrics(reg *Metrics) Option {
 	return func(c *compileConfig) { c.metrics = reg }
+}
+
+// WithMemoryBudget caps the engine's pooled-buffer memory: each run
+// reserves its peak footprint (computed at compile time from the symbolic
+// shapes and liveness plan, bound to the run's concrete dims) against a
+// private budget of `bytes` before allocating, blocking until memory
+// drains or failing with ErrMemoryBudget. bytes <= 0 disables governance.
+// Engines built by one NewServer share the server's budget
+// (ServerConfig.MemoryBudgetBytes) instead.
+func WithMemoryBudget(bytes int64) Option {
+	return func(c *compileConfig) { c.governor = ral.NewGovernor(bytes) }
+}
+
+// withGovernor threads an existing governor (the server's) into the
+// engine, so all engines of one server draw on one budget.
+func withGovernor(g *ral.Governor) Option {
+	return func(c *compileConfig) { c.governor = g }
 }
 
 // Options is the legacy bool-field configuration of Compile, kept so
@@ -400,6 +435,7 @@ func CompileWith(g *Graph, opts ...Option) (*Engine, error) {
 	}
 	eo.Hook = cfg.hook
 	eo.Metrics = cfg.metrics
+	eo.Governor = cfg.governor
 	exe, err := exec.Compile(g, plan, dev, eo)
 	if err != nil {
 		return nil, fmt.Errorf("godisc: code generation: %w: %w", err, discerr.ErrCompileFailed)
@@ -436,6 +472,22 @@ func (e *Engine) Kernels() int { return len(e.plan.Groups) }
 // PlanSummary renders the fusion plan for inspection.
 func (e *Engine) PlanSummary() string { return e.plan.String() }
 
+// FootprintBytes reports the pooled-buffer reservation one run at the
+// given concrete input shapes makes against a memory budget — an upper
+// bound, in the pool's own rounded accounting, on the run's in-use
+// high-water mark. 0 means the graph allocates nothing.
+func (e *Engine) FootprintBytes(shapes [][]int) (int64, error) {
+	return e.exe.FootprintBytes(shapes)
+}
+
+// MaxFootprintBytes bounds FootprintBytes over every admissible input
+// shape, derived from the declared symbolic dimension ranges — the
+// capacity-planning number for sizing MemoryBudgetBytes. ok is false when
+// some dimension has no declared upper bound.
+func (e *Engine) MaxFootprintBytes() (int64, bool) {
+	return e.exe.MaxFootprintBytes()
+}
+
 // Signature returns the symbolic compilation-cache signature of the
 // engine's parameter shapes — the key under which one compilation serves
 // all concrete shapes.
@@ -462,7 +514,24 @@ type (
 	InferResponse = serve.Response
 	// ServerStats is a point-in-time snapshot of serving counters.
 	ServerStats = serve.Stats
+	// Priority orders requests for admission under overload (see
+	// PriorityInteractive/PriorityBatch/PriorityBestEffort).
+	Priority = serve.Priority
 )
+
+// Request priorities: under overload the server sheds lower-priority
+// queued requests to admit higher-priority arrivals. The zero value of
+// InferRequest.Priority is PriorityBatch.
+const (
+	PriorityInteractive = serve.PriorityInteractive
+	PriorityBatch       = serve.PriorityBatch
+	PriorityBestEffort  = serve.PriorityBestEffort
+)
+
+// QueueDepthNone configures ServerConfig.QueueDepth for no admission
+// queue: requests beyond MaxConcurrent are rejected immediately with
+// ErrQueueFull.
+const QueueDepthNone = serve.QueueDepthNone
 
 // NewServer returns a serving runtime that compiles registered models
 // on demand with the given compile options. Each model is compiled at
@@ -495,6 +564,9 @@ func NewServer(cfg ServerConfig, opts ...Option) *Server {
 		if cfg.Metrics != nil {
 			copts = append(copts, WithMetrics(cfg.Metrics))
 		}
+		// Every engine reserves its per-run footprint against the server's
+		// shared memory budget (nil governor = ungoverned, zero cost).
+		copts = append(copts, withGovernor(srv.Governor()))
 		eng, err := CompileWith(g, copts...)
 		if err != nil {
 			return nil, err

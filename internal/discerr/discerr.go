@@ -53,3 +53,32 @@ var (
 	// request instead of panicking the process.
 	ErrUnsupported = errors.New("unsupported")
 )
+
+// Resource-governance sentinels (see README "Capacity planning" and
+// DESIGN.md §11): overload is shed with typed rejections so callers can
+// tell "the server protected itself" apart from "the request is broken".
+var (
+	// ErrMemoryBudget marks a run refused by the RAL memory governor: the
+	// engine's peak buffer footprint at the request's concrete shapes
+	// would push reservations past the configured byte budget (or can
+	// never fit at all). The request did not execute and allocated
+	// nothing; callers may retry when load drains.
+	ErrMemoryBudget = errors.New("memory budget exceeded")
+
+	// ErrDeadlineInfeasible marks a request rejected at admission because
+	// its remaining deadline is provably smaller than the server's moving
+	// estimate of queue wait + execution time — cheaper than admitting
+	// work that is certain to time out after consuming a slot.
+	ErrDeadlineInfeasible = errors.New("deadline infeasible")
+
+	// ErrQuotaExceeded marks a request rejected because its model is at
+	// its configured per-model concurrency quota; other models' capacity
+	// is unaffected.
+	ErrQuotaExceeded = errors.New("model quota exceeded")
+
+	// ErrHungRequest marks an engine run cancelled by the watchdog for
+	// exceeding a configured multiple of the signature's historical
+	// latency. The serving layer treats it as an engine failure: breaker
+	// penalty, then interpreter fallback.
+	ErrHungRequest = errors.New("hung request")
+)

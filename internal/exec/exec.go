@@ -63,6 +63,12 @@ type Options struct {
 	// Metrics, when non-nil, registers this engine's execution counters
 	// and buffer-pool gauges.
 	Metrics *obs.Registry
+	// Governor, when non-nil, enforces a global memory budget: every run
+	// reserves its peak pooled-buffer footprint (see footprint.go) before
+	// allocating, blocking until it fits or failing with
+	// discerr.ErrMemoryBudget. One governor is shared by every engine
+	// under the same budget.
+	Governor *ral.Governor
 }
 
 // DefaultOptions mirrors the BladeDISC configuration. Execution stays
@@ -111,6 +117,11 @@ type Executable struct {
 	paramRefs   []paramRef
 	constRefs   []constRef
 	outputSlots []int
+
+	// fp is the compile-time memory footprint plan (footprint.go):
+	// which pooled buffers coexist, sized symbolically, so a run can
+	// reserve its peak usage against Options.Governor up front.
+	fp *footprintPlan
 
 	// Pool provides intermediate buffers across runs.
 	Pool *ral.Pool
@@ -169,6 +180,7 @@ func Compile(g *graph.Graph, plan *fusion.Plan, dev *device.Model, opts Options)
 		return nil, err
 	}
 	e.buildSchedule()
+	e.buildFootprint()
 	if reg := opts.Metrics; reg != nil {
 		e.mTasks = reg.Counter("godisc_exec_tasks_total", obs.L("graph", g.Name))
 		e.mPartitions = reg.Counter("godisc_exec_partitions_total", obs.L("graph", g.Name))
@@ -300,6 +312,18 @@ func (e *Executable) RunContext(ctx context.Context, inputs []*tensor.Tensor) (r
 	if err != nil {
 		return nil, err
 	}
+	workers, pool := e.opts.Workers, e.opts.WorkerPool
+	if workers <= 0 && pool != nil {
+		workers = pool.Size()
+	}
+	// Memory governance: reserve this run's peak pooled footprint before
+	// the first allocation, so concurrent runs can never overshoot the
+	// byte budget no matter how their allocations interleave.
+	unreserve, err := e.reserveFootprint(ctx, vals, workers)
+	if err != nil {
+		return nil, err
+	}
+	defer unreserve()
 	rc, err := e.newRunCtx(ctx, inputs, vals)
 	if err != nil {
 		return nil, err
@@ -324,10 +348,6 @@ func (e *Executable) RunContext(ctx context.Context, inputs []*tensor.Tensor) (r
 		}()
 	}
 
-	workers, pool := e.opts.Workers, e.opts.WorkerPool
-	if workers <= 0 && pool != nil {
-		workers = pool.Size()
-	}
 	if workers > 1 && len(e.tasks) > 1 {
 		if err := e.runParallel(rc, workers, pool); err != nil {
 			return nil, err

@@ -1,0 +1,254 @@
+// Compile-time memory footprint estimation: how many pooled bytes can one
+// run of this executable hold at once? The BladeDISC++ observation is that
+// symbolic shapes make this answerable before any request arrives — the
+// shape program already computes every buffer extent from the input dims,
+// and the task DAG's refcounts say which buffers are alive together. The
+// plan built here is evaluated per run (concrete dims bound by the shape
+// program) to reserve against the ral.Governor before any allocation, and
+// against declared dim ranges (symshape.UpperBound) for capacity planning.
+//
+// The estimate is an upper bound on the pool accounting of any execution
+// order the engine can take:
+//
+//   - sequential engines walk tasks in plan order, so the peak is the max
+//     over tasks of (buffers alive during that task + its scratch rows);
+//   - parallel engines may interleave tasks arbitrarily, so the bound is
+//     the sum of every task output plus worst-case concurrent scratch
+//     (workers chunks of one kernel each allocate private rows) plus one
+//     per-worker partials buffer per reduction kernel.
+//
+// Sizes round to the pool's power-of-two classes (ral.RoundElems) so the
+// reservation matches Pool accounting exactly, not just asymptotically.
+package exec
+
+import (
+	"context"
+	"fmt"
+
+	"godisc/internal/ral"
+	"godisc/internal/symshape"
+)
+
+// footprintPlan is the compile-time side of the estimate.
+type footprintPlan struct {
+	// slotRefs/slotDims describe each pooled slot's extent: the compiled
+	// numel refs (runtime evaluation) and the symbolic shape (bound
+	// evaluation). Nil entries are non-pooled slots (params, constants).
+	slotRefs [][]dimRef
+	slotDims []symshape.Shape
+	// pooled lists the pooled slot ids.
+	pooled []int
+	// live[i] is the set of pooled slots held while task i runs in plan
+	// order: previously produced buffers not yet freed by the refcount
+	// plan, plus task i's own outputs.
+	live [][]int32
+}
+
+// buildFootprint derives the plan from the task DAG and refcounts; called
+// once at Compile, after buildSchedule.
+func (e *Executable) buildFootprint() {
+	fp := &footprintPlan{
+		slotRefs: make([][]dimRef, e.nSlots),
+		slotDims: make([]symshape.Shape, e.nSlots),
+		live:     make([][]int32, len(e.tasks)),
+	}
+	for _, t := range e.tasks {
+		for oi, sl := range t.outSlots {
+			if fp.slotRefs[sl] == nil {
+				fp.slotRefs[sl] = t.u.outShapeRefs[oi]
+				fp.slotDims[sl] = t.u.group.Outputs[oi].Shape
+				fp.pooled = append(fp.pooled, sl)
+			}
+		}
+	}
+	// Replay the sequential refcount plan symbolically to capture which
+	// pooled buffers coexist at each step.
+	refs := append([]int32(nil), e.refs0...)
+	held := map[int]bool{}
+	for i, t := range e.tasks {
+		for _, sl := range t.outSlots {
+			held[sl] = true
+		}
+		snap := make([]int32, 0, len(held))
+		for sl := range held {
+			snap = append(snap, int32(sl))
+		}
+		fp.live[i] = snap
+		if !e.opts.DisableLivenessPlanning {
+			for _, sl := range t.reads {
+				refs[sl]--
+				if refs[sl] == 0 && fp.slotRefs[sl] != nil {
+					delete(held, sl)
+				}
+			}
+		}
+	}
+	e.fp = fp
+}
+
+// resolvedWorkers mirrors RunContext's worker resolution: the configured
+// count, or the shared pool's size when only a pool was given.
+func (e *Executable) resolvedWorkers() int {
+	w := e.opts.Workers
+	if w <= 0 && e.opts.WorkerPool != nil {
+		w = e.opts.WorkerPool.Size()
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// scratchRowElems evaluates the rounded scratch-row size of a task's
+// kernel (the last domain extent) against the run's shape values.
+func scratchRowElems(vals []int64, t *task) int64 {
+	refs := t.u.domainRefs
+	row := 0
+	if n := len(refs); n > 0 {
+		r := refs[n-1]
+		if r.Slot < 0 {
+			row = int(r.Static)
+		} else {
+			row = int(vals[r.Slot])
+		}
+	}
+	return ral.RoundElems(row)
+}
+
+// footprintElems folds per-slot sizes and per-task scratch rows into the
+// run's worst-case pooled element count for the given engine mode.
+func (e *Executable) footprintElems(sizes []int64, rowOf func(*task) int64, workers int) int64 {
+	fp := e.fp
+	if fp == nil {
+		return 0
+	}
+	if workers > 1 && len(e.tasks) > 1 {
+		// Any-order bound: every output plus worst-case concurrent
+		// scratch (up to `workers` chunks of a kernel run at once, each
+		// with private rows) plus one partials buffer per reduction.
+		var total int64
+		for _, sl := range fp.pooled {
+			total += sizes[sl]
+		}
+		for _, t := range e.tasks {
+			if k := t.u.kernel; k != nil {
+				if k.ScratchRows > 0 {
+					total += int64(workers) * int64(k.ScratchRows) * rowOf(t)
+				}
+				if k.Partial != nil {
+					total += ral.RoundElems(workers)
+				}
+			}
+		}
+		return total
+	}
+	// Sequential peak: max over plan steps.
+	var peak int64
+	for i, t := range e.tasks {
+		var cur int64
+		for _, sl := range fp.live[i] {
+			cur += sizes[sl]
+		}
+		if k := t.u.kernel; k != nil && k.ScratchRows > 0 {
+			cur += int64(k.ScratchRows) * rowOf(t)
+		}
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+// footprintBytes is the per-run reservation at concrete shape values.
+func (e *Executable) footprintBytes(vals []int64, workers int) int64 {
+	fp := e.fp
+	if fp == nil {
+		return 0
+	}
+	sizes := make([]int64, e.nSlots)
+	for _, sl := range fp.pooled {
+		sizes[sl] = ral.RoundElems(refsNumel(vals, fp.slotRefs[sl]))
+	}
+	elems := e.footprintElems(sizes, func(t *task) int64 { return scratchRowElems(vals, t) }, workers)
+	return 4 * elems
+}
+
+// FootprintBytes reports the pooled-buffer reservation one run at the
+// given concrete input shapes makes against a memory governor (0 when the
+// graph allocates nothing). It is an upper bound on the pool's in-use
+// high-water mark for that run, in the pool's own rounded accounting.
+func (e *Executable) FootprintBytes(shapes [][]int) (int64, error) {
+	vals, err := e.prog.Run(shapes)
+	if err != nil {
+		return 0, err
+	}
+	return e.footprintBytes(vals, e.resolvedWorkers()), nil
+}
+
+// MaxFootprintBytes bounds FootprintBytes over every admissible input
+// shape, from the declared symbolic dim ranges — the capacity-planning
+// number ("how much budget does one request of this engine ever need?").
+// ok is false when some dimension has no declared upper bound.
+func (e *Executable) MaxFootprintBytes() (int64, bool) {
+	fp := e.fp
+	if fp == nil {
+		return 0, true
+	}
+	ctx := e.Graph.Ctx
+	boundNumel := func(s symshape.Shape) (int64, bool) {
+		n := int64(1)
+		for _, d := range s {
+			b, ok := ctx.UpperBound(d)
+			if !ok {
+				return 0, false
+			}
+			if b > 0 && n > (int64(1)<<40)/b {
+				return 0, false
+			}
+			n *= b
+		}
+		return n, true
+	}
+	sizes := make([]int64, e.nSlots)
+	for _, sl := range fp.pooled {
+		n, ok := boundNumel(fp.slotDims[sl])
+		if !ok {
+			return 0, false
+		}
+		sizes[sl] = ral.RoundElems(int(n))
+	}
+	rowOK := true
+	rowOf := func(t *task) int64 {
+		dom := t.u.group.Domain
+		if len(dom) == 0 {
+			return ral.RoundElems(0)
+		}
+		b, ok := ctx.UpperBound(dom[len(dom)-1])
+		if !ok {
+			rowOK = false
+			return 0
+		}
+		return ral.RoundElems(int(b))
+	}
+	elems := e.footprintElems(sizes, rowOf, e.resolvedWorkers())
+	if !rowOK {
+		return 0, false
+	}
+	return 4 * elems, true
+}
+
+// reserveFootprint blocks until the run's footprint fits under the
+// governor's budget (or fails with discerr.ErrMemoryBudget). The returned
+// release must run after the run's buffers are back in the pool.
+func (e *Executable) reserveFootprint(ctx context.Context, vals []int64, workers int) (func(), error) {
+	gov := e.opts.Governor
+	if gov == nil {
+		return func() {}, nil
+	}
+	need := e.footprintBytes(vals, workers)
+	release, err := gov.Reserve(ctx, need)
+	if err != nil {
+		return nil, fmt.Errorf("exec: %s: %w", e.Graph.Name, err)
+	}
+	return release, nil
+}

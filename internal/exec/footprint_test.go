@@ -1,0 +1,174 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"godisc/internal/device"
+	"godisc/internal/discerr"
+	"godisc/internal/fusion"
+	"godisc/internal/graph"
+	"godisc/internal/opt"
+	"godisc/internal/ral"
+	"godisc/internal/symshape"
+	"godisc/internal/tensor"
+)
+
+// compileOpts is the footprint tests' compile helper with custom Options.
+func compileOpts(t *testing.T, g *graph.Graph, opts Options) *Executable {
+	t.Helper()
+	if _, err := opt.Default().Run(g); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fusion.NewPlanner(fusion.DefaultConfig()).Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Compile(g, plan, device.A10(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// buildFootprintModel is an MLP-ish pipeline with a reduction, ranged so
+// MaxFootprintBytes has declared bounds to work with.
+func buildFootprintModel(g *graph.Graph) {
+	b := g.Ctx.NewDim("B")
+	g.Ctx.DeclareRange(b, 1, 64)
+	h := g.Ctx.StaticDim(32)
+	x := g.Parameter("x", tensor.F32, symshape.Shape{b, h})
+	w := g.Constant(tensor.RandN(tensor.NewRNG(3), 0.3, 32, 32))
+	y := g.Relu(g.MatMul(x, w))
+	g.SetOutputs(g.Softmax(g.Add(y, x)))
+}
+
+// TestFootprintCoversPoolPeak is the core soundness property: the
+// compile-time footprint (evaluated at the run's concrete shapes) must be
+// an upper bound on the pool's observed in-use peak for that run, in both
+// sequential and parallel modes.
+func TestFootprintCoversPoolPeak(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		g := graph.New("fp")
+		buildFootprintModel(g)
+		opts := DefaultOptions()
+		opts.Workers = workers
+		e := compileOpts(t, g, opts)
+
+		for _, batch := range []int{1, 7, 33, 64} {
+			in := tensor.RandN(tensor.NewRNG(uint64(batch)), 1, batch, 32)
+			fpBytes, err := e.FootprintBytes([][]int{{batch, 32}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.Run([]*tensor.Tensor{in}); err != nil {
+				t.Fatal(err)
+			}
+			peak := e.Pool.Stats().PeakElems
+			if peak == 0 {
+				t.Fatalf("workers=%d batch=%d: pool never allocated", workers, batch)
+			}
+			if 4*peak > fpBytes {
+				t.Fatalf("workers=%d batch=%d: pool peak %d elems (%d bytes) exceeds footprint %d bytes",
+					workers, batch, peak, 4*peak, fpBytes)
+			}
+		}
+	}
+}
+
+func TestMaxFootprintBoundsEveryShape(t *testing.T) {
+	g := graph.New("fpmax")
+	buildFootprintModel(g)
+	e := compileOpts(t, g, DefaultOptions())
+	maxBytes, ok := e.MaxFootprintBytes()
+	if !ok {
+		t.Fatal("ranged model should have a max footprint")
+	}
+	for _, batch := range []int{1, 17, 64} {
+		fp, err := e.FootprintBytes([][]int{{batch, 32}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp > maxBytes {
+			t.Fatalf("batch %d footprint %d exceeds max %d", batch, fp, maxBytes)
+		}
+	}
+
+	// Without a declared range the bound is unknowable.
+	g2 := graph.New("fpunbounded")
+	b := g2.Ctx.NewDim("B")
+	x := g2.Parameter("x", tensor.F32, symshape.Shape{b, g2.Ctx.StaticDim(8)})
+	g2.SetOutputs(g2.Relu(x))
+	e2 := compileOpts(t, g2, DefaultOptions())
+	if v, ok := e2.MaxFootprintBytes(); ok {
+		t.Fatalf("unbounded model reported max footprint %d", v)
+	}
+}
+
+func TestGovernorAdmitsAndAccountsRun(t *testing.T) {
+	g := graph.New("fpgov")
+	buildFootprintModel(g)
+	opts := DefaultOptions()
+	opts.Workers = 1
+	opts.Governor = ral.NewGovernor(1 << 20)
+	e := compileOpts(t, g, opts)
+	in := tensor.RandN(tensor.NewRNG(1), 1, 16, 32)
+	if _, err := e.Run([]*tensor.Tensor{in}); err != nil {
+		t.Fatal(err)
+	}
+	st := opts.Governor.Stats()
+	if st.Grants == 0 || st.ReservedBytes != 0 {
+		t.Fatalf("governor after run: %+v", st)
+	}
+	fp, err := e.FootprintBytes([][]int{{16, 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.HighWaterBytes != fp {
+		t.Fatalf("high water %d != footprint %d", st.HighWaterBytes, fp)
+	}
+}
+
+func TestGovernorRejectsOversizedRun(t *testing.T) {
+	g := graph.New("fpreject")
+	buildFootprintModel(g)
+	opts := DefaultOptions()
+	opts.Workers = 1
+	opts.Governor = ral.NewGovernor(64) // smaller than any run's buffers
+	e := compileOpts(t, g, opts)
+	in := tensor.RandN(tensor.NewRNG(1), 1, 16, 32)
+	_, err := e.Run([]*tensor.Tensor{in})
+	if !errors.Is(err, discerr.ErrMemoryBudget) {
+		t.Fatalf("want ErrMemoryBudget, got %v", err)
+	}
+	if st := e.Pool.Stats(); st.InUseElems != 0 {
+		t.Fatalf("rejected run leaked pool buffers: %+v", st)
+	}
+}
+
+func TestGovernorBlockedRunHonoursDeadline(t *testing.T) {
+	g := graph.New("fpblock")
+	buildFootprintModel(g)
+	opts := DefaultOptions()
+	opts.Workers = 1
+	gov := ral.NewGovernor(1 << 20)
+	opts.Governor = gov
+	e := compileOpts(t, g, opts)
+
+	// Occupy almost the whole budget so the run's reservation must wait,
+	// then let the request deadline expire.
+	hold, err := gov.Reserve(context.Background(), (1<<20)-16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	in := tensor.RandN(tensor.NewRNG(1), 1, 16, 32)
+	_, err = e.RunContext(ctx, []*tensor.Tensor{in})
+	if !errors.Is(err, discerr.ErrMemoryBudget) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want ErrMemoryBudget wrapping DeadlineExceeded, got %v", err)
+	}
+}

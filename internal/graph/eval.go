@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"context"
 	"fmt"
 
 	"godisc/internal/symshape"
@@ -13,11 +14,21 @@ import (
 // dtypes; concrete shapes may be anything consistent with the symbolic
 // parameter shapes.
 func Evaluate(g *Graph, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	return EvaluateContext(context.Background(), g, inputs)
+}
+
+// EvaluateContext is Evaluate with cancellation observed between nodes, so
+// long interpreter runs (the serving fallback path) stop promptly when the
+// request is cancelled or the server force-drains.
+func EvaluateContext(ctx context.Context, g *Graph, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	if len(inputs) != len(g.Params) {
 		return nil, fmt.Errorf("graph: %d inputs for %d parameters", len(inputs), len(g.Params))
 	}
 	env := make(map[*Node]*tensor.Tensor)
 	for _, n := range g.Toposort() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		v, err := EvalNode(g.Ctx, n, inputs, func(in *Node) *tensor.Tensor { return env[in] })
 		if err != nil {
 			return nil, fmt.Errorf("graph: node %%%d (%s): %w", n.ID, n.Kind, err)

@@ -1,0 +1,180 @@
+// Memory governor: a global byte budget over every pool that shares it.
+// BladeDISC's RAL assumes the device allocator is bounded by hardware; the
+// serving analogue is a soft budget — each run reserves its engine's peak
+// buffer footprint (computed at compile time from symbolic shapes and the
+// liveness plan, bound to concrete dims per run) before touching the pool,
+// and either waits for memory to drain or fails fast with
+// discerr.ErrMemoryBudget. Reservations are all-or-nothing against a
+// single resource, so waiting cannot deadlock.
+package ral
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"godisc/internal/discerr"
+	"godisc/internal/obs"
+)
+
+// Governor enforces a global memory budget in bytes. The zero value is not
+// usable; build one with NewGovernor. A nil *Governor is valid everywhere
+// and admits everything (the ungoverned default).
+type Governor struct {
+	budget int64
+
+	mu       sync.Mutex
+	reserved int64
+	high     int64
+	waiters  []*memWaiter
+
+	// Counters (under mu; read via Stats).
+	grants   int64
+	waits    int64
+	rejects  int64
+	timeouts int64
+}
+
+// memWaiter is one blocked reservation. grant is buffered so a releaser
+// never blocks handing the grant to a waiter that is concurrently timing
+// out (the waiter detects the race and returns the grant).
+type memWaiter struct {
+	bytes int64
+	grant chan struct{}
+}
+
+// NewGovernor returns a governor with the given byte budget. budget <= 0
+// returns nil — the ungoverned governor every call site accepts.
+func NewGovernor(budget int64) *Governor {
+	if budget <= 0 {
+		return nil
+	}
+	return &Governor{budget: budget}
+}
+
+// Budget reports the configured byte budget (0 for a nil governor).
+func (g *Governor) Budget() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.budget
+}
+
+// Reserve blocks until `bytes` can be reserved under the budget, the
+// context is done, or the reservation is provably infeasible (bytes >
+// budget, which no amount of waiting fixes). On success it returns a
+// release func that must be called exactly once; on failure the error
+// wraps discerr.ErrMemoryBudget (plus ctx.Err() when the wait timed out).
+// A nil governor grants immediately.
+func (g *Governor) Reserve(ctx context.Context, bytes int64) (func(), error) {
+	if g == nil || bytes <= 0 {
+		return func() {}, nil
+	}
+	if bytes > g.budget {
+		g.mu.Lock()
+		g.rejects++
+		g.mu.Unlock()
+		return nil, fmt.Errorf("ral: reservation of %d bytes exceeds budget %d: %w",
+			bytes, g.budget, discerr.ErrMemoryBudget)
+	}
+	g.mu.Lock()
+	if g.reserved+bytes <= g.budget && len(g.waiters) == 0 {
+		g.grantLocked(bytes)
+		g.mu.Unlock()
+		return func() { g.release(bytes) }, nil
+	}
+	// Budget exhausted (or a FIFO queue has formed): wait for releases.
+	w := &memWaiter{bytes: bytes, grant: make(chan struct{}, 1)}
+	g.waiters = append(g.waiters, w)
+	g.waits++
+	g.mu.Unlock()
+
+	select {
+	case <-w.grant:
+		return func() { g.release(bytes) }, nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		for i, o := range g.waiters {
+			if o == w {
+				g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
+				break
+			}
+		}
+		g.timeouts++
+		g.mu.Unlock()
+		select {
+		case <-w.grant:
+			// A releaser granted us in the same instant: hand it back.
+			g.release(bytes)
+		default:
+		}
+		return nil, fmt.Errorf("ral: waiting for %d bytes of budget %d: %w: %w",
+			bytes, g.budget, ctx.Err(), discerr.ErrMemoryBudget)
+	}
+}
+
+// grantLocked books a reservation; caller holds g.mu.
+func (g *Governor) grantLocked(bytes int64) {
+	g.reserved += bytes
+	g.grants++
+	if g.reserved > g.high {
+		g.high = g.reserved
+	}
+}
+
+// release returns a reservation and grants as many queued waiters as now
+// fit, in FIFO order (a large waiter at the head blocks smaller ones
+// behind it — starvation-free, not work-conserving).
+func (g *Governor) release(bytes int64) {
+	g.mu.Lock()
+	g.reserved -= bytes
+	for len(g.waiters) > 0 {
+		w := g.waiters[0]
+		if g.reserved+w.bytes > g.budget {
+			break
+		}
+		g.waiters = g.waiters[1:]
+		g.grantLocked(w.bytes)
+		w.grant <- struct{}{}
+	}
+	g.mu.Unlock()
+}
+
+// GovernorStats is a snapshot of governance accounting.
+type GovernorStats struct {
+	// BudgetBytes is the configured ceiling; ReservedBytes the current
+	// outstanding reservations; HighWaterBytes the reservation peak.
+	BudgetBytes, ReservedBytes, HighWaterBytes int64
+	// Grants counts successful reservations, Waits reservations that had
+	// to queue first, Rejects fail-fast refusals (bytes > budget), and
+	// Timeouts waits abandoned on context expiry.
+	Grants, Waits, Rejects, Timeouts int64
+}
+
+// Stats returns a snapshot (zero value for a nil governor).
+func (g *Governor) Stats() GovernorStats {
+	if g == nil {
+		return GovernorStats{}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return GovernorStats{
+		BudgetBytes: g.budget, ReservedBytes: g.reserved, HighWaterBytes: g.high,
+		Grants: g.grants, Waits: g.waits, Rejects: g.rejects, Timeouts: g.timeouts,
+	}
+}
+
+// Observe registers the governor's accounting as on-scrape gauges on reg.
+func (g *Governor) Observe(reg *obs.Registry, labels ...obs.Label) {
+	if g == nil || reg == nil {
+		return
+	}
+	reg.GaugeFunc("godisc_mem_budget_bytes", func() float64 { return float64(g.Budget()) }, labels...)
+	reg.GaugeFunc("godisc_mem_reserved_bytes", func() float64 { return float64(g.Stats().ReservedBytes) }, labels...)
+	reg.GaugeFunc("godisc_mem_highwater_bytes", func() float64 { return float64(g.Stats().HighWaterBytes) }, labels...)
+	reg.GaugeFunc("godisc_mem_rejects_total", func() float64 {
+		st := g.Stats()
+		return float64(st.Rejects + st.Timeouts)
+	}, labels...)
+	reg.GaugeFunc("godisc_mem_waits_total", func() float64 { return float64(g.Stats().Waits) }, labels...)
+}

@@ -53,6 +53,12 @@ func class(n int) uint {
 	return uint(bits.Len(uint(n - 1)))
 }
 
+// RoundElems reports the pooled capacity, in elements, that Get(n) books
+// against the pool's accounting: buffers round up to power-of-two size
+// classes. Footprint estimation (exec) uses it so memory reservations
+// match the pool's own arithmetic exactly.
+func RoundElems(n int) int64 { return int64(1) << class(n) }
+
 // Get returns a buffer with len n (capacity the size class). Contents are
 // zeroed.
 func (p *Pool) Get(n int) []float32 {

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"godisc/internal/discerr"
+)
+
+// fullAdmitter returns an admitter with every slot taken and no queue, so
+// each admit call exercises the rejection path.
+func fullAdmitter(cfg Config) *admitter {
+	if cfg.MaxConcurrent == 0 {
+		cfg.MaxConcurrent = 1
+	}
+	a := newAdmitter(cfg, newCollector(nil))
+	if _, err := a.admit(context.Background(), "m", PriorityBatch); err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// TestQueueFullRejectionAllocs guards the satellite invariant: rejection
+// under overload returns the preformatted error, so shedding does not
+// allocate per rejected request.
+func TestQueueFullRejectionAllocs(t *testing.T) {
+	a := fullAdmitter(Config{MaxConcurrent: 1, QueueDepth: QueueDepthNone})
+	ctx := context.Background()
+	_, err := a.admit(ctx, "m", PriorityBatch)
+	if !errors.Is(err, discerr.ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+	if err != a.errQueueFull {
+		t.Fatalf("rejection must return the preformatted error, got a fresh %T", err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := a.admit(ctx, "m", PriorityBatch); err == nil {
+			t.Fatal("admit unexpectedly succeeded")
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("queue-full rejection allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestQuotaRejectionPreformatted: per-model quota errors are also built
+// once at construction.
+func TestQuotaRejectionPreformatted(t *testing.T) {
+	a := fullAdmitter(Config{MaxConcurrent: 4, ModelQuotas: map[string]int{"m": 1}})
+	_, err := a.admit(context.Background(), "m", PriorityBatch)
+	if !errors.Is(err, discerr.ErrQuotaExceeded) {
+		t.Fatalf("want ErrQuotaExceeded, got %v", err)
+	}
+	if err != a.errQuota["m"] {
+		t.Fatal("quota rejection must return the preformatted error")
+	}
+}
+
+func BenchmarkQueueFullRejection(b *testing.B) {
+	a := fullAdmitter(Config{MaxConcurrent: 1, QueueDepth: QueueDepthNone})
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.admit(ctx, "m", PriorityBatch); err == nil {
+			b.Fatal("admit unexpectedly succeeded")
+		}
+	}
+}

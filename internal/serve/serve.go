@@ -11,6 +11,13 @@
 //     QueueDepth more wait (honouring per-request deadline/cancellation),
 //     and anything beyond that is rejected immediately with
 //     discerr.ErrQueueFull instead of collapsing under load;
+//   - resource governance — priority load shedding, deadline
+//     infeasibility rejection and per-model quotas (govern.go), an
+//     optional global memory budget enforced by a ral.Governor the
+//     engines reserve their footprint against, and a hung-request
+//     watchdog that cancels runs exceeding a multiple of their
+//     signature's historical latency and recovers them through the
+//     interpreter fallback;
 //   - a stats collector exposing requests, cache behaviour, queue depth
 //     and p50/p99 simulated latency as a Stats snapshot.
 //
@@ -54,9 +61,32 @@ type Config struct {
 	// (default: GOMAXPROCS).
 	MaxConcurrent int
 	// QueueDepth bounds how many admitted-but-waiting requests may queue
-	// (default 64; negative means no queueing — reject when all
-	// execution slots are busy).
+	// (default 64; QueueDepthNone — or any negative value — means no
+	// queueing: reject when all execution slots are busy).
 	QueueDepth int
+	// ModelQuotas optionally caps one model's queued+executing occupancy
+	// so a hot model cannot starve the rest; requests over quota are
+	// rejected with discerr.ErrQuotaExceeded. Unlisted models are
+	// unlimited (within MaxConcurrent/QueueDepth).
+	ModelQuotas map[string]int
+
+	// MemoryBudgetBytes, when > 0, caps the total pooled-buffer footprint
+	// of concurrently executing engine runs: the server builds a
+	// ral.Governor (see Governor()) that compile functions thread into
+	// exec.Options.Governor, and each run reserves its peak footprint
+	// before allocating — waiting for memory to drain or failing with
+	// discerr.ErrMemoryBudget. 0 disables governance.
+	MemoryBudgetBytes int64
+
+	// WatchdogMultiple, when > 0, arms the hung-request watchdog: an
+	// engine run exceeding Multiple × its signature's moving-average wall
+	// latency is cancelled (discerr.ErrHungRequest) and recovered through
+	// the breaker/fallback path. The limit never drops below
+	// WatchdogFloor (default 10ms) and only applies once a signature has
+	// latency history. 0 disables the watchdog.
+	WatchdogMultiple float64
+	// WatchdogFloor is the minimum watchdog limit (default 10ms).
+	WatchdogFloor time.Duration
 
 	// MaxRetries bounds re-attempts after a transient failure
 	// (discerr.ErrTransient), with jittered exponential backoff between
@@ -109,6 +139,9 @@ type Request struct {
 	// Inputs are the concrete tensors; any shapes consistent with the
 	// model's symbolic parameter shapes are accepted.
 	Inputs []*tensor.Tensor
+	// Priority orders this request for admission under overload; the zero
+	// value is PriorityBatch. See Priority.
+	Priority Priority
 }
 
 // Response is the outcome of one admitted, executed request.
@@ -154,8 +187,14 @@ type Server struct {
 	forceCtx    context.Context
 	forceCancel context.CancelFunc
 
-	// sem holds one token per executing request.
-	sem chan struct{}
+	// adm owns execution slots and the governance policies (priority
+	// shedding, deadline infeasibility, per-model quotas).
+	adm *admitter
+	// wd is the hung-request watchdog (nil when disabled).
+	wd *watchdog
+	// gov is the memory governor engines reserve against (nil when
+	// MemoryBudgetBytes is 0).
+	gov *ral.Governor
 
 	stats *collector
 }
@@ -226,7 +265,8 @@ func New(cfg Config, compile CompileFunc) *Server {
 		pool = exec.NewWorkerPool(cfg.Workers)
 	}
 	forceCtx, forceCancel := context.WithCancel(context.Background())
-	return &Server{
+	stats := newCollector(cfg.Metrics)
+	s := &Server{
 		cfg:         cfg,
 		compile:     compile,
 		cache:       ral.NewCache(),
@@ -235,10 +275,20 @@ func New(cfg Config, compile CompileFunc) *Server {
 		breakers:    map[string]*breaker{},
 		forceCtx:    forceCtx,
 		forceCancel: forceCancel,
-		sem:         make(chan struct{}, cfg.MaxConcurrent),
-		stats:       newCollector(cfg.Metrics),
+		adm:         newAdmitter(cfg, stats),
+		wd:          newWatchdog(cfg.WatchdogMultiple, cfg.WatchdogFloor),
+		gov:         ral.NewGovernor(cfg.MemoryBudgetBytes),
+		stats:       stats,
 	}
+	s.gov.Observe(cfg.Metrics)
+	return s
 }
+
+// Governor returns the server's memory governor (nil when
+// MemoryBudgetBytes is 0). Compile functions thread it into
+// exec.Options.Governor so every engine run reserves its footprint
+// against the shared budget.
+func (s *Server) Governor() *ral.Governor { return s.gov }
 
 // WorkerPool returns the server-wide execution worker pool that every
 // compiled engine should share, or nil when the server is configured
@@ -337,8 +387,21 @@ func (s *Server) Warm(model string) error {
 //   - Shape mismatches and unknown models are the caller's fault: they
 //     propagate immediately with no retry, breaker penalty, or fallback.
 //
+// Governance, before any of the above:
+//
+//   - Admission applies the priority/deadline/quota policy: queue-full
+//     rejections and priority sheds wrap ErrQueueFull, provably late
+//     requests ErrDeadlineInfeasible, over-quota models ErrQuotaExceeded.
+//   - A run that trips the memory governor's budget fails with
+//     ErrMemoryBudget and propagates immediately — it is load shedding,
+//     not an engine fault, so no retry, breaker penalty or fallback.
+//   - The watchdog cancels a run exceeding its signature's historical
+//     latency envelope (ErrHungRequest) and recovers it through the
+//     normal breaker/fallback path.
+//
 // Errors wrap the discerr sentinels: ErrQueueFull (rejected by
-// admission), ErrServerClosed, ErrCompileFailed, ErrShapeMismatch,
+// admission), ErrDeadlineInfeasible, ErrQuotaExceeded, ErrMemoryBudget,
+// ErrHungRequest, ErrServerClosed, ErrCompileFailed, ErrShapeMismatch,
 // ErrKernelPanic, ErrTransient, ErrEngineQuarantined, plus ctx.Err() when
 // the request's context expires while queued or mid-run.
 func (s *Server) Infer(ctx context.Context, req *Request) (resp *Response, retErr error) {
@@ -389,15 +452,14 @@ func (s *Server) Infer(ctx context.Context, req *Request) (resp *Response, retEr
 	}
 
 	queueStart := time.Now()
-	qsp := sp.Child("admit")
-	release, err := s.admit(ctx)
+	qsp := sp.Child("admit", obs.A("priority", req.Priority.String()))
+	release, err := s.adm.admit(ctx, m.name, req.Priority)
 	qsp.End()
 	if err != nil {
-		switch {
-		case ctx.Err() != nil:
+		// The admitter pre-counts its own rejections by reason; context
+		// expiry while queued is the only outcome classified here.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			s.stats.canceled()
-		default:
-			s.stats.rejected()
 		}
 		return nil, err
 	}
@@ -409,7 +471,8 @@ func (s *Server) Infer(ctx context.Context, req *Request) (resp *Response, retEr
 		s.stats.failed()
 		return nil, err
 	}
-	br := s.breakerFor(m.name + "@" + sig)
+	key := m.name + "@" + sig
+	br := s.breakerFor(key)
 	if !br.allow(time.Now()) {
 		s.stats.breakerShorted()
 		cause := fmt.Errorf("serve: model %q (signature %s): %w", m.name, sig, discerr.ErrEngineQuarantined)
@@ -444,8 +507,37 @@ func (s *Server) Infer(ctx context.Context, req *Request) (resp *Response, retEr
 			s.stats.cacheMiss()
 		}
 
-		res, err := runEngine(obs.ContextWithSpan(ctx, sp), eng, req.Inputs)
+		// Run the engine under the watchdog: once the signature has
+		// latency history, a run exceeding WatchdogMultiple × its moving
+		// average is cancelled with cause ErrHungRequest and recovered
+		// through the breaker/fallback path below.
+		runStart := time.Now()
+		rctx := obs.ContextWithSpan(ctx, sp)
+		var wdCancel context.CancelCauseFunc
+		var wdTimer *time.Timer
+		if lim, armed := s.wd.limit(key); armed {
+			var wc context.Context
+			wc, wdCancel = context.WithCancelCause(rctx)
+			cancelCause, limit := wdCancel, lim
+			wdTimer = time.AfterFunc(lim, func() {
+				cancelCause(fmt.Errorf("serve: run exceeded watchdog limit %v: %w",
+					limit, discerr.ErrHungRequest))
+			})
+			rctx = wc
+		}
+		res, err := runEngine(rctx, eng, req.Inputs)
+		hung := false
+		if wdCancel != nil {
+			wdTimer.Stop()
+			hung = errors.Is(context.Cause(rctx), discerr.ErrHungRequest)
+			wdCancel(nil)
+		}
+		wall := time.Since(runStart)
 		if err == nil {
+			// Healthy compiled runs feed both the admission-time cost
+			// estimator and the signature's watchdog envelope.
+			s.adm.est.observe(wall)
+			s.wd.observe(key, wall)
 			br.success()
 			s.stats.completed(res.Profile.SimulatedNs)
 			s.stats.observeSignature(m.name, sig, res.Profile.SimulatedNs)
@@ -458,6 +550,12 @@ func (s *Server) Infer(ctx context.Context, req *Request) (resp *Response, retEr
 				Retries:   retries,
 			}, nil
 		}
+		if hung && ctx.Err() == nil {
+			s.stats.watchdogFired()
+			lastErr = fmt.Errorf("serve: model %q (signature %s): run cancelled by watchdog after %v: %w",
+				m.name, sig, wall, discerr.ErrHungRequest)
+			break // hung engines go to the breaker + fallback, not retry
+		}
 		if ctx.Err() != nil {
 			s.stats.canceled()
 			return nil, err
@@ -465,6 +563,13 @@ func (s *Server) Infer(ctx context.Context, req *Request) (resp *Response, retEr
 		if errors.Is(err, discerr.ErrShapeMismatch) {
 			// The caller's inputs are invalid; the engine is fine.
 			s.stats.failed()
+			return nil, err
+		}
+		if errors.Is(err, discerr.ErrMemoryBudget) {
+			// Budget pressure is load shedding, not an engine fault: no
+			// retry, no breaker penalty, and no fallback (the interpreter
+			// would allocate the same buffers).
+			s.stats.memoryRejected()
 			return nil, err
 		}
 		lastErr = err
@@ -569,8 +674,13 @@ func (s *Server) fallback(ctx context.Context, sp *obs.Span, m *modelEntry, req 
 	}
 	defer fsp.End()
 	g := m.build()
-	outs, err := graph.Evaluate(g, req.Inputs)
+	outs, err := graph.EvaluateContext(ctx, g, req.Inputs)
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			// Cancelled (or force-drained) mid-interpretation: classify as
+			// a context outcome, not a fallback failure.
+			return nil, ctxErr
+		}
 		return nil, fmt.Errorf("serve: fallback for %q also failed: %v (compiled path: %w)", m.name, err, cause)
 	}
 	prof := ral.NewProfiler()
@@ -587,45 +697,17 @@ func (s *Server) fallback(ctx context.Context, sp *obs.Span, m *modelEntry, req 
 	}, nil
 }
 
-// admit acquires an execution slot, queueing up to QueueDepth waiters.
-// It returns the release func, or ErrQueueFull / ctx.Err(). A request
-// whose context is already done is never admitted — a deadline that
-// expires exactly at admit time counts as canceled, not running.
-func (s *Server) admit(ctx context.Context) (func(), error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	// Fast path: a slot is free.
-	select {
-	case s.sem <- struct{}{}:
-		s.stats.running(+1)
-		return s.release, nil
-	default:
-	}
-	if !s.stats.tryEnqueue(s.cfg.QueueDepth) {
-		return nil, fmt.Errorf("serve: %d executing, %d queued: %w",
-			s.cfg.MaxConcurrent, s.cfg.QueueDepth, discerr.ErrQueueFull)
-	}
-	defer s.stats.dequeue()
-	select {
-	case s.sem <- struct{}{}:
-		s.stats.running(+1)
-		return s.release, nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
-}
-
-// release frees one execution slot.
-func (s *Server) release() {
-	<-s.sem
-	s.stats.running(-1)
-}
-
 // Stats returns a point-in-time snapshot of serving counters.
 func (s *Server) Stats() Stats {
 	st := s.stats.snapshot()
 	_, _, st.Engines = s.cache.Stats()
+	if s.gov != nil {
+		gs := s.gov.Stats()
+		st.MemBudgetBytes = gs.BudgetBytes
+		st.MemReservedBytes = gs.ReservedBytes
+		st.MemHighWaterBytes = gs.HighWaterBytes
+		st.MemWaits = gs.Waits
+	}
 	return st
 }
 

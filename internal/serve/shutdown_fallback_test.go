@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"godisc/internal/discerr"
+	"godisc/internal/exec"
+	"godisc/internal/graph"
+	"godisc/internal/tensor"
+)
+
+// gatedFallbackServer builds a server whose engine always fails (so every
+// request goes to the interpreter fallback) and whose model builder can
+// be armed to block inside the fallback path — pinning a request
+// mid-fallback so tests can race Shutdown against it.
+func gatedFallbackServer(t *testing.T, armed *atomic.Bool, entered chan<- struct{}, gate <-chan struct{}) *Server {
+	t.Helper()
+	eng := engineFunc(func(context.Context, []*tensor.Tensor) (*exec.Result, error) {
+		return nil, fmt.Errorf("boom: %w", discerr.ErrKernelPanic)
+	})
+	s := New(Config{MaxConcurrent: 2, MaxRetries: -1, BreakerThreshold: -1},
+		func(*graph.Graph) (Engine, error) { return eng, nil })
+	build := func() *graph.Graph {
+		if armed.Load() {
+			entered <- struct{}{}
+			<-gate
+		}
+		return buildMLP()
+	}
+	if err := s.Register("m", build); err != nil {
+		t.Fatal(err)
+	}
+	// Warm while unarmed so the signature and engine are cached.
+	if err := s.Warm("m"); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestShutdownWaitsForInFlightFallback: a graceful Shutdown (no deadline)
+// must not return while a request is mid-fallback, and the request must
+// complete successfully once the fallback finishes.
+func TestShutdownWaitsForInFlightFallback(t *testing.T) {
+	var armed atomic.Bool
+	entered := make(chan struct{}, 1)
+	gate := make(chan struct{})
+	s := gatedFallbackServer(t, &armed, entered, gate)
+	armed.Store(true)
+
+	in, want := mlpInput(t, 3)
+	inferDone := make(chan error, 1)
+	var resp *Response
+	go func() {
+		var err error
+		resp, err = s.Infer(context.Background(), &Request{Model: "m", Inputs: []*tensor.Tensor{in}})
+		inferDone <- err
+	}()
+	<-entered // request is inside the fallback build
+	armed.Store(false)
+
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- s.Shutdown(context.Background()) }()
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) while a fallback was in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(gate) // let the fallback finish
+	if err := <-inferDone; err != nil {
+		t.Fatalf("in-flight request failed: %v", err)
+	}
+	if !resp.Fallback {
+		t.Fatal("response should be a fallback completion")
+	}
+	if err := tensor.AllClose(resp.Outputs[0], want[0], 1e-4, 1e-5); err != nil {
+		t.Fatalf("fallback output: %v", err)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("graceful Shutdown: %v", err)
+	}
+}
+
+// TestShutdownForceCancelsInFlightFallback: when the drain deadline
+// expires, the force-cancel must reach a request blocked in the fallback
+// interpreter — EvaluateContext observes the cancelled context — and
+// Shutdown returns only after the request unwound.
+func TestShutdownForceCancelsInFlightFallback(t *testing.T) {
+	var armed atomic.Bool
+	entered := make(chan struct{}, 1)
+	gate := make(chan struct{})
+	s := gatedFallbackServer(t, &armed, entered, gate)
+	armed.Store(true)
+
+	in, _ := mlpInput(t, 3)
+	inferDone := make(chan error, 1)
+	go func() {
+		_, err := s.Infer(context.Background(), &Request{Model: "m", Inputs: []*tensor.Tensor{in}})
+		inferDone <- err
+	}()
+	<-entered
+	armed.Store(false)
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- s.Shutdown(shutdownCtx) }()
+
+	// Give the drain deadline time to expire and force-cancel; the
+	// request is still pinned at the gate, so Shutdown must still wait.
+	time.Sleep(60 * time.Millisecond)
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) before the fallback unwound", err)
+	default:
+	}
+
+	close(gate) // evaluation resumes on a cancelled context and aborts
+	err := <-inferDone
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("force-cancelled fallback returned %v, want context.Canceled", err)
+	}
+	if err := <-shutdownDone; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forced Shutdown returned %v, want DeadlineExceeded", err)
+	}
+	st := s.Stats()
+	if st.Canceled != 1 || st.Completed != 0 {
+		t.Fatalf("canceled=%d completed=%d, want 1/0", st.Canceled, st.Completed)
+	}
+}

@@ -26,6 +26,24 @@ type Stats struct {
 	CacheHits, CacheMisses int64
 	Engines                int
 
+	// Governance counters — each is a disjoint sub-bucket of Rejected
+	// except WatchdogCancels (hung runs usually complete via fallback).
+	// Shed counts queued waiters evicted for higher-priority arrivals and
+	// QueueFullRejections arrivals refused with no sheddable victim (both
+	// wrap ErrQueueFull); DeadlineInfeasible counts requests rejected
+	// because their remaining deadline was below the moving queue+exec
+	// estimate; QuotaRejections requests over their model's concurrency
+	// quota; MemoryRejections runs refused by the memory governor.
+	// WatchdogCancels counts runs the hung-request watchdog cancelled.
+	Shed, QueueFullRejections, DeadlineInfeasible int64
+	QuotaRejections, MemoryRejections             int64
+	WatchdogCancels                               int64
+
+	// Memory governor snapshot (zero when no budget is configured).
+	// MemWaits counts reservations that had to queue for budget.
+	MemBudgetBytes, MemReservedBytes, MemHighWaterBytes int64
+	MemWaits                                            int64
+
 	// Resilience counters. FallbackRuns are requests that completed
 	// through the interpreter fallback after their engine failed (they
 	// also count in Completed). Retries counts re-attempts after
@@ -63,6 +81,16 @@ func (st Stats) String() string {
 		s += fmt.Sprintf(" | fallback=%d retries=%d panics=%d breaker=%d opens/%d shorted",
 			st.FallbackRuns, st.Retries, st.KernelPanics, st.BreakerOpens, st.BreakerShortCircuits)
 	}
+	if st.Shed+st.QueueFullRejections+st.DeadlineInfeasible+st.QuotaRejections+
+		st.MemoryRejections+st.WatchdogCancels > 0 {
+		s += fmt.Sprintf(" | shed=%d qfull=%d infeasible=%d quota=%d membudget=%d watchdog=%d",
+			st.Shed, st.QueueFullRejections, st.DeadlineInfeasible, st.QuotaRejections,
+			st.MemoryRejections, st.WatchdogCancels)
+	}
+	if st.MemBudgetBytes > 0 {
+		s += fmt.Sprintf(" | mem=%d/%d high=%d waits=%d",
+			st.MemReservedBytes, st.MemBudgetBytes, st.MemHighWaterBytes, st.MemWaits)
+	}
 	return s
 }
 
@@ -80,6 +108,8 @@ type collector struct {
 	cHits, cMisses                                       *obs.Counter
 	cFallback, cRetries, cPanics                         *obs.Counter
 	cBreakerOpens, cBreakerShorted                       *obs.Counter
+	cShed, cQueueFull, cInfeasible, cQuota, cMemory      *obs.Counter
+	cWatchdog                                            *obs.Counter
 	hLatency                                             *obs.Histogram
 
 	mu                     sync.Mutex
@@ -110,6 +140,12 @@ func newCollector(reg *obs.Registry) *collector {
 		cPanics:         reg.Counter("godisc_kernel_panics_total"),
 		cBreakerOpens:   reg.Counter("godisc_breaker_transitions_total", obs.L("to", "open")),
 		cBreakerShorted: reg.Counter("godisc_breaker_short_circuits_total"),
+		cShed:           reg.Counter("godisc_admission_rejects_total", obs.L("reason", "shed")),
+		cQueueFull:      reg.Counter("godisc_admission_rejects_total", obs.L("reason", "queue-full")),
+		cInfeasible:     reg.Counter("godisc_admission_rejects_total", obs.L("reason", "deadline-infeasible")),
+		cQuota:          reg.Counter("godisc_admission_rejects_total", obs.L("reason", "quota")),
+		cMemory:         reg.Counter("godisc_admission_rejects_total", obs.L("reason", "memory-budget")),
+		cWatchdog:       reg.Counter("godisc_watchdog_cancels_total"),
 		hLatency:        reg.Histogram("godisc_latency_sim_ns", obs.LatencyNsBuckets()),
 		samples:         make([]float64, 0, 256),
 	}
@@ -137,6 +173,15 @@ func (c *collector) retry()          { c.cRetries.Inc() }
 func (c *collector) kernelPanic()    { c.cPanics.Inc() }
 func (c *collector) breakerOpened()  { c.cBreakerOpens.Inc() }
 func (c *collector) breakerShorted() { c.cBreakerShorted.Inc() }
+
+// Governance rejections: each increments the outcome counter (Rejected)
+// plus its reason series, so the taxonomy partitions Rejected exactly.
+func (c *collector) shed()               { c.cRejected.Inc(); c.cShed.Inc() }
+func (c *collector) queueFullRejected()  { c.cRejected.Inc(); c.cQueueFull.Inc() }
+func (c *collector) infeasibleRejected() { c.cRejected.Inc(); c.cInfeasible.Inc() }
+func (c *collector) quotaRejected()      { c.cRejected.Inc(); c.cQuota.Inc() }
+func (c *collector) memoryRejected()     { c.cRejected.Inc(); c.cMemory.Inc() }
+func (c *collector) watchdogFired()      { c.cWatchdog.Inc() }
 
 // fallback records one request completed through the interpreter fallback;
 // it contributes to Completed and the latency window like a normal
@@ -179,21 +224,18 @@ func (c *collector) running(delta int) {
 	c.mu.Unlock()
 }
 
-// tryEnqueue admits one waiter if the queue is below limit.
-func (c *collector) tryEnqueue(limit int) bool {
+// enqueued/dequeued track the admission queue depth; the limit check
+// itself lives in the admitter, whose lock makes depth-vs-limit atomic.
+func (c *collector) enqueued() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.queueDepth >= limit {
-		return false
-	}
 	c.queueDepth++
 	if c.queueDepth > c.peakQueue {
 		c.peakQueue = c.queueDepth
 	}
-	return true
+	c.mu.Unlock()
 }
 
-func (c *collector) dequeue() {
+func (c *collector) dequeued() {
 	c.mu.Lock()
 	c.queueDepth--
 	c.mu.Unlock()
@@ -212,6 +254,9 @@ func (c *collector) snapshot() Stats {
 		FallbackRuns: c.cFallback.Value(), Retries: c.cRetries.Value(),
 		KernelPanics: c.cPanics.Value(),
 		BreakerOpens: c.cBreakerOpens.Value(), BreakerShortCircuits: c.cBreakerShorted.Value(),
+		Shed: c.cShed.Value(), QueueFullRejections: c.cQueueFull.Value(),
+		DeadlineInfeasible: c.cInfeasible.Value(), QuotaRejections: c.cQuota.Value(),
+		MemoryRejections: c.cMemory.Value(), WatchdogCancels: c.cWatchdog.Value(),
 		QueueDepth: c.queueDepth, PeakQueueDepth: c.peakQueue,
 		InFlight: c.inFlight, PeakInFlight: c.peakInFlight,
 		TotalSimNs: c.totalSimNs,

@@ -4,13 +4,17 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"godisc/internal/device"
 	"godisc/internal/discerr"
 	"godisc/internal/exec"
+	"godisc/internal/fusion"
 	"godisc/internal/graph"
 	"godisc/internal/obs"
+	"godisc/internal/opt"
 	"godisc/internal/tensor"
 )
 
@@ -28,6 +32,10 @@ var sentinels = []struct {
 	{"ErrEngineQuarantined", discerr.ErrEngineQuarantined},
 	{"ErrTransient", discerr.ErrTransient},
 	{"ErrUnsupported", discerr.ErrUnsupported},
+	{"ErrMemoryBudget", discerr.ErrMemoryBudget},
+	{"ErrDeadlineInfeasible", discerr.ErrDeadlineInfeasible},
+	{"ErrQuotaExceeded", discerr.ErrQuotaExceeded},
+	{"ErrHungRequest", discerr.ErrHungRequest},
 }
 
 // TestErrorTaxonomyThroughServe drives each sentinel through the serving
@@ -220,6 +228,151 @@ func TestErrorTaxonomyThroughServe(t *testing.T) {
 				}
 				in, _ := mlpInput(t, 2)
 				_, err := s.Infer(context.Background(), &Request{Model: "mlp", Inputs: []*tensor.Tensor{in}})
+				return err
+			},
+		},
+		{
+			name: "ErrQuotaExceeded",
+			want: discerr.ErrQuotaExceeded,
+			run: func(t *testing.T, cfg Config) error {
+				cfg.ModelQuotas = map[string]int{"mlp": 1}
+				release := make(chan struct{})
+				running := make(chan struct{})
+				s := New(cfg, func(*graph.Graph) (Engine, error) {
+					return engineFunc(func(context.Context, []*tensor.Tensor) (*exec.Result, error) {
+						close(running)
+						<-release
+						return okResult()
+					}), nil
+				})
+				defer s.Close()
+				if err := s.Register("mlp", buildMLP); err != nil {
+					t.Fatal(err)
+				}
+				in, _ := mlpInput(t, 2)
+				req := &Request{Model: "mlp", Inputs: []*tensor.Tensor{in}}
+				done := make(chan error, 1)
+				go func() {
+					_, err := s.Infer(context.Background(), req)
+					done <- err
+				}()
+				<-running
+				_, err := s.Infer(context.Background(), req)
+				close(release)
+				if ferr := <-done; ferr != nil {
+					t.Fatalf("occupying request failed: %v", ferr)
+				}
+				return err
+			},
+		},
+		{
+			name: "ErrDeadlineInfeasible",
+			want: discerr.ErrDeadlineInfeasible,
+			run: func(t *testing.T, cfg Config) error {
+				cfg.MaxConcurrent = 1
+				cfg.QueueDepth = 4
+				block := make(chan struct{})
+				var blocked atomic.Bool
+				s := New(cfg, func(*graph.Graph) (Engine, error) {
+					return engineFunc(func(ctx context.Context, _ []*tensor.Tensor) (*exec.Result, error) {
+						if blocked.Load() {
+							select {
+							case <-block:
+							case <-ctx.Done():
+								return nil, ctx.Err()
+							}
+							return okResult()
+						}
+						time.Sleep(20 * time.Millisecond)
+						return okResult()
+					}), nil
+				})
+				defer s.Close()
+				if err := s.Register("mlp", buildMLP); err != nil {
+					t.Fatal(err)
+				}
+				in, _ := mlpInput(t, 2)
+				req := &Request{Model: "mlp", Inputs: []*tensor.Tensor{in}}
+				for i := 0; i < estMinSamples; i++ {
+					if _, err := s.Infer(context.Background(), req); err != nil {
+						t.Fatal(err)
+					}
+				}
+				blocked.Store(true)
+				done := make(chan error, 1)
+				go func() {
+					_, err := s.Infer(context.Background(), req)
+					done <- err
+				}()
+				waitFor(t, "slot occupied", func() bool { return s.Stats().InFlight == 1 })
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+				defer cancel()
+				_, err := s.Infer(ctx, req)
+				close(block)
+				if ferr := <-done; ferr != nil {
+					t.Fatalf("occupying request failed: %v", ferr)
+				}
+				return err
+			},
+		},
+		{
+			name: "ErrMemoryBudget",
+			want: discerr.ErrMemoryBudget,
+			run: func(t *testing.T, cfg Config) error {
+				cfg.MemoryBudgetBytes = 64 // smaller than any run's buffers
+				var s *Server
+				s = New(cfg, func(g *graph.Graph) (Engine, error) {
+					if _, err := opt.Default().Run(g); err != nil {
+						return nil, err
+					}
+					plan, err := fusion.NewPlanner(fusion.DefaultConfig()).Plan(g)
+					if err != nil {
+						return nil, err
+					}
+					eo := exec.DefaultOptions()
+					eo.Governor = s.Governor()
+					return exec.Compile(g, plan, device.A10(), eo)
+				})
+				defer s.Close()
+				if err := s.Register("mlp", buildMLP); err != nil {
+					t.Fatal(err)
+				}
+				in, _ := mlpInput(t, 8)
+				_, err := s.Infer(context.Background(), &Request{Model: "mlp", Inputs: []*tensor.Tensor{in}})
+				return err
+			},
+		},
+		{
+			name: "ErrHungRequest",
+			want: discerr.ErrHungRequest,
+			run: func(t *testing.T, cfg Config) error {
+				cfg.DisableFallback = true
+				cfg.MaxRetries = -1
+				cfg.BreakerThreshold = -1
+				cfg.WatchdogMultiple = 2
+				cfg.WatchdogFloor = 10 * time.Millisecond
+				var calls int32
+				s := New(cfg, func(*graph.Graph) (Engine, error) {
+					return engineFunc(func(ctx context.Context, _ []*tensor.Tensor) (*exec.Result, error) {
+						if int(atomic.AddInt32(&calls, 1)) <= watchdogMinSamples {
+							return okResult()
+						}
+						<-ctx.Done()
+						return nil, ctx.Err()
+					}), nil
+				})
+				defer s.Close()
+				if err := s.Register("mlp", buildMLP); err != nil {
+					t.Fatal(err)
+				}
+				in, _ := mlpInput(t, 2)
+				req := &Request{Model: "mlp", Inputs: []*tensor.Tensor{in}}
+				for i := 0; i < watchdogMinSamples; i++ {
+					if _, err := s.Infer(context.Background(), req); err != nil {
+						t.Fatal(err)
+					}
+				}
+				_, err := s.Infer(context.Background(), req)
 				return err
 			},
 		},

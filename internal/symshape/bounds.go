@@ -1,0 +1,83 @@
+package symshape
+
+// Upper-bound resolution over the symbolic dimension algebra. Footprint
+// estimation (exec) and capacity planning need "how big can this dim ever
+// be?" answered at compile time: a static dim is itself, a dynamic dim is
+// its declared range ceiling, and derived dims (products of split factors,
+// sums of concatenated extents, quotients, affine maps) compose the bounds
+// of their operands. A dimension whose bound depends on an undeclared
+// range is honestly unbounded — callers get ok=false, not a guess.
+
+// boundCeiling caps composed bounds so products of large ranges saturate
+// instead of overflowing int64. Anything at or above it reports unbounded.
+const boundCeiling = unboundedHi
+
+// UpperBound returns the largest value dimension d can take, derived from
+// declared ranges and the dimension algebra. ok is false when d (or any
+// dimension it is derived from) has no declared upper bound.
+func (c *Context) UpperBound(d DimID) (int64, bool) {
+	return c.upperBound(d, map[DimID]bool{})
+}
+
+func (c *Context) upperBound(d DimID, visiting map[DimID]bool) (int64, bool) {
+	r := c.find(d)
+	if visiting[r] {
+		return 0, false // defensive: derivation cycles are unbounded
+	}
+	visiting[r] = true
+	defer delete(visiting, r)
+
+	desc := c.Describe(d)
+	switch desc.Kind {
+	case KindStatic:
+		return desc.Static, true
+	case KindDynamic:
+		if desc.Hi >= boundCeiling {
+			return 0, false
+		}
+		return desc.Hi, true
+	case KindProduct:
+		prod := int64(1)
+		for _, f := range desc.Operands {
+			fb, ok := c.upperBound(f, visiting)
+			if !ok || fb <= 0 {
+				return 0, false
+			}
+			if prod > boundCeiling/fb {
+				return 0, false // would overflow the ceiling
+			}
+			prod *= fb
+		}
+		return prod, true
+	case KindSum:
+		var sum int64
+		for _, t := range desc.Operands {
+			tb, ok := c.upperBound(t, visiting)
+			if !ok {
+				return 0, false
+			}
+			sum += tb
+			if sum >= boundCeiling {
+				return 0, false
+			}
+		}
+		return sum, true
+	case KindQuotient:
+		nb, ok := c.upperBound(desc.Operands[0], visiting)
+		if !ok || desc.Denom <= 0 {
+			return 0, false
+		}
+		return nb / desc.Denom, true
+	case KindAffine:
+		bb, ok := c.upperBound(desc.Operands[0], visiting)
+		if !ok || desc.Scale < 0 {
+			return 0, false
+		}
+		v := desc.Scale*bb + desc.Offset
+		if v < 0 || v >= boundCeiling {
+			return 0, false
+		}
+		return v, true
+	}
+	return 0, false
+}

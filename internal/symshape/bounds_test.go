@@ -1,0 +1,61 @@
+package symshape
+
+import "testing"
+
+func TestUpperBoundStatic(t *testing.T) {
+	c := NewContext(FeatAll)
+	d := c.StaticDim(17)
+	b, ok := c.UpperBound(d)
+	if !ok || b != 17 {
+		t.Fatalf("UpperBound(static 17) = %d, %v", b, ok)
+	}
+}
+
+func TestUpperBoundDynamicRange(t *testing.T) {
+	c := NewContext(FeatAll)
+	d := c.NewDim("B")
+	if _, ok := c.UpperBound(d); ok {
+		t.Fatal("unbounded dynamic dim reported a bound")
+	}
+	c.DeclareRange(d, 1, 128)
+	b, ok := c.UpperBound(d)
+	if !ok || b != 128 {
+		t.Fatalf("UpperBound(B in [1,128]) = %d, %v", b, ok)
+	}
+}
+
+func TestUpperBoundDerived(t *testing.T) {
+	c := NewContext(FeatAll)
+	b := c.NewDim("B")
+	s := c.NewDim("S")
+	c.DeclareRange(b, 1, 8)
+	c.DeclareRange(s, 1, 64)
+
+	prod := c.DeclareProduct("BS", []DimID{b, s})
+	if v, ok := c.UpperBound(prod); !ok || v != 8*64 {
+		t.Fatalf("UpperBound(B*S) = %d, %v; want 512", v, ok)
+	}
+	sum := c.DeclareSum("BpS", []DimID{b, s})
+	if v, ok := c.UpperBound(sum); !ok || v != 8+64 {
+		t.Fatalf("UpperBound(B+S) = %d, %v; want 72", v, ok)
+	}
+	q := c.DeclareQuotient("Sq", s, 4)
+	if v, ok := c.UpperBound(q); !ok || v != 16 {
+		t.Fatalf("UpperBound(S/4) = %d, %v; want 16", v, ok)
+	}
+	aff := c.DeclareAffine("conv", s, 2, 3)
+	if v, ok := c.UpperBound(aff); !ok || v != 2*64+3 {
+		t.Fatalf("UpperBound(2S+3) = %d, %v; want 131", v, ok)
+	}
+}
+
+func TestUpperBoundUnboundedOperandPropagates(t *testing.T) {
+	c := NewContext(FeatAll)
+	b := c.NewDim("B") // no declared range
+	s := c.NewDim("S")
+	c.DeclareRange(s, 1, 64)
+	prod := c.DeclareProduct("BS", []DimID{b, s})
+	if v, ok := c.UpperBound(prod); ok {
+		t.Fatalf("product with unbounded factor reported bound %d", v)
+	}
+}
