@@ -65,14 +65,15 @@ soak:
 		-run TestSoakGovernedOverload ./internal/serve
 
 # bench runs every experiment benchmark once and checks the parsed
-# results into BENCH_PR3.json (per-experiment custom metrics, including
-# the E14 sequential-vs-parallel speedup curve). -benchtime=1x because
-# each benchmark iteration is itself a whole experiment replay.
+# results into BENCH_PR6.json (per-experiment custom metrics, including
+# the E14 speedup curve and the E15 dynamic-batching saturation run).
+# -benchtime=1x because each benchmark iteration is itself a whole
+# experiment replay.
 bench:
 	go test -run '^$$' -bench=. -benchtime=1x -benchmem . | tee bench.out
-	go run ./cmd/benchjson -in bench.out -out BENCH_PR3.json
+	go run ./cmd/benchjson -in bench.out -out BENCH_PR6.json
 	@rm -f bench.out
-	@echo "wrote BENCH_PR3.json"
+	@echo "wrote BENCH_PR6.json"
 
 # bench-compare prints deltas between the two most recent checked-in
 # BENCH_*.json files (or against itself when only one exists). It is

@@ -171,7 +171,7 @@ func BenchmarkCompiledInference(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			eng, err := Compile(m.Build(), Options{})
+			eng, err := CompileWith(m.Build())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -195,7 +195,7 @@ func BenchmarkCompilation(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		if _, err := Compile(m.Build(), Options{}); err != nil {
+		if _, err := CompileWith(m.Build()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -257,6 +257,31 @@ func BenchmarkE14ParallelScaling(b *testing.B) {
 		case 8:
 			b.ReportMetric(r.Speedup, "speedup_w8")
 		}
+	}
+	b.ReportMetric(identical, "bit_identical")
+}
+
+// BenchmarkE15DynamicBatching regenerates the dynamic-batching saturation
+// table: modeled per-request device time solo vs inside a full coalescing
+// window, the throughput and FCFS-p99 both imply at 32 saturated clients,
+// and the real-server engagement + bit-identity proof.
+func BenchmarkE15DynamicBatching(b *testing.B) {
+	var rows []bench.BatchingRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.DynamicBatching(benchCfg(), 8, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	identical := 1.0
+	for _, r := range rows {
+		if !r.BitIdentical {
+			identical = 0
+		}
+		b.ReportMetric(r.Throughput, "throughput_"+r.Model)
+		b.ReportMetric(r.SoloP99Us/r.BatchedP99Us, "p99_gain_"+r.Model)
+		b.ReportMetric(float64(r.BatchedRuns), "batched_runs_"+r.Model)
 	}
 	b.ReportMetric(identical, "bit_identical")
 }

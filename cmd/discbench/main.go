@@ -18,7 +18,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: e1..e12, e14, replay, all")
+		exp      = flag.String("exp", "all", "experiment id: e1..e12, e14, e15, replay, all")
 		dev      = flag.String("device", "A10", "device model: A10 or T4")
 		requests = flag.Int("requests", 200, "requests per trace")
 		modelArg = flag.String("models", "", "comma-separated model subset (default all)")
@@ -26,6 +26,8 @@ func main() {
 		jsonOut  = flag.String("json", "", "also write machine-readable results to this file")
 		traceIn  = flag.String("trace", "", "with -exp replay: shape-trace file (lines of \"batch,seq\")")
 		workers  = flag.String("workers", "1,2,4,8", "with -exp e14: comma-separated engine worker counts")
+		window   = flag.Int("window", 8, "with -exp e15: dynamic-batching window (rows coalesced per run)")
+		clients  = flag.Int("clients", 32, "with -exp e15: closed-loop clients at saturation")
 		traceOut = flag.String("trace-out", "",
 			"execute one traced replay and write its spans as a Chrome trace_event file")
 	)
@@ -39,13 +41,13 @@ func main() {
 		cfg.Models = strings.Split(*modelArg, ",")
 	}
 
-	if err := run(*exp, cfg, *jsonOut, *traceIn, *workers, *traceOut); err != nil {
+	if err := run(*exp, cfg, *jsonOut, *traceIn, *workers, *traceOut, *window, *clients); err != nil {
 		fmt.Fprintln(os.Stderr, "discbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, cfg bench.Config, jsonOut, traceIn, workers, traceOut string) error {
+func run(exp string, cfg bench.Config, jsonOut, traceIn, workers, traceOut string, window, clients int) error {
 	w := os.Stdout
 	results := map[string]any{}
 	want := func(id string) bool { return exp == "all" || strings.EqualFold(exp, id) }
@@ -225,8 +227,18 @@ func run(exp string, cfg bench.Config, jsonOut, traceIn, workers, traceOut strin
 		bench.PrintParallelScaling(w, cfg, rows)
 		fmt.Fprintln(w)
 	}
+	if want("e15") {
+		any = true
+		rows, err := bench.DynamicBatching(cfg, window, clients)
+		if err != nil {
+			return err
+		}
+		results["e15"] = rows
+		bench.PrintDynamicBatching(w, cfg, clients, rows)
+		fmt.Fprintln(w)
+	}
 	if !any {
-		return fmt.Errorf("unknown experiment %q (have e1..e12, e14, replay, all)", exp)
+		return fmt.Errorf("unknown experiment %q (have e1..e12, e14, e15, replay, all)", exp)
 	}
 	if traceOut != "" {
 		model := "bert"

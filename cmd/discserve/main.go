@@ -54,6 +54,8 @@ type options struct {
 	EngineWorkers int           // per-request engine parallelism (0 = auto)
 	MemBudget     int64         // pooled-memory budget in bytes (0 = off)
 	Watchdog      float64       // hung-request watchdog multiple (0 = off)
+	BatchMax      int           // dynamic-batching window cap (<=1 = off)
+	BatchLinger   time.Duration // dynamic-batching max linger (0 = default)
 	Quotas        string        // per-model quotas "model=n,model=n"
 	PriorityMix   string        // "I:B:E" weights for request priorities
 	HTTP          string        // observability listen address ("" = off)
@@ -89,6 +91,10 @@ func main() {
 		"pooled-buffer memory budget in bytes shared by all engines (0 = ungoverned)")
 	flag.Float64Var(&o.Watchdog, "watchdog", 0,
 		"cancel runs exceeding this multiple of their signature's historical latency (0 = off)")
+	flag.IntVar(&o.BatchMax, "max-batch", 0,
+		"coalesce up to this many rows of concurrent same-signature requests into one engine run (<=1 = off)")
+	flag.DurationVar(&o.BatchLinger, "max-linger", 0,
+		"longest a request may wait for batch-mates (0 = server default; needs -max-batch > 1)")
 	flag.StringVar(&o.Quotas, "quotas", "",
 		"per-model concurrency quotas, e.g. bert=4,mlp=2 (unlisted models unlimited)")
 	flag.StringVar(&o.PriorityMix, "priority-mix", "",
@@ -140,6 +146,7 @@ func run(o options, w io.Writer) error {
 	scfg := godisc.ServerConfig{
 		MaxConcurrent: o.Workers, QueueDepth: o.Queue, Workers: o.EngineWorkers,
 		MemoryBudgetBytes: o.MemBudget, WatchdogMultiple: o.Watchdog, ModelQuotas: quotas,
+		MaxBatchSize: o.BatchMax, MaxLinger: o.BatchLinger,
 	}
 	if o.HTTP != "" || o.TraceOut != "" {
 		tracer = godisc.NewTracer(o.TraceLimit)
@@ -213,7 +220,7 @@ func run(o options, w io.Writer) error {
 			ctx, cancel = context.WithTimeout(ctx, o.Deadline)
 			defer cancel()
 		}
-		_, err := srv.Infer(ctx, &godisc.InferRequest{
+		_, err := srv.Infer(ctx, &godisc.Request{
 			Model: m.Name, Inputs: inputs, Priority: mix.pick(i),
 		})
 		return err
@@ -266,6 +273,14 @@ func run(o options, w io.Writer) error {
 		if inj != nil {
 			fmt.Fprintf(w, "  faults fired: %d %v\n", inj.Total(), inj.Counts())
 		}
+	}
+	if o.BatchMax > 1 {
+		var avg float64
+		if st.BatchedRuns > 0 {
+			avg = float64(st.BatchedRequests) / float64(st.BatchedRuns)
+		}
+		fmt.Fprintf(w, "  batching: %d requests coalesced into %d runs (%.1f req/run)\n",
+			st.BatchedRequests, st.BatchedRuns, avg)
 	}
 	if st.Shed+st.QueueFullRejections+st.DeadlineInfeasible+st.QuotaRejections+
 		st.MemoryRejections+st.WatchdogCancels > 0 {

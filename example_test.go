@@ -21,7 +21,7 @@ func Example() {
 	}, 4, 4))
 	g.SetOutputs(g.Relu(g.MatMul(x, w)))
 
-	eng, err := godisc.Compile(g, godisc.Options{})
+	eng, err := godisc.CompileWith(g)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,7 +46,7 @@ func ExampleEngine_Signature() {
 	s := g.Ctx.NewDim("S")
 	x := g.Parameter("x", godisc.F32, godisc.Shape{b, s, g.Ctx.StaticDim(64)})
 	g.SetOutputs(g.Softmax(x))
-	eng, err := godisc.Compile(g, godisc.Options{})
+	eng, err := godisc.CompileWith(g)
 	if err != nil {
 		log.Fatal(err)
 	}

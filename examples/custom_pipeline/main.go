@@ -32,19 +32,19 @@ func buildAttention() *godisc.Graph {
 func main() {
 	configs := []struct {
 		name string
-		opts godisc.Options
+		opts []godisc.Option
 	}{
-		{"no fusion", godisc.Options{DisableFusion: true}},
-		{"no stitch", godisc.Options{DisableStitch: true}},
-		{"no specialization", godisc.Options{DisableSpecialization: true}},
-		{"full pipeline", godisc.Options{}},
+		{"no fusion", []godisc.Option{godisc.WithoutFusion()}},
+		{"no stitch", []godisc.Option{godisc.WithoutStitch()}},
+		{"no specialization", []godisc.Option{godisc.WithoutSpecialization()}},
+		{"full pipeline", nil},
 	}
 	shape := [][]int{{8, 96, 32}, {8, 96, 32}, {8, 96, 32}}
 
 	fmt.Println("config               kernels     µs/request")
 	fmt.Println("--------------------------------------------")
 	for _, c := range configs {
-		eng, err := godisc.Compile(buildAttention(), c.opts)
+		eng, err := godisc.CompileWith(buildAttention(), c.opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -56,8 +56,8 @@ func main() {
 	}
 
 	// Correctness holds in every configuration: compare two of them.
-	full, _ := godisc.Compile(buildAttention(), godisc.Options{})
-	none, _ := godisc.Compile(buildAttention(), godisc.Options{DisableFusion: true})
+	full, _ := godisc.CompileWith(buildAttention())
+	none, _ := godisc.CompileWith(buildAttention(), godisc.WithoutFusion())
 	q := godisc.RandN(1, 1, 2, 9, 32)
 	k := godisc.RandN(2, 1, 2, 9, 32)
 	v := godisc.RandN(3, 1, 2, 9, 32)

@@ -22,7 +22,7 @@ func main() {
 
 	// Compile once. The engine is shape-generic: its cache signature
 	// mentions the symbol d0, not a number.
-	eng, err := godisc.Compile(g, godisc.Options{Device: godisc.A10()})
+	eng, err := godisc.CompileWith(g, godisc.WithDevice(godisc.A10()))
 	if err != nil {
 		log.Fatal(err)
 	}

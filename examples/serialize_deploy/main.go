@@ -43,7 +43,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng, err := godisc.Compile(loaded, godisc.Options{Device: godisc.T4()})
+	eng, err := godisc.CompileWith(loaded, godisc.WithDevice(godisc.T4()))
 	if err != nil {
 		log.Fatal(err)
 	}

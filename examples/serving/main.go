@@ -49,7 +49,7 @@ func main() {
 			batch := 1 + i*3%17
 			in := godisc.RandN(uint64(i), 0.5, batch, 32)
 			resp, err := srv.Infer(context.Background(),
-				&godisc.InferRequest{Model: "classifier", Inputs: []*godisc.Tensor{in}})
+				&godisc.Request{Model: "classifier", Inputs: []*godisc.Tensor{in}})
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -48,7 +48,7 @@ func main() {
 	fmt.Printf("       H divisible by %d (vectorized variant provable)\n", ctx.Divisor(h))
 
 	g.SetOutputs(g.Relu(z))
-	eng, err := godisc.Compile(g, godisc.Options{})
+	eng, err := godisc.CompileWith(g)
 	if err != nil {
 		log.Fatal(err)
 	}

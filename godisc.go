@@ -28,8 +28,13 @@
 //
 //	srv := godisc.NewServer(godisc.ServerConfig{MaxConcurrent: 8})
 //	srv.Register("mlp", buildGraph)
-//	resp, err := srv.Infer(ctx, &godisc.InferRequest{Model: "mlp", Inputs: inputs})
+//	resp, err := srv.Infer(ctx, &godisc.Request{Model: "mlp", Inputs: inputs})
 //	defer srv.Shutdown(ctx)
+//
+// With ServerConfig.MaxBatchSize > 1 the server additionally coalesces
+// concurrent same-signature requests along the symbolic batch dimension
+// into one engine run (dynamic batching); outputs are bit-identical to
+// solo runs because batch-1 and batch-N execute the same compiled engine.
 //
 // See DESIGN.md for the architecture and EXPERIMENTS.md for the
 // paper-reproduction record.
@@ -319,8 +324,11 @@ func withGovernor(g *ral.Governor) Option {
 }
 
 // Options is the legacy bool-field configuration of Compile, kept so
-// existing callers do not break. New code should use CompileWith and the
-// functional options; see README for the migration table.
+// existing callers do not break.
+//
+// Deprecated: use CompileWith with functional options (WithDevice,
+// WithoutFusion, WithWorkers, ...); see README for the migration table.
+// The struct fields map one-to-one onto options via Options.options.
 type Options struct {
 	// Device selects the GPU model (default A10).
 	Device *Device
@@ -379,6 +387,8 @@ type Engine struct {
 
 // Compile runs the full BladeDISC pipeline on g with the legacy Options
 // struct. It is an adapter over CompileWith, kept for compatibility.
+//
+// Deprecated: use CompileWith with functional options.
 func Compile(g *Graph, o Options) (*Engine, error) {
 	return CompileWith(g, o.options()...)
 }
@@ -506,11 +516,25 @@ type (
 	// builders behind a signature-keyed engine cache, bounded admission
 	// and serving counters. Build one with NewServer.
 	Server = serve.Server
-	// ServerConfig bounds server concurrency and queueing.
+	// ServerConfig bounds server concurrency, queueing, and — when
+	// MaxBatchSize > 1 — dynamic request batching (see MaxLinger).
 	ServerConfig = serve.Config
+	// Request is one inference call: model name, input tensors, and an
+	// optional Priority and Deadline. The zero Priority is PriorityBatch,
+	// the batching class; PriorityInteractive requests never linger in a
+	// coalescing window.
+	Request = serve.Request
+	// Response carries outputs, the run profile, and cache metadata.
+	// Batched reports whether the request was coalesced with others into
+	// one engine run, and BatchSize the total stacked rows of that run.
+	Response = serve.Response
 	// InferRequest is one inference call (model name + input tensors).
+	//
+	// Deprecated: use Request; they are the same type.
 	InferRequest = serve.Request
 	// InferResponse carries outputs, the run profile, and cache metadata.
+	//
+	// Deprecated: use Response; they are the same type.
 	InferResponse = serve.Response
 	// ServerStats is a point-in-time snapshot of serving counters.
 	ServerStats = serve.Stats
@@ -521,7 +545,7 @@ type (
 
 // Request priorities: under overload the server sheds lower-priority
 // queued requests to admit higher-priority arrivals. The zero value of
-// InferRequest.Priority is PriorityBatch.
+// Request.Priority is PriorityBatch.
 const (
 	PriorityInteractive = serve.PriorityInteractive
 	PriorityBatch       = serve.PriorityBatch
@@ -541,7 +565,7 @@ const QueueDepthNone = serve.QueueDepthNone
 //
 //	srv := godisc.NewServer(godisc.ServerConfig{MaxConcurrent: 8}, godisc.WithDevice(godisc.T4()))
 //	srv.Register("bert", model.Build)
-//	resp, err := srv.Infer(ctx, &godisc.InferRequest{Model: "bert", Inputs: inputs})
+//	resp, err := srv.Infer(ctx, &godisc.Request{Model: "bert", Inputs: inputs})
 func NewServer(cfg ServerConfig, opts ...Option) *Server {
 	var srv *Server
 	srv = serve.New(cfg, func(g *graph.Graph) (serve.Engine, error) {

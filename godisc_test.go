@@ -20,7 +20,7 @@ func buildPublicMLP() *Graph {
 }
 
 func TestPublicCompileAndRun(t *testing.T) {
-	eng, err := Compile(buildPublicMLP(), Options{Device: A10()})
+	eng, err := CompileWith(buildPublicMLP(), WithDevice(A10()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,11 +45,11 @@ func TestPublicCompileAndRun(t *testing.T) {
 }
 
 func TestPublicOptionsAblation(t *testing.T) {
-	full, err := Compile(buildPublicMLP(), Options{})
+	full, err := CompileWith(buildPublicMLP())
 	if err != nil {
 		t.Fatal(err)
 	}
-	unfused, err := Compile(buildPublicMLP(), Options{DisableFusion: true})
+	unfused, err := CompileWith(buildPublicMLP(), WithoutFusion())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestPublicOptionsAblation(t *testing.T) {
 }
 
 func TestPublicSignatureAndSummary(t *testing.T) {
-	eng, err := Compile(buildPublicMLP(), Options{})
+	eng, err := CompileWith(buildPublicMLP())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestPublicSignatureAndSummary(t *testing.T) {
 }
 
 func TestPublicSimulate(t *testing.T) {
-	eng, err := Compile(buildPublicMLP(), Options{Device: T4()})
+	eng, err := CompileWith(buildPublicMLP(), WithDevice(T4()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestPublicModelZoo(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := Compile(m.Build(), Options{})
+	eng, err := CompileWith(m.Build())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,9 +124,9 @@ func TestPublicVerboseTrace(t *testing.T) {
 	x := g.Parameter("x", F32, Shape{b})
 	g.SetOutputs(g.Softmax(g.Add(x, Scalar0(g))))
 	var lines []string
-	_, err := Compile(g, Options{Verbose: func(f string, a ...any) {
+	_, err := CompileWith(g, WithVerbose(func(f string, a ...any) {
 		lines = append(lines, f)
-	}})
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,18 +143,18 @@ func TestCompileRejectsInvalidGraphs(t *testing.T) {
 	g := NewGraph("empty")
 	b := g.Ctx.NewDim("B")
 	g.Parameter("x", F32, Shape{b})
-	if _, err := Compile(g, Options{}); err == nil {
+	if _, err := CompileWith(g); err == nil {
 		t.Fatal("graph without outputs must fail to compile")
 	}
 }
 
 func TestCompileAllAblationKnobs(t *testing.T) {
-	opts := []Options{
-		{DisableStitch: true},
-		{DisableHorizontal: true},
-		{DisableFusion: true},
-		{DisableSpecialization: true},
-		{DisableStitch: true, DisableSpecialization: true},
+	opts := [][]Option{
+		{WithoutStitch()},
+		{WithoutHorizontalFusion()},
+		{WithoutFusion()},
+		{WithoutSpecialization()},
+		{WithoutStitch(), WithoutSpecialization()},
 	}
 	in := RandN(1, 0.5, 3, 8)
 	ref, err := Evaluate(buildPublicMLP(), []*Tensor{in})
@@ -162,7 +162,7 @@ func TestCompileAllAblationKnobs(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, o := range opts {
-		eng, err := Compile(buildPublicMLP(), o)
+		eng, err := CompileWith(buildPublicMLP(), o...)
 		if err != nil {
 			t.Fatalf("opts %d: %v", i, err)
 		}
@@ -172,37 +172,6 @@ func TestCompileAllAblationKnobs(t *testing.T) {
 		}
 		if err := AllClose(res.Outputs[0], ref[0], 1e-5, 1e-6); err != nil {
 			t.Fatalf("opts %d: %v", i, err)
-		}
-	}
-}
-
-// TestFunctionalOptionsMatchLegacyStruct: every legacy Options field has a
-// functional equivalent producing the same compiled plan.
-func TestFunctionalOptionsMatchLegacyStruct(t *testing.T) {
-	cases := []struct {
-		name   string
-		legacy Options
-		opts   []Option
-	}{
-		{"default", Options{}, nil},
-		{"device", Options{Device: T4()}, []Option{WithDevice(T4())}},
-		{"no stitch", Options{DisableStitch: true}, []Option{WithoutStitch()}},
-		{"no horizontal", Options{DisableHorizontal: true}, []Option{WithoutHorizontalFusion()}},
-		{"no fusion", Options{DisableFusion: true}, []Option{WithoutFusion()}},
-		{"no specialization", Options{DisableSpecialization: true}, []Option{WithoutSpecialization()}},
-	}
-	for _, tc := range cases {
-		a, err := Compile(buildPublicMLP(), tc.legacy)
-		if err != nil {
-			t.Fatalf("%s legacy: %v", tc.name, err)
-		}
-		b, err := CompileWith(buildPublicMLP(), tc.opts...)
-		if err != nil {
-			t.Fatalf("%s functional: %v", tc.name, err)
-		}
-		if a.Kernels() != b.Kernels() || a.PlanSummary() != b.PlanSummary() {
-			t.Fatalf("%s: legacy and functional options diverge:\n%s\nvs\n%s",
-				tc.name, a.PlanSummary(), b.PlanSummary())
 		}
 	}
 }
@@ -232,7 +201,7 @@ func TestSentinelErrorsPublic(t *testing.T) {
 	g := NewGraph("bad")
 	g.Parameter("x", F32, Shape{g.Ctx.NewDim("B")})
 	// No outputs: the pipeline rejects the graph.
-	if _, err := Compile(g, Options{}); !errors.Is(err, ErrCompileFailed) {
+	if _, err := CompileWith(g); !errors.Is(err, ErrCompileFailed) {
 		t.Fatalf("compile err = %v, want ErrCompileFailed", err)
 	}
 
@@ -263,7 +232,7 @@ func TestPublicServer(t *testing.T) {
 			defer wg.Done()
 			batch := 1 + i%5
 			in := RandN(uint64(100+batch), 1, batch, 8)
-			resp, err := srv.Infer(context.Background(), &InferRequest{Model: "mlp", Inputs: []*Tensor{in}})
+			resp, err := srv.Infer(context.Background(), &Request{Model: "mlp", Inputs: []*Tensor{in}})
 			if err != nil {
 				errc <- err
 				return
@@ -288,7 +257,7 @@ func TestPublicServer(t *testing.T) {
 		t.Fatalf("stats: %s", st)
 	}
 	srv.Close()
-	if _, err := srv.Infer(context.Background(), &InferRequest{Model: "mlp"}); !errors.Is(err, ErrServerClosed) {
+	if _, err := srv.Infer(context.Background(), &Request{Model: "mlp"}); !errors.Is(err, ErrServerClosed) {
 		t.Fatalf("after close: %v", err)
 	}
 }

@@ -343,3 +343,41 @@ func TestScaleSweepTrends(t *testing.T) {
 		}
 	}
 }
+
+// TestDynamicBatchingAcceptance pins the E15 acceptance criteria: on the
+// transformer/MLP suite at saturation, dynamic batching delivers at least
+// 3x modeled throughput at equal-or-better p99, the real server pair
+// produced zero output diff (bit-identity), and the batcher actually
+// coalesced work (a batcher that never engages would pass the identity
+// check vacuously).
+func TestDynamicBatchingAcceptance(t *testing.T) {
+	const window, clients = 8, 32
+	rows, err := DynamicBatching(QuickConfig(), window, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("suite rows = %d, want bert+mlp", len(rows))
+	}
+	var buf bytes.Buffer
+	PrintDynamicBatching(&buf, QuickConfig(), clients, rows)
+	if !strings.Contains(buf.String(), "bert") {
+		t.Fatal("table missing bert")
+	}
+	for _, r := range rows {
+		if r.Throughput < 3 {
+			t.Errorf("%s: modeled throughput %.2fx below the 3x bar", r.Model, r.Throughput)
+		}
+		if r.BatchedP99Us > r.SoloP99Us {
+			t.Errorf("%s: batched p99 %.0fus worse than solo %.0fus",
+				r.Model, r.BatchedP99Us, r.SoloP99Us)
+		}
+		if !r.BitIdentical {
+			t.Errorf("%s: batched outputs diverged from solo runs", r.Model)
+		}
+		if r.BatchedRuns == 0 || r.BatchedRequests < int64(window) {
+			t.Errorf("%s: batching never engaged (runs=%d requests=%d)",
+				r.Model, r.BatchedRuns, r.BatchedRequests)
+		}
+	}
+}

@@ -105,6 +105,18 @@ func (e *estimator) estimate(queueAhead, slots int) (time.Duration, bool) {
 	return time.Duration(total), true
 }
 
+// execEstimate returns the moving single-run execution estimate, or 0
+// until enough samples have accumulated — a cold estimator never stops a
+// request from lingering in a batch window.
+func (e *estimator) execEstimate() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.n < estMinSamples {
+		return 0
+	}
+	return time.Duration(e.ewma)
+}
+
 // watchdog tracks per-(model@signature) engine wall latency and derives
 // the hung-run cancellation limit: Multiple × the signature's moving
 // average, floored so fast signatures aren't cancelled on scheduler
@@ -245,13 +257,28 @@ func newAdmitter(cfg Config, stats *collector) *admitter {
 // Rejections are pre-counted into the collector by reason; context errors
 // are the caller's to classify.
 func (a *admitter) admit(ctx context.Context, model string, prio Priority) (func(), error) {
+	return a.admitWith(ctx, model, prio, true)
+}
+
+// admitQuiet is admission for the batch runner: identical slot/queue/quota
+// policy, but this caller's own rejections are not counted — a rejected
+// batch hands its members back to the solo path, where each re-enters
+// admission and is counted exactly once, as a real request. (Victims shed
+// FOR the batch are still counted: they are real requests.)
+func (a *admitter) admitQuiet(ctx context.Context, model string, prio Priority) (func(), error) {
+	return a.admitWith(ctx, model, prio, false)
+}
+
+func (a *admitter) admitWith(ctx context.Context, model string, prio Priority, count bool) (func(), error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	a.mu.Lock()
 	if q, ok := a.quotas[model]; ok && a.occupancy[model] >= q {
 		a.mu.Unlock()
-		a.stats.quotaRejected()
+		if count {
+			a.stats.quotaRejected()
+		}
 		return nil, a.errQuota[model]
 	}
 	if a.slots > 0 {
@@ -266,7 +293,9 @@ func (a *admitter) admit(ctx context.Context, model string, prio Priority) (func
 	if dl, ok := ctx.Deadline(); ok {
 		if eta, have := a.est.estimate(len(a.waiters), a.maxSlots); have && time.Until(dl) < eta {
 			a.mu.Unlock()
-			a.stats.infeasibleRejected()
+			if count {
+				a.stats.infeasibleRejected()
+			}
 			return nil, a.errInfeasible
 		}
 	}
@@ -274,7 +303,9 @@ func (a *admitter) admit(ctx context.Context, model string, prio Priority) (func
 		v := a.victimLocked(prio)
 		if v == nil {
 			a.mu.Unlock()
-			a.stats.queueFullRejected()
+			if count {
+				a.stats.queueFullRejected()
+			}
 			return nil, a.errQueueFull
 		}
 		a.removeLocked(v)

@@ -70,6 +70,22 @@ type Config struct {
 	// unlimited (within MaxConcurrent/QueueDepth).
 	ModelQuotas map[string]int
 
+	// MaxBatchSize enables admission-side dynamic batching when > 1: up to
+	// MaxBatchSize total rows of concurrently queued requests to the same
+	// model — agreeing on dtype and every non-batch dimension — are
+	// stacked along the symbolic batch dimension and served by ONE engine
+	// run, then scattered back as zero-copy row views. The zero value (or
+	// any value ≤ 1) disables batching entirely. Only models whose graphs
+	// are provably row-independent coalesce (see batch.go); everything
+	// else is served solo, unchanged.
+	MaxBatchSize int
+	// MaxLinger bounds how long the first request of a batch waits for
+	// company before the window flushes (default 2ms when batching is
+	// enabled). A request with a deadline never lingers past the point the
+	// deadline becomes infeasible, and Interactive requests never linger
+	// at all.
+	MaxLinger time.Duration
+
 	// MemoryBudgetBytes, when > 0, caps the total pooled-buffer footprint
 	// of concurrently executing engine runs: the server builds a
 	// ral.Governor (see Governor()) that compile functions thread into
@@ -163,6 +179,11 @@ type Response struct {
 	// Retries is how many times this request re-attempted its engine
 	// after transient failures.
 	Retries int
+	// Batched reports that this response came from a coalesced engine run
+	// shared with other requests; BatchSize is the total stacked batch
+	// extent (rows) of that run. Both stay zero on the solo path.
+	Batched   bool
+	BatchSize int
 }
 
 // Server is a concurrency-safe inference frontend over compiled engines.
@@ -195,6 +216,9 @@ type Server struct {
 	// gov is the memory governor engines reserve against (nil when
 	// MemoryBudgetBytes is 0).
 	gov *ral.Governor
+	// batch owns the dynamic-batching coalescing windows (nil when
+	// MaxBatchSize ≤ 1).
+	batch *batcher
 
 	stats *collector
 }
@@ -207,6 +231,10 @@ type modelEntry struct {
 	sigOnce sync.Once
 	sig     string
 	sigErr  error
+	// batchOnce/binfo cache the batchability analysis (batch.go), derived
+	// from one throwaway graph like the signature.
+	batchOnce sync.Once
+	binfo     batchInfo
 }
 
 // signature builds one throwaway graph to derive the symbolic signature
@@ -260,6 +288,9 @@ func New(cfg Config, compile CompileFunc) *Server {
 	if cfg.Workers <= 0 {
 		cfg.Workers = exec.DefaultWorkers()
 	}
+	if cfg.MaxBatchSize > 1 && cfg.MaxLinger <= 0 {
+		cfg.MaxLinger = lingerDefault
+	}
 	var pool *exec.WorkerPool
 	if cfg.Workers > 1 {
 		pool = exec.NewWorkerPool(cfg.Workers)
@@ -281,6 +312,9 @@ func New(cfg Config, compile CompileFunc) *Server {
 		stats:       stats,
 	}
 	s.gov.Observe(cfg.Metrics)
+	if cfg.MaxBatchSize > 1 {
+		s.batch = newBatcher(s)
+	}
 	return s
 }
 
@@ -449,6 +483,19 @@ func (s *Server) Infer(ctx context.Context, req *Request) (resp *Response, retEr
 	if err != nil {
 		s.stats.failed()
 		return nil, err
+	}
+
+	// Dynamic batching: non-Interactive requests to a provably
+	// row-independent model may coalesce with concurrent same-layout
+	// requests into one engine run (batch.go). handled=true means the
+	// batch path resolved the request (success, or context expiry while
+	// lingering); otherwise it falls through to the solo path below —
+	// including every batch-side failure, so retries, breaker accounting
+	// and fallback happen exactly once per request, here.
+	if s.batch != nil && req.Priority < PriorityInteractive {
+		if resp, berr, handled := s.batch.join(ctx, sp, m, req); handled {
+			return resp, berr
+		}
 	}
 
 	queueStart := time.Now()

@@ -54,6 +54,12 @@ type Stats struct {
 	FallbackRuns, Retries, KernelPanics int64
 	BreakerOpens, BreakerShortCircuits  int64
 
+	// Dynamic batching. BatchedRuns counts coalesced engine runs (two or
+	// more members served by one run); BatchedRequests the requests those
+	// runs served (they also count in Completed). Requests the batcher
+	// handed back to the solo path appear only in the ordinary counters.
+	BatchedRuns, BatchedRequests int64
+
 	// QueueDepth is the current number of requests waiting for an
 	// execution slot; PeakQueueDepth its high-water mark. InFlight and
 	// PeakInFlight track executing requests the same way.
@@ -80,6 +86,9 @@ func (st Stats) String() string {
 	if st.FallbackRuns+st.Retries+st.KernelPanics+st.BreakerOpens > 0 {
 		s += fmt.Sprintf(" | fallback=%d retries=%d panics=%d breaker=%d opens/%d shorted",
 			st.FallbackRuns, st.Retries, st.KernelPanics, st.BreakerOpens, st.BreakerShortCircuits)
+	}
+	if st.BatchedRuns > 0 {
+		s += fmt.Sprintf(" | batches=%d batched=%d", st.BatchedRuns, st.BatchedRequests)
 	}
 	if st.Shed+st.QueueFullRejections+st.DeadlineInfeasible+st.QuotaRejections+
 		st.MemoryRejections+st.WatchdogCancels > 0 {
@@ -110,7 +119,8 @@ type collector struct {
 	cBreakerOpens, cBreakerShorted                       *obs.Counter
 	cShed, cQueueFull, cInfeasible, cQuota, cMemory      *obs.Counter
 	cWatchdog                                            *obs.Counter
-	hLatency                                             *obs.Histogram
+	cBatchOK, cBatchSolo, cBatchErr, cBatchedReqs        *obs.Counter
+	hLatency, hBatchSize, hBatchLinger                   *obs.Histogram
 
 	mu                     sync.Mutex
 	queueDepth, peakQueue  int
@@ -146,7 +156,13 @@ func newCollector(reg *obs.Registry) *collector {
 		cQuota:          reg.Counter("godisc_admission_rejects_total", obs.L("reason", "quota")),
 		cMemory:         reg.Counter("godisc_admission_rejects_total", obs.L("reason", "memory-budget")),
 		cWatchdog:       reg.Counter("godisc_watchdog_cancels_total"),
+		cBatchOK:        reg.Counter("godisc_batches_total", obs.L("outcome", "ok")),
+		cBatchSolo:      reg.Counter("godisc_batches_total", obs.L("outcome", "solo")),
+		cBatchErr:       reg.Counter("godisc_batches_total", obs.L("outcome", "error")),
+		cBatchedReqs:    reg.Counter("godisc_batched_requests_total"),
 		hLatency:        reg.Histogram("godisc_latency_sim_ns", obs.LatencyNsBuckets()),
+		hBatchSize:      reg.Histogram("godisc_batch_size", obs.ExpBuckets(1, 2, 10)),
+		hBatchLinger:    reg.Histogram("godisc_batch_linger_ns", obs.LatencyNsBuckets()),
 		samples:         make([]float64, 0, 256),
 	}
 	reg.GaugeFunc("godisc_queue_depth", func() float64 {
@@ -182,6 +198,30 @@ func (c *collector) infeasibleRejected() { c.cRejected.Inc(); c.cInfeasible.Inc(
 func (c *collector) quotaRejected()      { c.cRejected.Inc(); c.cQuota.Inc() }
 func (c *collector) memoryRejected()     { c.cRejected.Inc(); c.cMemory.Inc() }
 func (c *collector) watchdogFired()      { c.cWatchdog.Inc() }
+
+// batchRun records one flushed coalescing window by outcome: "ok" (one
+// engine run served every member), "solo" (nothing coalesced, or the
+// members were handed back before the run), "error" (the batched run
+// failed and the members were handed back). The batch-size histogram
+// observes the stacked row extent of real coalesced runs only.
+func (c *collector) batchRun(outcome string, rows int) {
+	switch outcome {
+	case "ok":
+		c.cBatchOK.Inc()
+		c.hBatchSize.Observe(float64(rows))
+	case "error":
+		c.cBatchErr.Inc()
+	default:
+		c.cBatchSolo.Inc()
+	}
+}
+
+// batchedRequest records one request served through a coalesced run, plus
+// the time it spent lingering in the window (join → flush).
+func (c *collector) batchedRequest(lingerNs float64) {
+	c.cBatchedReqs.Inc()
+	c.hBatchLinger.Observe(lingerNs)
+}
 
 // fallback records one request completed through the interpreter fallback;
 // it contributes to Completed and the latency window like a normal
@@ -257,6 +297,7 @@ func (c *collector) snapshot() Stats {
 		Shed: c.cShed.Value(), QueueFullRejections: c.cQueueFull.Value(),
 		DeadlineInfeasible: c.cInfeasible.Value(), QuotaRejections: c.cQuota.Value(),
 		MemoryRejections: c.cMemory.Value(), WatchdogCancels: c.cWatchdog.Value(),
+		BatchedRuns: c.cBatchOK.Value(), BatchedRequests: c.cBatchedReqs.Value(),
 		QueueDepth: c.queueDepth, PeakQueueDepth: c.peakQueue,
 		InFlight: c.inFlight, PeakInFlight: c.peakInFlight,
 		TotalSimNs: c.totalSimNs,

@@ -1,0 +1,78 @@
+package tensor
+
+import "fmt"
+
+// StackDim0 concatenates tensors along dimension 0. All inputs must agree on
+// dtype and on every dimension except the first. Because storage is row-major
+// and contiguous, dim-0 concatenation is a sequence of flat copies with no
+// element-wise addressing. When a single tensor is passed it is returned
+// unchanged, with no copy at all — the common case for a batch of one.
+func StackDim0(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: StackDim0 of nothing")
+	}
+	if len(ts) == 1 {
+		return ts[0]
+	}
+	first := ts[0]
+	if first.Rank() < 1 {
+		panic("tensor: StackDim0 needs rank >= 1")
+	}
+	rowLen := Numel(first.shape[1:])
+	total := 0
+	for _, t := range ts {
+		if t.dtype != first.dtype || t.Rank() != first.Rank() {
+			panic("tensor: StackDim0 rank/dtype mismatch")
+		}
+		for i := 1; i < first.Rank(); i++ {
+			if t.shape[i] != first.shape[i] {
+				panic(fmt.Sprintf("tensor: StackDim0 shape mismatch %v vs %v", t.shape, first.shape))
+			}
+		}
+		total += t.shape[0]
+	}
+	outShape := append([]int(nil), first.shape...)
+	outShape[0] = total
+	out := New(first.dtype, outShape...)
+	off := 0
+	for _, t := range ts {
+		n := t.shape[0] * rowLen
+		switch first.dtype {
+		case F32:
+			copy(out.f32[off:off+n], t.f32[:n])
+		case I32:
+			copy(out.i32[off:off+n], t.i32[:n])
+		case Bool:
+			copy(out.b[off:off+n], t.b[:n])
+		}
+		off += n
+	}
+	return out
+}
+
+// ViewDim0 returns a zero-copy view of rows [start, start+rows) along
+// dimension 0, sharing backing storage with t. Row-major layout makes a dim-0
+// row range a contiguous sub-slice, so no elements are moved. Mutating the
+// view mutates t.
+func ViewDim0(t *Tensor, start, rows int) *Tensor {
+	if t.Rank() < 1 {
+		panic("tensor: ViewDim0 needs rank >= 1")
+	}
+	if start < 0 || rows < 0 || start+rows > t.shape[0] {
+		panic(fmt.Sprintf("tensor: ViewDim0 [%d:%d) out of range for dim0=%d", start, start+rows, t.shape[0]))
+	}
+	rowLen := Numel(t.shape[1:])
+	outShape := append([]int(nil), t.shape...)
+	outShape[0] = rows
+	v := &Tensor{dtype: t.dtype, shape: outShape}
+	lo, hi := start*rowLen, (start+rows)*rowLen
+	switch t.dtype {
+	case F32:
+		v.f32 = t.f32[lo:hi:hi]
+	case I32:
+		v.i32 = t.i32[lo:hi:hi]
+	case Bool:
+		v.b = t.b[lo:hi:hi]
+	}
+	return v
+}

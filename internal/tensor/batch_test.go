@@ -1,0 +1,95 @@
+package tensor
+
+import "testing"
+
+func TestStackDim0(t *testing.T) {
+	a := FromF32([]float32{1, 2, 3, 4}, 2, 2)
+	b := FromF32([]float32{5, 6}, 1, 2)
+	c := FromF32([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	s := StackDim0(a, b, c)
+	if !ShapeEq(s.Shape(), []int{6, 2}) {
+		t.Fatalf("shape %v, want [6 2]", s.Shape())
+	}
+	want := []float32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	for i, v := range s.F32() {
+		if v != want[i] {
+			t.Fatalf("element %d: %v != %v", i, v, want[i])
+		}
+	}
+}
+
+func TestStackDim0SingleIsZeroCopy(t *testing.T) {
+	a := FromF32([]float32{1, 2, 3, 4}, 2, 2)
+	if s := StackDim0(a); s != a {
+		t.Fatal("StackDim0 of one tensor must return it unchanged")
+	}
+}
+
+func TestStackDim0I32AndBool(t *testing.T) {
+	s := StackDim0(FromI32([]int32{1, 2}, 1, 2), FromI32([]int32{3, 4}, 1, 2))
+	if got := s.I32(); got[0] != 1 || got[3] != 4 {
+		t.Fatalf("i32 stack = %v", got)
+	}
+	sb := StackDim0(FromBool([]bool{true}, 1, 1), FromBool([]bool{false}, 1, 1))
+	if got := sb.Bools(); !got[0] || got[1] {
+		t.Fatalf("bool stack = %v", got)
+	}
+}
+
+func TestStackDim0Panics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":          func() { StackDim0() },
+		"shape-mismatch": func() { StackDim0(Zeros(2, 3), Zeros(2, 4)) },
+		"dtype-mismatch": func() { StackDim0(Zeros(1, 2), FromI32([]int32{1, 2}, 1, 2)) },
+		"rank0":          func() { StackDim0(Scalar(1), Scalar(2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestViewDim0SharesStorage(t *testing.T) {
+	base := FromF32([]float32{0, 1, 2, 3, 4, 5}, 3, 2)
+	v := ViewDim0(base, 1, 2)
+	if !ShapeEq(v.Shape(), []int{2, 2}) {
+		t.Fatalf("view shape %v, want [2 2]", v.Shape())
+	}
+	if v.F32()[0] != 2 || v.F32()[3] != 5 {
+		t.Fatalf("view data %v", v.F32())
+	}
+	v.F32()[0] = 42
+	if base.F32()[2] != 42 {
+		t.Fatal("view does not share backing storage")
+	}
+}
+
+func TestViewDim0Bounds(t *testing.T) {
+	base := Zeros(3, 2)
+	for name, fn := range map[string]func(){
+		"past-end": func() { ViewDim0(base, 2, 2) },
+		"negative": func() { ViewDim0(base, -1, 1) },
+		"rank0":    func() { ViewDim0(Scalar(1), 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	// Empty and full views are legal.
+	if v := ViewDim0(base, 3, 0); v.Dim(0) != 0 {
+		t.Fatal("empty tail view")
+	}
+	if v := ViewDim0(base, 0, 3); v.Numel() != 6 {
+		t.Fatal("full view")
+	}
+}
