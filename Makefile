@@ -20,7 +20,8 @@ test:
 # `make soak` runs the full 30s version.
 race:
 	go test -race ./internal/serve ./internal/exec ./internal/ral ./internal/workload \
-		./internal/obs ./internal/opt ./internal/fusion ./internal/faultinject .
+		./internal/obs ./internal/opt ./internal/fusion ./internal/faultinject \
+		./internal/enginecache .
 
 # cover enforces per-package coverage floors on the serving/execution/
 # observability core. Floors sit a few points under the measured value at
@@ -29,7 +30,7 @@ race:
 # make a build pass.
 cover:
 	@fail=0; \
-	for entry in internal/serve:85 internal/exec:77 internal/obs:92; do \
+	for entry in internal/serve:85 internal/exec:77 internal/obs:92 internal/enginecache:72; do \
 		pkg=$${entry%%:*}; floor=$${entry##*:}; \
 		pct=$$(go test -cover ./$$pkg | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
 		if [ -z "$$pct" ]; then echo "cover: $$pkg: no coverage reported"; fail=1; continue; fi; \
@@ -38,19 +39,21 @@ cover:
 		else echo "cover: FAIL $$pkg $$pct% below floor $$floor%"; fail=1; fi; \
 	done; exit $$fail
 
-# fuzz runs the native fuzz targets (trace-file and fault-spec parsers)
-# for FUZZTIME each. Crashers land in testdata/fuzz/ for triage.
+# fuzz runs the native fuzz targets (trace-file and fault-spec parsers,
+# and the engine-cache entry decoder) for FUZZTIME each. Crashers land in
+# testdata/fuzz/ for triage.
 FUZZTIME ?= 30s
 fuzz:
 	go test -fuzz=FuzzTraceSpec -fuzztime=$(FUZZTIME) ./internal/workload
 	go test -fuzz=FuzzFaultSpec -fuzztime=$(FUZZTIME) ./internal/faultinject
+	go test -fuzz=FuzzEngineCacheDecode -fuzztime=$(FUZZTIME) ./internal/enginecache
 
 # chaos replays the serve/exec suites under -race with fault injection
 # armed at a fresh random seed. The seed is printed so a failing run
 # reproduces with: GODISC_FAULT_SEED=<seed> make chaos
 chaos:
 	@seed=$${GODISC_FAULT_SEED:-$$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')}; \
-	spec=$${GODISC_FAULTS:-"compile:transient:0.25,kernel-launch:panic:0.3,alloc:transient:0.25"}; \
+	spec=$${GODISC_FAULTS:-"compile:transient:0.25,kernel-launch:panic:0.3,alloc:transient:0.25,cache-read:transient:0.4,cache-write:transient:0.4"}; \
 	echo "chaos: GODISC_FAULTS=$$spec GODISC_FAULT_SEED=$$seed"; \
 	GODISC_FAULTS="$$spec" GODISC_FAULT_SEED="$$seed" \
 		go test -race -count=1 ./internal/serve ./internal/exec
@@ -65,15 +68,15 @@ soak:
 		-run TestSoakGovernedOverload ./internal/serve
 
 # bench runs every experiment benchmark once and checks the parsed
-# results into BENCH_PR6.json (per-experiment custom metrics, including
-# the E14 speedup curve and the E15 dynamic-batching saturation run).
+# results into BENCH_PR7.json (per-experiment custom metrics, including
+# the E15 dynamic-batching saturation run and the E16 cold-start table).
 # -benchtime=1x because each benchmark iteration is itself a whole
 # experiment replay.
 bench:
 	go test -run '^$$' -bench=. -benchtime=1x -benchmem . | tee bench.out
-	go run ./cmd/benchjson -in bench.out -out BENCH_PR6.json
+	go run ./cmd/benchjson -in bench.out -out BENCH_PR7.json
 	@rm -f bench.out
-	@echo "wrote BENCH_PR6.json"
+	@echo "wrote BENCH_PR7.json"
 
 # bench-compare prints deltas between the two most recent checked-in
 # BENCH_*.json files (or against itself when only one exists). It is

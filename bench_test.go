@@ -286,6 +286,32 @@ func BenchmarkE15DynamicBatching(b *testing.B) {
 	b.ReportMetric(identical, "bit_identical")
 }
 
+// BenchmarkE16ColdStart regenerates the cold-start table: time to first
+// response cold vs warm restart (persistent engine cache) and sync vs
+// async compile, plus the warm run's zero-compile and bit-identity proofs.
+func BenchmarkE16ColdStart(b *testing.B) {
+	var rows []bench.ColdStartRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.ColdStart(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	identical := 1.0
+	var warmCompiles float64
+	for _, r := range rows {
+		if !r.BitIdentical {
+			identical = 0
+		}
+		warmCompiles += float64(r.WarmCompiles)
+		b.ReportMetric(r.ColdSyncMs/r.WarmSyncMs, "warm_speedup_"+r.Model)
+		b.ReportMetric(r.ColdSyncMs/r.ColdAsyncMs, "async_ttfr_gain_"+r.Model)
+	}
+	b.ReportMetric(warmCompiles, "warm_compilations")
+	b.ReportMetric(identical, "bit_identical")
+}
+
 // BenchmarkE12ScaleSweep regenerates the model-width sweep.
 func BenchmarkE12ScaleSweep(b *testing.B) {
 	cfg := benchCfg()

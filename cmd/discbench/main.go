@@ -18,7 +18,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: e1..e12, e14, e15, replay, all")
+		exp      = flag.String("exp", "all", "experiment id: e1..e12, e14..e16, replay, all")
 		dev      = flag.String("device", "A10", "device model: A10 or T4")
 		requests = flag.Int("requests", 200, "requests per trace")
 		modelArg = flag.String("models", "", "comma-separated model subset (default all)")
@@ -237,8 +237,18 @@ func run(exp string, cfg bench.Config, jsonOut, traceIn, workers, traceOut strin
 		bench.PrintDynamicBatching(w, cfg, clients, rows)
 		fmt.Fprintln(w)
 	}
+	if want("e16") {
+		any = true
+		rows, err := bench.ColdStart(cfg)
+		if err != nil {
+			return err
+		}
+		results["e16"] = rows
+		bench.PrintColdStart(w, cfg, rows)
+		fmt.Fprintln(w)
+	}
 	if !any {
-		return fmt.Errorf("unknown experiment %q (have e1..e12, e14, e15, replay, all)", exp)
+		return fmt.Errorf("unknown experiment %q (have e1..e12, e14..e16, replay, all)", exp)
 	}
 	if traceOut != "" {
 		model := "bert"

@@ -13,6 +13,15 @@
 // circuit-breaker activity.
 //
 //	discserve -faults "kernel-launch:panic:0.2,alloc:transient:0.2" -fault-seed 7
+//
+// With -cache-dir the server persists every compiled engine and reloads
+// it on the next run — a warm restart serves entirely from disk, zero
+// compilations — and the startup report counts loaded / corrupt /
+// fingerprint-mismatched entries. -async-compile removes the first-seen
+// compile stall: the request is answered by the interpreter immediately
+// while the engine builds in the background.
+//
+//	discserve -cache-dir /var/cache/godisc -async-compile
 package main
 
 import (
@@ -58,6 +67,8 @@ type options struct {
 	BatchLinger   time.Duration // dynamic-batching max linger (0 = default)
 	Quotas        string        // per-model quotas "model=n,model=n"
 	PriorityMix   string        // "I:B:E" weights for request priorities
+	CacheDir      string        // persistent engine cache dir ("" = off)
+	AsyncCompile  bool          // serve first-seen signatures via fallback while compiling
 	HTTP          string        // observability listen address ("" = off)
 	TraceOut      string        // write Chrome trace_event file here ("" = off)
 	TraceLimit    int           // request-trace ring capacity (0 = default)
@@ -99,6 +110,10 @@ func main() {
 		"per-model concurrency quotas, e.g. bert=4,mlp=2 (unlisted models unlimited)")
 	flag.StringVar(&o.PriorityMix, "priority-mix", "",
 		"interactive:batch:best-effort request weights, e.g. 1:2:1 (empty = all batch)")
+	flag.StringVar(&o.CacheDir, "cache-dir", "",
+		"persist compiled engines here and reload them on restart (empty = off)")
+	flag.BoolVar(&o.AsyncCompile, "async-compile", false,
+		"serve first-seen signatures via the interpreter while the engine compiles in the background")
 	flag.StringVar(&o.HTTP, "http", "",
 		"serve /metrics (Prometheus text) and /debug/trace on this address (e.g. :9090; empty = off)")
 	flag.StringVar(&o.TraceOut, "trace-out", "",
@@ -147,6 +162,7 @@ func run(o options, w io.Writer) error {
 		MaxConcurrent: o.Workers, QueueDepth: o.Queue, Workers: o.EngineWorkers,
 		MemoryBudgetBytes: o.MemBudget, WatchdogMultiple: o.Watchdog, ModelQuotas: quotas,
 		MaxBatchSize: o.BatchMax, MaxLinger: o.BatchLinger,
+		CacheDir: o.CacheDir, AsyncCompile: o.AsyncCompile,
 	}
 	if o.HTTP != "" || o.TraceOut != "" {
 		tracer = godisc.NewTracer(o.TraceLimit)
@@ -160,6 +176,20 @@ func run(o options, w io.Writer) error {
 		godisc.WithDevice(dev),
 		godisc.WithFaults(inj),
 	)
+	if ec := srv.EngineCache(); ec != nil {
+		// Sweep the cache before taking traffic so the report reflects
+		// what will actually serve: damaged or stale entries are
+		// quarantined now rather than at first request.
+		rep, err := ec.Scan()
+		if err != nil {
+			fmt.Fprintf(w, "engine cache %s: unscannable (%v), serving without persistence\n", ec.Dir(), err)
+		} else {
+			fmt.Fprintf(w, "engine cache %s: %d engines loaded, %d corrupt quarantined, %d fingerprint-mismatch quarantined\n",
+				ec.Dir(), rep.Valid, rep.Corrupt, rep.Mismatch)
+		}
+	} else if o.CacheDir != "" {
+		fmt.Fprintf(w, "engine cache %s: unopenable, serving without persistence\n", o.CacheDir)
+	}
 
 	var obsLn net.Listener
 	if o.HTTP != "" {
@@ -281,6 +311,10 @@ func run(o options, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "  batching: %d requests coalesced into %d runs (%.1f req/run)\n",
 			st.BatchedRequests, st.BatchedRuns, avg)
+	}
+	if st.EngineLoads+st.EnginePersists+st.EngineCorrupt+st.EngineMismatch > 0 {
+		fmt.Fprintf(w, "  engine cache: %d loaded from disk, %d persisted, %d corrupt, %d fingerprint-mismatch; %d fresh compilations\n",
+			st.EngineLoads, st.EnginePersists, st.EngineCorrupt, st.EngineMismatch, st.Compilations)
 	}
 	if st.Shed+st.QueueFullRejections+st.DeadlineInfeasible+st.QuotaRejections+
 		st.MemoryRejections+st.WatchdogCancels > 0 {

@@ -48,6 +48,7 @@ import (
 	"godisc/internal/codegen"
 	"godisc/internal/device"
 	"godisc/internal/discerr"
+	"godisc/internal/enginecache"
 	"godisc/internal/exec"
 	"godisc/internal/faultinject"
 	"godisc/internal/fusion"
@@ -191,6 +192,22 @@ type compileConfig struct {
 	hook                  obs.Hook
 	metrics               *Metrics
 	governor              *ral.Governor
+	cacheDir              string
+}
+
+// fingerprint names this compile configuration for the persistent engine
+// cache: every knob that changes generated code participates (the engine
+// image format version, the device model, and the fusion/codegen
+// ablations), so entries from any other configuration are quarantined
+// instead of served.
+func (c *compileConfig) fingerprint() string {
+	dev := c.device
+	if dev == nil {
+		dev = device.A10()
+	}
+	return fmt.Sprintf("img%d|dev=%s|stitch=%t|horiz=%t|fusion=%t|spec=%t",
+		exec.ImageVersion, dev.Name, !c.disableStitch, !c.disableHorizontal,
+		!c.disableFusion, !c.disableSpecialization)
 }
 
 // WithDevice selects the GPU device model (default A10).
@@ -321,6 +338,24 @@ func WithMemoryBudget(bytes int64) Option {
 // engine, so all engines of one server draw on one budget.
 func withGovernor(g *ral.Governor) Option {
 	return func(c *compileConfig) { c.governor = g }
+}
+
+// EngineCache is a crash-safe persistent cache of compiled engines. A
+// server opened on a cache directory persists every engine it compiles
+// and reloads them after a restart without recompiling; entries that are
+// corrupt or were built by a different compiler configuration are
+// quarantined and rebuilt, never served. See ServerConfig.CacheDir and
+// WithEngineCache.
+type EngineCache = enginecache.Cache
+
+// WithEngineCache persists compiled engines under dir and reloads them on
+// restart (equivalent to setting ServerConfig.CacheDir; the config field
+// wins when both are given). The cache is keyed by model, shape signature
+// and a fingerprint of the compile configuration — changing the device or
+// an ablation quarantines stale entries instead of serving them. Only
+// NewServer honors this option; Compile/CompileWith ignore it.
+func WithEngineCache(dir string) Option {
+	return func(c *compileConfig) { c.cacheDir = dir }
 }
 
 // Options is the legacy bool-field configuration of Compile, kept so
@@ -567,7 +602,65 @@ const QueueDepthNone = serve.QueueDepthNone
 //	srv.Register("bert", model.Build)
 //	resp, err := srv.Infer(ctx, &godisc.Request{Model: "bert", Inputs: inputs})
 func NewServer(cfg ServerConfig, opts ...Option) *Server {
+	// Resolve the compile options once up front: the engine-cache
+	// fingerprint and the decode path both need the device and ablation
+	// knobs the per-compile closure below would otherwise re-derive.
+	var rcfg compileConfig
+	for _, o := range opts {
+		o(&rcfg)
+	}
+	if cfg.CacheDir == "" {
+		cfg.CacheDir = rcfg.cacheDir
+	}
+	if cfg.CacheDir != "" {
+		if cfg.CacheFingerprint == "" {
+			cfg.CacheFingerprint = rcfg.fingerprint()
+		}
+		if cfg.EngineCache == nil {
+			// Best effort: an unopenable cache directory disables
+			// persistence but never fails the server.
+			if ec, err := enginecache.Open(cfg.CacheDir, cfg.CacheFingerprint); err == nil {
+				ec.SetFaults(rcfg.faults)
+				cfg.EngineCache = ec
+			}
+		}
+	}
 	var srv *Server
+	if cfg.DecodeEngine == nil {
+		cfg.DecodeEngine = func(payload []byte) (serve.Engine, error) {
+			dev := rcfg.device
+			if dev == nil {
+				dev = device.A10()
+			}
+			eo := exec.DefaultOptions()
+			eo.Faults = rcfg.faults
+			if pool := srv.WorkerPool(); pool != nil && pool.Size() > 1 {
+				eo.Workers = pool.Size()
+				eo.WorkerPool = pool
+			} else {
+				eo.Workers = 1
+			}
+			eo.Hook = rcfg.hook
+			if cfg.Observer != nil {
+				eo.Hook = cfg.Observer
+			}
+			eo.Metrics = rcfg.metrics
+			if cfg.Metrics != nil {
+				eo.Metrics = cfg.Metrics
+			}
+			eo.Governor = srv.Governor()
+			return exec.DecodeImage(payload, dev, eo)
+		}
+	}
+	if cfg.EncodeEngine == nil {
+		cfg.EncodeEngine = func(e serve.Engine) ([]byte, error) {
+			exe, ok := e.(*exec.Executable)
+			if !ok {
+				return nil, fmt.Errorf("godisc: engine %T is not serializable", e)
+			}
+			return exe.EncodeImage()
+		}
+	}
 	srv = serve.New(cfg, func(g *graph.Graph) (serve.Engine, error) {
 		// All of a server's engines share its worker pool, so helper
 		// goroutines are bounded per server rather than per engine. The

@@ -60,11 +60,72 @@ type Variant struct {
 	// Guard reports whether the variant may run for the given concrete
 	// shapes; a nil Guard always matches (the generic fallback).
 	Guard func(RunInfo) bool
+	// Spec is the serializable description of Guard; Guard is always
+	// Spec.Func(), so a persisted variant can rebuild its dispatch
+	// predicate after decode. The zero Spec means "always matches".
+	Spec GuardSpec
 	// Code is the finalized kernel program.
 	Code *kir.Compiled
 	// MemEfficiency and ComputeEfficiency feed the device cost model.
 	MemEfficiency     float64
 	ComputeEfficiency float64
+}
+
+// GuardKind enumerates the dispatch-predicate forms a variant can carry.
+// Guards are pure data so compiled engines can be serialized and the
+// predicate rebuilt on load.
+type GuardKind uint8
+
+const (
+	// GuardAlways matches every invocation (the generic fallback).
+	GuardAlways GuardKind = iota
+	// GuardDimsEqual matches when every term's runtime dim equals its
+	// speculated value (BladeDISC shape speculation).
+	GuardDimsEqual
+	// GuardNumelDivisible matches when DomainNumel is divisible by Div
+	// (the vectorized-loop guard).
+	GuardNumelDivisible
+	// GuardRowAtLeast matches when RowLen >= MinRow (the row-block
+	// schedule guard).
+	GuardRowAtLeast
+)
+
+// GuardTerm is one equality test of a speculative variant's guard.
+type GuardTerm struct {
+	DimIndex int
+	Value    int
+}
+
+// GuardSpec is the serializable form of a variant guard.
+type GuardSpec struct {
+	Kind   GuardKind
+	Terms  []GuardTerm // GuardDimsEqual
+	Div    int         // GuardNumelDivisible
+	MinRow int         // GuardRowAtLeast
+}
+
+// Func rebuilds the dispatch predicate; nil for GuardAlways (a nil Guard
+// always matches in Kernel.Select).
+func (s GuardSpec) Func() func(RunInfo) bool {
+	switch s.Kind {
+	case GuardDimsEqual:
+		terms := s.Terms
+		return func(info RunInfo) bool {
+			for _, t := range terms {
+				if t.DimIndex >= len(info.Dims) || info.Dims[t.DimIndex] != t.Value {
+					return false
+				}
+			}
+			return true
+		}
+	case GuardNumelDivisible:
+		div := s.Div
+		return func(info RunInfo) bool { return info.DomainNumel%div == 0 }
+	case GuardRowAtLeast:
+		min := s.MinRow
+		return func(info RunInfo) bool { return info.RowLen >= min }
+	}
+	return nil
 }
 
 // Kernel is a fully lowered fusion group: shape-generic code plus its
@@ -211,9 +272,9 @@ func dimName(d symshape.DimID) string { return fmt.Sprintf("s%d", d) }
 // likelyDomainDims returns the domain dims (by root) that carry a declared
 // likely value, with their positions in lw.dims — the speculation set. Must
 // be called after the generic body registered all dims.
-func (lw *lowerer) likelyDomainDims(domain symshape.Shape) (map[symshape.DimID]int64, []specGuardTerm) {
+func (lw *lowerer) likelyDomainDims(domain symshape.Shape) (map[symshape.DimID]int64, []GuardTerm) {
 	fixed := map[symshape.DimID]int64{}
-	var guards []specGuardTerm
+	var guards []GuardTerm
 	for _, d := range domain {
 		if lw.ctx.IsStatic(d) {
 			continue
@@ -237,31 +298,13 @@ func (lw *lowerer) likelyDomainDims(domain symshape.Shape) (map[symshape.DimID]i
 			continue
 		}
 		fixed[r] = v
-		guards = append(guards, specGuardTerm{DimIndex: idx, Value: int(v)})
+		guards = append(guards, GuardTerm{DimIndex: idx, Value: int(v)})
 	}
 	return fixed, guards
 }
 
-// specGuardTerm is one equality test of a speculative variant's guard.
-type specGuardTerm struct {
-	DimIndex int
-	Value    int
-}
-
-// specGuard builds the dispatch predicate for a speculation set.
-func specGuard(terms []specGuardTerm) func(RunInfo) bool {
-	return func(info RunInfo) bool {
-		for _, t := range terms {
-			if t.DimIndex >= len(info.Dims) || info.Dims[t.DimIndex] != t.Value {
-				return false
-			}
-		}
-		return true
-	}
-}
-
 // specName renders the variant name from the speculated values.
-func specName(terms []specGuardTerm) string {
+func specName(terms []GuardTerm) string {
 	name := "spec"
 	for i, t := range terms {
 		if i > 0 {

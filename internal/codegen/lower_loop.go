@@ -39,7 +39,7 @@ func (lw *lowerer) lowerLoopKernel() (*Kernel, error) {
 
 	type pending struct {
 		prog    *kir.Kernel
-		guard   func(RunInfo) bool
+		spec    GuardSpec
 		name    string
 		mem, cp float64
 	}
@@ -64,9 +64,9 @@ func (lw *lowerer) lowerLoopKernel() (*Kernel, error) {
 					NumBuffers: lw.nBufs,
 					Body:       []kir.Stmt{kir.SLoop{Var: "i", Extent: specTotal, Body: specBody}},
 				},
-				guard: specGuard(guards),
-				name:  specName(guards),
-				mem:   0.95, cp: 0.58,
+				spec: GuardSpec{Kind: GuardDimsEqual, Terms: guards},
+				name: specName(guards),
+				mem:  0.95, cp: 0.58,
 			})
 		}
 	}
@@ -80,11 +80,11 @@ func (lw *lowerer) lowerLoopKernel() (*Kernel, error) {
 			})
 			vecBody = append(vecBody, body...)
 		}
-		guard := func(info RunInfo) bool { return info.DomainNumel%vecWidth == 0 }
+		spec := GuardSpec{Kind: GuardNumelDivisible, Div: vecWidth}
 		if provablyVec {
 			// Compile-time proof: the guard (and the scalar fallback
 			// below) are pruned entirely.
-			guard = nil
+			spec = GuardSpec{}
 		}
 		variants = append(variants, pending{
 			prog: &kir.Kernel{
@@ -94,9 +94,9 @@ func (lw *lowerer) lowerLoopKernel() (*Kernel, error) {
 					kir.SLoop{Var: "i4", Extent: kir.Div(total, kir.IConst(vecWidth)), Body: vecBody},
 				},
 			},
-			guard: guard,
-			name:  "vec4",
-			mem:   0.92, cp: 0.55,
+			spec: spec,
+			name: "vec4",
+			mem:  0.92, cp: 0.55,
 		})
 	}
 	if !(lw.opts.Vectorize && provablyVec) {
@@ -138,7 +138,7 @@ func (lw *lowerer) lowerLoopKernel() (*Kernel, error) {
 			return nil, err
 		}
 		k.Variants = append(k.Variants, &Variant{
-			Name: v.name, Guard: v.guard, Code: cp,
+			Name: v.name, Guard: v.spec.Func(), Spec: v.spec, Code: cp,
 			MemEfficiency: v.mem, ComputeEfficiency: v.cp,
 		})
 	}

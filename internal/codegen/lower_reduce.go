@@ -59,7 +59,7 @@ func (lw *lowerer) lowerRowKernel() (*Kernel, error) {
 	// likely value is baked in as a constant, dispatched on runtime
 	// equality.
 	var specProg *kir.Kernel
-	var specGuards []specGuardTerm
+	var specGuards []GuardTerm
 	if lw.opts.SpeculateLikely {
 		fixed, guards := lw.likelyDomainDims(domain)
 		if len(guards) > 0 {
@@ -110,9 +110,11 @@ func (lw *lowerer) lowerRowKernel() (*Kernel, error) {
 		if err != nil {
 			return nil, err
 		}
+		spec := GuardSpec{Kind: GuardDimsEqual, Terms: specGuards}
 		k.Variants = append(k.Variants, &Variant{
 			Name:  specName(specGuards),
-			Guard: specGuard(specGuards),
+			Guard: spec.Func(),
+			Spec:  spec,
 			Code:  scp, MemEfficiency: 0.9, ComputeEfficiency: 0.55,
 		})
 	}
@@ -123,7 +125,7 @@ func (lw *lowerer) lowerRowKernel() (*Kernel, error) {
 	const rowThreshold = 128
 	lo, hi := lw.ctx.Range(last)
 	if lw.opts.RowSchedules {
-		blockGuard := func(info RunInfo) bool { return info.RowLen >= rowThreshold }
+		blockSpec := GuardSpec{Kind: GuardRowAtLeast, MinRow: rowThreshold}
 		switch {
 		case lo >= rowThreshold:
 			k.Variants = append(k.Variants, &Variant{Name: "rowblock", Code: cp,
@@ -133,7 +135,7 @@ func (lw *lowerer) lowerRowKernel() (*Kernel, error) {
 				MemEfficiency: 0.8, ComputeEfficiency: 0.45})
 		default:
 			k.Variants = append(k.Variants,
-				&Variant{Name: "rowblock", Guard: blockGuard, Code: cp,
+				&Variant{Name: "rowblock", Guard: blockSpec.Func(), Spec: blockSpec, Code: cp,
 					MemEfficiency: 0.85, ComputeEfficiency: 0.5},
 				&Variant{Name: "rowwarp", Code: cp,
 					MemEfficiency: 0.8, ComputeEfficiency: 0.45})

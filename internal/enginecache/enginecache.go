@@ -1,0 +1,482 @@
+// Package enginecache persists compiled engines across process restarts so
+// a warm replica reaches full throughput without recompiling anything — the
+// AOT-cache counterpart to the JIT compile path, in the spirit of
+// BladeDISC's compilation-result caching. Entries are keyed by
+// model@signature and stamped with a compiler fingerprint (a hash of the
+// pass configuration and image format version): any change to the compiler
+// invalidates every entry rather than silently serving stale code.
+//
+// The cache is built for hostile environments:
+//
+//   - writes go to a temp file in the cache dir, fsynced, then renamed into
+//     place, so readers only ever see complete entries (a crash mid-write
+//     leaves a temp file that the next Scan sweeps away);
+//   - every entry carries a sha256 over its body; corruption — torn
+//     writes, bit rot, truncation — fails the checksum and the entry is
+//     quarantined to the .bad/ subdirectory and recompiled, never served;
+//   - entries whose fingerprint does not match the running compiler are
+//     quarantined the same way (the .bad/ copy aids post-mortems);
+//   - cross-process safety comes from an exclusive flock on <dir>/.lock
+//     held for the duration of each mutation (persist, quarantine, scan).
+//
+// Load never fails a request: every failure mode degrades to a miss, and
+// the caller recompiles. The error return is diagnostic only.
+package enginecache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+
+	"godisc/internal/faultinject"
+	"godisc/internal/obs"
+)
+
+// FormatVersion is the on-disk entry format version. It participates in
+// the header (structural compatibility) and should be bumped whenever the
+// entry layout changes; engine-image compatibility is the fingerprint's
+// job.
+const FormatVersion = 1
+
+// magic opens every entry file. Four bytes of magic, one of version, then
+// a 32-byte sha256 over the body.
+var magic = [4]byte{'G', 'D', 'E', 'C'}
+
+const headerLen = 4 + 1 + sha256.Size
+
+// Entry is one cached engine: the serialized engine image plus the
+// request-path verdicts that are expensive to rederive (today just the
+// batchability analysis, persisted so a warm restart skips it too).
+type Entry struct {
+	// Key is the cache key, conventionally "model@signature".
+	Key string
+	// Fingerprint identifies the compiler configuration that produced
+	// Payload. Load refuses entries whose fingerprint differs from the
+	// cache's.
+	Fingerprint string
+	// BatchKnown/Batchable carry the dynamic-batching verdict for the
+	// engine, when the producer had computed it; BatchReason records why a
+	// non-batchable model was rejected and BatchMaxRows the symbolic cap on
+	// the stacked extent (0 = unbounded).
+	BatchKnown   bool
+	Batchable    bool
+	BatchReason  string
+	BatchMaxRows int
+	// Payload is the engine image (exec.EncodeImage output).
+	Payload []byte
+}
+
+// Stats is a snapshot of cache activity since Open.
+type Stats struct {
+	Loads    int64 // Load calls
+	Hits     int64 // Loads that returned a valid entry
+	Misses   int64 // Loads that found no entry
+	Persists int64 // successful Persist calls
+	Corrupt  int64 // entries quarantined for failing checksum/decode
+	Mismatch int64 // entries quarantined for a foreign fingerprint
+	ReadErr  int64 // I/O failures on the read path (degraded to misses)
+	WriteErr int64 // failed Persist calls
+}
+
+// ScanReport summarizes a startup integrity sweep.
+type ScanReport struct {
+	Valid    int // entries intact and fingerprint-current
+	Corrupt  int // quarantined: checksum or structural failure
+	Mismatch int // quarantined: foreign fingerprint
+	Removed  int // leftover temp files swept
+}
+
+// Cache is a directory of engine entries. Safe for concurrent use within
+// a process; concurrent processes are serialized by the .lock flock.
+type Cache struct {
+	dir         string
+	fingerprint string
+
+	mu     sync.Mutex // serializes mutations in-process
+	faults atomic.Pointer[faultinject.Injector]
+
+	stats struct {
+		loads, hits, misses, persists atomic.Int64
+		corrupt, mismatch, rerr, werr atomic.Int64
+	}
+
+	// metric handles; nil until SetMetrics (nil-safe to use).
+	mHits, mMisses, mLoads, mPersists, mCorrupt, mMismatch *obs.Counter
+}
+
+// Open creates (if needed) the cache directory and returns a cache bound
+// to the given compiler fingerprint. The fingerprint must be non-empty:
+// an empty fingerprint would match any entry and defeat staleness
+// detection.
+func Open(dir, fingerprint string) (*Cache, error) {
+	if dir == "" {
+		return nil, errors.New("enginecache: empty cache dir")
+	}
+	if fingerprint == "" {
+		return nil, errors.New("enginecache: empty compiler fingerprint")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("enginecache: create %s: %w", dir, err)
+	}
+	return &Cache{dir: dir, fingerprint: fingerprint}, nil
+}
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Fingerprint returns the compiler fingerprint the cache validates
+// entries against.
+func (c *Cache) Fingerprint() string { return c.fingerprint }
+
+// SetFaults arms the cache-read/cache-write fault-injection probes.
+func (c *Cache) SetFaults(in *faultinject.Injector) {
+	if c == nil {
+		return
+	}
+	c.faults.Store(in)
+}
+
+// SetMetrics registers the godisc_enginecache_*_total counters in reg.
+func (c *Cache) SetMetrics(reg *obs.Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	c.mHits = reg.Counter("godisc_enginecache_hits_total")
+	c.mMisses = reg.Counter("godisc_enginecache_misses_total")
+	c.mLoads = reg.Counter("godisc_enginecache_loads_total")
+	c.mPersists = reg.Counter("godisc_enginecache_persists_total")
+	c.mCorrupt = reg.Counter("godisc_enginecache_corrupt_total")
+	c.mMismatch = reg.Counter("godisc_enginecache_mismatch_total")
+}
+
+// Stats snapshots the activity counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Loads:    c.stats.loads.Load(),
+		Hits:     c.stats.hits.Load(),
+		Misses:   c.stats.misses.Load(),
+		Persists: c.stats.persists.Load(),
+		Corrupt:  c.stats.corrupt.Load(),
+		Mismatch: c.stats.mismatch.Load(),
+		ReadErr:  c.stats.rerr.Load(),
+		WriteErr: c.stats.werr.Load(),
+	}
+}
+
+// entryFile maps a key to its file name: a content hash, so arbitrary
+// keys (signatures contain '@', 'x', ...) are always path-safe.
+func entryFile(key string) string {
+	h := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(h[:16]) + ".eng"
+}
+
+// diskEntry is the gob body of an entry file. The key is stored so a hash
+// collision (or a file renamed by hand) is detected rather than served.
+type diskEntry struct {
+	Key          string
+	Fingerprint  string
+	BatchKnown   bool
+	Batchable    bool
+	BatchReason  string
+	BatchMaxRows int
+	Payload      []byte
+}
+
+// Encode renders an entry in the on-disk format (exported for the fuzz
+// harness; Persist is the production path).
+func Encode(e *Entry) ([]byte, error) {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(diskEntry{
+		Key:          e.Key,
+		Fingerprint:  e.Fingerprint,
+		BatchKnown:   e.BatchKnown,
+		Batchable:    e.Batchable,
+		BatchReason:  e.BatchReason,
+		BatchMaxRows: e.BatchMaxRows,
+		Payload:      e.Payload,
+	}); err != nil {
+		return nil, fmt.Errorf("enginecache: encode: %w", err)
+	}
+	sum := sha256.Sum256(body.Bytes())
+	out := make([]byte, 0, headerLen+body.Len())
+	out = append(out, magic[:]...)
+	out = append(out, FormatVersion)
+	out = append(out, sum[:]...)
+	out = append(out, body.Bytes()...)
+	return out, nil
+}
+
+// errCorrupt marks structural damage (vs I/O trouble): the entry should
+// be quarantined, not retried.
+var errCorrupt = errors.New("enginecache: corrupt entry")
+
+// Decode parses and verifies the on-disk format. It never panics on
+// hostile input: structural damage returns an error wrapping errCorrupt.
+func Decode(data []byte) (_ *Entry, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: decode panic: %v", errCorrupt, r)
+		}
+	}()
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("%w: %d bytes, want >= %d", errCorrupt, len(data), headerLen)
+	}
+	if !bytes.Equal(data[:4], magic[:]) {
+		return nil, fmt.Errorf("%w: bad magic", errCorrupt)
+	}
+	if v := data[4]; v != FormatVersion {
+		return nil, fmt.Errorf("%w: format version %d, want %d", errCorrupt, v, FormatVersion)
+	}
+	body := data[headerLen:]
+	sum := sha256.Sum256(body)
+	if !bytes.Equal(sum[:], data[5:headerLen]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", errCorrupt)
+	}
+	var de diskEntry
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&de); err != nil {
+		return nil, fmt.Errorf("%w: %v", errCorrupt, err)
+	}
+	return &Entry{
+		Key:          de.Key,
+		Fingerprint:  de.Fingerprint,
+		BatchKnown:   de.BatchKnown,
+		Batchable:    de.Batchable,
+		BatchReason:  de.BatchReason,
+		BatchMaxRows: de.BatchMaxRows,
+		Payload:      de.Payload,
+	}, nil
+}
+
+// lock takes the cross-process flock; the returned func releases it. The
+// in-process mutex is held around it so lock ordering is fixed.
+func (c *Cache) lock() (func(), error) {
+	f, err := os.OpenFile(filepath.Join(c.dir, ".lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("enginecache: open lock: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("enginecache: flock: %w", err)
+	}
+	return func() {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}, nil
+}
+
+// quarantine moves a damaged entry file into .bad/ for post-mortems. A
+// same-named corpse is overwritten: the freshest damage wins.
+func (c *Cache) quarantine(path string) {
+	bad := filepath.Join(c.dir, ".bad")
+	if err := os.MkdirAll(bad, 0o755); err != nil {
+		os.Remove(path) // quarantine impossible; removal still unblocks recompile
+		return
+	}
+	if err := os.Rename(path, filepath.Join(bad, filepath.Base(path))); err != nil {
+		os.Remove(path)
+	}
+}
+
+// Load looks up key. A nil entry means "compile": misses, corruption,
+// fingerprint mismatches and I/O failures all land there — the error is
+// diagnostic and must not fail the request. Damaged entries are
+// quarantined before returning.
+func (c *Cache) Load(key string) (*Entry, error) {
+	if c == nil {
+		return nil, nil
+	}
+	c.stats.loads.Add(1)
+	c.mLoads.Inc()
+	path := filepath.Join(c.dir, entryFile(key))
+	if err := c.faults.Load().Check(faultinject.SiteCacheRead); err != nil {
+		c.stats.rerr.Add(1)
+		c.miss()
+		return nil, fmt.Errorf("enginecache: load %q: %w", key, err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			c.miss()
+			return nil, nil
+		}
+		c.stats.rerr.Add(1)
+		c.miss()
+		return nil, fmt.Errorf("enginecache: load %q: %w", key, err)
+	}
+	e, err := Decode(data)
+	if err != nil || e.Key != key {
+		if err == nil {
+			err = fmt.Errorf("%w: key %q in file for %q", errCorrupt, e.Key, key)
+		}
+		c.stats.corrupt.Add(1)
+		c.mCorrupt.Inc()
+		c.quarantineLocked(path)
+		c.miss()
+		return nil, fmt.Errorf("enginecache: load %q: %w", key, err)
+	}
+	if e.Fingerprint != c.fingerprint {
+		c.stats.mismatch.Add(1)
+		c.mMismatch.Inc()
+		c.quarantineLocked(path)
+		c.miss()
+		return nil, fmt.Errorf("enginecache: load %q: fingerprint %q, compiler is %q",
+			key, e.Fingerprint, c.fingerprint)
+	}
+	c.stats.hits.Add(1)
+	c.mHits.Inc()
+	return e, nil
+}
+
+// miss counts a Load that ends in "compile".
+func (c *Cache) miss() {
+	c.stats.misses.Add(1)
+	c.mMisses.Inc()
+}
+
+// quarantineLocked takes the locks and quarantines one file.
+func (c *Cache) quarantineLocked(path string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	unlock, err := c.lock()
+	if err != nil {
+		os.Remove(path)
+		return
+	}
+	defer unlock()
+	c.quarantine(path)
+}
+
+// Persist writes an entry atomically: temp file, fsync, rename. The
+// entry's fingerprint is stamped by the cache. Failures leave any prior
+// entry for the key untouched.
+func (c *Cache) Persist(e *Entry) error {
+	if c == nil {
+		return nil
+	}
+	if e == nil || e.Key == "" {
+		return errors.New("enginecache: persist: nil entry or empty key")
+	}
+	stamped := *e
+	stamped.Fingerprint = c.fingerprint
+	data, err := Encode(&stamped)
+	if err != nil {
+		c.stats.werr.Add(1)
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.faults.Load().Check(faultinject.SiteCacheWrite); err != nil {
+		c.stats.werr.Add(1)
+		return fmt.Errorf("enginecache: persist %q: %w", e.Key, err)
+	}
+	unlock, err := c.lock()
+	if err != nil {
+		c.stats.werr.Add(1)
+		return err
+	}
+	defer unlock()
+	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
+	if err != nil {
+		c.stats.werr.Add(1)
+		return fmt.Errorf("enginecache: persist %q: %w", e.Key, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		c.stats.werr.Add(1)
+		return fmt.Errorf("enginecache: persist %q: %w", e.Key, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		c.stats.werr.Add(1)
+		return fmt.Errorf("enginecache: persist %q: %w", e.Key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		c.stats.werr.Add(1)
+		return fmt.Errorf("enginecache: persist %q: %w", e.Key, err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(c.dir, entryFile(e.Key))); err != nil {
+		c.stats.werr.Add(1)
+		return fmt.Errorf("enginecache: persist %q: %w", e.Key, err)
+	}
+	c.stats.persists.Add(1)
+	c.mPersists.Inc()
+	return nil
+}
+
+// Scan sweeps the whole directory: validates every entry, quarantines
+// damage and foreign fingerprints, removes leftover temp files. Run at
+// startup; the report feeds the serving report line.
+func (c *Cache) Scan() (ScanReport, error) {
+	var rep ScanReport
+	if c == nil {
+		return rep, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	unlock, err := c.lock()
+	if err != nil {
+		return rep, err
+	}
+	defer unlock()
+	names, err := os.ReadDir(c.dir)
+	if err != nil {
+		return rep, fmt.Errorf("enginecache: scan: %w", err)
+	}
+	// Sorted walk so two processes scanning concurrently contend in the
+	// same order (and reports are deterministic).
+	sort.Slice(names, func(i, j int) bool { return names[i].Name() < names[j].Name() })
+	for _, de := range names {
+		name := de.Name()
+		if de.IsDir() || name == ".lock" {
+			continue
+		}
+		path := filepath.Join(c.dir, name)
+		if strings.HasPrefix(name, ".tmp-") {
+			os.Remove(path)
+			rep.Removed++
+			continue
+		}
+		if !strings.HasSuffix(name, ".eng") {
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			rep.Corrupt++
+			c.stats.corrupt.Add(1)
+			c.mCorrupt.Inc()
+			c.quarantine(path)
+			continue
+		}
+		e, err := Decode(data)
+		if err != nil || entryFile(e.Key) != name {
+			rep.Corrupt++
+			c.stats.corrupt.Add(1)
+			c.mCorrupt.Inc()
+			c.quarantine(path)
+			continue
+		}
+		if e.Fingerprint != c.fingerprint {
+			rep.Mismatch++
+			c.stats.mismatch.Add(1)
+			c.mMismatch.Inc()
+			c.quarantine(path)
+			continue
+		}
+		rep.Valid++
+	}
+	return rep, nil
+}

@@ -1,0 +1,259 @@
+package enginecache
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"godisc/internal/faultinject"
+	"godisc/internal/obs"
+)
+
+func mustOpen(t *testing.T, dir, fp string) *Cache {
+	t.Helper()
+	c, err := Open(dir, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPersistLoadRoundTrip(t *testing.T) {
+	c := mustOpen(t, t.TempDir(), "fp-1")
+	in := &Entry{Key: "mlp@b x 8", BatchKnown: true, Batchable: true, Payload: []byte("engine-image-bytes")}
+	if err := c.Persist(in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Load("mlp@b x 8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == nil {
+		t.Fatal("load returned nil for a persisted key")
+	}
+	if out.Key != in.Key || !out.BatchKnown || !out.Batchable || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("round trip mangled entry: %+v", out)
+	}
+	if out.Fingerprint != "fp-1" {
+		t.Fatalf("fingerprint not stamped: %q", out.Fingerprint)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 0 || st.Persists != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestLoadMiss(t *testing.T) {
+	c := mustOpen(t, t.TempDir(), "fp-1")
+	e, err := c.Load("absent@1 x 2")
+	if e != nil || err != nil {
+		t.Fatalf("want clean miss, got (%v, %v)", e, err)
+	}
+	if st := c.Stats(); st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCorruptEntryQuarantinedAndRecompilable(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, dir, "fp-1")
+	if err := c.Persist(&Entry{Key: "m@sig", Payload: bytes.Repeat([]byte{7}, 256)}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the payload in place (torn write / bit rot).
+	path := filepath.Join(dir, entryFile("m@sig"))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e, err := c.Load("m@sig")
+	if e != nil {
+		t.Fatal("corrupt entry served")
+	}
+	if err == nil {
+		t.Fatal("corrupt load should surface a diagnostic error")
+	}
+	if _, statErr := os.Stat(filepath.Join(dir, ".bad", entryFile("m@sig"))); statErr != nil {
+		t.Fatalf("corrupt entry not quarantined: %v", statErr)
+	}
+	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+		t.Fatal("corrupt entry still in place")
+	}
+	if st := c.Stats(); st.Corrupt != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// The slot is free again: a recompile can repopulate it.
+	if err := c.Persist(&Entry{Key: "m@sig", Payload: []byte("fresh")}); err != nil {
+		t.Fatal(err)
+	}
+	if e, _ := c.Load("m@sig"); e == nil || string(e.Payload) != "fresh" {
+		t.Fatal("repopulated entry not served")
+	}
+}
+
+func TestFingerprintMismatchQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	old := mustOpen(t, dir, "compiler-v1")
+	if err := old.Persist(&Entry{Key: "m@sig", Payload: []byte("old-code")}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a compiler upgrade: same dir, new fingerprint.
+	cur := mustOpen(t, dir, "compiler-v2")
+	e, err := cur.Load("m@sig")
+	if e != nil {
+		t.Fatal("stale engine served across a fingerprint bump")
+	}
+	if err == nil {
+		t.Fatal("mismatch should surface a diagnostic error")
+	}
+	if st := cur.Stats(); st.Mismatch != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if _, statErr := os.Stat(filepath.Join(dir, ".bad", entryFile("m@sig"))); statErr != nil {
+		t.Fatalf("mismatched entry not quarantined: %v", statErr)
+	}
+}
+
+func TestPersistOverwrites(t *testing.T) {
+	c := mustOpen(t, t.TempDir(), "fp")
+	for _, payload := range []string{"one", "two"} {
+		if err := c.Persist(&Entry{Key: "k@s", Payload: []byte(payload)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := c.Load("k@s")
+	if err != nil || e == nil || string(e.Payload) != "two" {
+		t.Fatalf("want latest payload, got (%v, %v)", e, err)
+	}
+}
+
+func TestScanSweepsDamage(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, dir, "fp-now")
+	if err := c.Persist(&Entry{Key: "good@sig", Payload: []byte("ok")}); err != nil {
+		t.Fatal(err)
+	}
+	// A foreign-fingerprint entry.
+	older := mustOpen(t, dir, "fp-old")
+	if err := older.Persist(&Entry{Key: "stale@sig", Payload: []byte("old")}); err != nil {
+		t.Fatal(err)
+	}
+	// A torn entry and a leftover temp file from a crashed writer.
+	if err := os.WriteFile(filepath.Join(dir, entryFile("torn@sig")), []byte("GDEC-torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ".tmp-crashed"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Valid != 1 || rep.Corrupt != 1 || rep.Mismatch != 1 || rep.Removed != 1 {
+		t.Fatalf("scan report %+v", rep)
+	}
+	// After the sweep the good entry still loads; the rest are gone.
+	if e, err := c.Load("good@sig"); err != nil || e == nil {
+		t.Fatalf("good entry lost in scan: (%v, %v)", e, err)
+	}
+	if e, _ := c.Load("stale@sig"); e != nil {
+		t.Fatal("stale entry survived scan")
+	}
+}
+
+func TestFaultInjectionDegradesToMiss(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, dir, "fp")
+	if err := c.Persist(&Entry{Key: "k@s", Payload: []byte("v")}); err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(1).
+		Arm(faultinject.SiteCacheRead, faultinject.ModeError, 1).
+		Arm(faultinject.SiteCacheWrite, faultinject.ModeTransient, 1)
+	c.SetFaults(inj)
+	if e, err := c.Load("k@s"); e != nil || err == nil {
+		t.Fatalf("armed read fault: want (nil, err), got (%v, %v)", e, err)
+	}
+	if err := c.Persist(&Entry{Key: "k2@s", Payload: []byte("v2")}); err == nil {
+		t.Fatal("armed write fault: persist succeeded")
+	}
+	st := c.Stats()
+	if st.ReadErr != 1 || st.WriteErr != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Disarm: the original entry is intact (the failed write never touched
+	// it) and loads fine.
+	c.SetFaults(nil)
+	if e, err := c.Load("k@s"); err != nil || e == nil || string(e.Payload) != "v" {
+		t.Fatalf("entry damaged by injected faults: (%v, %v)", e, err)
+	}
+}
+
+func TestMetricsRegistered(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := mustOpen(t, t.TempDir(), "fp")
+	c.SetMetrics(reg)
+	if err := c.Persist(&Entry{Key: "k@s", Payload: []byte("v")}); err != nil {
+		t.Fatal(err)
+	}
+	c.Load("k@s")
+	c.Load("gone@s")
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"godisc_enginecache_hits_total 1",
+		"godisc_enginecache_misses_total 1",
+		"godisc_enginecache_loads_total 2",
+		"godisc_enginecache_persists_total 1",
+	} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Fatalf("missing %q in scrape:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentPersistLoad(t *testing.T) {
+	c := mustOpen(t, t.TempDir(), "fp")
+	var wg sync.WaitGroup
+	keys := []string{"a@1", "b@2", "c@3", "d@4"}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				k := keys[(i+j)%len(keys)]
+				if i%2 == 0 {
+					if err := c.Persist(&Entry{Key: k, Payload: []byte(k)}); err != nil {
+						t.Error(err)
+						return
+					}
+				} else if e, err := c.Load(k); err != nil {
+					t.Error(err)
+					return
+				} else if e != nil && string(e.Payload) != e.Key {
+					t.Errorf("torn read: key %s payload %q", e.Key, e.Payload)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open("", "fp"); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	if _, err := Open(t.TempDir(), ""); err == nil {
+		t.Fatal("empty fingerprint accepted")
+	}
+}

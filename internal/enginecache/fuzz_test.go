@@ -1,0 +1,59 @@
+package enginecache
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzEngineCacheDecode drives the on-disk entry decoder with arbitrary
+// bytes. The decoder's contract under hostile input is: return an error
+// or a valid entry, never panic — a cache directory is attacker-writable
+// state as far as the serving process is concerned.
+func FuzzEngineCacheDecode(f *testing.F) {
+	valid, err := Encode(&Entry{
+		Key:         "mlp@b x 8",
+		Fingerprint: "img1|dev=a10|opt=1111",
+		BatchKnown:  true,
+		Batchable:   true,
+		Payload:     bytes.Repeat([]byte{0xab, 0x12}, 300),
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("GDEC"))
+	f.Add(valid[:headerLen])
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(valid)-1])
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	for _, i := range []int{0, 4, 5, 20, headerLen, len(valid) - 5} {
+		flipped := append([]byte(nil), valid...)
+		flipped[i] ^= 0x01
+		f.Add(flipped)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := Decode(data)
+		if err != nil {
+			if e != nil {
+				t.Fatal("Decode returned both an entry and an error")
+			}
+			return
+		}
+		// A successful decode must survive a re-encode round trip: the
+		// checksum binds the body, so any accepted entry is well-formed.
+		re, err := Encode(e)
+		if err != nil {
+			t.Fatalf("accepted entry fails to re-encode: %v", err)
+		}
+		e2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded entry fails to decode: %v", err)
+		}
+		if e2.Key != e.Key || e2.Fingerprint != e.Fingerprint ||
+			e2.BatchKnown != e.BatchKnown || e2.Batchable != e.Batchable ||
+			!bytes.Equal(e2.Payload, e.Payload) {
+			t.Fatal("entry not stable across re-encode")
+		}
+	})
+}

@@ -126,6 +126,13 @@ type Executable struct {
 	// Pool provides intermediate buffers across runs.
 	Pool *ral.Pool
 
+	// maxFP/maxFPOK cache MaxFootprintBytes. Engines decoded from a
+	// serialized image have no symbolic context to derive the bound from,
+	// so the image carries the precomputed value (maxFPSet).
+	maxFP    int64
+	maxFPOK  bool
+	maxFPSet bool
+
 	// Cached metric handles (nil when Options.Metrics is unset; every
 	// method on a nil handle no-ops, so call sites stay unguarded).
 	mTasks      *obs.Counter

@@ -190,6 +190,9 @@ func (e *Executable) FootprintBytes(shapes [][]int) (int64, error) {
 // number ("how much budget does one request of this engine ever need?").
 // ok is false when some dimension has no declared upper bound.
 func (e *Executable) MaxFootprintBytes() (int64, bool) {
+	if e.maxFPSet {
+		return e.maxFP, e.maxFPOK
+	}
 	fp := e.fp
 	if fp == nil {
 		return 0, true

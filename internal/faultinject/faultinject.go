@@ -38,6 +38,12 @@ const (
 	SiteAlloc Site = "alloc"
 	// SiteKernelLaunch fires immediately before a kernel body executes.
 	SiteKernelLaunch Site = "kernel-launch"
+	// SiteCacheRead fires in enginecache.Cache.Load, before the entry file
+	// is opened — a firing probe simulates unreadable or slow cache media.
+	SiteCacheRead Site = "cache-read"
+	// SiteCacheWrite fires in enginecache.Cache.Persist, before the temp
+	// file is written — simulating full disks and torn writes.
+	SiteCacheWrite Site = "cache-write"
 )
 
 // Mode is what an armed site does when it fires.

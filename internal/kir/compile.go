@@ -453,5 +453,10 @@ func (cp *Compiled) RunRange(bufs [][]float32, dims []int, lo, hi int) error {
 // Name returns the kernel's name.
 func (cp *Compiled) Name() string { return cp.kernel.Name }
 
+// AST returns the kernel AST this program was compiled from. The AST is
+// pure data, so it is what the engine cache serializes; decoding re-runs
+// Finalize to regenerate the closures.
+func (cp *Compiled) AST() *Kernel { return cp.kernel }
+
 // DimNames returns the runtime dim parameter names.
 func (cp *Compiled) DimNames() []string { return cp.kernel.DimNames }

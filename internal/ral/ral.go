@@ -359,6 +359,32 @@ func (c *Cache) GetOrCompile(key string, compile func() (any, error)) (any, bool
 	return fc.v, false, fc.err
 }
 
+// Peek returns the cached value for key without ever blocking: no
+// singleflight join, no compile. The async-compile serving path uses it
+// to decide between "run the engine" and "serve the interpreter while a
+// background build runs". A present key counts as a hit.
+func (c *Cache) Peek(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.entries[key]
+	if ok {
+		c.hits++
+	}
+	return v, ok
+}
+
+// Put stores a value produced outside GetOrCompile (a background
+// compilation, a deserialized engine). The first binding of a key wins:
+// once an engine serves requests it is never hot-swapped for a rival, so
+// concurrent loaders and compilers converge on one engine per key.
+func (c *Cache) Put(key string, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; !ok {
+		c.entries[key] = v
+	}
+}
+
 // Contains reports whether key is cached, counting a hit if so.
 func (c *Cache) Contains(key string) bool {
 	c.mu.Lock()

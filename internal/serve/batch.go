@@ -618,6 +618,17 @@ func (ob *openBatch) run() {
 	}
 	defer release()
 
+	// Async compilation: a batch must not stall behind the compiler any
+	// more than a solo request would. On a cold engine, hand every member
+	// back to the solo path — each is then served by the interpreter while
+	// the background build (kicked by the solo path) proceeds.
+	if s.cfg.AsyncCompile && !s.cfg.DisableFallback {
+		if _, _, ready := s.engineFast(ob.m, ob.sig, key, sp); !ready {
+			s.stats.batchRun("solo", rows)
+			ob.deliver(batchResult{solo: true})
+			return
+		}
+	}
 	eng, _, hit, err := s.engine(ob.m, sp)
 	if err != nil {
 		s.stats.batchRun("error", rows)

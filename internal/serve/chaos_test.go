@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"godisc/internal/device"
+	"godisc/internal/enginecache"
 	"godisc/internal/exec"
 	"godisc/internal/faultinject"
 	"godisc/internal/fusion"
@@ -20,7 +21,8 @@ import (
 // chaosSpec is the default fault mix for the chaos replay. `make chaos`
 // overrides it (and the seed) via GODISC_FAULTS / GODISC_FAULT_SEED so
 // failures reproduce from the printed seed.
-const chaosSpec = "compile:transient:0.35,kernel-launch:panic:0.3,alloc:transient:0.25"
+const chaosSpec = "compile:transient:0.35,kernel-launch:panic:0.3,alloc:transient:0.25," +
+	"cache-read:transient:0.4,cache-write:transient:0.4"
 
 func chaosInjector(t *testing.T) *faultinject.Injector {
 	t.Helper()
@@ -62,6 +64,16 @@ func faultyCompile(inj *faultinject.Injector) CompileFunc {
 // are served by the interpreter fallback, never dropped.
 func TestChaosReplayZeroFailedRequests(t *testing.T) {
 	inj := chaosInjector(t)
+	// The chaos server also persists engines so the cache-read/cache-write
+	// probes fire on the real load/persist paths: a faulted read degrades
+	// to a recompile and a faulted write drops the persist, never a
+	// request failure.
+	dec, enc := cacheCodecs()
+	ec, err := enginecache.Open(t.TempDir(), "chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec.SetFaults(inj)
 	s := New(Config{
 		MaxConcurrent:    8,
 		QueueDepth:       256,
@@ -69,6 +81,9 @@ func TestChaosReplayZeroFailedRequests(t *testing.T) {
 		RetryBackoff:     200 * time.Microsecond,
 		BreakerThreshold: 2,
 		BreakerCooldown:  2 * time.Millisecond,
+		EngineCache:      ec,
+		DecodeEngine:     dec,
+		EncodeEngine:     enc,
 	}, faultyCompile(inj))
 	defer s.Close()
 	if err := s.Register("mlp", buildMLP); err != nil {
@@ -120,6 +135,7 @@ func TestChaosReplayZeroFailedRequests(t *testing.T) {
 	st := s.Stats()
 	t.Logf("chaos: %s", st)
 	t.Logf("chaos: injector fired %d times %v (seed %d)", inj.Total(), inj.Counts(), inj.Seed())
+	t.Logf("chaos: enginecache %+v", ec.Stats())
 	if st.Requests != int64(len(tr.Points)) || st.Completed != st.Requests {
 		t.Fatalf("every request must complete: %s", st)
 	}

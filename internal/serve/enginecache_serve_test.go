@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"godisc/internal/device"
+	"godisc/internal/enginecache"
+	"godisc/internal/exec"
+	"godisc/internal/faultinject"
+	"godisc/internal/tensor"
+)
+
+// cacheCodecs is the Decode/Encode pair the public layer installs,
+// reduced to the serve-test defaults (A10, default exec options).
+func cacheCodecs() (func([]byte) (Engine, error), func(Engine) ([]byte, error)) {
+	dec := func(payload []byte) (Engine, error) {
+		return exec.DecodeImage(payload, device.A10(), exec.DefaultOptions())
+	}
+	enc := func(e Engine) ([]byte, error) {
+		exe, ok := e.(*exec.Executable)
+		if !ok {
+			return nil, fmt.Errorf("engine %T is not serializable", e)
+		}
+		return exe.EncodeImage()
+	}
+	return dec, enc
+}
+
+// TestAsyncCompileDedup fires concurrent first requests at one signature
+// with async compilation on: every request must be answered immediately
+// (fallback or engine), and the background compiler must run exactly once.
+func TestAsyncCompileDedup(t *testing.T) {
+	var compiles int32
+	s := New(Config{MaxConcurrent: 8, AsyncCompile: true, CompileWorkers: 1},
+		realCompile(&compiles))
+	defer s.Close()
+	if err := s.Register("mlp", buildMLP); err != nil {
+		t.Fatal(err)
+	}
+
+	r := tensor.NewRNG(3)
+	in := tensor.RandN(r, 0.5, 6, 12)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := s.Infer(context.Background(), &Request{
+				Model: "mlp", Inputs: []*tensor.Tensor{in},
+			})
+			if err == nil && len(resp.Outputs) != 1 {
+				err = fmt.Errorf("bad output count %d", len(resp.Outputs))
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+
+	// Wait for the deduplicated background compile to land, then confirm
+	// the engine serves and exactly one compilation ever ran.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := s.Infer(context.Background(), &Request{
+			Model: "mlp", Inputs: []*tensor.Tensor{in},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.CacheHit && !resp.Compiling {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background compile never delivered an engine")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n := atomic.LoadInt32(&compiles); n != 1 {
+		t.Fatalf("concurrent first requests must compile once, got %d", n)
+	}
+}
+
+// TestAsyncCompileShutdownDrain shuts down immediately after the first
+// async request: Shutdown must wait for the in-flight background compile
+// and the engine must still be persisted.
+func TestAsyncCompileShutdownDrain(t *testing.T) {
+	dec, enc := cacheCodecs()
+	ec, err := enginecache.Open(t.TempDir(), "serve-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var compiles int32
+	s := New(Config{
+		MaxConcurrent: 4, AsyncCompile: true,
+		EngineCache: ec, DecodeEngine: dec, EncodeEngine: enc,
+	}, realCompile(&compiles))
+	if err := s.Register("mlp", buildMLP); err != nil {
+		t.Fatal(err)
+	}
+
+	r := tensor.NewRNG(5)
+	resp, err := s.Infer(context.Background(), &Request{
+		Model: "mlp", Inputs: []*tensor.Tensor{tensor.RandN(r, 0.5, 3, 12)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Compiling {
+		t.Fatalf("first-seen request must report Compiling: %+v", resp)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if n := atomic.LoadInt32(&compiles); n != 1 {
+		t.Fatalf("shutdown must drain the background compile, got %d compiles", n)
+	}
+	if st := ec.Stats(); st.Persists != 1 {
+		t.Fatalf("drained compile must persist its engine: %+v", st)
+	}
+}
+
+// TestCacheFaultsDegradeToMiss arms the cache-read and cache-write probes
+// at rate 1.0: every load degrades to a recompile and every persist is
+// dropped, but no request may fail.
+func TestCacheFaultsDegradeToMiss(t *testing.T) {
+	inj, err := faultinject.FromSpec("cache-read:transient:1.0,cache-write:transient:1.0", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, enc := cacheCodecs()
+	ec, err := enginecache.Open(t.TempDir(), "serve-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec.SetFaults(inj)
+
+	var compiles int32
+	s := New(Config{
+		MaxConcurrent: 4,
+		EngineCache:   ec, DecodeEngine: dec, EncodeEngine: enc,
+	}, realCompile(&compiles))
+	defer s.Close()
+	if err := s.Register("mlp", buildMLP); err != nil {
+		t.Fatal(err)
+	}
+
+	r := tensor.NewRNG(7)
+	for i := 0; i < 4; i++ {
+		if _, err := s.Infer(context.Background(), &Request{
+			Model: "mlp", Inputs: []*tensor.Tensor{tensor.RandN(r, 0.5, 2+i, 12)},
+		}); err != nil {
+			t.Fatalf("request %d must survive cache faults: %v", i, err)
+		}
+	}
+	st := ec.Stats()
+	if st.ReadErr == 0 || st.WriteErr == 0 {
+		t.Fatalf("both cache probes must have fired: %+v", st)
+	}
+	if st.Persists != 0 || st.Hits != 0 {
+		t.Fatalf("all cache IO must have been rejected: %+v", st)
+	}
+	if n := atomic.LoadInt32(&compiles); n != 1 {
+		t.Fatalf("singleflight must still bound compilations, got %d", n)
+	}
+}
+
+// TestCachePersistLoadAcrossServers is the serve-layer restart check: a
+// second server sharing the cache serves without its compile function
+// ever being invoked.
+func TestCachePersistLoadAcrossServers(t *testing.T) {
+	dec, enc := cacheCodecs()
+	dir := t.TempDir()
+	ecA, err := enginecache.Open(dir, "serve-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var compilesA int32
+	a := New(Config{MaxConcurrent: 2, EngineCache: ecA, DecodeEngine: dec, EncodeEngine: enc},
+		realCompile(&compilesA))
+	if err := a.Register("mlp", buildMLP); err != nil {
+		t.Fatal(err)
+	}
+	r := tensor.NewRNG(9)
+	if _, err := a.Infer(context.Background(), &Request{
+		Model: "mlp", Inputs: []*tensor.Tensor{tensor.RandN(r, 0.5, 4, 12)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	if atomic.LoadInt32(&compilesA) != 1 {
+		t.Fatalf("first server must compile once, got %d", compilesA)
+	}
+
+	ecB, err := enginecache.Open(dir, "serve-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var compilesB int32
+	b := New(Config{MaxConcurrent: 2, EngineCache: ecB, DecodeEngine: dec, EncodeEngine: enc},
+		realCompile(&compilesB))
+	defer b.Close()
+	if err := b.Register("mlp", buildMLP); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Infer(context.Background(), &Request{
+		Model: "mlp", Inputs: []*tensor.Tensor{tensor.RandN(r, 0.5, 6, 12)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt32(&compilesB) != 0 {
+		t.Fatalf("second server must serve from disk, got %d compiles", compilesB)
+	}
+	st := b.Stats()
+	if st.EngineLoads != 1 {
+		t.Fatalf("second server must load the persisted engine: %+v", st)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"godisc/internal/discerr"
+	"godisc/internal/enginecache"
 	"godisc/internal/exec"
 	"godisc/internal/graph"
 	"godisc/internal/obs"
@@ -134,6 +135,38 @@ type Config struct {
 	// bounded per server — not multiplied per concurrent request.
 	Workers int
 
+	// EngineCache, when non-nil, is a persistent engine cache consulted
+	// (inside the singleflight) before compiling and populated after each
+	// successful compilation, so a restarted server reaches full speed
+	// without recompiling anything. Requires DecodeEngine/EncodeEngine to
+	// translate between Engines and cache payloads; without codecs the
+	// cache is inert.
+	EngineCache *enginecache.Cache
+	// CacheDir + CacheFingerprint open an EngineCache when one was not
+	// provided directly. The fingerprint names the compiler configuration
+	// (godisc.NewServer derives it from the compile options); entries from
+	// a different fingerprint are quarantined, never served. An unopenable
+	// directory disables persistence rather than failing the server — a
+	// hostile cache dir must not take serving down.
+	CacheDir         string
+	CacheFingerprint string
+	// DecodeEngine rebuilds an Engine from a persisted cache payload;
+	// EncodeEngine serializes one for persistence (engines that do not
+	// serialize return an error, which skips the persist).
+	DecodeEngine func(payload []byte) (Engine, error)
+	EncodeEngine func(e Engine) ([]byte, error)
+
+	// AsyncCompile changes how first-seen signatures are served: instead
+	// of stalling the request behind the compiler, the request is answered
+	// immediately through the interpreter fallback while a background
+	// worker (bounded by CompileWorkers, charged against the memory
+	// governor) compiles the engine; once it lands in the cache, later
+	// requests run compiled. Persistent-cache entries still load inline —
+	// decoding is milliseconds, so only true compilations go async.
+	AsyncCompile bool
+	// CompileWorkers bounds concurrent background compilations (default 2).
+	CompileWorkers int
+
 	// Observer, when non-nil, receives one hierarchical span per Infer
 	// call (infer → cache-lookup/compile → exec → kernel/partition →
 	// fallback/retry). The exec-layer children only appear when the
@@ -184,6 +217,11 @@ type Response struct {
 	// extent (rows) of that run. Both stay zero on the solo path.
 	Batched   bool
 	BatchSize int
+	// Compiling reports that the signature's engine was not ready and is
+	// being built in the background (Config.AsyncCompile): this response
+	// came from the interpreter (Fallback is also set), and a later
+	// request will find the compiled engine.
+	Compiling bool
 }
 
 // Server is a concurrency-safe inference frontend over compiled engines.
@@ -202,6 +240,13 @@ type Server struct {
 
 	// inflight counts admitted Infer calls; Shutdown waits on it.
 	inflight sync.WaitGroup
+
+	// Async compilation state: compileSem bounds concurrent background
+	// builds, compiling dedupes per key (under mu), compileWG is joined by
+	// Shutdown so no build outlives the server.
+	compileSem chan struct{}
+	compiling  map[string]struct{}
+	compileWG  sync.WaitGroup
 
 	// forceCtx is cancelled by Shutdown when the drain deadline expires,
 	// which cancels every in-flight request's derived context.
@@ -291,6 +336,17 @@ func New(cfg Config, compile CompileFunc) *Server {
 	if cfg.MaxBatchSize > 1 && cfg.MaxLinger <= 0 {
 		cfg.MaxLinger = lingerDefault
 	}
+	if cfg.CompileWorkers <= 0 {
+		cfg.CompileWorkers = 2
+	}
+	if cfg.EngineCache == nil && cfg.CacheDir != "" && cfg.CacheFingerprint != "" {
+		// Best effort: an unopenable cache dir disables persistence, it
+		// must not take the server down.
+		if ec, err := enginecache.Open(cfg.CacheDir, cfg.CacheFingerprint); err == nil {
+			cfg.EngineCache = ec
+		}
+	}
+	cfg.EngineCache.SetMetrics(cfg.Metrics)
 	var pool *exec.WorkerPool
 	if cfg.Workers > 1 {
 		pool = exec.NewWorkerPool(cfg.Workers)
@@ -304,6 +360,8 @@ func New(cfg Config, compile CompileFunc) *Server {
 		pool:        pool,
 		models:      map[string]*modelEntry{},
 		breakers:    map[string]*breaker{},
+		compileSem:  make(chan struct{}, cfg.CompileWorkers),
+		compiling:   map[string]struct{}{},
 		forceCtx:    forceCtx,
 		forceCancel: forceCancel,
 		adm:         newAdmitter(cfg, stats),
@@ -330,6 +388,11 @@ func (s *Server) Governor() *ral.Governor { return s.gov }
 // exec.Options.WorkerPool so concurrent requests multiplex one bounded
 // set of helper goroutines instead of spawning Workers-1 each.
 func (s *Server) WorkerPool() *exec.WorkerPool { return s.pool }
+
+// EngineCache returns the persistent engine cache the server serves from,
+// or nil when engine persistence is disabled. Callers may Scan it at
+// startup to report cache health before taking traffic.
+func (s *Server) EngineCache() *enginecache.Cache { return s.cfg.EngineCache }
 
 // Register adds a named model builder. Builders must be deterministic
 // (same graph, same weights on every call) and are invoked lazily: once
@@ -373,20 +436,194 @@ func (s *Server) engine(m *modelEntry, sp *obs.Span) (Engine, string, bool, erro
 	defer lsp.End()
 	key := m.name + "@" + sig
 	v, hit, err := s.cache.GetOrCompile(key, func() (any, error) {
-		csp := lsp.Child("compile", obs.A("signature", sig))
-		defer csp.End()
-		eng, err := s.compile(m.build())
-		if err != nil {
-			return nil, fmt.Errorf("serve: model %q (signature %s): %v: %w",
-				m.name, sig, err, discerr.ErrCompileFailed)
-		}
-		return eng, nil
+		return s.buildEngine(m, sig, key, nil, lsp)
 	})
 	lsp.SetAttr("hit", fmt.Sprintf("%t", hit))
 	if err != nil {
 		return nil, sig, hit, err
 	}
 	return v.(Engine), sig, hit, nil
+}
+
+// buildEngine resolves an engine that is not in memory: the persistent
+// cache first (a decode, not a compile), the compiler second — persisting
+// the fresh engine for the next process. Runs inside the singleflight, so
+// at most once per key at a time. g, when non-nil, is a pre-built graph
+// the compile may consume (the async path builds one for its footprint
+// estimate); nil means build fresh.
+func (s *Server) buildEngine(m *modelEntry, sig, key string, g *graph.Graph, sp *obs.Span) (any, error) {
+	if eng := s.loadPersisted(m, key, sp); eng != nil {
+		return eng, nil
+	}
+	csp := sp.Child("compile", obs.A("signature", sig))
+	defer csp.End()
+	s.stats.compilation()
+	if g == nil {
+		g = m.build()
+	}
+	eng, err := s.compile(g)
+	if err != nil {
+		return nil, fmt.Errorf("serve: model %q (signature %s): %v: %w",
+			m.name, sig, err, discerr.ErrCompileFailed)
+	}
+	s.persistEngine(m, key, eng)
+	return eng, nil
+}
+
+// loadPersisted tries the persistent engine cache. Every failure mode —
+// no cache, no codec, miss, corruption (quarantined by the cache),
+// fingerprint mismatch, a payload that will not decode — returns nil:
+// the caller compiles. A valid entry also pre-seeds the model's
+// batchability verdict so a warm restart skips that analysis too.
+func (s *Server) loadPersisted(m *modelEntry, key string, sp *obs.Span) Engine {
+	ec, dec := s.cfg.EngineCache, s.cfg.DecodeEngine
+	if ec == nil || dec == nil {
+		return nil
+	}
+	ent, _ := ec.Load(key) // nil entry covers every failure; error is diagnostic
+	if ent == nil {
+		return nil
+	}
+	eng, err := dec(ent.Payload)
+	if err != nil {
+		// Checksum passed but the image didn't decode: a compiler change
+		// the fingerprint failed to capture. Recompiling overwrites it.
+		sp.SetAttr("decode_error", err.Error())
+		return nil
+	}
+	if ent.BatchKnown {
+		m.batchOnce.Do(func() {
+			m.binfo = batchInfo{ok: ent.Batchable, reason: ent.BatchReason, maxRows: ent.BatchMaxRows}
+		})
+	}
+	sp.SetAttr("persisted", "true")
+	return eng
+}
+
+// persistEngine writes a freshly compiled engine to the persistent cache,
+// best effort: an engine that does not serialize (test stubs) or a failed
+// write (full disk, injected fault) is simply not persisted — the entry
+// slot stays empty or keeps its previous content.
+func (s *Server) persistEngine(m *modelEntry, key string, eng Engine) {
+	ec, enc := s.cfg.EngineCache, s.cfg.EncodeEngine
+	if ec == nil || enc == nil {
+		return
+	}
+	payload, err := enc(eng)
+	if err != nil || payload == nil {
+		return
+	}
+	info := m.batchable()
+	_ = ec.Persist(&enginecache.Entry{
+		Key:          key,
+		BatchKnown:   true,
+		Batchable:    info.ok,
+		BatchReason:  info.reason,
+		BatchMaxRows: info.maxRows,
+		Payload:      payload,
+	})
+}
+
+// engineFast resolves an engine without ever blocking on a compilation:
+// the in-memory cache, then an inline load from the persistent cache
+// (decoding is milliseconds, not a compile). ready=false means no engine
+// exists yet anywhere — the caller kicks a background compile and serves
+// the request through the interpreter.
+func (s *Server) engineFast(m *modelEntry, sig, key string, sp *obs.Span) (eng Engine, hit, ready bool) {
+	lsp := sp.Child("cache-lookup", obs.A("signature", sig), obs.A("async", "true"))
+	defer lsp.End()
+	if v, ok := s.cache.Peek(key); ok {
+		lsp.SetAttr("hit", "true")
+		return v.(Engine), true, true
+	}
+	lsp.SetAttr("hit", "false")
+	if eng := s.loadPersisted(m, key, lsp); eng != nil {
+		s.cache.Put(key, eng)
+		return eng, false, true
+	}
+	return nil, false, false
+}
+
+// compileAsync launches (at most one per key) a background build of an
+// engine: persistent-cache load or full compilation under the in-memory
+// singleflight, bounded by the compile-worker semaphore, charged against
+// the memory governor for the constants the engine will hold resident,
+// and drained by Shutdown. Failures feed the signature's circuit breaker
+// exactly like request-path compile failures, so a signature that cannot
+// compile quarantines instead of re-compiling on every request.
+func (s *Server) compileAsync(m *modelEntry, sig, key string) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if _, dup := s.compiling[key]; dup {
+		s.mu.Unlock()
+		return
+	}
+	s.compiling[key] = struct{}{}
+	s.compileWG.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.compileWG.Done()
+		defer func() {
+			s.mu.Lock()
+			delete(s.compiling, key)
+			s.mu.Unlock()
+		}()
+		select {
+		case s.compileSem <- struct{}{}:
+		case <-s.forceCtx.Done():
+			return
+		}
+		defer func() { <-s.compileSem }()
+		s.stats.compileInflight(1)
+		defer s.stats.compileInflight(-1)
+		var sp *obs.Span
+		if s.cfg.Observer != nil {
+			sp = s.cfg.Observer.StartSpan("compile-async",
+				obs.A("model", m.name), obs.A("signature", sig))
+			defer sp.End()
+		}
+		// Reserve the engine's resident constant bytes against the memory
+		// governor while compiling, so a storm of first-seen signatures
+		// cannot blow the budget; released once the engine is cached (its
+		// runs reserve their own footprints).
+		g := m.build()
+		if s.gov != nil && g != nil {
+			if est := graphConstBytes(g); est > 0 {
+				release, err := s.gov.Reserve(s.forceCtx, est)
+				if err != nil {
+					// Budget pressure: drop this attempt; the next request
+					// for the signature re-kicks the compile.
+					sp.SetAttr("error", err.Error())
+					return
+				}
+				defer release()
+			}
+		}
+		_, _, err := s.cache.GetOrCompile(key, func() (any, error) {
+			return s.buildEngine(m, sig, key, g, sp)
+		})
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+			if br := s.breakerFor(key); br.failure(time.Now()) {
+				s.stats.breakerOpened()
+			}
+		}
+	}()
+}
+
+// graphConstBytes sums the constant payload bytes of a graph — the
+// compile-time memory estimate charged to the governor by compileAsync.
+func graphConstBytes(g *graph.Graph) int64 {
+	var n int64
+	for _, nd := range g.Nodes() {
+		if nd.Lit != nil {
+			n += int64(nd.Lit.Bytes())
+		}
+	}
+	return n
 }
 
 // Warm compiles a model's engine eagerly (outside admission control), so
@@ -540,7 +777,27 @@ func (s *Server) Infer(ctx context.Context, req *Request) (resp *Response, retEr
 				return nil, err
 			}
 		}
-		eng, _, hit, err := s.engine(m, sp)
+		var eng Engine
+		var hit bool
+		var err error
+		if s.cfg.AsyncCompile && !s.cfg.DisableFallback {
+			var ready bool
+			eng, hit, ready = s.engineFast(m, sig, key, sp)
+			if !ready {
+				// First-seen signature: kick the background build and
+				// answer now through the interpreter — the request never
+				// stalls behind the compiler.
+				s.compileAsync(m, sig, key)
+				s.stats.cacheMiss()
+				resp, ferr := s.fallback(ctx, sp, m, req, sig, queueNs, retries, nil)
+				if resp != nil {
+					resp.Compiling = true
+				}
+				return s.finish(resp, ferr)
+			}
+		} else {
+			eng, _, hit, err = s.engine(m, sp)
+		}
 		if err != nil {
 			lastErr = err
 			if errors.Is(err, discerr.ErrTransient) && attempt < s.cfg.MaxRetries && ctx.Err() == nil {
@@ -748,6 +1005,13 @@ func (s *Server) fallback(ctx context.Context, sp *obs.Span, m *modelEntry, req 
 func (s *Server) Stats() Stats {
 	st := s.stats.snapshot()
 	_, _, st.Engines = s.cache.Stats()
+	if ec := s.cfg.EngineCache; ec != nil {
+		ecs := ec.Stats()
+		st.EngineLoads = ecs.Hits
+		st.EnginePersists = ecs.Persists
+		st.EngineCorrupt = ecs.Corrupt
+		st.EngineMismatch = ecs.Mismatch
+	}
 	if s.gov != nil {
 		gs := s.gov.Stats()
 		st.MemBudgetBytes = gs.BudgetBytes
@@ -772,6 +1036,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
+		// Background compiles are drained too: a build must not race the
+		// process teardown (a half-written cache entry is recoverable, but
+		// there is no reason to create one on a clean shutdown).
+		s.compileWG.Wait()
 		close(done)
 	}()
 	select {

@@ -21,10 +21,22 @@ type Stats struct {
 	Requests, Completed, Rejected, Canceled, Failed int64
 
 	// CacheHits/CacheMisses count engine-cache lookups by executed
-	// requests; misses equal compilations paid for. Engines is the number
-	// of distinct (model, signature) entries compiled and cached.
+	// requests. Engines is the number of distinct (model, signature)
+	// entries resident in memory. Compilations counts actual compiler
+	// invocations — unlike CacheMisses it excludes engines loaded from the
+	// persistent cache, so a warm restart over a populated cache dir keeps
+	// it at zero.
 	CacheHits, CacheMisses int64
 	Engines                int
+	Compilations           int64
+
+	// Persistent engine cache activity (all zero without
+	// Config.EngineCache). EngineLoads counts engines deserialized from
+	// disk instead of compiled; EnginePersists entries written;
+	// EngineCorrupt/EngineMismatch entries quarantined for damage or a
+	// foreign compiler fingerprint.
+	EngineLoads, EnginePersists   int64
+	EngineCorrupt, EngineMismatch int64
 
 	// Governance counters — each is a disjoint sub-bucket of Rejected
 	// except WatchdogCancels (hung runs usually complete via fallback).
@@ -100,6 +112,10 @@ func (st Stats) String() string {
 		s += fmt.Sprintf(" | mem=%d/%d high=%d waits=%d",
 			st.MemReservedBytes, st.MemBudgetBytes, st.MemHighWaterBytes, st.MemWaits)
 	}
+	if st.EngineLoads+st.EnginePersists+st.EngineCorrupt+st.EngineMismatch > 0 {
+		s += fmt.Sprintf(" | enginecache=%d loaded/%d persisted corrupt=%d mismatch=%d compilations=%d",
+			st.EngineLoads, st.EnginePersists, st.EngineCorrupt, st.EngineMismatch, st.Compilations)
+	}
 	return s
 }
 
@@ -120,6 +136,8 @@ type collector struct {
 	cShed, cQueueFull, cInfeasible, cQuota, cMemory      *obs.Counter
 	cWatchdog                                            *obs.Counter
 	cBatchOK, cBatchSolo, cBatchErr, cBatchedReqs        *obs.Counter
+	cCompilations                                        *obs.Counter
+	gCompileInflight                                     *obs.Gauge
 	hLatency, hBatchSize, hBatchLinger                   *obs.Histogram
 
 	mu                     sync.Mutex
@@ -137,33 +155,35 @@ func newCollector(reg *obs.Registry) *collector {
 		reg = obs.NewRegistry()
 	}
 	c := &collector{
-		reg:             reg,
-		cRequests:       reg.Counter("godisc_requests_total"),
-		cCompleted:      reg.Counter("godisc_requests_outcome_total", obs.L("outcome", "completed")),
-		cRejected:       reg.Counter("godisc_requests_outcome_total", obs.L("outcome", "rejected")),
-		cCanceled:       reg.Counter("godisc_requests_outcome_total", obs.L("outcome", "canceled")),
-		cFailed:         reg.Counter("godisc_requests_outcome_total", obs.L("outcome", "failed")),
-		cHits:           reg.Counter("godisc_cache_lookups_total", obs.L("result", "hit")),
-		cMisses:         reg.Counter("godisc_cache_lookups_total", obs.L("result", "miss")),
-		cFallback:       reg.Counter("godisc_fallback_total"),
-		cRetries:        reg.Counter("godisc_retries_total"),
-		cPanics:         reg.Counter("godisc_kernel_panics_total"),
-		cBreakerOpens:   reg.Counter("godisc_breaker_transitions_total", obs.L("to", "open")),
-		cBreakerShorted: reg.Counter("godisc_breaker_short_circuits_total"),
-		cShed:           reg.Counter("godisc_admission_rejects_total", obs.L("reason", "shed")),
-		cQueueFull:      reg.Counter("godisc_admission_rejects_total", obs.L("reason", "queue-full")),
-		cInfeasible:     reg.Counter("godisc_admission_rejects_total", obs.L("reason", "deadline-infeasible")),
-		cQuota:          reg.Counter("godisc_admission_rejects_total", obs.L("reason", "quota")),
-		cMemory:         reg.Counter("godisc_admission_rejects_total", obs.L("reason", "memory-budget")),
-		cWatchdog:       reg.Counter("godisc_watchdog_cancels_total"),
-		cBatchOK:        reg.Counter("godisc_batches_total", obs.L("outcome", "ok")),
-		cBatchSolo:      reg.Counter("godisc_batches_total", obs.L("outcome", "solo")),
-		cBatchErr:       reg.Counter("godisc_batches_total", obs.L("outcome", "error")),
-		cBatchedReqs:    reg.Counter("godisc_batched_requests_total"),
-		hLatency:        reg.Histogram("godisc_latency_sim_ns", obs.LatencyNsBuckets()),
-		hBatchSize:      reg.Histogram("godisc_batch_size", obs.ExpBuckets(1, 2, 10)),
-		hBatchLinger:    reg.Histogram("godisc_batch_linger_ns", obs.LatencyNsBuckets()),
-		samples:         make([]float64, 0, 256),
+		reg:              reg,
+		cRequests:        reg.Counter("godisc_requests_total"),
+		cCompleted:       reg.Counter("godisc_requests_outcome_total", obs.L("outcome", "completed")),
+		cRejected:        reg.Counter("godisc_requests_outcome_total", obs.L("outcome", "rejected")),
+		cCanceled:        reg.Counter("godisc_requests_outcome_total", obs.L("outcome", "canceled")),
+		cFailed:          reg.Counter("godisc_requests_outcome_total", obs.L("outcome", "failed")),
+		cHits:            reg.Counter("godisc_cache_lookups_total", obs.L("result", "hit")),
+		cMisses:          reg.Counter("godisc_cache_lookups_total", obs.L("result", "miss")),
+		cFallback:        reg.Counter("godisc_fallback_total"),
+		cRetries:         reg.Counter("godisc_retries_total"),
+		cPanics:          reg.Counter("godisc_kernel_panics_total"),
+		cBreakerOpens:    reg.Counter("godisc_breaker_transitions_total", obs.L("to", "open")),
+		cBreakerShorted:  reg.Counter("godisc_breaker_short_circuits_total"),
+		cShed:            reg.Counter("godisc_admission_rejects_total", obs.L("reason", "shed")),
+		cQueueFull:       reg.Counter("godisc_admission_rejects_total", obs.L("reason", "queue-full")),
+		cInfeasible:      reg.Counter("godisc_admission_rejects_total", obs.L("reason", "deadline-infeasible")),
+		cQuota:           reg.Counter("godisc_admission_rejects_total", obs.L("reason", "quota")),
+		cMemory:          reg.Counter("godisc_admission_rejects_total", obs.L("reason", "memory-budget")),
+		cWatchdog:        reg.Counter("godisc_watchdog_cancels_total"),
+		cBatchOK:         reg.Counter("godisc_batches_total", obs.L("outcome", "ok")),
+		cBatchSolo:       reg.Counter("godisc_batches_total", obs.L("outcome", "solo")),
+		cBatchErr:        reg.Counter("godisc_batches_total", obs.L("outcome", "error")),
+		cBatchedReqs:     reg.Counter("godisc_batched_requests_total"),
+		cCompilations:    reg.Counter("godisc_compilations_total"),
+		gCompileInflight: reg.Gauge("godisc_compile_inflight"),
+		hLatency:         reg.Histogram("godisc_latency_sim_ns", obs.LatencyNsBuckets()),
+		hBatchSize:       reg.Histogram("godisc_batch_size", obs.ExpBuckets(1, 2, 10)),
+		hBatchLinger:     reg.Histogram("godisc_batch_linger_ns", obs.LatencyNsBuckets()),
+		samples:          make([]float64, 0, 256),
 	}
 	reg.GaugeFunc("godisc_queue_depth", func() float64 {
 		c.mu.Lock()
@@ -184,6 +204,12 @@ func (c *collector) canceled()  { c.cCanceled.Inc() }
 func (c *collector) failed()    { c.cFailed.Inc() }
 func (c *collector) cacheHit()  { c.cHits.Inc() }
 func (c *collector) cacheMiss() { c.cMisses.Inc() }
+
+// compilation records one actual compiler invocation (not a persistent-
+// cache load); compileInflight tracks background builds for the
+// godisc_compile_inflight gauge.
+func (c *collector) compilation()              { c.cCompilations.Inc() }
+func (c *collector) compileInflight(d float64) { c.gCompileInflight.Add(d) }
 
 func (c *collector) retry()          { c.cRetries.Inc() }
 func (c *collector) kernelPanic()    { c.cPanics.Inc() }
@@ -291,6 +317,7 @@ func (c *collector) snapshot() Stats {
 		Rejected: c.cRejected.Value(), Canceled: c.cCanceled.Value(),
 		Failed:    c.cFailed.Value(),
 		CacheHits: c.cHits.Value(), CacheMisses: c.cMisses.Value(),
+		Compilations: c.cCompilations.Value(),
 		FallbackRuns: c.cFallback.Value(), Retries: c.cRetries.Value(),
 		KernelPanics: c.cPanics.Value(),
 		BreakerOpens: c.cBreakerOpens.Value(), BreakerShortCircuits: c.cBreakerShorted.Value(),
