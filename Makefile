@@ -21,7 +21,7 @@ test:
 race:
 	go test -race ./internal/serve ./internal/exec ./internal/ral ./internal/workload \
 		./internal/obs ./internal/opt ./internal/fusion ./internal/faultinject \
-		./internal/enginecache .
+		./internal/enginecache ./internal/kir .
 
 # cover enforces per-package coverage floors on the serving/execution/
 # observability core. Floors sit a few points under the measured value at
@@ -40,13 +40,15 @@ cover:
 	done; exit $$fail
 
 # fuzz runs the native fuzz targets (trace-file and fault-spec parsers,
-# and the engine-cache entry decoder) for FUZZTIME each. Crashers land in
-# testdata/fuzz/ for triage.
+# the engine-cache entry decoder, and the KIR differential generator —
+# random kernel programs interpreted vs bytecode vs closures, bit-exact)
+# for FUZZTIME each. Crashers land in testdata/fuzz/ for triage.
 FUZZTIME ?= 30s
 fuzz:
 	go test -fuzz=FuzzTraceSpec -fuzztime=$(FUZZTIME) ./internal/workload
 	go test -fuzz=FuzzFaultSpec -fuzztime=$(FUZZTIME) ./internal/faultinject
 	go test -fuzz=FuzzEngineCacheDecode -fuzztime=$(FUZZTIME) ./internal/enginecache
+	go test -fuzz=FuzzKIRProgram -fuzztime=$(FUZZTIME) ./internal/kir
 
 # chaos replays the serve/exec suites under -race with fault injection
 # armed at a fresh random seed. The seed is printed so a failing run
@@ -68,15 +70,16 @@ soak:
 		-run TestSoakGovernedOverload ./internal/serve
 
 # bench runs every experiment benchmark once and checks the parsed
-# results into BENCH_PR7.json (per-experiment custom metrics, including
-# the E15 dynamic-batching saturation run and the E16 cold-start table).
+# results into BENCH_PR8.json (per-experiment custom metrics, now
+# including the E17 bytecode-vs-closure kernel ablation with its
+# aggregate real wall-clock speedup and bit-identity bit).
 # -benchtime=1x because each benchmark iteration is itself a whole
 # experiment replay.
 bench:
 	go test -run '^$$' -bench=. -benchtime=1x -benchmem . | tee bench.out
-	go run ./cmd/benchjson -in bench.out -out BENCH_PR7.json
+	go run ./cmd/benchjson -in bench.out -out BENCH_PR8.json
 	@rm -f bench.out
-	@echo "wrote BENCH_PR7.json"
+	@echo "wrote BENCH_PR8.json"
 
 # bench-compare prints deltas between the two most recent checked-in
 # BENCH_*.json files (or against itself when only one exists). It is

@@ -15,6 +15,7 @@ import (
 	"godisc/internal/device"
 	"godisc/internal/exec"
 	"godisc/internal/graph"
+	"godisc/internal/kir"
 	"godisc/internal/models"
 	"godisc/internal/obs"
 	"godisc/internal/symshape"
@@ -32,15 +33,21 @@ func main() {
 		verify  = flag.Bool("verify", true, "check outputs against the reference interpreter")
 		workers = flag.Int("workers", exec.DefaultWorkers(),
 			"engine execution goroutines per run (1 = sequential; default GODISC_WORKERS or GOMAXPROCS)")
+		execMode = flag.String("exec-mode", "bytecode",
+			"kernel execution substrate: bytecode (VM) or closure (retained oracle)")
 		traceOut = flag.String("trace-out", "",
 			"write per-run execution traces as a Chrome trace_event file (open in chrome://tracing)")
 	)
 	flag.Parse()
-	var err error
+	em, err := kir.ParseExecMode(*execMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "discrun:", err)
+		os.Exit(1)
+	}
 	if *in != "" {
-		err = runArtifact(*in, *binds, *dev, *workers, *traceOut)
+		err = runArtifact(*in, *binds, *dev, *workers, *traceOut, em)
 	} else {
-		err = run(*model, *dev, *batch, *seqs, *verify, *workers, *traceOut)
+		err = run(*model, *dev, *batch, *seqs, *verify, *workers, *traceOut, em)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "discrun:", err)
@@ -51,7 +58,7 @@ func main() {
 // runArtifact loads a serialized graph, binds the user-supplied dynamic
 // dim values, synthesizes random inputs of the resulting shapes, and runs
 // the compiled executable with verification against the reference.
-func runArtifact(path, binds, devName string, workers int, traceOut string) error {
+func runArtifact(path, binds, devName string, workers int, traceOut string, em kir.ExecMode) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -129,6 +136,7 @@ func runArtifact(path, binds, devName string, workers int, traceOut string) erro
 		return err
 	}
 	params := baselines.BladeDISCParams()
+	params.Codegen.ExecMode = em
 	params.Workers = workers
 	tracer := newTracer(traceOut)
 	params.Hook = hookOrNil(tracer)
@@ -169,7 +177,7 @@ func keys(m map[string]symshape.DimID) []string {
 	return out
 }
 
-func run(model, devName string, batch int, seqs string, verify bool, workers int, traceOut string) error {
+func run(model, devName string, batch int, seqs string, verify bool, workers int, traceOut string, em kir.ExecMode) error {
 	m, err := models.ByName(model)
 	if err != nil {
 		return err
@@ -179,6 +187,7 @@ func run(model, devName string, batch int, seqs string, verify bool, workers int
 		return err
 	}
 	params := baselines.BladeDISCParams()
+	params.Codegen.ExecMode = em
 	params.Workers = workers
 	tracer := newTracer(traceOut)
 	params.Hook = hookOrNil(tracer)

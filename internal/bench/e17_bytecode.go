@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"godisc/internal/baselines"
+	"godisc/internal/kir"
+	"godisc/internal/tensor"
+)
+
+// BytecodeRow is one model of the kernel-execution ablation (E17): the same
+// trace invoked for real (not simulated) under the bytecode VM and the
+// retained closure oracle, with bit-identity checked on every output of
+// every request. Times are real host wall-clock nanoseconds per request.
+type BytecodeRow struct {
+	Model string
+	// KernelNs is wall time spent inside compiled kernel programs — the
+	// substrate this PR owns. InvokeNs is the whole Invoke call, which also
+	// includes library calls (matmul), executor scheduling, and cache
+	// lookups identical in both modes.
+	BytecodeKernelNs float64
+	ClosureKernelNs  float64
+	BytecodeInvokeNs float64
+	ClosureInvokeNs  float64
+	KernelSpeedup    float64
+	InvokeSpeedup    float64
+	Requests         int
+	BitIdentical     bool
+}
+
+// BytecodeAblation runs experiment E17: real wall-time kernel execution,
+// bytecode vs closure, over the standard serving trace of every model in the
+// suite. Both modes see identical inputs; outputs must agree bit for bit
+// (math.Float32bits), extending the kir differential suite to whole models.
+func BytecodeAblation(cfg Config) ([]BytecodeRow, error) {
+	dev, err := cfg.device()
+	if err != nil {
+		return nil, err
+	}
+	suite, err := cfg.modelSet()
+	if err != nil {
+		return nil, err
+	}
+	var rows []BytecodeRow
+	for _, m := range suite {
+		bp := baselines.BladeDISCParams()
+		bp.Codegen.ExecMode = kir.ModeBytecode // both sides pinned: the ablation ignores cfg.ExecMode
+		sB, err := baselines.NewCompiled(m.Build(), dev, bp)
+		if err != nil {
+			return nil, fmt.Errorf("bench: E17 bytecode on %s: %w", m.Name, err)
+		}
+		cp := baselines.BladeDISCParams()
+		cp.Codegen.ExecMode = kir.ModeClosure
+		sC, err := baselines.NewCompiled(m.Build(), dev, cp)
+		if err != nil {
+			return nil, fmt.Errorf("bench: E17 closure on %s: %w", m.Name, err)
+		}
+		tr := cfg.traceFor(m)
+		row := BytecodeRow{Model: m.Name, Requests: len(tr.Points), BitIdentical: true}
+		// Warmup pass populates both engine caches so the measured pass
+		// holds only execution, not compilation.
+		for pass := 0; pass < 2; pass++ {
+			row.BytecodeKernelNs, row.ClosureKernelNs = 0, 0
+			row.BytecodeInvokeNs, row.ClosureInvokeNs = 0, 0
+			for i, p := range tr.Points {
+				r := tensor.NewRNG(cfg.Seed + uint64(i)*7919)
+				ins := m.GenInputs(r, p.Batch, p.Seq)
+				startB := time.Now()
+				outB, profB, err := sB.Invoke(ins)
+				row.BytecodeInvokeNs += float64(time.Since(startB))
+				if err != nil {
+					return nil, fmt.Errorf("bench: E17 bytecode invoke %s: %w", m.Name, err)
+				}
+				startC := time.Now()
+				outC, profC, err := sC.Invoke(ins)
+				row.ClosureInvokeNs += float64(time.Since(startC))
+				if err != nil {
+					return nil, fmt.Errorf("bench: E17 closure invoke %s: %w", m.Name, err)
+				}
+				row.BytecodeKernelNs += profB.KernelWallNs
+				row.ClosureKernelNs += profC.KernelWallNs
+				if !outputsBitEqual(outB, outC) {
+					row.BitIdentical = false
+				}
+			}
+		}
+		n := float64(len(tr.Points))
+		row.BytecodeKernelNs /= n
+		row.ClosureKernelNs /= n
+		row.BytecodeInvokeNs /= n
+		row.ClosureInvokeNs /= n
+		if row.BytecodeKernelNs > 0 {
+			row.KernelSpeedup = row.ClosureKernelNs / row.BytecodeKernelNs
+		}
+		if row.BytecodeInvokeNs > 0 {
+			row.InvokeSpeedup = row.ClosureInvokeNs / row.BytecodeInvokeNs
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func outputsBitEqual(a, b []*tensor.Tensor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].DType() != b[i].DType() || a[i].Numel() != b[i].Numel() {
+			return false
+		}
+		if a[i].DType() != tensor.F32 {
+			continue
+		}
+		xs, ys := a[i].F32(), b[i].F32()
+		for j := range xs {
+			if math.Float32bits(xs[j]) != math.Float32bits(ys[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// PrintBytecodeAblation renders the E17 table.
+func PrintBytecodeAblation(w io.Writer, cfg Config, rows []BytecodeRow) {
+	fmt.Fprintf(w, "Kernel execution ablation on %s (E17): bytecode VM vs closure oracle, real wall ns/request\n\n", cfg.Device)
+	fmt.Fprintf(w, "%-9s %12s %12s %8s %12s %12s %8s %6s\n",
+		"model", "kern bc", "kern clos", "speedup", "invoke bc", "invoke clos", "speedup", "bits")
+	printRule(w, 9, 10)
+	var sumB, sumC float64
+	allBits := true
+	for _, r := range rows {
+		bits := "same"
+		if !r.BitIdentical {
+			bits = "DIFF"
+			allBits = false
+		}
+		fmt.Fprintf(w, "%-9s %11.0fn %11.0fn %7.2fx %11.0fn %11.0fn %7.2fx %6s\n",
+			r.Model, r.BytecodeKernelNs, r.ClosureKernelNs, r.KernelSpeedup,
+			r.BytecodeInvokeNs, r.ClosureInvokeNs, r.InvokeSpeedup, bits)
+		sumB += r.BytecodeKernelNs
+		sumC += r.ClosureKernelNs
+	}
+	if sumB > 0 {
+		fmt.Fprintf(w, "\nsuite aggregate kernel-substrate speedup: %.2fx (bit-identical: %v)\n", sumC/sumB, allBits)
+	}
+}

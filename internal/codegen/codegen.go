@@ -28,6 +28,10 @@ type Options struct {
 	// SpeculateLikely emits a variant specialized to a dimension's
 	// declared likely value, dispatched on runtime equality.
 	SpeculateLikely bool
+	// ExecMode selects the kernel execution substrate. The zero value is
+	// kir.ModeBytecode; kir.ModeClosure is the previous closure-tree
+	// execution, retained one release as the -exec-mode ablation oracle.
+	ExecMode kir.ExecMode
 }
 
 // DefaultOptions enables all specializations.
@@ -212,6 +216,10 @@ type lowerer struct {
 	// fixed substitutes constants for dims while building a speculative
 	// variant body (nil outside speculation).
 	fixed map[symshape.DimID]int64
+	// rowSplit, when non-nil, redirects operand indexing to the nested
+	// row-loop form (outer row base + stride-1 inner offset) instead of
+	// Div/Mod decompositions of a flat index.
+	rowSplit *rowSplitInfo
 }
 
 // Lower compiles one fusion group into a Kernel.

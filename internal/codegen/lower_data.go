@@ -47,7 +47,7 @@ func (lw *lowerer) lowerDataKernel() (*Kernel, error) {
 	if err != nil {
 		return nil, err
 	}
-	cp, err := prog.Finalize()
+	cp, err := prog.FinalizeMode(lw.opts.ExecMode)
 	if err != nil {
 		return nil, err
 	}
@@ -85,28 +85,50 @@ func (lw *lowerer) shapeExprs(n *graph.Node) []kir.IntExpr {
 	return out
 }
 
-// transposeKernel: out[o] = in[sum coord_i * strideIn[perm[i]]].
+// transposeKernel writes each output row (the innermost output axis) with a
+// stride-1 inner sweep: the outer loop walks rows of the output, decodes the
+// row's coordinates once with a div/mod chain, and the inner loop reads the
+// input at a loop-invariant stride. When the permutation preserves the last
+// axis (the attention (0,2,1,3) family) the source stride folds to 1 and the
+// sweep is a straight row copy; otherwise it is a strided gather. Either way
+// the per-element div/mod decode of the old flat formulation is gone.
 func (lw *lowerer) transposeKernel(n *graph.Node) (*kir.Kernel, error) {
 	in := n.Inputs[0]
 	inBuf := lw.bufIndex[in]
 	outBuf := lw.bufIndex[n]
 	outDims := lw.shapeExprs(n)
 	inDims := lw.shapeExprs(in)
-	outStr := lw.strideExprs(outDims)
 	inStr := lw.strideExprs(inDims)
-	var idx kir.IntExpr = kir.IConst(0)
-	for i, p := range n.Perm {
-		coord := kir.Mod(kir.Div(kir.IVar("o"), outStr[i+1]), outDims[i])
-		idx = kir.Add(idx, kir.Mul(coord, inStr[p+1]))
+	r := n.Rank()
+	last := outDims[r-1]
+	pstr := lw.strideExprs(outDims[:r-1])
+	var prefix kir.IntExpr = kir.IConst(1)
+	for _, d := range outDims[:r-1] {
+		prefix = kir.Mul(prefix, d)
 	}
-	total := lw.numelExpr(n.Shape)
+	// Source base for the row: every output coordinate but the last, scaled
+	// by the input stride of the axis it came from.
+	var src kir.IntExpr = kir.IConst(0)
+	for i := 0; i < r-1; i++ {
+		coord := kir.Mod(kir.Div(kir.IVar("ro"), pstr[i+1]), outDims[i])
+		src = kir.Add(src, kir.Mul(coord, inStr[n.Perm[i]+1]))
+	}
+	step := inStr[n.Perm[r-1]+1]
 	return &kir.Kernel{
 		Name:       fmt.Sprintf("transpose_g%d", lw.g.ID),
 		NumBuffers: lw.nBufs,
 		DimNames:   lw.dimNames(),
 		Body: []kir.Stmt{
-			kir.SLoop{Var: "o", Extent: total, Body: []kir.Stmt{
-				kir.SStore{Buf: outBuf, Idx: kir.IVar("o"), Val: kir.FLoad{Buf: inBuf, Idx: idx}},
+			kir.SLoop{Var: "ro", Extent: prefix, Body: []kir.Stmt{
+				kir.SSetInt{Var: "rb", Val: kir.Mul(kir.IVar("ro"), last)},
+				kir.SSetInt{Var: "sb", Val: src},
+				kir.SLoop{Var: "rj", Extent: last, Flags: kir.LoopStride1, Body: []kir.Stmt{
+					kir.SStore{
+						Buf: outBuf,
+						Idx: kir.Add(kir.IVar("rb"), kir.IVar("rj")),
+						Val: kir.FLoad{Buf: inBuf, Idx: kir.Add(kir.IVar("sb"), kir.Mul(kir.IVar("rj"), step))},
+					},
+				}},
 			}},
 		},
 	}, nil
@@ -138,7 +160,7 @@ func (lw *lowerer) concatKernel(n *graph.Node) (*kir.Kernel, error) {
 		src := kir.Add(kir.Mul(kir.Add(kir.Mul(kir.IVar(ov), ext), kir.IVar(kv)), inner), kir.IVar(iv))
 		body = append(body, kir.SLoop{Var: ov, Extent: outer, Body: []kir.Stmt{
 			kir.SLoop{Var: kv, Extent: ext, Body: []kir.Stmt{
-				kir.SLoop{Var: iv, Extent: inner, Body: []kir.Stmt{
+				kir.SLoop{Var: iv, Extent: inner, Flags: kir.LoopStride1, Body: []kir.Stmt{
 					kir.SStore{Buf: outBuf, Idx: dst, Val: kir.FLoad{Buf: inBuf, Idx: src}},
 				}},
 			}},
@@ -160,20 +182,36 @@ func (lw *lowerer) sliceKernel(n *graph.Node) (*kir.Kernel, error) {
 	outBuf := lw.bufIndex[n]
 	inStr := lw.strideExprs(lw.shapeExprs(in))
 	outDims := lw.shapeExprs(n)
-	outStr := lw.strideExprs(outDims)
-	var idx kir.IntExpr = kir.IConst(0)
-	for i := 0; i < n.Rank(); i++ {
-		coord := kir.Mod(kir.Div(kir.IVar("o"), outStr[i+1]), outDims[i])
-		idx = kir.Add(idx, kir.Mul(kir.Add(coord, kir.IConst(n.Starts[i])), inStr[i+1]))
+	r := n.Rank()
+	last := outDims[r-1]
+	pstr := lw.strideExprs(outDims[:r-1])
+	var prefix kir.IntExpr = kir.IConst(1)
+	for _, d := range outDims[:r-1] {
+		prefix = kir.Mul(prefix, d)
 	}
-	total := lw.numelExpr(n.Shape)
+	// Rows of the window are contiguous in the input (the last axis has
+	// stride 1 on both sides), so the inner sweep is a plain row copy from a
+	// per-row base decoded once in the outer loop.
+	src := kir.Mul(kir.IConst(n.Starts[r-1]), inStr[r])
+	for i := 0; i < r-1; i++ {
+		coord := kir.Mod(kir.Div(kir.IVar("ro"), pstr[i+1]), outDims[i])
+		src = kir.Add(src, kir.Mul(kir.Add(coord, kir.IConst(n.Starts[i])), inStr[i+1]))
+	}
 	return &kir.Kernel{
 		Name:       fmt.Sprintf("slice_g%d", lw.g.ID),
 		NumBuffers: lw.nBufs,
 		DimNames:   lw.dimNames(),
 		Body: []kir.Stmt{
-			kir.SLoop{Var: "o", Extent: total, Body: []kir.Stmt{
-				kir.SStore{Buf: outBuf, Idx: kir.IVar("o"), Val: kir.FLoad{Buf: inBuf, Idx: idx}},
+			kir.SLoop{Var: "ro", Extent: prefix, Body: []kir.Stmt{
+				kir.SSetInt{Var: "rb", Val: kir.Mul(kir.IVar("ro"), last)},
+				kir.SSetInt{Var: "sb", Val: src},
+				kir.SLoop{Var: "rj", Extent: last, Flags: kir.LoopStride1, Body: []kir.Stmt{
+					kir.SStore{
+						Buf: outBuf,
+						Idx: kir.Add(kir.IVar("rb"), kir.IVar("rj")),
+						Val: kir.FLoad{Buf: inBuf, Idx: kir.Add(kir.IVar("sb"), kir.IVar("rj"))},
+					},
+				}},
 			}},
 		},
 	}, nil
@@ -185,25 +223,41 @@ func (lw *lowerer) padKernel(n *graph.Node) (*kir.Kernel, error) {
 	inBuf := lw.bufIndex[in]
 	outBuf := lw.bufIndex[n]
 	inDims := lw.shapeExprs(in)
-	inStr := lw.strideExprs(inDims)
 	outStr := lw.strideExprs(lw.shapeExprs(n))
-	var dst kir.IntExpr = kir.IConst(0)
-	for i := 0; i < n.Rank(); i++ {
-		coord := kir.Mod(kir.Div(kir.IVar("i"), inStr[i+1]), inDims[i])
+	r := n.Rank()
+	last := inDims[r-1]
+	pstr := lw.strideExprs(inDims[:r-1])
+	var prefix kir.IntExpr = kir.IConst(1)
+	for _, d := range inDims[:r-1] {
+		prefix = kir.Mul(prefix, d)
+	}
+	// The zero sweep is a flat stride-1 fill; the copy walks input rows
+	// (contiguous on both sides since the last axis keeps stride 1) into
+	// their shifted windows, decoding each row's destination base once.
+	dst := kir.Mul(kir.IConst(n.PadLo[r-1]), outStr[r])
+	for i := 0; i < r-1; i++ {
+		coord := kir.Mod(kir.Div(kir.IVar("ro"), pstr[i+1]), inDims[i])
 		dst = kir.Add(dst, kir.Mul(kir.Add(coord, kir.IConst(n.PadLo[i])), outStr[i+1]))
 	}
 	outTotal := lw.numelExpr(n.Shape)
-	inTotal := lw.numelExpr(in.Shape)
 	return &kir.Kernel{
 		Name:       fmt.Sprintf("pad_g%d", lw.g.ID),
 		NumBuffers: lw.nBufs,
 		DimNames:   lw.dimNames(),
 		Body: []kir.Stmt{
-			kir.SLoop{Var: "z", Extent: outTotal, Body: []kir.Stmt{
+			kir.SLoop{Var: "z", Extent: outTotal, Flags: kir.LoopStride1, Body: []kir.Stmt{
 				kir.SStore{Buf: outBuf, Idx: kir.IVar("z"), Val: kir.FConst(0)},
 			}},
-			kir.SLoop{Var: "i", Extent: inTotal, Body: []kir.Stmt{
-				kir.SStore{Buf: outBuf, Idx: dst, Val: kir.FLoad{Buf: inBuf, Idx: kir.IVar("i")}},
+			kir.SLoop{Var: "ro", Extent: prefix, Body: []kir.Stmt{
+				kir.SSetInt{Var: "db", Val: dst},
+				kir.SSetInt{Var: "sb", Val: kir.Mul(kir.IVar("ro"), last)},
+				kir.SLoop{Var: "rj", Extent: last, Flags: kir.LoopStride1, Body: []kir.Stmt{
+					kir.SStore{
+						Buf: outBuf,
+						Idx: kir.Add(kir.IVar("db"), kir.IVar("rj")),
+						Val: kir.FLoad{Buf: inBuf, Idx: kir.Add(kir.IVar("sb"), kir.IVar("rj"))},
+					},
+				}},
 			}},
 		},
 	}, nil
@@ -228,7 +282,7 @@ func (lw *lowerer) gatherKernel(n *graph.Node) (*kir.Kernel, error) {
 		Body: []kir.Stmt{
 			kir.SLoop{Var: "i", Extent: idxCount, Body: []kir.Stmt{
 				kir.SSetInt{Var: "t", Val: kir.ILoad{Buf: iBuf, Idx: kir.IVar("i")}},
-				kir.SLoop{Var: "j", Extent: rowLen, Body: []kir.Stmt{
+				kir.SLoop{Var: "j", Extent: rowLen, Flags: kir.LoopStride1, Body: []kir.Stmt{
 					kir.SStore{
 						Buf: outBuf,
 						Idx: kir.Add(kir.Mul(kir.IVar("i"), rowLen), kir.IVar("j")),

@@ -3,6 +3,7 @@ package codegen
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"godisc/internal/graph"
 	"godisc/internal/kir"
@@ -25,6 +26,14 @@ var (
 func (lw *lowerer) lowerLoopKernel() (*Kernel, error) {
 	grp := lw.g
 	name := fmt.Sprintf("loop_g%d", grp.ID)
+
+	// Broadcast groups whose every operand addresses a trailing suffix of
+	// the domain (bias rows, scale rows) restructure into nested row loops:
+	// the inner sweep is stride-1 with loop-invariant bases, so it collapses
+	// to a single row op instead of paying a div/mod per element.
+	if rs, ok := lw.classifyRowSplit(); ok {
+		return lw.lowerRowSplitKernel(name, rs)
+	}
 
 	// Generic bodies first so lw.dims collects the full dim set; the
 	// speculative body (built with a fixed dim) references a subset.
@@ -62,7 +71,7 @@ func (lw *lowerer) lowerLoopKernel() (*Kernel, error) {
 				prog: &kir.Kernel{
 					Name:       name + "_" + specName(guards),
 					NumBuffers: lw.nBufs,
-					Body:       []kir.Stmt{kir.SLoop{Var: "i", Extent: specTotal, Body: specBody}},
+					Body:       []kir.Stmt{kir.SLoop{Var: "i", Extent: specTotal, Body: specBody, Flags: kir.LoopStride1}},
 				},
 				spec: GuardSpec{Kind: GuardDimsEqual, Terms: guards},
 				name: specName(guards),
@@ -91,7 +100,7 @@ func (lw *lowerer) lowerLoopKernel() (*Kernel, error) {
 				Name:       name + "_vec4",
 				NumBuffers: lw.nBufs,
 				Body: []kir.Stmt{
-					kir.SLoop{Var: "i4", Extent: kir.Div(total, kir.IConst(vecWidth)), Body: vecBody},
+					kir.SLoop{Var: "i4", Extent: kir.Div(total, kir.IConst(vecWidth)), Body: vecBody, Flags: kir.LoopStride1},
 				},
 			},
 			spec: spec,
@@ -104,7 +113,7 @@ func (lw *lowerer) lowerLoopKernel() (*Kernel, error) {
 			prog: &kir.Kernel{
 				Name:       name + "_scalar",
 				NumBuffers: lw.nBufs,
-				Body:       []kir.Stmt{kir.SLoop{Var: "i", Extent: total, Body: body}},
+				Body:       []kir.Stmt{kir.SLoop{Var: "i", Extent: total, Body: body, Flags: kir.LoopStride1}},
 			},
 			name: "scalar",
 			mem:  0.78, cp: 0.45,
@@ -133,7 +142,7 @@ func (lw *lowerer) lowerLoopKernel() (*Kernel, error) {
 	dimNames := lw.dimNames()
 	for _, v := range variants {
 		v.prog.DimNames = dimNames
-		cp, err := v.prog.Finalize()
+		cp, err := v.prog.FinalizeMode(lw.opts.ExecMode)
 		if err != nil {
 			return nil, err
 		}
@@ -143,6 +152,173 @@ func (lw *lowerer) lowerLoopKernel() (*Kernel, error) {
 		})
 	}
 	return k, nil
+}
+
+// rowSplitInfo describes a restructurable broadcast group: every operand
+// index is the identity, a constant, or addresses a trailing suffix of the
+// domain, so the flat loop splits into rows of the smallest such suffix.
+type rowSplitInfo struct {
+	inner   int   // trailing domain dims forming the stride-1 inner row
+	hoisted []int // longer broadcast suffix lengths needing per-row bases
+}
+
+// classifyRowSplit decides whether the group's flat loop can restructure
+// into nested row loops: every out-of-group operand must index the domain
+// identically, be a constant (all-ones shape), or address a pure domain
+// suffix; every output must be identity-indexed (so rows stay disjoint and
+// ParallelOuter holds).
+func (lw *lowerer) classifyRowSplit() (rowSplitInfo, bool) {
+	grp := lw.g
+	if len(grp.Domain) < 2 {
+		return rowSplitInfo{}, false
+	}
+	inGroup := map[*graph.Node]bool{}
+	for _, n := range grp.Nodes {
+		inGroup[n] = true
+	}
+	suffixes := map[int]bool{}
+	for _, n := range grp.Nodes {
+		for _, op := range n.Inputs {
+			if inGroup[op] {
+				continue
+			}
+			s := op.Shape
+			if lw.ctx.ShapeEqual(s, grp.Domain) || lw.ctx.ProductEqual(s, grp.Domain) {
+				continue
+			}
+			sl, ok := lw.suffixBroadcast(s, grp.Domain)
+			if !ok || sl >= len(grp.Domain) {
+				return rowSplitInfo{}, false
+			}
+			if sl > 0 {
+				suffixes[sl] = true
+			}
+		}
+	}
+	for _, out := range grp.Outputs {
+		if !lw.ctx.ShapeEqual(out.Shape, grp.Domain) && !lw.ctx.ProductEqual(out.Shape, grp.Domain) {
+			return rowSplitInfo{}, false
+		}
+	}
+	if len(suffixes) == 0 {
+		return rowSplitInfo{}, false
+	}
+	rs := rowSplitInfo{inner: len(grp.Domain)}
+	for sl := range suffixes {
+		if sl < rs.inner {
+			rs.inner = sl
+		}
+	}
+	for sl := range suffixes {
+		if sl > rs.inner {
+			rs.hoisted = append(rs.hoisted, sl)
+		}
+	}
+	sort.Ints(rs.hoisted)
+	return rs, true
+}
+
+// suffixBroadcast reports whether operand shape s addresses a pure suffix
+// of the domain: leading dims all static 1, remaining dims equal to the
+// domain's trailing dims. Returns the trailing dim count (0 for an
+// all-ones scalar operand).
+func (lw *lowerer) suffixBroadcast(s, domain symshape.Shape) (int, bool) {
+	if len(s) > len(domain) {
+		return 0, false
+	}
+	off := len(domain) - len(s)
+	k0 := 0
+	for k0 < len(s) && isStaticOne(lw.ctx, s[k0]) {
+		k0++
+	}
+	for k := k0; k < len(s); k++ {
+		if isStaticOne(lw.ctx, s[k]) || !lw.ctx.Equal(s[k], domain[off+k]) {
+			return 0, false
+		}
+	}
+	return len(s) - k0, true
+}
+
+// rowSplitIndex resolves an operand index inside a row-split body: the
+// outer row base plus the stride-1 inner offset, with suffix-broadcast
+// operands addressed from their (possibly hoisted) suffix bases. Every base
+// is inner-loop-invariant, which is what lets the superinstruction matcher
+// absorb the sweep.
+func (lw *lowerer) rowSplitIndex(s symshape.Shape) (kir.IntExpr, error) {
+	domain := lw.g.Domain
+	if lw.ctx.ShapeEqual(s, domain) || lw.ctx.ProductEqual(s, domain) {
+		return kir.Add(kir.IVar("rb"), kir.IVar("rj")), nil
+	}
+	sl, ok := lw.suffixBroadcast(s, domain)
+	if !ok {
+		return nil, fmt.Errorf("codegen: operand shape %s not row-splittable against domain %s",
+			lw.ctx.String(s), lw.ctx.String(domain))
+	}
+	switch {
+	case sl == 0:
+		return kir.IConst(0), nil
+	case sl == lw.rowSplit.inner:
+		return kir.IVar("rj"), nil
+	default:
+		return kir.Add(kir.IVar(fmt.Sprintf("rb%d", sl)), kir.IVar("rj")), nil
+	}
+}
+
+// lowerRowSplitKernel emits the nested row-loop form of a broadcast group:
+//
+//	for ro in 0..total/L {           // partitionable outer rows
+//	  rb := ro * L
+//	  rbK := rb % suffixProd(K)      // one per longer broadcast suffix
+//	  for rj in 0..L (stride-1) { ... body with invariant bases ... }
+//	}
+//
+// A broadcast at suffix K > inner reads element rb%K + rj, which equals
+// (rb+rj) % K because rb is a multiple of L, K is a multiple of L (both are
+// domain suffix products), and rj < L.
+func (lw *lowerer) lowerRowSplitKernel(name string, rs rowSplitInfo) (*Kernel, error) {
+	grp := lw.g
+	lw.rowSplit = &rs
+	body, flops, err := lw.loopBody("rj")
+	lw.rowSplit = nil
+	if err != nil {
+		return nil, err
+	}
+	cut := len(grp.Domain) - rs.inner
+	innerExt := lw.numelExpr(grp.Domain[cut:])
+	outerExt := lw.numelExpr(grp.Domain[:cut])
+	row := []kir.Stmt{
+		kir.SSetInt{Var: "rb", Val: kir.Mul(kir.IVar("ro"), innerExt)},
+	}
+	for _, sl := range rs.hoisted {
+		row = append(row, kir.SSetInt{
+			Var: fmt.Sprintf("rb%d", sl),
+			Val: kir.Mod(kir.IVar("rb"), lw.numelExpr(grp.Domain[len(grp.Domain)-sl:])),
+		})
+	}
+	row = append(row, kir.SLoop{Var: "rj", Extent: innerExt, Body: body, Flags: kir.LoopStride1})
+	prog := &kir.Kernel{
+		Name:       name + "_rows",
+		NumBuffers: lw.nBufs,
+		DimNames:   lw.dimNames(),
+		Body:       []kir.Stmt{kir.SLoop{Var: "ro", Extent: outerExt, Body: row}},
+	}
+	cp, err := prog.FinalizeMode(lw.opts.ExecMode)
+	if err != nil {
+		return nil, err
+	}
+	return &Kernel{
+		Name:          name,
+		Group:         grp,
+		Dims:          lw.dims,
+		FlopsPerPoint: flops,
+		Passes:        1,
+		ParallelOuter: true, // outputs are identity-indexed; rows are disjoint
+		GrainPoints:   grainPoints(flops),
+		Variants: []*Variant{{
+			Name: "rows", Code: cp,
+			MemEfficiency: 0.95, ComputeEfficiency: 0.6,
+		}},
+	}, nil
 }
 
 // loopBody builds the per-point statements for an elementwise group with
@@ -168,7 +344,13 @@ func (lw *lowerer) loopBody(flatVar string) ([]kir.Stmt, int, error) {
 				valErr = fmt.Errorf("codegen: operand %%%d not a group input", op.ID)
 				return kir.FConst(0)
 			}
-			idx, err := lw.operandIndexForUse(flatVar, op.Shape, consumer.Shape, grp.Domain)
+			var idx kir.IntExpr
+			var err error
+			if lw.rowSplit != nil {
+				idx, err = lw.rowSplitIndex(op.Shape)
+			} else {
+				idx, err = lw.operandIndexForUse(flatVar, op.Shape, consumer.Shape, grp.Domain)
+			}
 			if err != nil {
 				valErr = err
 				return kir.FConst(0)
@@ -191,7 +373,13 @@ func (lw *lowerer) loopBody(flatVar string) ([]kir.Stmt, int, error) {
 		flops += n.Kind.FlopsPerElement()
 	}
 	for _, out := range grp.Outputs {
-		idx, err := lw.operandIndex(flatVar, out.Shape, grp.Domain)
+		var idx kir.IntExpr
+		var err error
+		if lw.rowSplit != nil {
+			idx, err = lw.rowSplitIndex(out.Shape)
+		} else {
+			idx, err = lw.operandIndex(flatVar, out.Shape, grp.Domain)
+		}
 		if err != nil {
 			return nil, 0, err
 		}
@@ -284,9 +472,14 @@ func (lw *lowerer) lowerGeneralReduce(n *graph.Node) (*Kernel, error) {
 	inner := []kir.Stmt{
 		kir.SSet{Var: "acc", Val: kir.FBin{Fn: combine, A: kir.FLocal("acc"), B: kir.FLoad{Buf: inBuf, Idx: idx}}},
 	}
-	// Wrap nested loops innermost-out.
+	// Wrap nested loops innermost-out. The innermost sweep is contiguous
+	// exactly when it reduces the input's last axis (stride 1).
 	for i := len(n.Reduce.Axes) - 1; i >= 0; i-- {
-		inner = []kir.Stmt{kir.SLoop{Var: fmt.Sprintf("r%d", i), Extent: lw.dimExpr(in.Shape[n.Reduce.Axes[i]]), Body: inner}}
+		var flags kir.LoopFlags
+		if i == len(n.Reduce.Axes)-1 && n.Reduce.Axes[i] == in.Rank()-1 {
+			flags = kir.LoopStride1
+		}
+		inner = []kir.Stmt{kir.SLoop{Var: fmt.Sprintf("r%d", i), Extent: lw.dimExpr(in.Shape[n.Reduce.Axes[i]]), Body: inner, Flags: flags}}
 	}
 	final := kir.Expr(kir.FLocal("acc"))
 	if n.Reduce.Kind == tensor.ReduceMean {
@@ -306,7 +499,7 @@ func (lw *lowerer) lowerGeneralReduce(n *graph.Node) (*Kernel, error) {
 			kir.SLoop{Var: "o", Extent: lw.numelExpr(n.Shape), Body: body},
 		},
 	}
-	cp, err := prog.Finalize()
+	cp, err := prog.FinalizeMode(lw.opts.ExecMode)
 	if err != nil {
 		return nil, err
 	}
@@ -362,6 +555,7 @@ func (lw *lowerer) partialReduce(n *graph.Node, inBuf int) (*PartialReduce, erro
 				kir.SLoop{
 					Var:    "q",
 					Extent: kir.Min(chunk, kir.IBin{Op: kir.ISub, A: total, B: kir.IVar("lo")}),
+					Flags:  kir.LoopStride1,
 					Body: []kir.Stmt{
 						kir.SSet{Var: "acc", Val: kir.FBin{
 							Fn: combine,
@@ -380,7 +574,7 @@ func (lw *lowerer) partialReduce(n *graph.Node, inBuf int) (*PartialReduce, erro
 		DimNames:   []string{"__P"},
 		Body: []kir.Stmt{
 			kir.SSet{Var: "acc", Val: kir.FConst(id)},
-			kir.SLoop{Var: "p", Extent: kir.IDim("__P"), Body: []kir.Stmt{
+			kir.SLoop{Var: "p", Extent: kir.IDim("__P"), Flags: kir.LoopStride1, Body: []kir.Stmt{
 				kir.SSet{Var: "acc", Val: kir.FBin{
 					Fn: combine, A: kir.FLocal("acc"), B: kir.FLoad{Buf: 0, Idx: kir.IVar("p")},
 				}},
@@ -388,11 +582,11 @@ func (lw *lowerer) partialReduce(n *graph.Node, inBuf int) (*PartialReduce, erro
 			kir.SStore{Buf: 1, Idx: kir.IConst(0), Val: kir.FLocal("acc")},
 		},
 	}
-	pc, err := partial.Finalize()
+	pc, err := partial.FinalizeMode(lw.opts.ExecMode)
 	if err != nil {
 		return nil, err
 	}
-	cc, err := comb.Finalize()
+	cc, err := comb.FinalizeMode(lw.opts.ExecMode)
 	if err != nil {
 		return nil, err
 	}

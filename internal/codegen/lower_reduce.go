@@ -100,13 +100,13 @@ func (lw *lowerer) lowerRowKernel() (*Kernel, error) {
 	}
 	dimNames := lw.dimNames()
 	prog.DimNames = dimNames
-	cp, err := prog.Finalize()
+	cp, err := prog.FinalizeMode(lw.opts.ExecMode)
 	if err != nil {
 		return nil, err
 	}
 	if specProg != nil {
 		specProg.DimNames = dimNames
-		scp, err := specProg.Finalize()
+		scp, err := specProg.FinalizeMode(lw.opts.ExecMode)
 		if err != nil {
 			return nil, err
 		}
@@ -165,6 +165,12 @@ func (lw *lowerer) rowProgram(plan *rowPlan, nameSuffix string) (*kir.Kernel, in
 	lExpr := lw.dimExpr(last)
 	rExpr := lw.numelExpr(rows)
 
+	// Per-pass loop-variable names: each pass's j sweep and flat index get
+	// their own name so a sweep that collapses into a row superinstruction
+	// provably has no reads of its loop locals outside its own body.
+	jVar := func(p int) string { return fmt.Sprintf("j%d", p) }
+	flatVar := func(p int) string { return fmt.Sprintf("flat%d", p) }
+
 	// valueOf for per-point evaluation in pass p at loop vars (r, j, flat),
 	// in the context of a consumer node (for operand index resolution).
 	var valErr error
@@ -181,7 +187,7 @@ func (lw *lowerer) rowProgram(plan *rowPlan, nameSuffix string) (*kir.Kernel, in
 						valErr = fmt.Errorf("codegen: node %%%d needed across passes but not staged", op.ID)
 						return kir.FConst(0)
 					}
-					return kir.FLoad{Buf: lw.nBufs + slot, Idx: kir.IVar("j")}
+					return kir.FLoad{Buf: lw.nBufs + slot, Idx: kir.IVar(jVar(p))}
 				default:
 					return kir.FLocal(local(op))
 				}
@@ -191,7 +197,7 @@ func (lw *lowerer) rowProgram(plan *rowPlan, nameSuffix string) (*kir.Kernel, in
 				valErr = fmt.Errorf("codegen: operand %%%d not a group input", op.ID)
 				return kir.FConst(0)
 			}
-			idx, err := lw.rowOperandIndex(op, consumer)
+			idx, err := lw.rowOperandIndex(op, consumer, flatVar(p))
 			if err != nil {
 				valErr = err
 				return kir.FConst(0)
@@ -241,8 +247,8 @@ func (lw *lowerer) rowProgram(plan *rowPlan, nameSuffix string) (*kir.Kernel, in
 		// The j sweep.
 		var sweep []kir.Stmt
 		sweep = append(sweep, kir.SSetInt{
-			Var: "flat",
-			Val: kir.Add(kir.Mul(kir.IVar("r"), lExpr), kir.IVar("j")),
+			Var: flatVar(p),
+			Val: kir.Add(kir.Mul(kir.IVar("r"), lExpr), kir.IVar(jVar(p))),
 		})
 		for _, n := range grp.Nodes {
 			vo := pointValue(p, n)
@@ -258,10 +264,10 @@ func (lw *lowerer) rowProgram(plan *rowPlan, nameSuffix string) (*kir.Kernel, in
 				sweep = append(sweep, kir.SSet{Var: local(n), Val: e})
 				flops += n.Kind.FlopsPerElement()
 				if slot, ok := plan.staged[n]; ok {
-					sweep = append(sweep, kir.SStore{Buf: lw.nBufs + slot, Idx: kir.IVar("j"), Val: kir.FLocal(local(n))})
+					sweep = append(sweep, kir.SStore{Buf: lw.nBufs + slot, Idx: kir.IVar(jVar(p)), Val: kir.FLocal(local(n))})
 				}
 				if buf, isOut := lw.bufIndex[n]; isOut && lw.isGroupOutput(n) {
-					idx, err := lw.rowPointOutputIndex(n)
+					idx, err := lw.rowPointOutputIndex(n, flatVar(p))
 					if err != nil {
 						return nil, 0, err
 					}
@@ -279,7 +285,7 @@ func (lw *lowerer) rowProgram(plan *rowPlan, nameSuffix string) (*kir.Kernel, in
 				flops++
 			}
 		}
-		rowBody = append(rowBody, kir.SLoop{Var: "j", Extent: lExpr, Body: sweep})
+		rowBody = append(rowBody, kir.SLoop{Var: jVar(p), Extent: lExpr, Body: sweep, Flags: kir.LoopStride1})
 		// Finalize reduces of this pass.
 		for _, n := range grp.Nodes {
 			if plan.class[n] == classReduce && plan.pass[n] == p {
@@ -335,11 +341,12 @@ func (lw *lowerer) isGroupOutput(n *graph.Node) bool {
 // rowOperandIndex maps an external operand to its flat index at the current
 // (r, j, flat) point inside a row kernel, resolving against the consumer's
 // own shape when the operand does not relate to the domain directly.
-func (lw *lowerer) rowOperandIndex(op, consumer *graph.Node) (kir.IntExpr, error) {
+// flatVar names the current pass's flat-index local.
+func (lw *lowerer) rowOperandIndex(op, consumer *graph.Node, flatVar string) (kir.IntExpr, error) {
 	domain := lw.g.Domain
 	// Full row space or contiguous reindexing: use the flat index.
 	if lw.ctx.ShapeEqual(op.Shape, domain) || lw.ctx.ProductEqual(op.Shape, domain) {
-		return kir.IVar("flat"), nil
+		return kir.IVar(flatVar), nil
 	}
 	// Per-row values ([rows...] or [rows..., 1]): index by r.
 	if lw.isRowScalarShape(op) {
@@ -347,11 +354,11 @@ func (lw *lowerer) rowOperandIndex(op, consumer *graph.Node) (kir.IntExpr, error
 	}
 	// Broadcast into the full domain (bias rows, scalars).
 	if broadcastsInto(lw.ctx, op.Shape, domain) {
-		return lw.operandIndex("flat", op.Shape, domain)
+		return lw.operandIndex(flatVar, op.Shape, domain)
 	}
 	if consumer != nil &&
 		(lw.ctx.ShapeEqual(consumer.Shape, domain) || lw.ctx.ProductEqual(consumer.Shape, domain)) {
-		if idx, err := lw.operandIndex("flat", op.Shape, consumer.Shape); err == nil {
+		if idx, err := lw.operandIndex(flatVar, op.Shape, consumer.Shape); err == nil {
 			return idx, nil
 		}
 	}
@@ -380,13 +387,13 @@ func (lw *lowerer) isRowScalarShape(n *graph.Node) bool {
 }
 
 // rowPointOutputIndex computes the store index for a per-point output.
-func (lw *lowerer) rowPointOutputIndex(n *graph.Node) (kir.IntExpr, error) {
+func (lw *lowerer) rowPointOutputIndex(n *graph.Node, flatVar string) (kir.IntExpr, error) {
 	domain := lw.g.Domain
 	if lw.ctx.ShapeEqual(n.Shape, domain) || lw.ctx.ProductEqual(n.Shape, domain) {
-		return kir.IVar("flat"), nil
+		return kir.IVar(flatVar), nil
 	}
 	if broadcastsInto(lw.ctx, n.Shape, domain) {
-		return lw.operandIndex("flat", n.Shape, domain)
+		return lw.operandIndex(flatVar, n.Shape, domain)
 	}
 	return nil, fmt.Errorf("codegen: per-point output %%%d shape %s incompatible with domain %s",
 		n.ID, lw.ctx.String(n.Shape), lw.ctx.String(domain))

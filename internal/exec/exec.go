@@ -15,6 +15,7 @@ package exec
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"godisc/internal/codegen"
 	"godisc/internal/device"
@@ -575,9 +576,11 @@ func (e *Executable) runKernelSeq(rc *runCtx, t *task) error {
 	if err := e.opts.Faults.Check(faultinject.SiteKernelLaunch); err != nil {
 		return fmt.Errorf("exec: launching %s: %w", ln.k.Name, err)
 	}
+	start := time.Now()
 	if err := ln.variant.Code.Run(bufs, ln.dims); err != nil {
 		return err
 	}
+	rc.prof.KernelWall(float64(time.Since(start)))
 	e.chargeKernel(rc.prof, ln, 1)
 	return nil
 }

@@ -2,9 +2,20 @@ package kir
 
 import "testing"
 
-// BenchmarkInterpreterThroughput measures the closure-compiled kernel VM on
-// a fused elementwise loop — the substrate's per-element cost.
-func BenchmarkInterpreterThroughput(b *testing.B) {
+// benchModes runs fn once per execution mode as sub-benchmarks, so
+// `go test -bench BenchmarkKernel` reports the bytecode-vs-closure ablation
+// side by side.
+func benchModes(b *testing.B, fn func(b *testing.B, mode ExecMode)) {
+	for _, mode := range []ExecMode{ModeBytecode, ModeClosure} {
+		b.Run(mode.String(), func(b *testing.B) { fn(b, mode) })
+	}
+}
+
+// BenchmarkKernelElementwise measures the per-element cost of a fused
+// elementwise loop — the substrate's headline number. The exp/relu body
+// deliberately defeats the superinstruction matcher's single-op rows, so
+// this is the generic dispatch loop, not a row op.
+func BenchmarkKernelElementwise(b *testing.B) {
 	k := &Kernel{
 		Name:       "fused",
 		NumBuffers: 2,
@@ -17,20 +28,99 @@ func BenchmarkInterpreterThroughput(b *testing.B) {
 			}},
 		},
 	}
-	cp := k.MustFinalize()
 	const n = 1 << 14
-	in := make([]float32, n)
-	out := make([]float32, n)
-	b.SetBytes(n * 4)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := cp.Run([][]float32{in, out}, []int{n}); err != nil {
+	bufs := [][]float32{make([]float32, n), make([]float32, n)}
+	dims := []int{n}
+	benchModes(b, func(b *testing.B, mode ExecMode) {
+		cp, err := k.FinalizeMode(mode)
+		if err != nil {
 			b.Fatal(err)
 		}
-	}
+		b.SetBytes(n * 4)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := cp.Run(bufs, dims); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
-// BenchmarkFinalize measures closure-compilation latency.
+// BenchmarkKernelAxpyRow measures a superinstruction-eligible row
+// (out = in*2 + rest is a zipS): bytecode runs it as one row op per kernel,
+// closures pay per-element tree walks.
+func BenchmarkKernelAxpyRow(b *testing.B) {
+	k := &Kernel{
+		Name:       "axpy",
+		NumBuffers: 2,
+		DimNames:   []string{"n"},
+		Body: []Stmt{
+			SLoop{Var: "i", Extent: IDim("n"), Flags: LoopStride1, Body: []Stmt{
+				SStore{Buf: 1, Idx: IVar("i"),
+					Val: FBin{Fn: "mul", A: FLoad{Buf: 0, Idx: IVar("i")}, B: FConst(2)}},
+			}},
+		},
+	}
+	const n = 1 << 14
+	bufs := [][]float32{make([]float32, n), make([]float32, n)}
+	dims := []int{n}
+	benchModes(b, func(b *testing.B, mode ExecMode) {
+		cp, err := k.FinalizeMode(mode)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(n * 4)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := cp.Run(bufs, dims); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkKernelRowReduce measures the one-pass reduction superinstruction
+// against closure-tree accumulation.
+func BenchmarkKernelRowReduce(b *testing.B) {
+	k := &Kernel{
+		Name:       "rowsum",
+		NumBuffers: 2,
+		DimNames:   []string{"r", "l"},
+		Body: []Stmt{
+			SLoop{Var: "i", Extent: IDim("r"), Body: []Stmt{
+				SSet{Var: "acc", Val: FConst(0)},
+				SLoop{Var: "j", Extent: IDim("l"), Flags: LoopStride1, Body: []Stmt{
+					SSet{Var: "acc", Val: FBin{Fn: "add", A: FLocal("acc"),
+						B: FLoad{Buf: 0, Idx: Add(Mul(IVar("i"), IDim("l")), IVar("j"))}}},
+				}},
+				SStore{Buf: 1, Idx: IVar("i"), Val: FLocal("acc")},
+			}},
+		},
+	}
+	const r, l = 128, 128
+	bufs := [][]float32{make([]float32, r*l), make([]float32, r*l)}
+	dims := []int{r, l}
+	benchModes(b, func(b *testing.B, mode ExecMode) {
+		cp, err := k.FinalizeMode(mode)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(r * l * 4)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := cp.Run(bufs, dims); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFinalize measures compilation latency per mode: the bytecode
+// compiler does strictly more work (register allocation + pattern matching),
+// and this pins how much.
 func BenchmarkFinalize(b *testing.B) {
 	k := &Kernel{
 		Name:       "k",
@@ -39,7 +129,7 @@ func BenchmarkFinalize(b *testing.B) {
 		Body: []Stmt{
 			SLoop{Var: "r", Extent: IDim("R"), Body: []Stmt{
 				SSet{Var: "acc", Val: FConst(0)},
-				SLoop{Var: "j", Extent: IDim("L"), Body: []Stmt{
+				SLoop{Var: "j", Extent: IDim("L"), Flags: LoopStride1, Body: []Stmt{
 					SSet{Var: "acc", Val: FBin{Fn: "add", A: FLocal("acc"),
 						B: FLoad{Buf: 0, Idx: Add(Mul(IVar("r"), IDim("L")), IVar("j"))}}},
 				}},
@@ -47,9 +137,11 @@ func BenchmarkFinalize(b *testing.B) {
 			}},
 		},
 	}
-	for i := 0; i < b.N; i++ {
-		if _, err := k.Finalize(); err != nil {
-			b.Fatal(err)
+	benchModes(b, func(b *testing.B, mode ExecMode) {
+		for i := 0; i < b.N; i++ {
+			if _, err := k.FinalizeMode(mode); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
+	})
 }

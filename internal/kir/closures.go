@@ -1,0 +1,280 @@
+package kir
+
+import "fmt"
+
+// The closure compiler: the pre-bytecode execution engine, retained as the
+// differential oracle behind ExecMode == ModeClosure. Every statement
+// compiles to a Go closure over *Frame; execution is one indirect call per
+// IR node per iteration. The bytecode compiler must stay bit-identical to
+// this path (and both to the reference interpreter in interp.go).
+
+type compiler struct {
+	k       *Kernel
+	intSlot map[string]int
+	fltSlot map[string]int
+	dimSlot map[string]int
+	err     error
+}
+
+// finalizeClosures compiles the kernel into the closure tree, populating
+// crun (always) and crange (when partitionable).
+func (cp *Compiled) finalizeClosures(dimSlot map[string]int, lp SLoop, partitionable bool) error {
+	c := &compiler{
+		k:       cp.kernel,
+		intSlot: map[string]int{},
+		fltSlot: map[string]int{},
+		dimSlot: dimSlot,
+	}
+	if partitionable {
+		// Compile the loop pieces separately so the same closures serve both
+		// full runs and range runs; the full run is just range [0, extent).
+		slot := c.intVar(lp.Var, true)
+		inner := c.compileStmts(lp.Body)
+		extent := cp.extent
+		cp.crange = func(f *Frame, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				f.ints[slot] = i
+				inner(f)
+			}
+		}
+		cp.crun = func(f *Frame) { cp.crange(f, 0, extent(f.dims)) }
+	} else {
+		cp.crun = c.compileStmts(cp.kernel.Body)
+	}
+	if c.err != nil {
+		return c.err
+	}
+	cp.nInts = len(c.intSlot)
+	cp.nFloats = len(c.fltSlot)
+	return nil
+}
+
+func (c *compiler) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf("kir: kernel %s: %s", c.k.Name, fmt.Sprintf(format, args...))
+	}
+}
+
+func (c *compiler) intVar(name string, define bool) int {
+	if s, ok := c.intSlot[name]; ok {
+		return s
+	}
+	if !define {
+		c.fail("use of undefined int var %q", name)
+		return 0
+	}
+	s := len(c.intSlot)
+	c.intSlot[name] = s
+	return s
+}
+
+func (c *compiler) fltVar(name string, define bool) int {
+	if s, ok := c.fltSlot[name]; ok {
+		return s
+	}
+	if !define {
+		c.fail("use of undefined f32 local %q", name)
+		return 0
+	}
+	s := len(c.fltSlot)
+	c.fltSlot[name] = s
+	return s
+}
+
+func (c *compiler) checkBuf(i int) {
+	if i < 0 || i >= c.k.NumBuffers {
+		c.fail("buffer index %d out of range [0,%d)", i, c.k.NumBuffers)
+	}
+}
+
+func (c *compiler) compileStmts(ss []Stmt) func(*Frame) {
+	fns := make([]func(*Frame), len(ss))
+	for i, s := range ss {
+		fns[i] = c.compileStmt(s)
+	}
+	if len(fns) == 1 {
+		return fns[0]
+	}
+	return func(f *Frame) {
+		for _, fn := range fns {
+			fn(f)
+		}
+	}
+}
+
+func (c *compiler) compileStmt(s Stmt) func(*Frame) {
+	switch s := s.(type) {
+	case SLoop:
+		extent := c.compileInt(s.Extent)
+		slot := c.intVar(s.Var, true)
+		body := c.compileStmts(s.Body)
+		return func(f *Frame) {
+			n := extent(f)
+			for i := 0; i < n; i++ {
+				f.ints[slot] = i
+				body(f)
+			}
+		}
+	case SSet:
+		slot := c.fltVar(s.Var, true)
+		val := c.compileExpr(s.Val)
+		return func(f *Frame) { f.floats[slot] = val(f) }
+	case SSetInt:
+		slot := c.intVar(s.Var, true)
+		val := c.compileInt(s.Val)
+		return func(f *Frame) { f.ints[slot] = val(f) }
+	case SStore:
+		c.checkBuf(s.Buf)
+		buf := s.Buf
+		idx := c.compileInt(s.Idx)
+		val := c.compileExpr(s.Val)
+		return func(f *Frame) { f.bufs[buf][idx(f)] = val(f) }
+	case SStoreInt:
+		c.checkBuf(s.Buf)
+		buf := s.Buf
+		idx := c.compileInt(s.Idx)
+		val := c.compileInt(s.Val)
+		return func(f *Frame) { f.bufs[buf][idx(f)] = float32(val(f)) }
+	default:
+		c.fail("unknown statement %T", s)
+		return func(*Frame) {}
+	}
+}
+
+func (c *compiler) compileInt(e IntExpr) func(*Frame) int {
+	switch e := e.(type) {
+	case IConst:
+		v := int(e)
+		return func(*Frame) int { return v }
+	case IDim:
+		slot, ok := c.dimSlot[string(e)]
+		if !ok {
+			c.fail("unknown dim %q", string(e))
+			return func(*Frame) int { return 0 }
+		}
+		return func(f *Frame) int { return f.dims[slot] }
+	case IVar:
+		slot := c.intVar(string(e), false)
+		return func(f *Frame) int { return f.ints[slot] }
+	case ILoad:
+		c.checkBuf(e.Buf)
+		buf := e.Buf
+		idx := c.compileInt(e.Idx)
+		return func(f *Frame) int { return int(f.bufs[buf][idx(f)]) }
+	case IBin:
+		a := c.compileInt(e.A)
+		b := c.compileInt(e.B)
+		switch e.Op {
+		case IAdd:
+			return func(f *Frame) int { return a(f) + b(f) }
+		case ISub:
+			return func(f *Frame) int { return a(f) - b(f) }
+		case IMul:
+			return func(f *Frame) int { return a(f) * b(f) }
+		case IDiv:
+			return func(f *Frame) int { return a(f) / b(f) }
+		case IMod:
+			return func(f *Frame) int { return a(f) % b(f) }
+		case IMin:
+			return func(f *Frame) int {
+				x, y := a(f), b(f)
+				if x < y {
+					return x
+				}
+				return y
+			}
+		}
+		c.fail("unknown int op %d", e.Op)
+		return func(*Frame) int { return 0 }
+	default:
+		c.fail("unknown int expr %T", e)
+		return func(*Frame) int { return 0 }
+	}
+}
+
+func (c *compiler) compileExpr(e Expr) func(*Frame) float32 {
+	switch e := e.(type) {
+	case FConst:
+		v := float32(e)
+		return func(*Frame) float32 { return v }
+	case FLoad:
+		c.checkBuf(e.Buf)
+		buf := e.Buf
+		idx := c.compileInt(e.Idx)
+		return func(f *Frame) float32 { return f.bufs[buf][idx(f)] }
+	case FLocal:
+		slot := c.fltVar(string(e), false)
+		return func(f *Frame) float32 { return f.floats[slot] }
+	case FUn:
+		fn, ok := unaryFuncs[e.Fn]
+		if !ok {
+			c.fail("unknown unary fn %q", e.Fn)
+			return func(*Frame) float32 { return 0 }
+		}
+		if cx, ok := e.X.(FConst); ok {
+			// Constant folding at closure-compile time.
+			v := fn(float32(cx))
+			return func(*Frame) float32 { return v }
+		}
+		x := c.compileExpr(e.X)
+		return func(f *Frame) float32 { return fn(x(f)) }
+	case FBin:
+		fn, ok := binaryFuncs[e.Fn]
+		if !ok {
+			c.fail("unknown binary fn %q", e.Fn)
+			return func(*Frame) float32 { return 0 }
+		}
+		if ca, okA := e.A.(FConst); okA {
+			if cb, okB := e.B.(FConst); okB {
+				v := fn(float32(ca), float32(cb))
+				return func(*Frame) float32 { return v }
+			}
+		}
+		a := c.compileExpr(e.A)
+		b := c.compileExpr(e.B)
+		return func(f *Frame) float32 { return fn(a(f), b(f)) }
+	case FCmp:
+		a := c.compileExpr(e.A)
+		b := c.compileExpr(e.B)
+		var pred func(x, y float32) bool
+		switch e.Op {
+		case "lt":
+			pred = func(x, y float32) bool { return x < y }
+		case "le":
+			pred = func(x, y float32) bool { return x <= y }
+		case "gt":
+			pred = func(x, y float32) bool { return x > y }
+		case "ge":
+			pred = func(x, y float32) bool { return x >= y }
+		case "eq":
+			pred = func(x, y float32) bool { return x == y }
+		case "ne":
+			pred = func(x, y float32) bool { return x != y }
+		default:
+			c.fail("unknown compare op %q", e.Op)
+			return func(*Frame) float32 { return 0 }
+		}
+		return func(f *Frame) float32 {
+			if pred(a(f), b(f)) {
+				return 1
+			}
+			return 0
+		}
+	case FSel:
+		p := c.compileExpr(e.P)
+		a := c.compileExpr(e.A)
+		b := c.compileExpr(e.B)
+		return func(f *Frame) float32 {
+			if p(f) != 0 {
+				return a(f)
+			}
+			return b(f)
+		}
+	case FCastInt:
+		x := c.compileInt(e.X)
+		return func(f *Frame) float32 { return float32(x(f)) }
+	default:
+		c.fail("unknown expr %T", e)
+		return func(*Frame) float32 { return 0 }
+	}
+}

@@ -8,8 +8,8 @@ import (
 )
 
 // FuncTable maps scalar function names used by FUn/FBin to implementations.
-// Sharing the tensor package's functions guarantees the compiled path is
-// bit-identical to the reference interpreter.
+// Sharing the tensor package's functions guarantees every execution mode
+// (bytecode, closures, reference interpreter) is bit-identical.
 var (
 	unaryFuncs = map[string]tensor.UnaryFunc{
 		"neg": tensor.FnNeg, "abs": tensor.FnAbs, "exp": tensor.FnExp,
@@ -24,7 +24,41 @@ var (
 	}
 )
 
-// Frame is the runtime activation record of a compiled kernel.
+// ExecMode selects how Finalize compiles the kernel AST.
+type ExecMode uint8
+
+const (
+	// ModeBytecode (the default) compiles to a flat register-based
+	// bytecode program run by a tight dispatch loop (vm.go), with
+	// superinstructions for contiguous row patterns.
+	ModeBytecode ExecMode = iota
+	// ModeClosure is the previous tree-of-Go-closures execution, retained
+	// as the differential oracle behind -exec-mode=closure.
+	ModeClosure
+)
+
+// String implements fmt.Stringer.
+func (m ExecMode) String() string {
+	if m == ModeClosure {
+		return "closure"
+	}
+	return "bytecode"
+}
+
+// ParseExecMode parses the -exec-mode flag values.
+func ParseExecMode(s string) (ExecMode, error) {
+	switch s {
+	case "bytecode", "":
+		return ModeBytecode, nil
+	case "closure":
+		return ModeClosure, nil
+	}
+	return ModeBytecode, fmt.Errorf("kir: unknown exec mode %q (have bytecode, closure)", s)
+}
+
+// Frame is the runtime activation record of a compiled kernel. In bytecode
+// mode ints/floats are the flat register file; in closure mode they are the
+// named-local slots.
 type Frame struct {
 	ints   []int
 	floats []float32
@@ -32,112 +66,67 @@ type Frame struct {
 	dims   []int
 }
 
-// Compiled is a kernel after closure compilation ("machine code"). It is
-// immutable and safe for concurrent Run calls (frames are pooled per
-// kernel; every local is written before it is read, so frames need no
-// zeroing between runs).
+// Compiled is a kernel after compilation ("machine code"). It is immutable
+// and safe for concurrent Run calls (frames are pooled per kernel; every
+// register is written before it is read, so frames need no zeroing between
+// runs).
 type Compiled struct {
-	kernel   *Kernel
-	run      func(*Frame)
-	nInts    int
-	nFloats  int
-	dimIndex map[string]int
-	frames   sync.Pool
+	kernel  *Kernel
+	mode    ExecMode
+	nInts   int
+	nFloats int
+	frames  sync.Pool
 
-	// Range execution (set when the kernel body is a single top-level loop
-	// whose extent depends only on dims/consts): rangeRun executes outer
-	// iterations [lo,hi) and outerExtent evaluates the loop extent from dims
-	// alone. This is what lets the parallel executor partition one kernel
-	// across workers without recompiling it.
-	rangeRun    func(f *Frame, lo, hi int)
-	outerExtent func(f *Frame) int
+	// Bytecode mode: the flat program (vm.go executes it).
+	prog *program
+
+	// Closure mode: the compiled closure tree, plus the range runner when
+	// the kernel is partitionable.
+	crun   func(*Frame)
+	crange func(f *Frame, lo, hi int)
+
+	// extent evaluates the outer loop extent from dims alone — no Frame is
+	// constructed, keeping OuterExtent allocation-free on the per-request
+	// partitioning path. Set (in both modes) iff the kernel body is a
+	// single top-level loop with a dims-only extent.
+	extent func(dims []int) int
 }
 
-type compiler struct {
-	k       *Kernel
-	intSlot map[string]int
-	fltSlot map[string]int
-	dimSlot map[string]int
-	err     error
-}
+// Finalize validates and compiles the kernel in the default (bytecode)
+// mode. This is the compile-time half of the combined codegen: after
+// Finalize, Run only binds runtime dims and buffers.
+func (k *Kernel) Finalize() (*Compiled, error) { return k.FinalizeMode(ModeBytecode) }
 
-func (c *compiler) fail(format string, args ...any) {
-	if c.err == nil {
-		c.err = fmt.Errorf("kir: kernel %s: %s", c.k.Name, fmt.Sprintf(format, args...))
-	}
-}
-
-func (c *compiler) intVar(name string, define bool) int {
-	if s, ok := c.intSlot[name]; ok {
-		return s
-	}
-	if !define {
-		c.fail("use of undefined int var %q", name)
-		return 0
-	}
-	s := len(c.intSlot)
-	c.intSlot[name] = s
-	return s
-}
-
-func (c *compiler) fltVar(name string, define bool) int {
-	if s, ok := c.fltSlot[name]; ok {
-		return s
-	}
-	if !define {
-		c.fail("use of undefined f32 local %q", name)
-		return 0
-	}
-	s := len(c.fltSlot)
-	c.fltSlot[name] = s
-	return s
-}
-
-func (c *compiler) checkBuf(i int) {
-	if i < 0 || i >= c.k.NumBuffers {
-		c.fail("buffer index %d out of range [0,%d)", i, c.k.NumBuffers)
-	}
-}
-
-// Finalize validates and closure-compiles the kernel. This is the
-// compile-time half of the combined codegen: after Finalize, Run only binds
-// runtime dims and buffers.
-func (k *Kernel) Finalize() (*Compiled, error) {
-	c := &compiler{
-		k:       k,
-		intSlot: map[string]int{},
-		fltSlot: map[string]int{},
-		dimSlot: map[string]int{},
-	}
+// FinalizeMode validates and compiles the kernel for the given execution
+// mode. Both modes accept exactly the same programs and produce
+// bit-identical stores.
+func (k *Kernel) FinalizeMode(mode ExecMode) (*Compiled, error) {
+	dimSlot := map[string]int{}
 	for i, d := range k.DimNames {
-		if _, dup := c.dimSlot[d]; dup {
+		if _, dup := dimSlot[d]; dup {
 			return nil, fmt.Errorf("kir: kernel %s: duplicate dim %q", k.Name, d)
 		}
-		c.dimSlot[d] = i
+		dimSlot[d] = i
 	}
-	cp := &Compiled{kernel: k, dimIndex: c.dimSlot}
-	if lp, ok := singleOuterLoop(k.Body); ok {
-		// Compile the loop pieces separately so the same closures serve both
-		// full runs and range runs; the full run is just range [0, extent).
-		extent := c.compileInt(lp.Extent)
-		slot := c.intVar(lp.Var, true)
-		inner := c.compileStmts(lp.Body)
-		cp.outerExtent = extent
-		cp.rangeRun = func(f *Frame, lo, hi int) {
-			for i := lo; i < hi; i++ {
-				f.ints[slot] = i
-				inner(f)
-			}
+	cp := &Compiled{kernel: k, mode: mode}
+	lp, partitionable := singleOuterLoop(k.Body)
+	if partitionable {
+		// The extent is evaluated via cp.extent rather than compiled code,
+		// so its dims must be validated here.
+		if d, ok := unknownDim(lp.Extent, dimSlot); !ok {
+			return nil, fmt.Errorf("kir: kernel %s: unknown dim %q", k.Name, d)
 		}
-		cp.run = func(f *Frame) { cp.rangeRun(f, 0, extent(f)) }
-	} else {
-		cp.run = c.compileStmts(k.Body)
+		cp.extent = compileDimExtent(lp.Extent, dimSlot)
 	}
-	if c.err != nil {
-		return nil, c.err
+	if mode == ModeClosure {
+		if err := cp.finalizeClosures(dimSlot, lp, partitionable); err != nil {
+			return nil, err
+		}
+		return cp, nil
 	}
-	cp.nInts = len(c.intSlot)
-	cp.nFloats = len(c.fltSlot)
+	if err := cp.finalizeBytecode(dimSlot, lp, partitionable); err != nil {
+		return nil, err
+	}
 	return cp, nil
 }
 
@@ -167,6 +156,65 @@ func dimOnly(e IntExpr) bool {
 	}
 }
 
+// unknownDim finds the first dim name in a dims-only expression that is not
+// declared by the kernel; ok is false when one exists.
+func unknownDim(e IntExpr, dimSlot map[string]int) (string, bool) {
+	switch e := e.(type) {
+	case IDim:
+		if _, ok := dimSlot[string(e)]; !ok {
+			return string(e), false
+		}
+	case IBin:
+		if d, ok := unknownDim(e.A, dimSlot); !ok {
+			return d, false
+		}
+		return unknownDim(e.B, dimSlot)
+	}
+	return "", true
+}
+
+// compileDimExtent compiles a dims-only extent expression to a closure over
+// the dim values — the frame-free evaluator behind OuterExtent. The caller
+// guarantees dimOnly(e); unknown dims are reported by the main compile of
+// the same expression, so this evaluator maps them to 0.
+func compileDimExtent(e IntExpr, dimSlot map[string]int) func(dims []int) int {
+	switch e := e.(type) {
+	case IConst:
+		v := int(e)
+		return func([]int) int { return v }
+	case IDim:
+		slot, ok := dimSlot[string(e)]
+		if !ok {
+			return func([]int) int { return 0 }
+		}
+		return func(dims []int) int { return dims[slot] }
+	case IBin:
+		a := compileDimExtent(e.A, dimSlot)
+		b := compileDimExtent(e.B, dimSlot)
+		switch e.Op {
+		case IAdd:
+			return func(d []int) int { return a(d) + b(d) }
+		case ISub:
+			return func(d []int) int { return a(d) - b(d) }
+		case IMul:
+			return func(d []int) int { return a(d) * b(d) }
+		case IDiv:
+			return func(d []int) int { return a(d) / b(d) }
+		case IMod:
+			return func(d []int) int { return a(d) % b(d) }
+		case IMin:
+			return func(d []int) int {
+				x, y := a(d), b(d)
+				if x < y {
+					return x
+				}
+				return y
+			}
+		}
+	}
+	return func([]int) int { return 0 }
+}
+
 // MustFinalize is Finalize that panics; for statically-known-good kernels
 // in tests.
 func (k *Kernel) MustFinalize() *Compiled {
@@ -175,198 +223,6 @@ func (k *Kernel) MustFinalize() *Compiled {
 		panic(err)
 	}
 	return cp
-}
-
-func (c *compiler) compileStmts(ss []Stmt) func(*Frame) {
-	fns := make([]func(*Frame), len(ss))
-	for i, s := range ss {
-		fns[i] = c.compileStmt(s)
-	}
-	if len(fns) == 1 {
-		return fns[0]
-	}
-	return func(f *Frame) {
-		for _, fn := range fns {
-			fn(f)
-		}
-	}
-}
-
-func (c *compiler) compileStmt(s Stmt) func(*Frame) {
-	switch s := s.(type) {
-	case SLoop:
-		extent := c.compileInt(s.Extent)
-		slot := c.intVar(s.Var, true)
-		body := c.compileStmts(s.Body)
-		return func(f *Frame) {
-			n := extent(f)
-			for i := 0; i < n; i++ {
-				f.ints[slot] = i
-				body(f)
-			}
-		}
-	case SSet:
-		slot := c.fltVar(s.Var, true)
-		val := c.compileExpr(s.Val)
-		return func(f *Frame) { f.floats[slot] = val(f) }
-	case SSetInt:
-		slot := c.intVar(s.Var, true)
-		val := c.compileInt(s.Val)
-		return func(f *Frame) { f.ints[slot] = val(f) }
-	case SStore:
-		c.checkBuf(s.Buf)
-		buf := s.Buf
-		idx := c.compileInt(s.Idx)
-		val := c.compileExpr(s.Val)
-		return func(f *Frame) { f.bufs[buf][idx(f)] = val(f) }
-	case SStoreInt:
-		c.checkBuf(s.Buf)
-		buf := s.Buf
-		idx := c.compileInt(s.Idx)
-		val := c.compileInt(s.Val)
-		return func(f *Frame) { f.bufs[buf][idx(f)] = float32(val(f)) }
-	default:
-		c.fail("unknown statement %T", s)
-		return func(*Frame) {}
-	}
-}
-
-func (c *compiler) compileInt(e IntExpr) func(*Frame) int {
-	switch e := e.(type) {
-	case IConst:
-		v := int(e)
-		return func(*Frame) int { return v }
-	case IDim:
-		slot, ok := c.dimSlot[string(e)]
-		if !ok {
-			c.fail("unknown dim %q", string(e))
-			return func(*Frame) int { return 0 }
-		}
-		return func(f *Frame) int { return f.dims[slot] }
-	case IVar:
-		slot := c.intVar(string(e), false)
-		return func(f *Frame) int { return f.ints[slot] }
-	case ILoad:
-		c.checkBuf(e.Buf)
-		buf := e.Buf
-		idx := c.compileInt(e.Idx)
-		return func(f *Frame) int { return int(f.bufs[buf][idx(f)]) }
-	case IBin:
-		a := c.compileInt(e.A)
-		b := c.compileInt(e.B)
-		switch e.Op {
-		case IAdd:
-			return func(f *Frame) int { return a(f) + b(f) }
-		case ISub:
-			return func(f *Frame) int { return a(f) - b(f) }
-		case IMul:
-			return func(f *Frame) int { return a(f) * b(f) }
-		case IDiv:
-			return func(f *Frame) int { return a(f) / b(f) }
-		case IMod:
-			return func(f *Frame) int { return a(f) % b(f) }
-		case IMin:
-			return func(f *Frame) int {
-				x, y := a(f), b(f)
-				if x < y {
-					return x
-				}
-				return y
-			}
-		}
-		c.fail("unknown int op %d", e.Op)
-		return func(*Frame) int { return 0 }
-	default:
-		c.fail("unknown int expr %T", e)
-		return func(*Frame) int { return 0 }
-	}
-}
-
-func (c *compiler) compileExpr(e Expr) func(*Frame) float32 {
-	switch e := e.(type) {
-	case FConst:
-		v := float32(e)
-		return func(*Frame) float32 { return v }
-	case FLoad:
-		c.checkBuf(e.Buf)
-		buf := e.Buf
-		idx := c.compileInt(e.Idx)
-		return func(f *Frame) float32 { return f.bufs[buf][idx(f)] }
-	case FLocal:
-		slot := c.fltVar(string(e), false)
-		return func(f *Frame) float32 { return f.floats[slot] }
-	case FUn:
-		fn, ok := unaryFuncs[e.Fn]
-		if !ok {
-			c.fail("unknown unary fn %q", e.Fn)
-			return func(*Frame) float32 { return 0 }
-		}
-		if cx, ok := e.X.(FConst); ok {
-			// Constant folding at closure-compile time.
-			v := fn(float32(cx))
-			return func(*Frame) float32 { return v }
-		}
-		x := c.compileExpr(e.X)
-		return func(f *Frame) float32 { return fn(x(f)) }
-	case FBin:
-		fn, ok := binaryFuncs[e.Fn]
-		if !ok {
-			c.fail("unknown binary fn %q", e.Fn)
-			return func(*Frame) float32 { return 0 }
-		}
-		if ca, okA := e.A.(FConst); okA {
-			if cb, okB := e.B.(FConst); okB {
-				v := fn(float32(ca), float32(cb))
-				return func(*Frame) float32 { return v }
-			}
-		}
-		a := c.compileExpr(e.A)
-		b := c.compileExpr(e.B)
-		return func(f *Frame) float32 { return fn(a(f), b(f)) }
-	case FCmp:
-		a := c.compileExpr(e.A)
-		b := c.compileExpr(e.B)
-		var pred func(x, y float32) bool
-		switch e.Op {
-		case "lt":
-			pred = func(x, y float32) bool { return x < y }
-		case "le":
-			pred = func(x, y float32) bool { return x <= y }
-		case "gt":
-			pred = func(x, y float32) bool { return x > y }
-		case "ge":
-			pred = func(x, y float32) bool { return x >= y }
-		case "eq":
-			pred = func(x, y float32) bool { return x == y }
-		case "ne":
-			pred = func(x, y float32) bool { return x != y }
-		default:
-			c.fail("unknown compare op %q", e.Op)
-			return func(*Frame) float32 { return 0 }
-		}
-		return func(f *Frame) float32 {
-			if pred(a(f), b(f)) {
-				return 1
-			}
-			return 0
-		}
-	case FSel:
-		p := c.compileExpr(e.P)
-		a := c.compileExpr(e.A)
-		b := c.compileExpr(e.B)
-		return func(f *Frame) float32 {
-			if p(f) != 0 {
-				return a(f)
-			}
-			return b(f)
-		}
-	case FCastInt:
-		x := c.compileInt(e.X)
-		return func(f *Frame) float32 { return float32(x(f)) }
-	default:
-		c.fail("unknown expr %T", e)
-		return func(*Frame) float32 { return 0 }
-	}
 }
 
 func (cp *Compiled) checkArgs(bufs [][]float32, dims []int) error {
@@ -394,6 +250,9 @@ func (cp *Compiled) getFrame(bufs [][]float32, dims []int) *Frame {
 	return f
 }
 
+// putFrame clears the buffer and dim references before pooling so a pooled
+// frame never pins caller memory — including when the kernel panicked and
+// the put runs from a defer.
 func (cp *Compiled) putFrame(f *Frame) {
 	f.bufs = nil
 	f.dims = nil
@@ -401,14 +260,24 @@ func (cp *Compiled) putFrame(f *Frame) {
 }
 
 // Run executes the kernel against flat buffers and positional dim values
-// (aligned with Kernel.DimNames).
+// (aligned with Kernel.DimNames). The frame is returned to the pool even if
+// the kernel panics (exec's fault handler recovers kernel panics; the frame
+// must not leak with them).
 func (cp *Compiled) Run(bufs [][]float32, dims []int) error {
 	if err := cp.checkArgs(bufs, dims); err != nil {
 		return err
 	}
 	f := cp.getFrame(bufs, dims)
-	cp.run(f)
-	cp.putFrame(f)
+	defer cp.putFrame(f)
+	if cp.prog != nil {
+		if cp.prog.loReg >= 0 {
+			f.ints[cp.prog.loReg] = 0
+			f.ints[cp.prog.hiReg] = cp.extent(dims)
+		}
+		cp.prog.exec(f)
+	} else {
+		cp.crun(f)
+	}
 	return nil
 }
 
@@ -417,46 +286,68 @@ func (cp *Compiled) Run(bufs [][]float32, dims []int) error {
 // RunRange calls over disjoint ranges are safe as long as the ranges write
 // disjoint output elements — the lowering's responsibility, declared via
 // codegen's ParallelOuter flag.
-func (cp *Compiled) Partitionable() bool { return cp.rangeRun != nil }
+func (cp *Compiled) Partitionable() bool { return cp.extent != nil }
 
 // OuterExtent evaluates the outer loop's extent for concrete dims. It
-// returns 0 when the kernel is not partitionable.
+// returns 0 when the kernel is not partitionable. The evaluation reads the
+// dim values directly — no frame is built.
 func (cp *Compiled) OuterExtent(dims []int) int {
-	if cp.outerExtent == nil || len(dims) != len(cp.kernel.DimNames) {
+	if cp.extent == nil || len(dims) != len(cp.kernel.DimNames) {
 		return 0
 	}
-	return cp.outerExtent(&Frame{dims: dims})
+	return cp.extent(dims)
 }
 
 // RunRange executes outer-loop iterations [lo, hi) only. Iterations run in
 // ascending order, exactly as a full Run would visit them, so splitting
-// [0, extent) into contiguous ranges produces bit-identical stores.
+// [0, extent) into contiguous ranges produces bit-identical stores. In
+// bytecode mode the range is seeded into the program's dedicated lo/hi
+// registers before dispatch.
 func (cp *Compiled) RunRange(bufs [][]float32, dims []int, lo, hi int) error {
-	if cp.rangeRun == nil {
+	if cp.extent == nil {
 		return fmt.Errorf("kir: kernel %s: not partitionable", cp.kernel.Name)
 	}
 	if err := cp.checkArgs(bufs, dims); err != nil {
 		return err
 	}
-	f := cp.getFrame(bufs, dims)
-	if n := cp.outerExtent(f); hi > n {
+	if n := cp.extent(dims); hi > n {
 		hi = n
 	}
 	if lo < 0 {
 		lo = 0
 	}
-	cp.rangeRun(f, lo, hi)
-	cp.putFrame(f)
+	f := cp.getFrame(bufs, dims)
+	defer cp.putFrame(f)
+	if cp.prog != nil {
+		f.ints[cp.prog.loReg] = lo
+		f.ints[cp.prog.hiReg] = hi
+		cp.prog.exec(f)
+	} else {
+		cp.crange(f, lo, hi)
+	}
 	return nil
 }
 
 // Name returns the kernel's name.
 func (cp *Compiled) Name() string { return cp.kernel.Name }
 
+// Mode returns the execution mode this kernel was compiled for.
+func (cp *Compiled) Mode() ExecMode { return cp.mode }
+
 // AST returns the kernel AST this program was compiled from. The AST is
 // pure data, so it is what the engine cache serializes; decoding re-runs
-// Finalize to regenerate the closures.
+// Finalize to regenerate the program.
 func (cp *Compiled) AST() *Kernel { return cp.kernel }
 
 // DimNames returns the runtime dim parameter names.
 func (cp *Compiled) DimNames() []string { return cp.kernel.DimNames }
+
+// Superinstructions reports how many whole-row superinstructions the
+// bytecode compiler emitted (0 in closure mode) — exposed for tests,
+// tracing and the E17 experiment.
+func (cp *Compiled) Superinstructions() int {
+	if cp.prog == nil {
+		return 0
+	}
+	return cp.prog.supers
+}

@@ -169,11 +169,26 @@ type Stmt interface {
 	stmt()
 }
 
+// LoopFlags carries lowering hints attached to a loop. Hints never change
+// semantics: they gate *attempts* at bytecode superinstruction matching,
+// and every match is still verified structurally, so a wrong flag can cost
+// speed but never correctness.
+type LoopFlags uint8
+
+// LoopStride1 marks a loop the lowering believes walks buffers
+// contiguously (unit stride in the loop variable), making it a candidate
+// for whole-row superinstructions.
+const LoopStride1 LoopFlags = 1 << 0
+
 // SLoop runs Body with Var = 0..Extent-1.
 type SLoop struct {
 	Var    string
 	Extent IntExpr
 	Body   []Stmt
+	// Flags are optional lowering hints (see LoopFlags). Zero is always
+	// safe; old serialized kernels decode with zero flags and simply skip
+	// superinstruction matching.
+	Flags LoopFlags
 }
 
 // SSet assigns an f32 local.

@@ -191,6 +191,15 @@ type Profiler struct {
 	// executor (0 for sequential runs; a partitioned launch of C chunks
 	// adds C).
 	Partitions int
+	// KernelWallNs accumulates real host wall-clock nanoseconds spent inside
+	// compiled kernel programs (generated-kernel substrate only — library
+	// calls excluded, so the E17 exec-mode ablation measures exactly the
+	// code the kernel compiler owns). Recorded on the sequential execution
+	// path; parallel workers skip the timer to stay lock-free.
+	KernelWallNs float64
+	// KernelRuns counts the kernel program invocations timed into
+	// KernelWallNs.
+	KernelRuns int
 }
 
 // NewProfiler returns an empty profiler.
@@ -232,6 +241,12 @@ func (pr *Profiler) Compile(ns float64) {
 	pr.SimulatedNs += ns
 }
 
+// KernelWall records one timed kernel program invocation.
+func (pr *Profiler) KernelWall(ns float64) {
+	pr.KernelWallNs += ns
+	pr.KernelRuns++
+}
+
 // Add merges another profile into pr.
 func (pr *Profiler) Add(o *Profiler) {
 	pr.Launches += o.Launches
@@ -242,6 +257,8 @@ func (pr *Profiler) Add(o *Profiler) {
 	pr.HostNs += o.HostNs
 	pr.CompileNs += o.CompileNs
 	pr.Partitions += o.Partitions
+	pr.KernelWallNs += o.KernelWallNs
+	pr.KernelRuns += o.KernelRuns
 	for k, v := range o.VariantHits {
 		pr.VariantHits[k] += v
 	}
