@@ -21,7 +21,7 @@ test:
 race:
 	go test -race ./internal/serve ./internal/exec ./internal/ral ./internal/workload \
 		./internal/obs ./internal/opt ./internal/fusion ./internal/faultinject \
-		./internal/enginecache ./internal/kir .
+		./internal/enginecache ./internal/kir ./internal/fleet .
 
 # cover enforces per-package coverage floors on the serving/execution/
 # observability core. Floors sit a few points under the measured value at
@@ -30,7 +30,7 @@ race:
 # make a build pass.
 cover:
 	@fail=0; \
-	for entry in internal/serve:85 internal/exec:77 internal/obs:92 internal/enginecache:72; do \
+	for entry in internal/serve:85 internal/exec:77 internal/obs:92 internal/enginecache:72 internal/fleet:80; do \
 		pkg=$${entry%%:*}; floor=$${entry##*:}; \
 		pct=$$(go test -cover ./$$pkg | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
 		if [ -z "$$pct" ]; then echo "cover: $$pkg: no coverage reported"; fail=1; continue; fi; \
@@ -40,15 +40,17 @@ cover:
 	done; exit $$fail
 
 # fuzz runs the native fuzz targets (trace-file and fault-spec parsers,
-# the engine-cache entry decoder, and the KIR differential generator —
-# random kernel programs interpreted vs bytecode vs closures, bit-exact)
-# for FUZZTIME each. Crashers land in testdata/fuzz/ for triage.
+# the engine-cache entry decoder, the KIR differential generator — random
+# kernel programs interpreted vs bytecode vs closures, bit-exact — and the
+# fleet's v2 HTTP infer-body decoder) for FUZZTIME each. Crashers land in
+# testdata/fuzz/ for triage.
 FUZZTIME ?= 30s
 fuzz:
 	go test -fuzz=FuzzTraceSpec -fuzztime=$(FUZZTIME) ./internal/workload
 	go test -fuzz=FuzzFaultSpec -fuzztime=$(FUZZTIME) ./internal/faultinject
 	go test -fuzz=FuzzEngineCacheDecode -fuzztime=$(FUZZTIME) ./internal/enginecache
 	go test -fuzz=FuzzKIRProgram -fuzztime=$(FUZZTIME) ./internal/kir
+	go test -fuzz=FuzzV2InferDecode -fuzztime=$(FUZZTIME) ./internal/fleet
 
 # chaos replays the serve/exec suites under -race with fault injection
 # armed at a fresh random seed. The seed is printed so a failing run
@@ -61,13 +63,16 @@ chaos:
 		go test -race -count=1 ./internal/serve ./internal/exec
 
 # soak stretches the randomized governed-overload run (mixed priorities,
-# tight deadlines, fault injection, memory budget) to 30s under -race.
-# Invariants checked: the budget is never exceeded, nothing leaks, and
-# every rejection maps to exactly one documented sentinel.
+# tight deadlines, fault injection, memory budget) and the fleet-scale
+# HTTP saturation run (3 models × 2 versions, eviction churn under a
+# tight governor budget, zero 5xx, bit-identical outputs, strict
+# priority ordering of shed traffic) to 30s each under -race.
 SOAKTIME ?= 30s
 soak:
 	GODISC_SOAK=$(SOAKTIME) go test -race -count=1 -v \
 		-run TestSoakGovernedOverload ./internal/serve
+	GODISC_SOAK=$(SOAKTIME) go test -race -count=1 -v \
+		-run TestSaturationFleetHTTP ./internal/fleet
 
 # bench runs every experiment benchmark once and checks the parsed
 # results into BENCH_PR8.json (per-experiment custom metrics, now

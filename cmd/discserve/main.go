@@ -33,7 +33,9 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"godisc"
@@ -72,6 +74,9 @@ type options struct {
 	HTTP          string        // observability listen address ("" = off)
 	TraceOut      string        // write Chrome trace_event file here ("" = off)
 	TraceLimit    int           // request-trace ring capacity (0 = default)
+	Serve         string        // fleet HTTP listen address ("" = trace-replay mode)
+	ModelRepo     string        // model repository directory (fleet mode)
+	Watch         time.Duration // repository poll interval (0 = off)
 
 	// ready, when set, is invoked after the replay finished and stats
 	// printed, while the observability listener is still serving — the
@@ -119,6 +124,12 @@ func main() {
 	flag.StringVar(&o.TraceOut, "trace-out", "",
 		"write the request traces as a Chrome trace_event file (open in chrome://tracing or Perfetto)")
 	flag.IntVar(&o.TraceLimit, "trace-limit", 0, "request traces retained in the ring (0 = default 256)")
+	flag.StringVar(&o.Serve, "serve", "",
+		"serve the KServe-style v2 inference protocol on this address (e.g. :8000) instead of replaying a trace; requires -model-repo")
+	flag.StringVar(&o.ModelRepo, "model-repo", "",
+		"model repository directory: <model>/<version>/model.graph (fleet mode)")
+	flag.DurationVar(&o.Watch, "watch", 0,
+		"poll the model repository at this interval and load new models/versions (0 = off)")
 	flag.Parse()
 	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "discserve:", err)
@@ -127,6 +138,9 @@ func main() {
 }
 
 func run(o options, w io.Writer) error {
+	if o.Serve != "" {
+		return runServe(o, w)
+	}
 	dev, err := device.ByName(o.Device)
 	if err != nil {
 		return err
@@ -349,6 +363,80 @@ func run(o options, w io.Writer) error {
 	}
 	if o.ready != nil && obsLn != nil {
 		o.ready(obsLn.Addr().String())
+	}
+	return nil
+}
+
+// runServe is fleet mode: a long-running v2 inference HTTP server over a
+// model repository, instead of a finite trace replay.
+//
+//	discserve -serve :8000 -model-repo /var/lib/godisc/models -cache-dir /var/cache/godisc
+func runServe(o options, w io.Writer) error {
+	if o.ModelRepo == "" {
+		return fmt.Errorf("-serve requires -model-repo")
+	}
+	dev, err := device.ByName(o.Device)
+	if err != nil {
+		return err
+	}
+	inj, err := godisc.FaultsFromSpec(o.Faults, o.FaultSeed)
+	if err != nil {
+		return err
+	}
+	quotas, err := parseQuotas(o.Quotas)
+	if err != nil {
+		return err
+	}
+	tracer := godisc.NewTracer(o.TraceLimit)
+	reg := godisc.NewMetrics()
+	inj.SetMetrics(reg)
+	srv := godisc.NewServer(godisc.ServerConfig{
+		MaxConcurrent: o.Workers, QueueDepth: o.Queue, Workers: o.EngineWorkers,
+		MemoryBudgetBytes: o.MemBudget, WatchdogMultiple: o.Watchdog, ModelQuotas: quotas,
+		MaxBatchSize: o.BatchMax, MaxLinger: o.BatchLinger,
+		CacheDir: o.CacheDir, AsyncCompile: o.AsyncCompile,
+		Observer: tracer, Metrics: reg,
+	}, godisc.WithDevice(dev), godisc.WithFaults(inj))
+	fl, err := godisc.NewFleet(godisc.FleetConfig{
+		Server: srv, Repo: o.ModelRepo,
+		Metrics: reg, Observer: tracer, Tracer: tracer,
+		AutoLoad: true, WatchInterval: o.Watch,
+	})
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	ln, err := net.Listen("tcp", o.Serve)
+	if err != nil {
+		return fmt.Errorf("fleet listener: %w", err)
+	}
+	httpSrv := &http.Server{Handler: fl}
+	fmt.Fprintf(w, "fleet serving %s on http://%s (v2 protocol; /metrics, /debug/trace)\n",
+		o.ModelRepo, ln.Addr())
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+	if o.ready != nil {
+		o.ready(ln.Addr().String())
+	}
+	select {
+	case <-stop:
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.DrainTimeout)
+	defer cancel()
+	_ = httpSrv.Shutdown(drainCtx)
+	if err := fl.Close(drainCtx); err != nil {
+		fmt.Fprintf(w, "fleet close: %v\n", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(w, "drain: forced (%v)\n", err)
+	} else {
+		fmt.Fprintln(w, "drain: clean")
 	}
 	return nil
 }

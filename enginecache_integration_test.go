@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"godisc/internal/servetest"
 )
 
 // buildPublicSofty is a second zoo-independent model with its own name and
@@ -64,11 +66,7 @@ func replayRestartTrace(t *testing.T, srv *Server) [][]float32 {
 
 func shutdownServer(t *testing.T, srv *Server) {
 	t.Helper()
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
-		t.Fatalf("shutdown: %v", err)
-	}
+	servetest.Drain(t, srv)
 }
 
 // TestEngineCacheWarmRestart is the headline persistence check: a second

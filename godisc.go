@@ -51,6 +51,7 @@ import (
 	"godisc/internal/enginecache"
 	"godisc/internal/exec"
 	"godisc/internal/faultinject"
+	"godisc/internal/fleet"
 	"godisc/internal/fusion"
 	"godisc/internal/graph"
 	"godisc/internal/models"
@@ -695,6 +696,31 @@ func NewServer(cfg ServerConfig, opts ...Option) *Server {
 	}
 	return srv
 }
+
+// Multi-model fleet serving, aliased from internal/fleet: a KServe-style
+// v2 HTTP/JSON inference front-end over a Server, with a versioned model
+// repository (load/unload, directory watching) and LRU eviction of idle
+// engines under the shared memory budget.
+type (
+	// Fleet is the HTTP front-end plus model repository; it implements
+	// http.Handler. Build one with NewFleet.
+	Fleet = fleet.Fleet
+	// FleetConfig parameterizes a Fleet: the backing Server, the model
+	// repository directory, body-size limits, and the observability hooks
+	// the HTTP layer reports through.
+	FleetConfig = fleet.Config
+)
+
+// NewFleet builds a v2 inference front-end over cfg.Server:
+//
+//	srv := godisc.NewServer(godisc.ServerConfig{CacheDir: dir})
+//	f, err := godisc.NewFleet(godisc.FleetConfig{Server: srv, Repo: repoDir, AutoLoad: true})
+//	http.ListenAndServe(addr, f)
+//
+// Model repositories hold one directory per model with numbered version
+// subdirectories, each containing a model.graph file in the WriteGraph
+// format. See internal/fleet for the route table.
+func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
 
 // Evaluate interprets a graph with the reference semantics (no compilation,
 // no device model) — the ground truth compiled engines are tested against.

@@ -82,3 +82,31 @@ var (
 	// penalty, then interpreter fallback.
 	ErrHungRequest = errors.New("hung request")
 )
+
+// Sentinel is one named entry of the public error taxonomy.
+type Sentinel struct {
+	Name string
+	Err  error
+}
+
+// Sentinels enumerates the complete public error taxonomy, in
+// documentation order. Every layer that classifies errors exhaustively —
+// the serve taxonomy tests, the fleet HTTP status mapper — ranges over
+// this list, so adding a sentinel here fails those suites until each
+// consumer handles it explicitly.
+func Sentinels() []Sentinel {
+	return []Sentinel{
+		{"ErrShapeMismatch", ErrShapeMismatch},
+		{"ErrQueueFull", ErrQueueFull},
+		{"ErrCompileFailed", ErrCompileFailed},
+		{"ErrServerClosed", ErrServerClosed},
+		{"ErrKernelPanic", ErrKernelPanic},
+		{"ErrEngineQuarantined", ErrEngineQuarantined},
+		{"ErrTransient", ErrTransient},
+		{"ErrUnsupported", ErrUnsupported},
+		{"ErrMemoryBudget", ErrMemoryBudget},
+		{"ErrDeadlineInfeasible", ErrDeadlineInfeasible},
+		{"ErrQuotaExceeded", ErrQuotaExceeded},
+		{"ErrHungRequest", ErrHungRequest},
+	}
+}

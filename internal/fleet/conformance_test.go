@@ -1,0 +1,250 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"godisc/internal/discerr"
+)
+
+// TestV2Conformance is the table-driven protocol suite: every route, every
+// rejection class, one table. Each case states the exact status the v2
+// front-end must answer with.
+func TestV2Conformance(t *testing.T) {
+	fx := newFixture(t, fixtureOpts{budget: 1 << 20, maxBody: 4096})
+
+	okBody := f32Request(t, []int64{2, 8}, randInput(1, 2, 8))
+	big := f32Request(t, []int64{1, 2048}, make([]float32, 2048)) // > maxBody once serialized
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   []byte
+		hdr    map[string]string
+		want   int
+	}{
+		{"live", "GET", "/v2/health/live", nil, nil, 200},
+		{"ready", "GET", "/v2/health/ready", nil, nil, 200},
+		{"meta model", "GET", "/v2/models/alpha", nil, nil, 200},
+		{"meta version", "GET", "/v2/models/alpha/versions/1", nil, nil, 200},
+		{"meta unknown model", "GET", "/v2/models/nosuch", nil, nil, 404},
+		{"meta unknown version", "GET", "/v2/models/alpha/versions/9", nil, nil, 404},
+		{"model ready", "GET", "/v2/models/alpha/ready", nil, nil, 200},
+		{"model ready version", "GET", "/v2/models/alpha/versions/2/ready", nil, nil, 200},
+		{"model ready unknown", "GET", "/v2/models/nosuch/ready", nil, nil, 404},
+		{"index", "GET", "/v2/repository/index", nil, nil, 200},
+		{"infer ok", "POST", "/v2/models/alpha/infer", okBody, nil, 200},
+		{"infer ok versioned", "POST", "/v2/models/alpha/versions/1/infer", okBody, nil, 200},
+		{"infer ok interactive", "POST", "/v2/models/alpha/infer", okBody,
+			map[string]string{"X-Godisc-Priority": "interactive"}, 200},
+		{"infer ok best-effort deadline", "POST", "/v2/models/alpha/infer", okBody,
+			map[string]string{"X-Godisc-Priority": "best-effort", "X-Godisc-Deadline-Ms": "5000"}, 200},
+		{"infer unknown model", "POST", "/v2/models/nosuch/infer", okBody, nil, 404},
+		{"infer unknown version", "POST", "/v2/models/alpha/versions/9/infer", okBody, nil, 404},
+		{"infer malformed json", "POST", "/v2/models/alpha/infer", []byte(`{"inputs":[`), nil, 400},
+		{"infer not json", "POST", "/v2/models/alpha/infer", []byte("not json at all"), nil, 400},
+		{"infer unknown dtype", "POST", "/v2/models/alpha/infer",
+			[]byte(`{"inputs":[{"name":"x","shape":[1,8],"datatype":"FP64","data":[1,2,3,4,5,6,7,8]}]}`), nil, 400},
+		{"infer shape/data mismatch", "POST", "/v2/models/alpha/infer",
+			[]byte(`{"inputs":[{"name":"x","shape":[2,8],"datatype":"FP32","data":[1,2,3]}]}`), nil, 400},
+		{"infer negative dim", "POST", "/v2/models/alpha/infer",
+			[]byte(`{"inputs":[{"name":"x","shape":[-1,8],"datatype":"FP32","data":[1]}]}`), nil, 400},
+		{"infer overflowing shape", "POST", "/v2/models/alpha/infer",
+			[]byte(`{"inputs":[{"name":"x","shape":[4611686018427387904,4611686018427387904],"datatype":"FP32","data":[1]}]}`), nil, 400},
+		{"infer shape out of range", "POST", "/v2/models/alpha/infer",
+			f32Request(t, []int64{96, 8}, make([]float32, 96*8)), nil, 400}, // B declared range(1,64)
+		{"infer wrong rank", "POST", "/v2/models/alpha/infer",
+			f32Request(t, []int64{16}, make([]float32, 16)), nil, 400},
+		{"infer oversized body", "POST", "/v2/models/alpha/infer", big, nil, 413},
+		{"infer bad priority", "POST", "/v2/models/alpha/infer", okBody,
+			map[string]string{"X-Godisc-Priority": "urgent"}, 400},
+		{"infer bad deadline", "POST", "/v2/models/alpha/infer", okBody,
+			map[string]string{"X-Godisc-Deadline-Ms": "soon"}, 400},
+		{"infer negative deadline", "POST", "/v2/models/alpha/infer", okBody,
+			map[string]string{"X-Godisc-Deadline-Ms": "-5"}, 400},
+		{"infer wrong method", "GET", "/v2/models/alpha/infer", nil, nil, 405},
+		{"meta wrong method", "POST", "/v2/models/alpha", okBody, nil, 405},
+		{"load unknown model", "POST", "/v2/repository/models/nosuch/load", nil, nil, 404},
+		{"load traversal name", "POST", "/v2/repository/models/..%2F..%2Fetc/load", nil, nil, 400},
+		{"unload unknown model", "POST", "/v2/repository/models/nosuch/unload", nil, nil, 404},
+		{"unknown route", "GET", "/v2/bogus", nil, nil, 404},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, body := fx.do(t, tc.method, tc.path, tc.body, tc.hdr)
+			if code != tc.want {
+				t.Fatalf("%s %s: status %d want %d (body: %.200s)", tc.method, tc.path, code, tc.want, body)
+			}
+			// Every error our handlers produce carries the JSON envelope.
+			if code >= 400 && code != 405 && code != 404 || code == 404 && strings.HasPrefix(tc.path, "/v2/models") {
+				var env map[string]string
+				if err := json.Unmarshal(body, &env); err != nil || env["error"] == "" {
+					t.Fatalf("error responses must carry {\"error\": ...}: %q (%v)", body, err)
+				}
+			}
+		})
+	}
+}
+
+// TestV2Metadata checks the metadata bodies in detail: datatypes, -1 for
+// the dynamic batch axis, and the symbolic dimension facts.
+func TestV2Metadata(t *testing.T) {
+	fx := newFixture(t, fixtureOpts{budget: 1 << 20})
+
+	code, body := fx.do(t, "GET", "/v2/models/alpha", nil, nil)
+	if code != 200 {
+		t.Fatalf("meta: %d %s", code, body)
+	}
+	var meta ModelMeta
+	if err := json.Unmarshal(body, &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta.Name != "alpha" || meta.Platform != "godisc" {
+		t.Fatalf("meta identity: %+v", meta)
+	}
+	if len(meta.Versions) != 2 || meta.Versions[0] != "1" || meta.Versions[1] != "2" {
+		t.Fatalf("model-level meta must list all versions sorted: %v", meta.Versions)
+	}
+	if len(meta.Inputs) != 1 || len(meta.Outputs) != 1 {
+		t.Fatalf("alpha has one input and one output: %+v", meta)
+	}
+	in := meta.Inputs[0]
+	if in.Name != "x" || in.Datatype != DatatypeFP32 {
+		t.Fatalf("input meta: %+v", in)
+	}
+	if len(in.Shape) != 2 || in.Shape[0] != -1 || in.Shape[1] != 8 {
+		t.Fatalf("dynamic batch must be -1, static width literal: %v", in.Shape)
+	}
+	if len(in.ShapeSymbolic) != 2 || !strings.Contains(in.ShapeSymbolic[0], "range(1,64)") {
+		t.Fatalf("symbolic facts must carry the declared range: %v", in.ShapeSymbolic)
+	}
+	if out := meta.Outputs[0]; out.Shape[len(out.Shape)-1] != 4 {
+		t.Fatalf("output meta: %+v", out)
+	}
+
+	// Version-scoped metadata pins Versions to the one version.
+	code, body = fx.do(t, "GET", "/v2/models/alpha/versions/1", nil, nil)
+	if code != 200 {
+		t.Fatalf("versioned meta: %d %s", code, body)
+	}
+	if err := json.Unmarshal(body, &meta); err != nil {
+		t.Fatal(err)
+	}
+	if len(meta.Versions) != 1 || meta.Versions[0] != "1" {
+		t.Fatalf("versioned meta: %v", meta.Versions)
+	}
+}
+
+// TestV2IndexAndReadyLifecycle checks readiness flips with lifecycle:
+// ready turns 503 after Close, and the index reflects load state.
+func TestV2IndexAndReadyLifecycle(t *testing.T) {
+	fx := newFixture(t, fixtureOpts{budget: 1 << 20})
+
+	code, body := fx.do(t, "GET", "/v2/repository/index", nil, nil)
+	if code != 200 {
+		t.Fatalf("index: %d", code)
+	}
+	var idx []ModelStatus
+	if err := json.Unmarshal(body, &idx); err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 6 {
+		t.Fatalf("index must list 6 versions: %+v", idx)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := fx.f.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := fx.do(t, "GET", "/v2/health/ready", nil, nil); code != 503 {
+		t.Fatalf("closed fleet must answer ready=503, got %d", code)
+	}
+	if code, _ := fx.do(t, "GET", "/v2/health/live", nil, nil); code != 200 {
+		t.Fatalf("liveness is process-level and stays 200, got %d", code)
+	}
+	code, body = fx.do(t, "GET", "/v2/repository/index", nil, nil)
+	if code != 200 || strings.TrimSpace(string(body)) != "[]" {
+		t.Fatalf("closed fleet index must be the empty array: %d %q", code, body)
+	}
+}
+
+// TestV2NoRepositoryConfigured: a fleet without a repository serves
+// nothing and 404s the repository routes.
+func TestV2NoRepositoryConfigured(t *testing.T) {
+	fx := newFixture(t, fixtureOpts{noRepo: true})
+	if code, _ := fx.do(t, "POST", "/v2/repository/models/alpha/load", nil, nil); code != 404 {
+		t.Fatalf("load without a repository must 404, got %d", code)
+	}
+	if code, _ := fx.do(t, "GET", "/v2/health/ready", nil, nil); code != 200 {
+		t.Fatal("an empty fleet is still ready")
+	}
+}
+
+// TestSentinelStatusExhaustive cross-checks the fleet's sentinel → HTTP
+// status table against the discerr registry in both directions, so adding
+// a sentinel without mapping it (or mapping a ghost) fails here.
+func TestSentinelStatusExhaustive(t *testing.T) {
+	reg := discerr.Sentinels()
+	table := SentinelStatuses()
+	if len(reg) != len(table) {
+		t.Fatalf("taxonomy drift: discerr registers %d sentinels, fleet maps %d", len(reg), len(table))
+	}
+	valid := map[int]bool{400: true, 429: true, 500: true, 503: true, 504: true}
+	for _, s := range reg {
+		code, ok := table[s.Name]
+		if !ok {
+			t.Errorf("sentinel %s has no HTTP status mapping — add it to sentinelStatus", s.Name)
+			continue
+		}
+		if !valid[code] {
+			t.Errorf("sentinel %s maps to unexpected status %d", s.Name, code)
+		}
+		// StatusFor must agree for the bare sentinel and for a wrapped one.
+		if got := StatusFor(s.Err); got != code {
+			t.Errorf("StatusFor(%s) = %d, table says %d", s.Name, got, code)
+		}
+		if got := StatusFor(fmt.Errorf("serve: request 7: %w", s.Err)); got != code {
+			t.Errorf("StatusFor(wrapped %s) = %d, table says %d", s.Name, got, code)
+		}
+	}
+	names := make(map[string]bool, len(reg))
+	for _, s := range reg {
+		names[s.Name] = true
+	}
+	for name := range table {
+		if !names[name] {
+			t.Errorf("fleet maps %q which discerr does not register", name)
+		}
+	}
+}
+
+// TestStatusForFallbacks covers the non-sentinel branches of StatusFor.
+func TestStatusForFallbacks(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, 200},
+		{&httpError{code: 418, msg: "teapot"}, 418},
+		{&http.MaxBytesError{Limit: 1}, 413},
+		{context.DeadlineExceeded, 504},
+		{context.Canceled, 499},
+		{fmt.Errorf("wrapped: %w", context.Canceled), 499},
+		{fmt.Errorf("opaque failure"), 500},
+		// A governor timeout wraps both the sentinel and the context error;
+		// the sentinel must win.
+		{fmt.Errorf("%w: %w", discerr.ErrMemoryBudget, context.DeadlineExceeded), 503},
+	}
+	for _, tc := range cases {
+		if got := StatusFor(tc.err); got != tc.want {
+			t.Errorf("StatusFor(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}

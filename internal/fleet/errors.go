@@ -1,0 +1,95 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"godisc/internal/discerr"
+)
+
+// httpError is a fleet-layer error with an explicit HTTP status: unknown
+// models/versions, malformed bodies, bad headers. StatusFor honours it
+// before the sentinel taxonomy.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// sentinelStatus maps every discerr sentinel to the HTTP status the v2
+// front-end answers with. The list is the complete taxonomy: the
+// conformance suite cross-checks it against discerr.Sentinels(), so a new
+// sentinel fails the build of that test until a row is added here.
+//
+//   - 400: the caller's request is broken (shapes, dtypes) — retrying the
+//     same bytes can never succeed.
+//   - 429: the server shed load (queue, quota) — retry with backoff.
+//   - 503: the server is temporarily unable (budget, quarantine, closing,
+//     transient faults) — retry later, possibly elsewhere.
+//   - 504: the request ran out of time (infeasible deadline, watchdog).
+//   - 500: the engine itself failed (compile, kernel panic).
+var sentinelStatus = []struct {
+	name string
+	err  error
+	code int
+}{
+	{"ErrShapeMismatch", discerr.ErrShapeMismatch, http.StatusBadRequest},
+	{"ErrQueueFull", discerr.ErrQueueFull, http.StatusTooManyRequests},
+	{"ErrCompileFailed", discerr.ErrCompileFailed, http.StatusInternalServerError},
+	{"ErrServerClosed", discerr.ErrServerClosed, http.StatusServiceUnavailable},
+	{"ErrKernelPanic", discerr.ErrKernelPanic, http.StatusInternalServerError},
+	{"ErrEngineQuarantined", discerr.ErrEngineQuarantined, http.StatusServiceUnavailable},
+	{"ErrTransient", discerr.ErrTransient, http.StatusServiceUnavailable},
+	{"ErrUnsupported", discerr.ErrUnsupported, http.StatusBadRequest},
+	{"ErrMemoryBudget", discerr.ErrMemoryBudget, http.StatusServiceUnavailable},
+	{"ErrDeadlineInfeasible", discerr.ErrDeadlineInfeasible, http.StatusGatewayTimeout},
+	{"ErrQuotaExceeded", discerr.ErrQuotaExceeded, http.StatusTooManyRequests},
+	{"ErrHungRequest", discerr.ErrHungRequest, http.StatusGatewayTimeout},
+}
+
+// SentinelStatuses returns the sentinel-name → HTTP-status table the
+// front-end maps errors through. The conformance tests assert it covers
+// discerr.Sentinels() exactly.
+func SentinelStatuses() map[string]int {
+	m := make(map[string]int, len(sentinelStatus))
+	for _, s := range sentinelStatus {
+		m[s.name] = s.code
+	}
+	return m
+}
+
+// StatusFor translates an error from the serving stack into the HTTP
+// status of the v2 response. Precedence: explicit fleet-layer statuses,
+// then body-size rejection, then the sentinel taxonomy (a governor
+// timeout wraps both ErrMemoryBudget and context.DeadlineExceeded — the
+// sentinel is the more specific fact), then bare context outcomes, then
+// 500.
+func StatusFor(err error) int {
+	if err == nil {
+		return http.StatusOK
+	}
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.code
+	}
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	for _, s := range sentinelStatus {
+		if errors.Is(err, s.err) {
+			return s.code
+		}
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	if errors.Is(err, context.Canceled) {
+		// The client went away; 499 is the de-facto (nginx) status for
+		// "client closed request" — never observed by the client itself.
+		return 499
+	}
+	return http.StatusInternalServerError
+}

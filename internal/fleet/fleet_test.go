@@ -1,0 +1,252 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"godisc/internal/graph"
+	"godisc/internal/serve"
+	"godisc/internal/servetest"
+	"godisc/internal/tensor"
+)
+
+// allVersions enumerates the fixture fleet: 3 models × 2 versions.
+func allVersions() [][2]string {
+	var out [][2]string
+	for _, s := range fixtureSpecs() {
+		out = append(out, [2]string{s.name, "1"}, [2]string{s.name, "2"})
+	}
+	return out
+}
+
+// TestFleetLifecycle drives the full load → serve → unload → reload cycle
+// over real HTTP and checks the repository index, the ledger and the
+// model gauge at every step.
+func TestFleetLifecycle(t *testing.T) {
+	fx := newFixture(t, fixtureOpts{budget: 1 << 20})
+
+	idx := fx.f.Index()
+	if len(idx) != 6 {
+		t.Fatalf("autoload must load 3 models × 2 versions, index: %+v", idx)
+	}
+	var wantBytes int64
+	for _, st := range idx {
+		if st.State != StateReady || !st.Resident {
+			t.Fatalf("version %s:%s must be READY and resident: %+v", st.Name, st.Version, st)
+		}
+		wantBytes += fixtureBytes(st.Name, st.Version)
+	}
+	if got := fx.gov.Stats().ReservedBytes; got != wantBytes {
+		t.Fatalf("ledger must carry exactly the loaded footprints: got %d want %d", got, wantBytes)
+	}
+
+	// Every version serves over HTTP; the default version is "2" (highest
+	// numeric).
+	for _, mv := range allVersions() {
+		resp := fx.infer(t, mv[0], mv[1], 3, nil)
+		if resp.ModelName != mv[0] || resp.ModelVersion != mv[1] {
+			t.Fatalf("response identifies %s:%s, want %s:%s",
+				resp.ModelName, resp.ModelVersion, mv[0], mv[1])
+		}
+		if len(resp.Outputs) != 1 || resp.Outputs[0].Datatype != DatatypeFP32 {
+			t.Fatalf("bad outputs for %v: %+v", mv, resp.Outputs)
+		}
+	}
+	if resp := fx.infer(t, "alpha", "", 2, nil); resp.ModelVersion != "2" {
+		t.Fatalf("default version must be the highest numeric, got %q", resp.ModelVersion)
+	}
+
+	// Unload beta: immediate 404, ledger shrinks by exactly beta's bytes,
+	// gauge drops to 2 models.
+	if code, body := fx.do(t, http.MethodPost, "/v2/repository/models/beta/unload", nil, nil); code != http.StatusOK {
+		t.Fatalf("unload beta: %d %s", code, body)
+	}
+	if code, _ := fx.do(t, http.MethodPost, "/v2/models/beta/infer",
+		f32Request(t, []int64{1, 12}, make([]float32, 12)), nil); code != http.StatusNotFound {
+		t.Fatalf("unloaded model must 404, got %d", code)
+	}
+	wantAfter := wantBytes - fixtureBytes("beta", "1") - fixtureBytes("beta", "2")
+	if got := fx.gov.Stats().ReservedBytes; got != wantAfter {
+		t.Fatalf("unload must release exactly beta's footprint: got %d want %d", got, wantAfter)
+	}
+	if len(fx.f.Index()) != 4 {
+		t.Fatalf("index after unload: %+v", fx.f.Index())
+	}
+
+	// Reload over HTTP and serve again.
+	if code, body := fx.do(t, http.MethodPost, "/v2/repository/models/beta/load", nil, nil); code != http.StatusOK {
+		t.Fatalf("load beta: %d %s", code, body)
+	}
+	fx.infer(t, "beta", "1", 4, nil)
+	if got := fx.gov.Stats().ReservedBytes; got != wantBytes {
+		t.Fatalf("reload must re-charge the ledger: got %d want %d", got, wantBytes)
+	}
+}
+
+// TestFleetEvictionChurn runs the whole fleet under a budget that holds
+// only a fraction of it, with a persistent engine cache: every request
+// must still succeed (evict-reload churn is invisible to clients), the
+// ledger must always carry exactly the resident footprints, evicted
+// engines must come back via cache decode — never a recompile — and
+// evictions must be counted with reason "lru".
+func TestFleetEvictionChurn(t *testing.T) {
+	// Budget fits roughly two of the six versions, so every round of
+	// requests forces eviction churn.
+	var maxOne, total int64
+	for _, mv := range allVersions() {
+		b := fixtureBytes(mv[0], mv[1])
+		total += b
+		if b > maxOne {
+			maxOne = b
+		}
+	}
+	budget := maxOne * 2
+	if budget >= total {
+		t.Fatalf("fixture footprints too uniform for churn: budget %d total %d", budget, total)
+	}
+	fx := newFixture(t, fixtureOpts{budget: budget, cacheDir: t.TempDir()})
+
+	warmCompiles := atomic.LoadInt32(fx.compiles)
+	if warmCompiles != 6 {
+		t.Fatalf("autoload must compile each version once, got %d", warmCompiles)
+	}
+
+	for round := 0; round < 4; round++ {
+		for _, mv := range allVersions() {
+			fx.infer(t, mv[0], mv[1], 1+round, nil)
+		}
+	}
+
+	if n := atomic.LoadInt32(fx.compiles); n != warmCompiles {
+		t.Fatalf("evicted engines must reload from the cache, not recompile: %d → %d", warmCompiles, n)
+	}
+	st := fx.srv.Stats()
+	if st.EngineLoads == 0 {
+		t.Fatalf("churn must have reloaded persisted engines: %+v", st)
+	}
+	if fx.f.evictionCounter("lru").Value() == 0 {
+		t.Fatal("churn must have recorded lru evictions")
+	}
+
+	// Ledger invariant: reserved == sum of resident footprints, and under
+	// budget.
+	var resident int64
+	for _, s := range fx.f.Index() {
+		if s.Resident {
+			resident += fixtureBytes(s.Name, s.Version)
+		}
+	}
+	gst := fx.gov.Stats()
+	if gst.ReservedBytes != resident {
+		t.Fatalf("ledger %d must equal resident footprints %d", gst.ReservedBytes, resident)
+	}
+	if gst.ReservedBytes > budget || gst.HighWaterBytes > budget {
+		t.Fatalf("budget exceeded: %+v (budget %d)", gst, budget)
+	}
+
+	// Shutdown releases everything.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := fx.f.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if got := fx.gov.Stats().ReservedBytes; got != 0 {
+		t.Fatalf("close must release every reservation, %d bytes leaked", got)
+	}
+}
+
+// TestFleetWarmRestartServesWithoutCompiler rebuilds the whole fleet on a
+// fresh serve.Server sharing the persistent engine cache: the second
+// fleet must serve every version with zero compiler invocations
+// (Stats.Compilations == 0 — the ISSUE acceptance criterion).
+func TestFleetWarmRestartServesWithoutCompiler(t *testing.T) {
+	cacheDir := t.TempDir()
+	repo := t.TempDir()
+	writeRepo(t, repo)
+
+	cold := newFixture(t, fixtureOpts{budget: 1 << 20, cacheDir: cacheDir, repo: repo})
+	for _, mv := range allVersions() {
+		cold.infer(t, mv[0], mv[1], 2, nil)
+	}
+	if n := atomic.LoadInt32(cold.compiles); n != 6 {
+		t.Fatalf("cold fleet must compile each version once, got %d", n)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := cold.f.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	servetest.Drain(t, cold.srv)
+
+	warm := newFixture(t, fixtureOpts{budget: 1 << 20, cacheDir: cacheDir, repo: repo})
+	for _, mv := range allVersions() {
+		resp := warm.infer(t, mv[0], mv[1], 2, nil)
+		if hit, _ := resp.Parameters["cache_hit"].(bool); !hit {
+			t.Fatalf("warm request to %v must report a cache hit: %+v", mv, resp.Parameters)
+		}
+	}
+	if n := atomic.LoadInt32(warm.compiles); n != 0 {
+		t.Fatalf("warm fleet must never invoke the compiler, got %d compilations", n)
+	}
+	if st := warm.srv.Stats(); st.EngineLoads != 6 {
+		t.Fatalf("warm fleet must decode all six engines from disk: %+v", st)
+	}
+}
+
+// TestFleetHTTPMatchesDirectInfer checks bit-identical parity between the
+// HTTP path (JSON round-trip included) and a direct serve.Server.Infer on
+// an identically built backend.
+func TestFleetHTTPMatchesDirectInfer(t *testing.T) {
+	fx := newFixture(t, fixtureOpts{budget: 1 << 20})
+
+	var direct int32
+	ref := serve.New(serve.Config{MaxConcurrent: 2}, testCompile(&direct))
+	defer servetest.Drain(t, ref)
+
+	for _, mv := range allVersions() {
+		name, version := mv[0], mv[1]
+		if err := ref.Register(name+":"+version, func() *graph.Graph {
+			return fixtureGraph(name, version)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, mv := range allVersions() {
+		for _, batch := range []int{1, 3, 8} {
+			width := 0
+			for _, s := range fixtureSpecs() {
+				if s.name == mv[0] {
+					width = s.in
+				}
+			}
+			data := randInput(uint64(batch)*31+7, batch, width)
+			resp := fx.infer(t, mv[0], mv[1], batch, nil)
+			want, err := ref.Infer(context.Background(), &serve.Request{
+				Model:  mv[0] + ":" + mv[1],
+				Inputs: []*tensor.Tensor{tensor.FromF32(append([]float32(nil), data...), batch, width)},
+			})
+			if err != nil {
+				t.Fatalf("direct infer %v: %v", mv, err)
+			}
+			var got []float32
+			if err := json.Unmarshal(resp.Outputs[0].Data, &got); err != nil {
+				t.Fatal(err)
+			}
+			ref32 := want.Outputs[0].F32()
+			if len(got) != len(ref32) {
+				t.Fatalf("%v batch %d: %d vs %d elements", mv, batch, len(got), len(ref32))
+			}
+			for i := range got {
+				if math.Float32bits(got[i]) != math.Float32bits(ref32[i]) {
+					t.Fatalf("%v batch %d elem %d: HTTP %x vs direct %x — must be bit-identical",
+						mv, batch, i, got[i], ref32[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package fleet
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzV2InferDecode hammers the JSON tensor decoder with arbitrary
+// bodies. Invariants: never panic; on success every returned tensor's
+// element count equals its declared (overflow-guarded) shape product; an
+// absurd declared shape whose data array does not carry that many
+// elements must be rejected — the decoder must never allocate from the
+// declared shape.
+func FuzzV2InferDecode(f *testing.F) {
+	// Seed corpus: the conformance suite's accept and reject shapes.
+	seeds := [][]byte{
+		[]byte(`{"inputs":[{"name":"x","shape":[2,8],"datatype":"FP32","data":[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16]}]}`),
+		[]byte(`{"inputs":[{"name":"x","shape":[4],"datatype":"INT32","data":[1,2,3,4]}]}`),
+		[]byte(`{"inputs":[{"name":"m","shape":[2],"datatype":"BOOL","data":[true,false]}]}`),
+		[]byte(`{"inputs":[{"name":"x","shape":[0],"datatype":"FP32","data":[]}]}`),
+		[]byte(`{"id":"r1","inputs":[]}`),
+		[]byte(`{"inputs":[`),
+		[]byte(`not json at all`),
+		[]byte(`{"inputs":[{"name":"x","shape":[1,8],"datatype":"FP64","data":[1,2,3,4,5,6,7,8]}]}`),
+		[]byte(`{"inputs":[{"name":"x","shape":[2,8],"datatype":"FP32","data":[1,2,3]}]}`),
+		[]byte(`{"inputs":[{"name":"x","shape":[-1,8],"datatype":"FP32","data":[1]}]}`),
+		[]byte(`{"inputs":[{"name":"x","shape":[4611686018427387904,4611686018427387904],"datatype":"FP32","data":[1]}]}`),
+		[]byte(`{"inputs":[{"name":"x","shape":[9999999999],"datatype":"FP32","data":[1]}]}`),
+		[]byte(`{"inputs":[{"name":"x","shape":[1],"datatype":"FP32","data":["oops"]}]}`),
+		[]byte(`{"inputs":[{"name":"x","shape":[1],"datatype":"FP32"}]}`),
+		[]byte(`{"inputs":[{"name":"x","shape":null,"datatype":"BOOL","data":[]}]}`),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, tensors, err := DecodeInferRequest(body)
+		if err != nil {
+			if req != nil || tensors != nil {
+				t.Fatalf("error return must be clean, got req=%v tensors=%v", req, tensors)
+			}
+			return
+		}
+		if len(tensors) != len(req.Inputs) {
+			t.Fatalf("decoded %d tensors for %d inputs", len(tensors), len(req.Inputs))
+		}
+		for i, tt := range tensors {
+			in := req.Inputs[i]
+			want := int64(1)
+			for _, d := range in.Shape {
+				want *= d
+			}
+			if int64(tt.Numel()) != want {
+				t.Fatalf("input %d: tensor has %d elements, declared shape %v wants %d",
+					i, tt.Numel(), in.Shape, want)
+			}
+			// The accepted request must round-trip as JSON (it will be
+			// echoed into responses and logs).
+			if _, err := json.Marshal(in); err != nil {
+				t.Fatalf("accepted input %d does not re-marshal: %v", i, err)
+			}
+		}
+	})
+}

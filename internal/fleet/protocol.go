@@ -1,0 +1,199 @@
+// KServe-style v2 inference protocol types: the JSON wire format of the
+// fleet front-end. Decoding is deliberately paranoid — the declared shape
+// of a tensor is never trusted for allocation; the data array (bounded by
+// the request body, which the HTTP layer caps) is decoded first and the
+// shape merely validated against it. FuzzV2InferDecode drives
+// DecodeInferRequest directly.
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"godisc/internal/discerr"
+	"godisc/internal/tensor"
+)
+
+// V2 datatype names for the dtypes godisc serves.
+const (
+	DatatypeFP32  = "FP32"
+	DatatypeINT32 = "INT32"
+	DatatypeBOOL  = "BOOL"
+)
+
+// datatypeOf maps a tensor dtype to its v2 wire name.
+func datatypeOf(dt tensor.DType) string {
+	switch dt {
+	case tensor.F32:
+		return DatatypeFP32
+	case tensor.I32:
+		return DatatypeINT32
+	case tensor.Bool:
+		return DatatypeBOOL
+	}
+	return "UNKNOWN"
+}
+
+// InferTensor is one named tensor on the wire: a flat row-major data array
+// plus its declared shape. Data stays raw until the datatype is known.
+type InferTensor struct {
+	Name     string          `json:"name"`
+	Shape    []int64         `json:"shape"`
+	Datatype string          `json:"datatype"`
+	Data     json.RawMessage `json:"data,omitempty"`
+}
+
+// InferRequest is the body of POST /v2/models/{name}/infer.
+type InferRequest struct {
+	ID     string        `json:"id,omitempty"`
+	Inputs []InferTensor `json:"inputs"`
+}
+
+// InferResponse is the success body of an infer call.
+type InferResponse struct {
+	ModelName    string         `json:"model_name"`
+	ModelVersion string         `json:"model_version,omitempty"`
+	ID           string         `json:"id,omitempty"`
+	Outputs      []InferTensor  `json:"outputs"`
+	Parameters   map[string]any `json:"parameters,omitempty"`
+}
+
+// TensorMeta describes one model input or output in metadata responses.
+// Dynamic dimensions are -1 per the v2 protocol; ShapeSymbolic carries the
+// symbolic dimension facts (name, range, divisibility) the signature
+// declares — the information a client needs to know which concrete shapes
+// one engine serves.
+type TensorMeta struct {
+	Name          string   `json:"name"`
+	Datatype      string   `json:"datatype"`
+	Shape         []int64  `json:"shape"`
+	ShapeSymbolic []string `json:"shape_symbolic,omitempty"`
+}
+
+// ModelMeta is the body of GET /v2/models/{name}[/versions/{v}].
+type ModelMeta struct {
+	Name     string       `json:"name"`
+	Versions []string     `json:"versions,omitempty"`
+	Platform string       `json:"platform"`
+	Inputs   []TensorMeta `json:"inputs"`
+	Outputs  []TensorMeta `json:"outputs"`
+}
+
+// ModelStatus is one entry of the repository index: a loaded model
+// version and its lifecycle state.
+type ModelStatus struct {
+	Name    string `json:"name"`
+	Version string `json:"version"`
+	State   string `json:"state"`
+	Reason  string `json:"reason,omitempty"`
+	// Resident reports whether the version's engine footprint is
+	// currently charged against the memory governor (false after an LRU
+	// eviction; the next request re-charges and reloads transparently).
+	Resident bool `json:"resident"`
+}
+
+// DecodeInferRequest parses and validates a v2 infer body into concrete
+// tensors, in input order. It never allocates storage from a declared
+// shape: the data array — bounded by the body the HTTP layer already
+// capped — is decoded first and the overflow-guarded shape product must
+// match its length exactly. Malformed JSON, unknown datatypes and
+// shape/data disagreements reject with errors that map to 4xx
+// (discerr.ErrShapeMismatch / discerr.ErrUnsupported).
+func DecodeInferRequest(body []byte) (*InferRequest, []*tensor.Tensor, error) {
+	var req InferRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, nil, &httpError{code: 400, msg: fmt.Sprintf("fleet: malformed request body: %v", err)}
+	}
+	ins := make([]*tensor.Tensor, len(req.Inputs))
+	for i := range req.Inputs {
+		t, err := decodeTensor(&req.Inputs[i])
+		if err != nil {
+			return nil, nil, fmt.Errorf("fleet: input %d (%q): %w", i, req.Inputs[i].Name, err)
+		}
+		ins[i] = t
+	}
+	return &req, ins, nil
+}
+
+// decodeTensor validates one wire tensor and builds the concrete tensor.
+func decodeTensor(in *InferTensor) (*tensor.Tensor, error) {
+	elems := int64(1)
+	for _, d := range in.Shape {
+		if d < 0 {
+			return nil, fmt.Errorf("negative dim %d in shape %v: %w", d, in.Shape, discerr.ErrShapeMismatch)
+		}
+		if d != 0 && elems > math.MaxInt64/d {
+			return nil, fmt.Errorf("shape %v overflows: %w", in.Shape, discerr.ErrShapeMismatch)
+		}
+		elems *= d
+	}
+	shape := make([]int, len(in.Shape))
+	for i, d := range in.Shape {
+		shape[i] = int(d)
+	}
+	check := func(n int) error {
+		if int64(n) != elems {
+			return fmt.Errorf("shape %v declares %d elements, data carries %d: %w",
+				in.Shape, elems, n, discerr.ErrShapeMismatch)
+		}
+		return nil
+	}
+	switch in.Datatype {
+	case DatatypeFP32:
+		var data []float32
+		if err := json.Unmarshal(in.Data, &data); err != nil {
+			return nil, fmt.Errorf("FP32 data: %v: %w", err, discerr.ErrShapeMismatch)
+		}
+		if err := check(len(data)); err != nil {
+			return nil, err
+		}
+		return tensor.FromF32(data, shape...), nil
+	case DatatypeINT32:
+		var data []int32
+		if err := json.Unmarshal(in.Data, &data); err != nil {
+			return nil, fmt.Errorf("INT32 data: %v: %w", err, discerr.ErrShapeMismatch)
+		}
+		if err := check(len(data)); err != nil {
+			return nil, err
+		}
+		return tensor.FromI32(data, shape...), nil
+	case DatatypeBOOL:
+		var data []bool
+		if err := json.Unmarshal(in.Data, &data); err != nil {
+			return nil, fmt.Errorf("BOOL data: %v: %w", err, discerr.ErrShapeMismatch)
+		}
+		if err := check(len(data)); err != nil {
+			return nil, err
+		}
+		return tensor.FromBool(data, shape...), nil
+	default:
+		return nil, fmt.Errorf("datatype %q: %w", in.Datatype, discerr.ErrUnsupported)
+	}
+}
+
+// encodeTensor renders one output tensor for the wire.
+func encodeTensor(name string, t *tensor.Tensor) (InferTensor, error) {
+	out := InferTensor{Name: name, Datatype: datatypeOf(t.DType())}
+	out.Shape = make([]int64, t.Rank())
+	for i := 0; i < t.Rank(); i++ {
+		out.Shape[i] = int64(t.Dim(i))
+	}
+	var payload any
+	switch t.DType() {
+	case tensor.F32:
+		payload = t.F32()
+	case tensor.I32:
+		payload = t.I32()
+	case tensor.Bool:
+		payload = t.Bools()
+	default:
+		return out, fmt.Errorf("fleet: output dtype %v: %w", t.DType(), discerr.ErrUnsupported)
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return out, fmt.Errorf("fleet: encoding output %q: %w", name, err)
+	}
+	out.Data = raw
+	return out, nil
+}

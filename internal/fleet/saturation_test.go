@@ -1,0 +1,284 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"godisc/internal/graph"
+	"godisc/internal/serve"
+	"godisc/internal/servetest"
+	"godisc/internal/tensor"
+)
+
+// saturationDuration is ~1s in the plain test gate; `make soak` stretches
+// it via GODISC_SOAK (same env the serve soak honours).
+func saturationDuration(t *testing.T) time.Duration {
+	if v := os.Getenv("GODISC_SOAK"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			t.Fatalf("GODISC_SOAK: %v", err)
+		}
+		return d
+	}
+	return time.Second
+}
+
+// The saturation fleet is heavier than the conformance fixture: wide
+// enough matmuls that an engine run takes real time, so the admission
+// queue genuinely fills and sheds under closed-loop load.
+type satSpec struct {
+	name string
+	in   int
+	seed uint64
+}
+
+func satSpecs() []satSpec {
+	return []satSpec{{"ha", 64, 11}, {"hb", 64, 12}, {"hc", 64, 13}}
+}
+
+func satGraph(name, version string) *graph.Graph {
+	for _, s := range satSpecs() {
+		if s.name != name {
+			continue
+		}
+		switch version {
+		case "1":
+			return buildDense(s.name, s.seed, s.in, 128, 8)
+		case "2":
+			return buildDense(s.name, s.seed+100, s.in, 192, 8)
+		}
+	}
+	return nil
+}
+
+func satVersions() [][2]string {
+	var out [][2]string
+	for _, s := range satSpecs() {
+		out = append(out, [2]string{s.name, "1"}, [2]string{s.name, "2"})
+	}
+	return out
+}
+
+func writeSatRepo(t testing.TB, dir string) {
+	t.Helper()
+	for _, s := range satSpecs() {
+		for _, v := range []string{"1", "2"} {
+			d := filepath.Join(dir, s.name, v)
+			if err := os.MkdirAll(d, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			text := graph.WriteText(satGraph(s.name, v))
+			if err := os.WriteFile(filepath.Join(d, GraphFileName), []byte(text), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestSaturationFleetHTTP is the fleet-scale acceptance test: a 3-model ×
+// 2-version fleet behind real HTTP, more concurrent clients than
+// execution slots, all three priorities, and a governor budget that holds
+// only ~2 of the 6 engines — so the whole run is eviction/reload churn.
+// Invariants over the full run:
+//
+//   - no response is a 5xx: eviction and reload are invisible to
+//     clients; overload surfaces only as 429 (shed) — never as a crash,
+//     race or budget error;
+//   - every 200 body is bit-identical to a direct serve.Server.Infer of
+//     the same model/version/input on an identically built backend;
+//   - the interactive error rate is strictly below best-effort's: the
+//     admission queue sheds lowest-priority waiters first;
+//   - the compiler never runs after warmup (churn reloads persisted
+//     engines) and the ledger never exceeds the budget.
+func TestSaturationFleetHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation run skipped in -short")
+	}
+	repo := t.TempDir()
+	writeSatRepo(t, repo)
+	var maxOne int64
+	for _, mv := range satVersions() {
+		if b := constBytes(satGraph(mv[0], mv[1])); b > maxOne {
+			maxOne = b
+		}
+	}
+	fx := newFixture(t, fixtureOpts{
+		budget:        maxOne * 2,
+		cacheDir:      t.TempDir(),
+		repo:          repo,
+		maxConcurrent: 1,
+		queueDepth:    1,
+		// Engine runs must overlap for the admission queue to fill; on a
+		// single-CPU host pure-CPU runs serialize in the scheduler, so
+		// inject yield points (latency-only; outputs unchanged).
+		kernelLatency: 200 * time.Microsecond,
+	})
+	warmCompiles := atomic.LoadInt32(fx.compiles)
+
+	// Reference backend: same graphs, no HTTP, no budget. Outputs for
+	// every (model, version, batch) triple the clients will send, computed
+	// once up front; request bodies likewise.
+	var refCompiles int32
+	ref := serve.New(serve.Config{MaxConcurrent: 2}, testCompile(&refCompiles))
+	defer servetest.Drain(t, ref)
+	batches := []int{8, 16, 32}
+	type key struct {
+		model, version string
+		batch          int
+	}
+	want := map[key][]float32{}
+	bodies := map[key][]byte{}
+	for _, mv := range satVersions() {
+		name, version := mv[0], mv[1]
+		if err := ref.Register(name+":"+version, func() *graph.Graph {
+			return satGraph(name, version)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range batches {
+			data := randInput(uint64(b)*31+7, b, 64)
+			resp, err := ref.Infer(context.Background(), &serve.Request{
+				Model:  name + ":" + version,
+				Inputs: []*tensor.Tensor{tensor.FromF32(append([]float32(nil), data...), b, 64)},
+			})
+			if err != nil {
+				t.Fatalf("reference %s:%s batch %d: %v", name, version, b, err)
+			}
+			k := key{name, version, b}
+			want[k] = append([]float32(nil), resp.Outputs[0].F32()...)
+			bodies[k] = f32Request(t, []int64{int64(b), 64}, data)
+		}
+	}
+
+	const clients = 24
+	dur := saturationDuration(t)
+	deadline := time.Now().Add(dur)
+	prios := []string{"interactive", "batch", "best-effort"}
+	var (
+		total, errs [3]int64 // per-priority request / non-200 counts
+		fiveXX      int64
+		mismatches  int64
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) * 7919))
+			pi := c % 3
+			client := &http.Client{Timeout: 30 * time.Second}
+			for time.Now().Before(deadline) {
+				// Skew traffic: most requests hit one hot version (resident
+				// fast path → admission pressure), the rest roam the fleet
+				// (residency churn under the tight budget).
+				mv := satVersions()[rng.Intn(6)]
+				if rng.Float64() < 0.75 {
+					mv = [2]string{"ha", "2"}
+				}
+				k := key{mv[0], mv[1], batches[rng.Intn(len(batches))]}
+				req, err := http.NewRequest(http.MethodPost,
+					fmt.Sprintf("%s/v2/models/%s/versions/%s/infer", fx.ts.URL, k.model, k.version),
+					bytes.NewReader(bodies[k]))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				req.Header.Set("X-Godisc-Priority", prios[pi])
+				resp, err := client.Do(req)
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				payload, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				atomic.AddInt64(&total[pi], 1)
+				if resp.StatusCode != http.StatusOK {
+					atomic.AddInt64(&errs[pi], 1)
+					if resp.StatusCode >= 500 {
+						atomic.AddInt64(&fiveXX, 1)
+						t.Errorf("client %d: 5xx %d for %v: %.200s", c, resp.StatusCode, k, payload)
+					}
+					continue
+				}
+				var out InferResponse
+				if err := json.Unmarshal(payload, &out); err != nil {
+					t.Errorf("client %d: bad 200 body: %v", c, err)
+					continue
+				}
+				var got []float32
+				if err := json.Unmarshal(out.Outputs[0].Data, &got); err != nil {
+					t.Errorf("client %d: bad output data: %v", c, err)
+					continue
+				}
+				ref32 := want[k]
+				if len(got) != len(ref32) {
+					atomic.AddInt64(&mismatches, 1)
+					continue
+				}
+				for i := range got {
+					if math.Float32bits(got[i]) != math.Float32bits(ref32[i]) {
+						atomic.AddInt64(&mismatches, 1)
+						break
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if fiveXX != 0 {
+		t.Fatalf("%d 5xx responses under eviction churn", fiveXX)
+	}
+	if mismatches != 0 {
+		t.Fatalf("%d responses diverged from the direct serve path", mismatches)
+	}
+	if n := atomic.LoadInt32(fx.compiles); n != warmCompiles {
+		t.Fatalf("saturation must never recompile (persisted engines reload): %d → %d", warmCompiles, n)
+	}
+	gst := fx.gov.Stats()
+	if gst.HighWaterBytes > fx.gov.Budget() {
+		t.Fatalf("ledger exceeded budget: %+v", gst)
+	}
+	if fx.f.evictionCounter("lru").Value() == 0 {
+		t.Fatal("the budget must have forced eviction churn")
+	}
+
+	sum := total[0] + total[1] + total[2]
+	if sum < int64(clients) {
+		t.Fatalf("run too short to mean anything: %d requests", sum)
+	}
+	t.Logf("requests=%v errors=%v evictions=%d reloads=%d",
+		total, errs, fx.f.evictionCounter("lru").Value(), fx.srv.Stats().EngineLoads)
+
+	// Priority ordering: best-effort must have been shed, and shed harder
+	// than interactive (strict, as the admission queue displaces
+	// lowest-priority waiters first).
+	beRate := float64(errs[2]) / float64(max64(total[2], 1))
+	intRate := float64(errs[0]) / float64(max64(total[0], 1))
+	if errs[2] == 0 {
+		t.Fatal("saturation must shed some best-effort traffic; widen the load if this fires")
+	}
+	if intRate >= beRate {
+		t.Fatalf("interactive error rate %.4f must be strictly below best-effort %.4f (errors %v of %v)",
+			intRate, beRate, errs, total)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

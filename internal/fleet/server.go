@@ -1,0 +1,465 @@
+// Package fleet is the multi-model HTTP serving front-end: a KServe-style
+// v2 inference protocol (JSON over HTTP) layered on a serve.Server, plus
+// a model repository with versioning, load/unload lifecycle and
+// LRU eviction of idle engines under a shared memory budget.
+//
+// Routes:
+//
+//	GET  /v2/health/live
+//	GET  /v2/health/ready
+//	GET  /v2/models/{model}                        metadata (all versions)
+//	GET  /v2/models/{model}/versions/{version}     metadata (one version)
+//	GET  /v2/models/{model}/ready                  per-model readiness
+//	GET  /v2/models/{model}/versions/{version}/ready
+//	POST /v2/models/{model}/infer                  inference (default version)
+//	POST /v2/models/{model}/versions/{version}/infer
+//	POST /v2/repository/models/{model}/load
+//	POST /v2/repository/models/{model}/unload
+//	GET  /v2/repository/index                      loaded versions + states
+//	GET  /metrics, /debug/trace                    obs endpoints
+//
+// Request headers: X-Godisc-Priority (interactive | batch | best-effort)
+// and X-Godisc-Deadline-Ms (per-request deadline) thread into the serve
+// layer's admission policy. Every request runs under an obs span; the
+// serve layer nests its infer span beneath it, so HTTP traces contain the
+// full infer → exec tree.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"godisc/internal/obs"
+	"godisc/internal/ral"
+	"godisc/internal/serve"
+)
+
+// Config parameterizes a Fleet.
+type Config struct {
+	// Server is the inference backend models register with. Required.
+	Server *serve.Server
+	// Repo is the model repository directory (see repository.go for the
+	// layout). Empty disables load/unload (404 on repository routes).
+	Repo string
+	// Governor is the byte ledger resident engine footprints are charged
+	// against; nil defaults to Server.Governor() (possibly nil — then
+	// residency is tracked but nothing is ever evicted for space).
+	Governor *ral.Governor
+	// Metrics receives the fleet counters/gauges; nil gives the fleet a
+	// private registry (still served at /metrics).
+	Metrics *obs.Registry
+	// Observer opens the per-request HTTP spans; Tracer serves
+	// /debug/trace. Both optional and typically the same *obs.Tracer.
+	Observer obs.Hook
+	Tracer   *obs.Tracer
+	// MaxBodyBytes caps infer request bodies (default 32 MiB); oversized
+	// bodies answer 413.
+	MaxBodyBytes int64
+	// LoadTimeout bounds footprint reservations and warm compiles during
+	// model load (default 30s).
+	LoadTimeout time.Duration
+	// WatchInterval, when > 0, polls the repository directory and — with
+	// AutoLoad — loads models (and new versions of loaded models) that
+	// appear in it.
+	WatchInterval time.Duration
+	AutoLoad      bool
+}
+
+// Fleet is the HTTP front-end plus model repository. Build with New,
+// serve with Handler() (or Fleet itself as an http.Handler).
+type Fleet struct {
+	cfg Config
+	srv *serve.Server
+	gov *ral.Governor
+	reg *obs.Registry
+	mux *http.ServeMux
+
+	mu     sync.Mutex
+	models map[string]*fleetModel
+	closed bool
+
+	watchStop chan struct{}
+	watchDone chan struct{}
+}
+
+// New builds a Fleet over cfg.Server and — when AutoLoad is set — loads
+// every model already present in the repository.
+func New(cfg Config) (*Fleet, error) {
+	if cfg.Server == nil {
+		return nil, fmt.Errorf("fleet: Config.Server is required")
+	}
+	if cfg.Governor == nil {
+		cfg.Governor = cfg.Server.Governor()
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 32 << 20
+	}
+	if cfg.LoadTimeout <= 0 {
+		cfg.LoadTimeout = 30 * time.Second
+	}
+	f := &Fleet{
+		cfg:    cfg,
+		srv:    cfg.Server,
+		gov:    cfg.Governor,
+		reg:    cfg.Metrics,
+		models: map[string]*fleetModel{},
+	}
+	f.setModelsGauge()
+	f.buildMux()
+	if cfg.AutoLoad && cfg.Repo != "" {
+		if err := f.loadAll(context.Background()); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.WatchInterval > 0 && cfg.Repo != "" {
+		f.watchStop = make(chan struct{})
+		f.watchDone = make(chan struct{})
+		go f.watch()
+	}
+	return f, nil
+}
+
+// Handler returns the fleet's HTTP handler.
+func (f *Fleet) Handler() http.Handler { return f.mux }
+
+// ServeHTTP makes Fleet itself an http.Handler.
+func (f *Fleet) ServeHTTP(w http.ResponseWriter, r *http.Request) { f.mux.ServeHTTP(w, r) }
+
+// Close stops the repository watcher and unloads every model, releasing
+// all ledger reservations (eviction reason "shutdown"). It does not shut
+// down the underlying serve.Server — the caller owns that.
+func (f *Fleet) Close(ctx context.Context) error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	var mvs []*modelVersion
+	for name, fm := range f.models {
+		for _, mv := range fm.versions {
+			mv.state = StateUnloading
+			mvs = append(mvs, mv)
+		}
+		delete(f.models, name)
+	}
+	f.setModelsGauge()
+	f.mu.Unlock()
+	if f.watchStop != nil {
+		close(f.watchStop)
+		<-f.watchDone
+	}
+	var first error
+	for _, mv := range mvs {
+		if err := f.retireVersion(ctx, mv, "shutdown"); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// loadAll loads every model directory currently in the repository,
+// skipping ones that fail (a broken model must not block the rest).
+func (f *Fleet) loadAll(ctx context.Context) error {
+	entries, err := os.ReadDir(f.cfg.Repo)
+	if err != nil {
+		return fmt.Errorf("fleet: reading repository %s: %w", f.cfg.Repo, err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !validModelName(e.Name()) {
+			continue
+		}
+		_ = f.LoadModel(ctx, e.Name())
+	}
+	return nil
+}
+
+// watch polls the repository, loading new models and new versions of
+// loaded models (LoadModel is incremental and idempotent).
+func (f *Fleet) watch() {
+	defer close(f.watchDone)
+	t := time.NewTicker(f.cfg.WatchInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.watchStop:
+			return
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), f.cfg.LoadTimeout)
+			if f.cfg.AutoLoad {
+				_ = f.loadAll(ctx)
+			} else {
+				// Without AutoLoad only already-loaded models are
+				// refreshed with new versions.
+				f.mu.Lock()
+				names := make([]string, 0, len(f.models))
+				for n := range f.models {
+					names = append(names, n)
+				}
+				f.mu.Unlock()
+				for _, n := range names {
+					_ = f.LoadModel(ctx, n)
+				}
+			}
+			cancel()
+		}
+	}
+}
+
+// --- HTTP plumbing ---------------------------------------------------
+
+// statusWriter records the response code for metrics and spans.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (f *Fleet) buildMux() {
+	f.mux = http.NewServeMux()
+	f.route("GET /v2/health/live", "/v2/health/live", f.handleLive)
+	f.route("GET /v2/health/ready", "/v2/health/ready", f.handleReady)
+	f.route("GET /v2/models/{model}", "/v2/models/{model}", f.handleMeta)
+	f.route("GET /v2/models/{model}/versions/{version}", "/v2/models/{model}/versions/{version}", f.handleMeta)
+	f.route("GET /v2/models/{model}/ready", "/v2/models/{model}/ready", f.handleModelReady)
+	f.route("GET /v2/models/{model}/versions/{version}/ready", "/v2/models/{model}/versions/{version}/ready", f.handleModelReady)
+	f.route("POST /v2/models/{model}/infer", "/v2/models/{model}/infer", f.handleInfer)
+	f.route("POST /v2/models/{model}/versions/{version}/infer", "/v2/models/{model}/versions/{version}/infer", f.handleInfer)
+	f.route("POST /v2/repository/models/{model}/load", "/v2/repository/models/{model}/load", f.handleLoad)
+	f.route("POST /v2/repository/models/{model}/unload", "/v2/repository/models/{model}/unload", f.handleUnload)
+	f.route("GET /v2/repository/index", "/v2/repository/index", f.handleIndex)
+	omux := obs.Mux(f.reg, f.cfg.Tracer)
+	f.mux.Handle("/metrics", omux)
+	f.mux.Handle("/debug/trace", omux)
+}
+
+// route registers a handler wrapped with the span/metrics envelope. The
+// route label is the pattern, not the raw path, so metric cardinality is
+// bounded by the route table.
+func (f *Fleet) route(pattern, label string, h func(http.ResponseWriter, *http.Request)) {
+	f.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		var sp *obs.Span
+		if f.cfg.Observer != nil {
+			sp = f.cfg.Observer.StartSpan("http",
+				obs.A("route", label), obs.A("method", r.Method))
+			r = r.WithContext(obs.ContextWithSpan(r.Context(), sp))
+		}
+		h(sw, r)
+		if sp != nil {
+			sp.SetAttr("code", strconv.Itoa(sw.code))
+			sp.End()
+		}
+		f.reg.Counter("godisc_http_requests_total",
+			obs.L("code", strconv.Itoa(sw.code)), obs.L("route", label)).Inc()
+	})
+}
+
+// fail writes the JSON error envelope for err at its mapped status.
+func (f *Fleet) fail(w http.ResponseWriter, err error) {
+	writeJSON(w, StatusFor(err), map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (f *Fleet) evictionCounter(reason string) *obs.Counter {
+	return f.reg.Counter("godisc_fleet_evictions_total", obs.L("reason", reason))
+}
+
+// setModelsGauge publishes the loaded-model count. Caller holds f.mu.
+func (f *Fleet) setModelsGauge() {
+	f.reg.Gauge("godisc_fleet_models").Set(float64(len(f.models)))
+}
+
+// --- handlers ---------------------------------------------------------
+
+func (f *Fleet) handleLive(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"live": true})
+}
+
+func (f *Fleet) handleReady(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	closed := f.closed
+	f.mu.Unlock()
+	if closed {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ready": false})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
+}
+
+func (f *Fleet) handleModelReady(w http.ResponseWriter, r *http.Request) {
+	mv, err := f.resolve(r.PathValue("model"), r.PathValue("version"))
+	if err != nil {
+		f.fail(w, err)
+		return
+	}
+	f.mu.Lock()
+	ready := mv.state == StateReady
+	f.mu.Unlock()
+	if !ready {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ready": false})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
+}
+
+func (f *Fleet) handleMeta(w http.ResponseWriter, r *http.Request) {
+	model, version := r.PathValue("model"), r.PathValue("version")
+	mv, err := f.resolve(model, version)
+	if err != nil {
+		f.fail(w, err)
+		return
+	}
+	meta := mv.meta
+	if version == "" {
+		// Model-level metadata lists every loaded version.
+		f.mu.Lock()
+		if fm := f.models[model]; fm != nil {
+			for v := range fm.versions {
+				meta.Versions = append(meta.Versions, v)
+			}
+		}
+		f.mu.Unlock()
+		sortVersions(meta.Versions)
+	} else {
+		meta.Versions = []string{version}
+	}
+	writeJSON(w, http.StatusOK, meta)
+}
+
+func (f *Fleet) handleIndex(w http.ResponseWriter, r *http.Request) {
+	idx := f.Index()
+	if idx == nil {
+		idx = []ModelStatus{}
+	}
+	writeJSON(w, http.StatusOK, idx)
+}
+
+func (f *Fleet) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if f.cfg.Repo == "" {
+		f.fail(w, &httpError{code: http.StatusNotFound, msg: "fleet: no model repository configured"})
+		return
+	}
+	name := r.PathValue("model")
+	if err := f.LoadModel(r.Context(), name); err != nil {
+		f.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"name": name, "state": StateReady})
+}
+
+func (f *Fleet) handleUnload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("model")
+	if err := f.UnloadModel(r.Context(), name); err != nil {
+		f.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"name": name, "state": "UNLOADED"})
+}
+
+// parsePriority maps the X-Godisc-Priority header to the serve lattice.
+func parsePriority(h string) (serve.Priority, error) {
+	switch h {
+	case "", "batch":
+		return serve.PriorityBatch, nil
+	case "interactive":
+		return serve.PriorityInteractive, nil
+	case "best-effort":
+		return serve.PriorityBestEffort, nil
+	}
+	return 0, &httpError{code: http.StatusBadRequest,
+		msg: fmt.Sprintf("fleet: unknown priority %q (want interactive | batch | best-effort)", h)}
+}
+
+func (f *Fleet) handleInfer(w http.ResponseWriter, r *http.Request) {
+	mv, err := f.resolve(r.PathValue("model"), r.PathValue("version"))
+	if err != nil {
+		f.fail(w, err)
+		return
+	}
+	prio, err := parsePriority(r.Header.Get("X-Godisc-Priority"))
+	if err != nil {
+		f.fail(w, err)
+		return
+	}
+	ctx := r.Context()
+	if h := r.Header.Get("X-Godisc-Deadline-Ms"); h != "" {
+		ms, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || ms <= 0 {
+			f.fail(w, &httpError{code: http.StatusBadRequest,
+				msg: fmt.Sprintf("fleet: bad X-Godisc-Deadline-Ms %q", h)})
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+		defer cancel()
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, f.cfg.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			f.fail(w, err)
+			return
+		}
+		f.fail(w, &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf("fleet: reading body: %v", err)})
+		return
+	}
+	req, inputs, err := DecodeInferRequest(body)
+	if err != nil {
+		f.fail(w, err)
+		return
+	}
+	if err := f.acquire(ctx, mv); err != nil {
+		f.fail(w, err)
+		return
+	}
+	defer f.releaseActive(mv)
+	resp, err := f.srv.Infer(ctx, &serve.Request{Model: mv.regName, Inputs: inputs, Priority: prio})
+	if err != nil {
+		f.fail(w, err)
+		return
+	}
+	out := InferResponse{ModelName: mv.model, ModelVersion: mv.version, ID: req.ID}
+	for i, t := range resp.Outputs {
+		wt, err := encodeTensor(fmt.Sprintf("output_%d", i), t)
+		if err != nil {
+			f.fail(w, err)
+			return
+		}
+		out.Outputs = append(out.Outputs, wt)
+	}
+	params := map[string]any{}
+	if resp.CacheHit {
+		params["cache_hit"] = true
+	}
+	if resp.Fallback {
+		params["fallback"] = true
+	}
+	if resp.Batched {
+		params["batched"] = true
+	}
+	if len(params) > 0 {
+		out.Parameters = params
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,246 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"godisc/internal/graph"
+	"godisc/internal/ral"
+	"godisc/internal/serve"
+	"godisc/internal/servetest"
+)
+
+// writeVersion drops one version directory (graph text) into a repo.
+func writeVersion(t testing.TB, repo, model, version string, g *graph.Graph) {
+	t.Helper()
+	d := filepath.Join(repo, model, version)
+	if err := os.MkdirAll(d, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(d, GraphFileName), []byte(graph.WriteText(g)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitFor polls cond for up to 5s — the watcher runs on a short interval,
+// so anything it will ever do happens well inside that.
+func waitFor(t testing.TB, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestFleetWatcherPicksUpRepo starts a fleet over an empty repository with
+// the watcher armed and drops models in while it runs: new models and new
+// versions of loaded models must come up without any load call, and the
+// default version must track the newest drop.
+func TestFleetWatcherPicksUpRepo(t *testing.T) {
+	srv := serve.New(serve.Config{MaxConcurrent: 2}, testCompile(nil))
+	defer servetest.Drain(t, srv)
+	repo := t.TempDir()
+	f, err := New(Config{
+		Server:        srv,
+		Repo:          repo,
+		WatchInterval: 3 * time.Millisecond,
+		AutoLoad:      true,
+		LoadTimeout:   10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := f.Close(ctx); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	if f.Handler() == nil {
+		t.Fatal("Handler must return the mux")
+	}
+	if n := len(f.Index()); n != 0 {
+		t.Fatalf("empty repo must load nothing, got %d versions", n)
+	}
+
+	writeVersion(t, repo, "alpha", "1", fixtureGraph("alpha", "1"))
+	waitFor(t, "alpha/1 to load", func() bool {
+		mv, err := f.resolve("alpha", "1")
+		return err == nil && mv.state == StateReady
+	})
+
+	writeVersion(t, repo, "alpha", "2", fixtureGraph("alpha", "2"))
+	waitFor(t, "alpha/2 to become the default", func() bool {
+		mv, err := f.resolve("alpha", "")
+		return err == nil && mv.version == "2"
+	})
+	if len(f.Index()) != 2 {
+		t.Fatalf("index: %+v", f.Index())
+	}
+}
+
+// TestFleetWatcherWithoutAutoLoad pins the watcher's conservative mode:
+// explicitly loaded models are refreshed with new versions, but models
+// never loaded stay out of the fleet even when they appear on disk.
+func TestFleetWatcherWithoutAutoLoad(t *testing.T) {
+	srv := serve.New(serve.Config{MaxConcurrent: 2}, testCompile(nil))
+	defer servetest.Drain(t, srv)
+	repo := t.TempDir()
+	writeVersion(t, repo, "alpha", "1", fixtureGraph("alpha", "1"))
+	writeVersion(t, repo, "beta", "1", fixtureGraph("beta", "1"))
+	f, err := New(Config{
+		Server:        srv,
+		Repo:          repo,
+		WatchInterval: 3 * time.Millisecond,
+		AutoLoad:      false,
+		LoadTimeout:   10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = f.Close(ctx)
+	}()
+	if n := len(f.Index()); n != 0 {
+		t.Fatalf("AutoLoad=false must not load at startup, got %d", n)
+	}
+	if err := f.LoadModel(context.Background(), "alpha"); err != nil {
+		t.Fatal(err)
+	}
+
+	writeVersion(t, repo, "alpha", "2", fixtureGraph("alpha", "2"))
+	waitFor(t, "alpha/2 to load", func() bool {
+		_, err := f.resolve("alpha", "2")
+		return err == nil
+	})
+	if _, err := f.resolve("beta", ""); err == nil {
+		t.Fatal("unloaded model must not be picked up by the watcher without AutoLoad")
+	}
+}
+
+// TestLoadModelFailureUnwinds drives every LoadModel error path and pins
+// the central invariant: a failed load leaves no trace — no registration,
+// no ledger charge, no partial model — and succeeds cleanly once the
+// repository is repaired.
+func TestLoadModelFailureUnwinds(t *testing.T) {
+	srv := serve.New(serve.Config{MaxConcurrent: 2}, testCompile(nil))
+	defer servetest.Drain(t, srv)
+	repo := t.TempDir()
+	gov := ral.NewGovernor(1 << 30)
+	f, err := New(Config{
+		Server:      srv,
+		Repo:        repo,
+		Governor:    gov,
+		AutoLoad:    false,
+		LoadTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = f.Close(ctx)
+	}()
+	ctx := context.Background()
+
+	for _, tc := range []struct {
+		name  string
+		model string
+		code  int
+		prep  func()
+	}{
+		{"traversal name", "../escape", http.StatusBadRequest, nil},
+		{"colon name", "a:b", http.StatusBadRequest, nil},
+		{"absent model", "ghost", http.StatusNotFound, nil},
+		{"no graph file", "hollow", http.StatusNotFound, func() {
+			if err := os.MkdirAll(filepath.Join(repo, "hollow", "1"), 0o755); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"bad config.json", "badcfg", http.StatusBadRequest, func() {
+			writeVersion(t, repo, "badcfg", "1", fixtureGraph("alpha", "1"))
+			if err := os.WriteFile(filepath.Join(repo, "badcfg", "config.json"), []byte("{"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	} {
+		if tc.prep != nil {
+			tc.prep()
+		}
+		err := f.LoadModel(ctx, tc.model)
+		if err == nil {
+			t.Fatalf("%s: load must fail", tc.name)
+		}
+		if got := StatusFor(err); got != tc.code {
+			t.Fatalf("%s: status %d, want %d (%v)", tc.name, got, tc.code, err)
+		}
+	}
+
+	// A corrupt version must unwind the versions loaded before it: the
+	// ledger drains, nothing stays registered, and repairing the file
+	// makes the same load succeed.
+	writeVersion(t, repo, "dual", "1", fixtureGraph("alpha", "1"))
+	d2 := filepath.Join(repo, "dual", "2")
+	if err := os.MkdirAll(d2, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(d2, GraphFileName), []byte("not a graph"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.LoadModel(ctx, "dual"); err == nil {
+		t.Fatal("corrupt version 2 must fail the whole load")
+	}
+	if st := gov.Stats(); st.ReservedBytes != 0 {
+		t.Fatalf("failed load must release every reservation: %+v", st)
+	}
+	if _, err := f.resolve("dual", "1"); err == nil {
+		t.Fatal("failed load must leave no partial model")
+	}
+	if err := os.WriteFile(filepath.Join(d2, GraphFileName),
+		[]byte(graph.WriteText(fixtureGraph("alpha", "2"))), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.LoadModel(ctx, "dual"); err != nil {
+		t.Fatalf("repaired repository must load: %v", err)
+	}
+	want := fixtureBytes("alpha", "1") + fixtureBytes("alpha", "2")
+	if st := gov.Stats(); st.ReservedBytes != want {
+		t.Fatalf("ledger after repaired load: %d, want %d", st.ReservedBytes, want)
+	}
+
+	// config.json can pin the default version below the newest.
+	writeVersion(t, repo, "pinned", "1", fixtureGraph("beta", "1"))
+	writeVersion(t, repo, "pinned", "2", fixtureGraph("beta", "2"))
+	if err := os.WriteFile(filepath.Join(repo, "pinned", "config.json"),
+		[]byte(`{"default_version":"1"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.LoadModel(ctx, "pinned"); err != nil {
+		t.Fatal(err)
+	}
+	if mv, err := f.resolve("pinned", ""); err != nil || mv.version != "1" {
+		t.Fatalf("config.json default_version must win: %v, %v", mv, err)
+	}
+
+	// Non-numeric version names fall back to lexical ordering for the
+	// implicit default.
+	writeVersion(t, repo, "lex", "va", fixtureGraph("gamma", "1"))
+	writeVersion(t, repo, "lex", "vb", fixtureGraph("gamma", "2"))
+	if err := f.LoadModel(ctx, "lex"); err != nil {
+		t.Fatal(err)
+	}
+	if mv, err := f.resolve("lex", ""); err != nil || mv.version != "vb" {
+		t.Fatalf("lexical default must be the last name: %v, %v", mv, err)
+	}
+}

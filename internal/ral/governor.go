@@ -113,6 +113,24 @@ func (g *Governor) Reserve(ctx context.Context, bytes int64) (func(), error) {
 	}
 }
 
+// TryReserve reserves bytes without ever waiting: ok=false when the
+// reservation does not fit right now (or a FIFO queue of waiters has
+// formed, which it must not jump). A fleet's LRU uses it to decide
+// between "charge the ledger" and "evict an idle engine first". A nil
+// governor (or a non-positive size) grants immediately.
+func (g *Governor) TryReserve(bytes int64) (func(), bool) {
+	if g == nil || bytes <= 0 {
+		return func() {}, true
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if bytes > g.budget || g.reserved+bytes > g.budget || len(g.waiters) > 0 {
+		return nil, false
+	}
+	g.grantLocked(bytes)
+	return func() { g.release(bytes) }, true
+}
+
 // grantLocked books a reservation; caller holds g.mu.
 func (g *Governor) grantLocked(bytes int64) {
 	g.reserved += bytes

@@ -323,9 +323,14 @@ type Cache struct {
 	mu       sync.Mutex
 	entries  map[string]any
 	inflight map[string]*flightCall
-	hits     int
-	misses   int
-	shared   int
+	// pins counts in-flight runs holding each entry: a pinned entry can
+	// never be evicted, which is what lets a fleet's LRU release an
+	// engine's memory reservation without racing the runs using it.
+	pins      map[string]int
+	hits      int
+	misses    int
+	shared    int
+	evictions int
 }
 
 // flightCall is one in-progress compilation that concurrent callers of the
@@ -338,7 +343,11 @@ type flightCall struct {
 
 // NewCache returns an empty cache.
 func NewCache() *Cache {
-	return &Cache{entries: map[string]any{}, inflight: map[string]*flightCall{}}
+	return &Cache{
+		entries:  map[string]any{},
+		inflight: map[string]*flightCall{},
+		pins:     map[string]int{},
+	}
 }
 
 // GetOrCompile returns the cached value for key, or invokes compile and
@@ -374,6 +383,114 @@ func (c *Cache) GetOrCompile(key string, compile func() (any, error)) (any, bool
 	c.mu.Unlock()
 	close(fc.done)
 	return fc.v, false, fc.err
+}
+
+// AcquireOrCompile is GetOrCompile with eviction pinning: on success the
+// entry's pin count is incremented atomically with the lookup, so Evict
+// cannot remove it until the caller's matching Unpin. Callers that run
+// the cached engine use this; callers that only materialize it (async
+// compilation) keep GetOrCompile.
+func (c *Cache) AcquireOrCompile(key string, compile func() (any, error)) (any, bool, error) {
+	for {
+		c.mu.Lock()
+		if v, ok := c.entries[key]; ok {
+			c.hits++
+			c.pins[key]++
+			c.mu.Unlock()
+			return v, true, nil
+		}
+		fc, flying := c.inflight[key]
+		if !flying {
+			fc = &flightCall{done: make(chan struct{})}
+			c.inflight[key] = fc
+			c.misses++
+			c.mu.Unlock()
+
+			fc.v, fc.err = compile()
+			c.mu.Lock()
+			if fc.err == nil {
+				c.entries[key] = fc.v
+				c.pins[key]++
+			}
+			delete(c.inflight, key)
+			c.mu.Unlock()
+			close(fc.done)
+			return fc.v, false, fc.err
+		}
+		c.shared++
+		c.mu.Unlock()
+		<-fc.done
+		if fc.err != nil {
+			return fc.v, true, fc.err
+		}
+		// The flight succeeded, but its entry may already have been
+		// evicted in the gap before we could pin it; re-loop so lookup
+		// and pin stay atomic.
+		c.mu.Lock()
+		if _, ok := c.entries[key]; ok {
+			c.pins[key]++
+			c.mu.Unlock()
+			return fc.v, true, nil
+		}
+		c.mu.Unlock()
+	}
+}
+
+// AcquirePeek is Peek with eviction pinning: a hit increments the entry's
+// pin count atomically with the lookup. The caller must Unpin.
+func (c *Cache) AcquirePeek(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.entries[key]
+	if ok {
+		c.hits++
+		c.pins[key]++
+	}
+	return v, ok
+}
+
+// Unpin releases one AcquireOrCompile/AcquirePeek pin.
+func (c *Cache) Unpin(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := c.pins[key]; n > 1 {
+		c.pins[key] = n - 1
+	} else {
+		delete(c.pins, key)
+	}
+}
+
+// Pins reports the current pin count of key (0 when absent) — the
+// eviction-safety invariant tests assert.
+func (c *Cache) Pins(key string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pins[key]
+}
+
+// Evict removes key from the cache unless a run holds it pinned.
+// evicted reports whether the entry was removed; pinned reports that the
+// entry exists but is held by in-flight runs (the caller retries after
+// they drain). An absent key returns (false, false).
+func (c *Cache) Evict(key string) (evicted, pinned bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; !ok {
+		return false, false
+	}
+	if c.pins[key] > 0 {
+		return false, true
+	}
+	delete(c.entries, key)
+	c.evictions++
+	return true, false
+}
+
+// Evictions counts successful Evict calls over the cache's lifetime.
+func (c *Cache) Evictions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
 }
 
 // Peek returns the cached value for key without ever blocking: no

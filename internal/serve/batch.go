@@ -623,18 +623,24 @@ func (ob *openBatch) run() {
 	// back to the solo path — each is then served by the interpreter while
 	// the background build (kicked by the solo path) proceeds.
 	if s.cfg.AsyncCompile && !s.cfg.DisableFallback {
-		if _, _, ready := s.engineFast(ob.m, ob.sig, key, sp); !ready {
+		_, _, ready, probeUnpin := s.engineFast(ob.m, ob.sig, key, sp)
+		if probeUnpin != nil {
+			// Readiness probe only — the run below re-acquires its own pin.
+			probeUnpin()
+		}
+		if !ready {
 			s.stats.batchRun("solo", rows)
 			ob.deliver(batchResult{solo: true})
 			return
 		}
 	}
-	eng, _, hit, err := s.engine(ob.m, sp)
+	eng, _, hit, unpin, err := s.engine(ob.m, sp)
 	if err != nil {
 		s.stats.batchRun("error", rows)
 		ob.deliver(batchResult{solo: true})
 		return
 	}
+	defer unpin()
 	if hit {
 		s.stats.cacheHit()
 	} else {

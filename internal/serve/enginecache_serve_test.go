@@ -8,25 +8,20 @@ import (
 	"testing"
 	"time"
 
-	"godisc/internal/device"
-	"godisc/internal/enginecache"
-	"godisc/internal/exec"
 	"godisc/internal/faultinject"
+	"godisc/internal/servetest"
 	"godisc/internal/tensor"
 )
 
-// cacheCodecs is the Decode/Encode pair the public layer installs,
-// reduced to the serve-test defaults (A10, default exec options).
+// cacheCodecs adapts the shared servetest codec pair to this layer's
+// Engine interface (A10, default exec options — what the public layer
+// installs).
 func cacheCodecs() (func([]byte) (Engine, error), func(Engine) ([]byte, error)) {
 	dec := func(payload []byte) (Engine, error) {
-		return exec.DecodeImage(payload, device.A10(), exec.DefaultOptions())
+		return servetest.DecodeExecutable(payload)
 	}
 	enc := func(e Engine) ([]byte, error) {
-		exe, ok := e.(*exec.Executable)
-		if !ok {
-			return nil, fmt.Errorf("engine %T is not serializable", e)
-		}
-		return exe.EncodeImage()
+		return servetest.EncodeExecutable(e)
 	}
 	return dec, enc
 }
@@ -95,10 +90,7 @@ func TestAsyncCompileDedup(t *testing.T) {
 // and the engine must still be persisted.
 func TestAsyncCompileShutdownDrain(t *testing.T) {
 	dec, enc := cacheCodecs()
-	ec, err := enginecache.Open(t.TempDir(), "serve-test")
-	if err != nil {
-		t.Fatal(err)
-	}
+	ec := servetest.OpenCache(t, t.TempDir())
 	var compiles int32
 	s := New(Config{
 		MaxConcurrent: 4, AsyncCompile: true,
@@ -119,11 +111,7 @@ func TestAsyncCompileShutdownDrain(t *testing.T) {
 		t.Fatalf("first-seen request must report Compiling: %+v", resp)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if err := s.Shutdown(ctx); err != nil {
-		t.Fatalf("shutdown: %v", err)
-	}
+	servetest.Drain(t, s)
 	if n := atomic.LoadInt32(&compiles); n != 1 {
 		t.Fatalf("shutdown must drain the background compile, got %d compiles", n)
 	}
@@ -141,10 +129,7 @@ func TestCacheFaultsDegradeToMiss(t *testing.T) {
 		t.Fatal(err)
 	}
 	dec, enc := cacheCodecs()
-	ec, err := enginecache.Open(t.TempDir(), "serve-test")
-	if err != nil {
-		t.Fatal(err)
-	}
+	ec := servetest.OpenCache(t, t.TempDir())
 	ec.SetFaults(inj)
 
 	var compiles int32
@@ -183,10 +168,7 @@ func TestCacheFaultsDegradeToMiss(t *testing.T) {
 func TestCachePersistLoadAcrossServers(t *testing.T) {
 	dec, enc := cacheCodecs()
 	dir := t.TempDir()
-	ecA, err := enginecache.Open(dir, "serve-test")
-	if err != nil {
-		t.Fatal(err)
-	}
+	ecA := servetest.OpenCache(t, dir)
 	var compilesA int32
 	a := New(Config{MaxConcurrent: 2, EngineCache: ecA, DecodeEngine: dec, EncodeEngine: enc},
 		realCompile(&compilesA))
@@ -204,10 +186,7 @@ func TestCachePersistLoadAcrossServers(t *testing.T) {
 		t.Fatalf("first server must compile once, got %d", compilesA)
 	}
 
-	ecB, err := enginecache.Open(dir, "serve-test")
-	if err != nil {
-		t.Fatal(err)
-	}
+	ecB := servetest.OpenCache(t, dir)
 	var compilesB int32
 	b := New(Config{MaxConcurrent: 2, EngineCache: ecB, DecodeEngine: dec, EncodeEngine: enc},
 		realCompile(&compilesB))

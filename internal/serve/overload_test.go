@@ -213,7 +213,7 @@ func TestOverloadBudgetAndPriorities(t *testing.T) {
 	for _, err := range errs {
 		n := 0
 		for _, s := range sentinels {
-			if errors.Is(err, s.err) {
+			if errors.Is(err, s.Err) {
 				n++
 			}
 		}

@@ -427,22 +427,26 @@ func (s *Server) lookup(name string) (*modelEntry, error) {
 // signatures still differ in weights. The whole lookup runs under a
 // `cache-lookup` child of sp (nil when observability is off), with a
 // `compile` grandchild exactly when this call pays for the compilation.
-func (s *Server) engine(m *modelEntry, sp *obs.Span) (Engine, string, bool, error) {
+//
+// On success the entry is pinned against eviction (the fleet layer's LRU
+// must never remove an engine mid-run); the returned unpin must be called
+// exactly once, as soon as the run completes. unpin is nil on error.
+func (s *Server) engine(m *modelEntry, sp *obs.Span) (Engine, string, bool, func(), error) {
 	sig, err := m.signature()
 	if err != nil {
-		return nil, "", false, err
+		return nil, "", false, nil, err
 	}
 	lsp := sp.Child("cache-lookup", obs.A("signature", sig))
 	defer lsp.End()
 	key := m.name + "@" + sig
-	v, hit, err := s.cache.GetOrCompile(key, func() (any, error) {
+	v, hit, err := s.cache.AcquireOrCompile(key, func() (any, error) {
 		return s.buildEngine(m, sig, key, nil, lsp)
 	})
 	lsp.SetAttr("hit", fmt.Sprintf("%t", hit))
 	if err != nil {
-		return nil, sig, hit, err
+		return nil, sig, hit, nil, err
 	}
-	return v.(Engine), sig, hit, nil
+	return v.(Engine), sig, hit, func() { s.cache.Unpin(key) }, nil
 }
 
 // buildEngine resolves an engine that is not in memory: the persistent
@@ -528,20 +532,30 @@ func (s *Server) persistEngine(m *modelEntry, key string, eng Engine) {
 // the in-memory cache, then an inline load from the persistent cache
 // (decoding is milliseconds, not a compile). ready=false means no engine
 // exists yet anywhere — the caller kicks a background compile and serves
-// the request through the interpreter.
-func (s *Server) engineFast(m *modelEntry, sig, key string, sp *obs.Span) (eng Engine, hit, ready bool) {
+// the request through the interpreter. A ready engine comes back pinned
+// against eviction; unpin must be called once the run completes (nil when
+// not ready).
+func (s *Server) engineFast(m *modelEntry, sig, key string, sp *obs.Span) (eng Engine, hit, ready bool, unpin func()) {
 	lsp := sp.Child("cache-lookup", obs.A("signature", sig), obs.A("async", "true"))
 	defer lsp.End()
-	if v, ok := s.cache.Peek(key); ok {
+	if v, ok := s.cache.AcquirePeek(key); ok {
 		lsp.SetAttr("hit", "true")
-		return v.(Engine), true, true
+		return v.(Engine), true, true, func() { s.cache.Unpin(key) }
 	}
 	lsp.SetAttr("hit", "false")
 	if eng := s.loadPersisted(m, key, lsp); eng != nil {
+		// Put is first-binding-wins, so re-acquire what actually landed:
+		// a racing loader's engine may have won the slot.
 		s.cache.Put(key, eng)
-		return eng, false, true
+		if v, ok := s.cache.AcquirePeek(key); ok {
+			return v.(Engine), false, true, func() { s.cache.Unpin(key) }
+		}
+		// Evicted between Put and pin (vanishingly rare): serve this
+		// request on the just-decoded engine without a pin — nothing
+		// references the cache entry, so eviction cannot invalidate it.
+		return eng, false, true, func() {}
 	}
-	return nil, false, false
+	return nil, false, false, nil
 }
 
 // compileAsync launches (at most one per key) a background build of an
@@ -633,7 +647,10 @@ func (s *Server) Warm(model string) error {
 	if err != nil {
 		return err
 	}
-	_, _, _, err = s.engine(m, nil)
+	_, _, _, unpin, err := s.engine(m, nil)
+	if unpin != nil {
+		unpin()
+	}
 	return err
 }
 
@@ -685,8 +702,17 @@ func (s *Server) Infer(ctx context.Context, req *Request) (resp *Response, retEr
 		for _, in := range req.Inputs {
 			elems += in.Numel()
 		}
-		sp = s.cfg.Observer.StartSpan("infer",
-			obs.A("model", req.Model), obs.A("shape_bucket", obs.ShapeBucket(elems)))
+		attrs := []obs.Attr{
+			obs.A("model", req.Model), obs.A("shape_bucket", obs.ShapeBucket(elems)),
+		}
+		// Nest under a caller-provided span (the fleet HTTP front-end puts
+		// its request span on the context) so HTTP traces contain the full
+		// infer → exec tree; otherwise this is the trace root.
+		if parent := obs.SpanFromContext(ctx); parent != nil {
+			sp = parent.Child("infer", attrs...)
+		} else {
+			sp = s.cfg.Observer.StartSpan("infer", attrs...)
+		}
 		defer func() {
 			if retErr != nil {
 				sp.SetAttr("error", retErr.Error())
@@ -779,10 +805,11 @@ func (s *Server) Infer(ctx context.Context, req *Request) (resp *Response, retEr
 		}
 		var eng Engine
 		var hit bool
+		var unpin func()
 		var err error
 		if s.cfg.AsyncCompile && !s.cfg.DisableFallback {
 			var ready bool
-			eng, hit, ready = s.engineFast(m, sig, key, sp)
+			eng, hit, ready, unpin = s.engineFast(m, sig, key, sp)
 			if !ready {
 				// First-seen signature: kick the background build and
 				// answer now through the interpreter — the request never
@@ -796,7 +823,7 @@ func (s *Server) Infer(ctx context.Context, req *Request) (resp *Response, retEr
 				return s.finish(resp, ferr)
 			}
 		} else {
-			eng, _, hit, err = s.engine(m, sp)
+			eng, _, hit, unpin, err = s.engine(m, sp)
 		}
 		if err != nil {
 			lastErr = err
@@ -830,6 +857,9 @@ func (s *Server) Infer(ctx context.Context, req *Request) (resp *Response, retEr
 			rctx = wc
 		}
 		res, err := runEngine(rctx, eng, req.Inputs)
+		// The pin window is acquire → run complete: everything below only
+		// classifies the outcome, so eviction is safe again from here.
+		unpin()
 		hung := false
 		if wdCancel != nil {
 			wdTimer.Stop()

@@ -193,7 +193,7 @@ func TestSoakGovernedOverload(t *testing.T) {
 				// plain context error with no sentinel at all.
 				n := 0
 				for _, sn := range sentinels {
-					if errors.Is(err, sn.err) {
+					if errors.Is(err, sn.Err) {
 						n++
 					}
 				}

@@ -19,24 +19,9 @@ import (
 )
 
 // sentinels is the full public error taxonomy; every Infer failure must
-// classify as exactly one of these (plus context errors).
-var sentinels = []struct {
-	name string
-	err  error
-}{
-	{"ErrShapeMismatch", discerr.ErrShapeMismatch},
-	{"ErrQueueFull", discerr.ErrQueueFull},
-	{"ErrCompileFailed", discerr.ErrCompileFailed},
-	{"ErrServerClosed", discerr.ErrServerClosed},
-	{"ErrKernelPanic", discerr.ErrKernelPanic},
-	{"ErrEngineQuarantined", discerr.ErrEngineQuarantined},
-	{"ErrTransient", discerr.ErrTransient},
-	{"ErrUnsupported", discerr.ErrUnsupported},
-	{"ErrMemoryBudget", discerr.ErrMemoryBudget},
-	{"ErrDeadlineInfeasible", discerr.ErrDeadlineInfeasible},
-	{"ErrQuotaExceeded", discerr.ErrQuotaExceeded},
-	{"ErrHungRequest", discerr.ErrHungRequest},
-}
+// classify as exactly one of these (plus context errors). Sourced from the
+// discerr registry so a sentinel added there is covered here automatically.
+var sentinels = discerr.Sentinels()
 
 // TestErrorTaxonomyThroughServe drives each sentinel through the serving
 // layer — retry, fallback-disabled propagation, quarantine, admission —
@@ -395,8 +380,8 @@ func TestErrorTaxonomyThroughServe(t *testing.T) {
 			}
 			// The taxonomy is disjoint: no other sentinel may match.
 			for _, s := range sentinels {
-				if s.err != tc.want && errors.Is(err, s.err) {
-					t.Errorf("error %v also matches %s — taxonomy not disjoint", err, s.name)
+				if s.Err != tc.want && errors.Is(err, s.Err) {
+					t.Errorf("error %v also matches %s — taxonomy not disjoint", err, s.Name)
 				}
 			}
 			if tracer.Len() == 0 {

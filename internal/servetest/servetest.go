@@ -1,0 +1,62 @@
+// Package servetest holds test-only helpers shared by the engine-cache
+// and serving integration tests across layers (internal/serve, the public
+// godisc package, internal/fleet). It deliberately imports only the
+// leaf packages — exec, device, enginecache — and NOT internal/serve, so
+// every serving layer can use it without an import cycle.
+package servetest
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"godisc/internal/device"
+	"godisc/internal/enginecache"
+	"godisc/internal/exec"
+)
+
+// DecodeExecutable is the engine decoder the tests install: a persisted
+// engine image rebuilt for the default test device (A10) with default
+// exec options. Matches what the public layer wires for that config.
+func DecodeExecutable(payload []byte) (*exec.Executable, error) {
+	return exec.DecodeImage(payload, device.A10(), exec.DefaultOptions())
+}
+
+// EncodeExecutable serializes an engine produced by the real compile
+// path. It accepts any so callers can pass their layer's Engine
+// interface value without this package importing that layer.
+func EncodeExecutable(e any) ([]byte, error) {
+	exe, ok := e.(*exec.Executable)
+	if !ok {
+		return nil, fmt.Errorf("servetest: engine %T is not serializable", e)
+	}
+	return exe.EncodeImage()
+}
+
+// OpenCache opens a persistent engine cache in dir under the fixed test
+// fingerprint, failing the test on error.
+func OpenCache(t testing.TB, dir string) *enginecache.Cache {
+	t.Helper()
+	ec, err := enginecache.Open(dir, "serve-test")
+	if err != nil {
+		t.Fatalf("servetest: open engine cache: %v", err)
+	}
+	return ec
+}
+
+// Shutdowner is any serving layer with graceful drain semantics.
+type Shutdowner interface {
+	Shutdown(context.Context) error
+}
+
+// Drain gracefully shuts s down, bounded by a generous test timeout, and
+// fails the test if draining errors or stalls.
+func Drain(t testing.TB, s Shutdowner) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("servetest: shutdown: %v", err)
+	}
+}
