@@ -57,10 +57,10 @@ fuzz:
 # reproduces with: GODISC_FAULT_SEED=<seed> make chaos
 chaos:
 	@seed=$${GODISC_FAULT_SEED:-$$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')}; \
-	spec=$${GODISC_FAULTS:-"compile:transient:0.25,kernel-launch:panic:0.3,alloc:transient:0.25,cache-read:transient:0.4,cache-write:transient:0.4"}; \
+	spec=$${GODISC_FAULTS:-"compile:transient:0.25,kernel-launch:panic:0.3,alloc:transient:0.25,cache-read:transient:0.4,cache-write:transient:0.4,http-read:transient:0.2,http-decode:transient:0.2,http-write:error:0.2"}; \
 	echo "chaos: GODISC_FAULTS=$$spec GODISC_FAULT_SEED=$$seed"; \
 	GODISC_FAULTS="$$spec" GODISC_FAULT_SEED="$$seed" \
-		go test -race -count=1 ./internal/serve ./internal/exec
+		go test -race -count=1 ./internal/serve ./internal/exec ./internal/fleet
 
 # soak stretches the randomized governed-overload run (mixed priorities,
 # tight deadlines, fault injection, memory budget) and the fleet-scale

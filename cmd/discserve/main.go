@@ -78,6 +78,21 @@ type options struct {
 	ModelRepo     string        // model repository directory (fleet mode)
 	Watch         time.Duration // repository poll interval (0 = off)
 
+	// HTTP server hardening: slow-loris protection on every listener.
+	ReadHeaderTimeout time.Duration // time to read request headers
+	ReadTimeout       time.Duration // time to read the whole request
+	WriteTimeout      time.Duration // time to write the whole response
+	IdleTimeout       time.Duration // keep-alive idle connection timeout
+
+	// Rollout controller (fleet mode): new versions canary before taking
+	// the default pin, regressions roll back automatically.
+	Rollout        bool          // enable health-gated canary rollouts
+	CanaryFraction float64       // share of default-pin traffic on the canary
+	PromoteAfter   int           // successful canary requests before promotion
+	MaxErrorRate   float64       // error-rate EWMA rollback threshold
+	Shadow         bool          // mirror traffic and compare outputs bit-wise
+	ProbeCooldown  time.Duration // quarantine → half-open probe delay
+
 	// ready, when set, is invoked after the replay finished and stats
 	// printed, while the observability listener is still serving — the
 	// hook the end-to-end scrape test uses.
@@ -130,6 +145,26 @@ func main() {
 		"model repository directory: <model>/<version>/model.graph (fleet mode)")
 	flag.DurationVar(&o.Watch, "watch", 0,
 		"poll the model repository at this interval and load new models/versions (0 = off)")
+	flag.DurationVar(&o.ReadHeaderTimeout, "http-read-header-timeout", 5*time.Second,
+		"HTTP header read timeout on every listener (slow-loris protection; 0 = none)")
+	flag.DurationVar(&o.ReadTimeout, "http-read-timeout", 10*time.Second,
+		"HTTP full-request read timeout on every listener (0 = none)")
+	flag.DurationVar(&o.WriteTimeout, "http-write-timeout", 30*time.Second,
+		"HTTP response write timeout on every listener (0 = none)")
+	flag.DurationVar(&o.IdleTimeout, "http-idle-timeout", 120*time.Second,
+		"HTTP keep-alive idle connection timeout on every listener (0 = none)")
+	flag.BoolVar(&o.Rollout, "rollout", false,
+		"canary new model versions behind health gating instead of repinning the default immediately (fleet mode)")
+	flag.Float64Var(&o.CanaryFraction, "canary-fraction", 0,
+		"share of default-pin traffic routed to (or shadowed onto) a canary (0 = default 0.1)")
+	flag.IntVar(&o.PromoteAfter, "promote-after", 0,
+		"successful canary requests required before promotion (0 = default 50)")
+	flag.Float64Var(&o.MaxErrorRate, "max-error-rate", 0,
+		"canary error-rate EWMA above which it rolls back (0 = default 0.1)")
+	flag.BoolVar(&o.Shadow, "shadow", false,
+		"shadow mode: the canary mirrors sampled stable traffic, bit-wise output comparison gates promotion")
+	flag.DurationVar(&o.ProbeCooldown, "probe-cooldown", 0,
+		"wait before a quarantined version admits one half-open probe (0 = default 15s)")
 	flag.Parse()
 	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "discserve:", err)
@@ -211,7 +246,7 @@ func run(o options, w io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("observability listener: %w", err)
 		}
-		obsSrv := &http.Server{Handler: obs.Mux(reg, tracer)}
+		obsSrv := hardenedServer(obs.Mux(reg, tracer), o)
 		go obsSrv.Serve(obsLn)
 		defer obsSrv.Close()
 		fmt.Fprintf(w, "observability: http://%s/metrics and /debug/trace\n", obsLn.Addr())
@@ -401,6 +436,12 @@ func runServe(o options, w io.Writer) error {
 		Server: srv, Repo: o.ModelRepo,
 		Metrics: reg, Observer: tracer, Tracer: tracer,
 		AutoLoad: true, WatchInterval: o.Watch,
+		Faults: inj,
+		Rollout: godisc.RolloutConfig{
+			Enabled: o.Rollout || o.Shadow, CanaryFraction: o.CanaryFraction,
+			PromoteAfter: o.PromoteAfter, MaxErrorRate: o.MaxErrorRate,
+			Shadow: o.Shadow, ProbeCooldown: o.ProbeCooldown,
+		},
 	})
 	if err != nil {
 		srv.Close()
@@ -410,7 +451,7 @@ func runServe(o options, w io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("fleet listener: %w", err)
 	}
-	httpSrv := &http.Server{Handler: fl}
+	httpSrv := hardenedServer(fl, o)
 	fmt.Fprintf(w, "fleet serving %s on http://%s (v2 protocol; /metrics, /debug/trace)\n",
 		o.ModelRepo, ln.Addr())
 	stop := make(chan os.Signal, 1)
@@ -430,6 +471,16 @@ func runServe(o options, w io.Writer) error {
 	drainCtx, cancel := context.WithTimeout(context.Background(), o.DrainTimeout)
 	defer cancel()
 	_ = httpSrv.Shutdown(drainCtx)
+	if rs := fl.RolloutStats(); o.Rollout || o.Shadow || rs.Started > 0 {
+		fmt.Fprintf(w, "rollouts: %d started, %d promoted, %d rolled back, %d aborted; shadow %d match / %d mismatch\n",
+			rs.Started, rs.Promoted, rs.RolledBack, rs.Aborted, rs.ShadowMatches, rs.ShadowMismatches)
+		for _, a := range rs.Active {
+			fmt.Fprintf(w, "  rollout in flight: %s\n", a)
+		}
+		for _, q := range rs.Quarantined {
+			fmt.Fprintf(w, "  quarantined: %s\n", q)
+		}
+	}
 	if err := fl.Close(drainCtx); err != nil {
 		fmt.Fprintf(w, "fleet close: %v\n", err)
 	}
@@ -439,6 +490,19 @@ func runServe(o options, w io.Writer) error {
 		fmt.Fprintln(w, "drain: clean")
 	}
 	return nil
+}
+
+// hardenedServer builds an http.Server with the configured read / write /
+// idle timeouts so a slow or hostile client cannot pin a connection (and
+// its goroutine) forever. Applied to every listener discserve opens.
+func hardenedServer(h http.Handler, o options) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: o.ReadHeaderTimeout,
+		ReadTimeout:       o.ReadTimeout,
+		WriteTimeout:      o.WriteTimeout,
+		IdleTimeout:       o.IdleTimeout,
+	}
 }
 
 // parseQuotas reads "model=n,model=n" into ServerConfig.ModelQuotas.

@@ -172,6 +172,14 @@ var (
 	// ErrUnsupported: an input used a dtype or feature the runtime cannot
 	// execute.
 	ErrUnsupported = discerr.ErrUnsupported
+	// ErrVersionQuarantined: the fleet's rollout controller quarantined
+	// this model version after a failed canary; requests to it are shed
+	// until a half-open health probe revives it.
+	ErrVersionQuarantined = discerr.ErrVersionQuarantined
+	// ErrRolloutAborted: the request's canary version failed and
+	// triggered (or raced with) an automatic rollback to the prior
+	// version.
+	ErrRolloutAborted = discerr.ErrRolloutAborted
 )
 
 // Option is a functional compile option, accepted by CompileWith and
@@ -709,6 +717,15 @@ type (
 	// repository directory, body-size limits, and the observability hooks
 	// the HTTP layer reports through.
 	FleetConfig = fleet.Config
+	// RolloutConfig (FleetConfig.Rollout) enables health-gated canary
+	// rollouts: a new model version serves a traffic fraction (or shadows
+	// stable traffic with bit-wise output comparison) and is promoted to
+	// the default pin only after enough requests with its error-rate EWMA
+	// under threshold; regressions roll it back and quarantine it.
+	RolloutConfig = fleet.RolloutConfig
+	// FleetRolloutStats is the rollout controller's counter snapshot
+	// (Fleet.RolloutStats), reported by discserve at shutdown.
+	FleetRolloutStats = fleet.RolloutStats
 )
 
 // NewFleet builds a v2 inference front-end over cfg.Server:

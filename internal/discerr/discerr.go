@@ -83,6 +83,24 @@ var (
 	ErrHungRequest = errors.New("hung request")
 )
 
+// Rollout sentinels (see README "Error taxonomy" and DESIGN.md §16): the
+// fleet's rollout controller quarantines model versions that regress
+// during a canary, and requests addressing them are shed with typed
+// rejections.
+var (
+	// ErrVersionQuarantined marks a request that explicitly addressed a
+	// model version the rollout controller has quarantined after a failed
+	// canary. The request did not execute; the version may recover via
+	// half-open health probes, so callers may retry with backoff.
+	ErrVersionQuarantined = errors.New("version quarantined")
+
+	// ErrRolloutAborted marks a request whose canary-routed execution
+	// failed and triggered (or raced with) an automatic rollback. The
+	// fleet re-serves default-version traffic on the stable version;
+	// explicit requests to the aborted canary get this sentinel.
+	ErrRolloutAborted = errors.New("rollout aborted")
+)
+
 // Sentinel is one named entry of the public error taxonomy.
 type Sentinel struct {
 	Name string
@@ -108,5 +126,7 @@ func Sentinels() []Sentinel {
 		{"ErrDeadlineInfeasible", ErrDeadlineInfeasible},
 		{"ErrQuotaExceeded", ErrQuotaExceeded},
 		{"ErrHungRequest", ErrHungRequest},
+		{"ErrVersionQuarantined", ErrVersionQuarantined},
+		{"ErrRolloutAborted", ErrRolloutAborted},
 	}
 }

@@ -44,6 +44,17 @@ const (
 	// SiteCacheWrite fires in enginecache.Cache.Persist, before the temp
 	// file is written — simulating full disks and torn writes.
 	SiteCacheWrite Site = "cache-write"
+	// SiteHTTPRead fires in the fleet's v2 infer handler before the
+	// request body is read — an error simulates a client whose body never
+	// arrives, latency a stalled (slow-loris) upload.
+	SiteHTTPRead Site = "http-read"
+	// SiteHTTPDecode fires before the infer body is decoded — simulating
+	// truncated or corrupt payloads at the protocol layer.
+	SiteHTTPDecode Site = "http-decode"
+	// SiteHTTPWrite fires before the success response is written — an
+	// error aborts the connection mid-response (broken pipe), latency a
+	// slow downstream reader.
+	SiteHTTPWrite Site = "http-write"
 )
 
 // Mode is what an armed site does when it fires.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -221,6 +222,26 @@ func TestSentinelStatusExhaustive(t *testing.T) {
 	for name := range table {
 		if !names[name] {
 			t.Errorf("fleet maps %q which discerr does not register", name)
+		}
+	}
+}
+
+// TestRetryAfterHeader: every 429/503 the error path emits — shed load,
+// temporary unavailability — must carry a Retry-After backoff hint, and
+// no other status may. Driven off the full sentinel table so a new
+// retryable sentinel is covered automatically.
+func TestRetryAfterHeader(t *testing.T) {
+	f := &Fleet{}
+	for _, s := range sentinelStatus {
+		rec := httptest.NewRecorder()
+		f.fail(rec, fmt.Errorf("test: %w", s.err))
+		got := rec.Header().Get("Retry-After")
+		retryable := s.code == 429 || s.code == 503
+		switch {
+		case retryable && got != retryAfterSeconds:
+			t.Errorf("%s (%d): Retry-After = %q, want %q", s.name, s.code, got, retryAfterSeconds)
+		case !retryable && got != "":
+			t.Errorf("%s (%d): unexpected Retry-After %q on non-retryable status", s.name, s.code, got)
 		}
 	}
 }

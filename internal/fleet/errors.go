@@ -30,6 +30,9 @@ func (e *httpError) Error() string { return e.msg }
 //     transient faults) — retry later, possibly elsewhere.
 //   - 504: the request ran out of time (infeasible deadline, watchdog).
 //   - 500: the engine itself failed (compile, kernel panic).
+//
+// Every 429 and 503 row is a retry-with-backoff outcome, so fail()
+// stamps those responses with a Retry-After header.
 var sentinelStatus = []struct {
 	name string
 	err  error
@@ -47,7 +50,15 @@ var sentinelStatus = []struct {
 	{"ErrDeadlineInfeasible", discerr.ErrDeadlineInfeasible, http.StatusGatewayTimeout},
 	{"ErrQuotaExceeded", discerr.ErrQuotaExceeded, http.StatusTooManyRequests},
 	{"ErrHungRequest", discerr.ErrHungRequest, http.StatusGatewayTimeout},
+	{"ErrVersionQuarantined", discerr.ErrVersionQuarantined, http.StatusServiceUnavailable},
+	{"ErrRolloutAborted", discerr.ErrRolloutAborted, http.StatusServiceUnavailable},
 }
+
+// retryAfterSeconds is the backoff hint stamped on every 429/503
+// response. Shed load and temporary unavailability both clear on the
+// order of a second in this runtime (queue drain, breaker cooldown,
+// probe window), so a single static hint is honest.
+const retryAfterSeconds = "1"
 
 // SentinelStatuses returns the sentinel-name → HTTP-status table the
 // front-end maps errors through. The conformance tests assert it covers

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"godisc/internal/device"
+	"godisc/internal/discerr"
 	"godisc/internal/exec"
 	"godisc/internal/faultinject"
 	"godisc/internal/fusion"
@@ -148,6 +150,28 @@ type fixtureOpts struct {
 	// launch (latency-only fault; results unchanged) so runs overlap on a
 	// single-CPU host.
 	kernelLatency time.Duration
+	// rollout enables/configures the canary rollout controller.
+	rollout RolloutConfig
+	// faults arms the fleet's network-layer fault sites (http-read,
+	// http-decode, http-write) AND is threaded into the engines so the
+	// kernel/alloc sites fire too.
+	faults *faultinject.Injector
+	// breakEngines lists graph names whose compiled engines fail every
+	// run with a transient error — a deterministic per-version broken
+	// engine (the serve layer retries, opens the breaker, and serves the
+	// request through the interpreter fallback).
+	breakEngines map[string]bool
+	// serveCfg, when non-nil, tweaks the serve.Config after the fixture
+	// defaults are applied.
+	serveCfg func(*serve.Config)
+}
+
+// brokenEngine wraps an Engine so every run fails with a transient
+// error, exercising the retry → breaker → fallback ladder.
+type brokenEngine struct{ serve.Engine }
+
+func (brokenEngine) RunContext(context.Context, []*tensor.Tensor) (*exec.Result, error) {
+	return nil, fmt.Errorf("fixture: engine wired to fail: %w", discerr.ErrTransient)
 }
 
 func newFixture(t testing.TB, o fixtureOpts) *fixture {
@@ -156,8 +180,8 @@ func newFixture(t testing.TB, o fixtureOpts) *fixture {
 		o.maxConcurrent = 8
 	}
 	var compiles int32
-	var inj *faultinject.Injector
-	if o.kernelLatency > 0 {
+	inj := o.faults
+	if inj == nil && o.kernelLatency > 0 {
 		inj = faultinject.New(1).
 			ArmLatency(faultinject.SiteKernelLaunch, faultinject.ModeLatency, 1, o.kernelLatency)
 	}
@@ -180,7 +204,21 @@ func newFixture(t testing.TB, o fixtureOpts) *fixture {
 			return servetest.EncodeExecutable(e)
 		}
 	}
-	srv := serve.New(scfg, testCompileFaults(&compiles, inj))
+	if o.serveCfg != nil {
+		o.serveCfg(&scfg)
+	}
+	compile := testCompileFaults(&compiles, inj)
+	if len(o.breakEngines) > 0 {
+		inner := compile
+		compile = func(g *graph.Graph) (serve.Engine, error) {
+			e, err := inner(g)
+			if err == nil && o.breakEngines[g.Name] {
+				e = brokenEngine{e}
+			}
+			return e, err
+		}
+	}
+	srv := serve.New(scfg, compile)
 
 	repo := o.repo
 	if repo == "" && !o.noRepo {
@@ -198,6 +236,8 @@ func newFixture(t testing.TB, o fixtureOpts) *fixture {
 		MaxBodyBytes: o.maxBody,
 		LoadTimeout:  10 * time.Second,
 		AutoLoad:     !o.noRepo,
+		Rollout:      o.rollout,
+		Faults:       o.faults,
 	})
 	if err != nil {
 		t.Fatalf("fleet.New: %v", err)

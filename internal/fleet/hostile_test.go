@@ -1,0 +1,151 @@
+// Hostile-client tests: truncated bodies, mid-body disconnects and
+// stalled (slow-loris) connections on the v2 infer path. The contract:
+// such requests die as 4xx or connection teardowns, never count against
+// any version's health, and never leak a governor reservation — the
+// fleet only acquires a version after the body has fully arrived.
+package fleet
+
+import (
+	"bufio"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// hostileFixture is a governed fixture so reservation leaks are visible
+// on the ledger.
+func hostileFixture(t *testing.T) *fixture {
+	t.Helper()
+	var budget int64
+	for _, s := range fixtureSpecs() {
+		for _, v := range []string{"1", "2"} {
+			budget += fixtureBytes(s.name, v)
+		}
+	}
+	return newFixture(t, fixtureOpts{budget: budget * 2})
+}
+
+// dialFleet opens a raw TCP connection to the fixture's listener.
+func dialFleet(t *testing.T, ts *httptest.Server) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", strings.TrimPrefix(ts.URL, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+// assertUnharmed verifies the fleet took no damage from a hostile
+// connection: the ledger is back to its pre-attack level, every version
+// is still HEALTHY, and a normal request succeeds.
+func assertUnharmed(t *testing.T, fx *fixture, reservedBefore int64) {
+	t.Helper()
+	fx.infer(t, "alpha", "", 2, nil)
+	if got := fx.gov.Stats().ReservedBytes; got != reservedBefore {
+		t.Fatalf("governor ledger moved: %d reserved, want %d (leaked reservation)", got, reservedBefore)
+	}
+	for _, st := range fx.f.Index() {
+		if st.Health != HealthHealthy {
+			t.Fatalf("%s:%s health = %s after hostile client, want HEALTHY", st.Name, st.Version, st.Health)
+		}
+	}
+}
+
+// partialInfer is a valid request prefix: complete headers declaring a
+// 5000-byte body, then only a fragment of it.
+const partialInfer = "POST /v2/models/alpha/infer HTTP/1.1\r\n" +
+	"Host: fleet\r\nContent-Type: application/json\r\nContent-Length: 5000\r\n\r\n" +
+	`{"inputs":[{"name":"x","shape":[2,8]`
+
+// TestHostileTruncatedBody: a client that half-closes mid-body (FIN with
+// the read side still open) gets a 400, not a hang and not a 5xx.
+func TestHostileTruncatedBody(t *testing.T) {
+	fx := hostileFixture(t)
+	before := fx.gov.Stats().ReservedBytes
+
+	conn := dialFleet(t, fx.ts)
+	defer conn.Close()
+	if _, err := conn.Write([]byte(partialInfer)); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.(*net.TCPConn).CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+	if err != nil {
+		t.Fatalf("reading response to truncated body: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated body answered %d, want 400", resp.StatusCode)
+	}
+	assertUnharmed(t, fx, before)
+}
+
+// TestHostileMidBodyDisconnect: a client that vanishes mid-body (full
+// close) leaves no trace — no health damage, no ledger movement, and the
+// next request serves normally.
+func TestHostileMidBodyDisconnect(t *testing.T) {
+	fx := hostileFixture(t)
+	before := fx.gov.Stats().ReservedBytes
+
+	for i := 0; i < 8; i++ {
+		conn := dialFleet(t, fx.ts)
+		_, _ = conn.Write([]byte(partialInfer))
+		conn.Close()
+	}
+	// Give net/http a beat to notice the dead connections.
+	time.Sleep(20 * time.Millisecond)
+	assertUnharmed(t, fx, before)
+}
+
+// TestHostileStalledRead: with the hardened server timeouts discserve
+// configures (ReadHeaderTimeout / ReadTimeout), a slow-loris connection
+// — headers that never finish, or a body that never arrives — is torn
+// down by the server instead of pinning a goroutine forever.
+func TestHostileStalledRead(t *testing.T) {
+	fx := hostileFixture(t)
+	before := fx.gov.Stats().ReservedBytes
+
+	ts := httptest.NewUnstartedServer(fx.f)
+	ts.Config.ReadHeaderTimeout = 100 * time.Millisecond
+	ts.Config.ReadTimeout = 300 * time.Millisecond
+	ts.Start()
+	defer ts.Close()
+
+	// Stalled headers: the server must close the connection on its own.
+	hdrConn := dialFleet(t, ts)
+	defer hdrConn.Close()
+	if _, err := hdrConn.Write([]byte("POST /v2/models/alpha/infer HTTP/1.1\r\nHost: fl")); err != nil {
+		t.Fatal(err)
+	}
+	_ = hdrConn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := hdrConn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server kept a stalled-header connection alive past ReadHeaderTimeout")
+	}
+
+	// Stalled body: complete headers, a fragment of the body, then
+	// nothing. ReadTimeout must unblock the handler's body read.
+	bodyConn := dialFleet(t, ts)
+	defer bodyConn.Close()
+	if _, err := bodyConn.Write([]byte(partialInfer)); err != nil {
+		t.Fatal(err)
+	}
+	_ = bodyConn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 512)
+	if _, err := bodyConn.Read(buf); err == nil {
+		// A 400 response is also acceptable — the read error surfaced to
+		// the handler, which answered before the connection died.
+		if !strings.Contains(string(buf), " 400 ") {
+			t.Fatalf("stalled-body connection got unexpected response: %q", buf)
+		}
+	}
+
+	// The normal listener (no hostile connections) still serves, and
+	// nothing leaked.
+	assertUnharmed(t, fx, before)
+}

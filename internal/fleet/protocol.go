@@ -91,6 +91,9 @@ type ModelStatus struct {
 	// currently charged against the memory governor (false after an LRU
 	// eviction; the next request re-charges and reloads transparently).
 	Resident bool `json:"resident"`
+	// Health is the version's health-lattice state (HEALTHY, DEGRADED or
+	// QUARANTINED — see health.go).
+	Health string `json:"health,omitempty"`
 }
 
 // DecodeInferRequest parses and validates a v2 infer body into concrete

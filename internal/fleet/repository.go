@@ -42,11 +42,17 @@ import (
 	"godisc/internal/tensor"
 )
 
-// Lifecycle states of a loaded model version.
+// Lifecycle states of a loaded model version. CANARY and QUARANTINED are
+// the rollout controller's states (rollout.go): a canary serves a traffic
+// fraction while its health is judged; a quarantined version sheds
+// explicit requests (discerr.ErrVersionQuarantined) except for half-open
+// health probes.
 const (
-	StateReady     = "READY"
-	StateFailed    = "FAILED"
-	StateUnloading = "UNLOADING"
+	StateReady       = "READY"
+	StateFailed      = "FAILED"
+	StateUnloading   = "UNLOADING"
+	StateCanary      = "CANARY"
+	StateQuarantined = "QUARANTINED"
 )
 
 // GraphFileName is the file a model version directory must contain.
@@ -72,6 +78,9 @@ type modelVersion struct {
 	release  func() // governor release for bytes; set iff resident
 	active   int    // in-flight fleet requests on this version
 	lastUsed time.Time
+	// health is the version's three-state health lattice (health.go),
+	// fed by the serve layer's outcome hook.
+	health *healthTracker
 }
 
 // chMutex is a channel-based mutex so residency loads can abandon the
@@ -191,11 +200,29 @@ func (f *Fleet) LoadModel(ctx context.Context, name string) error {
 		fm = &fleetModel{name: name, versions: map[string]*modelVersion{}}
 		f.models[name] = fm
 	}
+	freshSet := make(map[string]bool, len(fresh))
 	for _, mv := range fresh {
 		fm.versions[mv.version] = mv
+		freshSet[mv.version] = true
 	}
-	if _, ok := fm.versions[def]; ok {
-		fm.defaultVersion = def
+	// Default-pin policy: without the rollout controller a new default
+	// takes the pin immediately. With it, a freshly loaded version that
+	// would become the default of an already-serving model must earn the
+	// pin through a canary instead — the pin stays on the prior version
+	// until the controller promotes. A pin change between existing
+	// versions (an operator editing config.json) still applies directly.
+	if _, ok := fm.versions[def]; ok && def != fm.defaultVersion {
+		switch {
+		case !f.cfg.Rollout.Enabled || fm.defaultVersion == "":
+			fm.defaultVersion = def
+		case freshSet[def]:
+			f.startRollout(fm, def)
+		case fm.versions[def].state == StateReady:
+			fm.defaultVersion = def
+		}
+		// Versions mid-canary or quarantined never take the pin here: a
+		// canary earns it via promote(); a quarantined version stays off
+		// the pin no matter how often the watcher re-reads the repo.
 	}
 	f.setModelsGauge()
 	f.mu.Unlock()
@@ -223,6 +250,7 @@ func (f *Fleet) loadVersion(ctx context.Context, name, version, path string) (*m
 		loadMu:   newChMutex(),
 		state:    StateReady,
 		lastUsed: time.Now(),
+		health:   newHealthTracker(f.cfg.Rollout),
 	}
 	// The builder re-parses the stored text so every invocation returns a
 	// fresh graph — the determinism contract serve.Register demands.
@@ -351,10 +379,23 @@ func (f *Fleet) resolve(model, version string) (*modelVersion, error) {
 // is charged (re-charging after an eviction). The caller must
 // releaseActive exactly once.
 func (f *Fleet) acquire(ctx context.Context, mv *modelVersion) error {
+	return f.acquireFor(ctx, mv, false)
+}
+
+// acquireFor is acquire with the rollout controller's admission rules:
+// CANARY versions serve traffic like READY ones, and a QUARANTINED
+// version is admitted only for a half-open health probe (probe=true, the
+// caller already holds the probing slot).
+func (f *Fleet) acquireFor(ctx context.Context, mv *modelVersion, probe bool) error {
 	f.mu.Lock()
-	if mv.state != StateReady {
+	admissible := mv.state == StateReady || mv.state == StateCanary ||
+		(probe && mv.state == StateQuarantined)
+	if !admissible {
 		state := mv.state
 		f.mu.Unlock()
+		if state == StateQuarantined {
+			return fmt.Errorf("fleet: model %s: %w", mv.regName, discerr.ErrVersionQuarantined)
+		}
 		return &httpError{code: http.StatusServiceUnavailable, msg: fmt.Sprintf("fleet: model %s is %s", mv.regName, state)}
 	}
 	mv.active++
@@ -433,7 +474,8 @@ func (f *Fleet) evictOneIdle(keep *modelVersion) bool {
 	var victims []*modelVersion
 	for _, fm := range f.models {
 		for _, mv := range fm.versions {
-			if mv != keep && mv.resident && mv.active == 0 && mv.state == StateReady {
+			if mv != keep && mv.resident && mv.active == 0 &&
+				(mv.state == StateReady || mv.state == StateCanary) {
 				victims = append(victims, mv)
 			}
 		}
@@ -550,6 +592,7 @@ func (f *Fleet) Index() []ModelStatus {
 			out = append(out, ModelStatus{
 				Name: mv.model, Version: mv.version,
 				State: mv.state, Reason: mv.reason, Resident: mv.resident,
+				Health: mv.health.state,
 			})
 		}
 	}

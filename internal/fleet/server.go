@@ -26,6 +26,7 @@
 package fleet
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -33,13 +34,17 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"slices"
 	"strconv"
 	"sync"
 	"time"
 
+	"godisc/internal/discerr"
+	"godisc/internal/faultinject"
 	"godisc/internal/obs"
 	"godisc/internal/ral"
 	"godisc/internal/serve"
+	"godisc/internal/tensor"
 )
 
 // Config parameterizes a Fleet.
@@ -71,6 +76,14 @@ type Config struct {
 	// appear in it.
 	WatchInterval time.Duration
 	AutoLoad      bool
+	// Rollout configures health-gated canary rollouts of new versions
+	// (rollout.go). Disabled by default: a new version takes the default
+	// pin immediately.
+	Rollout RolloutConfig
+	// Faults, when non-nil, arms the network-layer fault-injection sites
+	// (http-read, http-decode, http-write) on the infer path — the
+	// `make chaos` hook for the HTTP front-end. Nil is inert.
+	Faults *faultinject.Injector
 }
 
 // Fleet is the HTTP front-end plus model repository. Build with New,
@@ -85,6 +98,12 @@ type Fleet struct {
 	mu     sync.Mutex
 	models map[string]*fleetModel
 	closed bool
+
+	// rollouts maps model name → its in-flight canary (rollout.go);
+	// the ro* / shadow* counters back RolloutStats.
+	rollouts                                       map[string]*rollout
+	roStarted, roPromoted, roRolledBack, roAborted int64
+	shadowMatch, shadowMismatch                    int64
 
 	watchStop chan struct{}
 	watchDone chan struct{}
@@ -108,15 +127,21 @@ func New(cfg Config) (*Fleet, error) {
 	if cfg.LoadTimeout <= 0 {
 		cfg.LoadTimeout = 30 * time.Second
 	}
+	cfg.Rollout = cfg.Rollout.withDefaults()
 	f := &Fleet{
-		cfg:    cfg,
-		srv:    cfg.Server,
-		gov:    cfg.Governor,
-		reg:    cfg.Metrics,
-		models: map[string]*fleetModel{},
+		cfg:      cfg,
+		srv:      cfg.Server,
+		gov:      cfg.Governor,
+		reg:      cfg.Metrics,
+		models:   map[string]*fleetModel{},
+		rollouts: map[string]*rollout{},
 	}
 	f.setModelsGauge()
 	f.buildMux()
+	// Per-request outcomes from the serve layer feed the per-version
+	// health lattice and the rollout controller's promote/rollback
+	// decision (rollout.go).
+	f.srv.SetOutcomeHook(f.onOutcome)
 	if cfg.AutoLoad && cfg.Repo != "" {
 		if err := f.loadAll(context.Background()); err != nil {
 			return nil, err
@@ -156,6 +181,7 @@ func (f *Fleet) Close(ctx context.Context) error {
 	}
 	f.setModelsGauge()
 	f.mu.Unlock()
+	f.srv.SetOutcomeHook(nil)
 	if f.watchStop != nil {
 		close(f.watchStop)
 		<-f.watchDone
@@ -260,19 +286,30 @@ func (f *Fleet) route(pattern, label string, h func(http.ResponseWriter, *http.R
 				obs.A("route", label), obs.A("method", r.Method))
 			r = r.WithContext(obs.ContextWithSpan(r.Context(), sp))
 		}
+		// Deferred so an aborted connection — panic(http.ErrAbortHandler),
+		// the http-write fault site's broken pipe — still ends the span
+		// and counts the request before the panic reaches net/http.
+		defer func() {
+			if sp != nil {
+				sp.SetAttr("code", strconv.Itoa(sw.code))
+				sp.End()
+			}
+			f.reg.Counter("godisc_http_requests_total",
+				obs.L("code", strconv.Itoa(sw.code)), obs.L("route", label)).Inc()
+		}()
 		h(sw, r)
-		if sp != nil {
-			sp.SetAttr("code", strconv.Itoa(sw.code))
-			sp.End()
-		}
-		f.reg.Counter("godisc_http_requests_total",
-			obs.L("code", strconv.Itoa(sw.code)), obs.L("route", label)).Inc()
 	})
 }
 
 // fail writes the JSON error envelope for err at its mapped status.
+// Every 429/503 is a retry-with-backoff outcome (shed load, temporary
+// unavailability), so those responses carry a Retry-After hint.
 func (f *Fleet) fail(w http.ResponseWriter, err error) {
-	writeJSON(w, StatusFor(err), map[string]string{"error": err.Error()})
+	code := StatusFor(err)
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -314,13 +351,16 @@ func (f *Fleet) handleModelReady(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	f.mu.Lock()
-	ready := mv.state == StateReady
+	state, health := mv.state, mv.health.state
 	f.mu.Unlock()
+	// A canary is serving traffic, so it is ready; a quarantined version
+	// sheds everything but probes, so it is not.
+	ready := state == StateReady || state == StateCanary
+	code := http.StatusOK
 	if !ready {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ready": false})
-		return
+		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
+	writeJSON(w, code, map[string]any{"ready": ready, "state": state, "health": health})
 }
 
 func (f *Fleet) handleMeta(w http.ResponseWriter, r *http.Request) {
@@ -391,12 +431,118 @@ func parsePriority(h string) (serve.Priority, error) {
 		msg: fmt.Sprintf("fleet: unknown priority %q (want interactive | batch | best-effort)", h)}
 }
 
-func (f *Fleet) handleInfer(w http.ResponseWriter, r *http.Request) {
-	mv, err := f.resolve(r.PathValue("model"), r.PathValue("version"))
-	if err != nil {
-		f.fail(w, err)
+// inferRoute is one infer request's routing decision (routeInfer).
+type inferRoute struct {
+	mv *modelVersion
+	// stable, in canary-split mode, is the default version a failing
+	// canary-routed request is transparently re-served on.
+	stable *modelVersion
+	// shadow, in shadow mode, is the canary the stable response is
+	// mirrored onto for bit-wise comparison.
+	shadow *modelVersion
+	// probe marks a half-open health probe of a quarantined version; the
+	// caller owns the version's single probing slot.
+	probe bool
+}
+
+// routeInfer resolves (model, version) with the rollout controller's
+// routing rules. Explicit versions serve directly — except QUARANTINED
+// ones, which shed with discerr.ErrVersionQuarantined unless the probe
+// cooldown admits one half-open probe. Default-pin requests stay on the
+// stable default, with every Nth routed to (split mode) or mirrored onto
+// (shadow mode) an active canary.
+func (f *Fleet) routeInfer(model, version string) (inferRoute, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fm := f.models[model]
+	if fm == nil {
+		return inferRoute{}, &httpError{code: http.StatusNotFound, msg: fmt.Sprintf("fleet: model %q is not loaded", model)}
+	}
+	if version != "" {
+		mv := fm.versions[version]
+		if mv == nil {
+			return inferRoute{}, &httpError{code: http.StatusNotFound, msg: fmt.Sprintf("fleet: model %q has no version %q", model, version)}
+		}
+		if mv.state == StateQuarantined {
+			if mv.health.allowProbe(time.Now()) {
+				return inferRoute{mv: mv, probe: true}, nil
+			}
+			return inferRoute{}, fmt.Errorf("fleet: model %s: %w", mv.regName, discerr.ErrVersionQuarantined)
+		}
+		return inferRoute{mv: mv}, nil
+	}
+	def := fm.versions[fm.defaultVersion]
+	if def == nil {
+		return inferRoute{}, &httpError{code: http.StatusNotFound, msg: fmt.Sprintf("fleet: model %q has no version %q", model, fm.defaultVersion)}
+	}
+	ro := f.rollouts[model]
+	if ro == nil {
+		return inferRoute{mv: def}, nil
+	}
+	canary := fm.versions[ro.canary]
+	if canary == nil || canary.state != StateCanary {
+		return inferRoute{mv: def}, nil
+	}
+	ro.ticker++
+	if ro.ticker%ro.every != 0 {
+		return inferRoute{mv: def}, nil
+	}
+	if f.cfg.Rollout.Shadow {
+		return inferRoute{mv: def, shadow: canary}, nil
+	}
+	return inferRoute{mv: canary, stable: def}, nil
+}
+
+// probeDone resolves a half-open probe: success brings the version back
+// as READY/DEGRADED (healthy traffic walks it to HEALTHY), failure
+// restarts the quarantine cooldown.
+func (f *Fleet) probeDone(mv *modelVersion, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	mv.health.probeResult(ok, time.Now())
+	if ok {
+		mv.state = StateReady
+		mv.reason = ""
+	}
+	f.setHealthGauge(mv)
+}
+
+// stateOf reads mv's lifecycle state under the fleet lock.
+func (f *Fleet) stateOf(mv *modelVersion) string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return mv.state
+}
+
+// runShadow mirrors a stable response's inputs onto the canary and
+// compares the wire encodings bit-wise. The client's response is already
+// decided; this only feeds the rollout verdict (shadowResult). A canary
+// that was rolled back mid-request simply skips the comparison.
+func (f *Fleet) runShadow(ctx context.Context, canary *modelVersion, inputs []*tensor.Tensor, prio serve.Priority, stableOut []InferTensor) {
+	if err := f.acquireFor(ctx, canary, false); err != nil {
 		return
 	}
+	resp, err := f.srv.Infer(ctx, &serve.Request{Model: canary.regName, Inputs: inputs, Priority: prio})
+	f.releaseActive(canary)
+	if err != nil {
+		return // the outcome hook already recorded the failure
+	}
+	match := len(resp.Outputs) == len(stableOut)
+	if match {
+		for i, t := range resp.Outputs {
+			wt, err := encodeTensor(stableOut[i].Name, t)
+			if err != nil || !slices.Equal(wt.Shape, stableOut[i].Shape) ||
+				!bytes.Equal(wt.Data, stableOut[i].Data) {
+				match = false
+				break
+			}
+		}
+	}
+	f.shadowResult(canary.model, canary.version, match)
+}
+
+func (f *Fleet) handleInfer(w http.ResponseWriter, r *http.Request) {
+	model, version := r.PathValue("model"), r.PathValue("version")
 	prio, err := parsePriority(r.Header.Get("X-Godisc-Priority"))
 	if err != nil {
 		f.fail(w, err)
@@ -414,6 +560,15 @@ func (f *Fleet) handleInfer(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
 		defer cancel()
 	}
+	// Network-layer fault sites (faultinject): a firing http-read probe is
+	// a body that never arrived (or, in latency mode, a stalled upload), a
+	// firing http-decode probe a payload corrupted in flight. Both happen
+	// before any acquire, so — like real hostile clients — they can never
+	// leak a governor reservation or count against version health.
+	if ferr := f.cfg.Faults.Check(faultinject.SiteHTTPRead); ferr != nil {
+		f.fail(w, &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf("fleet: reading body: %v", ferr)})
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, f.cfg.MaxBodyBytes))
 	if err != nil {
 		var mbe *http.MaxBytesError
@@ -424,18 +579,53 @@ func (f *Fleet) handleInfer(w http.ResponseWriter, r *http.Request) {
 		f.fail(w, &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf("fleet: reading body: %v", err)})
 		return
 	}
+	if ferr := f.cfg.Faults.Check(faultinject.SiteHTTPDecode); ferr != nil {
+		f.fail(w, &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf("fleet: malformed request body: %v", ferr)})
+		return
+	}
 	req, inputs, err := DecodeInferRequest(body)
 	if err != nil {
 		f.fail(w, err)
 		return
 	}
-	if err := f.acquire(ctx, mv); err != nil {
+	rt, err := f.routeInfer(model, version)
+	if err != nil {
 		f.fail(w, err)
 		return
 	}
-	defer f.releaseActive(mv)
+	mv := rt.mv
+	if err := f.acquireFor(ctx, mv, rt.probe); err != nil {
+		if rt.probe {
+			f.probeDone(mv, false)
+		}
+		f.fail(w, err)
+		return
+	}
 	resp, err := f.srv.Infer(ctx, &serve.Request{Model: mv.regName, Inputs: inputs, Priority: prio})
+	f.releaseActive(mv)
+	if rt.probe {
+		f.probeDone(mv, err == nil && (!resp.Fallback || resp.Compiling))
+	}
+	if err != nil && rt.stable != nil && StatusFor(err) >= 500 {
+		// Self-healing: a canary-routed default-pin request whose canary
+		// failed server-side is re-served on the stable version — the
+		// rollback (driven by the outcome hook) happens independently,
+		// and the client never sees a canary 5xx.
+		mv = rt.stable
+		if aerr := f.acquire(ctx, mv); aerr != nil {
+			f.fail(w, aerr)
+			return
+		}
+		resp, err = f.srv.Infer(ctx, &serve.Request{Model: mv.regName, Inputs: inputs, Priority: prio})
+		f.releaseActive(mv)
+	}
 	if err != nil {
+		// An explicit-version request whose failure triggered (or raced)
+		// its own rollback: the version is quarantined now, so classify
+		// the loss as the rollout's, wrapping the underlying cause.
+		if version != "" && !rt.probe && f.stateOf(rt.mv) == StateQuarantined {
+			err = fmt.Errorf("fleet: model %s rolled back: %w: %w", rt.mv.regName, discerr.ErrRolloutAborted, err)
+		}
 		f.fail(w, err)
 		return
 	}
@@ -460,6 +650,16 @@ func (f *Fleet) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(params) > 0 {
 		out.Parameters = params
+	}
+	if rt.shadow != nil {
+		f.runShadow(ctx, rt.shadow, inputs, prio, out.Outputs)
+	}
+	// The http-write site fires after the response is fully decided: an
+	// injected error aborts the connection mid-response (the client sees
+	// a broken pipe, never a wrong or partial-but-parseable answer);
+	// latency mode models a slow downstream reader.
+	if ferr := f.cfg.Faults.Check(faultinject.SiteHTTPWrite); ferr != nil {
+		panic(http.ErrAbortHandler)
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -224,6 +224,31 @@ type Response struct {
 	Compiling bool
 }
 
+// OutcomeEvent describes the terminal outcome of one Infer call, emitted
+// to the hook installed with SetOutcomeHook. The fleet layer uses it to
+// drive per-model-version health: with fallback enabled a broken engine's
+// failures surface as slow successes, so health must observe the engine
+// verdict (Fallback/Hung/BreakerOpened), not just the returned error.
+type OutcomeEvent struct {
+	// Model is the request's registered model name (the fleet registers
+	// "<model>:<version>", so version health can be attributed).
+	Model string
+	// Err is the error the Infer call returned (nil on success).
+	Err error
+	// Fallback and Compiling mirror the Response fields: the request was
+	// served by the interpreter, and (for Compiling) only because the
+	// engine is still being built — not because it failed.
+	Fallback  bool
+	Compiling bool
+	// Hung reports the watchdog cancelled this request's engine run.
+	Hung bool
+	// BreakerOpened reports this request's failure tripped the engine's
+	// circuit breaker open; BreakerShorted reports the request found it
+	// already open and short-circuited to fallback.
+	BreakerOpened  bool
+	BreakerShorted bool
+}
+
 // Server is a concurrency-safe inference frontend over compiled engines.
 type Server struct {
 	cfg     Config
@@ -264,6 +289,10 @@ type Server struct {
 	// batch owns the dynamic-batching coalescing windows (nil when
 	// MaxBatchSize ≤ 1).
 	batch *batcher
+
+	// outcomeHook, when set, receives one OutcomeEvent per Infer call
+	// (guarded by mu; see SetOutcomeHook).
+	outcomeHook func(OutcomeEvent)
 
 	stats *collector
 }
@@ -388,6 +417,26 @@ func (s *Server) Governor() *ral.Governor { return s.gov }
 // exec.Options.WorkerPool so concurrent requests multiplex one bounded
 // set of helper goroutines instead of spawning Workers-1 each.
 func (s *Server) WorkerPool() *exec.WorkerPool { return s.pool }
+
+// SetOutcomeHook installs fn to receive one OutcomeEvent per Infer call,
+// after the request fully resolves. The hook runs on the request
+// goroutine, so it must be fast and must not call back into the server.
+// A nil fn uninstalls the hook. Safe to call concurrently with traffic.
+func (s *Server) SetOutcomeHook(fn func(OutcomeEvent)) {
+	s.mu.Lock()
+	s.outcomeHook = fn
+	s.mu.Unlock()
+}
+
+// emitOutcome delivers ev to the installed hook, if any.
+func (s *Server) emitOutcome(ev OutcomeEvent) {
+	s.mu.Lock()
+	fn := s.outcomeHook
+	s.mu.Unlock()
+	if fn != nil {
+		fn(ev)
+	}
+}
 
 // EngineCache returns the persistent engine cache the server serves from,
 // or nil when engine persistence is disabled. Callers may Scan it at
@@ -694,6 +743,17 @@ func (s *Server) Warm(model string) error {
 // the request's context expires while queued or mid-run.
 func (s *Server) Infer(ctx context.Context, req *Request) (resp *Response, retErr error) {
 	s.stats.request()
+	// One outcome event per request, fired after the result is final —
+	// the fleet's rollout controller keys per-version health off it.
+	outcome := OutcomeEvent{Model: req.Model}
+	defer func() {
+		outcome.Err = retErr
+		if resp != nil {
+			outcome.Fallback = resp.Fallback
+			outcome.Compiling = resp.Compiling
+		}
+		s.emitOutcome(outcome)
+	}()
 	// Root span of this request's trace. When no Observer is configured
 	// sp stays nil and every span call below is one nil branch.
 	var sp *obs.Span
@@ -785,6 +845,7 @@ func (s *Server) Infer(ctx context.Context, req *Request) (resp *Response, retEr
 	br := s.breakerFor(key)
 	if !br.allow(time.Now()) {
 		s.stats.breakerShorted()
+		outcome.BreakerShorted = true
 		cause := fmt.Errorf("serve: model %q (signature %s): %w", m.name, sig, discerr.ErrEngineQuarantined)
 		return s.finish(s.fallback(ctx, sp, m, req, sig, queueNs, 0, cause))
 	}
@@ -886,6 +947,7 @@ func (s *Server) Infer(ctx context.Context, req *Request) (resp *Response, retEr
 		}
 		if hung && ctx.Err() == nil {
 			s.stats.watchdogFired()
+			outcome.Hung = true
 			lastErr = fmt.Errorf("serve: model %q (signature %s): run cancelled by watchdog after %v: %w",
 				m.name, sig, wall, discerr.ErrHungRequest)
 			break // hung engines go to the breaker + fallback, not retry
@@ -919,6 +981,7 @@ func (s *Server) Infer(ctx context.Context, req *Request) (resp *Response, retEr
 
 	if br.failure(time.Now()) {
 		s.stats.breakerOpened()
+		outcome.BreakerOpened = true
 	}
 	return s.finish(s.fallback(ctx, sp, m, req, sig, queueNs, retries, lastErr))
 }
